@@ -1,0 +1,62 @@
+// Ablation: generation budget (the paper fixes 50M per run — "large
+// enough to capture longer-term trends"). Sweeps the scaled budget and
+// reports hits/ASes per TGA, showing where returns diminish and where
+// rankings stabilize.
+#include <iostream>
+
+#include "bench_common.h"
+
+using v6::metrics::fmt_count;
+
+int main() {
+  v6::experiment::Workbench bench;
+  const auto& seeds = bench.all_active();
+
+  const std::vector<std::uint64_t> budgets = {50'000, 100'000, 200'000,
+                                              400'000, 800'000};
+  const std::vector<v6::tga::TgaKind> tgas = {
+      v6::tga::TgaKind::kSixSense, v6::tga::TgaKind::kSixTree,
+      v6::tga::TgaKind::kDet, v6::tga::TgaKind::kSixGen};
+
+  std::cout << "=== Ablation: budget sweep (ICMP, All Active seeds) ===\n";
+  for (const bool hits : {true, false}) {
+    std::cout << (hits ? "-- Hits --\n" : "-- ASes --\n");
+    std::vector<std::string> header{"Budget"};
+    for (const auto kind : tgas) {
+      header.emplace_back(v6::tga::to_string(kind));
+    }
+    v6::metrics::TextTable table(std::move(header));
+    // Cache outcomes so the hits and ASes tables share one set of runs.
+    static std::vector<std::vector<v6::metrics::ScanOutcome>> cache;
+    if (cache.empty()) {
+      for (const std::uint64_t budget : budgets) {
+        std::vector<v6::metrics::ScanOutcome> row;
+        for (const auto kind : tgas) {
+          v6::experiment::PipelineConfig config;
+          config.budget = budget;
+          std::cerr << "running " << v6::tga::to_string(kind) << " @ "
+                    << budget << "\n";
+          auto generator = v6::tga::make_generator(kind);
+          row.push_back(v6::experiment::run_tga(bench.universe(), *generator,
+                                                seeds, bench.alias_list(),
+                                                config));
+        }
+        cache.push_back(std::move(row));
+      }
+    }
+    for (std::size_t b = 0; b < budgets.size(); ++b) {
+      std::vector<std::string> row{fmt_count(budgets[b])};
+      for (const auto& outcome : cache[b]) {
+        row.push_back(fmt_count(hits ? outcome.hits() : outcome.ases()));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nExpected shape: hits grow sublinearly (the responsive "
+               "population saturates); AS counts flatten earlier; and the "
+               "6Sense/6Tree hit ranking crosses over as the budget grows "
+               "- offline enumeration wins when budget is scarce, online "
+               "adaptation wins at the paper's large-budget regime.\n";
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Ablation: online dealiaser design space (paper §11: "even current
+// online dealiasing approaches are not perfect, and future work is
+// needed to determine the optimal approach").
+//
+// Sweeps the 6Gen-style dealiaser's probe count, threshold, and test
+// granularity against ground truth: detection rate on true aliased
+// regions (split by rate-limited or not), false-positive rate on regular
+// host space, and packet cost per tested prefix.
+#include <iostream>
+
+#include "bench_common.h"
+#include "dealias/online_dealiaser.h"
+#include "dealias/sprt_dealiaser.h"
+#include "probe/transport.h"
+
+using v6::metrics::fmt_count;
+using v6::metrics::fmt_percent;
+using v6::net::Ipv6Addr;
+using v6::net::ProbeType;
+
+int main() {
+  v6::experiment::Workbench bench;
+  const auto& universe = bench.universe();
+
+  struct Variant {
+    const char* name;
+    v6::dealias::OnlineDealiaserOptions options;
+  };
+  const std::vector<Variant> variants = {
+      {"1 probe, >=1", {.probes = 1, .retries = 3, .threshold = 1}},
+      {"2 probes, >=2", {.probes = 2, .retries = 3, .threshold = 2}},
+      {"3 probes, >=2 (paper)", {.probes = 3, .retries = 3, .threshold = 2}},
+      {"5 probes, >=3", {.probes = 5, .retries = 3, .threshold = 3}},
+      {"3 probes, >=2, no retries",
+       {.probes = 3, .retries = 0, .threshold = 2}},
+      {"3 probes, >=2, /64",
+       {.probes = 3, .retries = 3, .threshold = 2, .prefix_len = 64}},
+      {"3 probes, >=2, /80",
+       {.probes = 3, .retries = 3, .threshold = 2, .prefix_len = 80}},
+  };
+
+  std::cout << "=== Ablation: online dealiaser design (ICMP) ===\n";
+  v6::metrics::TextTable table({"Variant", "Detect (plain)",
+                                "Detect (rate-limited)", "False positive",
+                                "Pkts/prefix"});
+
+  for (const Variant& variant : variants) {
+    std::size_t plain_hits = 0;
+    std::size_t plain_total = 0;
+    std::size_t limited_hits = 0;
+    std::size_t limited_total = 0;
+
+    v6::probe::SimTransport transport(universe, 1234);
+    v6::dealias::OnlineDealiaser dealiaser(transport, 1234, variant.options);
+    v6::net::Rng rng(99);
+
+    for (const auto& region : universe.alias_regions()) {
+      if (!v6::net::has_service(region.services, ProbeType::kIcmp)) continue;
+      // One representative address per region; each /96 verdict is
+      // independent because the regions are disjoint.
+      const Ipv6Addr addr = v6::net::random_in_prefix(rng, region.prefix);
+      const bool flagged = dealiaser.is_aliased(addr, ProbeType::kIcmp);
+      if (region.rate_limited) {
+        ++limited_total;
+        limited_hits += flagged;
+      } else {
+        ++plain_total;
+        plain_hits += flagged;
+      }
+    }
+
+    // False positives over regular (non-aliased) host space.
+    std::size_t fp = 0;
+    std::size_t fp_total = 0;
+    for (const auto& host : universe.hosts()) {
+      if (universe.is_aliased(host.addr) || host.services == 0) continue;
+      if (dealiaser.is_aliased(host.addr, ProbeType::kIcmp)) ++fp;
+      if (++fp_total >= 2000) break;
+    }
+
+    const double pkts_per_prefix =
+        dealiaser.prefixes_tested() == 0
+            ? 0.0
+            : static_cast<double>(dealiaser.probes_sent()) /
+                  static_cast<double>(dealiaser.prefixes_tested());
+    char pkts[32];
+    std::snprintf(pkts, sizeof pkts, "%.1f", pkts_per_prefix);
+    table.add_row(
+        {variant.name,
+         fmt_percent(plain_total ? static_cast<double>(plain_hits) /
+                                       static_cast<double>(plain_total)
+                                 : 0.0),
+         fmt_percent(limited_total ? static_cast<double>(limited_hits) /
+                                         static_cast<double>(limited_total)
+                                   : 0.0),
+         fmt_percent(fp_total ? static_cast<double>(fp) /
+                                    static_cast<double>(fp_total)
+                              : 0.0),
+         pkts});
+  }
+  // ---- SPRT variant (this repo's proposed improvement) -----------------
+  {
+    std::size_t plain_hits = 0;
+    std::size_t plain_total = 0;
+    std::size_t limited_hits = 0;
+    std::size_t limited_total = 0;
+    v6::probe::SimTransport transport(universe, 4321);
+    v6::dealias::SprtDealiaser dealiaser(transport, 4321);
+    v6::net::Rng rng(98);
+    for (const auto& region : universe.alias_regions()) {
+      if (!v6::net::has_service(region.services, ProbeType::kIcmp)) continue;
+      const Ipv6Addr addr = v6::net::random_in_prefix(rng, region.prefix);
+      const bool flagged = dealiaser.is_aliased(addr, ProbeType::kIcmp);
+      if (region.rate_limited) {
+        ++limited_total;
+        limited_hits += flagged;
+      } else {
+        ++plain_total;
+        plain_hits += flagged;
+      }
+    }
+    std::size_t fp = 0;
+    std::size_t fp_total = 0;
+    for (const auto& host : universe.hosts()) {
+      if (universe.is_aliased(host.addr) || host.services == 0) continue;
+      if (dealiaser.is_aliased(host.addr, ProbeType::kIcmp)) ++fp;
+      if (++fp_total >= 2000) break;
+    }
+    const double pkts_per_prefix =
+        dealiaser.prefixes_tested() == 0
+            ? 0.0
+            : static_cast<double>(dealiaser.probes_sent()) /
+                  static_cast<double>(dealiaser.prefixes_tested());
+    char pkts[32];
+    std::snprintf(pkts, sizeof pkts, "%.1f", pkts_per_prefix);
+    table.add_row(
+        {"SPRT (adaptive, ours)",
+         fmt_percent(plain_total ? static_cast<double>(plain_hits) /
+                                       static_cast<double>(plain_total)
+                                 : 0.0),
+         fmt_percent(limited_total ? static_cast<double>(limited_hits) /
+                                         static_cast<double>(limited_total)
+                                   : 0.0),
+         fmt_percent(fp_total ? static_cast<double>(fp) /
+                                    static_cast<double>(fp_total)
+                              : 0.0),
+         pkts});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape: the paper's 3-probe/threshold-2 design "
+               "detects essentially all plain aliases with no false "
+               "positives; rate-limited regions evade every variant to "
+               "some degree — more probes help but cost packets.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: the AS12322-analogue filter (paper §4.1). The paper filters
+// a single ISP's trivially-enumerable ICMP pattern from all ICMP metrics
+// because it otherwise dominates and biases generator comparison. This
+// bench quantifies that: per TGA, ICMP hits with and without the filter,
+// and how much of the unfiltered count is just the dense pattern.
+#include <iostream>
+
+#include "bench_common.h"
+
+using v6::metrics::fmt_count;
+using v6::metrics::fmt_percent;
+
+int main(int argc, char** argv) {
+  v6::experiment::PipelineConfig config;
+  config.budget = v6::bench::budget_from_argv(argc, argv, 200'000);
+
+  v6::experiment::Workbench bench;
+  const auto& seeds = bench.all_active();
+
+  std::cout << "=== Ablation: AS12322-analogue filter (ICMP, budget "
+            << fmt_count(config.budget) << ") ===\n";
+  v6::metrics::TextTable table({"TGA", "Hits (filtered)",
+                                "Hits (unfiltered)", "Dense share",
+                                "ASes (filtered)", "ASes (unfiltered)"});
+
+  for (const v6::tga::TgaKind kind : v6::tga::kAllTgas) {
+    auto gen_a = v6::tga::make_generator(kind);
+    v6::experiment::PipelineConfig filtered = config;
+    filtered.filter_dense = true;
+    const auto with_filter = v6::experiment::run_tga(
+        bench.universe(), *gen_a, seeds, bench.alias_list(), filtered);
+
+    auto gen_b = v6::tga::make_generator(kind);
+    v6::experiment::PipelineConfig unfiltered = config;
+    unfiltered.filter_dense = false;
+    const auto without_filter = v6::experiment::run_tga(
+        bench.universe(), *gen_b, seeds, bench.alias_list(), unfiltered);
+
+    const double dense_share =
+        without_filter.hits() == 0
+            ? 0.0
+            : static_cast<double>(without_filter.hits() -
+                                  with_filter.hits()) /
+                  static_cast<double>(without_filter.hits());
+    table.add_row({std::string(v6::tga::to_string(kind)),
+                   fmt_count(with_filter.hits()),
+                   fmt_count(without_filter.hits()),
+                   fmt_percent(dense_share),
+                   fmt_count(with_filter.ases()),
+                   fmt_count(without_filter.ases())});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: without the filter, the dense pattern "
+               "inflates hit counts for pattern-hungry generators and "
+               "would distort any cross-TGA comparison — the reason the "
+               "paper removes AS12322 from ICMP metrics.\n";
+  return 0;
+}

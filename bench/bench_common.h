@@ -1,0 +1,62 @@
+// Shared helpers for the bench harnesses that regenerate the paper's
+// tables and figures.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiment/pipeline.h"
+#include "experiment/workbench.h"
+#include "metrics/reporter.h"
+#include "metrics/scan_outcome.h"
+#include "tga/registry.h"
+
+namespace v6::bench {
+
+/// Every bench accepts an optional budget argument:
+///   ./bench_xxx [budget-per-run]
+/// Default 400K — the scaled analogue of the paper's 50M budget.
+inline std::uint64_t budget_from_argv(int argc, char** argv,
+                                      std::uint64_t fallback = 400'000) {
+  if (argc > 1) {
+    const std::uint64_t v = std::strtoull(argv[1], nullptr, 10);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+struct TgaRun {
+  v6::tga::TgaKind kind;
+  v6::metrics::ScanOutcome outcome;
+};
+
+/// Runs all eight TGAs over one seed dataset / probe type.
+inline std::vector<TgaRun> run_all_tgas(
+    const v6::simnet::Universe& universe,
+    const std::vector<v6::net::Ipv6Addr>& seeds,
+    const v6::dealias::AliasList& alias_list,
+    const v6::experiment::PipelineConfig& config) {
+  std::vector<TgaRun> runs;
+  runs.reserve(v6::tga::kNumTgas);
+  for (const v6::tga::TgaKind kind : v6::tga::kAllTgas) {
+    auto generator = v6::tga::make_generator(kind);
+    runs.push_back(
+        {kind, v6::experiment::run_tga(universe, *generator, seeds,
+                                       alias_list, config)});
+  }
+  return runs;
+}
+
+/// Header row "TGA | 6Sense | DET | ..." used by the ratio figures.
+inline std::vector<std::string> tga_header(const std::string& first) {
+  std::vector<std::string> h{first};
+  for (const v6::tga::TgaKind kind : v6::tga::kAllTgas) {
+    h.emplace_back(v6::tga::to_string(kind));
+  }
+  return h;
+}
+
+}  // namespace v6::bench

@@ -1,0 +1,63 @@
+// Regenerates paper Figures 1 and 2: pairwise seed-source overlap by IP
+// and by AS, for the full dataset (Fig 1) and for responsive addresses
+// only (Fig 2). The far-right column is the share of the source present
+// in at least one other source.
+#include <iostream>
+
+#include "bench_common.h"
+#include "seeds/overlap.h"
+
+using v6::metrics::fmt_percent;
+
+namespace {
+
+void print_matrix(const char* title, const v6::seeds::OverlapMatrix& m) {
+  std::cout << title << "\n";
+  std::vector<std::string> header{"Source"};
+  for (const auto source : v6::seeds::kAllSeedSources) {
+    header.emplace_back(v6::seeds::to_string(source).substr(0, 7));
+  }
+  header.emplace_back("Overlap");
+  header.emplace_back("Total");
+  v6::metrics::TextTable table(std::move(header));
+  for (int a = 0; a < v6::seeds::kNumSeedSources; ++a) {
+    std::vector<std::string> row{
+        std::string(v6::seeds::to_string(v6::seeds::kAllSeedSources[
+            static_cast<std::size_t>(a)]))};
+    for (int b = 0; b < v6::seeds::kNumSeedSources; ++b) {
+      row.push_back(a == b ? "-"
+                           : fmt_percent(m.cell[static_cast<std::size_t>(a)]
+                                               [static_cast<std::size_t>(b)],
+                                         0));
+    }
+    row.push_back(fmt_percent(m.any_other[static_cast<std::size_t>(a)], 1));
+    row.push_back(
+        v6::metrics::fmt_count(m.total[static_cast<std::size_t>(a)]));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  v6::experiment::Workbench bench;
+  const auto& dataset = bench.seeds();
+  const auto asn_of = [&](const v6::net::Ipv6Addr& a) {
+    return bench.universe().asn_of(a);
+  };
+  const auto responsive = [&](const v6::net::Ipv6Addr& a) {
+    return bench.activity().active_any(a);
+  };
+
+  std::cout << "=== Figure 1: seed source overlap (full dataset) ===\n\n";
+  print_matrix("-- by IP --", v6::seeds::ip_overlap(dataset));
+  print_matrix("-- by AS --", v6::seeds::as_overlap(dataset, asn_of));
+
+  std::cout << "=== Figure 2: overlap of responsive addresses ===\n\n";
+  print_matrix("-- by IP --", v6::seeds::ip_overlap(dataset, responsive));
+  print_matrix("-- by AS --",
+               v6::seeds::as_overlap(dataset, asn_of, responsive));
+  return 0;
+}

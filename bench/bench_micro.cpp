@@ -1,0 +1,154 @@
+// Microbenchmarks (google-benchmark): throughput of the primitives the
+// experiment pipeline is built from — address parse/format, LPM trie,
+// universe probing, space-tree construction, per-TGA generation, and the
+// scanner loop.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dealias/online_dealiaser.h"
+#include "experiment/workbench.h"
+#include "net/ipv6.h"
+#include "net/prefix_trie.h"
+#include "net/rng.h"
+#include "probe/scanner.h"
+#include "probe/transport.h"
+#include "simnet/universe_builder.h"
+#include "tga/registry.h"
+#include "tga/space_tree.h"
+
+namespace {
+
+using v6::net::Ipv6Addr;
+
+/// Small, fast-to-build universe shared across benchmarks.
+const v6::simnet::Universe& small_universe() {
+  static const v6::simnet::Universe universe = [] {
+    v6::simnet::UniverseConfig config;
+    config.seed = 7;
+    config.num_ases = 300;
+    config.host_scale = 0.1;
+    return v6::simnet::UniverseBuilder::build(config);
+  }();
+  return universe;
+}
+
+std::vector<Ipv6Addr> sample_seeds(std::size_t n) {
+  const auto hosts = small_universe().hosts();
+  std::vector<Ipv6Addr> seeds;
+  seeds.reserve(n);
+  const std::size_t stride = std::max<std::size_t>(1, hosts.size() / n);
+  for (std::size_t i = 0; i < hosts.size() && seeds.size() < n; i += stride) {
+    seeds.push_back(hosts[i].addr);
+  }
+  return seeds;
+}
+
+void BM_Ipv6Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Ipv6Addr::parse("2001:db8:85a3::8a2e:370:7334"));
+  }
+}
+BENCHMARK(BM_Ipv6Parse);
+
+void BM_Ipv6Format(benchmark::State& state) {
+  const Ipv6Addr addr = Ipv6Addr::must_parse("2001:db8:85a3::8a2e:370:7334");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(addr.to_string());
+  }
+}
+BENCHMARK(BM_Ipv6Format);
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  v6::net::PrefixTrie<std::uint32_t> trie;
+  v6::net::Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const Ipv6Addr a(rng(), 0);
+    trie.insert(v6::net::Prefix(a, 32 + static_cast<int>(rng() % 17)),
+                static_cast<std::uint32_t>(i));
+  }
+  Ipv6Addr probe(rng(), rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.longest_match(probe));
+    probe = Ipv6Addr(probe.hi() + 0x100000000ULL, probe.lo());
+  }
+}
+BENCHMARK(BM_TrieLongestMatch);
+
+void BM_UniverseProbe(benchmark::State& state) {
+  const auto& universe = small_universe();
+  v6::net::Rng rng(2);
+  const auto hosts = universe.hosts();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(universe.probe(
+        hosts[i % hosts.size()].addr, v6::net::ProbeType::kIcmp, rng));
+    ++i;
+  }
+}
+BENCHMARK(BM_UniverseProbe);
+
+void BM_SpaceTreeBuild(benchmark::State& state) {
+  const auto seeds = sample_seeds(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    v6::tga::SpaceTree tree(
+        seeds, {.policy = v6::tga::SplitPolicy::kLeftmost});
+    benchmark::DoNotOptimize(tree.regions().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(seeds.size()));
+}
+BENCHMARK(BM_SpaceTreeBuild)->Arg(1000)->Arg(10000);
+
+void BM_TgaGenerate(benchmark::State& state) {
+  const auto kind =
+      v6::tga::kAllTgas[static_cast<std::size_t>(state.range(0))];
+  const auto seeds = sample_seeds(5000);
+  auto generator = v6::tga::make_generator(kind);
+  generator->prepare(seeds, 11);
+  state.SetLabel(std::string(v6::tga::to_string(kind)));
+  for (auto _ : state) {
+    auto batch = generator->next_batch(1024);
+    benchmark::DoNotOptimize(batch.size());
+    if (batch.empty()) {
+      state.PauseTiming();
+      generator->prepare(seeds, 11);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_TgaGenerate)->DenseRange(0, v6::tga::kNumTgas - 1);
+
+void BM_ScannerScan(benchmark::State& state) {
+  const auto& universe = small_universe();
+  const auto targets = sample_seeds(4096);
+  v6::probe::SimTransport transport(universe, 3);
+  v6::probe::Scanner scanner(transport, nullptr, {.seed = 3});
+  for (auto _ : state) {
+    auto hits = scanner.scan_hits(targets, v6::net::ProbeType::kIcmp);
+    benchmark::DoNotOptimize(hits.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(targets.size()));
+}
+BENCHMARK(BM_ScannerScan);
+
+void BM_OnlineDealiaser(benchmark::State& state) {
+  const auto& universe = small_universe();
+  v6::probe::SimTransport transport(universe, 4);
+  const auto targets = sample_seeds(4096);
+  std::size_t i = 0;
+  v6::dealias::OnlineDealiaser dealiaser(transport, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dealiaser.is_aliased(
+        targets[i % targets.size()], v6::net::ProbeType::kIcmp));
+    ++i;
+  }
+}
+BENCHMARK(BM_OnlineDealiaser);
+
+}  // namespace
+
+BENCHMARK_MAIN();

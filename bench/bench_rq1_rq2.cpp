@@ -1,0 +1,183 @@
+// Regenerates the paper's RQ1/RQ2 artifacts from one set of runs:
+//   - Tables 9-12: raw Hits and ASes for every seed-dataset variant
+//     (All / Offline Dealiased / Online Dealiased / Active-Inactive /
+//     All Active / ICMP / TCP80 / TCP443 / UDP53) on each probe type.
+//   - Figure 3: performance ratio of joint-dealiased seeds vs the full
+//     dataset (hits, ASes, aliases).
+//   - Figure 4: performance ratio of responsive-only seeds vs the
+//     dealiased (active+inactive) dataset.
+//   - Figure 5: performance ratio of port-specific seeds vs All Active.
+#include <array>
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+
+using v6::metrics::fmt_count;
+using v6::metrics::fmt_ratio;
+using v6::metrics::performance_ratio;
+using v6::net::ProbeType;
+
+namespace {
+
+enum DatasetRow {
+  kAll = 0,
+  kOffline,
+  kOnline,
+  kActiveInactive,  // joint-dealiased (contains active + inactive seeds)
+  kAllActive,
+  kPortIcmp,
+  kPortTcp80,
+  kPortTcp443,
+  kPortUdp53,
+  kNumRows,
+};
+
+constexpr std::array<const char*, kNumRows> kRowNames = {
+    "All",     "Offline Dealiased", "Online Dealiased",
+    "Active-Inactive", "All Active", "ICMP", "TCP80", "TCP443", "UDP53"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  v6::experiment::PipelineConfig base_config;
+  base_config.budget = v6::bench::budget_from_argv(argc, argv);
+
+  v6::experiment::Workbench bench;
+
+  const std::array<const std::vector<v6::net::Ipv6Addr>*, kNumRows> datasets =
+      {&bench.full(),
+       &bench.dealiased(v6::dealias::DealiasMode::kOffline),
+       &bench.dealiased(v6::dealias::DealiasMode::kOnline),
+       &bench.dealiased(v6::dealias::DealiasMode::kJoint),
+       &bench.all_active(),
+       &bench.port_specific(ProbeType::kIcmp),
+       &bench.port_specific(ProbeType::kTcp80),
+       &bench.port_specific(ProbeType::kTcp443),
+       &bench.port_specific(ProbeType::kUdp53)};
+
+  // outcome[port][row][tga]
+  std::array<std::array<std::vector<v6::bench::TgaRun>, kNumRows>, 4> all;
+
+  for (const ProbeType port : v6::net::kAllProbeTypes) {
+    for (int row = 0; row < kNumRows; ++row) {
+      v6::experiment::PipelineConfig config = base_config;
+      config.type = port;
+      std::cerr << "running " << v6::net::to_string(port) << " / "
+                << kRowNames[static_cast<std::size_t>(row)] << " ("
+                << datasets[static_cast<std::size_t>(row)]->size()
+                << " seeds)\n";
+      all[static_cast<std::size_t>(static_cast<int>(port))]
+         [static_cast<std::size_t>(row)] = v6::bench::run_all_tgas(
+             bench.universe(), *datasets[static_cast<std::size_t>(row)],
+             bench.alias_list(), config);
+    }
+  }
+
+  // ---- Tables 9-12 -------------------------------------------------------
+  for (const ProbeType port : v6::net::kAllProbeTypes) {
+    const auto& per_port =
+        all[static_cast<std::size_t>(static_cast<int>(port))];
+    std::cout << "\n=== Table " << (9 + static_cast<int>(port)) << ": raw "
+              << v6::net::to_string(port) << " results (RQ1-RQ2, budget "
+              << fmt_count(base_config.budget) << ") ===\n";
+    for (const bool hits : {true, false}) {
+      std::cout << (hits ? "-- Hits --\n" : "-- ASes --\n");
+      v6::metrics::TextTable table(v6::bench::tga_header("Dataset"));
+      for (int row = 0; row < kNumRows; ++row) {
+        std::vector<std::string> cells{
+            kRowNames[static_cast<std::size_t>(row)]};
+        for (const auto& run : per_port[static_cast<std::size_t>(row)]) {
+          cells.push_back(fmt_count(hits ? run.outcome.hits()
+                                         : run.outcome.ases()));
+        }
+        table.add_row(std::move(cells));
+      }
+      table.print(std::cout);
+    }
+  }
+
+  // ---- Figure 3: dealiased (joint) vs full -------------------------------
+  std::cout << "\n=== Figure 3: performance ratio, Dealiased vs Full ===\n";
+  for (const ProbeType port : v6::net::kAllProbeTypes) {
+    const auto& per_port =
+        all[static_cast<std::size_t>(static_cast<int>(port))];
+    v6::metrics::TextTable table(v6::bench::tga_header(
+        std::string(v6::net::to_string(port)) + " metric"));
+    for (const auto metric : {0, 1, 2}) {  // hits, ases, aliases
+      std::vector<std::string> cells{metric == 0   ? "Hits"
+                                     : metric == 1 ? "ASes"
+                                                   : "Aliases"};
+      for (int t = 0; t < v6::tga::kNumTgas; ++t) {
+        const auto& changed =
+            per_port[kActiveInactive][static_cast<std::size_t>(t)].outcome;
+        const auto& original =
+            per_port[kAll][static_cast<std::size_t>(t)].outcome;
+        const double c = metric == 0   ? static_cast<double>(changed.hits())
+                         : metric == 1 ? static_cast<double>(changed.ases())
+                                       : static_cast<double>(changed.aliases);
+        const double o = metric == 0   ? static_cast<double>(original.hits())
+                         : metric == 1 ? static_cast<double>(original.ases())
+                                       : static_cast<double>(original.aliases);
+        cells.push_back(fmt_ratio(performance_ratio(c, o)));
+      }
+      table.add_row(std::move(cells));
+    }
+    table.print(std::cout);
+  }
+
+  // ---- Figure 4: all-active vs active+inactive ----------------------------
+  std::cout << "\n=== Figure 4: performance ratio, Only Active vs "
+               "Active+Inactive ===\n";
+  for (const ProbeType port : v6::net::kAllProbeTypes) {
+    const auto& per_port =
+        all[static_cast<std::size_t>(static_cast<int>(port))];
+    v6::metrics::TextTable table(v6::bench::tga_header(
+        std::string(v6::net::to_string(port)) + " metric"));
+    for (const bool hits : {true, false}) {
+      std::vector<std::string> cells{hits ? "Hits" : "ASes"};
+      for (int t = 0; t < v6::tga::kNumTgas; ++t) {
+        const auto& changed =
+            per_port[kAllActive][static_cast<std::size_t>(t)].outcome;
+        const auto& original =
+            per_port[kActiveInactive][static_cast<std::size_t>(t)].outcome;
+        cells.push_back(fmt_ratio(performance_ratio(
+            static_cast<double>(hits ? changed.hits() : changed.ases()),
+            static_cast<double>(hits ? original.hits() : original.ases()))));
+      }
+      table.add_row(std::move(cells));
+    }
+    table.print(std::cout);
+  }
+
+  // ---- Figure 5: port-specific vs all-active -------------------------------
+  std::cout << "\n=== Figure 5: performance ratio, Port-Specific vs "
+               "All Active ===\n";
+  for (const ProbeType port : v6::net::kAllProbeTypes) {
+    const auto& per_port =
+        all[static_cast<std::size_t>(static_cast<int>(port))];
+    const int port_row = kPortIcmp + static_cast<int>(port);
+    v6::metrics::TextTable table(v6::bench::tga_header(
+        std::string(v6::net::to_string(port)) + " metric"));
+    for (const bool hits : {true, false}) {
+      std::vector<std::string> cells{hits ? "Hits" : "ASes"};
+      for (int t = 0; t < v6::tga::kNumTgas; ++t) {
+        const auto& changed =
+            per_port[static_cast<std::size_t>(port_row)]
+                    [static_cast<std::size_t>(t)].outcome;
+        const auto& original =
+            per_port[kAllActive][static_cast<std::size_t>(t)].outcome;
+        cells.push_back(fmt_ratio(performance_ratio(
+            static_cast<double>(hits ? changed.hits() : changed.ases()),
+            static_cast<double>(hits ? original.hits() : original.ases()))));
+      }
+      table.add_row(std::move(cells));
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nExpected shapes (paper): Fig3 hits/ASes ratios positive, "
+               "aliases strongly negative; Fig4 mostly positive; Fig5 hits "
+               "positive on TCP/UDP with ASes often negative.\n";
+  return 0;
+}

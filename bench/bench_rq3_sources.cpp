@@ -1,0 +1,130 @@
+// Regenerates the paper's RQ3 artifacts from one sweep:
+//   - Tables 13-15: raw Hits and ASes per seed source per TGA per port.
+//   - Table 5: combined source-specific ICMP output vs a single 12x-budget
+//     run on All Active.
+//   - Table 6: top-3 ASes (with org classification) per source per port
+//     over the combined output of all eight TGAs.
+#include <iostream>
+#include <unordered_set>
+
+#include "bench_common.h"
+#include "metrics/as_top.h"
+
+using v6::metrics::fmt_count;
+using v6::net::Ipv6Addr;
+using v6::net::ProbeType;
+
+int main(int argc, char** argv) {
+  v6::experiment::PipelineConfig base_config;
+  base_config.budget = v6::bench::budget_from_argv(argc, argv);
+
+  v6::experiment::Workbench bench;
+  const auto& universe = bench.universe();
+
+  // combined[source][port] = union of all TGAs' hit sets (for Table 6).
+  std::array<std::array<std::unordered_set<Ipv6Addr>,
+                        v6::net::kNumProbeTypes>,
+             v6::seeds::kNumSeedSources>
+      combined;
+  // For Table 5: per-TGA union across sources (ICMP).
+  std::array<std::unordered_set<Ipv6Addr>, v6::tga::kNumTgas> icmp_union;
+  std::array<std::unordered_set<std::uint32_t>, v6::tga::kNumTgas>
+      icmp_as_union;
+
+  // ---- Tables 13-15: the 12-source sweep --------------------------------
+  for (const ProbeType port : v6::net::kAllProbeTypes) {
+    std::cout << "\n=== "
+              << (port == ProbeType::kIcmp ? "Table 13" : "Tables 14/15")
+              << " slice: source-specific " << v6::net::to_string(port)
+              << " (budget " << fmt_count(base_config.budget) << ") ===\n";
+    v6::metrics::TextTable hits_table(v6::bench::tga_header("Dataset"));
+    v6::metrics::TextTable as_table(v6::bench::tga_header("Dataset"));
+    for (const v6::seeds::SeedSource source : v6::seeds::kAllSeedSources) {
+      const auto& seeds = bench.source_active(source);
+      v6::experiment::PipelineConfig config = base_config;
+      config.type = port;
+      std::cerr << "running " << v6::net::to_string(port) << " / "
+                << v6::seeds::to_string(source) << " (" << seeds.size()
+                << " seeds)\n";
+      const auto runs = v6::bench::run_all_tgas(universe, seeds,
+                                                bench.alias_list(), config);
+      std::vector<std::string> h{std::string(v6::seeds::to_string(source))};
+      std::vector<std::string> a{std::string(v6::seeds::to_string(source))};
+      for (std::size_t t = 0; t < runs.size(); ++t) {
+        const auto& outcome = runs[t].outcome;
+        h.push_back(fmt_count(outcome.hits()));
+        a.push_back(fmt_count(outcome.ases()));
+        auto& pool = combined[static_cast<std::size_t>(source)]
+                             [static_cast<std::size_t>(
+                                 static_cast<int>(port))];
+        pool.insert(outcome.hit_set.begin(), outcome.hit_set.end());
+        if (port == ProbeType::kIcmp) {
+          icmp_union[t].insert(outcome.hit_set.begin(),
+                               outcome.hit_set.end());
+          icmp_as_union[t].insert(outcome.as_set.begin(),
+                                  outcome.as_set.end());
+        }
+      }
+      hits_table.add_row(std::move(h));
+      as_table.add_row(std::move(a));
+    }
+    std::cout << "-- Hits --\n";
+    hits_table.print(std::cout);
+    std::cout << "-- ASes --\n";
+    as_table.print(std::cout);
+  }
+
+  // ---- Table 5: combined vs one 12x-budget run (ICMP) --------------------
+  std::cout << "\n=== Table 5: combined 12-source output vs a single "
+            << fmt_count(base_config.budget * 12)
+            << "-budget All Active run (ICMP) ===\n";
+  v6::metrics::TextTable t5({"TGA", "Combined Hits", "Big Hits",
+                             "Combined ASes", "Big ASes"});
+  for (std::size_t t = 0; t < v6::tga::kNumTgas; ++t) {
+    const v6::tga::TgaKind kind = v6::tga::kAllTgas[t];
+    v6::experiment::PipelineConfig config = base_config;
+    config.type = ProbeType::kIcmp;
+    config.budget = base_config.budget * 12;
+    std::cerr << "running big-budget " << v6::tga::to_string(kind) << "\n";
+    auto generator = v6::tga::make_generator(kind);
+    const auto big = v6::experiment::run_tga(
+        universe, *generator, bench.all_active(), bench.alias_list(), config);
+    t5.add_row({std::string(v6::tga::to_string(kind)),
+                fmt_count(icmp_union[t].size()), fmt_count(big.hits()),
+                fmt_count(icmp_as_union[t].size()), fmt_count(big.ases())});
+  }
+  t5.print(std::cout);
+  std::cout << "Expected shape (paper): the big run wins on hits; combined "
+               "source-specific runs win on ASes for most TGAs.\n";
+
+  // ---- Table 6: AS characterization --------------------------------------
+  std::cout << "\n=== Table 6: top ASes of combined discoveries per source "
+               "per port ===\n";
+  const auto asn_of = [&](const Ipv6Addr& a) { return universe.asn_of(a); };
+  for (const ProbeType port : v6::net::kAllProbeTypes) {
+    std::cout << "-- " << v6::net::to_string(port) << " --\n";
+    v6::metrics::TextTable table(
+        {"Source", "1st", "2nd", "3rd", "Total ASes"});
+    for (const v6::seeds::SeedSource source : v6::seeds::kAllSeedSources) {
+      const auto& pool = combined[static_cast<std::size_t>(source)]
+                                 [static_cast<std::size_t>(
+                                     static_cast<int>(port))];
+      const auto chara =
+          v6::metrics::characterize(pool, asn_of, universe.asdb(), 3);
+      std::vector<std::string> row{
+          std::string(v6::seeds::to_string(source))};
+      for (std::size_t k = 0; k < 3; ++k) {
+        if (k < chara.top.size()) {
+          row.push_back(v6::metrics::fmt_percent(chara.top[k].share, 0) +
+                        " " + chara.top[k].name);
+        } else {
+          row.push_back("-");
+        }
+      }
+      row.push_back(fmt_count(chara.total_ases));
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Internet survey: run all eight TGAs on the recommended (All Active)
+// seed dataset, compare hits / active ASes / aliases per generator, and
+// show what running them *together* buys (the paper's RQ4 best practice).
+#include <iostream>
+#include <unordered_set>
+
+#include "experiment/pipeline.h"
+#include "experiment/workbench.h"
+#include "metrics/coverage.h"
+#include "metrics/reporter.h"
+#include "metrics/scan_outcome.h"
+#include "tga/registry.h"
+
+int main(int argc, char** argv) {
+  using v6::metrics::fmt_count;
+
+  // Optional budget override: ./internet_survey [budget]
+  v6::experiment::PipelineConfig config;
+  if (argc > 1) config.budget = std::strtoull(argv[1], nullptr, 10);
+
+  v6::experiment::Workbench bench;
+  const auto& seeds = bench.all_active();
+  std::cout << "All Active seeds: " << fmt_count(seeds.size())
+            << " (full dataset " << fmt_count(bench.seeds().size())
+            << "), budget " << fmt_count(config.budget) << " per TGA\n\n";
+
+  v6::metrics::TextTable table(
+      {"TGA", "Hits", "ASes", "Aliases", "Responsive", "Packets"});
+  std::vector<std::pair<std::string, v6::metrics::ScanOutcome>> results;
+  for (const v6::tga::TgaKind kind : v6::tga::kAllTgas) {
+    auto generator = v6::tga::make_generator(kind);
+    auto outcome = v6::experiment::run_tga(bench.universe(), *generator,
+                                           seeds, bench.alias_list(), config);
+    table.add_row({std::string(v6::tga::to_string(kind)),
+                   fmt_count(outcome.hits()), fmt_count(outcome.ases()),
+                   fmt_count(outcome.aliases), fmt_count(outcome.responsive),
+                   fmt_count(outcome.packets)});
+    results.emplace_back(std::string(v6::tga::to_string(kind)),
+                         std::move(outcome));
+  }
+  table.print(std::cout);
+
+  // Cumulative unique contribution when combining generators (RQ4).
+  std::vector<std::pair<std::string,
+                        const std::unordered_set<v6::net::Ipv6Addr>*>>
+      hit_sets;
+  for (const auto& [name, outcome] : results) {
+    hit_sets.emplace_back(name, &outcome.hit_set);
+  }
+  std::cout << "\nCumulative unique hits when combining generators:\n";
+  for (const auto& step : v6::metrics::cumulative_contribution(hit_sets)) {
+    std::cout << "  +" << step.name << ": " << fmt_count(step.cumulative)
+              << " (" << v6::metrics::fmt_percent(step.cumulative_fraction)
+              << " of union, +" << fmt_count(step.marginal) << ")\n";
+  }
+  return 0;
+}

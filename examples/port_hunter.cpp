@@ -1,0 +1,67 @@
+// Port hunter: tailor the seed dataset to the scan target (RQ2). For a
+// chosen port, compare generating from the All Active dataset against
+// the port-specific dataset, and show the hits/AS-diversity tradeoff the
+// paper identifies.
+#include <cstring>
+#include <iostream>
+
+#include "experiment/pipeline.h"
+#include "experiment/workbench.h"
+#include "metrics/reporter.h"
+#include "tga/registry.h"
+
+namespace {
+
+v6::net::ProbeType parse_port(const char* text) {
+  for (const v6::net::ProbeType t : v6::net::kAllProbeTypes) {
+    if (v6::net::to_string(t) == text) return t;
+  }
+  return v6::net::ProbeType::kTcp443;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using v6::metrics::fmt_count;
+  using v6::metrics::fmt_ratio;
+  using v6::metrics::performance_ratio;
+
+  const v6::net::ProbeType port =
+      argc > 1 ? parse_port(argv[1]) : v6::net::ProbeType::kTcp443;
+
+  v6::experiment::Workbench bench;
+  v6::experiment::PipelineConfig config;
+  config.budget = 200'000;
+  config.type = port;
+
+  const auto& all_active = bench.all_active();
+  const auto& port_seeds = bench.port_specific(port);
+  std::cout << "Scan target " << v6::net::to_string(port) << ": All Active "
+            << fmt_count(all_active.size()) << " seeds vs port-specific "
+            << fmt_count(port_seeds.size()) << " seeds\n\n";
+
+  v6::metrics::TextTable table({"TGA", "AllActive hits", "PortSpec hits",
+                                "hit ratio", "AllActive ASes",
+                                "PortSpec ASes", "AS ratio"});
+  for (const v6::tga::TgaKind kind : v6::tga::kAllTgas) {
+    auto generator = v6::tga::make_generator(kind);
+    const auto base = v6::experiment::run_tga(
+        bench.universe(), *generator, all_active, bench.alias_list(), config);
+    const auto tailored = v6::experiment::run_tga(
+        bench.universe(), *generator, port_seeds, bench.alias_list(), config);
+    table.add_row(
+        {std::string(v6::tga::to_string(kind)), fmt_count(base.hits()),
+         fmt_count(tailored.hits()),
+         fmt_ratio(performance_ratio(static_cast<double>(tailored.hits()),
+                                     static_cast<double>(base.hits()))),
+         fmt_count(base.ases()), fmt_count(tailored.ases()),
+         fmt_ratio(performance_ratio(static_cast<double>(tailored.ases()),
+                                     static_cast<double>(base.ases())))});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper RQ2: port-tailored seeds raise application-layer "
+               "hits (especially for online models) at some cost in AS "
+               "diversity; include ICMP-active seeds when breadth "
+               "matters.\n";
+  return 0;
+}

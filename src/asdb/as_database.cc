@@ -1,0 +1,50 @@
+#include "asdb/as_database.h"
+
+namespace v6::asdb {
+
+std::string_view to_string(OrgType t) {
+  switch (t) {
+    case OrgType::kIsp: return "ISP";
+    case OrgType::kMobile: return "Mobile";
+    case OrgType::kSatellite: return "Satellite";
+    case OrgType::kCloud: return "Cloud";
+    case OrgType::kHosting: return "Hosting";
+    case OrgType::kCdn: return "CDN";
+    case OrgType::kEducation: return "Education";
+    case OrgType::kEnterprise: return "Enterprise";
+    case OrgType::kGovernment: return "Government";
+    case OrgType::kSecurity: return "Security";
+    case OrgType::kOther: return "Other";
+  }
+  return "Other";
+}
+
+std::string_view to_string(Region r) {
+  switch (r) {
+    case Region::kNorthAmerica: return "NA";
+    case Region::kSouthAmerica: return "SA";
+    case Region::kEurope: return "EU";
+    case Region::kAsia: return "AS";
+    case Region::kChina: return "CN";
+    case Region::kAfrica: return "AF";
+    case Region::kOceania: return "OC";
+  }
+  return "NA";
+}
+
+void AsDatabase::add(AsInfo info) {
+  const auto it = index_.find(info.asn);
+  if (it != index_.end()) {
+    infos_[it->second] = std::move(info);
+    return;
+  }
+  index_.emplace(info.asn, infos_.size());
+  infos_.push_back(std::move(info));
+}
+
+const AsInfo* AsDatabase::find(std::uint32_t asn) const {
+  const auto it = index_.find(asn);
+  return it == index_.end() ? nullptr : &infos_[it->second];
+}
+
+}  // namespace v6::asdb

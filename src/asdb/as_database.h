@@ -1,0 +1,75 @@
+// Autonomous-system metadata: ASN, organization name, organization type,
+// and coarse geographic region. Mirrors the information the paper derives
+// from PeeringDB / manual classification (Table 6).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace v6::asdb {
+
+/// Organization type taxonomy used for AS characterization (paper Table 6
+/// groups orgs into ISPs/mobile carriers, cloud/hosting/CDNs, and others).
+enum class OrgType : std::uint8_t {
+  kIsp,
+  kMobile,
+  kSatellite,
+  kCloud,
+  kHosting,
+  kCdn,
+  kEducation,
+  kEnterprise,
+  kGovernment,
+  kSecurity,
+  kOther,
+};
+
+/// Human-readable org type label.
+std::string_view to_string(OrgType t);
+
+/// Coarse geographic region, used to reproduce the paper's observation that
+/// discovered ISPs are scattered globally (Table 6 discussion).
+enum class Region : std::uint8_t {
+  kNorthAmerica,
+  kSouthAmerica,
+  kEurope,
+  kAsia,
+  kChina,
+  kAfrica,
+  kOceania,
+};
+
+std::string_view to_string(Region r);
+
+/// Metadata for one autonomous system.
+struct AsInfo {
+  std::uint32_t asn = 0;
+  std::string name;
+  OrgType org_type = OrgType::kOther;
+  Region region = Region::kNorthAmerica;
+};
+
+/// In-memory AS metadata database.
+class AsDatabase {
+ public:
+  /// Registers an AS. Overwrites an existing entry with the same ASN.
+  void add(AsInfo info);
+
+  /// Looks up an AS by number; nullptr if unknown.
+  const AsInfo* find(std::uint32_t asn) const;
+
+  /// All registered ASes in insertion order.
+  const std::vector<AsInfo>& all() const { return infos_; }
+
+  std::size_t size() const { return infos_.size(); }
+
+ private:
+  std::vector<AsInfo> infos_;
+  std::unordered_map<std::uint32_t, std::size_t> index_;
+};
+
+}  // namespace v6::asdb

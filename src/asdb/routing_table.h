@@ -1,0 +1,45 @@
+// Prefix -> ASN longest-prefix-match routing table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/prefix.h"
+#include "net/prefix_trie.h"
+
+namespace v6::asdb {
+
+/// Maps announced IPv6 prefixes to origin ASNs via longest-prefix match,
+/// analogous to resolving scan results against a BGP RIB dump.
+class RoutingTable {
+ public:
+  /// Announces `prefix` as originated by `asn`. More-specific announcements
+  /// win on lookup, as in BGP.
+  void announce(const v6::net::Prefix& prefix, std::uint32_t asn) {
+    trie_.insert(prefix, asn);
+    announcements_.emplace_back(prefix, asn);
+  }
+
+  /// Origin ASN for `addr`, or nullopt if unrouted.
+  std::optional<std::uint32_t> asn_of(const v6::net::Ipv6Addr& addr) const {
+    const std::uint32_t* asn = trie_.longest_match(addr);
+    if (asn == nullptr) return std::nullopt;
+    return *asn;
+  }
+
+  /// Number of announced prefixes.
+  std::size_t size() const { return trie_.size(); }
+
+  /// All announcements in insertion order.
+  const std::vector<std::pair<v6::net::Prefix, std::uint32_t>>& announcements()
+      const {
+    return announcements_;
+  }
+
+ private:
+  v6::net::PrefixTrie<std::uint32_t> trie_;
+  std::vector<std::pair<v6::net::Prefix, std::uint32_t>> announcements_;
+};
+
+}  // namespace v6::asdb

@@ -1,0 +1,44 @@
+#include "dealias/alias_list.h"
+
+#include "simnet/universe.h"
+
+namespace v6::dealias {
+
+std::size_t AliasList::load(std::string_view text) {
+  std::size_t added = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (!line.empty()) {
+      if (const auto prefix = v6::net::Prefix::parse(line)) {
+        add(*prefix);
+        ++added;
+      }
+    }
+    if (end == text.size()) break;
+  }
+  return added;
+}
+
+AliasList AliasList::published_from(const v6::simnet::Universe& universe) {
+  AliasList list;
+  for (const v6::simnet::AliasRegion& region : universe.alias_regions()) {
+    if (region.published) list.add(region.prefix);
+  }
+  return list;
+}
+
+}  // namespace v6::dealias

@@ -1,0 +1,51 @@
+// Offline alias list: a published set of known-aliased prefixes, as
+// distributed alongside the IPv6 Hitlist. Incomplete by nature — the
+// paper's RQ1.a shows relying on it alone misses never-before-seen
+// aliases.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "net/prefix.h"
+#include "net/prefix_trie.h"
+
+namespace v6::simnet {
+class Universe;
+}
+
+namespace v6::dealias {
+
+class AliasList {
+ public:
+  void add(const v6::net::Prefix& prefix) {
+    trie_.insert(prefix, true);
+    prefixes_.push_back(prefix);
+  }
+
+  /// Parses newline-separated CIDR entries ('#' comments allowed).
+  /// Returns the number of prefixes added.
+  std::size_t load(std::string_view text);
+
+  /// True if `addr` falls inside a listed aliased prefix.
+  bool contains(const v6::net::Ipv6Addr& addr) const {
+    return trie_.covers(addr);
+  }
+
+  std::size_t size() const { return prefixes_.size(); }
+  std::span<const v6::net::Prefix> prefixes() const { return prefixes_; }
+
+  /// The published portion of a simulated universe's alias regions — the
+  /// analogue of downloading the IPv6 Hitlist alias list. Unpublished
+  /// regions are deliberately absent.
+  static AliasList published_from(const v6::simnet::Universe& universe);
+
+ private:
+  v6::net::PrefixTrie<bool> trie_;
+  std::vector<v6::net::Prefix> prefixes_;
+};
+
+}  // namespace v6::dealias

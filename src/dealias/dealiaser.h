@@ -1,0 +1,82 @@
+// Dealiasing facade combining the offline alias list and the online
+// 6Gen-style prober, per the paper's four studied modes (Table 4):
+// none, offline only, online only, and joint (offline + online).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "dealias/alias_list.h"
+#include "dealias/online_dealiaser.h"
+#include "net/ipv6.h"
+#include "net/service.h"
+
+namespace v6::dealias {
+
+enum class DealiasMode : std::uint8_t {
+  kNone,
+  kOffline,
+  kOnline,
+  kJoint,
+};
+
+constexpr std::string_view to_string(DealiasMode m) {
+  switch (m) {
+    case DealiasMode::kNone: return "none";
+    case DealiasMode::kOffline: return "offline";
+    case DealiasMode::kOnline: return "online";
+    case DealiasMode::kJoint: return "joint";
+  }
+  return "?";
+}
+
+inline constexpr std::array<DealiasMode, 4> kAllDealiasModes = {
+    DealiasMode::kNone, DealiasMode::kOffline, DealiasMode::kOnline,
+    DealiasMode::kJoint};
+
+/// Applies a DealiasMode. Both underlying components are borrowed; pass
+/// nullptr for components a mode does not use.
+class Dealiaser {
+ public:
+  Dealiaser(DealiasMode mode, const AliasList* offline,
+            OnlineDealiaser* online)
+      : mode_(mode), offline_(offline), online_(online) {}
+
+  DealiasMode mode() const { return mode_; }
+
+  /// True if `addr` is classified aliased under this mode. Online modes
+  /// may emit probes for never-before-seen /96s. The offline check runs
+  /// first: a listed prefix never costs packets.
+  bool is_aliased(const v6::net::Ipv6Addr& addr, v6::net::ProbeType type) {
+    if ((mode_ == DealiasMode::kOffline || mode_ == DealiasMode::kJoint) &&
+        offline_ != nullptr && offline_->contains(addr)) {
+      return true;
+    }
+    if ((mode_ == DealiasMode::kOnline || mode_ == DealiasMode::kJoint) &&
+        online_ != nullptr) {
+      return online_->is_aliased(addr, type);
+    }
+    return false;
+  }
+
+  /// Removes aliased addresses from `addrs`, returning survivors in
+  /// order. `type` is the probe type used for online verification.
+  std::vector<v6::net::Ipv6Addr> filter(
+      std::span<const v6::net::Ipv6Addr> addrs, v6::net::ProbeType type) {
+    std::vector<v6::net::Ipv6Addr> out;
+    out.reserve(addrs.size());
+    for (const v6::net::Ipv6Addr& a : addrs) {
+      if (!is_aliased(a, type)) out.push_back(a);
+    }
+    return out;
+  }
+
+ private:
+  DealiasMode mode_;
+  const AliasList* offline_;
+  OnlineDealiaser* online_;
+};
+
+}  // namespace v6::dealias

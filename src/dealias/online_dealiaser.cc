@@ -1,0 +1,51 @@
+#include "dealias/online_dealiaser.h"
+
+namespace v6::dealias {
+
+using v6::net::Ipv6Addr;
+using v6::net::ProbeReply;
+using v6::net::ProbeType;
+
+OnlineDealiaser::OnlineDealiaser(v6::probe::ProbeTransport& transport,
+                                 std::uint64_t seed,
+                                 OnlineDealiaserOptions options)
+    : transport_(&transport),
+      options_(options),
+      rng_(v6::net::make_rng(seed, /*tag=*/0xDEA1)) {}
+
+std::optional<bool> OnlineDealiaser::cached_verdict(
+    const Ipv6Addr& addr) const {
+  const auto it = verdicts_.find(addr.masked(options_.prefix_len));
+  if (it == verdicts_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool OnlineDealiaser::is_aliased(const Ipv6Addr& addr, ProbeType type) {
+  const Ipv6Addr base = addr.masked(options_.prefix_len);
+  if (const auto it = verdicts_.find(base); it != verdicts_.end()) {
+    return it->second;
+  }
+
+  ++tested_;
+  const v6::net::Prefix prefix(base, options_.prefix_len);
+  int active = 0;
+  for (int i = 0; i < options_.probes; ++i) {
+    const Ipv6Addr target = v6::net::random_in_prefix(rng_, prefix);
+    ProbeReply reply = ProbeReply::kTimeout;
+    for (int attempt = 0; attempt <= options_.retries; ++attempt) {
+      ++probes_sent_;
+      reply = transport_->send(target, type);
+      if (reply != ProbeReply::kTimeout) break;
+    }
+    if (v6::net::is_hit(type, reply)) ++active;
+    // Early exit once the verdict cannot change.
+    if (active >= options_.threshold) break;
+  }
+
+  const bool aliased = active >= options_.threshold;
+  if (aliased) ++found_;
+  verdicts_.emplace(base, aliased);
+  return aliased;
+}
+
+}  // namespace v6::dealias

@@ -1,0 +1,59 @@
+// Online (6Gen-style) dealiasing, as deployed by 6Sense and by the paper's
+// measurement pipeline (§4.2):
+//
+//   For every active address, when a new /96 prefix is encountered, probe
+//   3 uniformly random addresses inside the /96 (3 packet retries each).
+//   If 2 or more respond, the /96 is aliased and every address inside it
+//   is classified aliased.
+//
+// Verdicts are cached per /96, so each prefix costs at most
+// `probes * (1 + retries)` packets regardless of how many addresses map
+// into it. Rate-limited aliased regions drop probes and can evade this
+// check — the failure mode the paper highlights.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/ipv6.h"
+#include "net/rng.h"
+#include "net/service.h"
+#include "probe/transport.h"
+
+namespace v6::dealias {
+
+struct OnlineDealiaserOptions {
+  int probes = 3;      // random addresses per new /96
+  int retries = 3;     // retransmissions per probe on timeout
+  int threshold = 2;   // >= this many active => aliased
+  int prefix_len = 96; // granularity of the aliasing test
+};
+
+class OnlineDealiaser {
+ public:
+  OnlineDealiaser(v6::probe::ProbeTransport& transport, std::uint64_t seed,
+                  OnlineDealiaserOptions options = {});
+
+  /// True if the /96 containing `addr` tests as aliased on `type`.
+  /// The first query for a /96 sends probes; later queries hit the cache.
+  bool is_aliased(const v6::net::Ipv6Addr& addr, v6::net::ProbeType type);
+
+  /// Cached verdict without probing; nullopt if this /96 was never tested.
+  std::optional<bool> cached_verdict(const v6::net::Ipv6Addr& addr) const;
+
+  std::uint64_t prefixes_tested() const { return tested_; }
+  std::uint64_t aliases_found() const { return found_; }
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  v6::probe::ProbeTransport* transport_;
+  OnlineDealiaserOptions options_;
+  v6::net::Rng rng_;
+  // Verdict cache keyed by the masked /96 base address.
+  std::unordered_map<v6::net::Ipv6Addr, bool> verdicts_;
+  std::uint64_t tested_ = 0;
+  std::uint64_t found_ = 0;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace v6::dealias

@@ -1,0 +1,51 @@
+#include "dealias/sprt_dealiaser.h"
+
+#include <cmath>
+
+namespace v6::dealias {
+
+using v6::net::Ipv6Addr;
+using v6::net::ProbeType;
+
+SprtDealiaser::SprtDealiaser(v6::probe::ProbeTransport& transport,
+                             std::uint64_t seed,
+                             SprtDealiaserOptions options)
+    : transport_(&transport),
+      options_(options),
+      rng_(v6::net::make_rng(seed, /*tag=*/0x5947)) {
+  log_accept_ = std::log(options_.beta / (1.0 - options_.alpha));
+  log_reject_ = std::log((1.0 - options_.beta) / options_.alpha);
+  llr_hit_ = std::log(options_.p1 / options_.p0);
+  llr_miss_ = std::log((1.0 - options_.p1) / (1.0 - options_.p0));
+}
+
+bool SprtDealiaser::is_aliased(const Ipv6Addr& addr, ProbeType type) {
+  const Ipv6Addr base = addr.masked(options_.prefix_len);
+  if (const auto it = verdicts_.find(base); it != verdicts_.end()) {
+    return it->second;
+  }
+
+  ++tested_;
+  const v6::net::Prefix prefix(base, options_.prefix_len);
+  double llr = 0.0;
+  bool aliased = false;
+  for (int i = 0; i < options_.max_probes; ++i) {
+    const Ipv6Addr target = v6::net::random_in_prefix(rng_, prefix);
+    ++probes_sent_;
+    const bool responded =
+        v6::net::is_hit(type, transport_->send(target, type));
+    llr += responded ? llr_hit_ : llr_miss_;
+    if (llr >= log_reject_) {
+      aliased = true;  // strong evidence for H1
+      break;
+    }
+    if (llr <= log_accept_) {
+      break;  // strong evidence for H0
+    }
+  }
+  if (aliased) ++found_;
+  verdicts_.emplace(base, aliased);
+  return aliased;
+}
+
+}  // namespace v6::dealias

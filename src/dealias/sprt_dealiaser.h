@@ -1,0 +1,72 @@
+// Adaptive online dealiasing via Wald's sequential probability ratio
+// test (SPRT) — an answer to the paper's closing call: "future work is
+// needed to determine the optimal approach to removing aliases".
+//
+// The 6Gen method sends a fixed 3 probes per /96 and thresholds at 2.
+// That wastes packets on obvious cases and, worse, mistakes rate-limited
+// aliased regions (which drop most probes) for ordinary space. The SPRT
+// variant instead keeps probing until the evidence discriminates between
+// two hypotheses:
+//
+//   H1 (aliased):      each probe answers with probability p1
+//   H0 (not aliased):  each probe answers with probability p0
+//
+// p0 is near zero (a random address in ordinary space almost never
+// answers); p1 is set *below* 1.0 so that heavily rate-limited aliases —
+// which answer only a fraction of probes — still accumulate evidence for
+// H1 instead of being declared clean after a burst of silence.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/ipv6.h"
+#include "net/rng.h"
+#include "net/service.h"
+#include "probe/transport.h"
+
+namespace v6::dealias {
+
+struct SprtDealiaserOptions {
+  /// Per-probe response probability under "aliased" (kept low so
+  /// rate-limited regions still match H1).
+  double p1 = 0.18;
+  /// Per-probe response probability under "not aliased" (background
+  /// noise / accidental hits on real hosts).
+  double p0 = 0.01;
+  /// Error targets: alpha = P(flag clean space), beta = P(miss an alias).
+  double alpha = 0.01;
+  double beta = 0.05;
+  /// Hard cap on probes per prefix (forced decision: not aliased).
+  int max_probes = 32;
+  int prefix_len = 96;
+};
+
+class SprtDealiaser {
+ public:
+  SprtDealiaser(v6::probe::ProbeTransport& transport, std::uint64_t seed,
+                SprtDealiaserOptions options = SprtDealiaserOptions());
+
+  /// True if the /96 containing `addr` tests as aliased on `type`.
+  /// Probes adaptively on first query; verdicts are cached.
+  bool is_aliased(const v6::net::Ipv6Addr& addr, v6::net::ProbeType type);
+
+  std::uint64_t prefixes_tested() const { return tested_; }
+  std::uint64_t aliases_found() const { return found_; }
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  v6::probe::ProbeTransport* transport_;
+  SprtDealiaserOptions options_;
+  v6::net::Rng rng_;
+  double log_accept_;  // log B = log(beta / (1 - alpha))
+  double log_reject_;  // log A = log((1 - beta) / alpha)
+  double llr_hit_;     // per-response log-likelihood-ratio increment
+  double llr_miss_;    // per-timeout log-likelihood-ratio increment
+  std::unordered_map<v6::net::Ipv6Addr, bool> verdicts_;
+  std::uint64_t tested_ = 0;
+  std::uint64_t found_ = 0;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace v6::dealias

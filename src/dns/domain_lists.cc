@@ -1,0 +1,114 @@
+#include "dns/domain_lists.h"
+
+#include "net/rng.h"
+
+namespace v6::dns {
+
+using v6::net::Rng;
+
+DomainListProfile default_domain_profile(DomainListKind kind) {
+  DomainListProfile p;
+  switch (kind) {
+    case DomainListKind::kCensysCt:
+      p.as_coverage = 0.45;
+      p.name_prob = 0.40;
+      p.dead_name_fraction = 0.30;  // expired certificates
+      p.dns_host_mult = 0.12;
+      break;
+    case DomainListKind::kRapid7Fdns:
+      p.as_coverage = 0.44;
+      p.name_prob = 0.36;
+      p.dead_name_fraction = 0.45;  // 2021 archival snapshot
+      p.dns_host_mult = 0.15;
+      break;
+    case DomainListKind::kUmbrella:
+      p.as_coverage = 1.0;  // rank-based, not AS-based
+      p.top_n = 3000;
+      p.dead_name_fraction = 0.02;
+      break;
+    case DomainListKind::kMajestic:
+      p.as_coverage = 1.0;
+      p.top_n = 1000;
+      p.dead_name_fraction = 0.02;
+      break;
+    case DomainListKind::kTranco:
+      p.as_coverage = 1.0;
+      p.top_n = 1600;
+      p.dead_name_fraction = 0.02;
+      break;
+    case DomainListKind::kSecrank:
+      p.as_coverage = 1.0;
+      p.top_n = 2500;
+      p.china_only = true;
+      p.dead_name_fraction = 0.03;
+      break;
+    case DomainListKind::kRadar:
+      p.as_coverage = 1.0;
+      p.top_n = 1500;
+      p.dead_name_fraction = 0.02;
+      break;
+    case DomainListKind::kCaidaDns:
+      p.as_coverage = 0.12;
+      p.name_prob = 0.03;
+      p.dead_name_fraction = 0.05;
+      break;
+  }
+  return p;
+}
+
+std::vector<std::string> make_domain_list(const ZoneDb& zone,
+                                          const v6::simnet::Universe& universe,
+                                          DomainListKind kind,
+                                          std::uint64_t seed) {
+  const DomainListProfile profile = default_domain_profile(kind);
+  Rng rng = v6::net::make_rng(
+      seed, /*tag=*/0xD011A0ULL + static_cast<std::uint64_t>(kind));
+  std::vector<std::string> names;
+
+  auto as_visible = [&](std::uint32_t asn) {
+    if (profile.china_only) {
+      const v6::asdb::AsInfo* info = universe.asdb().find(asn);
+      if (info == nullptr || info->region != v6::asdb::Region::kChina) {
+        return false;
+      }
+    }
+    if (profile.as_coverage >= 1.0) return true;
+    const std::uint64_t h = v6::net::splitmix64(
+        seed ^ v6::net::splitmix64(
+                   (static_cast<std::uint64_t>(kind) << 44) ^ asn));
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < profile.as_coverage;
+  };
+
+  if (profile.top_n > 0) {
+    // Toplist: ranked names in order, with the per-list bias filter.
+    std::uint32_t taken = 0;
+    for (const std::uint32_t id : zone.ranked()) {
+      const DomainRecord& record = zone.records()[id];
+      if (!as_visible(record.asn)) continue;
+      names.push_back(record.name);
+      if (++taken >= profile.top_n) break;
+    }
+  } else {
+    // Breadth feed: sample names across visible ASes.
+    for (const DomainRecord& record : zone.records()) {
+      if (!as_visible(record.asn)) continue;
+      const double p = record.dns_host
+                           ? profile.name_prob * profile.dns_host_mult
+                           : profile.name_prob;
+      if (v6::net::chance(rng, p)) {
+        names.push_back(record.name);
+      }
+    }
+  }
+
+  // Dead names: plausible but non-existent (NXDOMAIN on resolution).
+  const std::size_t dead = static_cast<std::size_t>(
+      static_cast<double>(names.size()) * profile.dead_name_fraction);
+  for (std::size_t i = 0; i < dead; ++i) {
+    names.push_back("expired" + std::to_string(rng() % 100'000'000) +
+                    ".example");
+  }
+  return names;
+}
+
+}  // namespace v6::dns

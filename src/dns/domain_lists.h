@@ -1,0 +1,56 @@
+// Per-source domain list synthesis: what names each domain-derived seed
+// feed would contain before resolution (paper §5.1, Appendix C).
+//
+// CT logs and FDNS archives contain enormous breadth plus plenty of dead
+// names (expired certificates, lapsed registrations); toplists contain
+// the top-ranked properties with per-list bias (SecRank is China-heavy);
+// CAIDA DNS Names is a small PTR-derived list.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/zone_db.h"
+#include "simnet/universe.h"
+
+namespace v6::dns {
+
+enum class DomainListKind : std::uint8_t {
+  kCensysCt,
+  kRapid7Fdns,
+  kUmbrella,
+  kMajestic,
+  kTranco,
+  kSecrank,
+  kRadar,
+  kCaidaDns,
+};
+
+struct DomainListProfile {
+  /// Probability an AS's names are visible to the feed at all.
+  double as_coverage = 0.5;
+  /// Per-name inclusion probability within visible ASes (breadth feeds).
+  double name_prob = 0.0;
+  /// Take the top `top_n` ranked names (toplist feeds); 0 = not a toplist.
+  std::uint32_t top_n = 0;
+  /// Restrict to China-region ASes (SecRank).
+  bool china_only = false;
+  /// Fraction of extra dead names appended (expired certs / lapsed
+  /// registrations; resolve to NXDOMAIN).
+  double dead_name_fraction = 0.0;
+  /// Multiplier on name_prob for DNS-server-backed names (CT logs and
+  /// toplists rarely list resolver hostnames).
+  double dns_host_mult = 1.0;
+};
+
+/// The default profile of each feed.
+DomainListProfile default_domain_profile(DomainListKind kind);
+
+/// Synthesizes the feed's domain list deterministically.
+std::vector<std::string> make_domain_list(const ZoneDb& zone,
+                                          const v6::simnet::Universe& universe,
+                                          DomainListKind kind,
+                                          std::uint64_t seed);
+
+}  // namespace v6::dns

@@ -1,0 +1,62 @@
+#include "dns/resolver.h"
+
+namespace v6::dns {
+
+Resolver::Resolver(const ZoneDb& zone, ResolverConfig config)
+    : zone_(&zone), config_(config),
+      rng_(v6::net::make_rng(config.seed, /*tag=*/0x4E5)) {}
+
+Resolution Resolver::resolve(std::string_view name) {
+  ++stats_.queries;
+  const std::string key(name);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+
+  Resolution result;
+  // Transient failures with retries.
+  bool answered = false;
+  for (int attempt = 0; attempt <= config_.retries; ++attempt) {
+    ++stats_.packets;
+    if (v6::net::chance(rng_, config_.timeout_prob)) continue;
+    if (v6::net::chance(rng_, config_.servfail_prob)) continue;
+    answered = true;
+    break;
+  }
+  if (!answered) {
+    ++stats_.failed;
+    result.rcode = RCode::kTimeout;
+    // Transient failures are NOT cached (a retry later may succeed).
+    return result;
+  }
+
+  const DomainRecord* record = zone_->find(name);
+  if (record == nullptr) {
+    ++stats_.nxdomain;
+    result.rcode = RCode::kNxDomain;
+  } else if (v6::net::chance(rng_, config_.no_aaaa_prob)) {
+    ++stats_.no_aaaa;
+    result.rcode = RCode::kNoAaaa;
+  } else {
+    ++stats_.noerror;
+    result.rcode = RCode::kNoError;
+    result.aaaa = record->aaaa;
+    stats_.addresses += result.aaaa.size();
+  }
+  cache_.emplace(key, result);
+  return result;
+}
+
+std::vector<v6::net::Ipv6Addr> Resolver::resolve_all(
+    std::span<const std::string> names) {
+  std::vector<v6::net::Ipv6Addr> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    const Resolution r = resolve(name);
+    out.insert(out.end(), r.aaaa.begin(), r.aaaa.end());
+  }
+  return out;
+}
+
+}  // namespace v6::dns

@@ -1,0 +1,135 @@
+#include "dns/zone_db.h"
+
+#include <algorithm>
+
+#include "net/rng.h"
+
+namespace v6::dns {
+
+using v6::net::Ipv6Addr;
+using v6::net::Rng;
+using v6::simnet::HostKind;
+using v6::simnet::HostRecord;
+
+namespace {
+
+constexpr std::array<std::string_view, 12> kSecondLevel = {
+    "shop", "cloud", "media", "portal", "app",  "mail",
+    "data", "home",  "labs",  "store",  "news", "play"};
+
+constexpr std::array<std::string_view, 8> kTld = {
+    "com", "net", "org", "io", "de", "jp", "br", "cn"};
+
+constexpr std::array<std::string_view, 5> kSubLabels = {"www", "cdn", "api",
+                                                        "mail", "static"};
+
+/// Deterministic, human-plausible name for host `index`.
+std::string make_name(Rng& rng, std::uint64_t index) {
+  std::string name{kSecondLevel[rng() % kSecondLevel.size()]};
+  name += std::to_string(index % 100000);
+  name += '.';
+  name += kTld[rng() % kTld.size()];
+  return name;
+}
+
+}  // namespace
+
+ZoneDb ZoneDb::build(const v6::simnet::Universe& universe,
+                     const ZoneDbConfig& config) {
+  ZoneDb zone;
+  Rng rng = v6::net::make_rng(config.seed, /*tag=*/0xD0DB);
+
+  std::vector<std::uint32_t> popular;  // indices of rankable records
+
+  auto add_record = [&](DomainRecord record) -> std::uint32_t {
+    const std::uint32_t id = static_cast<std::uint32_t>(zone.records_.size());
+    zone.index_.emplace(record.name, id);
+    zone.records_.push_back(std::move(record));
+    return id;
+  };
+
+  const auto hosts = universe.hosts();
+  for (std::uint64_t i = 0; i < hosts.size(); ++i) {
+    const HostRecord& host = hosts[i];
+    const bool nameable = host.kind == HostKind::kWebServer ||
+                          host.kind == HostKind::kDnsServer;
+    if (!nameable) continue;
+    const double p = host.kind == HostKind::kWebServer
+                         ? config.web_named_prob
+                         : config.dns_named_prob;
+    if (!v6::net::chance(rng, p)) continue;
+
+    DomainRecord record;
+    record.name = make_name(rng, i);
+    if (zone.index_.contains(record.name)) continue;  // rare collision
+    record.asn = host.asn;
+    record.dns_host = host.kind == HostKind::kDnsServer;
+
+    if (host.popular && v6::net::chance(rng, config.popular_cdn_prob)) {
+      // Popular property fronted by a CDN: the name resolves into
+      // aliased space rather than the origin host.
+      const auto regions = universe.alias_regions();
+      if (!regions.empty()) {
+        const auto& region =
+            regions[v6::net::uniform_int<std::size_t>(rng, 0,
+                                                      regions.size() - 1)];
+        record.aaaa.push_back(
+            v6::net::random_in_prefix(rng, region.prefix));
+        record.asn = region.asn;
+      }
+    }
+    if (record.aaaa.empty()) {
+      if (v6::net::chance(rng, config.dangling_prob)) {
+        // Dangling record: unused space next to the host's subnet.
+        record.aaaa.push_back(Ipv6Addr(
+            host.addr.hi(),
+            host.addr.lo() ^ (0x1ULL << 60) ^
+                v6::net::uniform_int<std::uint64_t>(rng, 1, 0xFFFF)));
+      } else {
+        record.aaaa.push_back(host.addr);
+      }
+    }
+    // Multi-record names: an extra edge/alternate address in the same
+    // network (only for origin-served names; a CDN-fronted record's
+    // addresses all live in the CDN's space).
+    if (record.aaaa.front() == host.addr &&
+        v6::net::chance(rng, 0.12) && i + 1 < hosts.size() &&
+        hosts[i + 1].asn == host.asn) {
+      record.aaaa.push_back(hosts[i + 1].addr);
+    }
+
+    const bool rankable = host.popular;
+    const std::uint32_t id = add_record(std::move(record));
+    if (rankable) popular.push_back(id);
+
+    // Label variants under the same zone.
+    if (v6::net::chance(rng, config.extra_label_prob)) {
+      DomainRecord variant;
+      variant.name = std::string(kSubLabels[rng() % kSubLabels.size()]) +
+                     "." + zone.records_[id].name;
+      variant.aaaa = zone.records_[id].aaaa;
+      variant.asn = zone.records_[id].asn;
+      variant.dns_host = zone.records_[id].dns_host;
+      if (!zone.index_.contains(variant.name)) {
+        const std::uint32_t vid = add_record(std::move(variant));
+        if (rankable && v6::net::chance(rng, 0.3)) popular.push_back(vid);
+      }
+    }
+  }
+
+  // Assign toplist ranks to popular names in a deterministic shuffle.
+  std::shuffle(popular.begin(), popular.end(), rng);
+  for (std::uint32_t r = 0; r < popular.size(); ++r) {
+    zone.records_[popular[r]].rank = r + 1;
+  }
+  zone.ranked_ = std::move(popular);
+
+  return zone;
+}
+
+const DomainRecord* ZoneDb::find(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  return it == index_.end() ? nullptr : &records_[it->second];
+}
+
+}  // namespace v6::dns

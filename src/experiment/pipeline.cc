@@ -1,0 +1,80 @@
+#include "experiment/pipeline.h"
+
+#include <vector>
+
+#include "dealias/online_dealiaser.h"
+#include "probe/scanner.h"
+#include "probe/transport.h"
+
+namespace v6::experiment {
+
+using v6::net::Ipv6Addr;
+using v6::net::ProbeReply;
+using v6::net::ProbeType;
+
+v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
+                                 v6::tga::TargetGenerator& generator,
+                                 std::span<const Ipv6Addr> seeds,
+                                 const v6::dealias::AliasList& offline_aliases,
+                                 const PipelineConfig& config) {
+  v6::metrics::ScanOutcome outcome;
+
+  v6::probe::SimTransport transport(universe, config.seed);
+  v6::probe::Scanner scanner(transport, config.blocklist,
+                             {.max_retries = config.scan_retries,
+                              .randomize_order = true,
+                              .max_pps = config.max_pps,
+                              .seed = config.seed});
+  v6::dealias::OnlineDealiaser online(transport, config.seed);
+  v6::dealias::Dealiaser dealiaser(config.output_dealias, &offline_aliases,
+                                   &online);
+
+  generator.prepare(seeds, config.seed);
+  if (config.attach_online_dealiaser) {
+    generator.attach_online_dealiaser(&online, config.type);
+  }
+
+  std::vector<Ipv6Addr> actives;
+  while (outcome.generated < config.budget) {
+    const std::uint64_t want =
+        std::min(config.batch_size, config.budget - outcome.generated);
+    const std::vector<Ipv6Addr> batch =
+        generator.next_batch(static_cast<std::size_t>(want));
+    if (batch.empty()) break;  // generator model exhausted
+    outcome.generated += batch.size();
+    outcome.unique_generated += batch.size();  // generators never repeat
+
+    actives.clear();
+    scanner.scan(batch, config.type,
+                 [&](const Ipv6Addr& addr, ProbeReply reply) {
+                   const bool active = v6::net::is_hit(config.type, reply);
+                   generator.observe(addr, active);
+                   if (active) actives.push_back(addr);
+                 });
+    outcome.responsive += actives.size();
+
+    // Output dealiasing (paper §4.2: applied to all active addresses)
+    // and AS12322 filtering (ICMP only, §4.1).
+    for (const Ipv6Addr& addr : actives) {
+      if (dealiaser.is_aliased(addr, config.type)) {
+        ++outcome.aliases;
+        continue;
+      }
+      if (config.filter_dense && config.type == ProbeType::kIcmp &&
+          universe.in_dense_region(addr)) {
+        ++outcome.dense_filtered;
+        continue;
+      }
+      outcome.hit_set.insert(addr);
+      if (const auto asn = universe.asn_of(addr)) {
+        outcome.as_set.insert(*asn);
+      }
+    }
+  }
+
+  outcome.packets = transport.packets_sent();
+  outcome.virtual_seconds = scanner.virtual_seconds();
+  return outcome;
+}
+
+}  // namespace v6::experiment

@@ -1,0 +1,76 @@
+#include "experiment/workbench.h"
+
+#include <unordered_set>
+
+#include "dealias/online_dealiaser.h"
+#include "probe/scanner.h"
+#include "probe/transport.h"
+#include "simnet/universe_builder.h"
+
+namespace v6::experiment {
+
+using v6::net::Ipv6Addr;
+using v6::net::ProbeType;
+
+Workbench::Workbench(WorkbenchConfig config)
+    : config_(config),
+      universe_(v6::simnet::UniverseBuilder::build(config.universe)) {
+  v6::seeds::SeedCollector collector(universe_, config_.seed);
+  seeds_ = collector.collect_all();
+  alias_list_ = v6::dealias::AliasList::published_from(universe_);
+  full_.assign(seeds_.addrs().begin(), seeds_.addrs().end());
+
+  // Activity ground scan of the full dataset on all four probe types
+  // (paper §5.3).
+  v6::probe::SimTransport transport(universe_, config_.seed);
+  v6::probe::Scanner scanner(transport, /*blocklist=*/nullptr,
+                             {.max_retries = 1, .seed = config_.seed});
+  activity_ = v6::seeds::scan_activity(full_, scanner);
+}
+
+const std::vector<Ipv6Addr>& Workbench::full() { return full_; }
+
+const std::vector<Ipv6Addr>& Workbench::dealiased(
+    v6::dealias::DealiasMode mode) {
+  if (mode == v6::dealias::DealiasMode::kNone) return full_;
+  auto& cache = dealiased_[static_cast<std::size_t>(mode)];
+  if (!cache) {
+    v6::probe::SimTransport transport(universe_, config_.seed + 1);
+    v6::dealias::OnlineDealiaser online(transport, config_.seed + 1);
+    v6::dealias::Dealiaser dealiaser(mode, &alias_list_, &online);
+    cache = v6::seeds::dealias_seeds(full_, dealiaser, ProbeType::kIcmp);
+  }
+  return *cache;
+}
+
+const std::vector<Ipv6Addr>& Workbench::all_active() {
+  if (!all_active_) {
+    all_active_ = v6::seeds::filter_active_any(
+        dealiased(v6::dealias::DealiasMode::kJoint), activity_);
+  }
+  return *all_active_;
+}
+
+const std::vector<Ipv6Addr>& Workbench::port_specific(ProbeType type) {
+  auto& cache = port_specific_[static_cast<std::size_t>(type)];
+  if (!cache) {
+    cache = v6::seeds::filter_active_on(all_active(), activity_, type);
+  }
+  return *cache;
+}
+
+const std::vector<Ipv6Addr>& Workbench::source_active(
+    v6::seeds::SeedSource source) {
+  auto& cache = source_active_[static_cast<std::size_t>(source)];
+  if (!cache) {
+    const std::uint16_t bit = v6::seeds::source_bit(source);
+    std::vector<Ipv6Addr> out;
+    for (const Ipv6Addr& addr : all_active()) {
+      if (seeds_.sources_of(addr) & bit) out.push_back(addr);
+    }
+    cache = std::move(out);
+  }
+  return *cache;
+}
+
+}  // namespace v6::experiment

@@ -1,0 +1,62 @@
+// Address-list and dataset file I/O.
+//
+// Real TGA pipelines live on flat files: seed lists in, candidate lists
+// out, alias lists shared between tools. This module provides the same
+// interchange: newline-separated IPv6 address files (with '#' comments),
+// provenance-tagged seed dataset files, and alias-prefix lists.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dealias/alias_list.h"
+#include "net/ipv6.h"
+#include "seeds/seed_dataset.h"
+
+namespace v6::io {
+
+/// Result of parsing a text address list.
+struct ParseReport {
+  std::size_t lines = 0;       // non-comment, non-empty lines seen
+  std::size_t parsed = 0;      // addresses successfully parsed
+  std::size_t malformed = 0;   // lines that failed to parse
+};
+
+/// Parses newline-separated addresses from `text` ('#' comments, blank
+/// lines, and surrounding whitespace allowed). Appends to `out`.
+ParseReport parse_address_list(std::string_view text,
+                               std::vector<v6::net::Ipv6Addr>& out);
+
+/// Reads an address file from disk. Throws std::runtime_error if the
+/// file cannot be opened.
+std::vector<v6::net::Ipv6Addr> read_address_file(const std::string& path,
+                                                 ParseReport* report = nullptr);
+
+/// Writes one address per line (RFC 5952 compressed form).
+void write_address_list(std::ostream& os,
+                        std::span<const v6::net::Ipv6Addr> addrs);
+void write_address_file(const std::string& path,
+                        std::span<const v6::net::Ipv6Addr> addrs);
+
+/// Seed dataset interchange: "address<TAB>source1,source2,..." lines.
+void write_seed_dataset(std::ostream& os,
+                        const v6::seeds::SeedDataset& dataset);
+v6::seeds::SeedDataset parse_seed_dataset(std::string_view text,
+                                          ParseReport* report = nullptr);
+void write_seed_dataset_file(const std::string& path,
+                             const v6::seeds::SeedDataset& dataset);
+v6::seeds::SeedDataset read_seed_dataset_file(const std::string& path,
+                                              ParseReport* report = nullptr);
+
+/// Alias-prefix list files (CIDR per line), compatible with
+/// dealias::AliasList::load().
+void write_alias_list(std::ostream& os, const v6::dealias::AliasList& list);
+void write_alias_list_file(const std::string& path,
+                           const v6::dealias::AliasList& list);
+v6::dealias::AliasList read_alias_list_file(const std::string& path);
+
+}  // namespace v6::io

@@ -1,0 +1,74 @@
+#include "io/csv.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace v6::io {
+
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void write_cell(std::ostream& os, const std::string& cell) {
+  if (!needs_quoting(cell)) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (const char c : cell) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_csv_row(std::ostream& os, std::span<const std::string> cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os << ',';
+    write_cell(os, cells[i]);
+  }
+  os << '\n';
+}
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> header)
+    : os_(&os), columns_(header.size()) {
+  write_csv_row(*os_, header);
+}
+
+void CsvWriter::row(std::vector<std::string> cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("CSV row width mismatch");
+  }
+  write_csv_row(*os_, cells);
+  ++rows_;
+}
+
+void write_outcomes_csv(std::ostream& os,
+                        std::span<const std::string> label_names,
+                        std::span<const OutcomeRow> rows) {
+  std::vector<std::string> header(label_names.begin(), label_names.end());
+  for (const char* metric :
+       {"generated", "responsive", "hits", "ases", "aliases",
+        "dense_filtered", "packets"}) {
+    header.emplace_back(metric);
+  }
+  CsvWriter writer(os, std::move(header));
+  for (const OutcomeRow& row : rows) {
+    std::vector<std::string> cells = row.labels;
+    const v6::metrics::ScanOutcome& o = *row.outcome;
+    cells.push_back(std::to_string(o.generated));
+    cells.push_back(std::to_string(o.responsive));
+    cells.push_back(std::to_string(o.hits()));
+    cells.push_back(std::to_string(o.ases()));
+    cells.push_back(std::to_string(o.aliases));
+    cells.push_back(std::to_string(o.dense_filtered));
+    cells.push_back(std::to_string(o.packets));
+    writer.row(std::move(cells));
+  }
+}
+
+}  // namespace v6::io

@@ -1,0 +1,43 @@
+// Minimal CSV writing (RFC 4180 quoting) for exporting experiment
+// results into external analysis tools.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "metrics/scan_outcome.h"
+
+namespace v6::io {
+
+/// Escapes and writes one CSV row.
+void write_csv_row(std::ostream& os, std::span<const std::string> cells);
+
+/// Streams rows with a fixed header.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream* os_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// One labeled ScanOutcome row (e.g. TGA x dataset x port).
+struct OutcomeRow {
+  std::vector<std::string> labels;
+  const v6::metrics::ScanOutcome* outcome = nullptr;
+};
+
+/// Writes outcome metrics as CSV: label columns followed by
+/// generated,responsive,hits,ases,aliases,dense_filtered,packets.
+void write_outcomes_csv(std::ostream& os,
+                        std::span<const std::string> label_names,
+                        std::span<const OutcomeRow> rows);
+
+}  // namespace v6::io

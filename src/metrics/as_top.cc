@@ -1,0 +1,52 @@
+#include "metrics/as_top.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace v6::metrics {
+
+AsCharacterization characterize(
+    const std::unordered_set<v6::net::Ipv6Addr>& hits,
+    const std::function<std::optional<std::uint32_t>(
+        const v6::net::Ipv6Addr&)>& asn_of,
+    const v6::asdb::AsDatabase& asdb, std::size_t k) {
+  std::unordered_map<std::uint32_t, std::uint64_t> per_as;
+  std::uint64_t resolved = 0;
+  for (const v6::net::Ipv6Addr& addr : hits) {
+    const auto asn = asn_of(addr);
+    if (!asn) continue;
+    ++per_as[*asn];
+    ++resolved;
+  }
+
+  AsCharacterization out;
+  out.total_ases = per_as.size();
+  out.total_hits = resolved;
+
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> sorted(per_as.begin(),
+                                                              per_as.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  const std::size_t n = std::min(k, sorted.size());
+  out.top.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    AsShare share;
+    share.asn = sorted[i].first;
+    share.hits = sorted[i].second;
+    share.share = resolved == 0
+                      ? 0.0
+                      : static_cast<double>(sorted[i].second) /
+                            static_cast<double>(resolved);
+    if (const v6::asdb::AsInfo* info = asdb.find(share.asn)) {
+      share.name = info->name;
+      share.org_type = std::string(v6::asdb::to_string(info->org_type));
+      share.region = std::string(v6::asdb::to_string(info->region));
+    }
+    out.top.push_back(std::move(share));
+  }
+  return out;
+}
+
+}  // namespace v6::metrics

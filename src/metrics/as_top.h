@@ -1,0 +1,39 @@
+// AS characterization of a discovered population (paper Table 6): the
+// top-k ASes by hit share, with organization metadata.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "asdb/as_database.h"
+#include "net/ipv6.h"
+
+namespace v6::metrics {
+
+struct AsShare {
+  std::uint32_t asn = 0;
+  std::string name;        // org name from the AS database
+  std::string org_type;    // classified organization type
+  std::string region;      // coarse geography
+  std::uint64_t hits = 0;
+  double share = 0.0;      // fraction of all hits in this population
+};
+
+struct AsCharacterization {
+  std::vector<AsShare> top;   // top-k by hits, descending
+  std::size_t total_ases = 0; // distinct ASes in the population
+  std::uint64_t total_hits = 0;
+};
+
+/// Characterizes `hits` by AS. `asn_of` resolves addresses to ASNs.
+AsCharacterization characterize(
+    const std::unordered_set<v6::net::Ipv6Addr>& hits,
+    const std::function<std::optional<std::uint32_t>(
+        const v6::net::Ipv6Addr&)>& asn_of,
+    const v6::asdb::AsDatabase& asdb, std::size_t k = 3);
+
+}  // namespace v6::metrics

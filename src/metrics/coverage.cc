@@ -1,0 +1,72 @@
+#include "metrics/coverage.h"
+
+#include <algorithm>
+
+namespace v6::metrics {
+namespace {
+
+/// Greedy set-cover style ordering shared by both overloads.
+template <typename Item, typename Hash>
+std::vector<ContributionStep> greedy(
+    const std::vector<std::pair<std::string,
+                                const std::unordered_set<Item, Hash>*>>& sets) {
+  std::vector<ContributionStep> steps;
+  std::unordered_set<Item, Hash> covered;
+  std::vector<bool> used(sets.size(), false);
+
+  // Total union for the fraction denominators.
+  std::size_t total = 0;
+  {
+    std::unordered_set<Item, Hash> all;
+    for (const auto& [name, set] : sets) {
+      all.insert(set->begin(), set->end());
+    }
+    total = all.size();
+  }
+
+  for (std::size_t round = 0; round < sets.size(); ++round) {
+    std::size_t best = sets.size();
+    std::size_t best_marginal = 0;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      if (used[i]) continue;
+      std::size_t marginal = 0;
+      for (const Item& item : *sets[i].second) {
+        if (!covered.contains(item)) ++marginal;
+      }
+      if (best == sets.size() || marginal > best_marginal) {
+        best = i;
+        best_marginal = marginal;
+      }
+    }
+    used[best] = true;
+    covered.insert(sets[best].second->begin(), sets[best].second->end());
+    ContributionStep step;
+    step.name = sets[best].first;
+    step.marginal = best_marginal;
+    step.cumulative = covered.size();
+    step.cumulative_fraction =
+        total == 0 ? 0.0
+                   : static_cast<double>(covered.size()) /
+                         static_cast<double>(total);
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+}  // namespace
+
+std::vector<ContributionStep> cumulative_contribution(
+    const std::vector<std::pair<std::string,
+                                const std::unordered_set<v6::net::Ipv6Addr>*>>&
+        sets) {
+  return greedy(sets);
+}
+
+std::vector<ContributionStep> cumulative_as_contribution(
+    const std::vector<std::pair<std::string,
+                                const std::unordered_set<std::uint32_t>*>>&
+        sets) {
+  return greedy(sets);
+}
+
+}  // namespace v6::metrics

@@ -1,0 +1,34 @@
+// Cumulative unique contribution analysis (paper Figure 6): greedily
+// orders generators by how many new hits (or ASes) each adds on top of
+// the generators already selected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ipv6.h"
+
+namespace v6::metrics {
+
+struct ContributionStep {
+  std::string name;
+  std::uint64_t marginal = 0;    // new items this generator adds
+  std::uint64_t cumulative = 0;  // running union size
+  double cumulative_fraction = 0.0;  // of the all-generator union
+};
+
+/// Greedy max-marginal ordering over address sets (Figure 6, hits).
+std::vector<ContributionStep> cumulative_contribution(
+    const std::vector<std::pair<std::string,
+                                const std::unordered_set<v6::net::Ipv6Addr>*>>&
+        sets);
+
+/// Greedy max-marginal ordering over AS sets (Figure 6, ASes).
+std::vector<ContributionStep> cumulative_as_contribution(
+    const std::vector<std::pair<std::string,
+                                const std::unordered_set<std::uint32_t>*>>&
+        sets);
+
+}  // namespace v6::metrics

@@ -1,0 +1,97 @@
+#include "metrics/reporter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace v6::metrics {
+
+std::string fmt_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int pending = static_cast<int>(digits.size());
+  for (const char c : digits) {
+    out += c;
+    --pending;
+    if (pending > 0 && pending % 3 == 0) out += ',';
+  }
+  return out;
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_ratio(double ratio, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.*f", decimals, ratio);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if ((c < '0' || c > '9') && c != ',' && c != '.' && c != '%' &&
+        c != '+' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row, bool align_right) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      const bool right = align_right && c > 0 && looks_numeric(cell);
+      if (c > 0) os << "  ";
+      if (right) {
+        os << std::string(width[c] - cell.size(), ' ') << cell;
+      } else {
+        os << cell << std::string(width[c] - cell.size(), ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  print_row(header_, false);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    } else {
+      print_row(row, true);
+    }
+  }
+}
+
+}  // namespace v6::metrics

@@ -1,0 +1,40 @@
+// Plain-text table formatting for the bench harnesses: fixed-width
+// columns, thousands separators, and ratio formatting, so bench output
+// reads like the paper's tables.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace v6::metrics {
+
+/// 1234567 -> "1,234,567".
+std::string fmt_count(std::uint64_t n);
+
+/// 0.4215 -> "42.2%".
+std::string fmt_percent(double fraction, int decimals = 1);
+
+/// Performance ratio with explicit sign: +0.53 / -0.21.
+std::string fmt_ratio(double ratio, int decimals = 2);
+
+/// Simple fixed-width text table. Column widths auto-size to content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  /// Renders with single-space-padded, right-aligned numeric-looking
+  /// cells and left-aligned text cells.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule
+};
+
+}  // namespace v6::metrics

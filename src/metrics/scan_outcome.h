@@ -1,0 +1,40 @@
+// Scan outcome metrics: the paper's two core metrics (Hits and Active
+// ASes), alias counts, and the Performance Ratio (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "net/ipv6.h"
+
+namespace v6::metrics {
+
+/// Result of running one TGA with one seed dataset on one probe type,
+/// after output dealiasing and AS12322 filtering.
+struct ScanOutcome {
+  std::uint64_t generated = 0;         // budget consumed
+  std::uint64_t unique_generated = 0;  // distinct addresses produced
+  std::uint64_t responsive = 0;        // positive replies before dealiasing
+  std::uint64_t aliases = 0;           // responsive but classified aliased
+  std::uint64_t dense_filtered = 0;    // removed by the AS12322 filter
+  std::uint64_t packets = 0;           // probes emitted (scan + dealias)
+  double virtual_seconds = 0.0;        // wire time at the configured pps
+
+  /// Dealiased, filtered hits — the paper's "Hits" metric.
+  std::unordered_set<v6::net::Ipv6Addr> hit_set;
+  /// ASes with at least one hit — the paper's "Active ASes" metric.
+  std::unordered_set<std::uint32_t> as_set;
+
+  std::uint64_t hits() const { return hit_set.size(); }
+  std::uint64_t ases() const { return as_set.size(); }
+};
+
+/// Performance Ratio (paper §4.1): 0 when unchanged, +1 when doubled,
+/// -1 when halved (well, -0.5 when halved; the paper's formula is
+/// (changed - original) / original). Returns 0 when original is 0.
+inline double performance_ratio(double changed, double original) {
+  if (original == 0.0) return 0.0;
+  return (changed - original) / original;
+}
+
+}  // namespace v6::metrics

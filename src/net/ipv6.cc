@@ -1,0 +1,156 @@
+#include "net/ipv6.h"
+
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+
+namespace v6::net {
+namespace {
+
+/// Parses up to 4 hex digits of one group; returns -1 on failure and
+/// otherwise advances `pos` past the digits consumed.
+int parse_group(std::string_view text, std::size_t& pos) {
+  int value = 0;
+  int digits = 0;
+  while (pos < text.size() && digits < 4) {
+    const char c = text[pos];
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else break;
+    value = value * 16 + d;
+    ++digits;
+    ++pos;
+  }
+  return digits == 0 ? -1 : value;
+}
+
+}  // namespace
+
+std::optional<Ipv6Addr> Ipv6Addr::parse(std::string_view text) {
+  // Strip an optional zone suffix ("%eth0") which appears in some datasets.
+  if (const auto pct = text.find('%'); pct != std::string_view::npos) {
+    text = text.substr(0, pct);
+  }
+  if (text.empty()) return std::nullopt;
+
+  std::array<int, 8> head{};
+  std::array<int, 8> tail{};
+  int head_n = 0;
+  int tail_n = 0;
+  bool seen_gap = false;
+
+  std::size_t pos = 0;
+  if (text[0] == ':') {
+    if (text.size() < 2 || text[1] != ':') return std::nullopt;
+    seen_gap = true;
+    pos = 2;
+  }
+
+  while (pos < text.size()) {
+    const int g = parse_group(text, pos);
+    if (g < 0) return std::nullopt;
+    if (!seen_gap) {
+      if (head_n == 8) return std::nullopt;
+      head[head_n++] = g;
+    } else {
+      if (tail_n == 8) return std::nullopt;
+      tail[tail_n++] = g;
+    }
+    if (pos == text.size()) break;
+    if (text[pos] != ':') return std::nullopt;
+    ++pos;
+    if (pos < text.size() && text[pos] == ':') {
+      if (seen_gap) return std::nullopt;  // only one `::` allowed
+      seen_gap = true;
+      ++pos;
+      if (pos == text.size()) break;  // address ends with `::`
+    } else if (pos == text.size()) {
+      return std::nullopt;  // trailing single colon
+    }
+  }
+
+  const int total = head_n + tail_n;
+  if (seen_gap ? total > 7 : total != 8) return std::nullopt;
+
+  std::array<int, 8> groups{};
+  for (int i = 0; i < head_n; ++i) groups[static_cast<std::size_t>(i)] = head[static_cast<std::size_t>(i)];
+  for (int i = 0; i < tail_n; ++i) {
+    groups[static_cast<std::size_t>(8 - tail_n + i)] = tail[static_cast<std::size_t>(i)];
+  }
+
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 4; ++i) hi = (hi << 16) | static_cast<std::uint64_t>(groups[static_cast<std::size_t>(i)]);
+  for (int i = 4; i < 8; ++i) lo = (lo << 16) | static_cast<std::uint64_t>(groups[static_cast<std::size_t>(i)]);
+  return Ipv6Addr(hi, lo);
+}
+
+Ipv6Addr Ipv6Addr::must_parse(std::string_view text) {
+  auto a = parse(text);
+  if (!a) throw std::invalid_argument("bad IPv6 literal: " + std::string(text));
+  return *a;
+}
+
+std::string Ipv6Addr::to_string() const {
+  std::array<std::uint16_t, 8> groups{};
+  for (int i = 0; i < 4; ++i) {
+    groups[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(hi_ >> ((3 - i) * 16));
+  }
+  for (int i = 0; i < 4; ++i) {
+    groups[static_cast<std::size_t>(4 + i)] = static_cast<std::uint16_t>(lo_ >> ((3 - i) * 16));
+  }
+
+  // Find the longest run of zero groups (length >= 2) for `::` compression.
+  int best_start = -1;
+  int best_len = 1;  // runs of length 1 are not compressed (RFC 5952 §4.2.2)
+  int run_start = -1;
+  int run_len = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (groups[static_cast<std::size_t>(i)] == 0) {
+      if (run_start < 0) run_start = i;
+      ++run_len;
+      if (run_len > best_len) {
+        best_len = run_len;
+        best_start = run_start;
+      }
+    } else {
+      run_start = -1;
+      run_len = 0;
+    }
+  }
+
+  std::string out;
+  out.reserve(40);
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      if (i == 8) break;
+      continue;
+    }
+    std::snprintf(buf, sizeof buf, "%x", groups[static_cast<std::size_t>(i)]);
+    out += buf;
+    ++i;
+    if (i < 8 && i != best_start) out += ':';
+  }
+  return out;
+}
+
+std::string Ipv6Addr::to_full_string() const {
+  std::string out;
+  out.reserve(40);
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    const std::uint16_t g = static_cast<std::uint16_t>(
+        (i < 4 ? hi_ >> ((3 - i) * 16) : lo_ >> ((7 - i) * 16)) & 0xFFFF);
+    std::snprintf(buf, sizeof buf, "%04x", g);
+    out += buf;
+    if (i != 7) out += ':';
+  }
+  return out;
+}
+
+}  // namespace v6::net

@@ -1,0 +1,118 @@
+// IPv6 address value type used throughout the library.
+//
+// An Ipv6Addr is an immutable-friendly 128-bit value held as two 64-bit
+// halves in host integer order (hi = bytes 0..7 of the address, lo =
+// bytes 8..15). Nybble indexing follows the convention of the TGA
+// literature: nybble 0 is the most-significant hexadecimal digit of the
+// address and nybble 31 the least-significant.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace v6::net {
+
+/// A 128-bit IPv6 address.
+class Ipv6Addr {
+ public:
+  /// The number of hexadecimal digits (nybbles) in an address.
+  static constexpr int kNybbles = 32;
+  /// The number of bits in an address.
+  static constexpr int kBits = 128;
+
+  /// Constructs the unspecified address `::`.
+  constexpr Ipv6Addr() = default;
+
+  /// Constructs from the two 64-bit halves (hi = network-order bytes 0..7).
+  constexpr Ipv6Addr(std::uint64_t hi, std::uint64_t lo) : hi_(hi), lo_(lo) {}
+
+  /// Parses an IPv6 address in standard textual form, including `::`
+  /// compression. Returns std::nullopt on malformed input. Embedded IPv4
+  /// dotted-quad suffixes are not supported (never needed for scanning).
+  static std::optional<Ipv6Addr> parse(std::string_view text);
+
+  /// Parses, throwing std::invalid_argument on malformed input. Intended
+  /// for literals in tests and examples.
+  static Ipv6Addr must_parse(std::string_view text);
+
+  /// Upper 64 bits (bytes 0..7 of the address).
+  constexpr std::uint64_t hi() const { return hi_; }
+  /// Lower 64 bits (bytes 8..15 of the address).
+  constexpr std::uint64_t lo() const { return lo_; }
+
+  /// Returns nybble `i` (0 = most significant hex digit, 31 = least).
+  constexpr std::uint8_t nybble(int i) const {
+    if (i < 16) return static_cast<std::uint8_t>((hi_ >> ((15 - i) * 4)) & 0xF);
+    return static_cast<std::uint8_t>((lo_ >> ((31 - i) * 4)) & 0xF);
+  }
+
+  /// Returns a copy with nybble `i` replaced by `value` (low 4 bits used).
+  constexpr Ipv6Addr with_nybble(int i, std::uint8_t value) const {
+    const std::uint64_t v = value & 0xFULL;
+    if (i < 16) {
+      const int shift = (15 - i) * 4;
+      return Ipv6Addr((hi_ & ~(0xFULL << shift)) | (v << shift), lo_);
+    }
+    const int shift = (31 - i) * 4;
+    return Ipv6Addr(hi_, (lo_ & ~(0xFULL << shift)) | (v << shift));
+  }
+
+  /// Returns bit `i` (0 = most significant bit of the address).
+  constexpr bool bit(int i) const {
+    if (i < 64) return (hi_ >> (63 - i)) & 1ULL;
+    return (lo_ >> (127 - i)) & 1ULL;
+  }
+
+  /// Returns a copy with the low `128 - len` bits cleared (the /len network).
+  constexpr Ipv6Addr masked(int len) const {
+    if (len <= 0) return Ipv6Addr();
+    if (len >= 128) return *this;
+    if (len <= 64) {
+      const std::uint64_t mask =
+          len == 64 ? ~0ULL : ~0ULL << (64 - len);
+      return Ipv6Addr(hi_ & mask, 0);
+    }
+    const std::uint64_t mask = ~0ULL << (128 - len);
+    return Ipv6Addr(hi_, lo_ & mask);
+  }
+
+  /// RFC 5952-style compressed textual form (lower-case, longest zero run
+  /// compressed with `::`).
+  std::string to_string() const;
+
+  /// Fully expanded form: 32 hex digits in 8 colon-separated groups.
+  std::string to_full_string() const;
+
+  friend constexpr auto operator<=>(const Ipv6Addr&, const Ipv6Addr&) = default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+/// FNV-1a style mixing hash suitable for unordered containers and for
+/// deterministic address-derived pseudo-randomness in the simulator.
+struct Ipv6AddrHash {
+  std::size_t operator()(const Ipv6Addr& a) const noexcept {
+    std::uint64_t x = a.hi() * 0x9E3779B97F4A7C15ULL;
+    x ^= x >> 32;
+    std::uint64_t y = (a.lo() + 0xD1B54A32D192ED03ULL) * 0xBF58476D1CE4E5B9ULL;
+    y ^= y >> 29;
+    std::uint64_t h = (x + y) * 0x94D049BB133111EBULL;
+    h ^= h >> 31;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace v6::net
+
+template <>
+struct std::hash<v6::net::Ipv6Addr> {
+  std::size_t operator()(const v6::net::Ipv6Addr& a) const noexcept {
+    return v6::net::Ipv6AddrHash{}(a);
+  }
+};

@@ -1,0 +1,34 @@
+#include "net/prefix.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace v6::net {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.rfind('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv6Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  int len = 0;
+  const auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size()) {
+    return std::nullopt;
+  }
+  if (len < 0 || len > 128) return std::nullopt;
+  return Prefix(*addr, len);
+}
+
+Prefix Prefix::must_parse(std::string_view text) {
+  auto p = parse(text);
+  if (!p) throw std::invalid_argument("bad IPv6 prefix: " + std::string(text));
+  return *p;
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(len_);
+}
+
+}  // namespace v6::net

@@ -1,0 +1,63 @@
+// IPv6 prefix (CIDR) value type.
+#pragma once
+
+#include <compare>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv6.h"
+
+namespace v6::net {
+
+/// An IPv6 network prefix, e.g. `2001:db8::/32`. The stored address is
+/// always normalized (host bits cleared).
+class Prefix {
+ public:
+  /// Constructs `::/0`.
+  constexpr Prefix() = default;
+
+  /// Constructs a prefix; host bits of `addr` are cleared. `len` is clamped
+  /// to [0, 128].
+  constexpr Prefix(Ipv6Addr addr, int len)
+      : len_(len < 0 ? 0 : (len > 128 ? 128 : len)), addr_(addr.masked(len_)) {}
+
+  /// Parses "addr/len" CIDR notation.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  /// Parses, throwing std::invalid_argument on malformed input.
+  static Prefix must_parse(std::string_view text);
+
+  constexpr const Ipv6Addr& addr() const { return addr_; }
+  constexpr int length() const { return len_; }
+
+  /// True if `a` is inside this prefix.
+  constexpr bool contains(const Ipv6Addr& a) const {
+    return a.masked(len_) == addr_;
+  }
+
+  /// True if `other` is fully contained in this prefix (equal or longer).
+  constexpr bool contains(const Prefix& other) const {
+    return other.len_ >= len_ && other.addr_.masked(len_) == addr_;
+  }
+
+  /// Number of free (host) bits.
+  constexpr int host_bits() const { return 128 - len_; }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  int len_ = 0;
+  Ipv6Addr addr_;
+};
+
+struct PrefixHash {
+  std::size_t operator()(const Prefix& p) const noexcept {
+    return Ipv6AddrHash{}(p.addr()) ^
+           (static_cast<std::size_t>(p.length()) * 0x9E3779B97F4A7C15ULL);
+  }
+};
+
+}  // namespace v6::net

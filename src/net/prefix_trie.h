@@ -1,0 +1,135 @@
+// Binary longest-prefix-match trie mapping IPv6 prefixes to values.
+//
+// Used both as the routing table (prefix -> ASN) and as the alias-prefix
+// lookup structure. Nodes are stored in a flat vector; child links are
+// indices, which keeps the structure cache-friendly and trivially
+// copyable/movable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "net/prefix.h"
+
+namespace v6::net {
+
+/// Longest-prefix-match trie. T must be copyable.
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.emplace_back(); }
+
+  /// Inserts (or overwrites) the value for `prefix`.
+  void insert(const Prefix& prefix, T value) {
+    std::uint32_t node = 0;
+    for (int i = 0; i < prefix.length(); ++i) {
+      const int b = prefix.addr().bit(i);
+      std::uint32_t& child = nodes_[node].child[b];
+      if (child == kNone) {
+        child = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.emplace_back();
+      }
+      node = nodes_[node].child[b];
+    }
+    if (!nodes_[node].has_value) ++size_;
+    nodes_[node].has_value = true;
+    nodes_[node].value = std::move(value);
+    nodes_[node].prefix_len = static_cast<std::int16_t>(prefix.length());
+  }
+
+  /// Longest-prefix match: returns the value of the most specific prefix
+  /// containing `addr`, or nullptr if none.
+  const T* longest_match(const Ipv6Addr& addr) const {
+    const T* best = nullptr;
+    std::uint32_t node = 0;
+    if (nodes_[0].has_value) best = &nodes_[0].value;
+    for (int i = 0; i < Ipv6Addr::kBits; ++i) {
+      const std::uint32_t child = nodes_[node].child[addr.bit(i)];
+      if (child == kNone) break;
+      node = child;
+      if (nodes_[node].has_value) best = &nodes_[node].value;
+    }
+    return best;
+  }
+
+  /// As longest_match, but also reports the matched prefix length.
+  const T* longest_match(const Ipv6Addr& addr, int& matched_len) const {
+    const T* best = nullptr;
+    matched_len = -1;
+    std::uint32_t node = 0;
+    if (nodes_[0].has_value) {
+      best = &nodes_[0].value;
+      matched_len = 0;
+    }
+    for (int i = 0; i < Ipv6Addr::kBits; ++i) {
+      const std::uint32_t child = nodes_[node].child[addr.bit(i)];
+      if (child == kNone) break;
+      node = child;
+      if (nodes_[node].has_value) {
+        best = &nodes_[node].value;
+        matched_len = nodes_[node].prefix_len;
+      }
+    }
+    return best;
+  }
+
+  /// Exact-prefix lookup.
+  const T* find(const Prefix& prefix) const {
+    std::uint32_t node = 0;
+    for (int i = 0; i < prefix.length(); ++i) {
+      const std::uint32_t child = nodes_[node].child[prefix.addr().bit(i)];
+      if (child == kNone) return nullptr;
+      node = child;
+    }
+    return nodes_[node].has_value ? &nodes_[node].value : nullptr;
+  }
+
+  /// True if any stored prefix contains `addr`.
+  bool covers(const Ipv6Addr& addr) const { return longest_match(addr) != nullptr; }
+
+  /// Number of stored prefixes.
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Visits every (prefix, value) pair in depth-first order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    visit(0, Ipv6Addr(), 0, fn);
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xFFFFFFFF;
+
+  struct Node {
+    std::uint32_t child[2] = {kNone, kNone};
+    T value{};
+    std::int16_t prefix_len = 0;
+    bool has_value = false;
+  };
+
+  template <typename Fn>
+  void visit(std::uint32_t node, Ipv6Addr addr, int depth, Fn&& fn) const {
+    if (nodes_[node].has_value) fn(Prefix(addr, depth), nodes_[node].value);
+    for (int b = 0; b < 2; ++b) {
+      const std::uint32_t child = nodes_[node].child[b];
+      if (child == kNone) continue;
+      Ipv6Addr next = addr;
+      if (b) {
+        // Set bit `depth`.
+        if (depth < 64) {
+          next = Ipv6Addr(addr.hi() | (1ULL << (63 - depth)), addr.lo());
+        } else {
+          next = Ipv6Addr(addr.hi(), addr.lo() | (1ULL << (127 - depth)));
+        }
+      }
+      visit(child, next, depth + 1, fn);
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace v6::net

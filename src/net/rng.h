@@ -1,0 +1,71 @@
+// Deterministic random number utilities.
+//
+// Every stochastic component in the library takes an explicit seed; no
+// global RNG state exists. SplitMix64 is used to derive independent
+// sub-seeds so that component A consuming more randomness never perturbs
+// component B.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "net/ipv6.h"
+#include "net/prefix.h"
+
+namespace v6::net {
+
+/// SplitMix64 step: maps a seed to a well-mixed 64-bit value. Useful for
+/// deriving independent sub-seeds from (seed, index) pairs.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Derives a sub-seed for component `tag` from a master seed.
+constexpr std::uint64_t derive_seed(std::uint64_t master, std::uint64_t tag) {
+  return splitmix64(master ^ splitmix64(tag));
+}
+
+/// The RNG engine used across the library.
+using Rng = std::mt19937_64;
+
+/// Makes an engine from a master seed and a component tag.
+inline Rng make_rng(std::uint64_t master, std::uint64_t tag = 0) {
+  return Rng(derive_seed(master, tag));
+}
+
+/// Uniform integer in [lo, hi] inclusive.
+template <typename Int>
+Int uniform_int(Rng& rng, Int lo, Int hi) {
+  return std::uniform_int_distribution<Int>(lo, hi)(rng);
+}
+
+/// Uniform double in [0, 1).
+inline double uniform01(Rng& rng) {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+}
+
+/// Bernoulli draw.
+inline bool chance(Rng& rng, double p) { return uniform01(rng) < p; }
+
+/// A uniformly random address inside `prefix` (host bits randomized).
+inline Ipv6Addr random_in_prefix(Rng& rng, const Prefix& prefix) {
+  const std::uint64_t r_hi = rng();
+  const std::uint64_t r_lo = rng();
+  const int len = prefix.length();
+  std::uint64_t hi = prefix.addr().hi();
+  std::uint64_t lo = prefix.addr().lo();
+  if (len < 64) {
+    const std::uint64_t host_mask = len == 0 ? ~0ULL : ~0ULL >> len;
+    hi |= r_hi & host_mask;
+    lo = r_lo;
+  } else if (len < 128) {
+    const std::uint64_t host_mask = ~0ULL >> (len - 64);
+    lo |= r_lo & host_mask;
+  }
+  return Ipv6Addr(hi, lo);
+}
+
+}  // namespace v6::net

@@ -1,0 +1,95 @@
+// Probe types (ports/protocols) studied by the paper, and service bitmask
+// helpers. This lives in the base library because both the simulated
+// Internet (which answers probes) and the scanner (which sends them)
+// depend on it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace v6::net {
+
+/// The four scan targets evaluated throughout the paper.
+enum class ProbeType : std::uint8_t {
+  kIcmp = 0,    // ICMPv6 Echo Request
+  kTcp80 = 1,   // TCP SYN to port 80
+  kTcp443 = 2,  // TCP SYN to port 443
+  kUdp53 = 3,   // UDP DNS query to port 53
+};
+
+/// Number of probe types.
+inline constexpr int kNumProbeTypes = 4;
+
+/// All probe types, in the paper's reporting order.
+inline constexpr std::array<ProbeType, 4> kAllProbeTypes = {
+    ProbeType::kIcmp, ProbeType::kTcp80, ProbeType::kTcp443,
+    ProbeType::kUdp53};
+
+/// Human-readable label matching the paper's tables.
+constexpr std::string_view to_string(ProbeType t) {
+  switch (t) {
+    case ProbeType::kIcmp: return "ICMP";
+    case ProbeType::kTcp80: return "TCP80";
+    case ProbeType::kTcp443: return "TCP443";
+    case ProbeType::kUdp53: return "UDP53";
+  }
+  return "?";
+}
+
+/// Bitmask over probe types; bit i set means the host answers probe type i.
+using ServiceMask = std::uint8_t;
+
+constexpr ServiceMask service_bit(ProbeType t) {
+  return static_cast<ServiceMask>(1u << static_cast<int>(t));
+}
+
+constexpr bool has_service(ServiceMask m, ProbeType t) {
+  return (m & service_bit(t)) != 0;
+}
+
+inline constexpr ServiceMask kNoServices = 0;
+inline constexpr ServiceMask kAllServices = 0xF;
+
+/// Wire-level reply to a single probe packet. The scanner classifies these
+/// into hit / no-hit following the paper's rules (§4.1): Destination
+/// Unreachable and TCP RST are never hits.
+enum class ProbeReply : std::uint8_t {
+  kTimeout,          // no reply
+  kEchoReply,        // ICMPv6 Echo Reply
+  kSynAck,           // TCP SYN-ACK
+  kRst,              // TCP RST (port closed); NOT a hit
+  kUdpReply,         // UDP payload reply (DNS answer)
+  kDestUnreachable,  // ICMPv6 Destination Unreachable; NOT a hit
+};
+
+constexpr std::string_view to_string(ProbeReply r) {
+  switch (r) {
+    case ProbeReply::kTimeout: return "timeout";
+    case ProbeReply::kEchoReply: return "echo-reply";
+    case ProbeReply::kSynAck: return "syn-ack";
+    case ProbeReply::kRst: return "rst";
+    case ProbeReply::kUdpReply: return "udp-reply";
+    case ProbeReply::kDestUnreachable: return "dest-unreachable";
+  }
+  return "?";
+}
+
+/// The positive (hit) reply kind expected for a probe type.
+constexpr ProbeReply positive_reply(ProbeType t) {
+  switch (t) {
+    case ProbeType::kIcmp: return ProbeReply::kEchoReply;
+    case ProbeType::kTcp80:
+    case ProbeType::kTcp443: return ProbeReply::kSynAck;
+    case ProbeType::kUdp53: return ProbeReply::kUdpReply;
+  }
+  return ProbeReply::kTimeout;
+}
+
+/// True if `r` counts as a hit for probe type `t` under the paper's
+/// classification rules.
+constexpr bool is_hit(ProbeType t, ProbeReply r) {
+  return r == positive_reply(t);
+}
+
+}  // namespace v6::net

@@ -1,0 +1,37 @@
+#include "probe/blocklist.h"
+
+namespace v6::probe {
+
+std::size_t Blocklist::load(std::string_view text) {
+  std::size_t added = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    // Trim whitespace.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) {
+      if (end == text.size()) break;
+      continue;
+    }
+    if (const auto prefix = v6::net::Prefix::parse(line)) {
+      add(*prefix);
+      ++added;
+    }
+    if (end == text.size()) break;
+  }
+  return added;
+}
+
+}  // namespace v6::probe

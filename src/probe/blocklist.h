@@ -1,0 +1,44 @@
+// Scan blocklist: prefixes that must never be probed.
+//
+// The paper (Appendix A) notes that 6Scan's scanner lacked blocklisting
+// and had to be extended; blocklisting is a first-class citizen here.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "net/prefix.h"
+#include "net/prefix_trie.h"
+
+namespace v6::probe {
+
+class Blocklist {
+ public:
+  /// Adds one prefix to the blocklist.
+  void add(const v6::net::Prefix& prefix) {
+    trie_.insert(prefix, true);
+    prefixes_.push_back(prefix);
+  }
+
+  /// Parses newline-separated CIDR entries; '#' starts a comment. Returns
+  /// the number of prefixes added; malformed lines are skipped.
+  std::size_t load(std::string_view text);
+
+  /// True if `addr` must not be probed.
+  bool blocked(const v6::net::Ipv6Addr& addr) const {
+    return trie_.covers(addr);
+  }
+
+  std::size_t size() const { return prefixes_.size(); }
+  std::span<const v6::net::Prefix> prefixes() const { return prefixes_; }
+
+ private:
+  v6::net::PrefixTrie<bool> trie_;
+  std::vector<v6::net::Prefix> prefixes_;
+};
+
+}  // namespace v6::probe

@@ -1,0 +1,59 @@
+// Token-bucket rate limiter over a virtual clock.
+//
+// The paper rate-limits all scans to 10K pps (Appendix A). In simulation
+// we never sleep; instead the limiter advances a virtual clock so that
+// experiments can report how long a scan *would* take on the wire, and so
+// tests can verify pacing behaviour exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace v6::probe {
+
+class RateLimiter {
+ public:
+  /// `pps` — sustained packets per second. `burst` — bucket capacity.
+  explicit RateLimiter(double pps, double burst = 64.0)
+      : pps_(pps > 0 ? pps : 1.0), burst_(burst < 1.0 ? 1.0 : burst),
+        tokens_(burst_) {}
+
+  /// Accounts for one packet. If the bucket is empty, advances the virtual
+  /// clock to the instant the next token accrues. Returns the wait (in
+  /// virtual seconds) that a live sender would have incurred.
+  double acquire() {
+    double waited = 0.0;
+    if (tokens_ < 1.0) {
+      const double deficit = 1.0 - tokens_;
+      waited = deficit / pps_;
+      now_ += waited;
+      tokens_ = 1.0;
+    }
+    tokens_ -= 1.0;
+    ++sent_;
+    return waited;
+  }
+
+  /// Advances the virtual clock (e.g. generation time between batches),
+  /// refilling tokens.
+  void advance(double seconds) {
+    if (seconds <= 0) return;
+    now_ += seconds;
+    tokens_ += seconds * pps_;
+    if (tokens_ > burst_) tokens_ = burst_;
+  }
+
+  /// Virtual time elapsed since construction, in seconds.
+  double virtual_now() const { return now_; }
+
+  std::uint64_t packets() const { return sent_; }
+  double pps() const { return pps_; }
+
+ private:
+  double pps_;
+  double burst_;
+  double tokens_;
+  double now_ = 0.0;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace v6::probe

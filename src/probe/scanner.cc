@@ -1,0 +1,109 @@
+#include "probe/scanner.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace v6::probe {
+
+using v6::net::Ipv6Addr;
+using v6::net::ProbeReply;
+using v6::net::ProbeType;
+
+Scanner::Scanner(ProbeTransport& transport, const Blocklist* blocklist,
+                 ScanOptions options)
+    : transport_(&transport),
+      blocklist_(blocklist),
+      options_(options),
+      limiter_(options.max_pps),
+      shuffle_rng_(v6::net::make_rng(options.seed, /*tag=*/0x5CA4)) {}
+
+ProbeReply Scanner::probe_one(const Ipv6Addr& addr, ProbeType type) {
+  if (blocklist_ != nullptr && blocklist_->blocked(addr)) {
+    return ProbeReply::kTimeout;
+  }
+  ProbeReply reply = ProbeReply::kTimeout;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    limiter_.acquire();
+    reply = transport_->send(addr, type);
+    if (reply != ProbeReply::kTimeout) break;
+  }
+  return reply;
+}
+
+ScanStats Scanner::scan(std::span<const Ipv6Addr> targets, ProbeType type,
+                        const ReplyCallback& on_reply) {
+  ScanStats stats;
+  stats.targets = targets.size();
+
+  // Dedup while preserving first-seen order, then (optionally) shuffle —
+  // every address is probed at most once per scan (paper §4.2 combines
+  // and uniquifies targets to minimize per-address probes).
+  std::vector<Ipv6Addr> unique;
+  unique.reserve(targets.size());
+  {
+    std::unordered_set<Ipv6Addr> seen;
+    seen.reserve(targets.size() * 2);
+    for (const Ipv6Addr& a : targets) {
+      if (seen.insert(a).second) {
+        unique.push_back(a);
+      } else {
+        ++stats.deduped;
+      }
+    }
+  }
+  if (options_.randomize_order) {
+    std::shuffle(unique.begin(), unique.end(), shuffle_rng_);
+  }
+
+  const std::uint64_t packets_before = transport_->packets_sent();
+  const double vtime_before = limiter_.virtual_now();
+
+  for (const Ipv6Addr& addr : unique) {
+    if (blocklist_ != nullptr && blocklist_->blocked(addr)) {
+      ++stats.blocked;
+      continue;
+    }
+    ProbeReply reply = ProbeReply::kTimeout;
+    for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+      limiter_.acquire();
+      reply = transport_->send(addr, type);
+      if (reply != ProbeReply::kTimeout) break;
+    }
+    ++stats.probed;
+    switch (reply) {
+      case ProbeReply::kTimeout:
+        ++stats.timeouts;
+        break;
+      case ProbeReply::kRst:
+        ++stats.rsts;
+        break;
+      case ProbeReply::kDestUnreachable:
+        ++stats.unreachables;
+        break;
+      default:
+        if (v6::net::is_hit(type, reply)) {
+          ++stats.hits;
+        }
+        break;
+    }
+    if (on_reply) on_reply(addr, reply);
+  }
+
+  stats.packets = transport_->packets_sent() - packets_before;
+  stats.virtual_seconds = limiter_.virtual_now() - vtime_before;
+  return stats;
+}
+
+std::vector<Ipv6Addr> Scanner::scan_hits(std::span<const Ipv6Addr> targets,
+                                         ProbeType type,
+                                         ScanStats* stats_out) {
+  std::vector<Ipv6Addr> hits;
+  const ScanStats stats =
+      scan(targets, type, [&](const Ipv6Addr& addr, ProbeReply reply) {
+        if (v6::net::is_hit(type, reply)) hits.push_back(addr);
+      });
+  if (stats_out != nullptr) *stats_out = stats;
+  return hits;
+}
+
+}  // namespace v6::probe

@@ -1,0 +1,86 @@
+// The scan engine: dedup, blocklist, randomized order, retries, reply
+// classification, and per-reply statistics.
+//
+// This plays the role of Scanv6 in the paper (§4.2): a list-driven scanner
+// with blocklisting and response verification that the TGA pipeline and
+// the dealiasers share.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "net/rng.h"
+#include "net/service.h"
+#include "probe/blocklist.h"
+#include "probe/rate_limiter.h"
+#include "probe/transport.h"
+
+namespace v6::probe {
+
+struct ScanOptions {
+  /// Extra transmissions after a timeout (paper uses 3 packet retries for
+  /// dealiasing probes; regular scan probes use 1 retry).
+  int max_retries = 1;
+  /// Shuffle target order before probing (paper Appendix A).
+  bool randomize_order = true;
+  /// Sustained packet rate; drives the virtual clock only.
+  double max_pps = 10000.0;
+  /// Seed for shuffle order (and nothing else).
+  std::uint64_t seed = 0;
+};
+
+struct ScanStats {
+  std::uint64_t targets = 0;       // addresses submitted
+  std::uint64_t deduped = 0;       // duplicates removed
+  std::uint64_t blocked = 0;       // skipped by blocklist
+  std::uint64_t probed = 0;        // unique addresses actually probed
+  std::uint64_t packets = 0;       // packets emitted (incl. retries)
+  std::uint64_t hits = 0;          // positive replies
+  std::uint64_t rsts = 0;          // TCP RSTs (not hits)
+  std::uint64_t unreachables = 0;  // ICMP errors (not hits)
+  std::uint64_t timeouts = 0;
+  double virtual_seconds = 0.0;    // wire time at max_pps
+};
+
+/// Probes a target list once per unique address and classifies replies.
+class Scanner {
+ public:
+  /// `blocklist` may be null (no blocklisting). The transport is borrowed
+  /// and must outlive the scanner.
+  Scanner(ProbeTransport& transport, const Blocklist* blocklist,
+          ScanOptions options);
+
+  using ReplyCallback =
+      std::function<void(const v6::net::Ipv6Addr&, v6::net::ProbeReply)>;
+
+  /// Scans `targets` on `type`. Invokes `on_reply` for every probed
+  /// address with its final classified reply (after retries). Pass an
+  /// empty callback to collect statistics only.
+  ScanStats scan(std::span<const v6::net::Ipv6Addr> targets,
+                 v6::net::ProbeType type, const ReplyCallback& on_reply);
+
+  /// Convenience: returns the addresses that replied positively ("hits"
+  /// per the paper's rules: echo reply / SYN-ACK / UDP reply only).
+  std::vector<v6::net::Ipv6Addr> scan_hits(
+      std::span<const v6::net::Ipv6Addr> targets, v6::net::ProbeType type,
+      ScanStats* stats_out = nullptr);
+
+  /// Probes a single address with retries; honors the blocklist.
+  v6::net::ProbeReply probe_one(const v6::net::Ipv6Addr& addr,
+                                v6::net::ProbeType type);
+
+  /// Cumulative virtual wire time across all scans by this scanner.
+  double virtual_seconds() const { return limiter_.virtual_now(); }
+
+ private:
+  ProbeTransport* transport_;
+  const Blocklist* blocklist_;
+  ScanOptions options_;
+  RateLimiter limiter_;
+  v6::net::Rng shuffle_rng_;
+};
+
+}  // namespace v6::probe

@@ -1,0 +1,54 @@
+// Probe transport abstraction.
+//
+// The scanner, the online dealiaser, and every online TGA emit probes
+// through a ProbeTransport. The shipped SimTransport targets the simulated
+// Internet; a raw-socket transport would slot in identically for live
+// scanning.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv6.h"
+#include "net/rng.h"
+#include "net/service.h"
+#include "simnet/universe.h"
+
+namespace v6::probe {
+
+/// Sends one probe packet and reports the wire-level reply.
+class ProbeTransport {
+ public:
+  virtual ~ProbeTransport() = default;
+
+  /// Emits a single probe of `type` to `addr` and returns the reply
+  /// (kTimeout if none arrived).
+  virtual v6::net::ProbeReply send(const v6::net::Ipv6Addr& addr,
+                                   v6::net::ProbeType type) = 0;
+
+  /// Total packets emitted through this transport.
+  virtual std::uint64_t packets_sent() const = 0;
+};
+
+/// Transport that probes a simulated Universe. Loss randomness (rate
+/// limited alias regions) is drawn from an internal deterministic RNG, so
+/// a fixed (universe, seed) pair replays identically.
+class SimTransport final : public ProbeTransport {
+ public:
+  SimTransport(const v6::simnet::Universe& universe, std::uint64_t seed)
+      : universe_(&universe), rng_(v6::net::make_rng(seed, /*tag=*/0x7A57)) {}
+
+  v6::net::ProbeReply send(const v6::net::Ipv6Addr& addr,
+                           v6::net::ProbeType type) override {
+    ++packets_;
+    return universe_->probe(addr, type, rng_);
+  }
+
+  std::uint64_t packets_sent() const override { return packets_; }
+
+ private:
+  const v6::simnet::Universe* universe_;
+  v6::net::Rng rng_;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace v6::probe

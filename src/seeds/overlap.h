@@ -1,0 +1,43 @@
+// Pairwise seed-source overlap analysis (Figures 1 and 2): for every pair
+// of sources, the percentage of source A's addresses (or ASes) also
+// present in source B, plus the percentage present in *any* other source.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "seeds/seed_dataset.h"
+#include "seeds/source.h"
+
+namespace v6::seeds {
+
+struct OverlapMatrix {
+  /// cell[a][b] = fraction of a's items also in b (diagonal = 1).
+  std::array<std::array<double, kNumSeedSources>, kNumSeedSources> cell{};
+  /// any_other[a] = fraction of a's items in >= 1 other source.
+  std::array<double, kNumSeedSources> any_other{};
+  /// total[a] = number of items from source a.
+  std::array<std::size_t, kNumSeedSources> total{};
+};
+
+/// Resolves an address to its AS number; nullopt for unrouted space.
+using AsnResolver =
+    std::function<std::optional<std::uint32_t>(const v6::net::Ipv6Addr&)>;
+
+/// Predicate selecting which dataset addresses participate (e.g. only
+/// responsive ones for Figure 2); null means all.
+using AddrFilter = std::function<bool(const v6::net::Ipv6Addr&)>;
+
+/// IP-level overlap (Figure 1 / 2, left panels).
+OverlapMatrix ip_overlap(const SeedDataset& dataset,
+                         const AddrFilter& filter = nullptr);
+
+/// AS-level overlap (Figure 1 / 2, right panels): membership is computed
+/// over the set of ASes each source's addresses map into.
+OverlapMatrix as_overlap(const SeedDataset& dataset, const AsnResolver& asn_of,
+                         const AddrFilter& filter = nullptr);
+
+}  // namespace v6::seeds

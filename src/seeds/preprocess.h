@@ -1,0 +1,72 @@
+// Seed-dataset preprocessing: the operations whose impact the paper
+// quantifies in RQ1 and RQ2 — dealiasing seeds, removing unresponsive
+// seeds, and restricting to port-specific responsive seeds.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dealias/dealiaser.h"
+#include "net/ipv6.h"
+#include "net/service.h"
+#include "probe/scanner.h"
+
+namespace v6::seeds {
+
+/// Per-address responsiveness across the four studied probe types,
+/// obtained by scanning the seeds (the paper's "Active" determination,
+/// §5.3).
+class ActivityMap {
+ public:
+  /// Responsiveness mask of `addr` (0 if never scanned or unresponsive).
+  v6::net::ServiceMask of(const v6::net::Ipv6Addr& addr) const {
+    const auto it = mask_.find(addr);
+    return it == mask_.end() ? 0 : it->second;
+  }
+
+  bool active_on(const v6::net::Ipv6Addr& addr, v6::net::ProbeType t) const {
+    return v6::net::has_service(of(addr), t);
+  }
+
+  bool active_any(const v6::net::Ipv6Addr& addr) const { return of(addr) != 0; }
+
+  void set(const v6::net::Ipv6Addr& addr, v6::net::ServiceMask m) {
+    mask_[addr] = m;
+  }
+
+  void merge_bit(const v6::net::Ipv6Addr& addr, v6::net::ProbeType t) {
+    mask_[addr] |= v6::net::service_bit(t);
+  }
+
+  std::size_t size() const { return mask_.size(); }
+
+ private:
+  std::unordered_map<v6::net::Ipv6Addr, v6::net::ServiceMask> mask_;
+};
+
+/// Scans `addrs` on all four probe types and records per-address
+/// responsiveness. Only positive replies (per the paper's hit rules)
+/// count.
+ActivityMap scan_activity(std::span<const v6::net::Ipv6Addr> addrs,
+                          v6::probe::Scanner& scanner);
+
+/// Removes aliased addresses from `addrs` under `dealiaser`'s mode.
+/// `online_type` is the probe type used for online alias verification
+/// (the paper dealiases seed datasets with ICMP-based probing).
+std::vector<v6::net::Ipv6Addr> dealias_seeds(
+    std::span<const v6::net::Ipv6Addr> addrs,
+    v6::dealias::Dealiaser& dealiaser,
+    v6::net::ProbeType online_type = v6::net::ProbeType::kIcmp);
+
+/// Keeps addresses responsive on at least one probe type ("All Active").
+std::vector<v6::net::Ipv6Addr> filter_active_any(
+    std::span<const v6::net::Ipv6Addr> addrs, const ActivityMap& activity);
+
+/// Keeps addresses responsive on `type` (the port-specific datasets of
+/// RQ2).
+std::vector<v6::net::Ipv6Addr> filter_active_on(
+    std::span<const v6::net::Ipv6Addr> addrs, const ActivityMap& activity,
+    v6::net::ProbeType type);
+
+}  // namespace v6::seeds

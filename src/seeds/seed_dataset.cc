@@ -1,0 +1,40 @@
+#include "seeds/seed_dataset.h"
+
+namespace v6::seeds {
+
+void SeedDataset::add(const v6::net::Ipv6Addr& addr, SeedSource source) {
+  const auto [it, inserted] =
+      index_.emplace(addr, static_cast<std::uint32_t>(addrs_.size()));
+  if (inserted) {
+    addrs_.push_back(addr);
+    masks_.push_back(source_bit(source));
+  } else {
+    masks_[it->second] |= source_bit(source);
+  }
+}
+
+std::uint16_t SeedDataset::sources_of(const v6::net::Ipv6Addr& addr) const {
+  const auto it = index_.find(addr);
+  return it == index_.end() ? 0 : masks_[it->second];
+}
+
+std::vector<v6::net::Ipv6Addr> SeedDataset::from_source(
+    SeedSource source) const {
+  std::vector<v6::net::Ipv6Addr> out;
+  const std::uint16_t bit = source_bit(source);
+  for (std::size_t i = 0; i < addrs_.size(); ++i) {
+    if (masks_[i] & bit) out.push_back(addrs_[i]);
+  }
+  return out;
+}
+
+std::size_t SeedDataset::count(SeedSource source) const {
+  std::size_t n = 0;
+  const std::uint16_t bit = source_bit(source);
+  for (const std::uint16_t m : masks_) {
+    if (m & bit) ++n;
+  }
+  return n;
+}
+
+}  // namespace v6::seeds

@@ -1,0 +1,84 @@
+// The twelve seed data sources studied by the paper (Table 3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace v6::seeds {
+
+enum class SeedSource : std::uint8_t {
+  // Domain-derived sources ("D" in Table 3).
+  kCensys = 0,    // Certificate Transparency logs via Censys
+  kRapid7 = 1,    // Rapid7 FDNS (2021 archival snapshot; stale-heavy)
+  kUmbrella = 2,  // Cisco Umbrella toplist
+  kMajestic = 3,  // Majestic Million toplist
+  kTranco = 4,    // Tranco toplist
+  kSecrank = 5,   // SecRank toplist (China-heavy)
+  kRadar = 6,     // Cloudflare Radar toplist
+  kCaidaDns = 7,  // CAIDA DNS Names
+  // Router/traceroute sources ("R").
+  kScamper = 8,    // CAIDA IPv6 Topology (Scamper)
+  kRipeAtlas = 9,  // RIPE Atlas
+  // Hitlists ("Both").
+  kHitlist = 10,    // IPv6 Hitlist
+  kAddrMiner = 11,  // AddrMiner hitlist (alias-heavy)
+};
+
+inline constexpr int kNumSeedSources = 12;
+
+inline constexpr std::array<SeedSource, kNumSeedSources> kAllSeedSources = {
+    SeedSource::kCensys,   SeedSource::kRapid7,    SeedSource::kUmbrella,
+    SeedSource::kMajestic, SeedSource::kTranco,    SeedSource::kSecrank,
+    SeedSource::kRadar,    SeedSource::kCaidaDns,  SeedSource::kScamper,
+    SeedSource::kRipeAtlas, SeedSource::kHitlist,  SeedSource::kAddrMiner};
+
+constexpr std::string_view to_string(SeedSource s) {
+  switch (s) {
+    case SeedSource::kCensys: return "Censys";
+    case SeedSource::kRapid7: return "Rapid7";
+    case SeedSource::kUmbrella: return "Umbrella";
+    case SeedSource::kMajestic: return "Majestic";
+    case SeedSource::kTranco: return "Tranco";
+    case SeedSource::kSecrank: return "SecRank";
+    case SeedSource::kRadar: return "Radar";
+    case SeedSource::kCaidaDns: return "CAIDA DNS";
+    case SeedSource::kScamper: return "Scamper";
+    case SeedSource::kRipeAtlas: return "RIPE Atlas";
+    case SeedSource::kHitlist: return "IPv6 Hitlist";
+    case SeedSource::kAddrMiner: return "AddrMiner";
+  }
+  return "?";
+}
+
+/// Source category as labeled in Table 3.
+enum class SourceCategory : std::uint8_t { kDomain, kRouter, kBoth };
+
+constexpr SourceCategory category(SeedSource s) {
+  switch (s) {
+    case SeedSource::kScamper:
+    case SeedSource::kRipeAtlas:
+      return SourceCategory::kRouter;
+    case SeedSource::kHitlist:
+    case SeedSource::kAddrMiner:
+      return SourceCategory::kBoth;
+    default:
+      return SourceCategory::kDomain;
+  }
+}
+
+constexpr std::string_view to_string(SourceCategory c) {
+  switch (c) {
+    case SourceCategory::kDomain: return "D";
+    case SourceCategory::kRouter: return "R";
+    case SourceCategory::kBoth: return "Both";
+  }
+  return "?";
+}
+
+/// Bit for set-membership masks over sources.
+constexpr std::uint16_t source_bit(SeedSource s) {
+  return static_cast<std::uint16_t>(1u << static_cast<int>(s));
+}
+
+}  // namespace v6::seeds

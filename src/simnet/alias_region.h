@@ -1,0 +1,30 @@
+// Aliased prefixes in the simulated Internet.
+//
+// An aliased prefix maps every address inside it to the same small set of
+// devices: every probe to any address in the region is answered (paper
+// §2.2). Some regions rate-limit responses, which is the mechanism the
+// paper identifies as defeating on-the-fly (online) dealiasing.
+#pragma once
+
+#include <cstdint>
+
+#include "net/prefix.h"
+#include "net/service.h"
+
+namespace v6::simnet {
+
+struct AliasRegion {
+  v6::net::Prefix prefix;
+  std::uint32_t asn = 0;
+  /// Services the aliased device answers on.
+  v6::net::ServiceMask services = v6::net::kAllServices;
+  /// Present in the published (offline) alias list, as with the IPv6
+  /// Hitlist alias list. Unpublished regions can only be caught online.
+  bool published = false;
+  /// Region drops most probes (ICMP/TCP rate limiting).
+  bool rate_limited = false;
+  /// Per-probe response probability when rate-limited (1.0 otherwise).
+  double response_prob = 1.0;
+};
+
+}  // namespace v6::simnet

@@ -1,0 +1,47 @@
+// Ground-truth host records for the simulated IPv6 Internet.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "net/ipv6.h"
+#include "net/service.h"
+
+namespace v6::simnet {
+
+/// Functional role of a host; drives addressing pattern, service mix, and
+/// which seed sources are likely to observe it.
+enum class HostKind : std::uint8_t {
+  kRouter,     // infrastructure interface; mostly ICMP-responsive
+  kWebServer,  // TCP80/TCP443 (+ usually ICMP)
+  kDnsServer,  // UDP53 (+ usually ICMP)
+  kEndhost,    // CPE / client; ICMP at best, hard-to-guess addresses
+};
+
+constexpr std::string_view to_string(HostKind k) {
+  switch (k) {
+    case HostKind::kRouter: return "router";
+    case HostKind::kWebServer: return "web";
+    case HostKind::kDnsServer: return "dns";
+    case HostKind::kEndhost: return "endhost";
+  }
+  return "?";
+}
+
+/// One ground-truth host. `services` is what the host answers *today*;
+/// `historic_services` is what it answered when seed sources observed it.
+/// A churned host has historic services but no current ones — it appears
+/// in seed feeds yet no longer responds (paper RQ1.b).
+struct HostRecord {
+  v6::net::Ipv6Addr addr;
+  std::uint32_t asn = 0;
+  v6::net::ServiceMask services = 0;
+  v6::net::ServiceMask historic_services = 0;
+  HostKind kind = HostKind::kEndhost;
+  /// Appears on domain toplists (popular web property).
+  bool popular = false;
+  /// No longer responds on any port/protocol.
+  bool churned() const { return services == 0 && historic_services != 0; }
+};
+
+}  // namespace v6::simnet

@@ -1,0 +1,98 @@
+#include "simnet/universe.h"
+
+namespace v6::simnet {
+
+using v6::net::Ipv6Addr;
+using v6::net::ProbeReply;
+using v6::net::ProbeType;
+
+bool Universe::addr_coin(const Ipv6Addr& addr, std::uint64_t salt, double p) {
+  std::uint64_t h = v6::net::splitmix64(addr.hi() ^ v6::net::splitmix64(salt));
+  h = v6::net::splitmix64(h ^ addr.lo());
+  // Map to [0, 1) with 53 bits of precision.
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+const HostRecord* Universe::host(const Ipv6Addr& addr) const {
+  const auto it = host_index_.find(addr);
+  return it == host_index_.end() ? nullptr : &hosts_[it->second];
+}
+
+bool Universe::host_active(const Ipv6Addr& addr, ProbeType type) const {
+  const HostRecord* h = host(addr);
+  return h != nullptr && v6::net::has_service(h->services, type);
+}
+
+ProbeReply Universe::probe(const Ipv6Addr& addr, ProbeType type,
+                           v6::net::Rng& rng) const {
+  // 1. Aliased regions answer for every address inside them.
+  if (const AliasRegion* region = alias_region_of(addr); region != nullptr) {
+    if (v6::net::has_service(region->services, type)) {
+      if (!region->rate_limited ||
+          v6::net::uniform01(rng) < region->response_prob) {
+        return v6::net::positive_reply(type);
+      }
+      return ProbeReply::kTimeout;  // probe dropped by the rate limiter
+    }
+    // Service closed on the aliased device: TCP gets a RST.
+    if (type == ProbeType::kTcp80 || type == ProbeType::kTcp443) {
+      return ProbeReply::kRst;
+    }
+    return ProbeReply::kTimeout;
+  }
+
+  // 2. The dense AS12322-analogue pattern: low64 == ::1, ~35% ICMP-active.
+  if (dense_region_ && dense_region_->prefix.contains(addr)) {
+    if (type == ProbeType::kIcmp && addr.lo() == 1 &&
+        addr_coin(addr, /*salt=*/0xDE45E, dense_region_->active_prob)) {
+      return ProbeReply::kEchoReply;
+    }
+    return ProbeReply::kTimeout;
+  }
+
+  // 3. Regular hosts.
+  if (const HostRecord* h = host(addr); h != nullptr) {
+    if (v6::net::has_service(h->services, type)) {
+      return v6::net::positive_reply(type);
+    }
+    // Host up but port closed: TCP stacks typically send RST; a UDP probe
+    // may draw an ICMP Port Unreachable (classified as DestUnreachable).
+    if (h->services != 0) {
+      if (type == ProbeType::kTcp80 || type == ProbeType::kTcp443) {
+        return ProbeReply::kRst;
+      }
+      if (type == ProbeType::kUdp53 &&
+          addr_coin(addr, /*salt=*/0x0D53, 0.5)) {
+        return ProbeReply::kDestUnreachable;
+      }
+    }
+    return ProbeReply::kTimeout;
+  }
+
+  // 4. Background: routed-but-unused space occasionally draws an ICMP
+  // Destination Unreachable from an on-path router.
+  if (routes_.asn_of(addr).has_value() &&
+      addr_coin(addr, /*salt=*/0xBAC6, config_.background_unreachable_prob)) {
+    return ProbeReply::kDestUnreachable;
+  }
+  return ProbeReply::kTimeout;
+}
+
+std::size_t Universe::active_host_count(ProbeType type) const {
+  std::size_t n = 0;
+  for (const HostRecord& h : hosts_) {
+    if (v6::net::has_service(h.services, type)) ++n;
+  }
+  return n;
+}
+
+std::size_t Universe::active_host_count_any() const {
+  std::size_t n = 0;
+  for (const HostRecord& h : hosts_) {
+    if (h.services != 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace v6::simnet

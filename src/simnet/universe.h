@@ -1,0 +1,123 @@
+// The simulated IPv6 Internet: ground truth the scanner probes against.
+//
+// A Universe holds every synthesized host, every aliased region, the dense
+// AS12322-analogue region, the AS database and routing table. It answers
+// probes with wire-level replies (including rate-limiting and background
+// ICMP errors) and exposes ground-truth queries used only by evaluation
+// code (never by TGAs or the scanner themselves).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "asdb/as_database.h"
+#include "asdb/routing_table.h"
+#include "net/ipv6.h"
+#include "net/prefix_trie.h"
+#include "net/rng.h"
+#include "net/service.h"
+#include "simnet/alias_region.h"
+#include "simnet/host.h"
+#include "simnet/universe_config.h"
+
+namespace v6::simnet {
+
+/// Description of the dense, trivially-enumerable ICMP region modeled on
+/// AS12322 (paper §4.1): addresses inside `prefix` whose low 64 bits are
+/// exactly ::1 respond to ICMP with probability `active_prob`.
+struct DenseRegion {
+  v6::net::Prefix prefix;
+  std::uint32_t asn = 0;
+  double active_prob = 0.35;
+};
+
+class Universe {
+ public:
+  Universe() = default;
+  Universe(const Universe&) = delete;
+  Universe& operator=(const Universe&) = delete;
+  Universe(Universe&&) = default;
+  Universe& operator=(Universe&&) = default;
+
+  // ---- Wire behaviour (what the scanner sees) -------------------------
+
+  /// Answers one probe packet. `rng` supplies loss randomness for
+  /// rate-limited regions; everything else is a deterministic function of
+  /// the address.
+  v6::net::ProbeReply probe(const v6::net::Ipv6Addr& addr,
+                            v6::net::ProbeType type, v6::net::Rng& rng) const;
+
+  // ---- Ground truth (evaluation only) ---------------------------------
+
+  /// True if `addr` lies inside any aliased region.
+  bool is_aliased(const v6::net::Ipv6Addr& addr) const {
+    return alias_trie_.covers(addr);
+  }
+
+  /// The alias region containing `addr`, if any.
+  const AliasRegion* alias_region_of(const v6::net::Ipv6Addr& addr) const {
+    const std::uint32_t* idx = alias_trie_.longest_match(addr);
+    return idx == nullptr ? nullptr : &alias_regions_[*idx];
+  }
+
+  /// True if `addr` belongs to the AS12322-analogue dense-pattern region
+  /// (whether or not the particular address is active).
+  bool in_dense_region(const v6::net::Ipv6Addr& addr) const {
+    return dense_region_ && dense_region_->prefix.contains(addr);
+  }
+
+  /// True if a (non-aliased) host at `addr` currently answers `type`.
+  bool host_active(const v6::net::Ipv6Addr& addr,
+                   v6::net::ProbeType type) const;
+
+  /// Host record at `addr`, if one exists.
+  const HostRecord* host(const v6::net::Ipv6Addr& addr) const;
+
+  // ---- Topology & metadata --------------------------------------------
+
+  const v6::asdb::AsDatabase& asdb() const { return asdb_; }
+  const v6::asdb::RoutingTable& routes() const { return routes_; }
+
+  /// Origin ASN of `addr` per the routing table.
+  std::optional<std::uint32_t> asn_of(const v6::net::Ipv6Addr& addr) const {
+    return routes_.asn_of(addr);
+  }
+
+  std::span<const HostRecord> hosts() const { return hosts_; }
+  std::span<const AliasRegion> alias_regions() const { return alias_regions_; }
+  const std::optional<DenseRegion>& dense_region() const {
+    return dense_region_;
+  }
+  const UniverseConfig& config() const { return config_; }
+
+  // ---- Summary statistics ----------------------------------------------
+
+  /// Hosts currently responsive on `type` (excluding aliases and the dense
+  /// region).
+  std::size_t active_host_count(v6::net::ProbeType type) const;
+
+  /// Hosts currently responsive on any probe type.
+  std::size_t active_host_count_any() const;
+
+ private:
+  friend class UniverseBuilder;
+
+  /// Deterministic per-address coin used for background noise and the
+  /// dense region, so repeated probes of one address agree.
+  static bool addr_coin(const v6::net::Ipv6Addr& addr, std::uint64_t salt,
+                        double p);
+
+  UniverseConfig config_;
+  v6::asdb::AsDatabase asdb_;
+  v6::asdb::RoutingTable routes_;
+  std::vector<HostRecord> hosts_;
+  std::unordered_map<v6::net::Ipv6Addr, std::uint32_t> host_index_;
+  std::vector<AliasRegion> alias_regions_;
+  v6::net::PrefixTrie<std::uint32_t> alias_trie_;
+  std::optional<DenseRegion> dense_region_;
+};
+
+}  // namespace v6::simnet

@@ -1,0 +1,41 @@
+// Deterministic construction of a simulated IPv6 Internet from a
+// UniverseConfig. The same config always yields the same universe.
+#pragma once
+
+#include "simnet/universe.h"
+#include "simnet/universe_config.h"
+
+namespace v6::simnet {
+
+/// One step of temporal evolution (the churn the paper's RQ1.b and the
+/// hitlist-decay literature it cites are about).
+struct AgingConfig {
+  std::uint64_t seed = 1;
+  /// Probability an active host stops responding entirely
+  /// (independent, per host).
+  double death_prob = 0.04;
+  /// Probability an entire /64 goes dark (renumbering, provider change,
+  /// new firewall policy). Clustered death is what makes stale seeds
+  /// actively misleading rather than merely redundant.
+  double subnet_death_prob = 0.05;
+  /// Probability a single service (not the host) is withdrawn.
+  double service_loss_prob = 0.04;
+  /// Probability a churned host comes back with its historic services.
+  double revival_prob = 0.04;
+  /// Probability an active counter-pattern host gains a new sibling
+  /// (networks grow where they are already structured).
+  double birth_prob = 0.03;
+};
+
+class UniverseBuilder {
+ public:
+  /// Builds the full universe described by `config`.
+  static Universe build(const UniverseConfig& config);
+
+  /// Advances the universe by one epoch: hosts die, lose services,
+  /// revive, and new hosts appear next to existing counter runs.
+  /// Deterministic in (universe state, config.seed).
+  static void age(Universe& universe, const AgingConfig& config);
+};
+
+}  // namespace v6::simnet

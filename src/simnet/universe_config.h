@@ -1,0 +1,59 @@
+// Configuration for building a simulated IPv6 Internet.
+#pragma once
+
+#include <cstdint>
+
+namespace v6::simnet {
+
+/// Knobs for UniverseBuilder. Defaults produce a universe of roughly one
+/// million hosts across ~2,500 ASes — a scaled analogue of the paper's
+/// view of the IPv6 Internet (31K ASes, ~11M responsive addresses), sized
+/// so that every experiment in the paper can be regenerated in seconds.
+struct UniverseConfig {
+  /// Master seed; the entire universe is a deterministic function of it.
+  std::uint64_t seed = 42;
+
+  /// Number of autonomous systems to synthesize.
+  int num_ases = 2500;
+
+  /// Global multiplier on per-AS host counts (scale the universe up/down).
+  double host_scale = 1.0;
+
+  /// Fraction of hosts that were active historically (and so appear in
+  /// seed feeds) but no longer respond (paper RQ1.b: 16% of the IPv6
+  /// Hitlist was unresponsive).
+  double churn_fraction = 0.18;
+
+  /// Probability a cloud/hosting/CDN AS contains aliased regions.
+  double alias_as_fraction = 0.30;
+
+  /// Fraction of aliased regions present in the published alias list.
+  double alias_published_fraction = 0.55;
+
+  /// Fraction of aliased regions that rate-limit probes (defeating online
+  /// dealiasing most of the time).
+  double alias_rate_limited_fraction = 0.15;
+
+  /// Per-probe response probability inside a rate-limited alias region.
+  double rate_limited_response_prob = 0.15;
+
+  /// Include the AS12322 analogue: a single ISP with a dense, trivially
+  /// enumerable ICMP-responsive pattern (low64 == ::1, ~35% active) that
+  /// the paper filters from ICMP metrics.
+  bool include_dense_region = true;
+
+  /// Prefix length of the dense region; the pattern space is
+  /// 2^(64 - len) addresses (the paper's AS12322 pattern held 16.7M;
+  /// scale this with host_scale so the dense region stays roughly half
+  /// of all ICMP-responsive addresses).
+  int dense_region_prefix_len = 48;
+
+  /// Activation probability inside the dense region pattern.
+  double dense_region_active_prob = 0.35;
+
+  /// Background probability that a probe to a routed but unused address
+  /// draws an ICMP Destination Unreachable from an on-path router.
+  double background_unreachable_prob = 0.02;
+};
+
+}  // namespace v6::simnet

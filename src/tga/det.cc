@@ -1,0 +1,88 @@
+#include "tga/det.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace v6::tga {
+
+using v6::net::Ipv6Addr;
+
+void Det::reset_model() {
+  regions_.clear();
+  pending_.clear();
+  total_emitted_ = 0;
+  SpaceTree tree(seeds_, {.policy = SplitPolicy::kMinEntropy,
+                          .max_leaf_seeds = options_.max_leaf_seeds,
+                          .max_free = options_.max_free});
+  regions_.reserve(tree.regions().size());
+  for (const TreeRegion& r : tree.regions()) {
+    Region region;
+    region.cursor = RegionCursor(r.base, r.free);
+    region.seed_mass = static_cast<double>(r.seed_count);
+    regions_.push_back(std::move(region));
+  }
+}
+
+double Det::score(const Region& r) const {
+  if (r.dead) return -1.0;
+  const double exploit =
+      r.seed_mass / static_cast<double>(r.emitted + 16);
+  const double explore =
+      options_.exploration *
+      std::sqrt(std::log(static_cast<double>(total_emitted_ + 2)) /
+                static_cast<double>(r.emitted + 1));
+  return exploit + explore;
+}
+
+std::vector<Ipv6Addr> Det::next_batch(std::size_t n) {
+  std::vector<Ipv6Addr> out;
+  out.reserve(n);
+  if (regions_.empty()) return out;
+
+  std::size_t consecutive_failures = 0;
+  while (out.size() < n && consecutive_failures < regions_.size() + 8) {
+    // Select the best-scoring region (linear scan; region counts are in
+    // the tens of thousands at most).
+    std::size_t best = 0;
+    double best_score = -2.0;
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+      const double s = score(regions_[i]);
+      if (s > best_score) {
+        best_score = s;
+        best = i;
+      }
+    }
+    Region& region = regions_[best];
+    if (region.dead) break;  // every region is dead
+
+    std::uint64_t taken = 0;
+    while (taken < options_.chunk && out.size() < n) {
+      auto addr = region.cursor.next();
+      if (!addr) {
+        if (!region.cursor.extend()) {
+          region.dead = true;
+        }
+        break;  // re-score before spending into the widened space
+      }
+      ++region.emitted;
+      ++total_emitted_;
+      if (emit(*addr, out)) {
+        pending_.emplace(*addr, static_cast<std::uint32_t>(best));
+        ++taken;
+      }
+    }
+    consecutive_failures = taken == 0 ? consecutive_failures + 1 : 0;
+  }
+  return out;
+}
+
+void Det::observe(const Ipv6Addr& addr, bool active) {
+  const auto it = pending_.find(addr);
+  if (it == pending_.end()) return;
+  if (active) {
+    regions_[it->second].seed_mass += options_.hit_weight;
+  }
+  pending_.erase(it);
+}
+
+}  // namespace v6::tga

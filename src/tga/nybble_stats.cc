@@ -1,0 +1,71 @@
+#include "tga/nybble_stats.h"
+
+#include <cmath>
+
+namespace v6::tga {
+
+double NybbleHistogram::entropy() const {
+  const std::uint32_t t = total();
+  if (t == 0) return 0.0;
+  double h = 0.0;
+  for (const std::uint32_t c : count) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(t);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::uint8_t NybbleHistogram::mode() const {
+  int best = 0;
+  for (int v = 1; v < 16; ++v) {
+    if (count[static_cast<std::size_t>(v)] >
+        count[static_cast<std::size_t>(best)]) {
+      best = v;
+    }
+  }
+  return static_cast<std::uint8_t>(best);
+}
+
+NybbleStats::NybbleStats(std::span<const v6::net::Ipv6Addr> addrs) {
+  for (const v6::net::Ipv6Addr& a : addrs) add(a);
+}
+
+void NybbleStats::add(const v6::net::Ipv6Addr& addr) {
+  for (int i = 0; i < v6::net::Ipv6Addr::kNybbles; ++i) {
+    ++hist_[static_cast<std::size_t>(i)].count[addr.nybble(i)];
+  }
+  ++samples_;
+}
+
+std::vector<int> NybbleStats::varying_positions() const {
+  std::vector<int> out;
+  for (int i = 0; i < v6::net::Ipv6Addr::kNybbles; ++i) {
+    if (hist_[static_cast<std::size_t>(i)].distinct() > 1) out.push_back(i);
+  }
+  return out;
+}
+
+int NybbleStats::min_entropy_position() const {
+  int best = -1;
+  double best_h = 5.0;  // above the 4-bit maximum
+  for (int i = 0; i < v6::net::Ipv6Addr::kNybbles; ++i) {
+    const NybbleHistogram& h = hist_[static_cast<std::size_t>(i)];
+    if (h.distinct() <= 1) continue;
+    const double e = h.entropy();
+    if (e < best_h) {
+      best_h = e;
+      best = i;
+    }
+  }
+  return best;
+}
+
+int NybbleStats::leftmost_varying_position() const {
+  for (int i = 0; i < v6::net::Ipv6Addr::kNybbles; ++i) {
+    if (hist_[static_cast<std::size_t>(i)].distinct() > 1) return i;
+  }
+  return -1;
+}
+
+}  // namespace v6::tga

@@ -1,0 +1,40 @@
+#include "tga/registry.h"
+
+#include "tga/det.h"
+#include "tga/entropy_ip.h"
+#include "tga/six_forest.h"
+#include "tga/six_gen.h"
+#include "tga/six_graph.h"
+#include "tga/six_hit.h"
+#include "tga/six_scan.h"
+#include "tga/six_sense.h"
+#include "tga/six_tree.h"
+
+namespace v6::tga {
+
+std::unique_ptr<TargetGenerator> make_generator(TgaKind kind) {
+  switch (kind) {
+    case TgaKind::kSixSense: return std::make_unique<SixSense>();
+    case TgaKind::kDet: return std::make_unique<Det>();
+    case TgaKind::kSixTree: return std::make_unique<SixTree>();
+    case TgaKind::kSixScan: return std::make_unique<SixScan>();
+    case TgaKind::kSixGraph: return std::make_unique<SixGraph>();
+    case TgaKind::kSixGen: return std::make_unique<SixGen>();
+    case TgaKind::kSixHit: return std::make_unique<SixHit>();
+    case TgaKind::kEntropyIp: return std::make_unique<EntropyIp>();
+    case TgaKind::kSixForest: return std::make_unique<SixForest>();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<TargetGenerator> make_generator(std::string_view name) {
+  for (const TgaKind kind : kAllTgas) {
+    if (to_string(kind) == name) return make_generator(kind);
+  }
+  for (const TgaKind kind : kExtensionTgas) {
+    if (to_string(kind) == name) return make_generator(kind);
+  }
+  return nullptr;
+}
+
+}  // namespace v6::tga

@@ -1,0 +1,61 @@
+// Factory for the eight studied TGAs.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string_view>
+
+#include "tga/target_generator.h"
+
+namespace v6::tga {
+
+/// The eight generators, in the paper's reporting order.
+enum class TgaKind : std::uint8_t {
+  kSixSense = 0,
+  kDet = 1,
+  kSixTree = 2,
+  kSixScan = 3,
+  kSixGraph = 4,
+  kSixGen = 5,
+  kSixHit = 6,
+  kEntropyIp = 7,
+  // Extensions beyond the paper's core eight:
+  kSixForest = 8,
+};
+
+inline constexpr int kNumTgas = 8;
+
+inline constexpr std::array<TgaKind, kNumTgas> kAllTgas = {
+    TgaKind::kSixSense, TgaKind::kDet,    TgaKind::kSixTree,
+    TgaKind::kSixScan,  TgaKind::kSixGraph, TgaKind::kSixGen,
+    TgaKind::kSixHit,   TgaKind::kEntropyIp};
+
+/// Extension generators beyond the paper's core eight (implemented to
+/// study the paper's exclusions; never part of the reproduction tables).
+inline constexpr std::array<TgaKind, 1> kExtensionTgas = {
+    TgaKind::kSixForest};
+
+constexpr std::string_view to_string(TgaKind k) {
+  switch (k) {
+    case TgaKind::kSixSense: return "6Sense";
+    case TgaKind::kDet: return "DET";
+    case TgaKind::kSixTree: return "6Tree";
+    case TgaKind::kSixScan: return "6Scan";
+    case TgaKind::kSixGraph: return "6Graph";
+    case TgaKind::kSixGen: return "6Gen";
+    case TgaKind::kSixHit: return "6Hit";
+    case TgaKind::kEntropyIp: return "EIP";
+    case TgaKind::kSixForest: return "6Forest";
+  }
+  return "?";
+}
+
+/// Creates a generator with default parameters (the paper uses default
+/// TGA parameters throughout, §4.1).
+std::unique_ptr<TargetGenerator> make_generator(TgaKind kind);
+
+/// Creates a generator by its table name ("6Tree", "DET", ...); nullptr
+/// for unknown names.
+std::unique_ptr<TargetGenerator> make_generator(std::string_view name);
+
+}  // namespace v6::tga

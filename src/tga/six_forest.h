@@ -1,0 +1,58 @@
+// 6Forest (Yang et al., INFOCOM 2022) — extension beyond the paper's
+// core eight.
+//
+// An ensemble of space trees: seeds are split into bootstrap partitions,
+// each grown into its own space tree (alternating split heuristics), and
+// low-density outlier leaves are isolated and discarded before
+// generation — 6Forest's outlier-detection mechanism. Generation merges
+// the forest's surviving regions, densest first.
+//
+// The paper excluded 6Forest (with the deep-learning TGAs) because the
+// public implementation could not generate tens of millions of
+// addresses; this implementation exists so the exclusion can be studied
+// rather than assumed (see bench_ext_forest).
+#pragma once
+
+#include <vector>
+
+#include "tga/space_tree.h"
+#include "tga/target_generator.h"
+
+namespace v6::tga {
+
+class SixForest final : public TargetGeneratorBase {
+ public:
+  struct Options {
+    int trees = 8;                 // ensemble size
+    std::uint32_t max_leaf_seeds = 16;
+    int max_free = 6;
+    /// Leaves whose density falls below `outlier_quantile` of their
+    /// tree's density distribution are isolated as outliers.
+    double outlier_quantile = 0.25;
+    std::uint64_t chunk_per_seed = 8;
+    std::uint64_t min_chunk = 16;
+    int max_extensions = 1;
+  };
+
+  SixForest() = default;
+  explicit SixForest(const Options& options) : options_(options) {}
+
+  std::string_view name() const override { return "6Forest"; }
+  std::vector<v6::net::Ipv6Addr> next_batch(std::size_t n) override;
+
+ protected:
+  void reset_model() override;
+
+ private:
+  struct Region {
+    RegionCursor cursor;
+    std::uint64_t chunk = 0;
+    int extensions = 0;
+  };
+
+  Options options_;
+  std::vector<Region> regions_;  // density order across the whole forest
+  std::size_t turn_ = 0;
+};
+
+}  // namespace v6::tga

@@ -1,0 +1,126 @@
+#include "tga/six_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace v6::tga {
+
+using v6::net::Ipv6Addr;
+
+// ---- SixGen ----------------------------------------------------------------
+
+void SixGen::reset_model() {
+  clusters_.clear();
+  turn_ = 0;
+
+  // Cluster by /64 network.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> groups;
+  for (std::uint32_t i = 0; i < seeds_.size(); ++i) {
+    groups[seeds_[i].hi()].push_back(i);
+  }
+
+  struct Scored {
+    Cluster cluster;
+    double density;
+    Ipv6Addr base;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(groups.size());
+
+  for (const auto& [hi, members] : groups) {
+    // Observed value sets for the 16 low-64 nybbles.
+    std::array<std::vector<std::uint8_t>, 16> seen{};
+    for (const std::uint32_t m : members) {
+      for (int pos = 16; pos < 32; ++pos) {
+        const std::uint8_t v = seeds_[m].nybble(pos);
+        auto& vals = seen[static_cast<std::size_t>(pos - 16)];
+        if (!std::binary_search(vals.begin(), vals.end(), v)) {
+          vals.insert(std::lower_bound(vals.begin(), vals.end(), v), v);
+        }
+      }
+    }
+    // Varying positions form the range; fixed ones stay at their value.
+    std::vector<int> positions;
+    std::vector<std::vector<std::uint8_t>> values;
+    double span_log16 = 0.0;
+    for (int pos = 16; pos < 32; ++pos) {
+      auto& vals = seen[static_cast<std::size_t>(pos - 16)];
+      if (vals.size() > 1) {
+        span_log16 += std::log2(static_cast<double>(vals.size())) / 4.0;
+        positions.push_back(pos);
+        values.push_back(vals);
+      }
+    }
+    if (positions.empty()) {
+      // Single distinct low64: vary the host nybble.
+      positions.push_back(31);
+      values.push_back({seeds_[members.front()].nybble(31)});
+      values.back().push_back(
+          static_cast<std::uint8_t>((values.back().front() + 1) & 0xF));
+      std::sort(values.back().begin(), values.back().end());
+      values.back().erase(
+          std::unique(values.back().begin(), values.back().end()),
+          values.back().end());
+    }
+    if (span_log16 > static_cast<double>(options_.max_span_nybbles)) {
+      continue;  // range too sparse to be worth enumerating
+    }
+
+    Scored s;
+    s.base = seeds_[members.front()];
+    s.cluster.cursor = RangeCursor(s.base, std::move(positions),
+                                   std::move(values));
+    s.cluster.chunk = std::max<std::uint64_t>(
+        options_.min_chunk,
+        options_.chunk_per_seed * members.size());
+    s.density = static_cast<double>(members.size()) /
+                static_cast<double>(s.cluster.cursor.capacity());
+    scored.push_back(std::move(s));
+  }
+
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.density != b.density) return a.density > b.density;
+    return a.base < b.base;
+  });
+  clusters_.reserve(scored.size());
+  for (Scored& s : scored) clusters_.push_back(std::move(s.cluster));
+}
+
+std::vector<Ipv6Addr> SixGen::next_batch(std::size_t n) {
+  std::vector<Ipv6Addr> out;
+  out.reserve(n);
+  if (clusters_.empty()) return out;
+
+  // 6Gen packs the budget into the tightest ranges first: clusters are
+  // drained sequentially in density order. When the whole list is
+  // exhausted, every cluster is widened by one adjacent value and the
+  // sweep restarts (density-preserving growth).
+  std::size_t widen_rounds = 0;
+  while (out.size() < n) {
+    if (turn_ >= clusters_.size()) {
+      turn_ = 0;
+      bool any_widened = false;
+      for (Cluster& cluster : clusters_) {
+        if (!cluster.dead && cluster.cursor.widen()) any_widened = true;
+      }
+      if (!any_widened || ++widen_rounds > 64) break;
+    }
+    Cluster& cluster = clusters_[turn_];
+    if (cluster.dead) {
+      ++turn_;
+      continue;
+    }
+    bool progressed = false;
+    while (out.size() < n) {
+      auto addr = cluster.cursor.next();
+      if (!addr) break;  // drained; widen happens on the next full sweep
+      if (emit(*addr, out)) progressed = true;
+    }
+    if (out.size() < n) ++turn_;
+    (void)progressed;
+  }
+  return out;
+}
+
+}  // namespace v6::tga

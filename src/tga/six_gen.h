@@ -1,0 +1,50 @@
+// 6Gen (Murdock et al., IMC 2017).
+//
+// Clustering approach: seeds sharing a /64 network form a cluster whose
+// per-nybble observed-value sets define a tight range. Generation
+// enumerates the tightest (densest) ranges first and widens a range one
+// adjacent nybble value at a time once exhausted — 6Gen's density-driven
+// cluster growth.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tga/space_tree.h"
+#include "tga/target_generator.h"
+
+namespace v6::tga {
+
+class SixGen final : public TargetGeneratorBase {
+ public:
+  struct Options {
+    /// Clusters whose range exceeds 16^max_span addresses are dropped.
+    int max_span_nybbles = 7;
+    std::uint64_t chunk_per_seed = 8;
+    std::uint64_t min_chunk = 16;
+  };
+
+  SixGen() = default;
+  explicit SixGen(const Options& options) : options_(options) {}
+
+  std::string_view name() const override { return "6Gen"; }
+  std::vector<v6::net::Ipv6Addr> next_batch(std::size_t n) override;
+
+ protected:
+  void reset_model() override;
+
+ private:
+  struct Cluster {
+    RangeCursor cursor;
+    std::uint64_t chunk = 0;
+    bool dead = false;
+  };
+
+  Options options_;
+  std::vector<Cluster> clusters_;  // density order
+  std::size_t turn_ = 0;
+};
+
+}  // namespace v6::tga

@@ -1,0 +1,220 @@
+#include "tga/six_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+namespace v6::tga {
+
+using v6::net::Ipv6Addr;
+
+namespace {
+
+/// Disjoint-set forest for leaf merging.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// Unites unless the merged component would exceed `cap` members —
+  /// unbounded transitive merging chains unrelated patterns into one
+  /// dilute mega-cluster.
+  void unite(std::uint32_t a, std::uint32_t b, std::uint32_t cap) {
+    a = find(a);
+    b = find(b);
+    if (a == b || size_[a] + size_[b] > cap) return;
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+/// Key identifying a leaf pattern with one extra position wildcarded:
+/// the base address (free + wildcard positions zeroed) and the bitmask of
+/// wildcarded positions.
+struct PatternKey {
+  Ipv6Addr base;
+  std::uint64_t free_mask;
+  bool operator==(const PatternKey&) const = default;
+};
+
+struct PatternKeyHash {
+  std::size_t operator()(const PatternKey& k) const noexcept {
+    return v6::net::Ipv6AddrHash{}(k.base) ^
+           (k.free_mask * 0x9E3779B97F4A7C15ULL);
+  }
+};
+
+std::uint64_t free_mask_of(const std::vector<int>& free) {
+  std::uint64_t m = 0;
+  for (const int pos : free) m |= 1ULL << pos;
+  return m;
+}
+
+}  // namespace
+
+void SixGraph::reset_model() {
+  clusters_.clear();
+  turn_ = 0;
+
+  SpaceTree tree(seeds_, {.policy = SplitPolicy::kMinEntropy,
+                          .max_leaf_seeds = options_.max_leaf_seeds,
+                          .max_free = options_.max_free});
+  const auto leaves = tree.regions();
+  if (leaves.empty()) return;
+
+  // Connect leaves that agree on their pattern once any single fixed
+  // nybble is wildcarded (an edge in 6Graph's pattern-similarity graph).
+  UnionFind uf(leaves.size());
+  std::unordered_map<PatternKey, std::uint32_t, PatternKeyHash> first_with_key;
+  for (std::uint32_t li = 0; li < leaves.size(); ++li) {
+    const TreeRegion& leaf = leaves[li];
+    // Only tight leaves participate in pattern mining: a leaf with many
+    // free dimensions is noise, and merging through it would fuse
+    // unrelated patterns into one dilute cluster.
+    if (leaf.free.size() > 2) continue;
+    const std::uint64_t base_mask = free_mask_of(leaf.free);
+    for (int pos = 0; pos < Ipv6Addr::kNybbles; ++pos) {
+      if (base_mask & (1ULL << pos)) continue;
+      PatternKey key{leaf.base.with_nybble(pos, 0),
+                     base_mask | (1ULL << pos)};
+      const auto [it, inserted] = first_with_key.emplace(key, li);
+      if (!inserted) uf.unite(it->second, li, /*cap=*/16);
+    }
+  }
+
+  // Materialize components into pattern clusters. A cluster's pattern
+  // wildcards (a) the members' free dimensions over the full nybble range
+  // and (b) the positions where member bases differ over the *observed*
+  // values only — 6Graph expands mined patterns, it does not enumerate
+  // blind space between them.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> components;
+  for (std::uint32_t li = 0; li < leaves.size(); ++li) {
+    components[uf.find(li)].push_back(li);
+  }
+
+  struct Scored {
+    Cluster cluster;
+    double density;
+    Ipv6Addr base;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(components.size());
+  for (const auto& [root, members] : components) {
+    // Union of free positions; observed values at differing positions.
+    std::uint64_t free_mask = 0;
+    std::array<std::uint16_t, Ipv6Addr::kNybbles> value_bits{};
+    std::uint32_t seeds = 0;
+    double member_capacity = 0.0;
+    std::uint32_t best_seed_count = 0;
+    Ipv6Addr base = leaves[members.front()].base;
+    for (const std::uint32_t li : members) {
+      const TreeRegion& leaf = leaves[li];
+      free_mask |= free_mask_of(leaf.free);
+      for (int pos = 0; pos < Ipv6Addr::kNybbles; ++pos) {
+        value_bits[static_cast<std::size_t>(pos)] |=
+            static_cast<std::uint16_t>(1u << leaf.base.nybble(pos));
+      }
+      seeds += leaf.seed_count;
+      member_capacity +=
+          std::pow(16.0, static_cast<double>(leaf.free.size()));
+      if (leaf.seed_count > best_seed_count) {
+        best_seed_count = leaf.seed_count;
+        base = leaf.base;
+      }
+    }
+
+    std::vector<int> positions;
+    std::vector<std::vector<std::uint8_t>> values;
+    double span_log16 = 0.0;
+    for (int pos = 0; pos < Ipv6Addr::kNybbles; ++pos) {
+      const bool is_free = (free_mask >> pos) & 1;
+      std::vector<std::uint8_t> vals;
+      if (is_free) {
+        vals.resize(16);
+        for (int v = 0; v < 16; ++v) vals[static_cast<std::size_t>(v)] =
+            static_cast<std::uint8_t>(v);
+      } else {
+        for (int v = 0; v < 16; ++v) {
+          if (value_bits[static_cast<std::size_t>(pos)] & (1u << v)) {
+            vals.push_back(static_cast<std::uint8_t>(v));
+          }
+        }
+        if (vals.size() <= 1) continue;  // constant across members
+      }
+      span_log16 += std::log2(static_cast<double>(vals.size())) / 4.0;
+      positions.push_back(pos);
+      values.push_back(std::move(vals));
+      if (span_log16 > static_cast<double>(options_.max_cluster_free)) break;
+    }
+    if (span_log16 > static_cast<double>(options_.max_cluster_free)) {
+      continue;  // pattern too wide to enumerate
+    }
+    if (positions.empty()) {
+      positions.push_back(Ipv6Addr::kNybbles - 1);
+      std::vector<std::uint8_t> all16(16);
+      for (int v = 0; v < 16; ++v) all16[static_cast<std::size_t>(v)] =
+          static_cast<std::uint8_t>(v);
+      values.push_back(std::move(all16));
+    }
+
+    Scored s;
+    s.base = base;
+    s.cluster.cursor = RangeCursor(base, std::move(positions),
+                                   std::move(values));
+    s.cluster.chunk = std::max<std::uint64_t>(
+        options_.min_chunk, options_.chunk_per_seed * seeds);
+    // Density over the member space: fusing leaves into one pattern must
+    // not demote the pattern below its constituent parts.
+    s.density = (static_cast<double>(seeds) - 0.5) /
+                std::max(1.0, member_capacity);
+    scored.push_back(std::move(s));
+  }
+
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.density != b.density) return a.density > b.density;
+    return a.base < b.base;
+  });
+  clusters_.reserve(scored.size());
+  for (Scored& s : scored) clusters_.push_back(std::move(s.cluster));
+}
+
+std::vector<Ipv6Addr> SixGraph::next_batch(std::size_t n) {
+  std::vector<Ipv6Addr> out;
+  out.reserve(n);
+  if (clusters_.empty()) return out;
+
+  std::size_t stall = 0;
+  while (out.size() < n && stall < clusters_.size() * 2) {
+    Cluster& cluster = clusters_[turn_ % clusters_.size()];
+    ++turn_;
+    std::uint64_t taken = 0;
+    while (taken < cluster.chunk && out.size() < n) {
+      auto addr = cluster.cursor.next();
+      if (!addr) {
+        if (cluster.extensions >= options_.max_extensions ||
+            !cluster.cursor.widen()) {
+          break;
+        }
+        ++cluster.extensions;
+        break;  // widened space waits for the next scheduling round
+      }
+      if (emit(*addr, out)) ++taken;
+    }
+    stall = taken == 0 ? stall + 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace v6::tga

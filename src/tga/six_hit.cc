@@ -1,0 +1,108 @@
+#include "tga/six_hit.h"
+
+#include <algorithm>
+
+namespace v6::tga {
+
+using v6::net::Ipv6Addr;
+
+void SixHit::build_tree(const std::vector<Ipv6Addr>& from) {
+  regions_.clear();
+  SpaceTree tree(from, {.policy = SplitPolicy::kLeftmost,
+                        .max_leaf_seeds = options_.max_leaf_seeds,
+                        .max_free = options_.max_free});
+  regions_.reserve(tree.regions().size());
+  double max_density = 0.0;
+  for (const TreeRegion& r : tree.regions()) {
+    max_density = std::max(max_density, r.density);
+  }
+  for (const TreeRegion& r : tree.regions()) {
+    Region region;
+    region.cursor = RegionCursor(r.base, r.free);
+    // Flat optimism plus a density prior: unexplored regions stay
+    // attractive until feedback says otherwise.
+    region.q =
+        0.2 + (max_density > 0 ? 0.3 * r.density / max_density : 0.0);
+    regions_.push_back(std::move(region));
+  }
+}
+
+void SixHit::reset_model() {
+  pending_.clear();
+  discovered_.clear();
+  hits_since_rebuild_ = 0;
+  build_tree(seeds_);
+}
+
+std::vector<Ipv6Addr> SixHit::next_batch(std::size_t n) {
+  std::vector<Ipv6Addr> out;
+  out.reserve(n);
+  if (regions_.empty()) return out;
+
+  // Periodic tree recreation with discovered actives folded in.
+  if (hits_since_rebuild_ >= options_.rebuild_after_hits) {
+    std::vector<Ipv6Addr> combined = seeds_;
+    combined.insert(combined.end(), discovered_.begin(), discovered_.end());
+    pending_.clear();
+    build_tree(combined);
+    hits_since_rebuild_ = 0;
+  }
+
+  std::size_t consecutive_failures = 0;
+  while (out.size() < n && consecutive_failures < regions_.size() + 8) {
+    std::size_t pick;
+    if (v6::net::chance(rng_, options_.epsilon)) {
+      pick = v6::net::uniform_int<std::size_t>(rng_, 0, regions_.size() - 1);
+    } else {
+      pick = 0;
+      double best = -1.0;
+      for (std::size_t i = 0; i < regions_.size(); ++i) {
+        if (regions_[i].dead) continue;
+        if (regions_[i].q > best) {
+          best = regions_[i].q;
+          pick = i;
+        }
+      }
+    }
+    Region& region = regions_[pick];
+    if (region.dead) {
+      ++consecutive_failures;
+      continue;
+    }
+    std::uint64_t taken = 0;
+    while (taken < options_.chunk && out.size() < n) {
+      auto addr = region.cursor.next();
+      if (!addr) {
+        if (!region.cursor.extend()) {
+          region.dead = true;
+        } else {
+          // The widened space is 16x more dilute; discount its value so
+          // selection moves on unless feedback re-confirms it.
+          region.q *= 0.5;
+        }
+        break;
+      }
+      if (emit(*addr, out)) {
+        pending_.emplace(*addr, static_cast<std::uint32_t>(pick));
+        ++taken;
+      }
+    }
+    consecutive_failures = taken == 0 ? consecutive_failures + 1 : 0;
+  }
+  return out;
+}
+
+void SixHit::observe(const Ipv6Addr& addr, bool active) {
+  const auto it = pending_.find(addr);
+  if (it == pending_.end()) return;
+  Region& region = regions_[it->second];
+  const double reward = active ? 1.0 : 0.0;
+  region.q += options_.learning_rate * (reward - region.q);
+  if (active) {
+    discovered_.push_back(addr);
+    ++hits_since_rebuild_;
+  }
+  pending_.erase(it);
+}
+
+}  // namespace v6::tga

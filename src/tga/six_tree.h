@@ -1,0 +1,54 @@
+// 6Tree (Liu et al., Computer Networks 2019).
+//
+// Divisive hierarchical clustering on address nybbles from the highest
+// granularity down builds a space tree; generation expands the variable
+// dimensions of leaf regions, densest regions first. This implementation
+// is offline (per the paper's Table 1 classification): the traversal
+// order is fixed by seed density at preparation time, with weighted
+// round-robin expansion so deep regions do not starve broad ones.
+#pragma once
+
+#include <vector>
+
+#include "tga/space_tree.h"
+#include "tga/target_generator.h"
+
+namespace v6::tga {
+
+class SixTree final : public TargetGeneratorBase {
+ public:
+  struct Options {
+    std::uint32_t max_leaf_seeds = 16;
+    int max_free = 6;
+    /// Addresses taken from a region per scheduling turn, scaled by the
+    /// region's seed count.
+    std::uint64_t chunk_per_seed = 8;
+    std::uint64_t min_chunk = 16;
+    /// Times a drained region may widen (each widening multiplies the
+    /// region space by 16); offline models cannot detect waste, so keep
+    /// this small.
+    int max_extensions = 1;
+  };
+
+  SixTree() = default;
+  explicit SixTree(const Options& options) : options_(options) {}
+
+  std::string_view name() const override { return "6Tree"; }
+  std::vector<v6::net::Ipv6Addr> next_batch(std::size_t n) override;
+
+ protected:
+  void reset_model() override;
+
+ private:
+  struct Region {
+    RegionCursor cursor;
+    std::uint64_t chunk = 0;
+    int extensions = 0;
+  };
+
+  Options options_;
+  std::vector<Region> regions_;  // density order
+  std::size_t turn_ = 0;         // round-robin position
+};
+
+}  // namespace v6::tga

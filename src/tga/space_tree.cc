@@ -1,0 +1,198 @@
+#include "tga/space_tree.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "tga/nybble_stats.h"
+
+namespace v6::tga {
+
+using v6::net::Ipv6Addr;
+
+// ---- RegionCursor ------------------------------------------------------
+
+RegionCursor::RegionCursor(Ipv6Addr base, std::vector<int> free_nybbles)
+    : base_(base), free_(std::move(free_nybbles)) {
+  std::sort(free_.begin(), free_.end());
+  // Zero the free positions of the base so enumeration starts at the
+  // region origin.
+  for (const int pos : free_) base_ = base_.with_nybble(pos, 0);
+}
+
+std::uint64_t RegionCursor::capacity() const {
+  if (free_.size() >= 16) return ~0ULL;  // effectively unbounded
+  return 1ULL << (4 * free_.size());
+}
+
+std::optional<Ipv6Addr> RegionCursor::next() {
+  if (counter_ >= capacity()) return std::nullopt;
+  Ipv6Addr addr = base_;
+  std::uint64_t c = counter_;
+  // Rightmost free position spins fastest.
+  for (std::size_t j = 0; j < free_.size(); ++j) {
+    const int pos = free_[free_.size() - 1 - j];
+    addr = addr.with_nybble(pos, static_cast<std::uint8_t>(c & 0xF));
+    c >>= 4;
+  }
+  ++counter_;
+  return addr;
+}
+
+bool RegionCursor::extend() {
+  // Free the rightmost currently-fixed nybble.
+  std::array<bool, Ipv6Addr::kNybbles> is_free{};
+  for (const int pos : free_) is_free[static_cast<std::size_t>(pos)] = true;
+  for (int pos = Ipv6Addr::kNybbles - 1; pos >= 0; --pos) {
+    if (!is_free[static_cast<std::size_t>(pos)]) {
+      free_.push_back(pos);
+      std::sort(free_.begin(), free_.end());
+      base_ = base_.with_nybble(pos, 0);
+      counter_ = 0;  // restart enumeration over the enlarged space
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- RangeCursor ---------------------------------------------------------
+
+RangeCursor::RangeCursor(Ipv6Addr base, std::vector<int> positions,
+                         std::vector<std::vector<std::uint8_t>> values)
+    : base_(base), positions_(std::move(positions)), values_(std::move(values)) {}
+
+std::uint64_t RangeCursor::capacity() const {
+  std::uint64_t c = 1;
+  for (const auto& v : values_) {
+    c *= v.size();
+    if (c > (1ULL << 62)) return 1ULL << 62;
+  }
+  return c;
+}
+
+std::optional<Ipv6Addr> RangeCursor::next() {
+  if (counter_ >= capacity()) return std::nullopt;
+  Ipv6Addr addr = base_;
+  std::uint64_t c = counter_;
+  for (std::size_t j = 0; j < positions_.size(); ++j) {
+    const std::size_t i = positions_.size() - 1 - j;  // rightmost fastest
+    const auto& vals = values_[i];
+    addr = addr.with_nybble(positions_[i], vals[c % vals.size()]);
+    c /= vals.size();
+  }
+  ++counter_;
+  return addr;
+}
+
+bool RangeCursor::widen() {
+  // Narrowest position (rightmost on ties) gains one adjacent value.
+  int best = -1;
+  for (int i = static_cast<int>(values_.size()) - 1; i >= 0; --i) {
+    const auto& v = values_[static_cast<std::size_t>(i)];
+    if (v.size() >= 16) continue;
+    if (best < 0 ||
+        v.size() < values_[static_cast<std::size_t>(best)].size()) {
+      best = i;
+    }
+  }
+  if (best < 0) return false;
+  auto& vals = values_[static_cast<std::size_t>(best)];
+  // Prefer max+1, fall back to min-1, else the first gap.
+  if (vals.back() < 15) {
+    vals.push_back(static_cast<std::uint8_t>(vals.back() + 1));
+  } else if (vals.front() > 0) {
+    vals.insert(vals.begin(), static_cast<std::uint8_t>(vals.front() - 1));
+  } else {
+    for (std::uint8_t v = 0; v < 16; ++v) {
+      if (!std::binary_search(vals.begin(), vals.end(), v)) {
+        vals.insert(std::lower_bound(vals.begin(), vals.end(), v), v);
+        break;
+      }
+    }
+  }
+  counter_ = 0;
+  return true;
+}
+
+// ---- SpaceTree -----------------------------------------------------------
+
+SpaceTree::SpaceTree(std::span<const Ipv6Addr> seeds, Options options)
+    : options_(options) {
+  if (seeds.empty()) return;
+  std::vector<std::uint32_t> all(seeds.size());
+  for (std::uint32_t i = 0; i < seeds.size(); ++i) all[i] = i;
+  build(seeds, std::move(all), 0);
+  std::sort(regions_.begin(), regions_.end(),
+            [](const TreeRegion& a, const TreeRegion& b) {
+              if (a.density != b.density) return a.density > b.density;
+              return a.base < b.base;
+            });
+}
+
+void SpaceTree::build(std::span<const Ipv6Addr> seeds,
+                      std::vector<std::uint32_t> indices, int depth) {
+  ++node_count_;
+
+  // Split decisions on large nodes are made from a stride sample; the
+  // exact statistics are recomputed if the node turns out to be a leaf.
+  constexpr std::size_t kSampleCap = 4096;
+  const bool sampled = indices.size() > kSampleCap;
+  NybbleStats stats;
+  if (sampled) {
+    const std::size_t stride = indices.size() / kSampleCap;
+    for (std::size_t i = 0; i < indices.size(); i += stride) {
+      stats.add(seeds[indices[i]]);
+    }
+  } else {
+    for (const std::uint32_t i : indices) stats.add(seeds[i]);
+  }
+
+  const int split =
+      options_.policy == SplitPolicy::kLeftmost
+          ? stats.leftmost_varying_position()
+          : stats.min_entropy_position();
+
+  const bool make_leaf = split < 0 ||
+                         indices.size() <= options_.max_leaf_seeds ||
+                         depth >= Ipv6Addr::kNybbles;
+  if (make_leaf) {
+    if (sampled) {
+      stats = NybbleStats();
+      for (const std::uint32_t i : indices) stats.add(seeds[i]);
+    }
+    TreeRegion region;
+    std::vector<int> varying = stats.varying_positions();
+    // Keep at most max_free dimensions; prefer the rightmost (host-side)
+    // ones, which vary most in structured allocations.
+    if (static_cast<int>(varying.size()) > options_.max_free) {
+      varying.erase(varying.begin(),
+                    varying.end() - options_.max_free);
+    }
+    if (varying.empty()) {
+      // Identical (or single) seeds: expand around the host nybble.
+      varying.push_back(Ipv6Addr::kNybbles - 1);
+    }
+    region.base = seeds[indices.front()];
+    for (const int pos : varying) region.base = region.base.with_nybble(pos, 0);
+    region.free = std::move(varying);
+    region.seed_count = static_cast<std::uint32_t>(indices.size());
+    // (n - 0.5) rather than n: a singleton region's density estimate is
+    // discounted so true multi-seed patterns outrank lone addresses.
+    region.density = (static_cast<double>(indices.size()) - 0.5) /
+                     std::pow(16.0, static_cast<double>(region.free.size()));
+    regions_.push_back(std::move(region));
+    return;
+  }
+
+  std::array<std::vector<std::uint32_t>, 16> buckets;
+  for (const std::uint32_t i : indices) {
+    buckets[seeds[i].nybble(split)].push_back(i);
+  }
+  indices.clear();
+  indices.shrink_to_fit();
+  for (auto& bucket : buckets) {
+    if (!bucket.empty()) build(seeds, std::move(bucket), depth + 1);
+  }
+}
+
+}  // namespace v6::tga

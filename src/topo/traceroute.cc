@@ -1,0 +1,152 @@
+#include "topo/traceroute.h"
+
+#include <algorithm>
+
+namespace v6::topo {
+
+using v6::net::Ipv6Addr;
+using v6::net::Rng;
+using v6::simnet::HostKind;
+
+const std::vector<std::uint32_t> TracerouteEngine::kEmpty;
+
+namespace {
+
+double addr_unit(const Ipv6Addr& addr) {
+  const std::uint64_t h =
+      v6::net::splitmix64(addr.hi() ^ v6::net::splitmix64(addr.lo()));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+TracerouteEngine::TracerouteEngine(const v6::simnet::Universe& universe,
+                                   std::uint64_t seed)
+    : universe_(&universe), seed_(seed) {
+  // Index routers per AS.
+  const auto hosts = universe.hosts();
+  std::unordered_map<std::uint32_t, std::size_t> as_router_count;
+  for (std::uint32_t i = 0; i < hosts.size(); ++i) {
+    if (hosts[i].kind == HostKind::kRouter &&
+        hosts[i].historic_services != 0) {
+      routers_[hosts[i].asn].push_back(i);
+    }
+  }
+  // Transit pool: ASes with several routers act as providers.
+  for (const auto& [asn, indices] : routers_) {
+    if (indices.size() >= 3) transit_pool_.push_back(asn);
+  }
+  std::sort(transit_pool_.begin(), transit_pool_.end());
+  if (transit_pool_.empty()) {
+    for (const auto& [asn, indices] : routers_) transit_pool_.push_back(asn);
+    std::sort(transit_pool_.begin(), transit_pool_.end());
+  }
+
+  // Synthesize 1-3 upstream providers per AS, deterministically.
+  for (const auto& info : universe.asdb().all()) {
+    Rng rng = v6::net::make_rng(seed, 0x109 ^ info.asn);
+    const int n = transit_pool_.empty()
+                      ? 0
+                      : v6::net::uniform_int(rng, 1, 3);
+    std::vector<std::uint32_t> ups;
+    for (int i = 0; i < n; ++i) {
+      const std::uint32_t provider = transit_pool_[v6::net::uniform_int<
+          std::size_t>(rng, 0, transit_pool_.size() - 1)];
+      if (provider != info.asn &&
+          std::find(ups.begin(), ups.end(), provider) == ups.end()) {
+        ups.push_back(provider);
+      }
+    }
+    upstreams_.emplace(info.asn, std::move(ups));
+  }
+}
+
+const std::vector<std::uint32_t>& TracerouteEngine::upstreams(
+    std::uint32_t asn) const {
+  const auto it = upstreams_.find(asn);
+  return it == upstreams_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::uint32_t> TracerouteEngine::visible_routers(
+    std::uint32_t asn, const VantageProfile& vantage) const {
+  std::vector<std::uint32_t> out;
+  const auto it = routers_.find(asn);
+  if (it == routers_.end()) return out;
+  const auto hosts = universe_->hosts();
+  for (const std::uint32_t idx : it->second) {
+    const double u = addr_unit(hosts[idx].addr);
+    if (u >= vantage.band_lo && u < vantage.band_hi) out.push_back(idx);
+  }
+  return out;
+}
+
+std::vector<TraceHop> TracerouteEngine::trace(const Ipv6Addr& target,
+                                              const VantageProfile& vantage) {
+  std::vector<TraceHop> path;
+  const auto dest_asn = universe_->asn_of(target);
+  if (!dest_asn) return path;
+
+  Rng rng = v6::net::make_rng(
+      seed_, v6::net::splitmix64(target.hi() ^ target.lo()) ^ 0x7124CE);
+  const auto hosts = universe_->hosts();
+  int ttl = 1;
+
+  auto push_from_as = [&](std::uint32_t asn, int max_hops) {
+    const auto visible = visible_routers(asn, vantage);
+    if (visible.empty()) return;
+    const int hops =
+        std::min<int>(max_hops, v6::net::uniform_int(rng, 1, 2));
+    for (int h = 0; h < hops; ++h) {
+      ++probes_;
+      const std::uint32_t idx = visible[v6::net::uniform_int<std::size_t>(
+          rng, 0, visible.size() - 1)];
+      TraceHop hop;
+      hop.addr = hosts[idx].addr;
+      hop.asn = asn;
+      hop.ttl = ttl++;
+      hop.responded = v6::net::chance(rng, vantage.hop_response_prob);
+      path.push_back(hop);
+    }
+  };
+
+  // Provider chain: up to two levels of upstreams, then the destination.
+  const auto& ups = upstreams(*dest_asn);
+  if (!ups.empty()) {
+    const std::uint32_t first =
+        ups[v6::net::uniform_int<std::size_t>(rng, 0, ups.size() - 1)];
+    const auto& grand = upstreams(first);
+    if (!grand.empty()) {
+      push_from_as(grand[v6::net::uniform_int<std::size_t>(
+                       rng, 0, grand.size() - 1)],
+                   2);
+    }
+    push_from_as(first, 2);
+  }
+  push_from_as(*dest_asn, 2);
+  return path;
+}
+
+std::vector<Ipv6Addr> TracerouteEngine::campaign(std::size_t num_targets,
+                                                 const VantageProfile& vantage,
+                                                 std::uint64_t campaign_tag) {
+  std::vector<Ipv6Addr> out;
+  std::unordered_map<Ipv6Addr, bool, v6::net::Ipv6AddrHash> seen;
+  Rng rng = v6::net::make_rng(seed_, 0xCA4 ^ campaign_tag);
+  const auto& announcements = universe_->routes().announcements();
+  if (announcements.empty()) return out;
+
+  for (std::size_t i = 0; i < num_targets; ++i) {
+    const auto& [prefix, asn] = announcements[v6::net::uniform_int<
+        std::size_t>(rng, 0, announcements.size() - 1)];
+    const Ipv6Addr target = v6::net::random_in_prefix(rng, prefix);
+    for (const TraceHop& hop : trace(target, vantage)) {
+      if (!hop.responded) continue;
+      if (seen.emplace(hop.addr, true).second) {
+        out.push_back(hop.addr);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace v6::topo

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "asdb/as_database.h"
+#include "asdb/routing_table.h"
+
+namespace v6::asdb {
+namespace {
+
+TEST(AsDatabase, AddAndFind) {
+  AsDatabase db;
+  db.add({.asn = 100, .name = "net-a", .org_type = OrgType::kIsp,
+          .region = Region::kEurope});
+  db.add({.asn = 200, .name = "net-b", .org_type = OrgType::kCloud,
+          .region = Region::kAsia});
+  ASSERT_NE(db.find(100), nullptr);
+  EXPECT_EQ(db.find(100)->name, "net-a");
+  EXPECT_EQ(db.find(200)->org_type, OrgType::kCloud);
+  EXPECT_EQ(db.find(300), nullptr);
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(AsDatabase, AddOverwritesExisting) {
+  AsDatabase db;
+  db.add({.asn = 100, .name = "old"});
+  db.add({.asn = 100, .name = "new"});
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.find(100)->name, "new");
+}
+
+TEST(AsDatabase, OrgTypeNames) {
+  EXPECT_EQ(to_string(OrgType::kIsp), "ISP");
+  EXPECT_EQ(to_string(OrgType::kCdn), "CDN");
+  EXPECT_EQ(to_string(OrgType::kSatellite), "Satellite");
+}
+
+TEST(RoutingTable, LongestPrefixWins) {
+  RoutingTable table;
+  table.announce(v6::net::Prefix::must_parse("2001:db8::/32"), 100);
+  table.announce(v6::net::Prefix::must_parse("2001:db8:1::/48"), 200);
+
+  EXPECT_EQ(table.asn_of(v6::net::Ipv6Addr::must_parse("2001:db8::1")), 100u);
+  EXPECT_EQ(table.asn_of(v6::net::Ipv6Addr::must_parse("2001:db8:1::1")),
+            200u);
+  EXPECT_FALSE(
+      table.asn_of(v6::net::Ipv6Addr::must_parse("2a00::1")).has_value());
+}
+
+TEST(RoutingTable, AnnouncementsRecorded) {
+  RoutingTable table;
+  table.announce(v6::net::Prefix::must_parse("2001:db8::/32"), 100);
+  table.announce(v6::net::Prefix::must_parse("2600::/12"), 300);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.announcements().size(), 2u);
+  EXPECT_EQ(table.announcements()[1].second, 300u);
+}
+
+}  // namespace
+}  // namespace v6::asdb

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "dns/domain_lists.h"
+#include "dns/resolver.h"
+#include "dns/zone_db.h"
+#include "testutil/fixtures.h"
+
+namespace v6::dns {
+namespace {
+
+using v6::net::Ipv6Addr;
+using v6::testutil::small_universe;
+
+const ZoneDb& test_zone() {
+  static const ZoneDb zone = ZoneDb::build(small_universe(), {.seed = 42});
+  return zone;
+}
+
+TEST(ZoneDb, BuildsRecordsForNamedHosts) {
+  const ZoneDb& zone = test_zone();
+  EXPECT_GT(zone.size(), 1000u);
+  for (const DomainRecord& record : zone.records()) {
+    EXPECT_FALSE(record.name.empty());
+    EXPECT_FALSE(record.aaaa.empty()) << record.name;
+  }
+}
+
+TEST(ZoneDb, Deterministic) {
+  const ZoneDb a = ZoneDb::build(small_universe(), {.seed = 7});
+  const ZoneDb b = ZoneDb::build(small_universe(), {.seed = 7});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records()[i].name, b.records()[i].name);
+    EXPECT_EQ(a.records()[i].aaaa, b.records()[i].aaaa);
+  }
+}
+
+TEST(ZoneDb, FindByName) {
+  const ZoneDb& zone = test_zone();
+  const DomainRecord& first = zone.records()[0];
+  const DomainRecord* found = zone.find(first.name);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->aaaa, first.aaaa);
+  EXPECT_EQ(zone.find("definitely-not-a-name.example"), nullptr);
+}
+
+TEST(ZoneDb, RanksAreUniqueAndContiguous) {
+  const ZoneDb& zone = test_zone();
+  std::unordered_set<std::uint32_t> ranks;
+  for (const std::uint32_t id : zone.ranked()) {
+    const std::uint32_t rank = zone.records()[id].rank;
+    EXPECT_GT(rank, 0u);
+    EXPECT_TRUE(ranks.insert(rank).second);
+  }
+  EXPECT_FALSE(zone.ranked().empty());
+}
+
+TEST(ZoneDb, MostRecordsPointAtRealHosts) {
+  const ZoneDb& zone = test_zone();
+  std::size_t resolved_to_host = 0;
+  std::size_t total = 0;
+  for (const DomainRecord& record : zone.records()) {
+    for (const Ipv6Addr& a : record.aaaa) {
+      ++total;
+      if (small_universe().host(a) != nullptr ||
+          small_universe().is_aliased(a)) {
+        ++resolved_to_host;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(resolved_to_host) /
+                static_cast<double>(total),
+            0.85);
+}
+
+TEST(Resolver, ResolvesZoneNames) {
+  Resolver resolver(test_zone(), {.seed = 1, .timeout_prob = 0.0,
+                                  .servfail_prob = 0.0, .no_aaaa_prob = 0.0});
+  const DomainRecord& record = test_zone().records()[0];
+  const Resolution r = resolver.resolve(record.name);
+  EXPECT_EQ(r.rcode, RCode::kNoError);
+  EXPECT_EQ(r.aaaa, record.aaaa);
+}
+
+TEST(Resolver, NxDomainForUnknownNames) {
+  Resolver resolver(test_zone(), {.seed = 1, .timeout_prob = 0.0,
+                                  .servfail_prob = 0.0});
+  EXPECT_EQ(resolver.resolve("nope.example").rcode, RCode::kNxDomain);
+  EXPECT_TRUE(resolver.resolve("nope.example").aaaa.empty());
+}
+
+TEST(Resolver, CachesByName) {
+  Resolver resolver(test_zone(), {.seed = 1, .timeout_prob = 0.0,
+                                  .servfail_prob = 0.0, .no_aaaa_prob = 0.0});
+  const DomainRecord& record = test_zone().records()[0];
+  resolver.resolve(record.name);
+  const std::uint64_t packets = resolver.stats().packets;
+  resolver.resolve(record.name);
+  EXPECT_EQ(resolver.stats().packets, packets);
+  EXPECT_EQ(resolver.stats().cache_hits, 1u);
+}
+
+TEST(Resolver, TransientFailuresNotCached) {
+  Resolver resolver(test_zone(),
+                    {.seed = 1, .timeout_prob = 1.0, .retries = 1});
+  const DomainRecord& record = test_zone().records()[0];
+  EXPECT_EQ(resolver.resolve(record.name).rcode, RCode::kTimeout);
+  EXPECT_EQ(resolver.stats().cache_hits, 0u);
+  resolver.resolve(record.name);
+  EXPECT_EQ(resolver.stats().cache_hits, 0u);  // retried, not served cached
+}
+
+TEST(Resolver, BatchResolveFlattens) {
+  Resolver resolver(test_zone(), {.seed = 1, .timeout_prob = 0.0,
+                                  .servfail_prob = 0.0, .no_aaaa_prob = 0.0});
+  std::vector<std::string> names = {test_zone().records()[0].name,
+                                    "missing.example",
+                                    test_zone().records()[1].name};
+  const auto addrs = resolver.resolve_all(names);
+  EXPECT_GE(addrs.size(), 2u);
+  EXPECT_EQ(resolver.stats().queries, 3u);
+  EXPECT_EQ(resolver.stats().nxdomain, 1u);
+}
+
+class DomainListPerKind : public ::testing::TestWithParam<DomainListKind> {};
+
+TEST_P(DomainListPerKind, ProducesDeterministicNonEmptyList) {
+  const auto a =
+      make_domain_list(test_zone(), small_universe(), GetParam(), 42);
+  const auto b =
+      make_domain_list(test_zone(), small_universe(), GetParam(), 42);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DomainListPerKind,
+    ::testing::Values(DomainListKind::kCensysCt, DomainListKind::kRapid7Fdns,
+                      DomainListKind::kUmbrella, DomainListKind::kMajestic,
+                      DomainListKind::kTranco, DomainListKind::kSecrank,
+                      DomainListKind::kRadar, DomainListKind::kCaidaDns));
+
+TEST(DomainList, ToplistRespectsTopN) {
+  const auto list = make_domain_list(test_zone(), small_universe(),
+                                     DomainListKind::kMajestic, 42);
+  const auto profile = default_domain_profile(DomainListKind::kMajestic);
+  // top_n plus the dead-name tail.
+  EXPECT_LE(list.size(),
+            static_cast<std::size_t>(
+                static_cast<double>(profile.top_n) *
+                (1.0 + profile.dead_name_fraction) + 2));
+}
+
+TEST(DomainList, BreadthFeedIsLargerThanToplists) {
+  const auto censys = make_domain_list(test_zone(), small_universe(),
+                                       DomainListKind::kCensysCt, 42);
+  const auto majestic = make_domain_list(test_zone(), small_universe(),
+                                         DomainListKind::kMajestic, 42);
+  EXPECT_GT(censys.size(), majestic.size() * 3);
+}
+
+TEST(DomainList, DeadNamesResolveNxDomain) {
+  const auto list = make_domain_list(test_zone(), small_universe(),
+                                     DomainListKind::kRapid7Fdns, 42);
+  Resolver resolver(test_zone(), {.seed = 2, .timeout_prob = 0.0,
+                                  .servfail_prob = 0.0});
+  resolver.resolve_all(list);
+  EXPECT_GT(resolver.stats().nxdomain, list.size() / 10)
+      << "the archival feed should contain many dead names";
+}
+
+}  // namespace
+}  // namespace v6::dns

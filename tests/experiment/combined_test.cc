@@ -1,0 +1,107 @@
+// Tests for the combined multi-TGA scan (paper §4.2).
+#include "experiment/combined.h"
+
+#include <gtest/gtest.h>
+
+#include "experiment/pipeline.h"
+#include "experiment/workbench.h"
+#include "tga/registry.h"
+
+namespace v6::experiment {
+namespace {
+
+using v6::net::Ipv6Addr;
+
+Workbench& combined_bench() {
+  static Workbench* bench = [] {
+    WorkbenchConfig config;
+    config.seed = 61;
+    config.universe.seed = 61;
+    config.universe.num_ases = 150;
+    config.universe.host_scale = 0.1;
+    config.universe.dense_region_prefix_len = 54;
+    return new Workbench(config);
+  }();
+  return *bench;
+}
+
+CombinedResult run_three(std::uint64_t budget = 15'000) {
+  auto a = v6::tga::make_generator(v6::tga::TgaKind::kSixTree);
+  auto b = v6::tga::make_generator(v6::tga::TgaKind::kDet);
+  auto c = v6::tga::make_generator(v6::tga::TgaKind::kSixGen);
+  std::vector<v6::tga::TargetGenerator*> generators = {a.get(), b.get(),
+                                                       c.get()};
+  CombinedConfig config;
+  config.budget_per_generator = budget;
+  config.batch_size = 5'000;
+  return run_combined(combined_bench().universe(), generators,
+                      combined_bench().all_active(),
+                      combined_bench().alias_list(), config);
+}
+
+TEST(CombinedScan, EveryGeneratorConsumesItsBudget) {
+  const auto result = run_three();
+  ASSERT_EQ(result.per_generator.size(), 3u);
+  for (const auto& outcome : result.per_generator) {
+    EXPECT_EQ(outcome.generated, 15'000u);
+  }
+  EXPECT_EQ(result.proposals, 45'000u);
+}
+
+TEST(CombinedScan, UnionIsTheUnionOfAttributedHits) {
+  const auto result = run_three();
+  std::unordered_set<Ipv6Addr> expected;
+  for (const auto& outcome : result.per_generator) {
+    expected.insert(outcome.hit_set.begin(), outcome.hit_set.end());
+  }
+  EXPECT_EQ(result.union_hits, expected);
+  EXPECT_FALSE(result.union_hits.empty());
+}
+
+TEST(CombinedScan, DedupSavesProbes) {
+  const auto result = run_three();
+  // Generators overlap, so the unique scan list is smaller than the sum
+  // of proposals (the point of the paper's combined methodology).
+  EXPECT_LT(result.unique_scanned, result.proposals);
+  EXPECT_GT(result.unique_scanned, 0u);
+}
+
+TEST(CombinedScan, AttributedOutcomesAreConsistent) {
+  const auto result = run_three();
+  for (const auto& outcome : result.per_generator) {
+    EXPECT_EQ(outcome.responsive,
+              outcome.hits() + outcome.aliases + outcome.dense_filtered);
+    EXPECT_LE(outcome.ases(), std::max<std::uint64_t>(outcome.hits(), 1));
+  }
+}
+
+TEST(CombinedScan, Deterministic) {
+  const auto a = run_three();
+  const auto b = run_three();
+  EXPECT_EQ(a.union_hits, b.union_hits);
+  EXPECT_EQ(a.packets, b.packets);
+  for (std::size_t i = 0; i < a.per_generator.size(); ++i) {
+    EXPECT_EQ(a.per_generator[i].hits(), b.per_generator[i].hits());
+  }
+}
+
+TEST(CombinedScan, CheaperThanSeparateScans) {
+  const auto combined = run_three();
+  // The same three generators run separately through the pipeline.
+  std::uint64_t separate_packets = 0;
+  for (const auto kind : {v6::tga::TgaKind::kSixTree, v6::tga::TgaKind::kDet,
+                          v6::tga::TgaKind::kSixGen}) {
+    auto generator = v6::tga::make_generator(kind);
+    PipelineConfig config;
+    config.budget = 15'000;
+    config.batch_size = 5'000;
+    const auto outcome = run_tga(combined_bench().universe(), *generator,
+                                 combined_bench().all_active(),
+                                 combined_bench().alias_list(), config);
+    separate_packets += outcome.packets;
+  }
+  EXPECT_LT(combined.packets, separate_packets);
+}
+
+}  // namespace
+}  // namespace v6::experiment

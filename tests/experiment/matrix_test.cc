@@ -1,0 +1,81 @@
+// Full-matrix integration sweep: every core TGA on every probe type
+// through the complete pipeline, with invariants that must hold for any
+// (generator, port) combination.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "experiment/pipeline.h"
+#include "experiment/workbench.h"
+#include "tga/registry.h"
+
+namespace v6::experiment {
+namespace {
+
+using v6::net::ProbeType;
+
+Workbench& matrix_bench() {
+  static Workbench* bench = [] {
+    WorkbenchConfig config;
+    config.seed = 31;
+    config.universe.seed = 31;
+    config.universe.num_ases = 150;
+    config.universe.host_scale = 0.1;
+    config.universe.dense_region_prefix_len = 54;
+    return new Workbench(config);
+  }();
+  return *bench;
+}
+
+class PipelineMatrix
+    : public ::testing::TestWithParam<std::tuple<v6::tga::TgaKind, ProbeType>> {
+};
+
+TEST_P(PipelineMatrix, InvariantsHold) {
+  const auto [kind, port] = GetParam();
+  auto generator = v6::tga::make_generator(kind);
+  PipelineConfig config;
+  config.budget = 12'000;
+  config.batch_size = 3'000;
+  config.type = port;
+  const auto outcome =
+      run_tga(matrix_bench().universe(), *generator,
+              matrix_bench().all_active(), matrix_bench().alias_list(),
+              config);
+
+  // Budget and uniqueness.
+  EXPECT_LE(outcome.generated, config.budget);
+  EXPECT_EQ(outcome.unique_generated, outcome.generated);
+  // Accounting identity.
+  EXPECT_EQ(outcome.responsive,
+            outcome.hits() + outcome.aliases + outcome.dense_filtered);
+  // The AS12322 filter only applies to ICMP.
+  if (port != ProbeType::kIcmp) {
+    EXPECT_EQ(outcome.dense_filtered, 0u);
+  }
+  // ASes can never exceed hits, and every hit resolves inside the
+  // simulated address space (2000::/4).
+  EXPECT_LE(outcome.ases(), std::max<std::uint64_t>(outcome.hits(), 1));
+  for (const auto& hit : outcome.hit_set) {
+    EXPECT_EQ(hit.nybble(0), 0x2u) << hit.to_string();
+  }
+  // Packets cover at least one probe per generated address.
+  EXPECT_GE(outcome.packets, outcome.generated);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PipelineMatrix,
+    ::testing::Combine(::testing::ValuesIn(v6::tga::kAllTgas.begin(),
+                                           v6::tga::kAllTgas.end()),
+                       ::testing::ValuesIn(v6::net::kAllProbeTypes.begin(),
+                                           v6::net::kAllProbeTypes.end())),
+    [](const auto& info) {
+      std::string name{v6::tga::to_string(std::get<0>(info.param))};
+      name += "_";
+      name += v6::net::to_string(std::get<1>(info.param));
+      std::erase_if(name, [](char c) { return !std::isalnum(c) && c != '_'; });
+      return name;
+    });
+
+}  // namespace
+}  // namespace v6::experiment

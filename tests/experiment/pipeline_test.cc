@@ -1,0 +1,221 @@
+// End-to-end pipeline and workbench integration tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "experiment/pipeline.h"
+#include "experiment/workbench.h"
+#include "tga/registry.h"
+#include "testutil/fixtures.h"
+
+namespace v6::experiment {
+namespace {
+
+using v6::net::Ipv6Addr;
+using v6::net::ProbeType;
+
+/// Small workbench shared by the tests in this file (built once).
+Workbench& small_bench() {
+  static Workbench* bench = [] {
+    WorkbenchConfig config;
+    config.seed = 77;
+    config.universe.seed = 77;
+    config.universe.num_ases = 200;
+    config.universe.host_scale = 0.15;
+    config.universe.dense_region_prefix_len = 52;
+    return new Workbench(config);
+  }();
+  return *bench;
+}
+
+PipelineConfig small_config(ProbeType type = ProbeType::kIcmp) {
+  PipelineConfig config;
+  config.budget = 30'000;
+  config.batch_size = 5'000;
+  config.type = type;
+  return config;
+}
+
+TEST(Pipeline, RespectsBudget) {
+  auto generator = v6::tga::make_generator(v6::tga::TgaKind::kSixTree);
+  const auto outcome =
+      run_tga(small_bench().universe(), *generator,
+              small_bench().all_active(), small_bench().alias_list(),
+              small_config());
+  EXPECT_EQ(outcome.generated, 30'000u);
+  EXPECT_EQ(outcome.unique_generated, outcome.generated);
+}
+
+TEST(Pipeline, AccountingIsConsistent) {
+  auto generator = v6::tga::make_generator(v6::tga::TgaKind::kDet);
+  const auto outcome =
+      run_tga(small_bench().universe(), *generator,
+              small_bench().all_active(), small_bench().alias_list(),
+              small_config());
+  // Every responsive address is exactly one of: hit, alias, dense-filtered.
+  EXPECT_EQ(outcome.responsive,
+            outcome.hits() + outcome.aliases + outcome.dense_filtered);
+  EXPECT_GT(outcome.hits(), 0u);
+  EXPECT_LE(outcome.ases(), outcome.hits());
+  EXPECT_GE(outcome.packets, outcome.generated);
+  EXPECT_GT(outcome.virtual_seconds, 0.0);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  auto run = [] {
+    auto generator = v6::tga::make_generator(v6::tga::TgaKind::kSixScan);
+    return run_tga(small_bench().universe(), *generator,
+                   small_bench().all_active(), small_bench().alias_list(),
+                   small_config());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.hits(), b.hits());
+  EXPECT_EQ(a.ases(), b.ases());
+  EXPECT_EQ(a.aliases, b.aliases);
+  EXPECT_EQ(a.hit_set, b.hit_set);
+}
+
+TEST(Pipeline, HitsAreGenuinelyActiveAndNotAliased) {
+  auto generator = v6::tga::make_generator(v6::tga::TgaKind::kSixTree);
+  const auto outcome =
+      run_tga(small_bench().universe(), *generator,
+              small_bench().all_active(), small_bench().alias_list(),
+              small_config());
+  const auto& universe = small_bench().universe();
+  for (const Ipv6Addr& hit : outcome.hit_set) {
+    if (universe.is_aliased(hit)) {
+      // Only rate-limited aliases can slip through the joint dealiasing
+      // (the paper's EIP/Amazon anomaly).
+      const auto* region = universe.alias_region_of(hit);
+      ASSERT_NE(region, nullptr);
+      EXPECT_TRUE(region->rate_limited) << hit.to_string();
+    } else {
+      EXPECT_TRUE(universe.host_active(hit, ProbeType::kIcmp))
+          << hit.to_string();
+    }
+  }
+}
+
+TEST(Pipeline, DenseRegionFilteredOnIcmpOnly) {
+  // Seeds drawn from the dense region force generation into it.
+  const auto& universe = small_bench().universe();
+  ASSERT_TRUE(universe.dense_region().has_value());
+  std::vector<Ipv6Addr> seeds;
+  v6::net::Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv6Addr r =
+        v6::net::random_in_prefix(rng, universe.dense_region()->prefix);
+    seeds.push_back(Ipv6Addr(r.hi(), 1));
+  }
+  auto generator = v6::tga::make_generator(v6::tga::TgaKind::kSixTree);
+  const auto outcome = run_tga(universe, *generator, seeds,
+                               small_bench().alias_list(), small_config());
+  EXPECT_GT(outcome.dense_filtered, 100u);
+  for (const Ipv6Addr& hit : outcome.hit_set) {
+    EXPECT_FALSE(universe.in_dense_region(hit));
+  }
+}
+
+TEST(Pipeline, DenseFilterCanBeDisabled) {
+  const auto& universe = small_bench().universe();
+  std::vector<Ipv6Addr> seeds;
+  v6::net::Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv6Addr r =
+        v6::net::random_in_prefix(rng, universe.dense_region()->prefix);
+    seeds.push_back(Ipv6Addr(r.hi(), 1));
+  }
+  auto generator = v6::tga::make_generator(v6::tga::TgaKind::kSixTree);
+  PipelineConfig config = small_config();
+  config.filter_dense = false;
+  const auto outcome = run_tga(universe, *generator, seeds,
+                               small_bench().alias_list(), config);
+  EXPECT_EQ(outcome.dense_filtered, 0u);
+  EXPECT_GT(std::count_if(outcome.hit_set.begin(), outcome.hit_set.end(),
+                          [&](const Ipv6Addr& a) {
+                            return universe.in_dense_region(a);
+                          }),
+            0);
+}
+
+TEST(Pipeline, GeneratorExhaustionEndsRunEarly) {
+  // A single-seed EIP model cannot fill a large budget; the pipeline
+  // must stop rather than loop forever.
+  auto generator = v6::tga::make_generator(v6::tga::TgaKind::kEntropyIp);
+  const std::vector<Ipv6Addr> one = {Ipv6Addr::must_parse("2001:db8::1")};
+  PipelineConfig config = small_config();
+  config.budget = 1'000'000;
+  const auto outcome = run_tga(small_bench().universe(), *generator, one,
+                               small_bench().alias_list(), config);
+  EXPECT_LT(outcome.generated, config.budget);
+}
+
+TEST(Workbench, DatasetInclusionChain) {
+  Workbench& bench = small_bench();
+  const auto& full = bench.full();
+  const auto& joint = bench.dealiased(v6::dealias::DealiasMode::kJoint);
+  const auto& active = bench.all_active();
+
+  EXPECT_LT(joint.size(), full.size());
+  EXPECT_LT(active.size(), joint.size());
+  EXPECT_GT(active.size(), 0u);
+
+  const std::unordered_set<Ipv6Addr> full_set(full.begin(), full.end());
+  const std::unordered_set<Ipv6Addr> joint_set(joint.begin(), joint.end());
+  for (const Ipv6Addr& a : joint) ASSERT_TRUE(full_set.contains(a));
+  for (const Ipv6Addr& a : active) ASSERT_TRUE(joint_set.contains(a));
+}
+
+TEST(Workbench, PortSpecificSubsetsOfAllActive) {
+  Workbench& bench = small_bench();
+  const std::unordered_set<Ipv6Addr> active(bench.all_active().begin(),
+                                            bench.all_active().end());
+  for (const ProbeType t : v6::net::kAllProbeTypes) {
+    const auto& port = bench.port_specific(t);
+    EXPECT_LT(port.size(), active.size()) << v6::net::to_string(t);
+    for (const Ipv6Addr& a : port) {
+      ASSERT_TRUE(active.contains(a));
+      ASSERT_TRUE(bench.activity().active_on(a, t));
+    }
+  }
+}
+
+TEST(Workbench, IcmpIsTheLargestPortDataset) {
+  Workbench& bench = small_bench();
+  const auto icmp = bench.port_specific(ProbeType::kIcmp).size();
+  EXPECT_GT(icmp, bench.port_specific(ProbeType::kTcp80).size());
+  EXPECT_GT(icmp, bench.port_specific(ProbeType::kUdp53).size());
+}
+
+TEST(Workbench, SourceActiveSubsets) {
+  Workbench& bench = small_bench();
+  const std::unordered_set<Ipv6Addr> active(bench.all_active().begin(),
+                                            bench.all_active().end());
+  std::size_t union_size = 0;
+  for (const v6::seeds::SeedSource source : v6::seeds::kAllSeedSources) {
+    const auto& subset = bench.source_active(source);
+    union_size += subset.size();
+    for (const Ipv6Addr& a : subset) {
+      ASSERT_TRUE(active.contains(a));
+    }
+  }
+  // Sources overlap, so the sum exceeds the union.
+  EXPECT_GT(union_size, active.size());
+}
+
+TEST(Workbench, DealiasedModesOrdering) {
+  Workbench& bench = small_bench();
+  // Joint removes at least as much as each individual method.
+  const auto full = bench.full().size();
+  const auto offline = bench.dealiased(v6::dealias::DealiasMode::kOffline).size();
+  const auto online = bench.dealiased(v6::dealias::DealiasMode::kOnline).size();
+  const auto joint = bench.dealiased(v6::dealias::DealiasMode::kJoint).size();
+  EXPECT_LE(offline, full);
+  EXPECT_LE(online, full);
+  EXPECT_LE(joint, offline);
+}
+
+}  // namespace
+}  // namespace v6::experiment

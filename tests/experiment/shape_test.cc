@@ -1,0 +1,151 @@
+// Shape tests: the paper's headline qualitative findings must emerge
+// from the simulation by mechanism. These are integration tests over the
+// whole stack (universe -> seeds -> TGA -> scan -> dealias -> metrics).
+#include <gtest/gtest.h>
+
+#include "experiment/pipeline.h"
+#include "experiment/workbench.h"
+#include "probe/blocklist.h"
+#include "tga/registry.h"
+
+namespace v6::experiment {
+namespace {
+
+using v6::net::Ipv6Addr;
+using v6::net::ProbeType;
+
+Workbench& shape_bench() {
+  static Workbench* bench = [] {
+    WorkbenchConfig config;
+    config.seed = 99;
+    config.universe.seed = 99;
+    config.universe.num_ases = 400;
+    config.universe.host_scale = 0.12;
+    config.universe.dense_region_prefix_len = 52;
+    return new Workbench(config);
+  }();
+  return *bench;
+}
+
+PipelineConfig shape_config(ProbeType type = ProbeType::kIcmp) {
+  PipelineConfig config;
+  config.budget = 60'000;
+  config.type = type;
+  return config;
+}
+
+/// RQ1.a: dealiased seeds must produce drastically fewer aliases and at
+/// least comparable hits for an online tree model.
+TEST(Shape, DealiasingSeedsCutsAliases) {
+  auto det = v6::tga::make_generator(v6::tga::TgaKind::kDet);
+  const auto on_full =
+      run_tga(shape_bench().universe(), *det, shape_bench().full(),
+              shape_bench().alias_list(), shape_config());
+  const auto on_dealiased = run_tga(
+      shape_bench().universe(), *det,
+      shape_bench().dealiased(v6::dealias::DealiasMode::kJoint),
+      shape_bench().alias_list(), shape_config());
+  EXPECT_LT(on_dealiased.aliases * 5, on_full.aliases + 1);
+  EXPECT_GE(on_dealiased.hits() * 2, on_full.hits());
+}
+
+/// RQ1.a: offline-only dealiasing misses unpublished aliases that the
+/// joint approach removes (Table 4's left-to-right decrease).
+TEST(Shape, JointSeedDealiasingBeatsOfflineOnly) {
+  auto tree = v6::tga::make_generator(v6::tga::TgaKind::kSixTree);
+  const auto offline = run_tga(
+      shape_bench().universe(), *tree,
+      shape_bench().dealiased(v6::dealias::DealiasMode::kOffline),
+      shape_bench().alias_list(), shape_config());
+  const auto joint = run_tga(
+      shape_bench().universe(), *tree,
+      shape_bench().dealiased(v6::dealias::DealiasMode::kJoint),
+      shape_bench().alias_list(), shape_config());
+  EXPECT_LT(joint.aliases, offline.aliases);
+}
+
+/// RQ2: port-specific seeds raise application-layer hits for an online
+/// model (the paper's strongest case is DET on TCP).
+TEST(Shape, PortSpecificSeedsRaiseTcpHitsForOnlineModels) {
+  auto det = v6::tga::make_generator(v6::tga::TgaKind::kDet);
+  const auto base = run_tga(shape_bench().universe(), *det,
+                            shape_bench().all_active(),
+                            shape_bench().alias_list(),
+                            shape_config(ProbeType::kTcp443));
+  const auto tailored = run_tga(
+      shape_bench().universe(), *det,
+      shape_bench().port_specific(ProbeType::kTcp443),
+      shape_bench().alias_list(), shape_config(ProbeType::kTcp443));
+  EXPECT_GT(tailored.hits(), base.hits());
+}
+
+/// RQ4: combining generators covers more than any single one.
+TEST(Shape, CombiningGeneratorsExtendsCoverage) {
+  const auto& seeds = shape_bench().all_active();
+  std::unordered_set<Ipv6Addr> combined;
+  std::size_t best_single = 0;
+  for (const v6::tga::TgaKind kind :
+       {v6::tga::TgaKind::kSixSense, v6::tga::TgaKind::kSixTree,
+        v6::tga::TgaKind::kDet}) {
+    auto generator = v6::tga::make_generator(kind);
+    const auto outcome =
+        run_tga(shape_bench().universe(), *generator, seeds,
+                shape_bench().alias_list(), shape_config());
+    best_single = std::max<std::size_t>(best_single, outcome.hits());
+    combined.insert(outcome.hit_set.begin(), outcome.hit_set.end());
+  }
+  EXPECT_GT(combined.size(), best_single * 11 / 10)
+      << "union should exceed the best single generator by >10%";
+}
+
+/// EIP is orders of magnitude weaker than the tree models (paper §2.1).
+TEST(Shape, EntropyIpIsFarWeakerThanTreeModels) {
+  auto eip = v6::tga::make_generator(v6::tga::TgaKind::kEntropyIp);
+  auto tree = v6::tga::make_generator(v6::tga::TgaKind::kSixTree);
+  const auto& seeds = shape_bench().all_active();
+  const auto eip_out = run_tga(shape_bench().universe(), *eip, seeds,
+                               shape_bench().alias_list(), shape_config());
+  const auto tree_out = run_tga(shape_bench().universe(), *tree, seeds,
+                                shape_bench().alias_list(), shape_config());
+  EXPECT_LT(eip_out.hits() * 10, tree_out.hits());
+}
+
+/// The scanner's blocklist is honored end-to-end: nothing inside a
+/// blocked prefix is ever counted, and no packets reach it.
+TEST(Shape, BlocklistExcludesPrefixesEndToEnd) {
+  const auto& universe = shape_bench().universe();
+  // Block the prefix of the densest AS observed in a dry run.
+  auto tree = v6::tga::make_generator(v6::tga::TgaKind::kSixTree);
+  const auto dry = run_tga(universe, *tree, shape_bench().all_active(),
+                           shape_bench().alias_list(), shape_config());
+  ASSERT_FALSE(dry.hit_set.empty());
+  const Ipv6Addr sample = *dry.hit_set.begin();
+  const v6::net::Prefix blocked_prefix(sample, 32);
+
+  v6::probe::Blocklist blocklist;
+  blocklist.add(blocked_prefix);
+  PipelineConfig config = shape_config();
+  config.blocklist = &blocklist;
+  const auto guarded = run_tga(universe, *tree, shape_bench().all_active(),
+                               shape_bench().alias_list(), config);
+  for (const Ipv6Addr& hit : guarded.hit_set) {
+    EXPECT_FALSE(blocked_prefix.contains(hit)) << hit.to_string();
+  }
+}
+
+/// Determinism across the whole workbench: the same master seed yields
+/// the same datasets.
+TEST(Shape, WorkbenchDeterministic) {
+  WorkbenchConfig config;
+  config.seed = 5;
+  config.universe.seed = 5;
+  config.universe.num_ases = 100;
+  config.universe.host_scale = 0.08;
+  Workbench a(config);
+  Workbench b(config);
+  EXPECT_EQ(a.full(), b.full());
+  EXPECT_EQ(a.all_active(), b.all_active());
+}
+
+}  // namespace
+}  // namespace v6::experiment

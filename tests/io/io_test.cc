@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "io/address_file.h"
+#include "io/csv.h"
+
+namespace v6::io {
+namespace {
+
+using v6::net::Ipv6Addr;
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("v6io_test_") + name))
+      .string();
+}
+
+TEST(AddressList, ParseSkipsCommentsAndMalformed) {
+  std::vector<Ipv6Addr> out;
+  const ParseReport report = parse_address_list(
+      "# seeds\n"
+      "2001:db8::1\n"
+      "\n"
+      "  2001:db8::2  # inline comment\n"
+      "not-an-address\n"
+      "2001:db8::3",
+      out);
+  EXPECT_EQ(report.lines, 4u);
+  EXPECT_EQ(report.parsed, 3u);
+  EXPECT_EQ(report.malformed, 1u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1], Ipv6Addr::must_parse("2001:db8::2"));
+}
+
+TEST(AddressList, WriteReadRoundTrip) {
+  const std::vector<Ipv6Addr> addrs = {
+      Ipv6Addr::must_parse("2001:db8::1"),
+      Ipv6Addr::must_parse("fe80::dead:beef"),
+      Ipv6Addr::must_parse("::"),
+  };
+  const std::string path = temp_path("roundtrip.txt");
+  write_address_file(path, addrs);
+  ParseReport report;
+  const auto back = read_address_file(path, &report);
+  EXPECT_EQ(back, addrs);
+  EXPECT_EQ(report.malformed, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(AddressList, ReadMissingFileThrows) {
+  EXPECT_THROW(read_address_file("/nonexistent/path/seeds.txt"),
+               std::runtime_error);
+}
+
+TEST(SeedDatasetIo, RoundTripPreservesProvenance) {
+  v6::seeds::SeedDataset dataset;
+  const Ipv6Addr a = Ipv6Addr::must_parse("2001:db8::1");
+  const Ipv6Addr b = Ipv6Addr::must_parse("2001:db8::2");
+  dataset.add(a, v6::seeds::SeedSource::kCensys);
+  dataset.add(a, v6::seeds::SeedSource::kScamper);
+  dataset.add(b, v6::seeds::SeedSource::kHitlist);
+
+  std::ostringstream os;
+  write_seed_dataset(os, dataset);
+  ParseReport report;
+  const auto back = parse_seed_dataset(os.str(), &report);
+  EXPECT_EQ(report.parsed, 2u);
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.sources_of(a), dataset.sources_of(a));
+  EXPECT_EQ(back.sources_of(b), dataset.sources_of(b));
+}
+
+TEST(SeedDatasetIo, UnknownSourceLabelsTolerated) {
+  const auto dataset =
+      parse_seed_dataset("2001:db8::1\tCensys,FutureFeed\n");
+  EXPECT_EQ(dataset.size(), 1u);
+  EXPECT_EQ(dataset.sources_of(Ipv6Addr::must_parse("2001:db8::1")),
+            v6::seeds::source_bit(v6::seeds::SeedSource::kCensys));
+}
+
+TEST(AliasListIo, RoundTrip) {
+  v6::dealias::AliasList list;
+  list.load("2001:db8::/64\n2600:9000:2000::/48\n");
+  const std::string path = temp_path("aliases.txt");
+  write_alias_list_file(path, list);
+  const auto back = read_alias_list_file(path);
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back.contains(Ipv6Addr::must_parse("2001:db8::42")));
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowQuoting) {
+  std::ostringstream os;
+  write_csv_row(os, std::vector<std::string>{"plain", "with,comma",
+                                             "with\"quote", "multi\nline"});
+  EXPECT_EQ(os.str(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"multi\nline\"\n");
+}
+
+TEST(Csv, WriterEnforcesWidth) {
+  std::ostringstream os;
+  CsvWriter writer(os, {"a", "b"});
+  writer.row({"1", "2"});
+  EXPECT_THROW(writer.row({"only-one"}), std::invalid_argument);
+  EXPECT_EQ(writer.rows_written(), 1u);
+}
+
+TEST(Csv, OutcomesExport) {
+  v6::metrics::ScanOutcome outcome;
+  outcome.generated = 100;
+  outcome.responsive = 10;
+  outcome.hit_set.insert(Ipv6Addr::must_parse("2001:db8::1"));
+  outcome.as_set.insert(64500);
+  outcome.aliases = 2;
+  outcome.packets = 150;
+
+  std::ostringstream os;
+  const std::vector<std::string> labels = {"tga", "port"};
+  const std::vector<OutcomeRow> rows = {{{"6Tree", "ICMP"}, &outcome}};
+  write_outcomes_csv(os, labels, rows);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("tga,port,generated"), std::string::npos);
+  EXPECT_NE(text.find("6Tree,ICMP,100,10,1,1,2,0,150"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace v6::io

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/as_top.h"
+#include "metrics/coverage.h"
+#include "metrics/reporter.h"
+#include "metrics/scan_outcome.h"
+
+namespace v6::metrics {
+namespace {
+
+using v6::net::Ipv6Addr;
+
+Ipv6Addr addr_n(std::uint64_t n) {
+  return Ipv6Addr(0x20010db800000000ULL, n);
+}
+
+TEST(PerformanceRatio, MatchesPaperDefinition) {
+  EXPECT_DOUBLE_EQ(performance_ratio(100, 100), 0.0);   // unchanged
+  EXPECT_DOUBLE_EQ(performance_ratio(200, 100), 1.0);   // doubled
+  EXPECT_DOUBLE_EQ(performance_ratio(50, 100), -0.5);   // halved
+  EXPECT_DOUBLE_EQ(performance_ratio(0, 100), -1.0);    // vanished
+  EXPECT_DOUBLE_EQ(performance_ratio(10, 0), 0.0);      // degenerate
+}
+
+TEST(ScanOutcome, CountsFollowSets) {
+  ScanOutcome outcome;
+  outcome.hit_set.insert(addr_n(1));
+  outcome.hit_set.insert(addr_n(2));
+  outcome.as_set.insert(100);
+  EXPECT_EQ(outcome.hits(), 2u);
+  EXPECT_EQ(outcome.ases(), 1u);
+}
+
+TEST(Coverage, GreedyOrderingPicksLargestFirst) {
+  const std::unordered_set<Ipv6Addr> a = {addr_n(1), addr_n(2), addr_n(3)};
+  const std::unordered_set<Ipv6Addr> b = {addr_n(3), addr_n(4)};
+  const std::unordered_set<Ipv6Addr> c = {addr_n(1)};
+  const auto steps = cumulative_contribution(
+      {{"A", &a}, {"B", &b}, {"C", &c}});
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0].name, "A");
+  EXPECT_EQ(steps[0].marginal, 3u);
+  EXPECT_EQ(steps[1].name, "B");
+  EXPECT_EQ(steps[1].marginal, 1u);  // only addr 4 is new
+  EXPECT_EQ(steps[2].name, "C");
+  EXPECT_EQ(steps[2].marginal, 0u);
+  EXPECT_EQ(steps[2].cumulative, 4u);
+  EXPECT_DOUBLE_EQ(steps[2].cumulative_fraction, 1.0);
+}
+
+TEST(Coverage, AsVariantWorks) {
+  const std::unordered_set<std::uint32_t> a = {1, 2};
+  const std::unordered_set<std::uint32_t> b = {2, 3, 4};
+  const auto steps = cumulative_as_contribution({{"A", &a}, {"B", &b}});
+  EXPECT_EQ(steps[0].name, "B");
+  EXPECT_EQ(steps[1].marginal, 1u);
+}
+
+TEST(Coverage, EmptySetsHandled) {
+  const std::unordered_set<Ipv6Addr> empty;
+  const auto steps = cumulative_contribution({{"A", &empty}});
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps[0].cumulative, 0u);
+  EXPECT_DOUBLE_EQ(steps[0].cumulative_fraction, 0.0);
+}
+
+TEST(AsTop, CharacterizesShares) {
+  v6::asdb::AsDatabase asdb;
+  asdb.add({.asn = 100, .name = "big-cloud",
+            .org_type = v6::asdb::OrgType::kCloud});
+  asdb.add({.asn = 200, .name = "small-isp",
+            .org_type = v6::asdb::OrgType::kIsp});
+
+  std::unordered_set<Ipv6Addr> hits;
+  for (std::uint64_t i = 0; i < 8; ++i) hits.insert(addr_n(i));
+  hits.insert(Ipv6Addr(0x2002ULL << 48, 1));
+  hits.insert(Ipv6Addr(0x2002ULL << 48, 2));
+
+  const auto asn_of = [](const Ipv6Addr& a) -> std::optional<std::uint32_t> {
+    return a.hi() >> 48 == 0x2002 ? 200u : 100u;
+  };
+  const auto result = characterize(hits, asn_of, asdb, 3);
+  EXPECT_EQ(result.total_hits, 10u);
+  EXPECT_EQ(result.total_ases, 2u);
+  ASSERT_EQ(result.top.size(), 2u);
+  EXPECT_EQ(result.top[0].asn, 100u);
+  EXPECT_EQ(result.top[0].name, "big-cloud");
+  EXPECT_EQ(result.top[0].org_type, "Cloud");
+  EXPECT_DOUBLE_EQ(result.top[0].share, 0.8);
+}
+
+TEST(AsTop, UnroutedAddressesIgnored) {
+  v6::asdb::AsDatabase asdb;
+  std::unordered_set<Ipv6Addr> hits = {addr_n(1)};
+  const auto asn_of = [](const Ipv6Addr&) -> std::optional<std::uint32_t> {
+    return std::nullopt;
+  };
+  const auto result = characterize(hits, asn_of, asdb);
+  EXPECT_EQ(result.total_hits, 0u);
+  EXPECT_TRUE(result.top.empty());
+}
+
+TEST(Reporter, FmtCount) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(1000000000ULL), "1,000,000,000");
+}
+
+TEST(Reporter, FmtPercent) {
+  EXPECT_EQ(fmt_percent(0.425), "42.5%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+TEST(Reporter, FmtRatio) {
+  EXPECT_EQ(fmt_ratio(0.53), "+0.53");
+  EXPECT_EQ(fmt_ratio(-0.21), "-0.21");
+  EXPECT_EQ(fmt_ratio(0.0), "+0.00");
+}
+
+TEST(Reporter, TextTableRendersAlignedColumns) {
+  TextTable table({"Name", "Hits"});
+  table.add_row({"6Tree", "1,234"});
+  table.add_rule();
+  table.add_row({"EIP", "5"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("6Tree"), std::string::npos);
+  EXPECT_NE(out.find("1,234"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Numeric cells are right-aligned: "    5" ends its line.
+  EXPECT_NE(out.find("    5"), std::string::npos);
+}
+
+TEST(Reporter, TextTablePadsShortRows) {
+  TextTable table({"A", "B", "C"});
+  table.add_row({"x"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find('x'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace v6::metrics

@@ -1,0 +1,92 @@
+#include "net/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include "net/rng.h"
+
+namespace v6::net {
+namespace {
+
+TEST(Prefix, ParseBasic) {
+  const auto p = Prefix::parse("2001:db8::/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 32);
+  EXPECT_EQ(p->addr(), Ipv6Addr::must_parse("2001:db8::"));
+}
+
+TEST(Prefix, ParseNormalizesHostBits) {
+  const auto p = Prefix::parse("2001:db8::dead:beef/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->addr(), Ipv6Addr::must_parse("2001:db8::"));
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("2001:db8::").has_value());     // no length
+  EXPECT_FALSE(Prefix::parse("2001:db8::/").has_value());    // empty length
+  EXPECT_FALSE(Prefix::parse("2001:db8::/129").has_value()); // too long
+  EXPECT_FALSE(Prefix::parse("2001:db8::/-1").has_value());
+  EXPECT_FALSE(Prefix::parse("2001:db8::/3x").has_value());
+  EXPECT_FALSE(Prefix::parse("zz::/32").has_value());
+}
+
+TEST(Prefix, MustParseThrows) {
+  EXPECT_THROW(Prefix::must_parse("bad"), std::invalid_argument);
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p = Prefix::must_parse("2001:db8::/32");
+  EXPECT_TRUE(p.contains(Ipv6Addr::must_parse("2001:db8::1")));
+  EXPECT_TRUE(p.contains(Ipv6Addr::must_parse("2001:db8:ffff::")));
+  EXPECT_FALSE(p.contains(Ipv6Addr::must_parse("2001:db9::")));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  const Prefix outer = Prefix::must_parse("2001:db8::/32");
+  EXPECT_TRUE(outer.contains(Prefix::must_parse("2001:db8:1::/48")));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Prefix::must_parse("2001::/16")));
+  EXPECT_FALSE(outer.contains(Prefix::must_parse("2001:db9::/48")));
+}
+
+TEST(Prefix, ZeroLengthContainsEverything) {
+  const Prefix all = Prefix::must_parse("::/0");
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(all.contains(Ipv6Addr(rng(), rng())));
+  }
+}
+
+TEST(Prefix, FullLengthContainsOnlyItself) {
+  const Prefix host = Prefix::must_parse("2001:db8::1/128");
+  EXPECT_TRUE(host.contains(Ipv6Addr::must_parse("2001:db8::1")));
+  EXPECT_FALSE(host.contains(Ipv6Addr::must_parse("2001:db8::2")));
+}
+
+TEST(Prefix, ToStringRoundTrip) {
+  for (const char* text : {"2001:db8::/32", "::/0", "fe80::/10",
+                           "2001:db8::1/128", "2600:9000:2000::/48"}) {
+    const Prefix p = Prefix::must_parse(text);
+    EXPECT_EQ(Prefix::must_parse(p.to_string()), p) << text;
+  }
+}
+
+TEST(Prefix, RandomInPrefixStaysInside) {
+  Rng rng(17);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Ipv6Addr base(rng(), rng());
+    const int len = static_cast<int>(rng() % 129);
+    const Prefix p(base, len);
+    const Ipv6Addr sample = random_in_prefix(rng, p);
+    EXPECT_TRUE(p.contains(sample))
+        << p.to_string() << " vs " << sample.to_string();
+  }
+}
+
+TEST(Prefix, HostBits) {
+  EXPECT_EQ(Prefix::must_parse("::/0").host_bits(), 128);
+  EXPECT_EQ(Prefix::must_parse("2001:db8::/64").host_bits(), 64);
+  EXPECT_EQ(Prefix::must_parse("2001:db8::1/128").host_bits(), 0);
+}
+
+}  // namespace
+}  // namespace v6::net

@@ -1,0 +1,91 @@
+#include "net/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace v6::net {
+namespace {
+
+TEST(Rng, SplitMixIsDeterministic) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(Rng, DerivedSeedsAreIndependentPerTag) {
+  EXPECT_NE(derive_seed(1, 1), derive_seed(1, 2));
+  EXPECT_NE(derive_seed(1, 1), derive_seed(2, 1));
+  EXPECT_EQ(derive_seed(1, 1), derive_seed(1, 1));
+}
+
+TEST(Rng, MakeRngReproducible) {
+  Rng a = make_rng(99, 5);
+  Rng b = make_rng(99, 5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = uniform_int(rng, 3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = uniform01(rng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(chance(rng, 0.0));
+    EXPECT_TRUE(chance(rng, 1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(4);
+  int heads = 0;
+  constexpr int kTrials = 20'000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (chance(rng, 0.3)) ++heads;
+  }
+  const double rate = static_cast<double>(heads) / kTrials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+class RandomInPrefixLengths : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomInPrefixLengths, SampleStaysInPrefixAndVariesHostBits) {
+  const int len = GetParam();
+  Rng rng(50 + static_cast<std::uint64_t>(len));
+  const Prefix p(Ipv6Addr(0x20010db800000000ULL, 0xabcdef0123456789ULL), len);
+  Ipv6Addr first;
+  bool varied = false;
+  for (int i = 0; i < 64; ++i) {
+    const Ipv6Addr sample = random_in_prefix(rng, p);
+    EXPECT_TRUE(p.contains(sample));
+    if (i == 0) {
+      first = sample;
+    } else if (sample != first) {
+      varied = true;
+    }
+  }
+  if (len < 120) {
+    EXPECT_TRUE(varied) << "len=" << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, RandomInPrefixLengths,
+                         ::testing::Values(0, 1, 16, 32, 48, 63, 64, 65, 80,
+                                           96, 112, 127, 128));
+
+}  // namespace
+}  // namespace v6::net

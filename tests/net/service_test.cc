@@ -1,0 +1,55 @@
+#include "net/service.h"
+
+#include <gtest/gtest.h>
+
+namespace v6::net {
+namespace {
+
+TEST(Service, BitsAreDistinct) {
+  ServiceMask all = 0;
+  for (const ProbeType t : kAllProbeTypes) {
+    EXPECT_EQ(all & service_bit(t), 0) << to_string(t);
+    all |= service_bit(t);
+  }
+  EXPECT_EQ(all, kAllServices);
+}
+
+TEST(Service, HasService) {
+  const ServiceMask m =
+      service_bit(ProbeType::kIcmp) | service_bit(ProbeType::kUdp53);
+  EXPECT_TRUE(has_service(m, ProbeType::kIcmp));
+  EXPECT_TRUE(has_service(m, ProbeType::kUdp53));
+  EXPECT_FALSE(has_service(m, ProbeType::kTcp80));
+  EXPECT_FALSE(has_service(kNoServices, ProbeType::kIcmp));
+}
+
+TEST(Service, PositiveReplyPerProbeType) {
+  EXPECT_EQ(positive_reply(ProbeType::kIcmp), ProbeReply::kEchoReply);
+  EXPECT_EQ(positive_reply(ProbeType::kTcp80), ProbeReply::kSynAck);
+  EXPECT_EQ(positive_reply(ProbeType::kTcp443), ProbeReply::kSynAck);
+  EXPECT_EQ(positive_reply(ProbeType::kUdp53), ProbeReply::kUdpReply);
+}
+
+TEST(Service, HitClassificationMatchesPaperRules) {
+  // RST and Destination Unreachable are never hits (paper §4.1).
+  for (const ProbeType t : kAllProbeTypes) {
+    EXPECT_FALSE(is_hit(t, ProbeReply::kRst)) << to_string(t);
+    EXPECT_FALSE(is_hit(t, ProbeReply::kDestUnreachable)) << to_string(t);
+    EXPECT_FALSE(is_hit(t, ProbeReply::kTimeout)) << to_string(t);
+    EXPECT_TRUE(is_hit(t, positive_reply(t))) << to_string(t);
+  }
+  // Cross-protocol replies fail verification.
+  EXPECT_FALSE(is_hit(ProbeType::kIcmp, ProbeReply::kSynAck));
+  EXPECT_FALSE(is_hit(ProbeType::kTcp80, ProbeReply::kEchoReply));
+  EXPECT_FALSE(is_hit(ProbeType::kUdp53, ProbeReply::kSynAck));
+}
+
+TEST(Service, Names) {
+  EXPECT_EQ(to_string(ProbeType::kIcmp), "ICMP");
+  EXPECT_EQ(to_string(ProbeType::kTcp443), "TCP443");
+  EXPECT_EQ(to_string(ProbeReply::kSynAck), "syn-ack");
+  EXPECT_EQ(to_string(ProbeReply::kDestUnreachable), "dest-unreachable");
+}
+
+}  // namespace
+}  // namespace v6::net

@@ -1,0 +1,53 @@
+#include "probe/blocklist.h"
+
+#include <gtest/gtest.h>
+
+namespace v6::probe {
+namespace {
+
+using v6::net::Ipv6Addr;
+using v6::net::Prefix;
+
+TEST(Blocklist, EmptyBlocksNothing) {
+  const Blocklist list;
+  EXPECT_FALSE(list.blocked(Ipv6Addr::must_parse("2001:db8::1")));
+  EXPECT_EQ(list.size(), 0u);
+}
+
+TEST(Blocklist, AddAndCheck) {
+  Blocklist list;
+  list.add(Prefix::must_parse("2001:db8::/32"));
+  EXPECT_TRUE(list.blocked(Ipv6Addr::must_parse("2001:db8::1")));
+  EXPECT_TRUE(list.blocked(Ipv6Addr::must_parse("2001:db8:ffff::1")));
+  EXPECT_FALSE(list.blocked(Ipv6Addr::must_parse("2001:db9::1")));
+}
+
+TEST(Blocklist, LoadParsesLinesAndComments) {
+  Blocklist list;
+  const std::size_t added = list.load(
+      "# do-not-scan list\n"
+      "2001:db8::/32\n"
+      "\n"
+      "  2620:0:2d0::/48  # org request\n"
+      "not-a-prefix\n"
+      "fe80::/10\r\n");
+  EXPECT_EQ(added, 3u);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_TRUE(list.blocked(Ipv6Addr::must_parse("2620:0:2d0::7")));
+  EXPECT_TRUE(list.blocked(Ipv6Addr::must_parse("fe80::1")));
+  EXPECT_FALSE(list.blocked(Ipv6Addr::must_parse("2620:0:2d1::7")));
+}
+
+TEST(Blocklist, LoadWithoutTrailingNewline) {
+  Blocklist list;
+  EXPECT_EQ(list.load("2001:db8::/32"), 1u);
+  EXPECT_TRUE(list.blocked(Ipv6Addr::must_parse("2001:db8::1")));
+}
+
+TEST(Blocklist, FullLineComment) {
+  Blocklist list;
+  EXPECT_EQ(list.load("# 2001:db8::/32\n"), 0u);
+}
+
+}  // namespace
+}  // namespace v6::probe

@@ -1,0 +1,54 @@
+#include "probe/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+namespace v6::probe {
+namespace {
+
+TEST(RateLimiter, BurstIsFree) {
+  RateLimiter limiter(1000.0, /*burst=*/10.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(limiter.acquire(), 0.0) << i;
+  }
+  EXPECT_GT(limiter.acquire(), 0.0);
+}
+
+TEST(RateLimiter, SustainedRateMatchesPps) {
+  RateLimiter limiter(1000.0, /*burst=*/1.0);
+  for (int i = 0; i < 5000; ++i) limiter.acquire();
+  // 5000 packets at 1000 pps should take ~5 virtual seconds.
+  EXPECT_NEAR(limiter.virtual_now(), 5.0, 0.1);
+  EXPECT_EQ(limiter.packets(), 5000u);
+}
+
+TEST(RateLimiter, AdvanceRefillsTokens) {
+  RateLimiter limiter(100.0, /*burst=*/5.0);
+  for (int i = 0; i < 5; ++i) limiter.acquire();
+  limiter.advance(1.0);  // refills 100 tokens, capped at burst 5
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(limiter.acquire(), 0.0);
+  }
+  EXPECT_GT(limiter.acquire(), 0.0);
+}
+
+TEST(RateLimiter, AdvanceNegativeIsNoop) {
+  RateLimiter limiter(100.0);
+  const double before = limiter.virtual_now();
+  limiter.advance(-5.0);
+  EXPECT_EQ(limiter.virtual_now(), before);
+}
+
+TEST(RateLimiter, DegenerateRateClamped) {
+  RateLimiter limiter(0.0);  // clamped to 1 pps
+  EXPECT_EQ(limiter.pps(), 1.0);
+}
+
+TEST(RateLimiter, PaperRateTenThousandPps) {
+  // The paper rate-limits all scans to 10K pps; 1M packets ~ 100 s.
+  RateLimiter limiter(10'000.0, 64.0);
+  for (int i = 0; i < 1'000'000; ++i) limiter.acquire();
+  EXPECT_NEAR(limiter.virtual_now(), 100.0, 1.0);
+}
+
+}  // namespace
+}  // namespace v6::probe

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "probe/scanner.h"
+#include "probe/transport.h"
+#include "seeds/collector.h"
+#include "seeds/overlap.h"
+#include "seeds/preprocess.h"
+#include "seeds/seed_dataset.h"
+#include "testutil/fixtures.h"
+
+namespace v6::seeds {
+namespace {
+
+using v6::net::Ipv6Addr;
+using v6::net::ProbeType;
+using v6::testutil::small_universe;
+
+Ipv6Addr addr_n(std::uint64_t n) {
+  return Ipv6Addr(0x20010db800000000ULL, n);
+}
+
+TEST(SeedDataset, AddTracksProvenance) {
+  SeedDataset dataset;
+  dataset.add(addr_n(1), SeedSource::kCensys);
+  dataset.add(addr_n(1), SeedSource::kRapid7);
+  dataset.add(addr_n(2), SeedSource::kScamper);
+
+  EXPECT_EQ(dataset.size(), 2u);
+  EXPECT_EQ(dataset.sources_of(addr_n(1)),
+            source_bit(SeedSource::kCensys) | source_bit(SeedSource::kRapid7));
+  EXPECT_EQ(dataset.sources_of(addr_n(2)), source_bit(SeedSource::kScamper));
+  EXPECT_EQ(dataset.sources_of(addr_n(3)), 0u);
+  EXPECT_TRUE(dataset.contains(addr_n(1)));
+  EXPECT_FALSE(dataset.contains(addr_n(3)));
+}
+
+TEST(SeedDataset, AddIsIdempotentPerSource) {
+  SeedDataset dataset;
+  dataset.add(addr_n(1), SeedSource::kCensys);
+  dataset.add(addr_n(1), SeedSource::kCensys);
+  EXPECT_EQ(dataset.size(), 1u);
+  EXPECT_EQ(dataset.count(SeedSource::kCensys), 1u);
+}
+
+TEST(SeedDataset, FromSourceSelectsByBit) {
+  SeedDataset dataset;
+  dataset.add(addr_n(1), SeedSource::kCensys);
+  dataset.add(addr_n(2), SeedSource::kScamper);
+  dataset.add(addr_n(3), SeedSource::kCensys);
+  const auto censys = dataset.from_source(SeedSource::kCensys);
+  EXPECT_EQ(censys.size(), 2u);
+  EXPECT_EQ(dataset.count(SeedSource::kScamper), 1u);
+}
+
+TEST(SourceMeta, CategoriesMatchPaperTable3) {
+  EXPECT_EQ(category(SeedSource::kCensys), SourceCategory::kDomain);
+  EXPECT_EQ(category(SeedSource::kScamper), SourceCategory::kRouter);
+  EXPECT_EQ(category(SeedSource::kRipeAtlas), SourceCategory::kRouter);
+  EXPECT_EQ(category(SeedSource::kHitlist), SourceCategory::kBoth);
+  EXPECT_EQ(category(SeedSource::kAddrMiner), SourceCategory::kBoth);
+}
+
+TEST(SeedCollector, Deterministic) {
+  const SeedCollector collector(small_universe(), 42);
+  const auto a = collector.collect(SeedSource::kCensys);
+  const auto b = collector.collect(SeedSource::kCensys);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SeedCollector, DifferentSeedsDiffer) {
+  const SeedCollector a(small_universe(), 1);
+  const SeedCollector b(small_universe(), 2);
+  EXPECT_NE(a.collect(SeedSource::kCensys), b.collect(SeedSource::kCensys));
+}
+
+class CollectorPerSource : public ::testing::TestWithParam<SeedSource> {};
+
+TEST_P(CollectorPerSource, ProducesAddresses) {
+  const SeedCollector collector(small_universe(), 42);
+  const auto addrs = collector.collect(GetParam());
+  EXPECT_FALSE(addrs.empty()) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSources, CollectorPerSource,
+    ::testing::ValuesIn(kAllSeedSources.begin(), kAllSeedSources.end()),
+    [](const auto& info) {
+      std::string name{to_string(info.param)};
+      std::erase_if(name, [](char c) { return !std::isalnum(c); });
+      return name;
+    });
+
+TEST(SeedCollector, TracerouteSourcesSkewToRouters) {
+  const auto& universe = small_universe();
+  const SeedCollector collector(universe, 42);
+  auto router_fraction = [&](SeedSource source) {
+    const auto addrs = collector.collect(source);
+    std::size_t routers = 0;
+    std::size_t known = 0;
+    for (const Ipv6Addr& a : addrs) {
+      const auto* host = universe.host(a);
+      if (host == nullptr) continue;
+      ++known;
+      if (host->kind == v6::simnet::HostKind::kRouter) ++routers;
+    }
+    return known == 0 ? 0.0
+                      : static_cast<double>(routers) /
+                            static_cast<double>(known);
+  };
+  EXPECT_GT(router_fraction(SeedSource::kScamper), 0.8);
+  EXPECT_LT(router_fraction(SeedSource::kCensys), 0.1);
+}
+
+TEST(SeedCollector, AddrMinerIsAliasHeavy) {
+  const auto& universe = small_universe();
+  const SeedCollector collector(universe, 42);
+  const auto addrs = collector.collect(SeedSource::kAddrMiner);
+  std::size_t aliased = 0;
+  for (const Ipv6Addr& a : addrs) {
+    if (universe.is_aliased(a)) ++aliased;
+  }
+  EXPECT_GT(static_cast<double>(aliased) / static_cast<double>(addrs.size()),
+            0.3);
+}
+
+TEST(SeedCollector, SecrankRestrictedToChinaRegionAses) {
+  const auto& universe = small_universe();
+  const SeedCollector collector(universe, 42);
+  for (const Ipv6Addr& a : collector.collect(SeedSource::kSecrank)) {
+    const auto asn = universe.asn_of(a);
+    if (!asn) continue;
+    const auto* info = universe.asdb().find(*asn);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->region, v6::asdb::Region::kChina) << a.to_string();
+  }
+}
+
+TEST(ActivityMap, SetAndQuery) {
+  ActivityMap activity;
+  activity.set(addr_n(1), v6::net::service_bit(ProbeType::kIcmp));
+  activity.merge_bit(addr_n(1), ProbeType::kTcp80);
+  EXPECT_TRUE(activity.active_on(addr_n(1), ProbeType::kIcmp));
+  EXPECT_TRUE(activity.active_on(addr_n(1), ProbeType::kTcp80));
+  EXPECT_FALSE(activity.active_on(addr_n(1), ProbeType::kUdp53));
+  EXPECT_TRUE(activity.active_any(addr_n(1)));
+  EXPECT_FALSE(activity.active_any(addr_n(2)));
+}
+
+TEST(Preprocess, ScanActivityMatchesGroundTruth) {
+  const auto& universe = small_universe();
+  std::vector<Ipv6Addr> addrs;
+  for (const auto& host : universe.hosts()) {
+    if (universe.is_aliased(host.addr)) continue;
+    addrs.push_back(host.addr);
+    if (addrs.size() >= 3000) break;
+  }
+  v6::probe::SimTransport transport(universe, 9);
+  v6::probe::Scanner scanner(transport, nullptr, {.max_retries = 1, .seed = 9});
+  const ActivityMap activity = scan_activity(addrs, scanner);
+  for (const Ipv6Addr& a : addrs) {
+    const auto* host = universe.host(a);
+    ASSERT_NE(host, nullptr);
+    EXPECT_EQ(activity.of(a), host->services) << a.to_string();
+  }
+}
+
+TEST(Preprocess, FilterActiveSubsets) {
+  ActivityMap activity;
+  activity.set(addr_n(1), v6::net::service_bit(ProbeType::kIcmp));
+  activity.set(addr_n(2), v6::net::service_bit(ProbeType::kTcp80));
+  const std::vector<Ipv6Addr> addrs = {addr_n(1), addr_n(2), addr_n(3)};
+
+  EXPECT_EQ(filter_active_any(addrs, activity).size(), 2u);
+  const auto icmp = filter_active_on(addrs, activity, ProbeType::kIcmp);
+  ASSERT_EQ(icmp.size(), 1u);
+  EXPECT_EQ(icmp[0], addr_n(1));
+}
+
+TEST(Overlap, IpOverlapOnSyntheticDataset) {
+  SeedDataset dataset;
+  // Censys: {1,2,3}; Rapid7: {2,3,4}; Scamper: {5}.
+  for (std::uint64_t i : {1, 2, 3}) dataset.add(addr_n(i), SeedSource::kCensys);
+  for (std::uint64_t i : {2, 3, 4}) dataset.add(addr_n(i), SeedSource::kRapid7);
+  dataset.add(addr_n(5), SeedSource::kScamper);
+
+  const OverlapMatrix m = ip_overlap(dataset);
+  const auto c = static_cast<std::size_t>(SeedSource::kCensys);
+  const auto r = static_cast<std::size_t>(SeedSource::kRapid7);
+  const auto s = static_cast<std::size_t>(SeedSource::kScamper);
+  EXPECT_EQ(m.total[c], 3u);
+  EXPECT_DOUBLE_EQ(m.cell[c][r], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.cell[r][c], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.cell[c][c], 1.0);
+  EXPECT_DOUBLE_EQ(m.any_other[c], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.any_other[s], 0.0);
+}
+
+TEST(Overlap, FilterRestrictsPopulation) {
+  SeedDataset dataset;
+  for (std::uint64_t i : {1, 2, 3}) dataset.add(addr_n(i), SeedSource::kCensys);
+  const OverlapMatrix m = ip_overlap(
+      dataset, [](const Ipv6Addr& a) { return a.lo() != 2; });
+  EXPECT_EQ(m.total[static_cast<std::size_t>(SeedSource::kCensys)], 2u);
+}
+
+TEST(Overlap, AsOverlapGroupsByAsn) {
+  SeedDataset dataset;
+  dataset.add(addr_n(1), SeedSource::kCensys);
+  dataset.add(addr_n(2), SeedSource::kRapid7);
+  dataset.add(Ipv6Addr(0x2002ULL << 48, 1), SeedSource::kRapid7);
+  const auto asn_of = [](const Ipv6Addr& a) -> std::optional<std::uint32_t> {
+    return a.hi() >> 48 == 0x2002 ? 200u : 100u;
+  };
+  const OverlapMatrix m = as_overlap(dataset, asn_of);
+  const auto c = static_cast<std::size_t>(SeedSource::kCensys);
+  const auto r = static_cast<std::size_t>(SeedSource::kRapid7);
+  EXPECT_EQ(m.total[c], 1u);  // AS 100 only
+  EXPECT_EQ(m.total[r], 2u);  // AS 100 and 200
+  EXPECT_DOUBLE_EQ(m.cell[c][r], 1.0);
+  EXPECT_DOUBLE_EQ(m.cell[r][c], 0.5);
+}
+
+}  // namespace
+}  // namespace v6::seeds

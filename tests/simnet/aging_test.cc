@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "simnet/universe_builder.h"
+
+namespace v6::simnet {
+namespace {
+
+Universe build_small(std::uint64_t seed) {
+  UniverseConfig config;
+  config.seed = seed;
+  config.num_ases = 100;
+  config.host_scale = 0.1;
+  return UniverseBuilder::build(config);
+}
+
+TEST(Aging, KillsAndRevivesHostsDeterministically) {
+  Universe a = build_small(5);
+  Universe b = build_small(5);
+  const AgingConfig aging{.seed = 9};
+  UniverseBuilder::age(a, aging);
+  UniverseBuilder::age(b, aging);
+  ASSERT_EQ(a.hosts().size(), b.hosts().size());
+  for (std::size_t i = 0; i < a.hosts().size(); ++i) {
+    EXPECT_EQ(a.hosts()[i].addr, b.hosts()[i].addr);
+    EXPECT_EQ(a.hosts()[i].services, b.hosts()[i].services);
+  }
+}
+
+TEST(Aging, DeathRateApproximatesConfig) {
+  Universe universe = build_small(6);
+  const std::size_t active_before = universe.active_host_count_any();
+  AgingConfig aging;
+  aging.seed = 3;
+  aging.death_prob = 0.2;
+  aging.subnet_death_prob = 0.0;
+  aging.revival_prob = 0.0;
+  aging.birth_prob = 0.0;
+  aging.service_loss_prob = 0.0;
+  UniverseBuilder::age(universe, aging);
+  const std::size_t active_after = universe.active_host_count_any();
+  ASSERT_GT(active_before, 0u);
+  const double death_rate =
+      1.0 - static_cast<double>(active_after) /
+                static_cast<double>(active_before);
+  EXPECT_NEAR(death_rate, 0.2, 0.03);
+}
+
+TEST(Aging, RevivalBringsChurnedHostsBack) {
+  Universe universe = build_small(7);
+  std::size_t churned_before = 0;
+  for (const HostRecord& host : universe.hosts()) {
+    if (host.churned()) ++churned_before;
+  }
+  ASSERT_GT(churned_before, 0u);
+  AgingConfig aging;
+  aging.seed = 4;
+  aging.death_prob = 0.0;
+  aging.subnet_death_prob = 0.0;
+  aging.service_loss_prob = 0.0;
+  aging.revival_prob = 1.0;
+  aging.birth_prob = 0.0;
+  UniverseBuilder::age(universe, aging);
+  for (const HostRecord& host : universe.hosts()) {
+    EXPECT_FALSE(host.churned()) << host.addr.to_string();
+  }
+}
+
+TEST(Aging, BirthsAddIndexedHosts) {
+  Universe universe = build_small(8);
+  const std::size_t before = universe.hosts().size();
+  AgingConfig aging;
+  aging.seed = 5;
+  aging.death_prob = 0.0;
+  aging.subnet_death_prob = 0.0;
+  aging.service_loss_prob = 0.0;
+  aging.revival_prob = 0.0;
+  aging.birth_prob = 0.5;
+  UniverseBuilder::age(universe, aging);
+  EXPECT_GT(universe.hosts().size(), before);
+  // New hosts are reachable through the index (probing them works).
+  v6::net::Rng rng(1);
+  for (std::size_t i = before; i < universe.hosts().size(); ++i) {
+    const HostRecord& born = universe.hosts()[i];
+    ASSERT_NE(universe.host(born.addr), nullptr);
+    if (v6::net::has_service(born.services, v6::net::ProbeType::kIcmp)) {
+      EXPECT_EQ(universe.probe(born.addr, v6::net::ProbeType::kIcmp, rng),
+                v6::net::ProbeReply::kEchoReply);
+    }
+  }
+}
+
+TEST(Aging, ServiceLossRemovesOneService) {
+  Universe universe = build_small(9);
+  // Count multi-service hosts, age with only service-loss enabled, and
+  // verify total service bits decreased but no host died outright.
+  const std::size_t active_before = universe.active_host_count_any();
+  std::size_t bits_before = 0;
+  for (const HostRecord& host : universe.hosts()) {
+    bits_before += static_cast<std::size_t>(__builtin_popcount(host.services));
+  }
+  AgingConfig aging;
+  aging.seed = 6;
+  aging.death_prob = 0.0;
+  aging.subnet_death_prob = 0.0;
+  aging.service_loss_prob = 0.3;
+  aging.revival_prob = 0.0;
+  aging.birth_prob = 0.0;
+  UniverseBuilder::age(universe, aging);
+  std::size_t bits_after = 0;
+  for (const HostRecord& host : universe.hosts()) {
+    bits_after += static_cast<std::size_t>(__builtin_popcount(host.services));
+  }
+  EXPECT_LT(bits_after, bits_before);
+  // Hosts whose only service was withdrawn count as dead; some loss of
+  // active hosts is expected but far below the service-loss rate.
+  EXPECT_GT(universe.active_host_count_any(), active_before * 8 / 10);
+}
+
+TEST(Aging, MultipleEpochsCompound) {
+  Universe universe = build_small(10);
+  const std::size_t start = universe.active_host_count_any();
+  AgingConfig aging;
+  aging.death_prob = 0.15;
+  aging.subnet_death_prob = 0.0;
+  aging.revival_prob = 0.0;
+  aging.birth_prob = 0.0;
+  aging.service_loss_prob = 0.0;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    aging.seed = 100 + static_cast<std::uint64_t>(epoch);
+    UniverseBuilder::age(universe, aging);
+  }
+  const double survival = static_cast<double>(
+                              universe.active_host_count_any()) /
+                          static_cast<double>(start);
+  EXPECT_NEAR(survival, 0.85 * 0.85 * 0.85, 0.05);
+}
+
+}  // namespace
+}  // namespace v6::simnet

@@ -1,0 +1,97 @@
+// Wire-noise semantics: the reply classes that are NOT hits still have
+// to be emitted realistically, because the scanner's classification
+// logic (and the paper's hit rules) exist to filter them.
+#include <gtest/gtest.h>
+
+#include "net/rng.h"
+#include "testutil/fixtures.h"
+
+namespace v6::simnet {
+namespace {
+
+using v6::net::Ipv6Addr;
+using v6::net::ProbeReply;
+using v6::net::ProbeType;
+using v6::testutil::small_universe;
+
+TEST(WireNoise, UdpToNonDnsHostMayDrawPortUnreachable) {
+  const Universe& u = small_universe();
+  v6::net::Rng rng(1);
+  int unreachable = 0;
+  int checked = 0;
+  for (const HostRecord& host : u.hosts()) {
+    if (u.is_aliased(host.addr) || host.services == 0) continue;
+    if (v6::net::has_service(host.services, ProbeType::kUdp53)) continue;
+    const ProbeReply reply = u.probe(host.addr, ProbeType::kUdp53, rng);
+    EXPECT_NE(reply, ProbeReply::kUdpReply);
+    if (reply == ProbeReply::kDestUnreachable) ++unreachable;
+    if (++checked >= 2000) break;
+  }
+  ASSERT_GT(checked, 100);
+  // Roughly half of live hosts send ICMP port unreachable.
+  EXPECT_GT(unreachable, checked / 4);
+  EXPECT_LT(unreachable, checked * 3 / 4);
+}
+
+TEST(WireNoise, RoutedUnusedSpaceDrawsOccasionalUnreachable) {
+  const Universe& u = small_universe();
+  v6::net::Rng rng(2);
+  // Random addresses deep inside announced prefixes: almost surely no
+  // host there.
+  int unreachable = 0;
+  constexpr int kProbes = 5000;
+  const auto& announcements = u.routes().announcements();
+  for (int i = 0; i < kProbes; ++i) {
+    const auto& [prefix, asn] =
+        announcements[static_cast<std::size_t>(i) % announcements.size()];
+    Ipv6Addr addr = v6::net::random_in_prefix(rng, prefix);
+    if (u.host(addr) != nullptr || u.is_aliased(addr) ||
+        u.in_dense_region(addr)) {
+      continue;
+    }
+    const ProbeReply reply = u.probe(addr, ProbeType::kIcmp, rng);
+    EXPECT_NE(reply, ProbeReply::kEchoReply) << addr.to_string();
+    if (reply == ProbeReply::kDestUnreachable) ++unreachable;
+  }
+  // Matches the configured background probability within slack.
+  const double rate = static_cast<double>(unreachable) / kProbes;
+  EXPECT_NEAR(rate, u.config().background_unreachable_prob, 0.01);
+}
+
+TEST(WireNoise, BackgroundRepliesAreStablePerAddress) {
+  // The same unused address must answer the same way every time, or
+  // scanner retries would change classifications nondeterministically.
+  const Universe& u = small_universe();
+  v6::net::Rng rng(3);
+  const auto& [prefix, asn] = u.routes().announcements().front();
+  for (int trial = 0; trial < 50; ++trial) {
+    Ipv6Addr addr = v6::net::random_in_prefix(rng, prefix);
+    if (u.host(addr) != nullptr || u.is_aliased(addr) ||
+        u.in_dense_region(addr)) {
+      continue;
+    }
+    const ProbeReply first = u.probe(addr, ProbeType::kIcmp, rng);
+    for (int repeat = 0; repeat < 5; ++repeat) {
+      EXPECT_EQ(u.probe(addr, ProbeType::kIcmp, rng), first);
+    }
+  }
+}
+
+TEST(WireNoise, AliasedRegionClosedServiceNeverYieldsHit) {
+  // Alias regions without UDP53 must not answer DNS probes positively
+  // (the aliased device's closed service times out for UDP).
+  const Universe& u = small_universe();
+  v6::net::Rng rng(4);
+  int checked = 0;
+  for (const AliasRegion& region : u.alias_regions()) {
+    if (v6::net::has_service(region.services, ProbeType::kUdp53)) continue;
+    const Ipv6Addr addr = v6::net::random_in_prefix(rng, region.prefix);
+    EXPECT_EQ(u.probe(addr, ProbeType::kUdp53, rng), ProbeReply::kTimeout)
+        << region.prefix.to_string();
+    ++checked;
+  }
+  EXPECT_GT(checked, 0) << "universe should contain non-UDP alias regions";
+}
+
+}  // namespace
+}  // namespace v6::simnet

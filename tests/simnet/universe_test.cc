@@ -1,0 +1,272 @@
+#include "simnet/universe.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/rng.h"
+#include "simnet/universe_builder.h"
+#include "testutil/fixtures.h"
+
+namespace v6::simnet {
+namespace {
+
+using v6::net::Ipv6Addr;
+using v6::net::ProbeReply;
+using v6::net::ProbeType;
+using v6::testutil::small_universe;
+
+TEST(UniverseBuilder, DeterministicForSameSeed) {
+  UniverseConfig config;
+  config.seed = 7;
+  config.num_ases = 50;
+  config.host_scale = 0.05;
+  const Universe a = UniverseBuilder::build(config);
+  const Universe b = UniverseBuilder::build(config);
+  ASSERT_EQ(a.hosts().size(), b.hosts().size());
+  for (std::size_t i = 0; i < a.hosts().size(); ++i) {
+    EXPECT_EQ(a.hosts()[i].addr, b.hosts()[i].addr);
+    EXPECT_EQ(a.hosts()[i].services, b.hosts()[i].services);
+  }
+  ASSERT_EQ(a.alias_regions().size(), b.alias_regions().size());
+}
+
+TEST(UniverseBuilder, DifferentSeedsDiffer) {
+  UniverseConfig config;
+  config.num_ases = 50;
+  config.host_scale = 0.05;
+  config.seed = 1;
+  const Universe a = UniverseBuilder::build(config);
+  config.seed = 2;
+  const Universe b = UniverseBuilder::build(config);
+  // Host populations should not be identical.
+  bool differs = a.hosts().size() != b.hosts().size();
+  if (!differs) {
+    for (std::size_t i = 0; i < a.hosts().size(); ++i) {
+      if (a.hosts()[i].addr != b.hosts()[i].addr) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Universe, EveryAsHasRouterPresence) {
+  const Universe& u = small_universe();
+  std::unordered_set<std::uint32_t> with_router;
+  for (const HostRecord& h : u.hosts()) {
+    if (h.kind == HostKind::kRouter) with_router.insert(h.asn);
+  }
+  // The builder guarantees infrastructure routers per announced prefix.
+  std::unordered_set<std::uint32_t> announced;
+  for (const auto& [prefix, asn] : u.routes().announcements()) {
+    if (!u.dense_region() || asn != u.dense_region()->asn) {
+      announced.insert(asn);
+    }
+  }
+  for (const std::uint32_t asn : announced) {
+    EXPECT_TRUE(with_router.contains(asn)) << "AS " << asn;
+  }
+}
+
+TEST(Universe, ActiveHostAnswersItsServices) {
+  const Universe& u = small_universe();
+  v6::net::Rng rng(1);
+  int checked = 0;
+  for (const HostRecord& h : u.hosts()) {
+    if (u.is_aliased(h.addr)) continue;
+    for (const ProbeType t : v6::net::kAllProbeTypes) {
+      const ProbeReply reply = u.probe(h.addr, t, rng);
+      if (v6::net::has_service(h.services, t)) {
+        EXPECT_EQ(reply, v6::net::positive_reply(t))
+            << h.addr.to_string() << " " << v6::net::to_string(t);
+      } else {
+        EXPECT_NE(reply, v6::net::positive_reply(t))
+            << h.addr.to_string() << " " << v6::net::to_string(t);
+      }
+    }
+    if (++checked >= 2000) break;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Universe, ChurnedHostsAnswerNothing) {
+  const Universe& u = small_universe();
+  v6::net::Rng rng(2);
+  int churned = 0;
+  for (const HostRecord& h : u.hosts()) {
+    if (!h.churned() || u.is_aliased(h.addr)) continue;
+    ++churned;
+    for (const ProbeType t : v6::net::kAllProbeTypes) {
+      EXPECT_NE(u.probe(h.addr, t, rng), v6::net::positive_reply(t));
+    }
+    if (churned >= 500) break;
+  }
+  EXPECT_GT(churned, 0) << "universe should contain churned hosts";
+}
+
+TEST(Universe, AliasRegionsAnswerEverywhere) {
+  const Universe& u = small_universe();
+  v6::net::Rng rng(3);
+  int tested = 0;
+  for (const AliasRegion& region : u.alias_regions()) {
+    if (region.rate_limited) continue;
+    for (int i = 0; i < 8; ++i) {
+      const Ipv6Addr addr = v6::net::random_in_prefix(rng, region.prefix);
+      for (const ProbeType t : v6::net::kAllProbeTypes) {
+        if (v6::net::has_service(region.services, t)) {
+          EXPECT_EQ(u.probe(addr, t, rng), v6::net::positive_reply(t));
+        }
+      }
+      EXPECT_TRUE(u.is_aliased(addr));
+    }
+    if (++tested >= 20) break;
+  }
+  EXPECT_GT(tested, 0) << "universe should contain alias regions";
+}
+
+TEST(Universe, RateLimitedAliasDropsSomeProbes) {
+  const Universe& u = small_universe();
+  const AliasRegion* limited = nullptr;
+  for (const AliasRegion& region : u.alias_regions()) {
+    if (region.rate_limited &&
+        v6::net::has_service(region.services, ProbeType::kIcmp)) {
+      limited = &region;
+      break;
+    }
+  }
+  ASSERT_NE(limited, nullptr) << "universe should contain rate-limited aliases";
+  v6::net::Rng rng(4);
+  int answered = 0;
+  constexpr int kProbes = 2000;
+  for (int i = 0; i < kProbes; ++i) {
+    const Ipv6Addr addr = v6::net::random_in_prefix(rng, limited->prefix);
+    if (u.probe(addr, ProbeType::kIcmp, rng) == ProbeReply::kEchoReply) {
+      ++answered;
+    }
+  }
+  const double rate = static_cast<double>(answered) / kProbes;
+  EXPECT_NEAR(rate, limited->response_prob, 0.05);
+}
+
+TEST(Universe, DenseRegionOnlyLow64OneAnswers) {
+  const Universe& u = small_universe();
+  ASSERT_TRUE(u.dense_region().has_value());
+  const DenseRegion& dense = *u.dense_region();
+  v6::net::Rng rng(5);
+  int active = 0;
+  constexpr int kSamples = 3000;
+  for (int i = 0; i < kSamples; ++i) {
+    const Ipv6Addr r = v6::net::random_in_prefix(rng, dense.prefix);
+    // Pattern address (low64 == ::1) answers probabilistically...
+    const Ipv6Addr pattern(r.hi(), 1);
+    if (u.probe(pattern, ProbeType::kIcmp, rng) == ProbeReply::kEchoReply) {
+      ++active;
+    }
+    // ...but never on other ports, and non-pattern addresses never do.
+    EXPECT_NE(u.probe(pattern, ProbeType::kTcp80, rng),
+              ProbeReply::kSynAck);
+    const Ipv6Addr non_pattern(r.hi(), 2);
+    EXPECT_NE(u.probe(non_pattern, ProbeType::kIcmp, rng),
+              ProbeReply::kEchoReply);
+  }
+  const double rate = static_cast<double>(active) / kSamples;
+  EXPECT_NEAR(rate, dense.active_prob, 0.05);
+}
+
+TEST(Universe, DenseRegionProbingIsStablePerAddress) {
+  const Universe& u = small_universe();
+  ASSERT_TRUE(u.dense_region().has_value());
+  v6::net::Rng rng(6);
+  const Ipv6Addr probe_addr(
+      v6::net::random_in_prefix(rng, u.dense_region()->prefix).hi(), 1);
+  const ProbeReply first = u.probe(probe_addr, ProbeType::kIcmp, rng);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(u.probe(probe_addr, ProbeType::kIcmp, rng), first);
+  }
+}
+
+TEST(Universe, RoutedAddressesResolveToAsn) {
+  const Universe& u = small_universe();
+  int checked = 0;
+  for (const HostRecord& h : u.hosts()) {
+    const auto asn = u.asn_of(h.addr);
+    ASSERT_TRUE(asn.has_value()) << h.addr.to_string();
+    EXPECT_EQ(*asn, h.asn) << h.addr.to_string();
+    if (++checked >= 3000) break;
+  }
+}
+
+TEST(Universe, UnroutedSpaceTimesOut) {
+  const Universe& u = small_universe();
+  v6::net::Rng rng(8);
+  // 3000::/4 is never allocated by the builder.
+  const Ipv6Addr outside = Ipv6Addr::must_parse("3001:db8::1");
+  EXPECT_FALSE(u.asn_of(outside).has_value());
+  EXPECT_EQ(u.probe(outside, ProbeType::kIcmp, rng), ProbeReply::kTimeout);
+}
+
+TEST(Universe, ClosedTcpPortOnLiveHostSendsRst) {
+  const Universe& u = small_universe();
+  v6::net::Rng rng(9);
+  int found = 0;
+  for (const HostRecord& h : u.hosts()) {
+    if (u.is_aliased(h.addr) || h.services == 0) continue;
+    if (!v6::net::has_service(h.services, ProbeType::kTcp80)) {
+      EXPECT_EQ(u.probe(h.addr, ProbeType::kTcp80, rng), ProbeReply::kRst);
+      if (++found >= 200) break;
+    }
+  }
+  EXPECT_GT(found, 0);
+}
+
+TEST(Universe, ActiveCountsConsistent) {
+  const Universe& u = small_universe();
+  std::size_t sum_any = 0;
+  for (const HostRecord& h : u.hosts()) {
+    if (h.services != 0) ++sum_any;
+  }
+  EXPECT_EQ(u.active_host_count_any(), sum_any);
+  EXPECT_LE(u.active_host_count(ProbeType::kUdp53),
+            u.active_host_count_any());
+  EXPECT_GT(u.active_host_count(ProbeType::kIcmp),
+            u.active_host_count(ProbeType::kUdp53));
+}
+
+TEST(Universe, HostScaleScalesPopulation) {
+  UniverseConfig small_config;
+  small_config.seed = 3;
+  small_config.num_ases = 60;
+  small_config.host_scale = 0.05;
+  UniverseConfig big_config = small_config;
+  big_config.host_scale = 0.2;
+  const Universe small_u = UniverseBuilder::build(small_config);
+  const Universe big_u = UniverseBuilder::build(big_config);
+  EXPECT_GT(big_u.hosts().size(), small_u.hosts().size() * 2);
+}
+
+TEST(Universe, DenseRegionCanBeDisabled) {
+  UniverseConfig config;
+  config.seed = 4;
+  config.num_ases = 30;
+  config.host_scale = 0.05;
+  config.include_dense_region = false;
+  const Universe u = UniverseBuilder::build(config);
+  EXPECT_FALSE(u.dense_region().has_value());
+}
+
+TEST(Universe, PublishedFractionRoughlyRespected) {
+  const Universe& u = small_universe();
+  std::size_t published = 0;
+  for (const AliasRegion& region : u.alias_regions()) {
+    if (region.published) ++published;
+  }
+  ASSERT_GT(u.alias_regions().size(), 10u);
+  const double fraction = static_cast<double>(published) /
+                          static_cast<double>(u.alias_regions().size());
+  EXPECT_NEAR(fraction, u.config().alias_published_fraction, 0.25);
+}
+
+}  // namespace
+}  // namespace v6::simnet

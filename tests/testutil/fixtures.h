@@ -1,0 +1,22 @@
+// Shared test fixtures: small, fast-to-build universes.
+#pragma once
+
+#include "simnet/universe.h"
+#include "simnet/universe_builder.h"
+
+namespace v6::testutil {
+
+/// A small universe shared across tests (built once).
+inline const v6::simnet::Universe& small_universe() {
+  static const v6::simnet::Universe universe = [] {
+    v6::simnet::UniverseConfig config;
+    config.seed = 1234;
+    config.num_ases = 200;
+    config.host_scale = 0.15;
+    config.dense_region_prefix_len = 52;
+    return v6::simnet::UniverseBuilder::build(config);
+  }();
+  return universe;
+}
+
+}  // namespace v6::testutil

@@ -1,0 +1,122 @@
+// Property tests for the region/range cursors: complete, duplicate-free
+// enumeration of exactly the declared space, for swept shapes.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/rng.h"
+#include "tga/space_tree.h"
+
+namespace v6::tga {
+namespace {
+
+using v6::net::Ipv6Addr;
+
+class RegionCursorShapes : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionCursorShapes, EnumeratesExactlyTheDeclaredSpace) {
+  const int free_count = GetParam();
+  v6::net::Rng rng(static_cast<std::uint64_t>(free_count) + 17);
+  // Random base, random distinct free positions.
+  const Ipv6Addr base(rng(), rng());
+  std::vector<int> free;
+  while (static_cast<int>(free.size()) < free_count) {
+    const int pos = static_cast<int>(rng() % 32);
+    if (std::find(free.begin(), free.end(), pos) == free.end()) {
+      free.push_back(pos);
+    }
+  }
+  RegionCursor cursor(base, free);
+  ASSERT_EQ(cursor.capacity(), 1ULL << (4 * free_count));
+
+  std::unordered_set<Ipv6Addr> seen;
+  while (auto addr = cursor.next()) {
+    // Fixed positions never change.
+    for (int pos = 0; pos < Ipv6Addr::kNybbles; ++pos) {
+      if (std::find(free.begin(), free.end(), pos) == free.end()) {
+        ASSERT_EQ(addr->nybble(pos), base.nybble(pos));
+      }
+    }
+    ASSERT_TRUE(seen.insert(*addr).second) << addr->to_string();
+  }
+  EXPECT_EQ(seen.size(), cursor.capacity());
+  EXPECT_TRUE(cursor.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(FreeCounts, RegionCursorShapes,
+                         ::testing::Values(1, 2, 3, 4));
+
+class RangeCursorShapes : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangeCursorShapes, EnumeratesOnlyDeclaredValues) {
+  const int positions_count = GetParam();
+  v6::net::Rng rng(static_cast<std::uint64_t>(positions_count) + 31);
+  const Ipv6Addr base(rng(), rng());
+  std::vector<int> positions;
+  std::vector<std::vector<std::uint8_t>> values;
+  std::uint64_t expected_capacity = 1;
+  while (static_cast<int>(positions.size()) < positions_count) {
+    const int pos = static_cast<int>(rng() % 32);
+    if (std::find(positions.begin(), positions.end(), pos) !=
+        positions.end()) {
+      continue;
+    }
+    positions.push_back(pos);
+    std::vector<std::uint8_t> vals;
+    const int n = 1 + static_cast<int>(rng() % 5);
+    for (int i = 0; i < n; ++i) {
+      const std::uint8_t v = static_cast<std::uint8_t>(rng() & 0xF);
+      if (std::find(vals.begin(), vals.end(), v) == vals.end()) {
+        vals.push_back(v);
+      }
+    }
+    std::sort(vals.begin(), vals.end());
+    expected_capacity *= vals.size();
+    values.push_back(std::move(vals));
+  }
+  // RangeCursor requires positions sorted together with their values.
+  std::vector<std::size_t> order(positions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return positions[a] < positions[b];
+  });
+  std::vector<int> sorted_positions;
+  std::vector<std::vector<std::uint8_t>> sorted_values;
+  for (const std::size_t i : order) {
+    sorted_positions.push_back(positions[i]);
+    sorted_values.push_back(values[i]);
+  }
+
+  RangeCursor cursor(base, sorted_positions, sorted_values);
+  EXPECT_EQ(cursor.capacity(), expected_capacity);
+  std::unordered_set<Ipv6Addr> seen;
+  while (auto addr = cursor.next()) {
+    for (std::size_t i = 0; i < sorted_positions.size(); ++i) {
+      const std::uint8_t v = addr->nybble(sorted_positions[i]);
+      ASSERT_NE(std::find(sorted_values[i].begin(), sorted_values[i].end(),
+                          v),
+                sorted_values[i].end())
+          << "undeclared value at position " << sorted_positions[i];
+    }
+    ASSERT_TRUE(seen.insert(*addr).second);
+  }
+  EXPECT_EQ(seen.size(), expected_capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(PositionCounts, RangeCursorShapes,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(RangeCursorProperty, WidenMonotonicallyGrowsCapacity) {
+  RangeCursor cursor(Ipv6Addr(0x2001ULL << 48, 0), {30, 31},
+                     {{1}, {2}});
+  std::uint64_t last = cursor.capacity();
+  for (int i = 0; i < 30; ++i) {
+    if (!cursor.widen()) break;
+    EXPECT_GT(cursor.capacity(), last);
+    last = cursor.capacity();
+  }
+  EXPECT_EQ(last, 256u);  // both positions saturate at 16 values
+}
+
+}  // namespace
+}  // namespace v6::tga

@@ -1,0 +1,113 @@
+#include "topo/traceroute.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/rng.h"
+#include "testutil/fixtures.h"
+
+namespace v6::topo {
+namespace {
+
+using v6::net::Ipv6Addr;
+using v6::testutil::small_universe;
+
+Ipv6Addr some_host_target() {
+  return small_universe().hosts()[100].addr;
+}
+
+TEST(TracerouteEngine, TraceReachesDestinationAs) {
+  TracerouteEngine engine(small_universe(), 42);
+  const Ipv6Addr target = some_host_target();
+  const auto dest_asn = small_universe().asn_of(target);
+  ASSERT_TRUE(dest_asn.has_value());
+  const auto path = engine.trace(target, {});
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.back().asn, *dest_asn);
+  // TTLs strictly increase.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_GT(path[i].ttl, path[i - 1].ttl);
+  }
+}
+
+TEST(TracerouteEngine, HopsAreRouterInterfaces) {
+  TracerouteEngine engine(small_universe(), 42);
+  const auto path = engine.trace(some_host_target(), {});
+  for (const TraceHop& hop : path) {
+    const auto* host = small_universe().host(hop.addr);
+    ASSERT_NE(host, nullptr);
+    EXPECT_EQ(host->kind, v6::simnet::HostKind::kRouter);
+    EXPECT_EQ(host->asn, hop.asn);
+  }
+}
+
+TEST(TracerouteEngine, UnroutedTargetYieldsNoPath) {
+  TracerouteEngine engine(small_universe(), 42);
+  EXPECT_TRUE(engine.trace(Ipv6Addr::must_parse("3001::1"), {}).empty());
+}
+
+TEST(TracerouteEngine, DeterministicPerTarget) {
+  TracerouteEngine a(small_universe(), 42);
+  TracerouteEngine b(small_universe(), 42);
+  const Ipv6Addr target = some_host_target();
+  const auto pa = a.trace(target, {});
+  const auto pb = b.trace(target, {});
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].addr, pb[i].addr);
+    EXPECT_EQ(pa[i].responded, pb[i].responded);
+  }
+}
+
+TEST(TracerouteEngine, UpstreamsAreStableAndNotSelf) {
+  TracerouteEngine engine(small_universe(), 42);
+  for (const auto& info : small_universe().asdb().all()) {
+    const auto& ups = engine.upstreams(info.asn);
+    for (const std::uint32_t provider : ups) {
+      EXPECT_NE(provider, info.asn);
+    }
+  }
+}
+
+TEST(TracerouteEngine, CampaignCoversManyAses) {
+  TracerouteEngine engine(small_universe(), 42);
+  const auto interfaces = engine.campaign(8000, {}, 1);
+  EXPECT_GT(interfaces.size(), 100u);
+  std::unordered_set<std::uint32_t> ases;
+  std::unordered_set<Ipv6Addr> unique(interfaces.begin(), interfaces.end());
+  EXPECT_EQ(unique.size(), interfaces.size()) << "campaign must dedupe";
+  for (const Ipv6Addr& addr : interfaces) {
+    const auto asn = small_universe().asn_of(addr);
+    ASSERT_TRUE(asn.has_value());
+    ases.insert(*asn);
+  }
+  // Traceroute campaigns should reach the majority of ASes.
+  EXPECT_GT(ases.size(), small_universe().asdb().size() / 2);
+}
+
+TEST(TracerouteEngine, VantageBandsSeeDifferentInterfaces) {
+  TracerouteEngine engine(small_universe(), 42);
+  VantageProfile low{.band_lo = 0.0, .band_hi = 0.5};
+  VantageProfile high{.band_lo = 0.5, .band_hi = 1.0};
+  const auto a = engine.campaign(4000, low, 2);
+  const auto b = engine.campaign(4000, high, 3);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  const std::unordered_set<Ipv6Addr> sa(a.begin(), a.end());
+  std::size_t overlap = 0;
+  for (const Ipv6Addr& addr : b) {
+    if (sa.contains(addr)) ++overlap;
+  }
+  EXPECT_EQ(overlap, 0u) << "disjoint bands must see disjoint interfaces";
+}
+
+TEST(TracerouteEngine, HopResponseProbabilityFiltersHops) {
+  TracerouteEngine engine(small_universe(), 42);
+  VantageProfile silent{.hop_response_prob = 0.0};
+  const auto interfaces = engine.campaign(500, silent, 4);
+  EXPECT_TRUE(interfaces.empty());
+}
+
+}  // namespace
+}  // namespace v6::topo

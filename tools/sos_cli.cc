@@ -1,0 +1,318 @@
+// sos — command-line driver for the Seeds of Scanning reproduction.
+//
+//   sos universe [--seed N] [--ases N] [--scale F]
+//       Print a summary of the simulated Internet.
+//   sos sources [--seed N]
+//       Collect the 12 seed feeds and print their composition.
+//   sos run --tga NAME [--port P] [--dataset D] [--budget N] [--seed N]
+//       Run one TGA through the scan pipeline.
+//       datasets: full, offline, online, joint, active (default),
+//                 port (the port-specific dataset of --port)
+//   sos survey [--port P] [--budget N] [--seed N] [--combined any]
+//       Run all eight TGAs and print the comparison table. With
+//       --combined, generate from all TGAs and scan the union once
+//       (the paper's probing methodology, minimizing per-address scans).
+//   sos trace ADDR [--seed N]
+//       Simulated traceroute toward ADDR.
+//   sos collect --source NAME [--out FILE] [--seed N]
+//       Collect one seed feed; write addresses to FILE (or count them).
+//   sos export --dataset D [--out FILE] [--port P] [--seed N]
+//       Materialize a preprocessed seed dataset and write it to FILE.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "experiment/combined.h"
+#include "experiment/pipeline.h"
+#include "io/address_file.h"
+#include "io/csv.h"
+#include "experiment/workbench.h"
+#include "metrics/reporter.h"
+#include "tga/registry.h"
+#include "topo/traceroute.h"
+
+namespace {
+
+using v6::metrics::fmt_count;
+
+struct Args {
+  std::string command;
+  std::string positional;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback
+                               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.options[std::string(arg.substr(2))] = argv[++i];
+    } else if (args.positional.empty()) {
+      args.positional = arg;
+    }
+  }
+  return args;
+}
+
+v6::net::ProbeType parse_port(const std::string& text) {
+  for (const v6::net::ProbeType t : v6::net::kAllProbeTypes) {
+    if (v6::net::to_string(t) == text) return t;
+  }
+  std::cerr << "unknown port '" << text << "', using ICMP\n";
+  return v6::net::ProbeType::kIcmp;
+}
+
+v6::experiment::WorkbenchConfig bench_config(const Args& args) {
+  v6::experiment::WorkbenchConfig config;
+  config.seed = args.get_u64("seed", 42);
+  config.universe.seed = config.seed;
+  config.universe.num_ases =
+      static_cast<int>(args.get_u64("ases", 2000));
+  config.universe.host_scale = args.get_double("scale", 0.12);
+  return config;
+}
+
+const std::vector<v6::net::Ipv6Addr>& pick_dataset(
+    v6::experiment::Workbench& bench, const std::string& name,
+    v6::net::ProbeType port) {
+  if (name == "full") return bench.full();
+  if (name == "offline") {
+    return bench.dealiased(v6::dealias::DealiasMode::kOffline);
+  }
+  if (name == "online") {
+    return bench.dealiased(v6::dealias::DealiasMode::kOnline);
+  }
+  if (name == "joint") return bench.dealiased(v6::dealias::DealiasMode::kJoint);
+  if (name == "port") return bench.port_specific(port);
+  if (name != "active") {
+    std::cerr << "unknown dataset '" << name << "', using active\n";
+  }
+  return bench.all_active();
+}
+
+int cmd_universe(const Args& args) {
+  v6::experiment::Workbench bench(bench_config(args));
+  const auto& universe = bench.universe();
+  std::cout << "hosts:          " << fmt_count(universe.hosts().size())
+            << "\n";
+  std::cout << "ASes:           " << fmt_count(universe.asdb().size())
+            << "\n";
+  std::cout << "announcements:  " << fmt_count(universe.routes().size())
+            << "\n";
+  std::cout << "alias regions:  "
+            << fmt_count(universe.alias_regions().size()) << "\n";
+  for (const v6::net::ProbeType t : v6::net::kAllProbeTypes) {
+    std::cout << "active on " << v6::net::to_string(t) << ": "
+              << fmt_count(universe.active_host_count(t)) << "\n";
+  }
+  if (universe.dense_region()) {
+    std::cout << "dense region:   " << universe.dense_region()->prefix.to_string()
+              << " (AS" << universe.dense_region()->asn << ")\n";
+  }
+  return 0;
+}
+
+int cmd_sources(const Args& args) {
+  v6::experiment::Workbench bench(bench_config(args));
+  v6::metrics::TextTable table({"Source", "Collected", "Active", "ASes"});
+  for (const v6::seeds::SeedSource source : v6::seeds::kAllSeedSources) {
+    const auto addrs = bench.seeds().from_source(source);
+    std::size_t active = 0;
+    std::unordered_set<std::uint32_t> ases;
+    for (const auto& addr : addrs) {
+      if (bench.activity().active_any(addr)) ++active;
+      if (const auto asn = bench.universe().asn_of(addr)) ases.insert(*asn);
+    }
+    table.add_row({std::string(v6::seeds::to_string(source)),
+                   fmt_count(addrs.size()), fmt_count(active),
+                   fmt_count(ases.size())});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const std::string tga_name = args.get("tga", "6Tree");
+  auto generator = v6::tga::make_generator(tga_name);
+  if (generator == nullptr) {
+    std::cerr << "unknown TGA '" << tga_name << "'\n";
+    return 1;
+  }
+  v6::experiment::Workbench bench(bench_config(args));
+  v6::experiment::PipelineConfig config;
+  config.type = parse_port(args.get("port", "ICMP"));
+  config.budget = args.get_u64("budget", 400'000);
+  config.seed = args.get_u64("seed", 42);
+  const auto& seeds =
+      pick_dataset(bench, args.get("dataset", "active"), config.type);
+
+  const auto outcome = v6::experiment::run_tga(
+      bench.universe(), *generator, seeds, bench.alias_list(), config);
+  std::cout << generator->name() << " on " << v6::net::to_string(config.type)
+            << " (" << fmt_count(seeds.size()) << " seeds, budget "
+            << fmt_count(config.budget) << ")\n";
+  std::cout << "  hits:        " << fmt_count(outcome.hits()) << "\n";
+  std::cout << "  active ASes: " << fmt_count(outcome.ases()) << "\n";
+  std::cout << "  aliases:     " << fmt_count(outcome.aliases) << "\n";
+  std::cout << "  dense-filtered: " << fmt_count(outcome.dense_filtered)
+            << "\n";
+  std::cout << "  packets:     " << fmt_count(outcome.packets) << "\n";
+  return 0;
+}
+
+int cmd_survey(const Args& args) {
+  v6::experiment::Workbench bench(bench_config(args));
+  const v6::net::ProbeType port = parse_port(args.get("port", "ICMP"));
+  const std::uint64_t budget = args.get_u64("budget", 400'000);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const auto& seeds = bench.all_active();
+
+  v6::metrics::TextTable table({"TGA", "Hits", "ASes", "Aliases"});
+  if (args.options.contains("combined")) {
+    std::vector<std::unique_ptr<v6::tga::TargetGenerator>> owned;
+    std::vector<v6::tga::TargetGenerator*> generators;
+    for (const v6::tga::TgaKind kind : v6::tga::kAllTgas) {
+      owned.push_back(v6::tga::make_generator(kind));
+      generators.push_back(owned.back().get());
+    }
+    v6::experiment::CombinedConfig config;
+    config.budget_per_generator = budget;
+    config.type = port;
+    config.seed = seed;
+    const auto result = v6::experiment::run_combined(
+        bench.universe(), generators, seeds, bench.alias_list(), config);
+    for (std::size_t g = 0; g < generators.size(); ++g) {
+      const auto& outcome = result.per_generator[g];
+      table.add_row({std::string(generators[g]->name()),
+                     fmt_count(outcome.hits()), fmt_count(outcome.ases()),
+                     fmt_count(outcome.aliases)});
+    }
+    table.print(std::cout);
+    std::cout << "union: " << fmt_count(result.union_hits.size())
+              << " hits in " << fmt_count(result.union_ases.size())
+              << " ASes; scanned " << fmt_count(result.unique_scanned)
+              << " unique of " << fmt_count(result.proposals)
+              << " proposals (" << fmt_count(result.packets)
+              << " packets)\n";
+    return 0;
+  }
+
+  for (const v6::tga::TgaKind kind : v6::tga::kAllTgas) {
+    auto generator = v6::tga::make_generator(kind);
+    v6::experiment::PipelineConfig config;
+    config.type = port;
+    config.budget = budget;
+    config.seed = seed;
+    const auto outcome = v6::experiment::run_tga(
+        bench.universe(), *generator, seeds, bench.alias_list(), config);
+    table.add_row({std::string(v6::tga::to_string(kind)),
+                   fmt_count(outcome.hits()), fmt_count(outcome.ases()),
+                   fmt_count(outcome.aliases)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_collect(const Args& args) {
+  const std::string source_name = args.get("source", "");
+  std::optional<v6::seeds::SeedSource> source;
+  for (const v6::seeds::SeedSource s : v6::seeds::kAllSeedSources) {
+    if (v6::seeds::to_string(s) == source_name) source = s;
+  }
+  if (!source) {
+    std::cerr << "usage: sos collect --source <name> [--out file]\n"
+                 "sources:";
+    for (const v6::seeds::SeedSource s : v6::seeds::kAllSeedSources) {
+      std::cerr << " '" << v6::seeds::to_string(s) << "'";
+    }
+    std::cerr << "\n";
+    return 1;
+  }
+  v6::experiment::Workbench bench(bench_config(args));
+  v6::seeds::SeedCollector collector(bench.universe(),
+                                     args.get_u64("seed", 42));
+  const auto addrs = collector.collect(*source);
+  std::cout << v6::seeds::to_string(*source) << ": "
+            << fmt_count(addrs.size()) << " addresses\n";
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    v6::io::write_address_file(out, addrs);
+    std::cout << "wrote " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_export(const Args& args) {
+  v6::experiment::Workbench bench(bench_config(args));
+  const v6::net::ProbeType port = parse_port(args.get("port", "ICMP"));
+  const auto& seeds =
+      pick_dataset(bench, args.get("dataset", "active"), port);
+  std::cout << args.get("dataset", "active") << " dataset: "
+            << fmt_count(seeds.size()) << " addresses\n";
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    v6::io::write_address_file(out, seeds);
+    std::cout << "wrote " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  const auto target = v6::net::Ipv6Addr::parse(args.positional);
+  if (!target) {
+    std::cerr << "usage: sos trace <ipv6-address>\n";
+    return 1;
+  }
+  v6::experiment::Workbench bench(bench_config(args));
+  v6::topo::TracerouteEngine engine(bench.universe(),
+                                    args.get_u64("seed", 42));
+  const auto path = engine.trace(*target, {});
+  if (path.empty()) {
+    std::cout << "no route toward " << target->to_string() << "\n";
+    return 0;
+  }
+  for (const auto& hop : path) {
+    std::cout << hop.ttl << "  "
+              << (hop.responded ? hop.addr.to_string() : "*") << "  AS"
+              << hop.asn;
+    if (const auto* info = bench.universe().asdb().find(hop.asn)) {
+      std::cout << " (" << info->name << ")";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.command == "universe") return cmd_universe(args);
+  if (args.command == "sources") return cmd_sources(args);
+  if (args.command == "run") return cmd_run(args);
+  if (args.command == "survey") return cmd_survey(args);
+  if (args.command == "trace") return cmd_trace(args);
+  if (args.command == "collect") return cmd_collect(args);
+  if (args.command == "export") return cmd_export(args);
+  std::cerr << "usage: sos <universe|sources|run|survey|trace|collect|export> [options]\n"
+               "  sos run --tga DET --port TCP80 --dataset port --budget "
+               "200000\n";
+  return args.command.empty() ? 1 : 2;
+}
