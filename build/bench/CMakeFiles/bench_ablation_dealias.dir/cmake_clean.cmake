@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dealias.dir/bench_ablation_dealias.cpp.o"
+  "CMakeFiles/bench_ablation_dealias.dir/bench_ablation_dealias.cpp.o.d"
+  "bench_ablation_dealias"
+  "bench_ablation_dealias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dealias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

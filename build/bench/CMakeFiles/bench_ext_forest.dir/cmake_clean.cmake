@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_forest.dir/bench_ext_forest.cpp.o"
+  "CMakeFiles/bench_ext_forest.dir/bench_ext_forest.cpp.o.d"
+  "bench_ext_forest"
+  "bench_ext_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_cross_port.dir/bench_fig7_cross_port.cpp.o"
+  "CMakeFiles/bench_fig7_cross_port.dir/bench_fig7_cross_port.cpp.o.d"
+  "bench_fig7_cross_port"
+  "bench_fig7_cross_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cross_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rq1_rq2.dir/bench_rq1_rq2.cpp.o"
+  "CMakeFiles/bench_rq1_rq2.dir/bench_rq1_rq2.cpp.o.d"
+  "bench_rq1_rq2"
+  "bench_rq1_rq2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq1_rq2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

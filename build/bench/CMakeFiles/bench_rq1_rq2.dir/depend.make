@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_rq1_rq2.
+# This may be replaced when dependencies are built.

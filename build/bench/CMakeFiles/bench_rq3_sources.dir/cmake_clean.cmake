@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rq3_sources.dir/bench_rq3_sources.cpp.o"
+  "CMakeFiles/bench_rq3_sources.dir/bench_rq3_sources.cpp.o.d"
+  "bench_rq3_sources"
+  "bench_rq3_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq3_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

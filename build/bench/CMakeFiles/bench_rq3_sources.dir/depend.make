@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_rq3_sources.
+# This may be replaced when dependencies are built.

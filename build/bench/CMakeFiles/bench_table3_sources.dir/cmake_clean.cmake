@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sources.dir/bench_table3_sources.cpp.o"
+  "CMakeFiles/bench_table3_sources.dir/bench_table3_sources.cpp.o.d"
+  "bench_table3_sources"
+  "bench_table3_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alias_forensics.dir/alias_forensics.cpp.o"
+  "CMakeFiles/alias_forensics.dir/alias_forensics.cpp.o.d"
+  "alias_forensics"
+  "alias_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alias_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

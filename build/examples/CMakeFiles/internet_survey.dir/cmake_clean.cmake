@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_survey.dir/internet_survey.cpp.o"
+  "CMakeFiles/internet_survey.dir/internet_survey.cpp.o.d"
+  "internet_survey"
+  "internet_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_hunter.dir/port_hunter.cpp.o"
+  "CMakeFiles/port_hunter.dir/port_hunter.cpp.o.d"
+  "port_hunter"
+  "port_hunter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_hunter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_lab.dir/seed_lab.cpp.o"
+  "CMakeFiles/seed_lab.dir/seed_lab.cpp.o.d"
+  "seed_lab"
+  "seed_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

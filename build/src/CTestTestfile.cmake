@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("net")
+subdirs("asdb")
+subdirs("simnet")
+subdirs("dns")
+subdirs("topo")
+subdirs("probe")
+subdirs("dealias")
+subdirs("seeds")
+subdirs("tga")
+subdirs("metrics")
+subdirs("experiment")
+subdirs("io")

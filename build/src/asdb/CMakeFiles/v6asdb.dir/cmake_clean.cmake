@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6asdb.dir/as_database.cc.o"
+  "CMakeFiles/v6asdb.dir/as_database.cc.o.d"
+  "libv6asdb.a"
+  "libv6asdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6asdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dealias/alias_list.cc" "src/dealias/CMakeFiles/v6dealias.dir/alias_list.cc.o" "gcc" "src/dealias/CMakeFiles/v6dealias.dir/alias_list.cc.o.d"
+  "/root/repo/src/dealias/online_dealiaser.cc" "src/dealias/CMakeFiles/v6dealias.dir/online_dealiaser.cc.o" "gcc" "src/dealias/CMakeFiles/v6dealias.dir/online_dealiaser.cc.o.d"
+  "/root/repo/src/dealias/sprt_dealiaser.cc" "src/dealias/CMakeFiles/v6dealias.dir/sprt_dealiaser.cc.o" "gcc" "src/dealias/CMakeFiles/v6dealias.dir/sprt_dealiaser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/v6net.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/v6probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/v6simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/v6asdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6dealias.dir/alias_list.cc.o"
+  "CMakeFiles/v6dealias.dir/alias_list.cc.o.d"
+  "CMakeFiles/v6dealias.dir/online_dealiaser.cc.o"
+  "CMakeFiles/v6dealias.dir/online_dealiaser.cc.o.d"
+  "CMakeFiles/v6dealias.dir/sprt_dealiaser.cc.o"
+  "CMakeFiles/v6dealias.dir/sprt_dealiaser.cc.o.d"
+  "libv6dealias.a"
+  "libv6dealias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6dealias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/domain_lists.cc" "src/dns/CMakeFiles/v6dns.dir/domain_lists.cc.o" "gcc" "src/dns/CMakeFiles/v6dns.dir/domain_lists.cc.o.d"
+  "/root/repo/src/dns/resolver.cc" "src/dns/CMakeFiles/v6dns.dir/resolver.cc.o" "gcc" "src/dns/CMakeFiles/v6dns.dir/resolver.cc.o.d"
+  "/root/repo/src/dns/zone_db.cc" "src/dns/CMakeFiles/v6dns.dir/zone_db.cc.o" "gcc" "src/dns/CMakeFiles/v6dns.dir/zone_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/v6net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/v6simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/v6asdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

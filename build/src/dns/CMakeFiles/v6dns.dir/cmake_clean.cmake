@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6dns.dir/domain_lists.cc.o"
+  "CMakeFiles/v6dns.dir/domain_lists.cc.o.d"
+  "CMakeFiles/v6dns.dir/resolver.cc.o"
+  "CMakeFiles/v6dns.dir/resolver.cc.o.d"
+  "CMakeFiles/v6dns.dir/zone_db.cc.o"
+  "CMakeFiles/v6dns.dir/zone_db.cc.o.d"
+  "libv6dns.a"
+  "libv6dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

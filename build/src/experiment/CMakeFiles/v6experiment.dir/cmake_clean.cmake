@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6experiment.dir/combined.cc.o"
+  "CMakeFiles/v6experiment.dir/combined.cc.o.d"
+  "CMakeFiles/v6experiment.dir/pipeline.cc.o"
+  "CMakeFiles/v6experiment.dir/pipeline.cc.o.d"
+  "CMakeFiles/v6experiment.dir/workbench.cc.o"
+  "CMakeFiles/v6experiment.dir/workbench.cc.o.d"
+  "libv6experiment.a"
+  "libv6experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

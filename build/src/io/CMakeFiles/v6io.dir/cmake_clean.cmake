@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6io.dir/address_file.cc.o"
+  "CMakeFiles/v6io.dir/address_file.cc.o.d"
+  "CMakeFiles/v6io.dir/csv.cc.o"
+  "CMakeFiles/v6io.dir/csv.cc.o.d"
+  "libv6io.a"
+  "libv6io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6metrics.dir/as_top.cc.o"
+  "CMakeFiles/v6metrics.dir/as_top.cc.o.d"
+  "CMakeFiles/v6metrics.dir/coverage.cc.o"
+  "CMakeFiles/v6metrics.dir/coverage.cc.o.d"
+  "CMakeFiles/v6metrics.dir/reporter.cc.o"
+  "CMakeFiles/v6metrics.dir/reporter.cc.o.d"
+  "libv6metrics.a"
+  "libv6metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6net.dir/ipv6.cc.o"
+  "CMakeFiles/v6net.dir/ipv6.cc.o.d"
+  "CMakeFiles/v6net.dir/prefix.cc.o"
+  "CMakeFiles/v6net.dir/prefix.cc.o.d"
+  "libv6net.a"
+  "libv6net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/probe/blocklist.cc" "src/probe/CMakeFiles/v6probe.dir/blocklist.cc.o" "gcc" "src/probe/CMakeFiles/v6probe.dir/blocklist.cc.o.d"
+  "/root/repo/src/probe/scanner.cc" "src/probe/CMakeFiles/v6probe.dir/scanner.cc.o" "gcc" "src/probe/CMakeFiles/v6probe.dir/scanner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/v6net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/v6simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/v6asdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6probe.dir/blocklist.cc.o"
+  "CMakeFiles/v6probe.dir/blocklist.cc.o.d"
+  "CMakeFiles/v6probe.dir/scanner.cc.o"
+  "CMakeFiles/v6probe.dir/scanner.cc.o.d"
+  "libv6probe.a"
+  "libv6probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6seeds.dir/collector.cc.o"
+  "CMakeFiles/v6seeds.dir/collector.cc.o.d"
+  "CMakeFiles/v6seeds.dir/overlap.cc.o"
+  "CMakeFiles/v6seeds.dir/overlap.cc.o.d"
+  "CMakeFiles/v6seeds.dir/preprocess.cc.o"
+  "CMakeFiles/v6seeds.dir/preprocess.cc.o.d"
+  "CMakeFiles/v6seeds.dir/seed_dataset.cc.o"
+  "CMakeFiles/v6seeds.dir/seed_dataset.cc.o.d"
+  "libv6seeds.a"
+  "libv6seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6simnet.dir/universe.cc.o"
+  "CMakeFiles/v6simnet.dir/universe.cc.o.d"
+  "CMakeFiles/v6simnet.dir/universe_builder.cc.o"
+  "CMakeFiles/v6simnet.dir/universe_builder.cc.o.d"
+  "libv6simnet.a"
+  "libv6simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libv6simnet.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tga/det.cc" "src/tga/CMakeFiles/v6tga.dir/det.cc.o" "gcc" "src/tga/CMakeFiles/v6tga.dir/det.cc.o.d"
+  "/root/repo/src/tga/entropy_ip.cc" "src/tga/CMakeFiles/v6tga.dir/entropy_ip.cc.o" "gcc" "src/tga/CMakeFiles/v6tga.dir/entropy_ip.cc.o.d"
+  "/root/repo/src/tga/nybble_stats.cc" "src/tga/CMakeFiles/v6tga.dir/nybble_stats.cc.o" "gcc" "src/tga/CMakeFiles/v6tga.dir/nybble_stats.cc.o.d"
+  "/root/repo/src/tga/registry.cc" "src/tga/CMakeFiles/v6tga.dir/registry.cc.o" "gcc" "src/tga/CMakeFiles/v6tga.dir/registry.cc.o.d"
+  "/root/repo/src/tga/six_forest.cc" "src/tga/CMakeFiles/v6tga.dir/six_forest.cc.o" "gcc" "src/tga/CMakeFiles/v6tga.dir/six_forest.cc.o.d"
+  "/root/repo/src/tga/six_gen.cc" "src/tga/CMakeFiles/v6tga.dir/six_gen.cc.o" "gcc" "src/tga/CMakeFiles/v6tga.dir/six_gen.cc.o.d"
+  "/root/repo/src/tga/six_graph.cc" "src/tga/CMakeFiles/v6tga.dir/six_graph.cc.o" "gcc" "src/tga/CMakeFiles/v6tga.dir/six_graph.cc.o.d"
+  "/root/repo/src/tga/six_hit.cc" "src/tga/CMakeFiles/v6tga.dir/six_hit.cc.o" "gcc" "src/tga/CMakeFiles/v6tga.dir/six_hit.cc.o.d"
+  "/root/repo/src/tga/six_scan.cc" "src/tga/CMakeFiles/v6tga.dir/six_scan.cc.o" "gcc" "src/tga/CMakeFiles/v6tga.dir/six_scan.cc.o.d"
+  "/root/repo/src/tga/six_sense.cc" "src/tga/CMakeFiles/v6tga.dir/six_sense.cc.o" "gcc" "src/tga/CMakeFiles/v6tga.dir/six_sense.cc.o.d"
+  "/root/repo/src/tga/six_tree.cc" "src/tga/CMakeFiles/v6tga.dir/six_tree.cc.o" "gcc" "src/tga/CMakeFiles/v6tga.dir/six_tree.cc.o.d"
+  "/root/repo/src/tga/space_tree.cc" "src/tga/CMakeFiles/v6tga.dir/space_tree.cc.o" "gcc" "src/tga/CMakeFiles/v6tga.dir/space_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/v6net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dealias/CMakeFiles/v6dealias.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/v6probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/v6simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/v6asdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

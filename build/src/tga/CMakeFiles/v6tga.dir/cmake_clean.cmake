@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6tga.dir/det.cc.o"
+  "CMakeFiles/v6tga.dir/det.cc.o.d"
+  "CMakeFiles/v6tga.dir/entropy_ip.cc.o"
+  "CMakeFiles/v6tga.dir/entropy_ip.cc.o.d"
+  "CMakeFiles/v6tga.dir/nybble_stats.cc.o"
+  "CMakeFiles/v6tga.dir/nybble_stats.cc.o.d"
+  "CMakeFiles/v6tga.dir/registry.cc.o"
+  "CMakeFiles/v6tga.dir/registry.cc.o.d"
+  "CMakeFiles/v6tga.dir/six_forest.cc.o"
+  "CMakeFiles/v6tga.dir/six_forest.cc.o.d"
+  "CMakeFiles/v6tga.dir/six_gen.cc.o"
+  "CMakeFiles/v6tga.dir/six_gen.cc.o.d"
+  "CMakeFiles/v6tga.dir/six_graph.cc.o"
+  "CMakeFiles/v6tga.dir/six_graph.cc.o.d"
+  "CMakeFiles/v6tga.dir/six_hit.cc.o"
+  "CMakeFiles/v6tga.dir/six_hit.cc.o.d"
+  "CMakeFiles/v6tga.dir/six_scan.cc.o"
+  "CMakeFiles/v6tga.dir/six_scan.cc.o.d"
+  "CMakeFiles/v6tga.dir/six_sense.cc.o"
+  "CMakeFiles/v6tga.dir/six_sense.cc.o.d"
+  "CMakeFiles/v6tga.dir/six_tree.cc.o"
+  "CMakeFiles/v6tga.dir/six_tree.cc.o.d"
+  "CMakeFiles/v6tga.dir/space_tree.cc.o"
+  "CMakeFiles/v6tga.dir/space_tree.cc.o.d"
+  "libv6tga.a"
+  "libv6tga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6tga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6topo.dir/traceroute.cc.o"
+  "CMakeFiles/v6topo.dir/traceroute.cc.o.d"
+  "libv6topo.a"
+  "libv6topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

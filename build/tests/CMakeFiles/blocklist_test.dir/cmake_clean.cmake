@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocklist_test.dir/probe/blocklist_test.cc.o"
+  "CMakeFiles/blocklist_test.dir/probe/blocklist_test.cc.o.d"
+  "blocklist_test"
+  "blocklist_test.pdb"
+  "blocklist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocklist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cursor_property_test.dir/tga/cursor_property_test.cc.o"
+  "CMakeFiles/cursor_property_test.dir/tga/cursor_property_test.cc.o.d"
+  "cursor_property_test"
+  "cursor_property_test.pdb"
+  "cursor_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cursor_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

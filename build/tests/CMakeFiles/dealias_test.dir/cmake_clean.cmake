@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dealias_test.dir/dealias/dealias_test.cc.o"
+  "CMakeFiles/dealias_test.dir/dealias/dealias_test.cc.o.d"
+  "dealias_test"
+  "dealias_test.pdb"
+  "dealias_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dealias_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_behavior_test.dir/tga/generator_behavior_test.cc.o"
+  "CMakeFiles/generator_behavior_test.dir/tga/generator_behavior_test.cc.o.d"
+  "generator_behavior_test"
+  "generator_behavior_test.pdb"
+  "generator_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_contract_test.dir/tga/generator_contract_test.cc.o"
+  "CMakeFiles/generator_contract_test.dir/tga/generator_contract_test.cc.o.d"
+  "generator_contract_test"
+  "generator_contract_test.pdb"
+  "generator_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

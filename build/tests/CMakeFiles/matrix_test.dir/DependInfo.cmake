@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/experiment/matrix_test.cc" "tests/CMakeFiles/matrix_test.dir/experiment/matrix_test.cc.o" "gcc" "tests/CMakeFiles/matrix_test.dir/experiment/matrix_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiment/CMakeFiles/v6experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/v6metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/v6dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/v6topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/v6io.dir/DependInfo.cmake"
+  "/root/repo/build/src/seeds/CMakeFiles/v6seeds.dir/DependInfo.cmake"
+  "/root/repo/build/src/tga/CMakeFiles/v6tga.dir/DependInfo.cmake"
+  "/root/repo/build/src/dealias/CMakeFiles/v6dealias.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/v6probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/v6simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/v6asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/v6net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

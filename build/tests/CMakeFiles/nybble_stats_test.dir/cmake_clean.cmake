@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nybble_stats_test.dir/tga/nybble_stats_test.cc.o"
+  "CMakeFiles/nybble_stats_test.dir/tga/nybble_stats_test.cc.o.d"
+  "nybble_stats_test"
+  "nybble_stats_test.pdb"
+  "nybble_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nybble_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seeds_test.dir/seeds/seeds_test.cc.o"
+  "CMakeFiles/seeds_test.dir/seeds/seeds_test.cc.o.d"
+  "seeds_test"
+  "seeds_test.pdb"
+  "seeds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seeds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

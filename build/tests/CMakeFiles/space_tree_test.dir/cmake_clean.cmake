@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_tree_test.dir/tga/space_tree_test.cc.o"
+  "CMakeFiles/space_tree_test.dir/tga/space_tree_test.cc.o.d"
+  "space_tree_test"
+  "space_tree_test.pdb"
+  "space_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprt_test.dir/dealias/sprt_test.cc.o"
+  "CMakeFiles/sprt_test.dir/dealias/sprt_test.cc.o.d"
+  "sprt_test"
+  "sprt_test.pdb"
+  "sprt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

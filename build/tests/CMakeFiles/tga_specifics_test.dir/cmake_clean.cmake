@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tga_specifics_test.dir/tga/tga_specifics_test.cc.o"
+  "CMakeFiles/tga_specifics_test.dir/tga/tga_specifics_test.cc.o.d"
+  "tga_specifics_test"
+  "tga_specifics_test.pdb"
+  "tga_specifics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tga_specifics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traceroute_test.dir/topo/traceroute_test.cc.o"
+  "CMakeFiles/traceroute_test.dir/topo/traceroute_test.cc.o.d"
+  "traceroute_test"
+  "traceroute_test.pdb"
+  "traceroute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traceroute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos.dir/sos_cli.cc.o"
+  "CMakeFiles/sos.dir/sos_cli.cc.o.d"
+  "sos"
+  "sos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
