@@ -8,7 +8,10 @@
 
 using v6::metrics::fmt_count;
 
-int main() {
+int main(int argc, char** argv) {
+  const v6::bench::BenchArgs args = v6::bench::parse_args(argc, argv);
+  v6::bench::BenchTimer timer("ablation_budget", args);
+
   v6::experiment::Workbench bench;
   const auto& seeds = bench.all_active();
 
@@ -18,6 +21,19 @@ int main() {
       v6::tga::TgaKind::kSixSense, v6::tga::TgaKind::kSixTree,
       v6::tga::TgaKind::kDet, v6::tga::TgaKind::kSixGen};
 
+  // One sweep feeds both the hits and the ASes table.
+  std::vector<std::vector<v6::bench::TgaRun>> sweep;
+  sweep.reserve(budgets.size());
+  for (const std::uint64_t budget : budgets) {
+    v6::experiment::PipelineConfig config;
+    config.budget = budget;
+    std::cerr << "running " << tgas.size() << " TGAs @ " << budget << "\n";
+    sweep.push_back(v6::bench::run_tgas(bench.universe(), tgas, seeds,
+                                        bench.alias_list(), config,
+                                        args.jobs));
+    timer.record("budget_" + std::to_string(budget), sweep.back());
+  }
+
   std::cout << "=== Ablation: budget sweep (ICMP, All Active seeds) ===\n";
   for (const bool hits : {true, false}) {
     std::cout << (hits ? "-- Hits --\n" : "-- ASes --\n");
@@ -26,28 +42,11 @@ int main() {
       header.emplace_back(v6::tga::to_string(kind));
     }
     v6::metrics::TextTable table(std::move(header));
-    // Cache outcomes so the hits and ASes tables share one set of runs.
-    static std::vector<std::vector<v6::metrics::ScanOutcome>> cache;
-    if (cache.empty()) {
-      for (const std::uint64_t budget : budgets) {
-        std::vector<v6::metrics::ScanOutcome> row;
-        for (const auto kind : tgas) {
-          v6::experiment::PipelineConfig config;
-          config.budget = budget;
-          std::cerr << "running " << v6::tga::to_string(kind) << " @ "
-                    << budget << "\n";
-          auto generator = v6::tga::make_generator(kind);
-          row.push_back(v6::experiment::run_tga(bench.universe(), *generator,
-                                                seeds, bench.alias_list(),
-                                                config));
-        }
-        cache.push_back(std::move(row));
-      }
-    }
     for (std::size_t b = 0; b < budgets.size(); ++b) {
       std::vector<std::string> row{fmt_count(budgets[b])};
-      for (const auto& outcome : cache[b]) {
-        row.push_back(fmt_count(hits ? outcome.hits() : outcome.ases()));
+      for (const auto& run : sweep[b]) {
+        row.push_back(
+            fmt_count(hits ? run.outcome.hits() : run.outcome.ases()));
       }
       table.add_row(std::move(row));
     }

@@ -18,7 +18,10 @@ using v6::metrics::fmt_percent;
 using v6::net::Ipv6Addr;
 using v6::net::ProbeType;
 
-int main() {
+int main(int argc, char** argv) {
+  const v6::bench::BenchArgs args = v6::bench::parse_args(argc, argv);
+  v6::bench::BenchTimer timer("ablation_dealias", args);
+
   v6::experiment::Workbench bench;
   const auto& universe = bench.universe();
 
@@ -45,6 +48,7 @@ int main() {
                                 "Pkts/prefix"});
 
   for (const Variant& variant : variants) {
+    const auto section = timer.section(variant.name);
     std::size_t plain_hits = 0;
     std::size_t plain_total = 0;
     std::size_t limited_hits = 0;
@@ -100,6 +104,7 @@ int main() {
   }
   // ---- SPRT variant (this repo's proposed improvement) -----------------
   {
+    const auto section = timer.section("SPRT (adaptive, ours)");
     std::size_t plain_hits = 0;
     std::size_t plain_total = 0;
     std::size_t limited_hits = 0;

@@ -11,8 +11,11 @@ using v6::metrics::fmt_count;
 using v6::metrics::fmt_percent;
 
 int main(int argc, char** argv) {
+  const v6::bench::BenchArgs args = v6::bench::parse_args(argc, argv, 200'000);
   v6::experiment::PipelineConfig config;
-  config.budget = v6::bench::budget_from_argv(argc, argv, 200'000);
+  config.budget = args.budget;
+
+  v6::bench::BenchTimer timer("ablation_dense_filter", args);
 
   v6::experiment::Workbench bench;
   const auto& seeds = bench.all_active();
@@ -24,17 +27,21 @@ int main(int argc, char** argv) {
                                 "ASes (filtered)", "ASes (unfiltered)"});
 
   for (const v6::tga::TgaKind kind : v6::tga::kAllTgas) {
-    auto gen_a = v6::tga::make_generator(kind);
     v6::experiment::PipelineConfig filtered = config;
     filtered.filter_dense = true;
-    const auto with_filter = v6::experiment::run_tga(
-        bench.universe(), *gen_a, seeds, bench.alias_list(), filtered);
+    const auto filtered_run = v6::bench::run_one_tga(
+        bench.universe(), kind, seeds, bench.alias_list(), filtered);
+    timer.record(std::string(v6::tga::to_string(kind)) + "/filtered",
+                 {filtered_run});
+    const auto& with_filter = filtered_run.outcome;
 
-    auto gen_b = v6::tga::make_generator(kind);
     v6::experiment::PipelineConfig unfiltered = config;
     unfiltered.filter_dense = false;
-    const auto without_filter = v6::experiment::run_tga(
-        bench.universe(), *gen_b, seeds, bench.alias_list(), unfiltered);
+    const auto unfiltered_run = v6::bench::run_one_tga(
+        bench.universe(), kind, seeds, bench.alias_list(), unfiltered);
+    timer.record(std::string(v6::tga::to_string(kind)) + "/unfiltered",
+                 {unfiltered_run});
+    const auto& without_filter = unfiltered_run.outcome;
 
     const double dense_share =
         without_filter.hits() == 0

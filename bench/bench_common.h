@@ -1,53 +1,264 @@
 // Shared helpers for the bench harnesses that regenerate the paper's
-// tables and figures.
+// tables and figures: argument parsing (budget + --jobs), the parallel
+// TGA sweep (see src/experiment/runner.h), and a timing harness that
+// writes BENCH_<name>.json so the perf trajectory of every bench is
+// machine-readable across revisions.
 #pragma once
 
+#include <array>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "experiment/pipeline.h"
+#include "experiment/runner.h"
 #include "experiment/workbench.h"
 #include "metrics/reporter.h"
 #include "metrics/scan_outcome.h"
+#include "runtime/thread_pool.h"
 #include "tga/registry.h"
 
 namespace v6::bench {
 
-/// Every bench accepts an optional budget argument:
-///   ./bench_xxx [budget-per-run]
-/// Default 400K — the scaled analogue of the paper's 50M budget.
-inline std::uint64_t budget_from_argv(int argc, char** argv,
-                                      std::uint64_t fallback = 400'000) {
-  if (argc > 1) {
-    const std::uint64_t v = std::strtoull(argv[1], nullptr, 10);
-    if (v > 0) return v;
-  }
-  return fallback;
-}
+using v6::experiment::TgaRun;
+using v6::experiment::run_all_tgas;
+using v6::experiment::run_tgas;
 
-struct TgaRun {
-  v6::tga::TgaKind kind;
-  v6::metrics::ScanOutcome outcome;
+struct BenchArgs {
+  /// Generation budget per run. Default 400K — the scaled analogue of
+  /// the paper's 50M budget.
+  std::uint64_t budget = 400'000;
+  /// Concurrent TGA runs / variant computations (--jobs N, default
+  /// V6_JOBS env or hardware_concurrency).
+  unsigned jobs = 1;
 };
 
-/// Runs all eight TGAs over one seed dataset / probe type.
-inline std::vector<TgaRun> run_all_tgas(
-    const v6::simnet::Universe& universe,
-    const std::vector<v6::net::Ipv6Addr>& seeds,
-    const v6::dealias::AliasList& alias_list,
-    const v6::experiment::PipelineConfig& config) {
-  std::vector<TgaRun> runs;
-  runs.reserve(v6::tga::kNumTgas);
-  for (const v6::tga::TgaKind kind : v6::tga::kAllTgas) {
-    auto generator = v6::tga::make_generator(kind);
-    runs.push_back(
-        {kind, v6::experiment::run_tga(universe, *generator, seeds,
-                                       alias_list, config)});
+[[noreturn]] inline void usage(const char* argv0, const std::string& error) {
+  std::cerr << "error: " << error << "\n"
+            << "usage: " << argv0 << " [budget-per-run] [--jobs N]\n"
+            << "  budget-per-run  positive integer (default varies by bench)\n"
+            << "  --jobs N        concurrent runs (default: V6_JOBS or "
+               "hardware threads)\n";
+  std::exit(2);
+}
+
+/// Strict positive-integer parse: rejects empty input, trailing garbage,
+/// overflow, and zero.
+inline bool parse_u64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  const std::string owned(text);  // strtoull needs a terminated buffer
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(owned.c_str(), &end, 10);
+  if (end != owned.c_str() + owned.size() || errno == ERANGE || v == 0) {
+    return false;
   }
-  return runs;
+  *out = v;
+  return true;
+}
+
+/// Every bench accepts `[budget-per-run] [--jobs N]`. Malformed input is
+/// a usage error, never a silent fallback.
+inline BenchArgs parse_args(int argc, char** argv,
+                            std::uint64_t fallback_budget = 400'000) {
+  BenchArgs args;
+  args.budget = fallback_budget;
+  args.jobs = v6::runtime::default_jobs();
+  bool have_budget = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::uint64_t v = 0;
+    if (arg == "--jobs" || arg == "-j") {
+      if (i + 1 >= argc || !parse_u64(argv[i + 1], &v) || v > 4096) {
+        usage(argv[0], "--jobs needs a positive integer");
+      }
+      args.jobs = static_cast<unsigned>(v);
+      ++i;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      if (!parse_u64(arg.substr(7), &v) || v > 4096) {
+        usage(argv[0], "--jobs needs a positive integer");
+      }
+      args.jobs = static_cast<unsigned>(v);
+    } else if (!have_budget && arg.rfind("-", 0) != 0) {
+      if (!parse_u64(arg, &v)) {
+        usage(argv[0], "budget must be a positive integer, got '" +
+                           std::string(arg) + "'");
+      }
+      args.budget = v;
+      have_budget = true;
+    } else {
+      usage(argv[0], "unexpected argument '" + std::string(arg) + "'");
+    }
+  }
+  return args;
+}
+
+/// Backwards-compatible budget-only accessor, now hardened: garbage or
+/// out-of-range input aborts with a usage message.
+inline std::uint64_t budget_from_argv(int argc, char** argv,
+                                      std::uint64_t fallback = 400'000) {
+  return parse_args(argc, argv, fallback).budget;
+}
+
+/// Wall-clock timing harness. Collects one entry per recorded run (or
+/// coarse phase) and writes them as BENCH_<name>.json in the working
+/// directory — the machine-readable perf trajectory of the bench suite.
+///
+/// JSON schema (docs/ALGORITHMS.md has the full description):
+///   { "bench": str, "budget": int, "jobs": int,
+///     "total_wall_seconds": float,
+///     "runs": [ { "label": str, "wall_seconds": float,
+///                 // TGA runs additionally carry:
+///                 "tga": str, "generated": int, "responsive": int,
+///                 "hits": int, "ases": int, "aliases": int,
+///                 "dense_filtered": int, "packets": int,
+///                 "virtual_seconds": float } ] }
+class BenchTimer {
+  using Clock = std::chrono::steady_clock;
+
+ public:
+  BenchTimer(std::string name, const BenchArgs& args)
+      : name_(std::move(name)),
+        budget_(args.budget),
+        jobs_(args.jobs),
+        start_(Clock::now()) {}
+
+  ~BenchTimer() {
+    if (!written_) write();
+  }
+
+  /// Records every TGA run of one labelled sweep.
+  void record(const std::string& label, const std::vector<TgaRun>& runs) {
+    for (const TgaRun& run : runs) {
+      Entry e;
+      e.label = label;
+      e.tga = std::string(v6::tga::to_string(run.kind));
+      e.wall_seconds = run.wall_seconds;
+      e.generated = run.outcome.generated;
+      e.responsive = run.outcome.responsive;
+      e.hits = run.outcome.hits();
+      e.ases = run.outcome.ases();
+      e.aliases = run.outcome.aliases;
+      e.dense_filtered = run.outcome.dense_filtered;
+      e.packets = run.outcome.packets;
+      e.virtual_seconds = run.outcome.virtual_seconds;
+      e.has_outcome = true;
+      entries_.push_back(std::move(e));
+    }
+  }
+
+  /// Records a coarse non-TGA phase (setup, analysis, a table pass).
+  void record_phase(const std::string& label, double wall_seconds) {
+    Entry e;
+    e.label = label;
+    e.wall_seconds = wall_seconds;
+    entries_.push_back(std::move(e));
+  }
+
+  /// RAII phase timer: records on destruction.
+  class Section {
+   public:
+    Section(BenchTimer& timer, std::string label)
+        : timer_(&timer), label_(std::move(label)), start_(Clock::now()) {}
+    ~Section() { timer_->record_phase(label_, seconds_since(start_)); }
+    Section(const Section&) = delete;
+    Section& operator=(const Section&) = delete;
+
+   private:
+    BenchTimer* timer_;
+    std::string label_;
+    Clock::time_point start_;
+  };
+
+  Section section(std::string label) {
+    return Section(*this, std::move(label));
+  }
+
+  /// Writes BENCH_<name>.json (also triggered by the destructor).
+  void write() {
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return;
+    }
+    out << "{\n"
+        << "  \"bench\": \"" << escape(name_) << "\",\n"
+        << "  \"budget\": " << budget_ << ",\n"
+        << "  \"jobs\": " << jobs_ << ",\n"
+        << "  \"total_wall_seconds\": " << seconds_since(start_) << ",\n"
+        << "  \"runs\": [";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << (i == 0 ? "\n" : ",\n");
+      out << "    {\"label\": \"" << escape(e.label) << "\", "
+          << "\"wall_seconds\": " << e.wall_seconds;
+      if (e.has_outcome) {
+        out << ", \"tga\": \"" << escape(e.tga) << "\""
+            << ", \"generated\": " << e.generated
+            << ", \"responsive\": " << e.responsive
+            << ", \"hits\": " << e.hits << ", \"ases\": " << e.ases
+            << ", \"aliases\": " << e.aliases
+            << ", \"dense_filtered\": " << e.dense_filtered
+            << ", \"packets\": " << e.packets
+            << ", \"virtual_seconds\": " << e.virtual_seconds;
+      }
+      out << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::cerr << "wrote " << path << " (" << entries_.size() << " runs, jobs="
+              << jobs_ << ")\n";
+  }
+
+ private:
+  struct Entry {
+    std::string label;
+    std::string tga;
+    double wall_seconds = 0.0;
+    bool has_outcome = false;
+    std::uint64_t generated = 0, responsive = 0, hits = 0, ases = 0,
+                  aliases = 0, dense_filtered = 0, packets = 0;
+    double virtual_seconds = 0.0;
+  };
+
+  static double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::uint64_t budget_;
+  unsigned jobs_;
+  Clock::time_point start_;
+  std::vector<Entry> entries_;
+  bool written_ = false;
+};
+
+/// Wall-timed single-TGA pipeline run (benches that sweep configs rather
+/// than TGA sets).
+inline TgaRun run_one_tga(const v6::simnet::Universe& universe,
+                          v6::tga::TgaKind kind,
+                          std::span<const v6::net::Ipv6Addr> seeds,
+                          const v6::dealias::AliasList& alias_list,
+                          const v6::experiment::PipelineConfig& config) {
+  const std::array<v6::tga::TgaKind, 1> kinds = {kind};
+  return run_tgas(universe, kinds, seeds, alias_list, config, 1).front();
 }
 
 /// Header row "TGA | 6Sense | DET | ..." used by the ratio figures.

@@ -19,8 +19,10 @@ using v6::net::Ipv6Addr;
 using v6::net::ProbeType;
 
 int main(int argc, char** argv) {
-  const std::uint64_t budget =
-      v6::bench::budget_from_argv(argc, argv, 150'000);
+  const v6::bench::BenchArgs args = v6::bench::parse_args(argc, argv, 150'000);
+  const std::uint64_t budget = args.budget;
+
+  v6::bench::BenchTimer timer("ext_aging", args);
 
   // A private universe: this bench mutates it across epochs.
   v6::simnet::UniverseConfig universe_config;
@@ -80,12 +82,15 @@ int main(int argc, char** argv) {
     v6::experiment::PipelineConfig config;
     config.budget = budget;
     config.seed = 42 + static_cast<std::uint64_t>(epoch);
-    auto stale_gen = v6::tga::make_generator(v6::tga::TgaKind::kDet);
-    const auto stale = v6::experiment::run_tga(universe, *stale_gen, day0,
-                                               alias_list, config);
-    auto fresh_gen = v6::tga::make_generator(v6::tga::TgaKind::kDet);
-    const auto fresh = v6::experiment::run_tga(universe, *fresh_gen,
-                                               verified, alias_list, config);
+    const auto stale_run = v6::bench::run_one_tga(
+        universe, v6::tga::TgaKind::kDet, day0, alias_list, config);
+    timer.record("epoch_" + std::to_string(epoch) + "/stale", {stale_run});
+    const auto& stale = stale_run.outcome;
+    const auto fresh_run = v6::bench::run_one_tga(
+        universe, v6::tga::TgaKind::kDet, verified, alias_list, config);
+    timer.record("epoch_" + std::to_string(epoch) + "/reverified",
+                 {fresh_run});
+    const auto& fresh = fresh_run.outcome;
 
     table.add_row({std::to_string(epoch),
                    fmt_percent(static_cast<double>(verified.size()) /

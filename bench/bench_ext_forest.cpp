@@ -9,8 +9,11 @@
 using v6::metrics::fmt_count;
 
 int main(int argc, char** argv) {
+  const v6::bench::BenchArgs args = v6::bench::parse_args(argc, argv, 200'000);
   v6::experiment::PipelineConfig config;
-  config.budget = v6::bench::budget_from_argv(argc, argv, 200'000);
+  config.budget = args.budget;
+
+  v6::bench::BenchTimer timer("ext_forest", args);
 
   v6::experiment::Workbench bench;
   const auto& seeds = bench.all_active();
@@ -24,18 +27,19 @@ int main(int argc, char** argv) {
   for (const v6::net::ProbeType port : v6::net::kAllProbeTypes) {
     v6::metrics::TextTable table(
         {std::string(v6::net::to_string(port)), "Hits", "ASes", "Aliases"});
-    for (const v6::tga::TgaKind kind : contenders) {
-      v6::experiment::PipelineConfig run_config = config;
-      run_config.type = port;
-      std::cerr << "running " << v6::tga::to_string(kind) << " on "
-                << v6::net::to_string(port) << "\n";
-      auto generator = v6::tga::make_generator(kind);
-      const auto outcome = v6::experiment::run_tga(
-          bench.universe(), *generator, seeds, bench.alias_list(),
-          run_config);
-      table.add_row({std::string(v6::tga::to_string(kind)),
-                     fmt_count(outcome.hits()), fmt_count(outcome.ases()),
-                     fmt_count(outcome.aliases)});
+    v6::experiment::PipelineConfig run_config = config;
+    run_config.type = port;
+    std::cerr << "running " << contenders.size() << " contenders on "
+              << v6::net::to_string(port) << "\n";
+    const auto runs = v6::bench::run_tgas(bench.universe(), contenders, seeds,
+                                          bench.alias_list(), run_config,
+                                          args.jobs);
+    timer.record(std::string(v6::net::to_string(port)), runs);
+    for (const auto& run : runs) {
+      table.add_row({std::string(v6::tga::to_string(run.kind)),
+                     fmt_count(run.outcome.hits()),
+                     fmt_count(run.outcome.ases()),
+                     fmt_count(run.outcome.aliases)});
     }
     table.print(std::cout);
   }

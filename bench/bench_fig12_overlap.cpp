@@ -41,7 +41,10 @@ void print_matrix(const char* title, const v6::seeds::OverlapMatrix& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const v6::bench::BenchArgs args = v6::bench::parse_args(argc, argv);
+  v6::bench::BenchTimer timer("fig12_overlap", args);
+
   v6::experiment::Workbench bench;
   const auto& dataset = bench.seeds();
   const auto asn_of = [&](const v6::net::Ipv6Addr& a) {
@@ -51,13 +54,19 @@ int main() {
     return bench.activity().active_any(a);
   };
 
-  std::cout << "=== Figure 1: seed source overlap (full dataset) ===\n\n";
-  print_matrix("-- by IP --", v6::seeds::ip_overlap(dataset));
-  print_matrix("-- by AS --", v6::seeds::as_overlap(dataset, asn_of));
+  {
+    const auto section = timer.section("full_dataset");
+    std::cout << "=== Figure 1: seed source overlap (full dataset) ===\n\n";
+    print_matrix("-- by IP --", v6::seeds::ip_overlap(dataset));
+    print_matrix("-- by AS --", v6::seeds::as_overlap(dataset, asn_of));
+  }
 
-  std::cout << "=== Figure 2: overlap of responsive addresses ===\n\n";
-  print_matrix("-- by IP --", v6::seeds::ip_overlap(dataset, responsive));
-  print_matrix("-- by AS --",
-               v6::seeds::as_overlap(dataset, asn_of, responsive));
+  {
+    const auto section = timer.section("responsive_only");
+    std::cout << "=== Figure 2: overlap of responsive addresses ===\n\n";
+    print_matrix("-- by IP --", v6::seeds::ip_overlap(dataset, responsive));
+    print_matrix("-- by AS --",
+                 v6::seeds::as_overlap(dataset, asn_of, responsive));
+  }
   return 0;
 }

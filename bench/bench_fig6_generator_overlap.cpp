@@ -10,8 +10,11 @@ using v6::metrics::fmt_count;
 using v6::metrics::fmt_percent;
 
 int main(int argc, char** argv) {
+  const v6::bench::BenchArgs args = v6::bench::parse_args(argc, argv);
   v6::experiment::PipelineConfig base_config;
-  base_config.budget = v6::bench::budget_from_argv(argc, argv);
+  base_config.budget = args.budget;
+
+  v6::bench::BenchTimer timer("fig6_generator_overlap", args);
 
   v6::experiment::Workbench bench;
   const auto& seeds = bench.all_active();
@@ -24,8 +27,9 @@ int main(int argc, char** argv) {
     v6::experiment::PipelineConfig config = base_config;
     config.type = port;
     std::cerr << "running " << v6::net::to_string(port) << "\n";
-    const auto runs = v6::bench::run_all_tgas(bench.universe(), seeds,
-                                              bench.alias_list(), config);
+    const auto runs = v6::bench::run_all_tgas(
+        bench.universe(), seeds, bench.alias_list(), config, args.jobs);
+    timer.record(std::string(v6::net::to_string(port)), runs);
 
     std::vector<std::pair<std::string,
                           const std::unordered_set<v6::net::Ipv6Addr>*>>

@@ -9,10 +9,17 @@ using v6::metrics::fmt_count;
 using v6::net::ProbeType;
 
 int main(int argc, char** argv) {
+  const v6::bench::BenchArgs args = v6::bench::parse_args(argc, argv);
   v6::experiment::PipelineConfig base_config;
-  base_config.budget = v6::bench::budget_from_argv(argc, argv);
+  base_config.budget = args.budget;
+
+  v6::bench::BenchTimer timer("fig7_cross_port", args);
 
   v6::experiment::Workbench bench;
+  {
+    const auto section = timer.section("workbench_precompute");
+    bench.precompute(args.jobs);
+  }
 
   struct InputRow {
     std::string name;
@@ -39,7 +46,11 @@ int main(int argc, char** argv) {
       std::cerr << "running " << v6::net::to_string(scan_port) << " from "
                 << input.name << " (" << input.seeds->size() << " seeds)\n";
       const auto runs = v6::bench::run_all_tgas(
-          bench.universe(), *input.seeds, bench.alias_list(), config);
+          bench.universe(), *input.seeds, bench.alias_list(), config,
+          args.jobs);
+      timer.record(std::string(v6::net::to_string(scan_port)) + "/" +
+                       input.name,
+                   runs);
       std::vector<std::string> row{input.name};
       for (const auto& run : runs) {
         row.push_back(fmt_count(run.outcome.hits()));

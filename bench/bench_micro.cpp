@@ -8,6 +8,7 @@
 
 #include "dealias/online_dealiaser.h"
 #include "experiment/workbench.h"
+#include "net/addr_index.h"
 #include "net/ipv6.h"
 #include "net/prefix_trie.h"
 #include "net/rng.h"
@@ -75,6 +76,24 @@ void BM_TrieLongestMatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TrieLongestMatch);
+
+void BM_AddrIndexFind(benchmark::State& state) {
+  // The lookup behind Universe::probe: half the queries hit, half miss.
+  v6::net::AddrIndexMap map;
+  v6::net::Rng rng(5);
+  std::vector<Ipv6Addr> queries;
+  for (std::uint32_t i = 0; i < 100'000; ++i) {
+    const Ipv6Addr addr(rng(), rng());
+    map.insert(addr, i);
+    queries.push_back((i % 2) == 0 ? addr : Ipv6Addr(rng(), rng()));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(queries[i % queries.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_AddrIndexFind);
 
 void BM_UniverseProbe(benchmark::State& state) {
   const auto& universe = small_universe();

@@ -40,10 +40,17 @@ constexpr std::array<const char*, kNumRows> kRowNames = {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const v6::bench::BenchArgs args = v6::bench::parse_args(argc, argv);
   v6::experiment::PipelineConfig base_config;
-  base_config.budget = v6::bench::budget_from_argv(argc, argv);
+  base_config.budget = args.budget;
+
+  v6::bench::BenchTimer timer("rq1_rq2", args);
 
   v6::experiment::Workbench bench;
+  {
+    const auto section = timer.section("workbench_precompute");
+    bench.precompute(args.jobs);
+  }
 
   const std::array<const std::vector<v6::net::Ipv6Addr>*, kNumRows> datasets =
       {&bench.full(),
@@ -67,10 +74,14 @@ int main(int argc, char** argv) {
                 << kRowNames[static_cast<std::size_t>(row)] << " ("
                 << datasets[static_cast<std::size_t>(row)]->size()
                 << " seeds)\n";
-      all[static_cast<std::size_t>(static_cast<int>(port))]
-         [static_cast<std::size_t>(row)] = v6::bench::run_all_tgas(
-             bench.universe(), *datasets[static_cast<std::size_t>(row)],
-             bench.alias_list(), config);
+      auto& slot = all[static_cast<std::size_t>(static_cast<int>(port))]
+                      [static_cast<std::size_t>(row)];
+      slot = v6::bench::run_all_tgas(
+          bench.universe(), *datasets[static_cast<std::size_t>(row)],
+          bench.alias_list(), config, args.jobs);
+      timer.record(std::string(v6::net::to_string(port)) + "/" +
+                       kRowNames[static_cast<std::size_t>(row)],
+                   slot);
     }
   }
 

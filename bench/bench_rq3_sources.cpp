@@ -15,10 +15,17 @@ using v6::net::Ipv6Addr;
 using v6::net::ProbeType;
 
 int main(int argc, char** argv) {
+  const v6::bench::BenchArgs args = v6::bench::parse_args(argc, argv);
   v6::experiment::PipelineConfig base_config;
-  base_config.budget = v6::bench::budget_from_argv(argc, argv);
+  base_config.budget = args.budget;
+
+  v6::bench::BenchTimer timer("rq3_sources", args);
 
   v6::experiment::Workbench bench;
+  {
+    const auto section = timer.section("workbench_precompute");
+    bench.precompute(args.jobs);
+  }
   const auto& universe = bench.universe();
 
   // combined[source][port] = union of all TGAs' hit sets (for Table 6).
@@ -46,8 +53,11 @@ int main(int argc, char** argv) {
       std::cerr << "running " << v6::net::to_string(port) << " / "
                 << v6::seeds::to_string(source) << " (" << seeds.size()
                 << " seeds)\n";
-      const auto runs = v6::bench::run_all_tgas(universe, seeds,
-                                                bench.alias_list(), config);
+      const auto runs = v6::bench::run_all_tgas(
+          universe, seeds, bench.alias_list(), config, args.jobs);
+      timer.record(std::string(v6::net::to_string(port)) + "/" +
+                       std::string(v6::seeds::to_string(source)),
+                   runs);
       std::vector<std::string> h{std::string(v6::seeds::to_string(source))};
       std::vector<std::string> a{std::string(v6::seeds::to_string(source))};
       for (std::size_t t = 0; t < runs.size(); ++t) {
@@ -80,18 +90,20 @@ int main(int argc, char** argv) {
             << "-budget All Active run (ICMP) ===\n";
   v6::metrics::TextTable t5({"TGA", "Combined Hits", "Big Hits",
                              "Combined ASes", "Big ASes"});
-  for (std::size_t t = 0; t < v6::tga::kNumTgas; ++t) {
-    const v6::tga::TgaKind kind = v6::tga::kAllTgas[t];
+  {
     v6::experiment::PipelineConfig config = base_config;
     config.type = ProbeType::kIcmp;
     config.budget = base_config.budget * 12;
-    std::cerr << "running big-budget " << v6::tga::to_string(kind) << "\n";
-    auto generator = v6::tga::make_generator(kind);
-    const auto big = v6::experiment::run_tga(
-        universe, *generator, bench.all_active(), bench.alias_list(), config);
-    t5.add_row({std::string(v6::tga::to_string(kind)),
-                fmt_count(icmp_union[t].size()), fmt_count(big.hits()),
-                fmt_count(icmp_as_union[t].size()), fmt_count(big.ases())});
+    std::cerr << "running big-budget sweep over all TGAs\n";
+    const auto big_runs = v6::bench::run_all_tgas(
+        universe, bench.all_active(), bench.alias_list(), config, args.jobs);
+    timer.record("big_budget/ICMP", big_runs);
+    for (std::size_t t = 0; t < v6::tga::kNumTgas; ++t) {
+      const auto& big = big_runs[t].outcome;
+      t5.add_row({std::string(v6::tga::to_string(v6::tga::kAllTgas[t])),
+                  fmt_count(icmp_union[t].size()), fmt_count(big.hits()),
+                  fmt_count(icmp_as_union[t].size()), fmt_count(big.ases())});
+    }
   }
   t5.print(std::cout);
   std::cout << "Expected shape (paper): the big run wins on hits; combined "

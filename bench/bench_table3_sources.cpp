@@ -17,7 +17,10 @@ using v6::metrics::fmt_count;
 using v6::net::Ipv6Addr;
 using v6::net::ProbeType;
 
-int main() {
+int main(int argc, char** argv) {
+  const v6::bench::BenchArgs args = v6::bench::parse_args(argc, argv);
+  v6::bench::BenchTimer timer("table3_sources", args);
+
   v6::experiment::Workbench bench;
   const auto& universe = bench.universe();
   const auto& dataset = bench.seeds();
@@ -76,14 +79,17 @@ int main() {
                    fmt_count(active), fmt_count(active_ases.size())});
   };
 
-  for (const v6::seeds::SeedSource source : v6::seeds::kAllSeedSources) {
-    const auto addrs = dataset.from_source(source);
-    row_for(std::string(v6::seeds::to_string(source)),
-            std::string(v6::seeds::to_string(v6::seeds::category(source))),
-            addrs, nullptr);
+  {
+    const auto section = timer.section("source_summary");
+    for (const v6::seeds::SeedSource source : v6::seeds::kAllSeedSources) {
+      const auto addrs = dataset.from_source(source);
+      row_for(std::string(v6::seeds::to_string(source)),
+              std::string(v6::seeds::to_string(v6::seeds::category(source))),
+              addrs, nullptr);
+    }
+    table.add_rule();
+    row_for("All Sources", "Both", bench.full(), nullptr);
   }
-  table.add_rule();
-  row_for("All Sources", "Both", bench.full(), nullptr);
 
   std::cout << "=== Table 3: seed data source summary ===\n";
   table.print(std::cout);
@@ -91,6 +97,7 @@ int main() {
   std::cout << "\n=== Appendix C analogue (Table 8): domain feeds "
                "resolution funnel ===\n";
   {
+    const auto section = timer.section("dns_funnel");
     v6::seeds::SeedCollector collector(universe, bench.seed());
     v6::metrics::TextTable volume(
         {"Source", "Domains", "AAAAs", "NXDOMAIN", "Unique IPv6 IPs"});

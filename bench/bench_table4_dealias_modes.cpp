@@ -7,11 +7,18 @@
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
+  const v6::bench::BenchArgs args = v6::bench::parse_args(argc, argv);
   v6::experiment::PipelineConfig config;
-  config.budget = v6::bench::budget_from_argv(argc, argv);
+  config.budget = args.budget;
   config.type = v6::net::ProbeType::kIcmp;
 
+  v6::bench::BenchTimer timer("table4_dealias_modes", args);
+
   v6::experiment::Workbench bench;
+  {
+    const auto section = timer.section("workbench_precompute");
+    bench.precompute(args.jobs);
+  }
 
   const std::vector<std::pair<std::string, v6::dealias::DealiasMode>> modes = {
       {"D_All", v6::dealias::DealiasMode::kNone},
@@ -28,8 +35,9 @@ int main(int argc, char** argv) {
     const auto& seeds = bench.dealiased(modes[m].second);
     std::cerr << "seed mode " << modes[m].first << ": " << seeds.size()
               << " seeds\n";
-    const auto runs = v6::bench::run_all_tgas(bench.universe(), seeds,
-                                              bench.alias_list(), config);
+    const auto runs = v6::bench::run_all_tgas(
+        bench.universe(), seeds, bench.alias_list(), config, args.jobs);
+    timer.record(modes[m].first, runs);
     for (std::size_t t = 0; t < runs.size(); ++t) {
       aliases[t][m] = runs[t].outcome.aliases;
     }

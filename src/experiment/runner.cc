@@ -1,0 +1,38 @@
+#include "experiment/runner.h"
+
+#include <chrono>
+
+#include "runtime/thread_pool.h"
+
+namespace v6::experiment {
+
+std::vector<TgaRun> run_tgas(const v6::simnet::Universe& universe,
+                             std::span<const v6::tga::TgaKind> kinds,
+                             std::span<const v6::net::Ipv6Addr> seeds,
+                             const v6::dealias::AliasList& alias_list,
+                             const PipelineConfig& config, unsigned jobs) {
+  std::vector<TgaRun> runs(kinds.size());
+  v6::runtime::parallel_for(jobs, kinds.size(), [&](std::size_t i) {
+    // Everything mutable is created inside the task: the generator, and
+    // (inside run_tga) the transport, scanner, and dealiasers. Only the
+    // const Universe and the seed span are shared.
+    const auto start = std::chrono::steady_clock::now();
+    auto generator = v6::tga::make_generator(kinds[i]);
+    runs[i].kind = kinds[i];
+    runs[i].outcome = run_tga(universe, *generator, seeds, alias_list, config);
+    runs[i].wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  });
+  return runs;
+}
+
+std::vector<TgaRun> run_all_tgas(const v6::simnet::Universe& universe,
+                                 std::span<const v6::net::Ipv6Addr> seeds,
+                                 const v6::dealias::AliasList& alias_list,
+                                 const PipelineConfig& config, unsigned jobs) {
+  return run_tgas(universe, v6::tga::kAllTgas, seeds, alias_list, config,
+                  jobs);
+}
+
+}  // namespace v6::experiment

@@ -1,0 +1,48 @@
+// The parallel experiment runner: fans independent TGA runs across a
+// thread pool with results bit-identical to a sequential sweep.
+//
+// Why this is safe (docs/ALGORITHMS.md, "Parallel experiment
+// execution"): a run_tga call is a pure function of a `const Universe&`
+// plus its own freshly-seeded transport/scanner/dealiaser RNG state, so
+// runs share nothing mutable and every output slot is pre-assigned —
+// scheduling order cannot leak into results.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dealias/alias_list.h"
+#include "experiment/pipeline.h"
+#include "metrics/scan_outcome.h"
+#include "net/ipv6.h"
+#include "simnet/universe.h"
+#include "tga/registry.h"
+
+namespace v6::experiment {
+
+/// One TGA's result within a sweep.
+struct TgaRun {
+  v6::tga::TgaKind kind;
+  v6::metrics::ScanOutcome outcome;
+  /// Host wall-clock spent inside this run (not virtual wire time).
+  double wall_seconds = 0.0;
+};
+
+/// Runs all eight TGAs over one seed dataset / probe type, `jobs` runs at
+/// a time. `jobs == 0` means runtime::default_jobs(); `jobs == 1` runs
+/// sequentially inline. Output order (and every ScanOutcome field) is
+/// identical for every jobs value.
+std::vector<TgaRun> run_all_tgas(
+    const v6::simnet::Universe& universe,
+    std::span<const v6::net::Ipv6Addr> seeds,
+    const v6::dealias::AliasList& alias_list, const PipelineConfig& config,
+    unsigned jobs = 1);
+
+/// As above for an arbitrary subset of TGAs (ablation/extension benches).
+std::vector<TgaRun> run_tgas(const v6::simnet::Universe& universe,
+                             std::span<const v6::tga::TgaKind> kinds,
+                             std::span<const v6::net::Ipv6Addr> seeds,
+                             const v6::dealias::AliasList& alias_list,
+                             const PipelineConfig& config, unsigned jobs = 1);
+
+}  // namespace v6::experiment

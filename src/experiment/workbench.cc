@@ -5,6 +5,7 @@
 #include "dealias/online_dealiaser.h"
 #include "probe/scanner.h"
 #include "probe/transport.h"
+#include "runtime/thread_pool.h"
 #include "simnet/universe_builder.h"
 
 namespace v6::experiment {
@@ -33,44 +34,72 @@ const std::vector<Ipv6Addr>& Workbench::full() { return full_; }
 const std::vector<Ipv6Addr>& Workbench::dealiased(
     v6::dealias::DealiasMode mode) {
   if (mode == v6::dealias::DealiasMode::kNone) return full_;
-  auto& cache = dealiased_[static_cast<std::size_t>(mode)];
-  if (!cache) {
+  const auto slot = static_cast<std::size_t>(mode);
+  std::call_once(dealiased_once_[slot], [&] {
+    // A private transport per variant: the verdicts are a deterministic
+    // function of (universe, seed) regardless of which thread runs this.
     v6::probe::SimTransport transport(universe_, config_.seed + 1);
     v6::dealias::OnlineDealiaser online(transport, config_.seed + 1);
     v6::dealias::Dealiaser dealiaser(mode, &alias_list_, &online);
-    cache = v6::seeds::dealias_seeds(full_, dealiaser, ProbeType::kIcmp);
-  }
-  return *cache;
+    dealiased_[slot] =
+        v6::seeds::dealias_seeds(full_, dealiaser, ProbeType::kIcmp);
+  });
+  return *dealiased_[slot];
 }
 
 const std::vector<Ipv6Addr>& Workbench::all_active() {
-  if (!all_active_) {
+  std::call_once(all_active_once_, [&] {
     all_active_ = v6::seeds::filter_active_any(
         dealiased(v6::dealias::DealiasMode::kJoint), activity_);
-  }
+  });
   return *all_active_;
 }
 
 const std::vector<Ipv6Addr>& Workbench::port_specific(ProbeType type) {
-  auto& cache = port_specific_[static_cast<std::size_t>(type)];
-  if (!cache) {
-    cache = v6::seeds::filter_active_on(all_active(), activity_, type);
-  }
-  return *cache;
+  const auto slot = static_cast<std::size_t>(type);
+  std::call_once(port_specific_once_[slot], [&] {
+    port_specific_[slot] =
+        v6::seeds::filter_active_on(all_active(), activity_, type);
+  });
+  return *port_specific_[slot];
 }
 
 const std::vector<Ipv6Addr>& Workbench::source_active(
     v6::seeds::SeedSource source) {
-  auto& cache = source_active_[static_cast<std::size_t>(source)];
-  if (!cache) {
+  const auto slot = static_cast<std::size_t>(source);
+  std::call_once(source_active_once_[slot], [&] {
     const std::uint16_t bit = v6::seeds::source_bit(source);
     std::vector<Ipv6Addr> out;
     for (const Ipv6Addr& addr : all_active()) {
       if (seeds_.sources_of(addr) & bit) out.push_back(addr);
     }
-    cache = std::move(out);
-  }
-  return *cache;
+    source_active_[slot] = std::move(out);
+  });
+  return *source_active_[slot];
+}
+
+void Workbench::precompute(unsigned jobs) {
+  // Stage the dependency chain explicitly: the three dealias modes are
+  // independent of each other; All Active needs the joint mode; the 4
+  // port-specific and 12 source-specific variants all hang off All
+  // Active and are mutually independent.
+  static constexpr std::array<v6::dealias::DealiasMode, 3> kModes = {
+      v6::dealias::DealiasMode::kOffline, v6::dealias::DealiasMode::kOnline,
+      v6::dealias::DealiasMode::kJoint};
+  v6::runtime::parallel_for(jobs, kModes.size(),
+                            [&](std::size_t i) { dealiased(kModes[i]); });
+  all_active();
+  constexpr std::size_t kNumPorts =
+      static_cast<std::size_t>(v6::net::kNumProbeTypes);
+  const std::size_t variants =
+      kNumPorts + static_cast<std::size_t>(v6::seeds::kNumSeedSources);
+  v6::runtime::parallel_for(jobs, variants, [&](std::size_t i) {
+    if (i < kNumPorts) {
+      port_specific(v6::net::kAllProbeTypes[i]);
+    } else {
+      source_active(v6::seeds::kAllSeedSources[i - kNumPorts]);
+    }
+  });
 }
 
 }  // namespace v6::experiment

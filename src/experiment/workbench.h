@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -70,6 +71,13 @@ class Workbench {
   const std::vector<v6::net::Ipv6Addr>& source_active(
       v6::seeds::SeedSource source);
 
+  /// Materializes every Table-2 variant, computing independent ones
+  /// `jobs` at a time (0 = runtime::default_jobs()). Afterwards all
+  /// accessors above are pure cache reads. Each variant is guarded by a
+  /// once_flag, so lazy accessors stay safe (and deterministic) when
+  /// called from several threads — with or without a precompute() first.
+  void precompute(unsigned jobs = 0);
+
  private:
   WorkbenchConfig config_;
   v6::simnet::Universe universe_;
@@ -78,14 +86,21 @@ class Workbench {
   v6::seeds::ActivityMap activity_;
 
   std::vector<v6::net::Ipv6Addr> full_;
+  // Each lazily-computed variant pairs its cache slot with a once_flag;
+  // computations are deterministic functions of the master seed, so
+  // whichever thread wins call_once produces the same bytes.
   std::array<std::optional<std::vector<v6::net::Ipv6Addr>>, 4> dealiased_;
+  std::array<std::once_flag, 4> dealiased_once_;
   std::optional<std::vector<v6::net::Ipv6Addr>> all_active_;
+  std::once_flag all_active_once_;
   std::array<std::optional<std::vector<v6::net::Ipv6Addr>>,
              v6::net::kNumProbeTypes>
       port_specific_;
+  std::array<std::once_flag, v6::net::kNumProbeTypes> port_specific_once_;
   std::array<std::optional<std::vector<v6::net::Ipv6Addr>>,
              v6::seeds::kNumSeedSources>
       source_active_;
+  std::array<std::once_flag, v6::seeds::kNumSeedSources> source_active_once_;
 };
 
 }  // namespace v6::experiment

@@ -17,10 +17,7 @@ Scanner::Scanner(ProbeTransport& transport, const Blocklist* blocklist,
       limiter_(options.max_pps),
       shuffle_rng_(v6::net::make_rng(options.seed, /*tag=*/0x5CA4)) {}
 
-ProbeReply Scanner::probe_one(const Ipv6Addr& addr, ProbeType type) {
-  if (blocklist_ != nullptr && blocklist_->blocked(addr)) {
-    return ProbeReply::kTimeout;
-  }
+ProbeReply Scanner::probe_with_retries(const Ipv6Addr& addr, ProbeType type) {
   ProbeReply reply = ProbeReply::kTimeout;
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     limiter_.acquire();
@@ -30,6 +27,14 @@ ProbeReply Scanner::probe_one(const Ipv6Addr& addr, ProbeType type) {
   return reply;
 }
 
+std::optional<ProbeReply> Scanner::probe_one(const Ipv6Addr& addr,
+                                             ProbeType type) {
+  if (blocklist_ != nullptr && blocklist_->blocked(addr)) {
+    return std::nullopt;  // blocked, not timed out: no packet was sent
+  }
+  return probe_with_retries(addr, type);
+}
+
 ScanStats Scanner::scan(std::span<const Ipv6Addr> targets, ProbeType type,
                         const ReplyCallback& on_reply) {
   ScanStats stats;
@@ -37,12 +42,16 @@ ScanStats Scanner::scan(std::span<const Ipv6Addr> targets, ProbeType type,
 
   // Dedup while preserving first-seen order, then (optionally) shuffle —
   // every address is probed at most once per scan (paper §4.2 combines
-  // and uniquifies targets to minimize per-address probes).
-  std::vector<Ipv6Addr> unique;
+  // and uniquifies targets to minimize per-address probes). The scratch
+  // containers are members: clear() keeps their buckets/capacity, so
+  // steady-state batches allocate nothing here.
+  std::vector<Ipv6Addr>& unique = unique_scratch_;
+  unique.clear();
   unique.reserve(targets.size());
   {
-    std::unordered_set<Ipv6Addr> seen;
-    seen.reserve(targets.size() * 2);
+    std::unordered_set<Ipv6Addr>& seen = seen_scratch_;
+    seen.clear();
+    seen.reserve(targets.size());
     for (const Ipv6Addr& a : targets) {
       if (seen.insert(a).second) {
         unique.push_back(a);
@@ -63,12 +72,7 @@ ScanStats Scanner::scan(std::span<const Ipv6Addr> targets, ProbeType type,
       ++stats.blocked;
       continue;
     }
-    ProbeReply reply = ProbeReply::kTimeout;
-    for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
-      limiter_.acquire();
-      reply = transport_->send(addr, type);
-      if (reply != ProbeReply::kTimeout) break;
-    }
+    const ProbeReply reply = probe_with_retries(addr, type);
     ++stats.probed;
     switch (reply) {
       case ProbeReply::kTimeout:

@@ -8,7 +8,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "net/ipv6.h"
@@ -68,19 +70,32 @@ class Scanner {
       std::span<const v6::net::Ipv6Addr> targets, v6::net::ProbeType type,
       ScanStats* stats_out = nullptr);
 
-  /// Probes a single address with retries; honors the blocklist.
-  v6::net::ProbeReply probe_one(const v6::net::Ipv6Addr& addr,
-                                v6::net::ProbeType type);
+  /// Probes a single address with retries. Returns std::nullopt when the
+  /// address is blocklisted (no packet sent) — distinct from a timeout,
+  /// which means the address was probed and never answered.
+  std::optional<v6::net::ProbeReply> probe_one(const v6::net::Ipv6Addr& addr,
+                                               v6::net::ProbeType type);
 
   /// Cumulative virtual wire time across all scans by this scanner.
   double virtual_seconds() const { return limiter_.virtual_now(); }
 
  private:
+  /// The shared send loop: rate-limited transmissions until a non-timeout
+  /// reply or retries are exhausted. Does NOT consult the blocklist.
+  v6::net::ProbeReply probe_with_retries(const v6::net::Ipv6Addr& addr,
+                                         v6::net::ProbeType type);
+
   ProbeTransport* transport_;
   const Blocklist* blocklist_;
   ScanOptions options_;
   RateLimiter limiter_;
   v6::net::Rng shuffle_rng_;
+  /// Per-scan dedup scratch, reused across batches so the hot loop does
+  /// not reallocate hash buckets every call. Scanner is therefore not
+  /// reentrant from its own ReplyCallback (it never was: the transport
+  /// and rate limiter are shared state too).
+  std::unordered_set<v6::net::Ipv6Addr> seen_scratch_;
+  std::vector<v6::net::Ipv6Addr> unique_scratch_;
 };
 
 }  // namespace v6::probe

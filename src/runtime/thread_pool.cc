@@ -1,0 +1,72 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace v6::runtime {
+
+unsigned default_jobs() {
+  if (const char* env = std::getenv("V6_JOBS"); env != nullptr) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 4096) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned jobs)
+    : jobs_(jobs == 0 ? default_jobs() : jobs) {
+  const unsigned workers = jobs_ - 1;
+  workers_.reserve(workers);
+  worker_ids_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+    worker_ids_.push_back(workers_.back().get_id());
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Join before members are destroyed (workers drain the queue first, so
+  // every submitted future is satisfied).
+  for (std::jthread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool ThreadPool::in_worker() const {
+  const std::thread::id self = std::this_thread::get_id();
+  return std::find(worker_ids_.begin(), worker_ids_.end(), self) !=
+         worker_ids_.end();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task: exceptions land in the future, never here
+  }
+}
+
+}  // namespace v6::runtime

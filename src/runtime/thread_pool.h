@@ -1,0 +1,170 @@
+// A small dependency-free thread pool for the experiment layer.
+//
+// Design constraints (see docs/ALGORITHMS.md, "Parallel experiment
+// execution"):
+//   - Determinism lives above the pool: tasks write to pre-assigned
+//     output slots and own all their mutable state, so scheduling order
+//     can never change results.
+//   - `parallel_for` makes the calling thread participate in the loop,
+//     so a task running on a pool worker may itself call `parallel_for`
+//     on the same pool without deadlocking even when every worker is
+//     busy.
+//   - Exceptions thrown by loop bodies are captured and the first one is
+//     rethrown on the calling thread after the loop drains.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace v6::runtime {
+
+/// Worker count used when a caller passes `jobs == 0`: the `V6_JOBS`
+/// environment variable if set and positive, else hardware_concurrency
+/// (else 1).
+unsigned default_jobs();
+
+/// Fixed-size pool of worker threads draining a shared FIFO queue.
+class ThreadPool {
+ public:
+  /// Spawns `jobs - 1` workers (the calling thread is expected to
+  /// participate via `parallel_for`, so total parallelism is `jobs`).
+  /// `jobs == 0` means `default_jobs()`.
+  explicit ThreadPool(unsigned jobs = 0);
+
+  /// Drains nothing: pending tasks are executed before workers exit.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism this pool was built for (workers + caller).
+  unsigned jobs() const { return jobs_; }
+
+  /// True when called from one of this pool's worker threads.
+  bool in_worker() const;
+
+  /// Enqueues `fn`; the returned future carries its result or exception.
+  /// Deadlock guard: when called from one of this pool's own workers the
+  /// task runs inline (a worker blocking on a future produced by its own
+  /// pool could otherwise wait forever behind itself).
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    if (in_worker()) {
+      (*task)();
+    } else {
+      enqueue([task] { (*task)(); });
+    }
+    return future;
+  }
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  unsigned jobs_ = 1;
+  std::vector<std::jthread> workers_;
+  std::vector<std::thread::id> worker_ids_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+namespace detail {
+
+/// Shared state of one parallel_for: the loop body, an atomic claim
+/// counter, and a completion latch. Iterations are claimed dynamically,
+/// so an uneven workload (one slow TGA) never idles the other lanes. The
+/// body is owned here (not borrowed from the caller's frame) because a
+/// helper task may still be scheduled after the caller returned.
+struct LoopState {
+  LoopState(std::size_t n, std::function<void(std::size_t)> body)
+      : fn(std::move(body)), total(n) {}
+
+  std::function<void(std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  const std::size_t total;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error;  // guarded by mutex; first error wins
+  std::atomic<bool> has_error{false};
+
+  void run() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      if (!has_error.load(std::memory_order_relaxed)) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!error) error = std::current_exception();
+          has_error.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+        std::lock_guard<std::mutex> lock(mutex);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Runs `fn(i)` for every `i` in `[0, n)` across the pool, with the
+/// calling thread participating. Blocks until every iteration finished;
+/// rethrows the first exception any iteration raised. Iterations must be
+/// independent — there is no ordering guarantee.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  if (pool.jobs() <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto state = std::make_shared<detail::LoopState>(
+      n, std::function<void(std::size_t)>(std::forward<Fn>(fn)));
+  const std::size_t helpers = std::min<std::size_t>(pool.jobs() - 1, n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    // Fire-and-forget helpers; completion is tracked by the latch, and
+    // the shared_ptr keeps the state alive past the caller's return.
+    pool.submit([state] { state->run(); });
+  }
+  state->run();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->total;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+/// One-shot convenience: builds a pool of `jobs` and runs the loop.
+/// `jobs == 0` means `default_jobs()`; `jobs == 1` runs inline with no
+/// threads at all.
+template <typename Fn>
+void parallel_for(unsigned jobs, std::size_t n, Fn&& fn) {
+  if (jobs == 0) jobs = default_jobs();
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(jobs);
+  parallel_for(pool, n, std::forward<Fn>(fn));
+}
+
+}  // namespace v6::runtime

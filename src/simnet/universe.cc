@@ -15,8 +15,8 @@ bool Universe::addr_coin(const Ipv6Addr& addr, std::uint64_t salt, double p) {
 }
 
 const HostRecord* Universe::host(const Ipv6Addr& addr) const {
-  const auto it = host_index_.find(addr);
-  return it == host_index_.end() ? nullptr : &hosts_[it->second];
+  const std::uint32_t* idx = host_index_.find(addr);
+  return idx == nullptr ? nullptr : &hosts_[*idx];
 }
 
 bool Universe::host_active(const Ipv6Addr& addr, ProbeType type) const {

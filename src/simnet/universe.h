@@ -10,11 +10,11 @@
 #include <cstdint>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "asdb/as_database.h"
 #include "asdb/routing_table.h"
+#include "net/addr_index.h"
 #include "net/ipv6.h"
 #include "net/prefix_trie.h"
 #include "net/rng.h"
@@ -114,7 +114,9 @@ class Universe {
   v6::asdb::AsDatabase asdb_;
   v6::asdb::RoutingTable routes_;
   std::vector<HostRecord> hosts_;
-  std::unordered_map<v6::net::Ipv6Addr, std::uint32_t> host_index_;
+  /// Flat open-addressing table: one find() per probe packet makes this
+  /// the hottest lookup in the simulator.
+  v6::net::AddrIndexMap host_index_;
   std::vector<AliasRegion> alias_regions_;
   v6::net::PrefixTrie<std::uint32_t> alias_trie_;
   std::optional<DenseRegion> dense_region_;

@@ -306,9 +306,8 @@ Universe UniverseBuilder::build(const UniverseConfig& config) {
           rec.services = v6::net::chance(host_rng, config.churn_fraction)
                              ? v6::net::ServiceMask{0}
                              : rec.historic_services;
-          if (u.host_index_.emplace(rec.addr,
-                                    static_cast<std::uint32_t>(u.hosts_.size()))
-                  .second) {
+          if (u.host_index_.insert(
+                  rec.addr, static_cast<std::uint32_t>(u.hosts_.size()))) {
             u.hosts_.push_back(rec);
           }
         }
@@ -373,9 +372,8 @@ Universe UniverseBuilder::build(const UniverseConfig& config) {
             }
             rec.popular = kind == HostKind::kWebServer &&
                           v6::net::chance(host_rng, popular_base);
-            if (u.host_index_.emplace(rec.addr,
-                                      static_cast<std::uint32_t>(u.hosts_.size()))
-                    .second) {
+            if (u.host_index_.insert(
+                    rec.addr, static_cast<std::uint32_t>(u.hosts_.size()))) {
               u.hosts_.push_back(rec);
             }
             ++placed;
@@ -475,9 +473,8 @@ void UniverseBuilder::age(Universe& u, const AgingConfig& config) {
   }
 
   for (const HostRecord& born : births) {
-    if (u.host_index_.emplace(born.addr,
-                              static_cast<std::uint32_t>(u.hosts_.size()))
-            .second) {
+    if (u.host_index_.insert(born.addr,
+                             static_cast<std::uint32_t>(u.hosts_.size()))) {
       u.hosts_.push_back(born);
     }
   }

@@ -1,0 +1,114 @@
+// The acceptance bar for the parallel experiment runner: running the TGA
+// sweep across a thread pool must produce ScanOutcomes field-identical
+// to the sequential sweep. Each run owns its RNG (seeded from the
+// config), transport, and scanner, so scheduling cannot leak in.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "experiment/runner.h"
+#include "experiment/workbench.h"
+#include "testutil/fixtures.h"
+
+namespace v6::experiment {
+namespace {
+
+using v6::net::Ipv6Addr;
+
+void expect_identical(const TgaRun& a, const TgaRun& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  const auto& x = a.outcome;
+  const auto& y = b.outcome;
+  EXPECT_EQ(x.generated, y.generated);
+  EXPECT_EQ(x.unique_generated, y.unique_generated);
+  EXPECT_EQ(x.responsive, y.responsive);
+  EXPECT_EQ(x.aliases, y.aliases);
+  EXPECT_EQ(x.dense_filtered, y.dense_filtered);
+  EXPECT_EQ(x.packets, y.packets);
+  EXPECT_EQ(x.virtual_seconds, y.virtual_seconds);
+  EXPECT_EQ(x.hit_set, y.hit_set);
+  EXPECT_EQ(x.as_set, y.as_set);
+}
+
+TEST(ParallelEquivalence, RunAllTgasMatchesSequential) {
+  const auto& universe = v6::testutil::small_universe();
+  // A deterministic seed sample straight from the universe keeps this
+  // test independent of the (slower) Workbench collection pipeline.
+  std::vector<Ipv6Addr> seeds;
+  const auto hosts = universe.hosts();
+  for (std::size_t i = 0; i < hosts.size(); i += 7) {
+    seeds.push_back(hosts[i].addr);
+  }
+  const auto alias_list = v6::dealias::AliasList::published_from(universe);
+
+  PipelineConfig config;
+  config.budget = 20'000;
+  config.batch_size = 4'000;
+
+  const auto sequential =
+      run_all_tgas(universe, seeds, alias_list, config, /*jobs=*/1);
+  const auto parallel =
+      run_all_tgas(universe, seeds, alias_list, config, /*jobs=*/4);
+
+  ASSERT_EQ(sequential.size(), parallel.size());
+  ASSERT_EQ(sequential.size(), static_cast<std::size_t>(v6::tga::kNumTgas));
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    SCOPED_TRACE(std::string("tga ") +
+                 std::string(v6::tga::to_string(sequential[i].kind)));
+    expect_identical(sequential[i], parallel[i]);
+  }
+}
+
+TEST(ParallelEquivalence, RepeatedParallelRunsAreStable) {
+  const auto& universe = v6::testutil::small_universe();
+  std::vector<Ipv6Addr> seeds;
+  const auto hosts = universe.hosts();
+  for (std::size_t i = 0; i < hosts.size(); i += 11) {
+    seeds.push_back(hosts[i].addr);
+  }
+  const auto alias_list = v6::dealias::AliasList::published_from(universe);
+
+  PipelineConfig config;
+  config.budget = 10'000;
+
+  const std::array<v6::tga::TgaKind, 3> kinds = {
+      v6::tga::TgaKind::kSixTree, v6::tga::TgaKind::kDet,
+      v6::tga::TgaKind::kSixGen};
+  const auto first = run_tgas(universe, kinds, seeds, alias_list, config, 3);
+  const auto second = run_tgas(universe, kinds, seeds, alias_list, config, 3);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(first[i], second[i]);
+  }
+}
+
+TEST(ParallelEquivalence, WorkbenchPrecomputeMatchesLazyAccess) {
+  WorkbenchConfig config;
+  config.seed = 91;
+  config.universe.seed = 91;
+  config.universe.num_ases = 150;
+  config.universe.host_scale = 0.12;
+
+  Workbench eager(config);
+  eager.precompute(/*jobs=*/4);
+  Workbench lazy(config);
+
+  for (const auto mode :
+       {v6::dealias::DealiasMode::kOffline, v6::dealias::DealiasMode::kOnline,
+        v6::dealias::DealiasMode::kJoint}) {
+    EXPECT_EQ(eager.dealiased(mode), lazy.dealiased(mode));
+  }
+  EXPECT_EQ(eager.all_active(), lazy.all_active());
+  for (const auto type : v6::net::kAllProbeTypes) {
+    EXPECT_EQ(eager.port_specific(type), lazy.port_specific(type));
+  }
+  for (const auto source : v6::seeds::kAllSeedSources) {
+    EXPECT_EQ(eager.source_active(source), lazy.source_active(source));
+  }
+}
+
+}  // namespace
+}  // namespace v6::experiment
