@@ -25,12 +25,15 @@ int main(int argc, char** argv) {
   std::vector<std::vector<v6::bench::TgaRun>> sweep;
   sweep.reserve(budgets.size());
   for (const std::uint64_t budget : budgets) {
-    v6::experiment::PipelineConfig config;
-    config.budget = budget;
     std::cerr << "running " << tgas.size() << " TGAs @ " << budget << "\n";
-    sweep.push_back(v6::bench::run_tgas(bench.universe(), tgas, seeds,
-                                        bench.alias_list(), config,
-                                        args.jobs));
+    sweep.push_back(v6::bench::run_sweep(
+        v6::bench::SweepSpec{}
+            .with_universe(bench.universe())
+            .with_kinds(tgas)
+            .with_seeds(seeds)
+            .with_alias_list(bench.alias_list())
+            .with_config(v6::experiment::PipelineConfig{}.with_budget(budget))
+            .with_jobs(args.jobs)));
     timer.record("budget_" + std::to_string(budget), sweep.back());
   }
 

@@ -26,9 +26,9 @@
 
 namespace v6::bench {
 
+using v6::experiment::SweepSpec;
 using v6::experiment::TgaRun;
-using v6::experiment::run_all_tgas;
-using v6::experiment::run_tgas;
+using v6::experiment::run_sweep;
 
 struct BenchArgs {
   /// Generation budget per run. Default 400K — the scaled analogue of
@@ -118,7 +118,11 @@ inline std::uint64_t budget_from_argv(int argc, char** argv,
 ///                 "tga": str, "generated": int, "responsive": int,
 ///                 "hits": int, "ases": int, "aliases": int,
 ///                 "dense_filtered": int, "packets": int,
-///                 "virtual_seconds": float } ] }
+///                 "virtual_seconds": float,
+///                 // per-phase breakdown from the run's obs report
+///                 // (pipeline.* span totals, "pipeline." stripped):
+///                 "phases": { "run": float, "generate": float,
+///                             "scan": float, "dealias": float, ... } } ] }
 class BenchTimer {
   using Clock = std::chrono::steady_clock;
 
@@ -133,7 +137,8 @@ class BenchTimer {
     if (!written_) write();
   }
 
-  /// Records every TGA run of one labelled sweep.
+  /// Records every TGA run of one labelled sweep, including the
+  /// per-phase wall-time breakdown from the run's obs report.
   void record(const std::string& label, const std::vector<TgaRun>& runs) {
     for (const TgaRun& run : runs) {
       Entry e;
@@ -149,6 +154,13 @@ class BenchTimer {
       e.packets = run.outcome.packets;
       e.virtual_seconds = run.outcome.virtual_seconds;
       e.has_outcome = true;
+      for (const auto& [name, total] : run.report.timers) {
+        constexpr std::string_view kPrefix = "pipeline.";
+        if (name.rfind(kPrefix, 0) == 0) {
+          e.phases.emplace_back(name.substr(kPrefix.size()),
+                                total.seconds());
+        }
+      }
       entries_.push_back(std::move(e));
     }
   }
@@ -210,6 +222,14 @@ class BenchTimer {
             << ", \"packets\": " << e.packets
             << ", \"virtual_seconds\": " << e.virtual_seconds;
       }
+      if (!e.phases.empty()) {
+        out << ", \"phases\": {";
+        for (std::size_t p = 0; p < e.phases.size(); ++p) {
+          out << (p == 0 ? "" : ", ") << "\"" << escape(e.phases[p].first)
+              << "\": " << e.phases[p].second;
+        }
+        out << "}";
+      }
       out << "}";
     }
     out << "\n  ]\n}\n";
@@ -226,6 +246,8 @@ class BenchTimer {
     std::uint64_t generated = 0, responsive = 0, hits = 0, ases = 0,
                   aliases = 0, dense_filtered = 0, packets = 0;
     double virtual_seconds = 0.0;
+    /// (phase name, seconds), already sorted: report timers are a map.
+    std::vector<std::pair<std::string, double>> phases;
   };
 
   static double seconds_since(Clock::time_point start) {
@@ -257,8 +279,13 @@ inline TgaRun run_one_tga(const v6::simnet::Universe& universe,
                           std::span<const v6::net::Ipv6Addr> seeds,
                           const v6::dealias::AliasList& alias_list,
                           const v6::experiment::PipelineConfig& config) {
-  const std::array<v6::tga::TgaKind, 1> kinds = {kind};
-  return run_tgas(universe, kinds, seeds, alias_list, config, 1).front();
+  return run_sweep(SweepSpec{}
+                       .with_universe(universe)
+                       .with_kind(kind)
+                       .with_seeds(seeds)
+                       .with_alias_list(alias_list)
+                       .with_config(config))
+      .front();
 }
 
 /// Header row "TGA | 6Sense | DET | ..." used by the ratio figures.

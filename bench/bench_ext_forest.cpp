@@ -27,13 +27,16 @@ int main(int argc, char** argv) {
   for (const v6::net::ProbeType port : v6::net::kAllProbeTypes) {
     v6::metrics::TextTable table(
         {std::string(v6::net::to_string(port)), "Hits", "ASes", "Aliases"});
-    v6::experiment::PipelineConfig run_config = config;
-    run_config.type = port;
+    const auto run_config = v6::experiment::PipelineConfig(config).with_type(port);
     std::cerr << "running " << contenders.size() << " contenders on "
               << v6::net::to_string(port) << "\n";
-    const auto runs = v6::bench::run_tgas(bench.universe(), contenders, seeds,
-                                          bench.alias_list(), run_config,
-                                          args.jobs);
+    const auto runs = v6::bench::run_sweep(v6::bench::SweepSpec{}
+                                               .with_universe(bench.universe())
+                                               .with_kinds(contenders)
+                                               .with_seeds(seeds)
+                                               .with_alias_list(bench.alias_list())
+                                               .with_config(run_config)
+                                               .with_jobs(args.jobs));
     timer.record(std::string(v6::net::to_string(port)), runs);
     for (const auto& run : runs) {
       table.add_row({std::string(v6::tga::to_string(run.kind)),

@@ -24,11 +24,14 @@ int main(int argc, char** argv) {
             << fmt_count(base_config.budget) << ") ===\n";
 
   for (const v6::net::ProbeType port : v6::net::kAllProbeTypes) {
-    v6::experiment::PipelineConfig config = base_config;
-    config.type = port;
+    const auto config = v6::experiment::PipelineConfig(base_config).with_type(port);
     std::cerr << "running " << v6::net::to_string(port) << "\n";
-    const auto runs = v6::bench::run_all_tgas(
-        bench.universe(), seeds, bench.alias_list(), config, args.jobs);
+    const auto runs = v6::bench::run_sweep(v6::bench::SweepSpec{}
+                                               .with_universe(bench.universe())
+                                               .with_seeds(seeds)
+                                               .with_alias_list(bench.alias_list())
+                                               .with_config(config)
+                                               .with_jobs(args.jobs));
     timer.record(std::string(v6::net::to_string(port)), runs);
 
     std::vector<std::pair<std::string,

@@ -41,13 +41,16 @@ int main(int argc, char** argv) {
               << " --\n";
     v6::metrics::TextTable table(v6::bench::tga_header("Input dataset"));
     for (const InputRow& input : inputs) {
-      v6::experiment::PipelineConfig config = base_config;
-      config.type = scan_port;
+      const auto config =
+          v6::experiment::PipelineConfig(base_config).with_type(scan_port);
       std::cerr << "running " << v6::net::to_string(scan_port) << " from "
                 << input.name << " (" << input.seeds->size() << " seeds)\n";
-      const auto runs = v6::bench::run_all_tgas(
-          bench.universe(), *input.seeds, bench.alias_list(), config,
-          args.jobs);
+      const auto runs = v6::bench::run_sweep(v6::bench::SweepSpec{}
+                                                 .with_universe(bench.universe())
+                                                 .with_seeds(*input.seeds)
+                                                 .with_alias_list(bench.alias_list())
+                                                 .with_config(config)
+                                                 .with_jobs(args.jobs));
       timer.record(std::string(v6::net::to_string(scan_port)) + "/" +
                        input.name,
                    runs);

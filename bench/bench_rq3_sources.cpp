@@ -48,13 +48,16 @@ int main(int argc, char** argv) {
     v6::metrics::TextTable as_table(v6::bench::tga_header("Dataset"));
     for (const v6::seeds::SeedSource source : v6::seeds::kAllSeedSources) {
       const auto& seeds = bench.source_active(source);
-      v6::experiment::PipelineConfig config = base_config;
-      config.type = port;
+      const auto config = v6::experiment::PipelineConfig(base_config).with_type(port);
       std::cerr << "running " << v6::net::to_string(port) << " / "
                 << v6::seeds::to_string(source) << " (" << seeds.size()
                 << " seeds)\n";
-      const auto runs = v6::bench::run_all_tgas(
-          universe, seeds, bench.alias_list(), config, args.jobs);
+      const auto runs = v6::bench::run_sweep(v6::bench::SweepSpec{}
+                                                 .with_universe(universe)
+                                                 .with_seeds(seeds)
+                                                 .with_alias_list(bench.alias_list())
+                                                 .with_config(config)
+                                                 .with_jobs(args.jobs));
       timer.record(std::string(v6::net::to_string(port)) + "/" +
                        std::string(v6::seeds::to_string(source)),
                    runs);
@@ -91,12 +94,16 @@ int main(int argc, char** argv) {
   v6::metrics::TextTable t5({"TGA", "Combined Hits", "Big Hits",
                              "Combined ASes", "Big ASes"});
   {
-    v6::experiment::PipelineConfig config = base_config;
-    config.type = ProbeType::kIcmp;
-    config.budget = base_config.budget * 12;
+    const auto config = v6::experiment::PipelineConfig(base_config)
+                            .with_type(ProbeType::kIcmp)
+                            .with_budget(base_config.budget * 12);
     std::cerr << "running big-budget sweep over all TGAs\n";
-    const auto big_runs = v6::bench::run_all_tgas(
-        universe, bench.all_active(), bench.alias_list(), config, args.jobs);
+    const auto big_runs = v6::bench::run_sweep(v6::bench::SweepSpec{}
+                                                   .with_universe(universe)
+                                                   .with_seeds(bench.all_active())
+                                                   .with_alias_list(bench.alias_list())
+                                                   .with_config(config)
+                                                   .with_jobs(args.jobs));
     timer.record("big_budget/ICMP", big_runs);
     for (std::size_t t = 0; t < v6::tga::kNumTgas; ++t) {
       const auto& big = big_runs[t].outcome;

@@ -50,8 +50,8 @@ int main() {
   for (int i = 0; i < 2000; ++i) {
     targets.push_back(v6::net::random_in_prefix(rng, suspect->prefix));
   }
-  v6::probe::ScanStats stats;
-  scanner.scan_hits(targets, ProbeType::kIcmp, &stats);
+  const v6::probe::ScanStats stats =
+      scanner.scan_hits(targets, ProbeType::kIcmp).stats;
   std::cout << "scan of " << fmt_count(stats.probed)
             << " random addresses inside it: " << fmt_count(stats.hits)
             << " 'hits' ("

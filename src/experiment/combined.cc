@@ -1,9 +1,11 @@
 #include "experiment/combined.h"
 
+#include <optional>
 #include <unordered_map>
 
 #include "dealias/dealiaser.h"
 #include "dealias/online_dealiaser.h"
+#include "probe/instrumented_transport.h"
 #include "probe/scanner.h"
 #include "probe/transport.h"
 
@@ -22,13 +24,21 @@ CombinedResult run_combined(
   CombinedResult result;
   result.per_generator.resize(generators.size());
 
-  v6::probe::SimTransport transport(universe, config.seed);
-  v6::probe::Scanner scanner(transport, /*blocklist=*/nullptr,
+  v6::obs::Span run_span(config.telemetry, "combined.run");
+  v6::probe::SimTransport sim_transport(universe, config.seed);
+  v6::probe::ProbeTransport* transport = &sim_transport;
+  std::optional<v6::probe::CountingTransport> counting;
+  if (config.telemetry != nullptr) {
+    counting.emplace(*transport, config.telemetry->registry());
+    transport = &*counting;
+  }
+  v6::probe::Scanner scanner(*transport, /*blocklist=*/nullptr,
                              {.max_retries = config.scan_retries,
                               .randomize_order = true,
                               .max_pps = config.max_pps,
-                              .seed = config.seed});
-  v6::dealias::OnlineDealiaser online(transport, config.seed);
+                              .seed = config.seed,
+                              .telemetry = config.telemetry});
+  v6::dealias::OnlineDealiaser online(*transport, config.seed);
   v6::dealias::Dealiaser dealiaser(v6::dealias::DealiasMode::kJoint,
                                    &offline_aliases, &online);
 
@@ -75,11 +85,14 @@ CombinedResult run_combined(
 
     // 2. Scan the union once.
     result.unique_scanned += round_targets.size();
-    scanner.scan(round_targets, config.type,
-                 [&](const Ipv6Addr& addr, ProbeReply reply) {
-                   scanned.emplace(addr,
-                                   v6::net::is_hit(config.type, reply));
-                 });
+    {
+      v6::obs::Span span(config.telemetry, "combined.scan");
+      scanner.scan(round_targets, config.type,
+                   [&](const Ipv6Addr& addr, ProbeReply reply) {
+                     scanned.emplace(addr,
+                                     v6::net::is_hit(config.type, reply));
+                   });
+    }
 
     // 3. Attribute results back to every proposing generator.
     for (const auto& [addr, mask] : proposers) {
@@ -118,7 +131,7 @@ CombinedResult run_combined(
     }
   }
 
-  result.packets = transport.packets_sent();
+  result.packets = transport->packets_sent();
   for (auto& outcome : result.per_generator) {
     outcome.packets = result.packets;  // shared scan: same wire cost
     outcome.virtual_seconds = scanner.virtual_seconds();

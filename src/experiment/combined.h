@@ -18,6 +18,7 @@
 #include "metrics/scan_outcome.h"
 #include "net/ipv6.h"
 #include "net/service.h"
+#include "obs/telemetry.h"
 #include "simnet/universe.h"
 #include "tga/target_generator.h"
 
@@ -33,6 +34,10 @@ struct CombinedConfig {
   std::uint64_t seed = 42;
   int scan_retries = 1;
   double max_pps = 10'000.0;
+  /// Optional instrumentation context (borrowed): `combined.*` phase
+  /// spans plus the shared scanner/transport counters. Never alters
+  /// results.
+  v6::obs::Telemetry* telemetry = nullptr;
 };
 
 struct CombinedResult {

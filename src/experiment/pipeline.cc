@@ -1,8 +1,10 @@
 #include "experiment/pipeline.h"
 
+#include <optional>
 #include <vector>
 
 #include "dealias/online_dealiaser.h"
+#include "probe/instrumented_transport.h"
 #include "probe/scanner.h"
 #include "probe/transport.h"
 
@@ -18,43 +20,80 @@ v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
                                  const v6::dealias::AliasList& offline_aliases,
                                  const PipelineConfig& config) {
   v6::metrics::ScanOutcome outcome;
+  v6::obs::Telemetry* const telemetry = config.telemetry;
+  v6::obs::Span run_span(telemetry, "pipeline.run");
 
-  v6::probe::SimTransport transport(universe, config.seed);
-  v6::probe::Scanner scanner(transport, config.blocklist,
+  // Transport chain: the simulated wire, optionally decorated with
+  // per-probe-type counters and (for --trace runs) a per-packet tracer.
+  // Decorators are pass-throughs, so every reply and RNG draw is
+  // identical whichever chain is active — and the online dealiaser
+  // shares the instrumented chain, so its probes are counted too.
+  v6::probe::SimTransport sim_transport(universe, config.seed);
+  v6::probe::ProbeTransport* transport = &sim_transport;
+  std::optional<v6::probe::CountingTransport> counting;
+  std::optional<v6::probe::TracingTransport> tracing;
+  if (telemetry != nullptr) {
+    counting.emplace(*transport, telemetry->registry());
+    transport = &*counting;
+    if (config.trace_probes && telemetry->tracing()) {
+      tracing.emplace(*transport, *telemetry);
+      transport = &*tracing;
+    }
+    telemetry->registry().gauge("pipeline.budget").set(
+        static_cast<std::int64_t>(config.budget));
+    telemetry->registry().gauge("pipeline.batch_size").set(
+        static_cast<std::int64_t>(config.batch_size));
+  }
+
+  v6::probe::Scanner scanner(*transport, config.blocklist,
                              {.max_retries = config.scan_retries,
                               .randomize_order = true,
                               .max_pps = config.max_pps,
-                              .seed = config.seed});
-  v6::dealias::OnlineDealiaser online(transport, config.seed);
+                              .seed = config.seed,
+                              .telemetry = telemetry});
+  v6::dealias::OnlineDealiaser online(*transport, config.seed);
   v6::dealias::Dealiaser dealiaser(config.output_dealias, &offline_aliases,
                                    &online);
 
-  generator.prepare(seeds, config.seed);
+  {
+    v6::obs::Span span(telemetry, "pipeline.prepare");
+    generator.prepare(seeds, config.seed);
+  }
   if (config.attach_online_dealiaser) {
     generator.attach_online_dealiaser(&online, config.type);
   }
 
   std::vector<Ipv6Addr> actives;
   while (outcome.generated < config.budget) {
+    if (telemetry != nullptr) {
+      telemetry->registry().counter("pipeline.batches").inc();
+    }
     const std::uint64_t want =
         std::min(config.batch_size, config.budget - outcome.generated);
-    const std::vector<Ipv6Addr> batch =
-        generator.next_batch(static_cast<std::size_t>(want));
+    std::vector<Ipv6Addr> batch;
+    {
+      v6::obs::Span span(telemetry, "pipeline.generate");
+      batch = generator.next_batch(static_cast<std::size_t>(want));
+    }
     if (batch.empty()) break;  // generator model exhausted
     outcome.generated += batch.size();
     outcome.unique_generated += batch.size();  // generators never repeat
 
     actives.clear();
-    scanner.scan(batch, config.type,
-                 [&](const Ipv6Addr& addr, ProbeReply reply) {
-                   const bool active = v6::net::is_hit(config.type, reply);
-                   generator.observe(addr, active);
-                   if (active) actives.push_back(addr);
-                 });
+    {
+      v6::obs::Span span(telemetry, "pipeline.scan");
+      scanner.scan(batch, config.type,
+                   [&](const Ipv6Addr& addr, ProbeReply reply) {
+                     const bool active = v6::net::is_hit(config.type, reply);
+                     generator.observe(addr, active);
+                     if (active) actives.push_back(addr);
+                   });
+    }
     outcome.responsive += actives.size();
 
     // Output dealiasing (paper §4.2: applied to all active addresses)
     // and AS12322 filtering (ICMP only, §4.1).
+    v6::obs::Span span(telemetry, "pipeline.dealias");
     for (const Ipv6Addr& addr : actives) {
       if (dealiaser.is_aliased(addr, config.type)) {
         ++outcome.aliases;
@@ -72,7 +111,7 @@ v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
     }
   }
 
-  outcome.packets = transport.packets_sent();
+  outcome.packets = transport->packets_sent();
   outcome.virtual_seconds = scanner.virtual_seconds();
   return outcome;
 }

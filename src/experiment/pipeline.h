@@ -13,11 +13,21 @@
 #include "metrics/scan_outcome.h"
 #include "net/ipv6.h"
 #include "net/service.h"
+#include "obs/telemetry.h"
 #include "simnet/universe.h"
 #include "tga/target_generator.h"
 
 namespace v6::experiment {
 
+/// Pipeline configuration. Defaults story: a default-constructed
+/// PipelineConfig is the paper's standard ICMP experiment at the scaled
+/// 400K budget — every bench starts from it and overrides only what the
+/// experiment varies, via the fluent `with_*` chain:
+///
+///   PipelineConfig{}.with_budget(b).with_type(ProbeType::kTcp443)
+///
+/// (designated initializers work too; the setters exist so call sites
+/// read as a single expression instead of ad-hoc field mutation).
 struct PipelineConfig {
   /// Generation budget (the paper's 50M, scaled to the simulated
   /// universe so the budget:responsive-seed ratio matches the paper's
@@ -40,6 +50,28 @@ struct PipelineConfig {
   /// Optional do-not-scan list honored by the scanner (the paper had to
   /// retrofit blocklisting into 6Scan's scanner; here it is first-class).
   const v6::probe::Blocklist* blocklist = nullptr;
+  /// Optional instrumentation context (borrowed). When set, the run
+  /// counts packets per probe type (CountingTransport), opens
+  /// `pipeline.*` phase spans per batch, and threads telemetry into the
+  /// scanner. Results are byte-identical with or without it.
+  v6::obs::Telemetry* telemetry = nullptr;
+  /// Additionally emit one event per probe packet to the telemetry sink
+  /// (TracingTransport). Only honored when `telemetry` has a sink;
+  /// intended for `sos --trace` on small universes.
+  bool trace_probes = false;
+
+  PipelineConfig& with_budget(std::uint64_t v) { budget = v; return *this; }
+  PipelineConfig& with_batch_size(std::uint64_t v) { batch_size = v; return *this; }
+  PipelineConfig& with_type(v6::net::ProbeType v) { type = v; return *this; }
+  PipelineConfig& with_filter_dense(bool v) { filter_dense = v; return *this; }
+  PipelineConfig& with_output_dealias(v6::dealias::DealiasMode v) { output_dealias = v; return *this; }
+  PipelineConfig& with_attach_online_dealiaser(bool v) { attach_online_dealiaser = v; return *this; }
+  PipelineConfig& with_seed(std::uint64_t v) { seed = v; return *this; }
+  PipelineConfig& with_scan_retries(int v) { scan_retries = v; return *this; }
+  PipelineConfig& with_max_pps(double v) { max_pps = v; return *this; }
+  PipelineConfig& with_blocklist(const v6::probe::Blocklist* v) { blocklist = v; return *this; }
+  PipelineConfig& with_telemetry(v6::obs::Telemetry* v) { telemetry = v; return *this; }
+  PipelineConfig& with_trace_probes(bool v) { trace_probes = v; return *this; }
 };
 
 /// Runs one generator against one seed dataset on one probe type.

@@ -1,38 +1,105 @@
 #include "experiment/runner.h"
 
 #include <chrono>
+#include <stdexcept>
+#include <string>
 
+#include "obs/sinks.h"
 #include "runtime/thread_pool.h"
 
 namespace v6::experiment {
+
+std::vector<TgaRun> run_sweep(const SweepSpec& spec) {
+  if (spec.universe == nullptr) {
+    throw std::invalid_argument("run_sweep: SweepSpec.universe is required");
+  }
+  if (spec.alias_list == nullptr) {
+    throw std::invalid_argument("run_sweep: SweepSpec.alias_list is required");
+  }
+  const std::span<const v6::tga::TgaKind> kinds =
+      spec.kinds.empty() ? std::span<const v6::tga::TgaKind>(v6::tga::kAllTgas)
+                         : std::span<const v6::tga::TgaKind>(spec.kinds);
+
+  std::vector<TgaRun> runs(kinds.size());
+  // Per-run instrumentation, slot-owned: each run gets a private
+  // Telemetry (and, when the parent traces, a private event buffer), so
+  // worker scheduling can neither interleave two runs' spans nor reorder
+  // the merged output below.
+  const bool forward_events =
+      spec.telemetry != nullptr && spec.telemetry->tracing();
+  std::vector<v6::obs::Telemetry> locals(kinds.size());
+  std::vector<v6::obs::MemorySink> buffers(forward_events ? kinds.size() : 0);
+
+  v6::obs::Span sweep_span(spec.telemetry, "sweep");
+  v6::runtime::parallel_for(spec.jobs, kinds.size(), [&](std::size_t i) {
+    // Everything mutable is created inside the task: the generator, the
+    // run's telemetry, and (inside run_tga) the transport, scanner, and
+    // dealiasers. Only the const Universe and the seed span are shared.
+    v6::obs::Telemetry& local = locals[i];
+    if (forward_events) local.attach_sink(&buffers[i]);
+    PipelineConfig config = spec.config;
+    config.telemetry = &local;
+    const auto start = std::chrono::steady_clock::now();
+    auto generator = v6::tga::make_generator(kinds[i]);
+    runs[i].kind = kinds[i];
+    {
+      v6::obs::Span tga_span(
+          &local,
+          "tga:" + std::string(v6::tga::to_string(kinds[i])));
+      runs[i].outcome = run_tga(*spec.universe, *generator, spec.seeds,
+                                *spec.alias_list, config);
+    }
+    runs[i].wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    runs[i].report = local.registry().snapshot();
+  });
+
+  // Deterministic merge: slot order, regardless of completion order.
+  if (spec.telemetry != nullptr) {
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      spec.telemetry->registry().merge_from(locals[i].registry());
+    }
+    if (forward_events) {
+      for (const v6::obs::MemorySink& buffer : buffers) {
+        buffer.replay_to(*spec.telemetry->sink());
+      }
+    }
+  }
+  return runs;
+}
+
+// The deprecated positional APIs forward here; suppressing the
+// self-referential warnings these definitions would otherwise emit.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 std::vector<TgaRun> run_tgas(const v6::simnet::Universe& universe,
                              std::span<const v6::tga::TgaKind> kinds,
                              std::span<const v6::net::Ipv6Addr> seeds,
                              const v6::dealias::AliasList& alias_list,
                              const PipelineConfig& config, unsigned jobs) {
-  std::vector<TgaRun> runs(kinds.size());
-  v6::runtime::parallel_for(jobs, kinds.size(), [&](std::size_t i) {
-    // Everything mutable is created inside the task: the generator, and
-    // (inside run_tga) the transport, scanner, and dealiasers. Only the
-    // const Universe and the seed span are shared.
-    const auto start = std::chrono::steady_clock::now();
-    auto generator = v6::tga::make_generator(kinds[i]);
-    runs[i].kind = kinds[i];
-    runs[i].outcome = run_tga(universe, *generator, seeds, alias_list, config);
-    runs[i].wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-  });
-  return runs;
+  return run_sweep(SweepSpec{}
+                       .with_universe(universe)
+                       .with_kinds(kinds)
+                       .with_seeds(seeds)
+                       .with_alias_list(alias_list)
+                       .with_config(config)
+                       .with_jobs(jobs));
 }
 
 std::vector<TgaRun> run_all_tgas(const v6::simnet::Universe& universe,
                                  std::span<const v6::net::Ipv6Addr> seeds,
                                  const v6::dealias::AliasList& alias_list,
                                  const PipelineConfig& config, unsigned jobs) {
-  return run_tgas(universe, v6::tga::kAllTgas, seeds, alias_list, config,
-                  jobs);
+  return run_sweep(SweepSpec{}
+                       .with_universe(universe)
+                       .with_seeds(seeds)
+                       .with_alias_list(alias_list)
+                       .with_config(config)
+                       .with_jobs(jobs));
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace v6::experiment

@@ -6,6 +6,12 @@
 // plus its own freshly-seeded transport/scanner/dealiaser RNG state, so
 // runs share nothing mutable and every output slot is pre-assigned —
 // scheduling order cannot leak into results.
+//
+// Observability (docs/OBSERVABILITY.md): every run owns a private
+// obs::Telemetry, so per-TGA attribution survives the thread pool.
+// After the sweep, per-run registries are folded into the spec's
+// telemetry — and per-run event buffers replayed into its sink — in
+// slot order, making merged traces deterministic for any jobs count.
 #pragma once
 
 #include <span>
@@ -15,6 +21,8 @@
 #include "experiment/pipeline.h"
 #include "metrics/scan_outcome.h"
 #include "net/ipv6.h"
+#include "obs/registry.h"
+#include "obs/telemetry.h"
 #include "simnet/universe.h"
 #include "tga/registry.h"
 
@@ -26,19 +34,54 @@ struct TgaRun {
   v6::metrics::ScanOutcome outcome;
   /// Host wall-clock spent inside this run (not virtual wire time).
   double wall_seconds = 0.0;
+  /// Snapshot of this run's private metric registry: transport packet /
+  /// reply counters, scanner counters, and `pipeline.*` phase timers
+  /// (the per-phase breakdown bench_common embeds in BENCH_*.json).
+  /// Counters and timer counts are deterministic; timer seconds are
+  /// wall-clock measurements.
+  v6::obs::Report report;
 };
 
-/// Runs all eight TGAs over one seed dataset / probe type, `jobs` runs at
-/// a time. `jobs == 0` means runtime::default_jobs(); `jobs == 1` runs
-/// sequentially inline. Output order (and every ScanOutcome field) is
-/// identical for every jobs value.
+/// Everything a TGA sweep needs, replacing the six-positional-argument
+/// run_all_tgas/run_tgas duo. `universe` and `alias_list` are borrowed
+/// and required; `kinds` empty means all eight TGAs; `jobs == 0` means
+/// runtime::default_jobs(), `jobs == 1` runs sequentially inline.
+/// Output order (and every ScanOutcome field) is identical for every
+/// jobs value, with or without telemetry.
+struct SweepSpec {
+  const v6::simnet::Universe* universe = nullptr;
+  std::vector<v6::tga::TgaKind> kinds;
+  std::span<const v6::net::Ipv6Addr> seeds;
+  const v6::dealias::AliasList* alias_list = nullptr;
+  PipelineConfig config;
+  unsigned jobs = 1;
+  /// Optional parent instrumentation context: receives every run's
+  /// merged counters/timers, and (when it has a sink) the runs' trace
+  /// events in slot order.
+  v6::obs::Telemetry* telemetry = nullptr;
+
+  SweepSpec& with_universe(const v6::simnet::Universe& u) { universe = &u; return *this; }
+  SweepSpec& with_kinds(std::span<const v6::tga::TgaKind> k) { kinds.assign(k.begin(), k.end()); return *this; }
+  SweepSpec& with_kind(v6::tga::TgaKind k) { kinds.assign(1, k); return *this; }
+  SweepSpec& with_seeds(std::span<const v6::net::Ipv6Addr> s) { seeds = s; return *this; }
+  SweepSpec& with_alias_list(const v6::dealias::AliasList& a) { alias_list = &a; return *this; }
+  SweepSpec& with_config(const PipelineConfig& c) { config = c; return *this; }
+  SweepSpec& with_jobs(unsigned j) { jobs = j; return *this; }
+  SweepSpec& with_telemetry(v6::obs::Telemetry* t) { telemetry = t; return *this; }
+};
+
+/// Runs the sweep described by `spec`, `spec.jobs` runs at a time.
+std::vector<TgaRun> run_sweep(const SweepSpec& spec);
+
+/// Deprecated positional spellings; both forward to run_sweep.
+[[deprecated("use run_sweep(SweepSpec{}.with_universe(...)...)")]]
 std::vector<TgaRun> run_all_tgas(
     const v6::simnet::Universe& universe,
     std::span<const v6::net::Ipv6Addr> seeds,
     const v6::dealias::AliasList& alias_list, const PipelineConfig& config,
     unsigned jobs = 1);
 
-/// As above for an arbitrary subset of TGAs (ablation/extension benches).
+[[deprecated("use run_sweep(SweepSpec{}.with_kinds(...)...)")]]
 std::vector<TgaRun> run_tgas(const v6::simnet::Universe& universe,
                              std::span<const v6::tga::TgaKind> kinds,
                              std::span<const v6::net::Ipv6Addr> seeds,

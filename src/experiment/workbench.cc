@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "dealias/online_dealiaser.h"
+#include "probe/instrumented_transport.h"
 #include "probe/scanner.h"
 #include "probe/transport.h"
 #include "runtime/thread_pool.h"
@@ -13,19 +14,42 @@ namespace v6::experiment {
 using v6::net::Ipv6Addr;
 using v6::net::ProbeType;
 
+namespace {
+
+// Builds the universe under a `workbench.build_universe` span: the
+// universe is a member initialized before the constructor body runs, so
+// the timing has to wrap the builder call itself.
+v6::simnet::Universe build_universe_timed(const WorkbenchConfig& config) {
+  v6::obs::Span span(config.telemetry, "workbench.build_universe");
+  return v6::simnet::UniverseBuilder::build(config.universe);
+}
+
+}  // namespace
+
 Workbench::Workbench(WorkbenchConfig config)
-    : config_(config),
-      universe_(v6::simnet::UniverseBuilder::build(config.universe)) {
-  v6::seeds::SeedCollector collector(universe_, config_.seed);
-  seeds_ = collector.collect_all();
-  alias_list_ = v6::dealias::AliasList::published_from(universe_);
-  full_.assign(seeds_.addrs().begin(), seeds_.addrs().end());
+    : config_(config), universe_(build_universe_timed(config)) {
+  {
+    v6::obs::Span span(config_.telemetry, "workbench.collect");
+    v6::seeds::SeedCollector collector(universe_, config_.seed);
+    seeds_ = collector.collect_all();
+    alias_list_ = v6::dealias::AliasList::published_from(universe_);
+    full_.assign(seeds_.addrs().begin(), seeds_.addrs().end());
+  }
 
   // Activity ground scan of the full dataset on all four probe types
   // (paper §5.3).
-  v6::probe::SimTransport transport(universe_, config_.seed);
-  v6::probe::Scanner scanner(transport, /*blocklist=*/nullptr,
-                             {.max_retries = 1, .seed = config_.seed});
+  v6::obs::Span span(config_.telemetry, "workbench.activity_scan");
+  v6::probe::SimTransport sim_transport(universe_, config_.seed);
+  v6::probe::ProbeTransport* transport = &sim_transport;
+  std::optional<v6::probe::CountingTransport> counting;
+  if (config_.telemetry != nullptr) {
+    counting.emplace(*transport, config_.telemetry->registry());
+    transport = &*counting;
+  }
+  v6::probe::Scanner scanner(*transport, /*blocklist=*/nullptr,
+                             {.max_retries = 1,
+                              .seed = config_.seed,
+                              .telemetry = config_.telemetry});
   activity_ = v6::seeds::scan_activity(full_, scanner);
 }
 
@@ -79,6 +103,11 @@ const std::vector<Ipv6Addr>& Workbench::source_active(
 }
 
 void Workbench::precompute(unsigned jobs) {
+  // One span around the whole phase, opened on the calling thread only:
+  // spans inside the parallel lambdas would nest differently depending
+  // on which thread claimed which variant, making trace paths
+  // scheduling-dependent.
+  v6::obs::Span span(config_.telemetry, "workbench.precompute");
   // Stage the dependency chain explicitly: the three dealias modes are
   // independent of each other; All Active needs the joint mode; the 4
   // port-specific and 12 source-specific variants all hang off All

@@ -17,6 +17,7 @@
 #include "dealias/dealiaser.h"
 #include "net/ipv6.h"
 #include "net/service.h"
+#include "obs/telemetry.h"
 #include "seeds/collector.h"
 #include "seeds/preprocess.h"
 #include "seeds/seed_dataset.h"
@@ -28,6 +29,14 @@ namespace v6::experiment {
 struct WorkbenchConfig {
   v6::simnet::UniverseConfig universe;
   std::uint64_t seed = 42;
+  /// Optional instrumentation context (borrowed): times the fixture
+  /// phases (`workbench.*` spans) and threads into the activity scan.
+  v6::obs::Telemetry* telemetry = nullptr;
+
+  WorkbenchConfig& with_telemetry(v6::obs::Telemetry* t) {
+    telemetry = t;
+    return *this;
+  }
 
   WorkbenchConfig() {
     universe.seed = seed;

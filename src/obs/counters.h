@@ -1,0 +1,73 @@
+// Atomic metric primitives: monotonic counters, signed gauges, and
+// duration accumulators. All operations are lock-free relaxed atomics —
+// instrumented hot paths (one counter add per probe packet) pay a few
+// nanoseconds, and nothing here allocates.
+//
+// Instances live inside an obs::Registry (stable addresses, so callers
+// resolve a metric once and keep the pointer); see obs/registry.h for
+// naming and snapshot semantics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace v6::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc() { add(1); }
+  void add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written signed level (queue depths, configured budgets, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Accumulated durations of one named span: invocation count plus total
+/// time. Durations are kept in integer nanoseconds so concurrent adds
+/// stay exact.
+class TimerStat {
+ public:
+  void record_seconds(double seconds) {
+    if (seconds < 0) seconds = 0;
+    count_.fetch_add(1, std::memory_order_relaxed);
+    nanos_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                     std::memory_order_relaxed);
+  }
+
+  /// Merge helper: folds another TimerStat's raw totals into this one.
+  void add_raw(std::uint64_t count, std::uint64_t nanos) {
+    count_.fetch_add(count, std::memory_order_relaxed);
+    nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t nanos() const {
+    return nanos_.load(std::memory_order_relaxed);
+  }
+  double seconds() const { return static_cast<double>(nanos()) * 1e-9; }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> nanos_{0};
+};
+
+}  // namespace v6::obs

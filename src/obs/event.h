@@ -1,0 +1,47 @@
+// Trace events and the sink interface they flow into.
+//
+// Spans, per-probe traces, and metric snapshots all funnel through one
+// small Event struct so sinks stay trivial: a JSON-lines file sink for
+// offline analysis and an in-memory sink used both by tests and by the
+// runner's deterministic per-run buffering (obs/sinks.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace v6::obs {
+
+struct Event {
+  enum class Kind : std::uint8_t {
+    kSpan,     // a closed span: path + start offset + duration
+    kCounter,  // counter snapshot: path + value
+    kGauge,    // gauge snapshot: path + signed value (in `value`)
+    kProbe,    // one probe packet: path = target address, detail = outcome
+    kMessage,  // free-form annotation
+  };
+
+  Kind kind = Kind::kMessage;
+  /// Span path ("tga:6Tree/pipeline.scan"), metric name, probe target,
+  /// or empty for messages.
+  std::string path;
+  /// Free-form qualifier: probe "ICMP->echo-reply", message text.
+  std::string detail;
+  /// Seconds since the owning Telemetry's epoch (span start / emit time).
+  double at = 0.0;
+  /// Span duration in seconds.
+  double seconds = 0.0;
+  /// Counter/gauge value (gauges are stored two's-complement) or probe
+  /// attempt ordinal.
+  std::uint64_t value = 0;
+};
+
+/// Receives events. Implementations must be safe to call from several
+/// threads concurrently — instrumented code emits from wherever it runs.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void emit(const Event& event) = 0;
+  virtual void flush() {}
+};
+
+}  // namespace v6::obs

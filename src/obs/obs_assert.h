@@ -1,0 +1,29 @@
+// Optional invariant checking for the observability layer.
+//
+// Compiled out by default: obs sits on scan hot paths, so its internal
+// sanity checks (span stack discipline, metric name validity, merge
+// preconditions) only exist when the build opts in with the
+// V6_OBS_ASSERTS CMake option (on by default under the tsan preset,
+// where the concurrency suite exercises the registry and sinks from
+// many threads).
+#pragma once
+
+#if defined(V6_OBS_ASSERTS)
+
+#include <cstdio>
+#include <cstdlib>
+
+#define V6_OBS_ASSERT(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "obs invariant violated at %s:%d: %s\n",     \
+                   __FILE__, __LINE__, msg);                            \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+#else
+
+#define V6_OBS_ASSERT(cond, msg) ((void)0)
+
+#endif

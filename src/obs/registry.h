@@ -1,0 +1,83 @@
+// The metric registry: named Counters/Gauges/TimerStats with stable
+// addresses, deterministic snapshots, and additive merging.
+//
+// Naming scheme (docs/OBSERVABILITY.md): lower-case dotted hierarchies,
+// `<subsystem>.<object>.<metric>` — e.g. `transport.ICMP.packets`,
+// `scanner.retry.1`, with span timers keyed by span name
+// (`pipeline.scan`). Lookup takes a mutex (registration is rare); hot
+// paths resolve a metric once and cache the reference — Counter
+// addresses never move for the life of the Registry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/counters.h"
+
+namespace v6::obs {
+
+/// One timer's totals inside a Report.
+struct TimerTotal {
+  std::uint64_t count = 0;
+  std::uint64_t nanos = 0;
+  double seconds() const { return static_cast<double>(nanos) * 1e-9; }
+};
+
+/// Plain-data snapshot of a Registry. std::map keys make iteration order
+/// deterministic, so two registries fed the same workload produce equal
+/// Reports regardless of thread scheduling.
+struct Report {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, TimerTotal> timers;
+
+  /// Additive fold: counters and timers sum; gauges take `other`'s value
+  /// (a gauge is a level, not an accumulation).
+  void merge_from(const Report& other);
+
+  /// Convenience for consumers embedding phase breakdowns: the total
+  /// seconds of timer `name`, or 0 when it never fired.
+  double timer_seconds(std::string_view name) const;
+  std::uint64_t counter_value(std::string_view name) const;
+};
+
+/// Thread-safe collection of named metrics.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the metric registered under `name`, creating it on first
+  /// use. References stay valid (and addresses stable) for the life of
+  /// the Registry, so callers may cache them across threads.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  TimerStat& timer(std::string_view name);
+
+  /// Deterministic snapshot of every registered metric.
+  Report snapshot() const;
+
+  /// Adds `other`'s current values into this registry (counters and
+  /// timers accumulate, gauges overwrite). Used to fold per-run
+  /// registries into a parent in slot order.
+  void merge_from(const Registry& other);
+
+ private:
+  template <typename T>
+  using Table = std::map<std::string, std::unique_ptr<T>, std::less<>>;
+
+  template <typename T>
+  T& lookup(Table<T>& table, std::string_view name);
+
+  mutable std::mutex mutex_;
+  Table<Counter> counters_;
+  Table<Gauge> gauges_;
+  Table<TimerStat> timers_;
+};
+
+}  // namespace v6::obs

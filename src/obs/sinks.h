@@ -1,0 +1,63 @@
+// The two shipped EventSinks.
+//
+//   MemorySink    — append-only in-memory buffer. Tests assert on it, and
+//                   run_sweep gives every parallel TGA run a private one
+//                   so buffered events can be replayed into the real sink
+//                   in slot order (deterministic traces under any jobs
+//                   count).
+//   JsonLinesSink — one JSON object per line, either to a borrowed
+//                   ostream or to a file it owns. The format is described
+//                   in docs/OBSERVABILITY.md.
+//
+// Both sinks serialize internally; emit() is thread-safe.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace v6::obs {
+
+class MemorySink final : public EventSink {
+ public:
+  void emit(const Event& event) override;
+
+  /// Copy of the buffered events, in emission order.
+  std::vector<Event> events() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Forwards every buffered event to `sink`, preserving order.
+  void replay_to(EventSink& sink) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+class JsonLinesSink final : public EventSink {
+ public:
+  /// Writes to a borrowed stream (kept alive by the caller).
+  explicit JsonLinesSink(std::ostream& out);
+  /// Opens (truncates) `path`; ok() reports whether the open succeeded.
+  explicit JsonLinesSink(const std::string& path);
+
+  bool ok() const;
+  void emit(const Event& event) override;
+  void flush() override;
+
+  /// Serialization of one event as a single JSON line (no trailing
+  /// newline) — exposed so golden tests can pin the format.
+  static std::string to_json(const Event& event);
+
+ private:
+  std::ofstream owned_;
+  std::ostream* out_;
+  std::mutex mutex_;
+};
+
+}  // namespace v6::obs

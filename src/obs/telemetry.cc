@@ -1,0 +1,101 @@
+#include "obs/telemetry.h"
+
+#include <vector>
+
+#include "obs/obs_assert.h"
+
+namespace v6::obs {
+
+namespace {
+
+// Per-thread span stacks, one top pointer per live Telemetry. A flat
+// vector beats a hash map here: a thread has a handful of Telemetries at
+// most (usually one), and spans open/close often enough that cache-hot
+// linear scans win.
+struct StackTop {
+  const Telemetry* owner;
+  Span* top;
+};
+
+thread_local std::vector<StackTop> t_span_tops;
+
+StackTop* find_top(const Telemetry* owner) {
+  for (StackTop& entry : t_span_tops) {
+    if (entry.owner == owner) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Span::Span(Telemetry* telemetry, std::string_view name)
+    : telemetry_(telemetry) {
+  if (telemetry_ == nullptr) return;
+  V6_OBS_ASSERT(!name.empty(), "span name must be non-empty");
+  name_.assign(name);
+  StackTop* entry = find_top(telemetry_);
+  if (entry == nullptr) {
+    t_span_tops.push_back({telemetry_, nullptr});
+    entry = &t_span_tops.back();
+  }
+  parent_ = entry->top;
+  if (parent_ != nullptr) {
+    path_.reserve(parent_->path_.size() + 1 + name_.size());
+    path_ = parent_->path_;
+    path_ += '/';
+    path_ += name_;
+  } else {
+    path_ = name_;
+  }
+  entry->top = this;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (telemetry_ == nullptr) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  StackTop* entry = find_top(telemetry_);
+  V6_OBS_ASSERT(entry != nullptr && entry->top == this,
+                "span destroyed out of stack order (or on another thread)");
+  if (entry != nullptr) {
+    entry->top = parent_;
+    if (parent_ == nullptr) {
+      // Drop the empty entry so the thread-local list stays tiny.
+      t_span_tops.erase(t_span_tops.begin() + (entry - t_span_tops.data()));
+    }
+  }
+  telemetry_->registry().timer(name_).record_seconds(seconds);
+  if (telemetry_->tracing()) {
+    Event event;
+    event.kind = Event::Kind::kSpan;
+    event.path = path_;
+    event.seconds = seconds;
+    event.at = telemetry_->since_epoch() - seconds;
+    telemetry_->emit(event);
+  }
+}
+
+void Telemetry::emit_metrics(std::string_view prefix) {
+  if (!tracing()) return;
+  const Report report = registry_.snapshot();
+  const double now = since_epoch();
+  auto make = [&](Event::Kind kind, const std::string& name,
+                  std::uint64_t value) {
+    Event event;
+    event.kind = kind;
+    event.path = std::string(prefix) + name;
+    event.value = value;
+    event.at = now;
+    return event;
+  };
+  for (const auto& [name, value] : report.counters) {
+    emit(make(Event::Kind::kCounter, name, value));
+  }
+  for (const auto& [name, value] : report.gauges) {
+    emit(make(Event::Kind::kGauge, name, static_cast<std::uint64_t>(value)));
+  }
+}
+
+}  // namespace v6::obs

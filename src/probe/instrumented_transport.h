@@ -1,0 +1,109 @@
+// Observability decorators over ProbeTransport (the tentpole's
+// transport layer instrumentation).
+//
+//   CountingTransport — per-probe-type packet / reply / timeout counters
+//     into an obs::Registry. Tallies are plain integers flushed into the
+//     registry's atomic counters when the transport is destroyed (or on
+//     flush()): a transport lives inside one run on one thread, so each
+//     probe pays one extra virtual call and two plain increments —
+//     cheap enough to leave on for every instrumented run. Registry
+//     values are therefore visible only after the transport is done.
+//   TracingTransport  — one Kind::kProbe event per packet to the
+//     telemetry sink. Expensive (string serialization per probe); meant
+//     for `sos --trace` on small universes, never for benches.
+//
+// Both are pure pass-throughs: replies, RNG consumption, and
+// packets_sent() are untouched, so ScanOutcomes are byte-identical with
+// or without them in the chain.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "net/service.h"
+#include "obs/registry.h"
+#include "obs/telemetry.h"
+#include "probe/transport.h"
+
+namespace v6::probe {
+
+class CountingTransport final : public ProbeTransport {
+ public:
+  CountingTransport(ProbeTransport& inner, v6::obs::Registry& registry)
+      : inner_(&inner) {
+    for (const v6::net::ProbeType type : v6::net::kAllProbeTypes) {
+      const auto i = static_cast<std::size_t>(type);
+      const std::string base =
+          "transport." + std::string(v6::net::to_string(type));
+      packets_[i] = &registry.counter(base + ".packets");
+      replies_[i] = &registry.counter(base + ".replies");
+      timeouts_[i] = &registry.counter(base + ".timeouts");
+    }
+  }
+
+  ~CountingTransport() override { flush(); }
+
+  v6::net::ProbeReply send(const v6::net::Ipv6Addr& addr,
+                           v6::net::ProbeType type) override {
+    const v6::net::ProbeReply reply = inner_->send(addr, type);
+    const auto i = static_cast<std::size_t>(type);
+    ++packet_tally_[i];
+    if (reply == v6::net::ProbeReply::kTimeout) {
+      ++timeout_tally_[i];
+    } else {
+      ++reply_tally_[i];
+    }
+    return reply;
+  }
+
+  std::uint64_t packets_sent() const override { return inner_->packets_sent(); }
+
+  /// Publishes the accumulated tallies into the registry counters and
+  /// zeroes them. Called automatically on destruction.
+  void flush() {
+    for (std::size_t i = 0; i < v6::net::kNumProbeTypes; ++i) {
+      packets_[i]->add(packet_tally_[i]);
+      replies_[i]->add(reply_tally_[i]);
+      timeouts_[i]->add(timeout_tally_[i]);
+      packet_tally_[i] = reply_tally_[i] = timeout_tally_[i] = 0;
+    }
+  }
+
+ private:
+  ProbeTransport* inner_;
+  std::array<v6::obs::Counter*, v6::net::kNumProbeTypes> packets_{};
+  std::array<v6::obs::Counter*, v6::net::kNumProbeTypes> replies_{};
+  std::array<v6::obs::Counter*, v6::net::kNumProbeTypes> timeouts_{};
+  std::array<std::uint64_t, v6::net::kNumProbeTypes> packet_tally_{};
+  std::array<std::uint64_t, v6::net::kNumProbeTypes> reply_tally_{};
+  std::array<std::uint64_t, v6::net::kNumProbeTypes> timeout_tally_{};
+};
+
+class TracingTransport final : public ProbeTransport {
+ public:
+  TracingTransport(ProbeTransport& inner, v6::obs::Telemetry& telemetry)
+      : inner_(&inner), telemetry_(&telemetry) {}
+
+  v6::net::ProbeReply send(const v6::net::Ipv6Addr& addr,
+                           v6::net::ProbeType type) override {
+    const v6::net::ProbeReply reply = inner_->send(addr, type);
+    if (telemetry_->tracing()) {
+      v6::obs::Event event;
+      event.kind = v6::obs::Event::Kind::kProbe;
+      event.path = addr.to_string();
+      event.detail = std::string(v6::net::to_string(type)) + "->" +
+                     std::string(v6::net::to_string(reply));
+      event.at = telemetry_->since_epoch();
+      telemetry_->emit(event);
+    }
+    return reply;
+  }
+
+  std::uint64_t packets_sent() const override { return inner_->packets_sent(); }
+
+ private:
+  ProbeTransport* inner_;
+  v6::obs::Telemetry* telemetry_;
+};
+
+}  // namespace v6::probe

@@ -13,8 +13,13 @@ namespace v6::probe {
 class RateLimiter {
  public:
   /// `pps` — sustained packets per second. `burst` — bucket capacity.
+  /// Degenerate input is clamped rather than trusted: non-positive (or
+  /// NaN) pps becomes 1, and a burst below one token (or NaN) becomes 1
+  /// — a bucket that can never hold a full token would deadlock the
+  /// virtual clock. The comparisons are written `x > bound ? x : bound`
+  /// so NaN falls to the clamp side.
   explicit RateLimiter(double pps, double burst = 64.0)
-      : pps_(pps > 0 ? pps : 1.0), burst_(burst < 1.0 ? 1.0 : burst),
+      : pps_(pps > 0 ? pps : 1.0), burst_(burst > 1.0 ? burst : 1.0),
         tokens_(burst_) {}
 
   /// Accounts for one packet. If the bucket is empty, advances the virtual
@@ -34,9 +39,11 @@ class RateLimiter {
   }
 
   /// Advances the virtual clock (e.g. generation time between batches),
-  /// refilling tokens.
+  /// refilling tokens. Refill is clamped at `burst_`; zero, negative, and
+  /// NaN advances are no-ops (the negated comparison catches NaN, which
+  /// `seconds <= 0` would let through to poison the clock).
   void advance(double seconds) {
-    if (seconds <= 0) return;
+    if (!(seconds > 0)) return;
     now_ += seconds;
     tokens_ += seconds * pps_;
     if (tokens_ > burst_) tokens_ = burst_;

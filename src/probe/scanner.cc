@@ -1,6 +1,7 @@
 #include "probe/scanner.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_set>
 
 namespace v6::probe {
@@ -15,11 +16,25 @@ Scanner::Scanner(ProbeTransport& transport, const Blocklist* blocklist,
       blocklist_(blocklist),
       options_(options),
       limiter_(options.max_pps),
-      shuffle_rng_(v6::net::make_rng(options.seed, /*tag=*/0x5CA4)) {}
+      shuffle_rng_(v6::net::make_rng(options.seed, /*tag=*/0x5CA4)) {
+  if (options_.telemetry != nullptr && options_.max_retries > 0) {
+    v6::obs::Registry& registry = options_.telemetry->registry();
+    retry_counters_.reserve(static_cast<std::size_t>(options_.max_retries));
+    for (int k = 1; k <= options_.max_retries; ++k) {
+      retry_counters_.push_back(
+          &registry.counter("scanner.retry." + std::to_string(k)));
+    }
+  }
+}
 
 ProbeReply Scanner::probe_with_retries(const Ipv6Addr& addr, ProbeType type) {
   ProbeReply reply = ProbeReply::kTimeout;
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    // The histogram add sits on the retry path only, which is already the
+    // slow (timed-out) case — the common first-attempt send pays nothing.
+    if (attempt > 0 && !retry_counters_.empty()) {
+      retry_counters_[static_cast<std::size_t>(attempt - 1)]->inc();
+    }
     limiter_.acquire();
     reply = transport_->send(addr, type);
     if (reply != ProbeReply::kTimeout) break;
@@ -37,6 +52,7 @@ std::optional<ProbeReply> Scanner::probe_one(const Ipv6Addr& addr,
 
 ScanStats Scanner::scan(std::span<const Ipv6Addr> targets, ProbeType type,
                         const ReplyCallback& on_reply) {
+  v6::obs::Span span(options_.telemetry, "scanner.scan");
   ScanStats stats;
   stats.targets = targets.size();
 
@@ -95,19 +111,37 @@ ScanStats Scanner::scan(std::span<const Ipv6Addr> targets, ProbeType type,
 
   stats.packets = transport_->packets_sent() - packets_before;
   stats.virtual_seconds = limiter_.virtual_now() - vtime_before;
+
+  // Bulk-accumulate per-scan counters once per batch (never per packet).
+  if (options_.telemetry != nullptr) {
+    v6::obs::Registry& registry = options_.telemetry->registry();
+    registry.counter("scanner.targets").add(stats.targets);
+    registry.counter("scanner.deduped").add(stats.deduped);
+    registry.counter("scanner.blocked").add(stats.blocked);
+    registry.counter("scanner.probed").add(stats.probed);
+    registry.counter("scanner.packets").add(stats.packets);
+    registry.counter("scanner.hits").add(stats.hits);
+    registry.counter("scanner.timeouts").add(stats.timeouts);
+  }
   return stats;
+}
+
+ScanResult Scanner::scan_hits(std::span<const Ipv6Addr> targets,
+                              ProbeType type) {
+  ScanResult result;
+  result.stats =
+      scan(targets, type, [&](const Ipv6Addr& addr, ProbeReply reply) {
+        if (v6::net::is_hit(type, reply)) result.hits.push_back(addr);
+      });
+  return result;
 }
 
 std::vector<Ipv6Addr> Scanner::scan_hits(std::span<const Ipv6Addr> targets,
                                          ProbeType type,
                                          ScanStats* stats_out) {
-  std::vector<Ipv6Addr> hits;
-  const ScanStats stats =
-      scan(targets, type, [&](const Ipv6Addr& addr, ProbeReply reply) {
-        if (v6::net::is_hit(type, reply)) hits.push_back(addr);
-      });
-  if (stats_out != nullptr) *stats_out = stats;
-  return hits;
+  ScanResult result = scan_hits(targets, type);
+  if (stats_out != nullptr) *stats_out = result.stats;
+  return std::move(result.hits);
 }
 
 }  // namespace v6::probe

@@ -16,12 +16,19 @@
 #include "net/ipv6.h"
 #include "net/rng.h"
 #include "net/service.h"
+#include "obs/telemetry.h"
 #include "probe/blocklist.h"
 #include "probe/rate_limiter.h"
 #include "probe/transport.h"
 
 namespace v6::probe {
 
+/// Scanner configuration. Defaults story: a default-constructed
+/// ScanOptions is the paper's regular scan — 1 retry, shuffled order,
+/// 10K pps, seed 0, uninstrumented. Override with designated
+/// initializers or the fluent `with_*` chain:
+///
+///   Scanner s(transport, nullptr, ScanOptions{}.with_seed(7).with_retries(3));
 struct ScanOptions {
   /// Extra transmissions after a timeout (paper uses 3 packet retries for
   /// dealiasing probes; regular scan probes use 1 retry).
@@ -32,6 +39,17 @@ struct ScanOptions {
   double max_pps = 10000.0;
   /// Seed for shuffle order (and nothing else).
   std::uint64_t seed = 0;
+  /// Optional instrumentation context (borrowed). When set, the scanner
+  /// opens a `scanner.scan` span per scan() call and keeps
+  /// `scanner.*` counters, including a per-retry histogram
+  /// (`scanner.retry.<k>`). Never alters scan results.
+  v6::obs::Telemetry* telemetry = nullptr;
+
+  ScanOptions& with_retries(int v) { max_retries = v; return *this; }
+  ScanOptions& with_randomize_order(bool v) { randomize_order = v; return *this; }
+  ScanOptions& with_max_pps(double v) { max_pps = v; return *this; }
+  ScanOptions& with_seed(std::uint64_t v) { seed = v; return *this; }
+  ScanOptions& with_telemetry(v6::obs::Telemetry* t) { telemetry = t; return *this; }
 };
 
 struct ScanStats {
@@ -45,6 +63,13 @@ struct ScanStats {
   std::uint64_t unreachables = 0;  // ICMP errors (not hits)
   std::uint64_t timeouts = 0;
   double virtual_seconds = 0.0;    // wire time at max_pps
+};
+
+/// What a hit-collecting scan returns: the positive responders plus the
+/// full statistics of the pass that found them.
+struct ScanResult {
+  std::vector<v6::net::Ipv6Addr> hits;
+  ScanStats stats;
 };
 
 /// Probes a target list once per unique address and classifies replies.
@@ -64,11 +89,18 @@ class Scanner {
   ScanStats scan(std::span<const v6::net::Ipv6Addr> targets,
                  v6::net::ProbeType type, const ReplyCallback& on_reply);
 
-  /// Convenience: returns the addresses that replied positively ("hits"
-  /// per the paper's rules: echo reply / SYN-ACK / UDP reply only).
+  /// Convenience: collects the addresses that replied positively ("hits"
+  /// per the paper's rules: echo reply / SYN-ACK / UDP reply only)
+  /// together with the scan's statistics.
+  ScanResult scan_hits(std::span<const v6::net::Ipv6Addr> targets,
+                       v6::net::ProbeType type);
+
+  /// Deprecated out-param spelling of scan_hits; use the two-argument
+  /// overload returning ScanResult.
+  [[deprecated("use scan_hits(targets, type) returning ScanResult")]]
   std::vector<v6::net::Ipv6Addr> scan_hits(
       std::span<const v6::net::Ipv6Addr> targets, v6::net::ProbeType type,
-      ScanStats* stats_out = nullptr);
+      ScanStats* stats_out);
 
   /// Probes a single address with retries. Returns std::nullopt when the
   /// address is blocklisted (no packet sent) — distinct from a timeout,
@@ -90,6 +122,10 @@ class Scanner {
   ScanOptions options_;
   RateLimiter limiter_;
   v6::net::Rng shuffle_rng_;
+  /// Retry histogram counters (`scanner.retry.<k>`), resolved once when
+  /// telemetry is attached; empty otherwise. retry_counters_[k-1] counts
+  /// addresses that needed a k-th retransmission.
+  std::vector<v6::obs::Counter*> retry_counters_;
   /// Per-scan dedup scratch, reused across batches so the hot loop does
   /// not reallocate hash buckets every call. Scanner is therefore not
   /// reentrant from its own ReplyCallback (it never was: the transport

@@ -10,6 +10,8 @@
 
 #include "experiment/runner.h"
 #include "experiment/workbench.h"
+#include "obs/sinks.h"
+#include "obs/telemetry.h"
 #include "testutil/fixtures.h"
 
 namespace v6::experiment {
@@ -47,10 +49,13 @@ TEST(ParallelEquivalence, RunAllTgasMatchesSequential) {
   config.budget = 20'000;
   config.batch_size = 4'000;
 
-  const auto sequential =
-      run_all_tgas(universe, seeds, alias_list, config, /*jobs=*/1);
-  const auto parallel =
-      run_all_tgas(universe, seeds, alias_list, config, /*jobs=*/4);
+  const SweepSpec base = SweepSpec{}
+                             .with_universe(universe)
+                             .with_seeds(seeds)
+                             .with_alias_list(alias_list)
+                             .with_config(config);
+  const auto sequential = run_sweep(SweepSpec(base).with_jobs(1));
+  const auto parallel = run_sweep(SweepSpec(base).with_jobs(4));
 
   ASSERT_EQ(sequential.size(), parallel.size());
   ASSERT_EQ(sequential.size(), static_cast<std::size_t>(v6::tga::kNumTgas));
@@ -58,6 +63,108 @@ TEST(ParallelEquivalence, RunAllTgasMatchesSequential) {
     SCOPED_TRACE(std::string("tga ") +
                  std::string(v6::tga::to_string(sequential[i].kind)));
     expect_identical(sequential[i], parallel[i]);
+  }
+}
+
+// Instrumentation must not perturb outcomes: a sweep run with a
+// telemetry context (counters + tracing sink attached) is
+// field-identical to the bare sweep, for any jobs count.
+TEST(ParallelEquivalence, TelemetryDoesNotPerturbOutcomes) {
+  const auto& universe = v6::testutil::small_universe();
+  std::vector<Ipv6Addr> seeds;
+  const auto hosts = universe.hosts();
+  for (std::size_t i = 0; i < hosts.size(); i += 9) {
+    seeds.push_back(hosts[i].addr);
+  }
+  const auto alias_list = v6::dealias::AliasList::published_from(universe);
+
+  PipelineConfig config;
+  config.budget = 10'000;
+
+  const SweepSpec base = SweepSpec{}
+                             .with_universe(universe)
+                             .with_kind(v6::tga::TgaKind::kSixTree)
+                             .with_seeds(seeds)
+                             .with_alias_list(alias_list)
+                             .with_config(config);
+
+  const auto bare = run_sweep(SweepSpec(base).with_jobs(1));
+
+  v6::obs::Telemetry telemetry;
+  v6::obs::MemorySink sink;
+  telemetry.attach_sink(&sink);
+  const auto traced = run_sweep(
+      SweepSpec(base)
+          .with_config(PipelineConfig(config).with_trace_probes(true))
+          .with_telemetry(&telemetry)
+          .with_jobs(2));
+
+  ASSERT_EQ(bare.size(), traced.size());
+  expect_identical(bare.front(), traced.front());
+  EXPECT_GT(sink.size(), 0u);
+}
+
+// The merged telemetry of a sweep — counter values and the order of
+// trace event paths — is identical for jobs=1 and jobs>1: per-run
+// registries and event buffers are folded in slot order, so thread
+// scheduling cannot leak into the merged view.
+TEST(ParallelEquivalence, MergedTelemetryIsDeterministic) {
+  const auto& universe = v6::testutil::small_universe();
+  std::vector<Ipv6Addr> seeds;
+  const auto hosts = universe.hosts();
+  for (std::size_t i = 0; i < hosts.size(); i += 9) {
+    seeds.push_back(hosts[i].addr);
+  }
+  const auto alias_list = v6::dealias::AliasList::published_from(universe);
+
+  PipelineConfig config;
+  config.budget = 8'000;
+  config.batch_size = 2'000;
+
+  const std::array<v6::tga::TgaKind, 3> kinds = {v6::tga::TgaKind::kSixTree,
+                                                 v6::tga::TgaKind::kDet,
+                                                 v6::tga::TgaKind::kSixGen};
+
+  auto run = [&](unsigned jobs) {
+    v6::obs::Telemetry telemetry;
+    v6::obs::MemorySink sink;
+    telemetry.attach_sink(&sink);
+    const auto runs =
+        run_sweep(SweepSpec{}
+                      .with_universe(universe)
+                      .with_kinds(kinds)
+                      .with_seeds(seeds)
+                      .with_alias_list(alias_list)
+                      .with_config(config)
+                      .with_telemetry(&telemetry)
+                      .with_jobs(jobs));
+    // Event paths in emission order; timestamps/durations are wall
+    // clock and excluded on purpose.
+    std::vector<std::string> paths;
+    for (const auto& ev : sink.events()) paths.push_back(ev.path);
+    return std::tuple(telemetry.registry().snapshot(), std::move(paths),
+                      runs);
+  };
+
+  const auto [report_seq, paths_seq, runs_seq] = run(1);
+  const auto [report_par, paths_par, runs_par] = run(3);
+
+  EXPECT_EQ(report_seq.counters, report_par.counters);
+  EXPECT_EQ(report_seq.gauges, report_par.gauges);
+  // Timer *counts* are deterministic; elapsed seconds are not.
+  ASSERT_EQ(report_seq.timers.size(), report_par.timers.size());
+  for (const auto& [name, total] : report_seq.timers) {
+    const auto it = report_par.timers.find(name);
+    ASSERT_NE(it, report_par.timers.end()) << name;
+    EXPECT_EQ(total.count, it->second.count) << name;
+  }
+  EXPECT_EQ(paths_seq, paths_par);
+
+  // Per-run reports carry per-TGA attribution that survives the pool.
+  ASSERT_EQ(runs_seq.size(), runs_par.size());
+  for (std::size_t i = 0; i < runs_seq.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(runs_seq[i].report.counters, runs_par[i].report.counters);
   }
 }
 
@@ -76,8 +183,15 @@ TEST(ParallelEquivalence, RepeatedParallelRunsAreStable) {
   const std::array<v6::tga::TgaKind, 3> kinds = {
       v6::tga::TgaKind::kSixTree, v6::tga::TgaKind::kDet,
       v6::tga::TgaKind::kSixGen};
-  const auto first = run_tgas(universe, kinds, seeds, alias_list, config, 3);
-  const auto second = run_tgas(universe, kinds, seeds, alias_list, config, 3);
+  const SweepSpec spec = SweepSpec{}
+                             .with_universe(universe)
+                             .with_kinds(kinds)
+                             .with_seeds(seeds)
+                             .with_alias_list(alias_list)
+                             .with_config(config)
+                             .with_jobs(3);
+  const auto first = run_sweep(spec);
+  const auto second = run_sweep(spec);
   ASSERT_EQ(first.size(), second.size());
   for (std::size_t i = 0; i < first.size(); ++i) {
     SCOPED_TRACE(i);

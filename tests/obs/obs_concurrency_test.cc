@@ -1,0 +1,121 @@
+// Concurrency coverage for src/obs, run under the tsan preset
+// (`ctest -L concurrency`): concurrent counter updates are exact,
+// concurrent first-touch registration is safe, and spans on separate
+// threads sharing one Telemetry + sink never tear.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/sinks.h"
+#include "obs/telemetry.h"
+
+namespace v6::obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kItersPerThread = 20'000;
+
+TEST(ObsConcurrency, CounterTotalsAreExact) {
+  Registry reg;
+  Counter& counter = reg.counter("shared");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kItersPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kItersPerThread);
+}
+
+TEST(ObsConcurrency, ConcurrentRegistrationYieldsOneMetricPerName) {
+  Registry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // All threads race to first-touch the same names; every thread
+      // must land on the same Counter instance.
+      for (int i = 0; i < 200; ++i) {
+        reg.counter("metric." + std::to_string(i % 16)).inc();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const Report report = reg.snapshot();
+  ASSERT_EQ(report.counters.size(), 16u);
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : report.counters) total += value;
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * 200);
+}
+
+TEST(ObsConcurrency, ConcurrentTimersAreExact) {
+  Registry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 1000; ++i) {
+        reg.timer("phase").record_seconds(1e-6);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(reg.timer("phase").count(),
+            static_cast<std::uint64_t>(kThreads) * 1000);
+}
+
+TEST(ObsConcurrency, SpansOnSeparateThreadsShareOneSink) {
+  // Threads open/close their own span stacks against a shared Telemetry
+  // — stacks are thread-local, so paths never mix across threads, and
+  // the MemorySink must absorb concurrent emits without tearing.
+  Telemetry telemetry;
+  MemorySink sink;
+  telemetry.attach_sink(&sink);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&telemetry, t] {
+      const std::string name = "worker" + std::to_string(t);
+      for (int i = 0; i < 100; ++i) {
+        Span outer(&telemetry, name);
+        Span inner(&telemetry, "step");
+        EXPECT_EQ(inner.path(), name + "/step");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  ASSERT_EQ(sink.size(), static_cast<std::size_t>(kThreads) * 200);
+  // Per-name timer totals are exact.
+  const Report report = telemetry.registry().snapshot();
+  EXPECT_EQ(report.timers.at("step").count,
+            static_cast<std::uint64_t>(kThreads) * 100);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(report.timers.at("worker" + std::to_string(t)).count, 100u);
+  }
+}
+
+TEST(ObsConcurrency, RegistryMergeRacesWithWriters) {
+  // merge_from snapshots the source while writers are still adding;
+  // the merged total must land between 0 and the final count, and the
+  // combined "source remainder + merged" view must be exact afterwards.
+  Registry source;
+  Counter& counter = source.counter("c");
+  std::thread writer([&counter] {
+    for (int i = 0; i < kItersPerThread; ++i) counter.inc();
+  });
+  Registry target;
+  target.merge_from(source);  // races with the writer — must be safe
+  writer.join();
+  target.merge_from(source);  // ...but this one sees the final value
+  // Counters merge additively, so target now holds mid + final.
+  const std::uint64_t merged = target.snapshot().counter_value("c");
+  EXPECT_GE(merged, static_cast<std::uint64_t>(kItersPerThread));
+  EXPECT_LE(merged, 2u * kItersPerThread);
+}
+
+}  // namespace
+}  // namespace v6::obs

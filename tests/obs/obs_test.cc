@@ -1,0 +1,339 @@
+// Unit coverage for the observability library (src/obs): metric
+// primitives, registry snapshot/merge semantics, span nesting and path
+// construction, sinks, and the pinned JSON-lines format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/registry.h"
+#include "obs/sinks.h"
+#include "obs/telemetry.h"
+
+namespace v6::obs {
+namespace {
+
+// ---- Metric primitives ---------------------------------------------------
+
+TEST(Counters, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counters, GaugeIsALevel) {
+  Gauge g;
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  g.add(10);
+  EXPECT_EQ(g.value(), 3);
+  g.set(0);
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Counters, TimerStatAccumulatesNanos) {
+  TimerStat t;
+  t.record_seconds(0.5);
+  t.record_seconds(1.5);
+  EXPECT_EQ(t.count(), 2u);
+  EXPECT_EQ(t.nanos(), 2'000'000'000u);
+  EXPECT_DOUBLE_EQ(t.seconds(), 2.0);
+}
+
+TEST(Counters, TimerStatClampsNegativeDurations) {
+  TimerStat t;
+  t.record_seconds(-1.0);
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_EQ(t.nanos(), 0u);
+}
+
+TEST(Counters, TimerStatAddRawMerges) {
+  TimerStat t;
+  t.record_seconds(1.0);
+  t.add_raw(3, 500);
+  EXPECT_EQ(t.count(), 4u);
+  EXPECT_EQ(t.nanos(), 1'000'000'500u);
+}
+
+// ---- Registry ------------------------------------------------------------
+
+TEST(Registry, SameNameSameAddress) {
+  Registry reg;
+  Counter& a = reg.counter("transport.ICMP.packets");
+  Counter& b = reg.counter("transport.ICMP.packets");
+  EXPECT_EQ(&a, &b);
+  // Registering more metrics must not move existing ones (hot paths
+  // cache the pointer).
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i));
+  }
+  EXPECT_EQ(&reg.counter("transport.ICMP.packets"), &a);
+}
+
+TEST(Registry, SnapshotIsDeterministicAndComplete) {
+  Registry reg;
+  reg.counter("b").add(2);
+  reg.counter("a").add(1);
+  reg.gauge("g").set(-5);
+  reg.timer("t").record_seconds(0.25);
+
+  const Report report = reg.snapshot();
+  ASSERT_EQ(report.counters.size(), 2u);
+  // std::map: iteration (and therefore serialization) order is sorted.
+  EXPECT_EQ(report.counters.begin()->first, "a");
+  EXPECT_EQ(report.counter_value("a"), 1u);
+  EXPECT_EQ(report.counter_value("b"), 2u);
+  EXPECT_EQ(report.counter_value("missing"), 0u);
+  EXPECT_EQ(report.gauges.at("g"), -5);
+  EXPECT_EQ(report.timers.at("t").count, 1u);
+  EXPECT_DOUBLE_EQ(report.timer_seconds("t"), 0.25);
+  EXPECT_DOUBLE_EQ(report.timer_seconds("missing"), 0.0);
+}
+
+TEST(Registry, MergeFromAddsCountersAndTimersOverwritesGauges) {
+  Registry parent;
+  parent.counter("c").add(10);
+  parent.gauge("g").set(1);
+  parent.timer("t").record_seconds(1.0);
+
+  Registry child;
+  child.counter("c").add(5);
+  child.counter("child_only").add(7);
+  child.gauge("g").set(99);
+  child.timer("t").record_seconds(2.0);
+
+  parent.merge_from(child);
+  const Report report = parent.snapshot();
+  EXPECT_EQ(report.counter_value("c"), 15u);
+  EXPECT_EQ(report.counter_value("child_only"), 7u);
+  EXPECT_EQ(report.gauges.at("g"), 99);
+  EXPECT_EQ(report.timers.at("t").count, 2u);
+  EXPECT_DOUBLE_EQ(report.timer_seconds("t"), 3.0);
+}
+
+TEST(Registry, ReportMergeMatchesRegistryMerge) {
+  Report a;
+  a.counters["c"] = 1;
+  a.gauges["g"] = 5;
+  a.timers["t"] = TimerTotal{1, 100};
+  Report b;
+  b.counters["c"] = 2;
+  b.gauges["g"] = -5;
+  b.timers["t"] = TimerTotal{2, 200};
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counters["c"], 3u);
+  EXPECT_EQ(a.gauges["g"], -5);
+  EXPECT_EQ(a.timers["t"].count, 3u);
+  EXPECT_EQ(a.timers["t"].nanos, 300u);
+}
+
+// ---- Spans ---------------------------------------------------------------
+
+TEST(Spans, NullTelemetryIsInert) {
+  Span span(nullptr, "anything");
+  EXPECT_TRUE(span.path().empty());
+}
+
+TEST(Spans, PathsNestWithinOneTelemetry) {
+  Telemetry telemetry;
+  {
+    Span outer(&telemetry, "pipeline.run");
+    EXPECT_EQ(outer.path(), "pipeline.run");
+    {
+      Span inner(&telemetry, "pipeline.scan");
+      EXPECT_EQ(inner.path(), "pipeline.run/pipeline.scan");
+    }
+    // After inner closes, a new child nests under outer again.
+    Span sibling(&telemetry, "pipeline.dealias");
+    EXPECT_EQ(sibling.path(), "pipeline.run/pipeline.dealias");
+  }
+  // Timers are keyed by span *name*, so phase totals aggregate across
+  // parents.
+  const Report report = telemetry.registry().snapshot();
+  EXPECT_EQ(report.timers.at("pipeline.run").count, 1u);
+  EXPECT_EQ(report.timers.at("pipeline.scan").count, 1u);
+  EXPECT_EQ(report.timers.at("pipeline.dealias").count, 1u);
+}
+
+TEST(Spans, SiblingTelemetriesDoNotNestIntoEachOther) {
+  Telemetry a;
+  Telemetry b;
+  Span outer(&a, "outer");
+  Span independent(&b, "inner");
+  // b has no open span of its own, so its span is a root — a's open
+  // span must not leak into its path.
+  EXPECT_EQ(independent.path(), "inner");
+}
+
+TEST(Spans, ClosedSpansEmitEventsWithFullPath) {
+  Telemetry telemetry;
+  MemorySink sink;
+  telemetry.attach_sink(&sink);
+  {
+    Span outer(&telemetry, "outer");
+    Span inner(&telemetry, "inner");
+  }
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first.
+  EXPECT_EQ(events[0].kind, Event::Kind::kSpan);
+  EXPECT_EQ(events[0].path, "outer/inner");
+  EXPECT_EQ(events[1].path, "outer");
+  EXPECT_GE(events[1].seconds, events[0].seconds);
+}
+
+TEST(Spans, NoSinkMeansNoEventsButTimersStillRecord) {
+  Telemetry telemetry;
+  { Span span(&telemetry, "quiet"); }
+  EXPECT_EQ(telemetry.registry().snapshot().timers.at("quiet").count, 1u);
+  EXPECT_FALSE(telemetry.tracing());
+}
+
+// ---- Sinks ---------------------------------------------------------------
+
+TEST(Sinks, MemorySinkPreservesOrderAndReplays) {
+  MemorySink source;
+  for (int i = 0; i < 5; ++i) {
+    Event event;
+    event.kind = Event::Kind::kMessage;
+    event.detail = "m" + std::to_string(i);
+    source.emit(event);
+  }
+  ASSERT_EQ(source.size(), 5u);
+
+  MemorySink target;
+  source.replay_to(target);
+  const auto replayed = target.events();
+  ASSERT_EQ(replayed.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(replayed[static_cast<std::size_t>(i)].detail,
+              "m" + std::to_string(i));
+  }
+  source.clear();
+  EXPECT_EQ(source.size(), 0u);
+}
+
+// Golden pins on the JSON-lines format: docs/OBSERVABILITY.md documents
+// these exact shapes, and offline tooling parses them.
+TEST(Sinks, JsonLinesGoldenSpan) {
+  Event event;
+  event.kind = Event::Kind::kSpan;
+  event.path = "tga:6Tree/pipeline.scan";
+  event.at = 1.5;
+  event.seconds = 0.25;
+  EXPECT_EQ(JsonLinesSink::to_json(event),
+            "{\"ev\":\"span\",\"path\":\"tga:6Tree/pipeline.scan\","
+            "\"t0\":1.5,\"dur\":0.25}");
+}
+
+TEST(Sinks, JsonLinesGoldenCounterAndGauge) {
+  Event counter;
+  counter.kind = Event::Kind::kCounter;
+  counter.path = "transport.ICMP.packets";
+  counter.value = 12345;
+  EXPECT_EQ(JsonLinesSink::to_json(counter),
+            "{\"ev\":\"counter\",\"path\":\"transport.ICMP.packets\","
+            "\"value\":12345}");
+
+  Event gauge;
+  gauge.kind = Event::Kind::kGauge;
+  gauge.path = "pipeline.budget";
+  gauge.value = static_cast<std::uint64_t>(-3);  // two's complement
+  EXPECT_EQ(JsonLinesSink::to_json(gauge),
+            "{\"ev\":\"gauge\",\"path\":\"pipeline.budget\",\"value\":-3}");
+}
+
+TEST(Sinks, JsonLinesGoldenProbeAndMessage) {
+  Event probe;
+  probe.kind = Event::Kind::kProbe;
+  probe.path = "2001:db8::1";
+  probe.detail = "ICMP->echo-reply";
+  probe.at = 2.0;
+  EXPECT_EQ(JsonLinesSink::to_json(probe),
+            "{\"ev\":\"probe\",\"path\":\"2001:db8::1\","
+            "\"detail\":\"ICMP->echo-reply\",\"t0\":2}");
+
+  Event message;
+  message.kind = Event::Kind::kMessage;
+  message.detail = "hello";
+  EXPECT_EQ(JsonLinesSink::to_json(message),
+            "{\"ev\":\"message\",\"detail\":\"hello\"}");
+}
+
+TEST(Sinks, JsonLinesEscapesControlAndQuoteCharacters) {
+  Event event;
+  event.kind = Event::Kind::kMessage;
+  event.detail = "a\"b\\c\nd\te\x01" "f";
+  EXPECT_EQ(JsonLinesSink::to_json(event),
+            "{\"ev\":\"message\",\"detail\":\"a\\\"b\\\\c\\nd\\tef\"}");
+}
+
+TEST(Sinks, JsonLinesSinkWritesOneLinePerEvent) {
+  std::ostringstream out;
+  JsonLinesSink sink(out);
+  EXPECT_TRUE(sink.ok());
+  Event event;
+  event.kind = Event::Kind::kMessage;
+  event.detail = "x";
+  sink.emit(event);
+  sink.emit(event);
+  sink.flush();
+  EXPECT_EQ(out.str(),
+            "{\"ev\":\"message\",\"detail\":\"x\"}\n"
+            "{\"ev\":\"message\",\"detail\":\"x\"}\n");
+}
+
+TEST(Sinks, JsonLinesSinkReportsBadPath) {
+  JsonLinesSink sink("/nonexistent-dir-for-sure/trace.jsonl");
+  EXPECT_FALSE(sink.ok());
+}
+
+// ---- Telemetry -----------------------------------------------------------
+
+TEST(Telemetry, EmitMetricsDumpsSortedWithPrefix) {
+  Telemetry telemetry;
+  telemetry.registry().counter("z").add(1);
+  telemetry.registry().counter("a").add(2);
+  telemetry.registry().gauge("g").set(-1);
+
+  MemorySink sink;
+  telemetry.attach_sink(&sink);
+  telemetry.emit_metrics("final/");
+
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, Event::Kind::kCounter);
+  EXPECT_EQ(events[0].path, "final/a");
+  EXPECT_EQ(events[0].value, 2u);
+  EXPECT_EQ(events[1].path, "final/z");
+  EXPECT_EQ(events[2].kind, Event::Kind::kGauge);
+  EXPECT_EQ(events[2].path, "final/g");
+  EXPECT_EQ(static_cast<std::int64_t>(events[2].value), -1);
+}
+
+TEST(Telemetry, EmitMetricsWithoutSinkIsANoop) {
+  Telemetry telemetry;
+  telemetry.registry().counter("c").inc();
+  telemetry.emit_metrics();  // must not crash
+  EXPECT_FALSE(telemetry.tracing());
+}
+
+TEST(Telemetry, DetachingSinkStopsEvents) {
+  Telemetry telemetry;
+  MemorySink sink;
+  telemetry.attach_sink(&sink);
+  { Span span(&telemetry, "a"); }
+  telemetry.attach_sink(nullptr);
+  { Span span(&telemetry, "b"); }
+  EXPECT_EQ(sink.size(), 1u);
+  // Both spans still hit the registry.
+  EXPECT_EQ(telemetry.registry().snapshot().timers.size(), 2u);
+}
+
+}  // namespace
+}  // namespace v6::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace v6::probe {
 namespace {
 
@@ -41,6 +43,74 @@ TEST(RateLimiter, AdvanceNegativeIsNoop) {
 TEST(RateLimiter, DegenerateRateClamped) {
   RateLimiter limiter(0.0);  // clamped to 1 pps
   EXPECT_EQ(limiter.pps(), 1.0);
+}
+
+TEST(RateLimiter, AdvanceZeroIsNoop) {
+  RateLimiter limiter(100.0, /*burst=*/1.0);
+  limiter.acquire();  // drain the bucket
+  limiter.advance(0.0);
+  EXPECT_EQ(limiter.virtual_now(), 0.0);
+  // No refill happened: the next acquire still waits a full token.
+  EXPECT_NEAR(limiter.acquire(), 0.01, 1e-12);
+}
+
+TEST(RateLimiter, AdvanceNanIsNoop) {
+  RateLimiter limiter(100.0, /*burst=*/1.0);
+  limiter.acquire();
+  limiter.advance(std::numeric_limits<double>::quiet_NaN());
+  // NaN must not poison the virtual clock or the bucket.
+  EXPECT_EQ(limiter.virtual_now(), 0.0);
+  EXPECT_NEAR(limiter.acquire(), 0.01, 1e-12);
+}
+
+TEST(RateLimiter, NanParametersClamped) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  RateLimiter limiter(nan, nan);
+  EXPECT_EQ(limiter.pps(), 1.0);
+  // burst clamps to one token: the first packet is free, the second
+  // waits exactly one token interval — the limiter still paces.
+  EXPECT_EQ(limiter.acquire(), 0.0);
+  EXPECT_NEAR(limiter.acquire(), 1.0, 1e-12);
+  EXPECT_FALSE(limiter.virtual_now() != limiter.virtual_now());  // not NaN
+}
+
+TEST(RateLimiter, SubTokenBurstClampedToOne) {
+  // A bucket that can never hold one full token would make acquire()
+  // wait forever-growing deficits; burst < 1 clamps to 1.
+  RateLimiter limiter(1000.0, /*burst=*/0.25);
+  EXPECT_EQ(limiter.acquire(), 0.0);          // one full token available
+  EXPECT_NEAR(limiter.acquire(), 1e-3, 1e-12);  // then exact pacing
+  EXPECT_NEAR(limiter.acquire(), 1e-3, 1e-12);
+}
+
+TEST(RateLimiter, FractionalBurstWaitsAreExact) {
+  // burst = 2.5: packets 1-2 free, packet 3 waits for the missing half
+  // token, packet 4 a full interval.
+  RateLimiter limiter(10.0, /*burst=*/2.5);
+  EXPECT_EQ(limiter.acquire(), 0.0);
+  EXPECT_EQ(limiter.acquire(), 0.0);
+  EXPECT_NEAR(limiter.acquire(), 0.05, 1e-12);  // 0.5 token / 10 pps
+  EXPECT_NEAR(limiter.acquire(), 0.1, 1e-12);
+}
+
+TEST(RateLimiter, AdvanceRefillClampedAtBurst) {
+  RateLimiter limiter(1'000'000.0, /*burst=*/2.0);
+  limiter.acquire();
+  limiter.acquire();
+  limiter.advance(1e9);  // would refill 1e15 tokens; capped at 2
+  EXPECT_EQ(limiter.acquire(), 0.0);
+  EXPECT_EQ(limiter.acquire(), 0.0);
+  EXPECT_GT(limiter.acquire(), 0.0);
+}
+
+TEST(RateLimiter, PpsBoundaryExactlyOne) {
+  // 1 pps, burst 1: the n-th packet (n > 1) waits exactly 1 s.
+  RateLimiter limiter(1.0, /*burst=*/1.0);
+  EXPECT_EQ(limiter.acquire(), 0.0);
+  EXPECT_EQ(limiter.acquire(), 1.0);
+  EXPECT_EQ(limiter.acquire(), 1.0);
+  EXPECT_EQ(limiter.virtual_now(), 2.0);
+  EXPECT_EQ(limiter.packets(), 3u);
 }
 
 TEST(RateLimiter, PaperRateTenThousandPps) {

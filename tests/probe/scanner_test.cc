@@ -80,8 +80,8 @@ TEST(Scanner, RstIsNotAHit) {
   transport.set(addr_n(1), ProbeReply::kRst);
   Scanner scanner(transport, nullptr, {.seed = 1});
   const std::vector<Ipv6Addr> targets = {addr_n(1)};
-  const auto hits = scanner.scan_hits(targets, ProbeType::kTcp80);
-  EXPECT_TRUE(hits.empty());
+  const auto result = scanner.scan_hits(targets, ProbeType::kTcp80);
+  EXPECT_TRUE(result.hits.empty());
 }
 
 TEST(Scanner, DestUnreachableIsNotAHit) {
@@ -89,7 +89,7 @@ TEST(Scanner, DestUnreachableIsNotAHit) {
   transport.set(addr_n(1), ProbeReply::kDestUnreachable);
   Scanner scanner(transport, nullptr, {.seed = 1});
   const std::vector<Ipv6Addr> targets = {addr_n(1)};
-  EXPECT_TRUE(scanner.scan_hits(targets, ProbeType::kIcmp).empty());
+  EXPECT_TRUE(scanner.scan_hits(targets, ProbeType::kIcmp).hits.empty());
 }
 
 TEST(Scanner, MismatchedPositiveReplyIsNotAHit) {
@@ -98,7 +98,7 @@ TEST(Scanner, MismatchedPositiveReplyIsNotAHit) {
   transport.set(addr_n(1), ProbeReply::kSynAck);
   Scanner scanner(transport, nullptr, {.seed = 1});
   const std::vector<Ipv6Addr> targets = {addr_n(1)};
-  EXPECT_TRUE(scanner.scan_hits(targets, ProbeType::kIcmp).empty());
+  EXPECT_TRUE(scanner.scan_hits(targets, ProbeType::kIcmp).hits.empty());
 }
 
 TEST(Scanner, DeduplicatesTargets) {
@@ -118,8 +118,8 @@ TEST(Scanner, RetriesRecoverLostReplies) {
   transport.set(addr_n(1), ProbeReply::kEchoReply, /*timeouts_first=*/2);
   Scanner scanner(transport, nullptr, {.max_retries = 2, .seed = 1});
   const std::vector<Ipv6Addr> targets = {addr_n(1)};
-  const auto hits = scanner.scan_hits(targets, ProbeType::kIcmp);
-  EXPECT_EQ(hits.size(), 1u);
+  const auto result = scanner.scan_hits(targets, ProbeType::kIcmp);
+  EXPECT_EQ(result.hits.size(), 1u);
   EXPECT_EQ(transport.sends_to(addr_n(1)), 3);
 }
 
@@ -128,7 +128,7 @@ TEST(Scanner, RetriesExhausted) {
   transport.set(addr_n(1), ProbeReply::kEchoReply, /*timeouts_first=*/3);
   Scanner scanner(transport, nullptr, {.max_retries = 2, .seed = 1});
   const std::vector<Ipv6Addr> targets = {addr_n(1)};
-  EXPECT_TRUE(scanner.scan_hits(targets, ProbeType::kIcmp).empty());
+  EXPECT_TRUE(scanner.scan_hits(targets, ProbeType::kIcmp).hits.empty());
 }
 
 TEST(Scanner, BlocklistedAddressesNeverProbed) {
@@ -213,9 +213,8 @@ TEST(Scanner, DeterministicAgainstSimUniverse) {
   auto run = [&] {
     SimTransport transport(universe, 77);
     Scanner scanner(transport, nullptr, {.seed = 77});
-    ScanStats stats;
-    auto hits = scanner.scan_hits(targets, ProbeType::kIcmp, &stats);
-    return std::pair(hits, stats.packets);
+    auto result = scanner.scan_hits(targets, ProbeType::kIcmp);
+    return std::pair(std::move(result.hits), result.stats.packets);
   };
   const auto [hits_a, packets_a] = run();
   const auto [hits_b, packets_b] = run();

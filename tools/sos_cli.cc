@@ -8,28 +8,39 @@
 //       Run one TGA through the scan pipeline.
 //       datasets: full, offline, online, joint, active (default),
 //                 port (the port-specific dataset of --port)
-//   sos survey [--port P] [--budget N] [--seed N] [--combined any]
+//   sos survey [--port P] [--budget N] [--seed N] [--jobs N]
+//              [--combined any]
 //       Run all eight TGAs and print the comparison table. With
 //       --combined, generate from all TGAs and scan the union once
 //       (the paper's probing methodology, minimizing per-address scans).
+//
+//   run and survey additionally accept (docs/OBSERVABILITY.md):
+//     --trace FILE   write a JSON-lines event trace (spans, per-probe
+//                    events, final metric totals) to FILE
+//     --stats        print the counter/phase-timing tables on exit
 //   sos trace ADDR [--seed N]
 //       Simulated traceroute toward ADDR.
 //   sos collect --source NAME [--out FILE] [--seed N]
 //       Collect one seed feed; write addresses to FILE (or count them).
 //   sos export --dataset D [--out FILE] [--port P] [--seed N]
 //       Materialize a preprocessed seed dataset and write it to FILE.
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "experiment/combined.h"
 #include "experiment/pipeline.h"
+#include "experiment/runner.h"
 #include "io/address_file.h"
 #include "io/csv.h"
 #include "experiment/workbench.h"
 #include "metrics/reporter.h"
+#include "obs/sinks.h"
+#include "obs/telemetry.h"
 #include "tga/registry.h"
 #include "topo/traceroute.h"
 
@@ -62,7 +73,11 @@ Args parse_args(int argc, char** argv) {
   if (argc > 1) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+    if (arg == "--stats") {
+      // Boolean flag: the generic branch below would swallow the next
+      // argument as its value.
+      args.options["stats"] = "1";
+    } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
       args.options[std::string(arg.substr(2))] = argv[++i];
     } else if (args.positional.empty()) {
       args.positional = arg;
@@ -79,15 +94,81 @@ v6::net::ProbeType parse_port(const std::string& text) {
   return v6::net::ProbeType::kIcmp;
 }
 
-v6::experiment::WorkbenchConfig bench_config(const Args& args) {
+v6::experiment::WorkbenchConfig bench_config(
+    const Args& args, v6::obs::Telemetry* telemetry = nullptr) {
   v6::experiment::WorkbenchConfig config;
   config.seed = args.get_u64("seed", 42);
   config.universe.seed = config.seed;
   config.universe.num_ases =
       static_cast<int>(args.get_u64("ases", 2000));
   config.universe.host_scale = args.get_double("scale", 0.12);
-  return config;
+  return config.with_telemetry(telemetry);
 }
+
+// Wires `--trace FILE` / `--stats` into one Telemetry that the command
+// threads through its workbench/pipeline configs. finish() emits the
+// final metric totals into the trace and prints the --stats tables.
+class ObsSession {
+ public:
+  explicit ObsSession(const Args& args)
+      : stats_(args.options.contains("stats")),
+        trace_path_(args.get("trace", "")) {
+    if (!trace_path_.empty()) {
+      sink_.emplace(trace_path_);
+      if (sink_->ok()) {
+        telemetry_.attach_sink(&*sink_);
+      } else {
+        std::cerr << "warning: cannot open trace file '" << trace_path_
+                  << "'; tracing disabled\n";
+        sink_.reset();
+      }
+    }
+  }
+
+  /// nullptr when neither flag was given: instrumented code paths stay
+  /// on their zero-cost branch.
+  v6::obs::Telemetry* telemetry() {
+    return (stats_ || sink_) ? &telemetry_ : nullptr;
+  }
+  bool tracing() const { return sink_.has_value(); }
+
+  void finish() {
+    if (sink_) {
+      telemetry_.emit_metrics();
+      sink_->flush();
+      std::cerr << "wrote trace " << trace_path_ << "\n";
+    }
+    if (!stats_) return;
+    const v6::obs::Report report = telemetry_.registry().snapshot();
+    if (!report.counters.empty() || !report.gauges.empty()) {
+      v6::metrics::TextTable table({"Metric", "Value"});
+      for (const auto& [name, value] : report.counters) {
+        table.add_row({name, fmt_count(value)});
+      }
+      for (const auto& [name, value] : report.gauges) {
+        table.add_row({name, std::to_string(value)});
+      }
+      std::cout << "\n-- counters --\n";
+      table.print(std::cout);
+    }
+    if (!report.timers.empty()) {
+      v6::metrics::TextTable table({"Phase", "Count", "Seconds"});
+      for (const auto& [name, total] : report.timers) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f", total.seconds());
+        table.add_row({name, fmt_count(total.count), buf});
+      }
+      std::cout << "\n-- phases --\n";
+      table.print(std::cout);
+    }
+  }
+
+ private:
+  bool stats_;
+  std::string trace_path_;
+  std::optional<v6::obs::JsonLinesSink> sink_;
+  v6::obs::Telemetry telemetry_;
+};
 
 const std::vector<v6::net::Ipv6Addr>& pick_dataset(
     v6::experiment::Workbench& bench, const std::string& name,
@@ -155,11 +236,15 @@ int cmd_run(const Args& args) {
     std::cerr << "unknown TGA '" << tga_name << "'\n";
     return 1;
   }
-  v6::experiment::Workbench bench(bench_config(args));
-  v6::experiment::PipelineConfig config;
-  config.type = parse_port(args.get("port", "ICMP"));
-  config.budget = args.get_u64("budget", 400'000);
-  config.seed = args.get_u64("seed", 42);
+  ObsSession obs(args);
+  v6::experiment::Workbench bench(bench_config(args, obs.telemetry()));
+  const auto config =
+      v6::experiment::PipelineConfig{}
+          .with_type(parse_port(args.get("port", "ICMP")))
+          .with_budget(args.get_u64("budget", 400'000))
+          .with_seed(args.get_u64("seed", 42))
+          .with_telemetry(obs.telemetry())
+          .with_trace_probes(obs.tracing());
   const auto& seeds =
       pick_dataset(bench, args.get("dataset", "active"), config.type);
 
@@ -174,11 +259,13 @@ int cmd_run(const Args& args) {
   std::cout << "  dense-filtered: " << fmt_count(outcome.dense_filtered)
             << "\n";
   std::cout << "  packets:     " << fmt_count(outcome.packets) << "\n";
+  obs.finish();
   return 0;
 }
 
 int cmd_survey(const Args& args) {
-  v6::experiment::Workbench bench(bench_config(args));
+  ObsSession obs(args);
+  v6::experiment::Workbench bench(bench_config(args, obs.telemetry()));
   const v6::net::ProbeType port = parse_port(args.get("port", "ICMP"));
   const std::uint64_t budget = args.get_u64("budget", 400'000);
   const std::uint64_t seed = args.get_u64("seed", 42);
@@ -196,6 +283,7 @@ int cmd_survey(const Args& args) {
     config.budget_per_generator = budget;
     config.type = port;
     config.seed = seed;
+    config.telemetry = obs.telemetry();
     const auto result = v6::experiment::run_combined(
         bench.universe(), generators, seeds, bench.alias_list(), config);
     for (std::size_t g = 0; g < generators.size(); ++g) {
@@ -211,22 +299,30 @@ int cmd_survey(const Args& args) {
               << " unique of " << fmt_count(result.proposals)
               << " proposals (" << fmt_count(result.packets)
               << " packets)\n";
+    obs.finish();
     return 0;
   }
 
-  for (const v6::tga::TgaKind kind : v6::tga::kAllTgas) {
-    auto generator = v6::tga::make_generator(kind);
-    v6::experiment::PipelineConfig config;
-    config.type = port;
-    config.budget = budget;
-    config.seed = seed;
-    const auto outcome = v6::experiment::run_tga(
-        bench.universe(), *generator, seeds, bench.alias_list(), config);
-    table.add_row({std::string(v6::tga::to_string(kind)),
-                   fmt_count(outcome.hits()), fmt_count(outcome.ases()),
-                   fmt_count(outcome.aliases)});
+  const auto runs = v6::experiment::run_sweep(
+      v6::experiment::SweepSpec{}
+          .with_universe(bench.universe())
+          .with_seeds(seeds)
+          .with_alias_list(bench.alias_list())
+          .with_config(v6::experiment::PipelineConfig{}
+                           .with_type(port)
+                           .with_budget(budget)
+                           .with_seed(seed)
+                           .with_trace_probes(obs.tracing()))
+          .with_jobs(static_cast<unsigned>(args.get_u64("jobs", 1)))
+          .with_telemetry(obs.telemetry()));
+  for (const auto& run : runs) {
+    table.add_row({std::string(v6::tga::to_string(run.kind)),
+                   fmt_count(run.outcome.hits()),
+                   fmt_count(run.outcome.ases()),
+                   fmt_count(run.outcome.aliases)});
   }
   table.print(std::cout);
+  obs.finish();
   return 0;
 }
 
