@@ -26,6 +26,16 @@
 
 namespace v6::bench {
 
+/// Build flavor baked in by CMake (V6_BUILD_TAG compile definition, set
+/// by the sanitizer presets). Instrumented builds write their timing
+/// records to BENCH_<name>.<tag>.json so sanitizer overhead tracks as
+/// its own trajectory instead of polluting the Release numbers.
+#if defined(V6_BUILD_TAG)
+inline constexpr const char* kBuildTag = V6_BUILD_TAG;
+#else
+inline constexpr const char* kBuildTag = "release";
+#endif
+
 using v6::experiment::SweepSpec;
 using v6::experiment::TgaRun;
 using v6::experiment::run_sweep;
@@ -192,10 +202,14 @@ class BenchTimer {
     return Section(*this, std::move(label));
   }
 
-  /// Writes BENCH_<name>.json (also triggered by the destructor).
+  /// Writes BENCH_<name>.json — or BENCH_<name>.<tag>.json from a
+  /// tagged (sanitizer) build. Also triggered by the destructor.
   void write() {
     written_ = true;
-    const std::string path = "BENCH_" + name_ + ".json";
+    const std::string tag = kBuildTag;
+    const std::string path = tag == "release"
+                                 ? "BENCH_" + name_ + ".json"
+                                 : "BENCH_" + name_ + "." + tag + ".json";
     std::ofstream out(path);
     if (!out) {
       std::cerr << "warning: cannot write " << path << "\n";
@@ -203,6 +217,7 @@ class BenchTimer {
     }
     out << "{\n"
         << "  \"bench\": \"" << escape(name_) << "\",\n"
+        << "  \"build\": \"" << escape(tag) << "\",\n"
         << "  \"budget\": " << budget_ << ",\n"
         << "  \"jobs\": " << jobs_ << ",\n"
         << "  \"total_wall_seconds\": " << seconds_since(start_) << ",\n"

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "check/contracts.h"
+
 namespace v6::dealias {
 
 using v6::net::Ipv6Addr;
@@ -13,10 +15,24 @@ SprtDealiaser::SprtDealiaser(v6::probe::ProbeTransport& transport,
     : transport_(&transport),
       options_(options),
       rng_(v6::net::make_rng(seed, /*tag=*/0x5947)) {
+  // The SPRT thresholds are only meaningful for a discriminating test:
+  // degenerate probabilities make the log-likelihood ratios zero, NaN,
+  // or infinite and the loop below either never terminates early or
+  // decides from no evidence.
+  V6_REQUIRE_MSG(options_.p0 > 0.0 && options_.p1 < 1.0 &&
+                     options_.p0 < options_.p1,
+                 "need 0 < p0 < p1 < 1 for a discriminating SPRT");
+  V6_REQUIRE_MSG(options_.alpha > 0.0 && options_.alpha < 1.0 &&
+                     options_.beta > 0.0 && options_.beta < 1.0,
+                 "error targets must be in (0, 1)");
+  V6_REQUIRE(options_.max_probes > 0);
+  V6_REQUIRE(options_.prefix_len >= 0 && options_.prefix_len <= 128);
   log_accept_ = std::log(options_.beta / (1.0 - options_.alpha));
   log_reject_ = std::log((1.0 - options_.beta) / options_.alpha);
   llr_hit_ = std::log(options_.p1 / options_.p0);
   llr_miss_ = std::log((1.0 - options_.p1) / (1.0 - options_.p0));
+  V6_ENSURE_MSG(log_accept_ < log_reject_,
+                "accept threshold must sit below the reject threshold");
 }
 
 bool SprtDealiaser::is_aliased(const Ipv6Addr& addr, ProbeType type) {
@@ -45,6 +61,7 @@ bool SprtDealiaser::is_aliased(const Ipv6Addr& addr, ProbeType type) {
   }
   if (aliased) ++found_;
   verdicts_.emplace(base, aliased);
+  V6_INVARIANT_MSG(found_ <= tested_, "more aliases than prefixes tested");
   return aliased;
 }
 

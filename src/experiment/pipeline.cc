@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/contracts.h"
 #include "dealias/online_dealiaser.h"
 #include "probe/instrumented_transport.h"
 #include "probe/scanner.h"
@@ -19,6 +20,9 @@ v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
                                  std::span<const Ipv6Addr> seeds,
                                  const v6::dealias::AliasList& offline_aliases,
                                  const PipelineConfig& config) {
+  V6_REQUIRE_MSG(config.batch_size > 0, "batch_size 0 would generate nothing");
+  V6_REQUIRE(config.scan_retries >= 0);
+  V6_REQUIRE_MSG(config.max_pps > 0.0, "rate limit must be positive");
   v6::metrics::ScanOutcome outcome;
   v6::obs::Telemetry* const telemetry = config.telemetry;
   v6::obs::Span run_span(telemetry, "pipeline.run");
@@ -113,6 +117,10 @@ v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
 
   outcome.packets = transport->packets_sent();
   outcome.virtual_seconds = scanner.virtual_seconds();
+  V6_ENSURE(outcome.generated <= config.budget);
+  V6_ENSURE(outcome.responsive <= outcome.generated);
+  V6_ENSURE_MSG(outcome.aliases + outcome.dense_filtered <= outcome.responsive,
+                "dealias/filter stages saw more addresses than responded");
   return outcome;
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "check/contracts.h"
 #include "obs/sinks.h"
 #include "runtime/thread_pool.h"
 
@@ -53,6 +54,8 @@ std::vector<TgaRun> run_sweep(const SweepSpec& spec) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
     runs[i].report = local.registry().snapshot();
+    V6_INVARIANT_MSG(runs[i].kind == kinds[i],
+                     "run slot filled for a different TGA than assigned");
   });
 
   // Deterministic merge: slot order, regardless of completion order.

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/contracts.h"
+
 namespace v6::io {
 
 namespace {
@@ -75,6 +77,8 @@ ParseReport parse_address_list(std::string_view text,
       ++report.malformed;
     }
   });
+  V6_ENSURE_MSG(report.lines == report.parsed + report.malformed,
+                "every line must be counted exactly once");
   return report;
 }
 
@@ -151,6 +155,10 @@ v6::seeds::SeedDataset parse_seed_dataset(std::string_view text,
       ++r.malformed;  // no recognizable provenance
     }
   });
+  V6_ENSURE_MSG(r.lines == r.parsed + r.malformed,
+                "every line must be counted exactly once");
+  V6_ENSURE_MSG(dataset.size() <= r.parsed,
+                "dataset cannot hold more unique addresses than parsed lines");
   if (report != nullptr) *report = r;
   return dataset;
 }

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/contracts.h"
 #include "net/ipv6.h"
 
 namespace v6::net {
@@ -32,6 +33,8 @@ class AddrIndexMap {
   /// `slots` must be a non-empty power-of-two-sized table.
   template <typename Slots>
   static auto& locate(Slots& slots, const Ipv6Addr& addr) {
+    V6_REQUIRE_MSG(!slots.empty() && (slots.size() & (slots.size() - 1)) == 0,
+                   "table must be a non-empty power-of-two size");
     const std::size_t mask = slots.size() - 1;
     std::size_t i = Ipv6AddrHash{}(addr) & mask;
     for (;;) {
@@ -42,10 +45,13 @@ class AddrIndexMap {
   }
 
   void rehash(std::size_t capacity) {
+    V6_REQUIRE_MSG(capacity * kMaxLoadPercent >= size_ * 100,
+                   "rehash target capacity would exceed the load limit");
     std::vector<Slot> next(capacity);
     for (const Slot& slot : slots_) {
       if (!slot.used) continue;
       Slot& target = locate(next, slot.key);
+      V6_INVARIANT_MSG(!target.used, "duplicate key during rehash");
       target = slot;
     }
     slots_ = std::move(next);
@@ -80,6 +86,8 @@ class AddrIndexMap {
     slot.value = value;
     slot.used = true;
     ++size_;
+    V6_ENSURE_MSG(size_ * 100 <= slots_.size() * kMaxLoadPercent,
+                  "load factor above the probing bound after insert");
     return true;
   }
 

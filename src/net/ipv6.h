@@ -14,6 +14,8 @@
 #include <string>
 #include <string_view>
 
+#include "check/contracts.h"
+
 namespace v6::net {
 
 /// A 128-bit IPv6 address.
@@ -46,12 +48,14 @@ class Ipv6Addr {
 
   /// Returns nybble `i` (0 = most significant hex digit, 31 = least).
   constexpr std::uint8_t nybble(int i) const {
+    V6_REQUIRE(i >= 0 && i < kNybbles);  // shift is UB outside [0, 31]
     if (i < 16) return static_cast<std::uint8_t>((hi_ >> ((15 - i) * 4)) & 0xF);
     return static_cast<std::uint8_t>((lo_ >> ((31 - i) * 4)) & 0xF);
   }
 
   /// Returns a copy with nybble `i` replaced by `value` (low 4 bits used).
   constexpr Ipv6Addr with_nybble(int i, std::uint8_t value) const {
+    V6_REQUIRE(i >= 0 && i < kNybbles);
     const std::uint64_t v = value & 0xFULL;
     if (i < 16) {
       const int shift = (15 - i) * 4;
@@ -63,6 +67,7 @@ class Ipv6Addr {
 
   /// Returns bit `i` (0 = most significant bit of the address).
   constexpr bool bit(int i) const {
+    V6_REQUIRE(i >= 0 && i < kBits);  // shift is UB outside [0, 127]
     if (i < 64) return (hi_ >> (63 - i)) & 1ULL;
     return (lo_ >> (127 - i)) & 1ULL;
   }

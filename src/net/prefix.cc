@@ -3,6 +3,8 @@
 #include <charconv>
 #include <stdexcept>
 
+#include "check/contracts.h"
+
 namespace v6::net {
 
 std::optional<Prefix> Prefix::parse(std::string_view text) {
@@ -18,7 +20,9 @@ std::optional<Prefix> Prefix::parse(std::string_view text) {
     return std::nullopt;
   }
   if (len < 0 || len > 128) return std::nullopt;
-  return Prefix(*addr, len);
+  const Prefix prefix(*addr, len);
+  V6_ENSURE(prefix.addr().masked(prefix.length()) == prefix.addr());
+  return prefix;
 }
 
 Prefix Prefix::must_parse(std::string_view text) {

@@ -2,13 +2,22 @@
 //
 // Compiled out by default: obs sits on scan hot paths, so its internal
 // sanity checks (span stack discipline, metric name validity, merge
-// preconditions) only exist when the build opts in with the
-// V6_OBS_ASSERTS CMake option (on by default under the tsan preset,
-// where the concurrency suite exercises the registry and sinks from
-// many threads).
+// preconditions) only exist when the build opts in. Two opt-ins arm it:
+//
+//   V6_OBS_ASSERTS — the original obs-only switch (CMake option of the
+//     same name, on under the tsan preset).
+//   V6_CONTRACTS   — the repo-wide contracts layer (src/check); when it
+//     is armed, V6_OBS_ASSERT is just an invariant check spelled through
+//     check/contracts.h so every enforced condition reports uniformly.
 #pragma once
 
-#if defined(V6_OBS_ASSERTS)
+#include "check/contracts.h"
+
+#if defined(V6_CONTRACTS)
+
+#define V6_OBS_ASSERT(cond, msg) V6_INVARIANT_MSG(cond, msg)
+
+#elif defined(V6_OBS_ASSERTS)
 
 #include <cstdio>
 #include <cstdlib>

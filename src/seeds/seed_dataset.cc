@@ -1,5 +1,7 @@
 #include "seeds/seed_dataset.h"
 
+#include "check/contracts.h"
+
 namespace v6::seeds {
 
 void SeedDataset::add(const v6::net::Ipv6Addr& addr, SeedSource source) {
@@ -11,11 +13,16 @@ void SeedDataset::add(const v6::net::Ipv6Addr& addr, SeedSource source) {
   } else {
     masks_[it->second] |= source_bit(source);
   }
+  V6_INVARIANT_MSG(addrs_.size() == masks_.size() &&
+                       addrs_.size() == index_.size(),
+                   "address / mask / index stores out of sync");
 }
 
 std::uint16_t SeedDataset::sources_of(const v6::net::Ipv6Addr& addr) const {
   const auto it = index_.find(addr);
-  return it == index_.end() ? 0 : masks_[it->second];
+  if (it == index_.end()) return 0;
+  V6_INVARIANT(it->second < masks_.size());
+  return masks_[it->second];
 }
 
 std::vector<v6::net::Ipv6Addr> SeedDataset::from_source(

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/contracts.h"
 #include "net/ipv6.h"
 #include "seeds/source.h"
 
@@ -22,7 +23,10 @@ class SeedDataset {
   std::span<const v6::net::Ipv6Addr> addrs() const { return addrs_; }
 
   /// Source membership bitmask of addrs()[i].
-  std::uint16_t sources_of(std::size_t i) const { return masks_[i]; }
+  std::uint16_t sources_of(std::size_t i) const {
+    V6_REQUIRE_MSG(i < masks_.size(), "index must come from addrs()");
+    return masks_[i];
+  }
 
   /// Source membership bitmask for `addr` (0 if absent).
   std::uint16_t sources_of(const v6::net::Ipv6Addr& addr) const;

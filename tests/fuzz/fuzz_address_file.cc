@@ -1,0 +1,67 @@
+// Fuzz harness for the address-list and seed-dataset file parsers
+// (src/io/address_file.cc) — the interchange formats a real deployment
+// would read from disk.
+//
+// Invariants checked on arbitrary input text:
+//   - every non-comment line is counted exactly once
+//     (lines == parsed + malformed)
+//   - the parsed address count matches the report
+//   - write_address_list() output reparses losslessly with 0 malformed
+//   - parse_seed_dataset() never yields more unique addresses than
+//     parsed lines, and write/parse round-trips addresses + source masks
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "fuzz_check.h"
+#include "io/address_file.h"
+#include "net/ipv6.h"
+#include "seeds/seed_dataset.h"
+
+using v6::net::Ipv6Addr;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  std::vector<Ipv6Addr> addrs;
+  const auto report = v6::io::parse_address_list(text, addrs);
+  FUZZ_CHECK(report.lines == report.parsed + report.malformed,
+             "every non-comment line must be counted exactly once");
+  FUZZ_CHECK(addrs.size() == report.parsed,
+             "appended address count must match the report");
+
+  std::ostringstream os;
+  v6::io::write_address_list(os, addrs);
+  std::vector<Ipv6Addr> again;
+  const auto report2 = v6::io::parse_address_list(os.str(), again);
+  FUZZ_CHECK(report2.malformed == 0,
+             "written address lists must reparse cleanly");
+  FUZZ_CHECK(again == addrs, "address list write/parse must round-trip");
+
+  v6::io::ParseReport seed_report;
+  const auto dataset = v6::io::parse_seed_dataset(text, &seed_report);
+  FUZZ_CHECK(seed_report.lines == seed_report.parsed + seed_report.malformed,
+             "every non-comment line must be counted exactly once");
+  FUZZ_CHECK(dataset.size() <= seed_report.parsed,
+             "unique addresses cannot exceed parsed lines");
+
+  std::ostringstream ds;
+  v6::io::write_seed_dataset(ds, dataset);
+  v6::io::ParseReport seed_report2;
+  const auto dataset2 = v6::io::parse_seed_dataset(ds.str(), &seed_report2);
+  FUZZ_CHECK(seed_report2.malformed == 0,
+             "written seed datasets must reparse cleanly");
+  FUZZ_CHECK(dataset2.size() == dataset.size(),
+             "seed dataset write/parse must preserve the address count");
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    FUZZ_CHECK(dataset2.addrs()[i] == dataset.addrs()[i],
+               "seed dataset write/parse must preserve address order");
+    FUZZ_CHECK(dataset2.sources_of(i) == dataset.sources_of(i),
+               "seed dataset write/parse must preserve source masks");
+  }
+
+  return 0;
+}

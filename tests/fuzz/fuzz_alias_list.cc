@@ -1,0 +1,47 @@
+// Fuzz harness for AliasList::load() (src/dealias/alias_list.cc) — the
+// parser for published alias-prefix lists, the one input format pulled
+// straight off the public internet in a real deployment.
+//
+// Invariants checked on arbitrary input text:
+//   - load() reports exactly the number of prefixes added
+//   - every loaded prefix is normalized and covers its own base address
+//   - write_alias_list() output reloads to the identical prefix sequence
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string_view>
+
+#include "dealias/alias_list.h"
+#include "fuzz_check.h"
+#include "io/address_file.h"
+#include "net/prefix.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  v6::dealias::AliasList list;
+  const std::size_t added = list.load(text);
+  FUZZ_CHECK(added == list.size(),
+             "load() must report the number of prefixes added");
+
+  for (const v6::net::Prefix& prefix : list.prefixes()) {
+    FUZZ_CHECK(prefix.addr().masked(prefix.length()) == prefix.addr(),
+               "loaded prefixes must be stored normalized");
+    FUZZ_CHECK(list.contains(prefix.addr()),
+               "every loaded prefix must cover its own base address");
+  }
+
+  std::ostringstream os;
+  v6::io::write_alias_list(os, list);
+  v6::dealias::AliasList again;
+  const std::size_t reloaded = again.load(os.str());
+  FUZZ_CHECK(reloaded == added,
+             "written alias lists must reload the same prefix count");
+  for (std::size_t i = 0; i < added; ++i) {
+    FUZZ_CHECK(again.prefixes()[i] == list.prefixes()[i],
+               "alias list write/load must round-trip prefixes in order");
+  }
+
+  return 0;
+}

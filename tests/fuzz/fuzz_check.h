@@ -1,0 +1,16 @@
+// Shared failure macro for the fuzz harnesses. Aborts so both the
+// standalone driver and libFuzzer treat a violated invariant as a crash
+// and report the offending input.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define FUZZ_CHECK(cond, msg)                                        \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::fprintf(stderr, "FUZZ_CHECK failed at %s:%d: %s\n  %s\n", \
+                   __FILE__, __LINE__, #cond, msg);                  \
+      std::abort();                                                  \
+    }                                                                \
+  } while (false)

@@ -1,0 +1,101 @@
+// Fuzz harness for the CSV writer's RFC 4180 quoting
+// (src/io/csv.cc). There is no CSV reader in the tree — results flow
+// out to external tools — so the harness carries a minimal strict
+// RFC 4180 reader and checks that whatever write_csv_row() emits parses
+// back to the exact original cells, for cells containing arbitrary
+// bytes (commas, quotes, CR/LF, NULs).
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz_check.h"
+#include "io/csv.h"
+
+namespace {
+
+// Strict RFC 4180 reader for exactly one '\n'-terminated row. Returns
+// false on any framing violation (which would mean the writer emitted
+// output an external tool could mis-split).
+bool read_one_row(const std::string& text, std::vector<std::string>& out) {
+  out.clear();
+  std::string cell;
+  std::size_t i = 0;
+  while (true) {
+    cell.clear();
+    if (i < text.size() && text[i] == '"') {  // quoted cell
+      ++i;
+      while (true) {
+        if (i >= text.size()) return false;  // unterminated quote
+        if (text[i] == '"') {
+          if (i + 1 < text.size() && text[i + 1] == '"') {
+            cell.push_back('"');
+            i += 2;
+          } else {
+            ++i;  // closing quote
+            break;
+          }
+        } else {
+          cell.push_back(text[i++]);
+        }
+      }
+      if (i >= text.size()) return false;
+      if (text[i] != ',' && text[i] != '\n') return false;
+    } else {  // bare cell: runs to ',' or '\n', must not contain CR or '"'
+      while (i < text.size() && text[i] != ',' && text[i] != '\n') {
+        if (text[i] == '"' || text[i] == '\r') return false;
+        cell.push_back(text[i++]);
+      }
+      if (i >= text.size()) return false;  // missing terminator
+    }
+    out.push_back(cell);
+    if (text[i] == '\n') return i + 1 == text.size();  // exactly one row
+    ++i;  // skip ','
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Derive a row shape from the input: first byte picks 1..6 columns,
+  // the rest is split evenly into cells of arbitrary bytes.
+  const std::size_t columns = size == 0 ? 1 : 1 + data[0] % 6;
+  const std::uint8_t* body = size == 0 ? data : data + 1;
+  const std::size_t body_size = size == 0 ? 0 : size - 1;
+
+  std::vector<std::string> cells(columns);
+  const std::size_t chunk = body_size / columns;
+  for (std::size_t c = 0; c < columns; ++c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = (c + 1 == columns) ? body_size : begin + chunk;
+    cells[c].assign(reinterpret_cast<const char*>(body + begin), end - begin);
+  }
+
+  std::ostringstream os;
+  v6::io::write_csv_row(os, cells);
+  const std::string line = os.str();
+  FUZZ_CHECK(!line.empty() && line.back() == '\n',
+             "a written row must be newline-terminated");
+
+  std::vector<std::string> parsed;
+  FUZZ_CHECK(read_one_row(line, parsed),
+             "written row violates RFC 4180 framing");
+  FUZZ_CHECK(parsed == cells, "CSV quoting must round-trip arbitrary bytes");
+
+  // The streaming writer must reject width mismatches and count rows.
+  std::ostringstream ws;
+  v6::io::CsvWriter writer(ws, std::vector<std::string>(columns, "h"));
+  writer.row(cells);
+  FUZZ_CHECK(writer.rows_written() == 1, "row count must track writes");
+  bool threw = false;
+  try {
+    writer.row(std::vector<std::string>(columns + 1, "x"));
+  } catch (const std::invalid_argument&) {
+    threw = true;
+  }
+  FUZZ_CHECK(threw, "width mismatch must be rejected");
+
+  return 0;
+}

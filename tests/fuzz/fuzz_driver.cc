@@ -1,0 +1,163 @@
+// Standalone deterministic driver for the fuzz harnesses.
+//
+// The project's default toolchain (gcc) ships no libFuzzer runtime, so
+// by default each harness links this driver instead: it replays every
+// corpus file verbatim, then runs a fixed number of mutated inputs
+// derived from a SplitMix64 stream. Same binary + same corpus + same
+// --iters produces the same byte sequences, which makes the smoke-run
+// ctests reproducible.
+//
+// Configuring with -DV6_LIBFUZZER=ON (clang only) links the harnesses
+// against -fsanitize=fuzzer and this file is not compiled at all.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+// Local PRNG rather than src/net/rng.h: the driver must stay
+// dependency-free so a broken library still leaves the fuzzers buildable.
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  // Unbiased enough for mutation scheduling.
+  std::size_t below(std::size_t n) { return n == 0 ? 0 : next() % n; }
+};
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+constexpr std::size_t kMaxInput = 4096;
+
+// One in-place mutation step. Mirrors the classic byte-level mutators:
+// flip, overwrite, insert, erase, truncate, and cross-corpus splice.
+void mutate(std::vector<std::uint8_t>& buf,
+            const std::vector<std::vector<std::uint8_t>>& corpus,
+            SplitMix64& rng) {
+  switch (rng.below(6)) {
+    case 0:  // flip one bit
+      if (!buf.empty()) buf[rng.below(buf.size())] ^= 1u << rng.below(8);
+      break;
+    case 1:  // overwrite one byte with an arbitrary value
+      if (!buf.empty()) {
+        buf[rng.below(buf.size())] = static_cast<std::uint8_t>(rng.next());
+      }
+      break;
+    case 2:  // insert a byte
+      if (buf.size() < kMaxInput) {
+        buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(
+                                     rng.below(buf.size() + 1)),
+                   static_cast<std::uint8_t>(rng.next()));
+      }
+      break;
+    case 3:  // erase a byte
+      if (!buf.empty()) {
+        buf.erase(buf.begin() +
+                  static_cast<std::ptrdiff_t>(rng.below(buf.size())));
+      }
+      break;
+    case 4:  // truncate
+      if (!buf.empty()) buf.resize(rng.below(buf.size()));
+      break;
+    case 5:  // splice a slice of another corpus entry onto the tail
+      if (!corpus.empty()) {
+        const auto& other = corpus[rng.below(corpus.size())];
+        if (!other.empty()) {
+          const std::size_t start = rng.below(other.size());
+          const std::size_t take =
+              std::min({rng.below(other.size() - start) + 1,
+                        other.size() - start, kMaxInput - buf.size()});
+          buf.insert(buf.end(), other.begin() + static_cast<std::ptrdiff_t>(start),
+                     other.begin() + static_cast<std::ptrdiff_t>(start + take));
+        }
+      }
+      break;
+  }
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--iters N] <corpus-dir-or-file>...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t iters = 2000;
+  std::vector<std::filesystem::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iters") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      iters = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      roots.emplace_back(argv[i]);
+    }
+  }
+  if (roots.empty()) return usage(argv[0]);
+
+  // Directory iteration order is unspecified; sort so the mutation
+  // schedule is identical across filesystems.
+  std::vector<std::filesystem::path> files;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(root, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else if (std::filesystem::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::fprintf(stderr, "fuzz: no such corpus input: %s\n",
+                   root.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.reserve(files.size());
+  for (const auto& path : files) corpus.push_back(read_file(path));
+
+  // Phase 1: replay the corpus verbatim.
+  for (const auto& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+
+  // Phase 2: deterministic mutations seeded from a fixed constant.
+  SplitMix64 rng{0x5eed0f5ca44e5ULL};
+  std::vector<std::uint8_t> buf;
+  for (std::size_t i = 0; i < iters; ++i) {
+    if (corpus.empty()) {
+      buf.clear();
+    } else {
+      buf = corpus[rng.below(corpus.size())];
+    }
+    const std::size_t steps = 1 + rng.below(4);
+    for (std::size_t s = 0; s < steps; ++s) mutate(buf, corpus, rng);
+    LLVMFuzzerTestOneInput(buf.data(), buf.size());
+  }
+
+  std::printf("fuzz: %zu corpus inputs replayed, %zu mutated iterations, ok\n",
+              corpus.size(), iters);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fuzz harness for the IPv6 address and prefix text parsers — the
+// lowest-level untrusted-input surface (every seed file, hitlist, and
+// alias list funnels through these).
+//
+// Invariants checked on every input that parses:
+//   - to_string() (RFC 5952 compressed) round-trips to the same address
+//   - to_full_string() is exactly 39 chars and round-trips
+//   - nybble get/set is an identity
+//   - masked() is idempotent and only ever clears bits
+//   - a parsed Prefix is normalized and contains its own base address
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fuzz_check.h"
+#include "net/ipv6.h"
+#include "net/prefix.h"
+
+using v6::net::Ipv6Addr;
+using v6::net::Prefix;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  if (const auto addr = Ipv6Addr::parse(text)) {
+    const std::string compressed = addr->to_string();
+    const auto again = Ipv6Addr::parse(compressed);
+    FUZZ_CHECK(again && *again == *addr,
+               "RFC 5952 round-trip changed the address");
+
+    const std::string full = addr->to_full_string();
+    FUZZ_CHECK(full.size() == 39, "full form must be 8 groups of 4 digits");
+    const auto full_again = Ipv6Addr::parse(full);
+    FUZZ_CHECK(full_again && *full_again == *addr,
+               "full-form round-trip changed the address");
+
+    for (int i = 0; i < Ipv6Addr::kNybbles; ++i) {
+      FUZZ_CHECK(addr->with_nybble(i, addr->nybble(i)) == *addr,
+                 "nybble get/set must be an identity");
+    }
+
+    for (int len = 0; len <= Ipv6Addr::kBits; ++len) {
+      const Ipv6Addr m = addr->masked(len);
+      FUZZ_CHECK(m.masked(len) == m, "masked() must be idempotent");
+      for (int b = 0; b < len; ++b) {
+        if (m.bit(b) != addr->bit(b)) {
+          FUZZ_CHECK(false, "masked() changed a bit inside the prefix");
+        }
+      }
+    }
+  }
+
+  if (const auto prefix = Prefix::parse(text)) {
+    const auto again = Prefix::parse(prefix->to_string());
+    FUZZ_CHECK(again && *again == *prefix,
+               "prefix CIDR round-trip changed the prefix");
+    FUZZ_CHECK(prefix->length() >= 0 && prefix->length() <= 128,
+               "prefix length out of range");
+    FUZZ_CHECK(prefix->addr().masked(prefix->length()) == prefix->addr(),
+               "stored prefix address must have host bits cleared");
+    FUZZ_CHECK(prefix->contains(prefix->addr()),
+               "a prefix must contain its own base address");
+    FUZZ_CHECK(prefix->contains(*prefix),
+               "a prefix must contain itself");
+  }
+
+  return 0;
+}

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# tools/check.sh — the project's correctness gauntlet.
+#
+# Full mode (default) runs the whole matrix, one preset at a time:
+#
+#   default     RelWithDebInfo       full ctest suite
+#   asan-ubsan  ASan+UBSan+contracts full ctest suite
+#   tsan        TSan+contracts       full ctest suite
+#
+# Quick mode (`tools/check.sh --quick`) is the inner-loop subset: the
+# Release build plus the cheap static gates (`ctest -L lint`, which
+# includes v6lint and the header self-containedness target) and the
+# fuzz smoke runs (`ctest -L fuzz`).
+#
+# Extra flags:
+#   --jobs N    parallel build/test jobs (default: nproc)
+#   --tidy      add -DV6_CLANG_TIDY=ON to every configure (warns and
+#               skips when no clang-tidy binary is installed)
+#
+# Exits nonzero on the first failing step; every step is echoed first so
+# CI logs show exactly where the matrix stopped.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+quick=0
+tidy_flag=()
+jobs="$(nproc 2>/dev/null || echo 2)"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) quick=1 ;;
+    --tidy) tidy_flag=(-DV6_CLANG_TIDY=ON) ;;
+    --jobs) jobs="$2"; shift ;;
+    --jobs=*) jobs="${1#--jobs=}" ;;
+    -h|--help)
+      sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *) echo "error: unknown flag '$1' (try --help)" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+run() {
+  echo "+ $*" >&2
+  "$@"
+}
+
+configure_and_build() {
+  local preset="$1" bindir="$2"
+  run cmake --preset "$preset" "${tidy_flag[@]}"
+  run cmake --build "$bindir" -j "$jobs"
+}
+
+if [[ $quick -eq 1 ]]; then
+  configure_and_build default build
+  run ctest --test-dir build -L lint --output-on-failure -j "$jobs"
+  run ctest --test-dir build -L fuzz --output-on-failure -j "$jobs"
+  echo "check.sh --quick: OK (Release build + lint + fuzz smoke)"
+  exit 0
+fi
+
+configure_and_build default build
+run ctest --test-dir build --output-on-failure -j "$jobs"
+
+configure_and_build asan-ubsan build-asan
+run ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+configure_and_build tsan build-tsan
+run ctest --test-dir build-tsan --output-on-failure -j "$jobs"
+
+echo "check.sh: full matrix OK (default, asan-ubsan, tsan)"

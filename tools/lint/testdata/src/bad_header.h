@@ -1,0 +1,7 @@
+// Lint fixture: a header missing `#pragma once` (the `pragma-once`
+// rule). Never compiled.
+#include <cstdint>
+
+namespace v6::fixture {
+inline std::uint32_t unguarded_header_constant() { return 7; }
+}  // namespace v6::fixture

@@ -1,0 +1,21 @@
+// Lint fixture: seeded violations for the `nondeterminism` rule. Never
+// compiled — scanned by the lint_selftest / lint_fixture_fails ctests.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace v6::fixture {
+
+int ambient_entropy() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // two violations
+  std::random_device entropy;                             // violation
+  return std::rand() + static_cast<int>(entropy());       // violation
+}
+
+double wall_clock_seed() {
+  // system_clock reads leak the host's clock into results: violation.
+  return static_cast<double>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+}
+
+}  // namespace v6::fixture

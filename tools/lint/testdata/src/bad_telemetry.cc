@@ -1,0 +1,20 @@
+// Lint fixture: an unguarded Telemetry* dereference (the
+// `telemetry-null-guard` rule). Never compiled.
+namespace v6::fixture {
+
+struct Registry {
+  void inc();
+};
+struct Telemetry {
+  Registry& registry();
+};
+struct Config {
+  Telemetry* telemetry = nullptr;
+};
+
+void record_batch(const Config& config) {
+  // No null check anywhere nearby: violation.
+  config.telemetry->registry().inc();
+}
+
+}  // namespace v6::fixture
