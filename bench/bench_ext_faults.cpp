@@ -1,0 +1,195 @@
+// Extension bench: fault injection. The paper's scans assume a
+// cooperative network; this bench reruns the Fig-3-style TGA sweep (all
+// eight generators on the All Active dataset) across a loss x
+// rate-limit grid, with and without the robust-scanner retry path, and
+// reports the degradation curves:
+//   - how total hits decay as loss rises / rate limits tighten,
+//   - whether the retry-enabled scanner dominates the retry-free one at
+//     every faulty grid point (it must at every nonzero loss point —
+//     the bench exits nonzero if not),
+//   - whether the paper's TGA *ranking* survives the faults (relative
+//     conclusions should be robust even when absolute hits drop).
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "fault/fault_plan.h"
+
+using v6::metrics::fmt_count;
+using v6::metrics::fmt_percent;
+
+namespace {
+
+struct LossPoint {
+  const char* name;
+  double prob;
+};
+
+struct RateLimitPoint {
+  const char* name;
+  /// Replies per second per /32 bucket; 0 = no rate limiting.
+  double rate;
+};
+
+struct Policy {
+  const char* name;
+  bool robust;
+};
+
+std::string cell_label(const LossPoint& loss, const RateLimitPoint& rl,
+                       const Policy& policy) {
+  return std::string(loss.name) + "/" + rl.name + "/" + policy.name;
+}
+
+/// TGA names ordered by descending hits — the ranking whose stability
+/// under faults the bench reports.
+std::vector<std::string> ranking(const std::vector<v6::bench::TgaRun>& runs) {
+  std::vector<const v6::bench::TgaRun*> sorted;
+  for (const auto& run : runs) sorted.push_back(&run);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto* a, const auto* b) {
+                     return a->outcome.hits() > b->outcome.hits();
+                   });
+  std::vector<std::string> names;
+  for (const auto* run : sorted) {
+    names.emplace_back(v6::tga::to_string(run->kind));
+  }
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const v6::bench::BenchArgs args = v6::bench::parse_args(argc, argv, 60'000);
+
+  v6::bench::BenchTimer timer("ext_faults", args);
+
+  v6::experiment::Workbench bench;
+  {
+    const auto section = timer.section("workbench_precompute");
+    bench.precompute(args.jobs);
+  }
+  const auto& seeds = bench.all_active();
+  std::cout << "All Active seeds: " << fmt_count(seeds.size()) << ", budget "
+            << fmt_count(args.budget) << " per TGA run\n\n";
+
+  const std::vector<LossPoint> losses = {
+      {"loss0", 0.0}, {"loss0.10", 0.10}, {"loss0.30", 0.30}};
+  const std::vector<RateLimitPoint> rate_limits = {
+      {"rl-off", 0.0}, {"rl5", 5.0}, {"rl1", 1.0}};
+  const std::vector<Policy> policies = {{"retry-free", false},
+                                        {"robust", true}};
+
+  // Total hits per grid cell, indexed [loss][rlimit][policy], plus the
+  // fault-free TGA ranking for the stability report.
+  std::vector<std::vector<std::vector<std::uint64_t>>> totals(
+      losses.size(),
+      std::vector<std::vector<std::uint64_t>>(
+          rate_limits.size(), std::vector<std::uint64_t>(policies.size(), 0)));
+  std::vector<std::string> baseline_ranking;
+  std::vector<std::string> ranking_notes;
+
+  for (std::size_t li = 0; li < losses.size(); ++li) {
+    for (std::size_t ri = 0; ri < rate_limits.size(); ++ri) {
+      // The plan must outlive the runs below: PipelineConfig borrows it.
+      v6::fault::FaultPlan plan;
+      if (losses[li].prob > 0.0) plan.with_base_loss(losses[li].prob);
+      if (rate_limits[ri].rate > 0.0) {
+        plan.with_rate_limit(v6::net::Prefix{}, rate_limits[ri].rate,
+                             /*burst=*/50.0, /*bucket_prefix_len=*/32);
+      }
+      for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+        v6::experiment::PipelineConfig config;
+        config.budget = args.budget;
+        config.faults = &plan;
+        if (policies[pi].robust) {
+          config.with_scan_retries(3)
+              .with_probe_timeout(0.05)
+              .with_retry_backoff(0.1, /*jitter=*/0.25)
+              .with_adaptive_backoff(/*threshold=*/16, /*wait_s=*/1.0);
+        }
+        const std::string label =
+            cell_label(losses[li], rate_limits[ri], policies[pi]);
+        const auto runs = v6::bench::run_sweep(
+            v6::bench::SweepSpec{}
+                .with_universe(bench.universe())
+                .with_kinds(v6::tga::kAllTgas)
+                .with_seeds(seeds)
+                .with_alias_list(bench.alias_list())
+                .with_config(config)
+                .with_jobs(args.jobs));
+        timer.record(label, runs);
+        for (const auto& run : runs) {
+          totals[li][ri][pi] += run.outcome.hits();
+        }
+        if (li == 0 && ri == 0 && !policies[pi].robust) {
+          baseline_ranking = ranking(runs);
+        } else {
+          const auto here = ranking(runs);
+          if (!baseline_ranking.empty() && here != baseline_ranking) {
+            std::string note = label + ":";
+            for (const auto& name : here) note += " " + name;
+            ranking_notes.push_back(std::move(note));
+          }
+        }
+        std::cerr << label << " done: "
+                  << fmt_count(totals[li][ri][pi]) << " total hits\n";
+      }
+    }
+  }
+
+  // ---- Degradation curves -------------------------------------------------
+  v6::metrics::TextTable table(
+      {"Loss", "Rate limit", "Retry-free hits", "Robust hits", "Robust/free",
+       "vs fault-free"});
+  const double fault_free = static_cast<double>(totals[0][0][0]);
+  for (std::size_t li = 0; li < losses.size(); ++li) {
+    for (std::size_t ri = 0; ri < rate_limits.size(); ++ri) {
+      const double free_hits = static_cast<double>(totals[li][ri][0]);
+      const double robust_hits = static_cast<double>(totals[li][ri][1]);
+      table.add_row({losses[li].name, rate_limits[ri].name,
+                     fmt_count(totals[li][ri][0]),
+                     fmt_count(totals[li][ri][1]),
+                     v6::metrics::fmt_ratio(robust_hits / free_hits),
+                     fmt_percent(free_hits / fault_free)});
+    }
+  }
+  table.print(std::cout);
+
+  // ---- Retry dominance ----------------------------------------------------
+  // At every nonzero loss point the robust scanner must recover strictly
+  // more hits than the retry-free one; this is the bench's acceptance
+  // criterion, so violations are fatal.
+  bool dominated = true;
+  for (std::size_t li = 1; li < losses.size(); ++li) {
+    for (std::size_t ri = 0; ri < rate_limits.size(); ++ri) {
+      if (totals[li][ri][1] <= totals[li][ri][0]) {
+        std::cout << "\nDOMINANCE VIOLATION at " << losses[li].name << "/"
+                  << rate_limits[ri].name << ": robust "
+                  << fmt_count(totals[li][ri][1]) << " <= retry-free "
+                  << fmt_count(totals[li][ri][0]) << "\n";
+        dominated = false;
+      }
+    }
+  }
+  std::cout << "\nRetry dominance at nonzero loss: "
+            << (dominated ? "holds at every grid point" : "VIOLATED") << "\n";
+
+  // ---- Ranking stability --------------------------------------------------
+  std::cout << "\nFault-free TGA ranking (by hits):";
+  for (const auto& name : baseline_ranking) std::cout << " " << name;
+  std::cout << "\n";
+  if (ranking_notes.empty()) {
+    std::cout << "TGA ranking is identical at every grid point: the "
+                 "paper's relative conclusions survive these faults.\n";
+  } else {
+    std::cout << "Grid points where the ranking shifts ("
+              << ranking_notes.size() << "):\n";
+    for (const auto& note : ranking_notes) {
+      std::cout << "  " << note << "\n";
+    }
+  }
+  return dominated ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 
 #include "dealias/online_dealiaser.h"
 #include "dealias/sprt_dealiaser.h"
+#include "example_env.h"
 #include "experiment/workbench.h"
 #include "metrics/reporter.h"
 #include "probe/scanner.h"
@@ -19,7 +20,7 @@ int main() {
   using v6::net::Ipv6Addr;
   using v6::net::ProbeType;
 
-  v6::experiment::Workbench bench;
+  v6::experiment::Workbench bench(sos_example::workbench_config());
   const auto& universe = bench.universe();
 
   // 1. Locate a rate-limited aliased region (ground truth — the thing a

@@ -1,0 +1,39 @@
+// Shared environment knobs for the example binaries.
+//
+// The examples default to the full-size workbench so their printed
+// numbers match EXPERIMENTS.md. Setting SOS_EXAMPLE_TINY=1 shrinks the
+// universe and budgets to smoke-test scale (a few seconds total) — the
+// ctest example suite runs every binary this way and only asserts exit
+// status and output shape, not the exact numbers.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "experiment/workbench.h"
+
+namespace sos_example {
+
+inline bool tiny() {
+  const char* env = std::getenv("SOS_EXAMPLE_TINY");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Workbench configuration honoring SOS_EXAMPLE_TINY.
+inline v6::experiment::WorkbenchConfig workbench_config() {
+  v6::experiment::WorkbenchConfig config;
+  if (tiny()) {
+    config.universe.num_ases = 150;
+    config.universe.host_scale = 0.06;
+    config.universe.dense_region_prefix_len = 52;
+  }
+  return config;
+}
+
+/// The probe budget to use: `full` normally, a smoke-test budget under
+/// SOS_EXAMPLE_TINY.
+inline std::uint64_t budget(std::uint64_t full) {
+  return tiny() ? 20'000 : full;
+}
+
+}  // namespace sos_example

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <unordered_set>
 
+#include "example_env.h"
 #include "experiment/pipeline.h"
 #include "experiment/workbench.h"
 #include "metrics/coverage.h"
@@ -33,12 +34,13 @@ v6::metrics::ScanOutcome run(v6::experiment::Workbench& bench,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t budget =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100'000;
+  const std::uint64_t budget = argc > 1
+                                   ? std::strtoull(argv[1], nullptr, 10)
+                                   : sos_example::budget(100'000);
 
   std::cout << "Building the simulated IPv6 Internet and collecting the "
                "twelve seed feeds...\n";
-  v6::experiment::Workbench bench;
+  v6::experiment::Workbench bench(sos_example::workbench_config());
   std::cout << "  " << fmt_count(bench.universe().hosts().size())
             << " hosts, " << fmt_count(bench.seeds().size())
             << " collected seeds, budget " << fmt_count(budget)

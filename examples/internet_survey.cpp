@@ -4,6 +4,7 @@
 #include <iostream>
 #include <unordered_set>
 
+#include "example_env.h"
 #include "experiment/pipeline.h"
 #include "experiment/workbench.h"
 #include "metrics/coverage.h"
@@ -16,9 +17,10 @@ int main(int argc, char** argv) {
 
   // Optional budget override: ./internet_survey [budget]
   v6::experiment::PipelineConfig config;
+  config.budget = sos_example::budget(config.budget);
   if (argc > 1) config.budget = std::strtoull(argv[1], nullptr, 10);
 
-  v6::experiment::Workbench bench;
+  v6::experiment::Workbench bench(sos_example::workbench_config());
   const auto& seeds = bench.all_active();
   std::cout << "All Active seeds: " << fmt_count(seeds.size())
             << " (full dataset " << fmt_count(bench.seeds().size())

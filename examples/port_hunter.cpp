@@ -5,6 +5,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "example_env.h"
 #include "experiment/pipeline.h"
 #include "experiment/workbench.h"
 #include "metrics/reporter.h"
@@ -29,9 +30,9 @@ int main(int argc, char** argv) {
   const v6::net::ProbeType port =
       argc > 1 ? parse_port(argv[1]) : v6::net::ProbeType::kTcp443;
 
-  v6::experiment::Workbench bench;
+  v6::experiment::Workbench bench(sos_example::workbench_config());
   v6::experiment::PipelineConfig config;
-  config.budget = 200'000;
+  config.budget = sos_example::budget(200'000);
   config.type = port;
 
   const auto& all_active = bench.all_active();

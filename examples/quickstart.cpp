@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "example_env.h"
 #include "experiment/pipeline.h"
 #include "experiment/workbench.h"
 #include "metrics/reporter.h"
@@ -18,7 +19,7 @@ int main() {
 
   // 1. Build the simulated Internet and collect the 12-source seed
   //    dataset. Everything is deterministic in the master seed.
-  v6::experiment::Workbench bench;
+  v6::experiment::Workbench bench(sos_example::workbench_config());
   const auto& universe = bench.universe();
   std::cout << "universe: " << fmt_count(universe.hosts().size())
             << " hosts, " << fmt_count(universe.asdb().size()) << " ASes, "
@@ -39,6 +40,7 @@ int main() {
   // 3. Run one TGA through the scan pipeline.
   auto generator = v6::tga::make_generator(v6::tga::TgaKind::kSixTree);
   v6::experiment::PipelineConfig config;
+  config.budget = sos_example::budget(config.budget);
   config.type = v6::net::ProbeType::kIcmp;
   const auto outcome = v6::experiment::run_tga(
       universe, *generator, seeds, bench.alias_list(), config);

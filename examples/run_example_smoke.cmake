@@ -1,0 +1,34 @@
+# Smoke-test wrapper for the example binaries (invoked with cmake -P by
+# the `example_*_smoke` ctest entries). Runs the binary with
+# SOS_EXAMPLE_TINY=1 and asserts BOTH a zero exit status and that stdout
+# matches EXPECT — ctest's PASS_REGULAR_EXPRESSION alone would declare
+# success on matching output even if the binary then crashed.
+#
+# Usage:
+#   cmake -DEXAMPLE_BIN=<path> -DEXPECT=<regex> [-DEXAMPLE_ARGS=<args>]
+#         -P run_example_smoke.cmake
+if(NOT DEFINED EXAMPLE_BIN OR NOT DEFINED EXPECT)
+  message(FATAL_ERROR
+          "usage: cmake -DEXAMPLE_BIN=<path> -DEXPECT=<regex> "
+          "[-DEXAMPLE_ARGS=<args>] -P run_example_smoke.cmake")
+endif()
+
+set(command ${EXAMPLE_BIN})
+if(DEFINED EXAMPLE_ARGS)
+  list(APPEND command ${EXAMPLE_ARGS})
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env SOS_EXAMPLE_TINY=1 ${command}
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${EXAMPLE_BIN} exited with '${rc}'\n"
+                      "stdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT out MATCHES "${EXPECT}")
+  message(FATAL_ERROR "${EXAMPLE_BIN} output does not match '${EXPECT}'\n"
+                      "stdout:\n${out}")
+endif()

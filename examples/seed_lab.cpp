@@ -4,6 +4,7 @@
 // change at each rung. This is RQ1 in miniature.
 #include <iostream>
 
+#include "example_env.h"
 #include "experiment/pipeline.h"
 #include "experiment/workbench.h"
 #include "metrics/reporter.h"
@@ -20,9 +21,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  v6::experiment::Workbench bench;
+  v6::experiment::Workbench bench(sos_example::workbench_config());
   v6::experiment::PipelineConfig config;
-  config.budget = 200'000;
+  config.budget = sos_example::budget(200'000);
 
   struct Rung {
     const char* name;

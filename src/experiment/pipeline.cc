@@ -5,6 +5,7 @@
 
 #include "check/contracts.h"
 #include "dealias/online_dealiaser.h"
+#include "fault/faulty_transport.h"
 #include "probe/instrumented_transport.h"
 #include "probe/scanner.h"
 #include "probe/transport.h"
@@ -23,19 +24,35 @@ v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
   V6_REQUIRE_MSG(config.batch_size > 0, "batch_size 0 would generate nothing");
   V6_REQUIRE(config.scan_retries >= 0);
   V6_REQUIRE_MSG(config.max_pps > 0.0, "rate limit must be positive");
+  V6_REQUIRE(config.probe_timeout_s >= 0.0);
+  V6_REQUIRE(config.retry_backoff_s >= 0.0);
+  V6_REQUIRE(config.retry_jitter >= 0.0 && config.retry_jitter <= 1.0);
+  V6_REQUIRE(config.adaptive_threshold >= 0);
+  V6_REQUIRE(config.adaptive_backoff_s >= 0.0);
+  V6_REQUIRE_MSG(config.faults == nullptr || config.faults->valid(),
+                 "fault plan failed validation");
   v6::metrics::ScanOutcome outcome;
   v6::obs::Telemetry* const telemetry = config.telemetry;
   v6::obs::Span run_span(telemetry, "pipeline.run");
 
-  // Transport chain: the simulated wire, optionally decorated with
-  // per-probe-type counters and (for --trace runs) a per-packet tracer.
-  // Decorators are pass-throughs, so every reply and RNG draw is
-  // identical whichever chain is active — and the online dealiaser
-  // shares the instrumented chain, so its probes are counted too.
+  // Transport chain: the simulated wire, optionally wrapped by the fault
+  // plane, then decorated with per-probe-type counters and (for --trace
+  // runs) a per-packet tracer. The observability decorators are pass-
+  // throughs, so every reply and RNG draw is identical whichever chain
+  // is active — and the online dealiaser shares the instrumented chain,
+  // so its probes are counted (and suffer faults) too.
   v6::probe::SimTransport sim_transport(universe, config.seed);
   v6::probe::ProbeTransport* transport = &sim_transport;
+  std::optional<v6::fault::FaultyTransport> faulty;
   std::optional<v6::probe::CountingTransport> counting;
   std::optional<v6::probe::TracingTransport> tracing;
+  if (config.faults != nullptr) {
+    // Wrapped even when the plan is disabled: a disabled FaultyTransport
+    // is a pure pass-through, and keeping it in the chain is exactly
+    // what the fault suite's no-decorator equivalence test exercises.
+    faulty.emplace(*transport, *config.faults, config.seed);
+    transport = &*faulty;
+  }
   if (telemetry != nullptr) {
     counting.emplace(*transport, telemetry->registry());
     transport = &*counting;
@@ -54,7 +71,12 @@ v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
                               .randomize_order = true,
                               .max_pps = config.max_pps,
                               .seed = config.seed,
-                              .telemetry = telemetry});
+                              .telemetry = telemetry,
+                              .probe_timeout_s = config.probe_timeout_s,
+                              .retry_backoff_s = config.retry_backoff_s,
+                              .retry_jitter = config.retry_jitter,
+                              .adaptive_threshold = config.adaptive_threshold,
+                              .adaptive_backoff_s = config.adaptive_backoff_s});
   v6::dealias::OnlineDealiaser online(*transport, config.seed);
   v6::dealias::Dealiaser dealiaser(config.output_dealias, &offline_aliases,
                                    &online);
@@ -117,6 +139,15 @@ v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
 
   outcome.packets = transport->packets_sent();
   outcome.virtual_seconds = scanner.virtual_seconds();
+  // Fault-plane drop/injection tallies, published once per run. Only
+  // present when a plan is attached, so fault-free reports are unchanged.
+  if (telemetry != nullptr && faulty.has_value()) {
+    v6::obs::Registry& registry = telemetry->registry();
+    registry.counter("fault.drop.loss").add(faulty->dropped_loss());
+    registry.counter("fault.drop.outage").add(faulty->dropped_outage());
+    registry.counter("fault.drop.rate_limit").add(faulty->dropped_rate_limit());
+    registry.counter("fault.injected.errors").add(faulty->injected_errors());
+  }
   V6_ENSURE(outcome.generated <= config.budget);
   V6_ENSURE(outcome.responsive <= outcome.generated);
   V6_ENSURE_MSG(outcome.aliases + outcome.dense_filtered <= outcome.responsive,

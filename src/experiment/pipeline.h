@@ -8,6 +8,7 @@
 #include <span>
 
 #include "dealias/alias_list.h"
+#include "fault/fault_plan.h"
 #include "probe/blocklist.h"
 #include "dealias/dealiaser.h"
 #include "metrics/scan_outcome.h"
@@ -59,6 +60,20 @@ struct PipelineConfig {
   /// (TracingTransport). Only honored when `telemetry` has a sink;
   /// intended for `sos --trace` on small universes.
   bool trace_probes = false;
+  /// Optional fault-injection plan (borrowed; see fault/fault_plan.h).
+  /// When non-null — even pointing at a disabled FaultPlan{} — probes
+  /// route through a FaultyTransport between the simulated wire and the
+  /// observability decorators. A disabled plan is byte-identical to
+  /// nullptr (ctest-asserted); null keeps the chain exactly as before.
+  const v6::fault::FaultPlan* faults = nullptr;
+  /// Robust-scanner knobs, forwarded verbatim to ScanOptions (see
+  /// probe/scanner.h for semantics). All default off, so fault-free
+  /// configs reproduce today's outcomes bit-for-bit.
+  double probe_timeout_s = 0.0;
+  double retry_backoff_s = 0.0;
+  double retry_jitter = 0.0;
+  int adaptive_threshold = 0;
+  double adaptive_backoff_s = 0.0;
 
   PipelineConfig& with_budget(std::uint64_t v) { budget = v; return *this; }
   PipelineConfig& with_batch_size(std::uint64_t v) { batch_size = v; return *this; }
@@ -72,6 +87,18 @@ struct PipelineConfig {
   PipelineConfig& with_blocklist(const v6::probe::Blocklist* v) { blocklist = v; return *this; }
   PipelineConfig& with_telemetry(v6::obs::Telemetry* v) { telemetry = v; return *this; }
   PipelineConfig& with_trace_probes(bool v) { trace_probes = v; return *this; }
+  PipelineConfig& with_faults(const v6::fault::FaultPlan* v) { faults = v; return *this; }
+  PipelineConfig& with_probe_timeout(double seconds) { probe_timeout_s = seconds; return *this; }
+  PipelineConfig& with_retry_backoff(double base_s, double jitter = 0.0) {
+    retry_backoff_s = base_s;
+    retry_jitter = jitter;
+    return *this;
+  }
+  PipelineConfig& with_adaptive_backoff(int threshold, double wait_s) {
+    adaptive_threshold = threshold;
+    adaptive_backoff_s = wait_s;
+    return *this;
+  }
 };
 
 /// Runs one generator against one seed dataset on one probe type.

@@ -66,6 +66,11 @@ struct SweepSpec {
   SweepSpec& with_seeds(std::span<const v6::net::Ipv6Addr> s) { seeds = s; return *this; }
   SweepSpec& with_alias_list(const v6::dealias::AliasList& a) { alias_list = &a; return *this; }
   SweepSpec& with_config(const PipelineConfig& c) { config = c; return *this; }
+  /// Convenience: attaches a fault plan to the sweep's pipeline config.
+  /// Same sharing rule as run_tga — the plan is borrowed, and because
+  /// every run applies it through its own privately-seeded
+  /// FaultyTransport, outcomes stay jobs-invariant.
+  SweepSpec& with_faults(const v6::fault::FaultPlan* f) { config.faults = f; return *this; }
   SweepSpec& with_jobs(unsigned j) { jobs = j; return *this; }
   SweepSpec& with_telemetry(v6::obs::Telemetry* t) { telemetry = t; return *this; }
 };

@@ -1,0 +1,228 @@
+#include "fault/fault_plan.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+namespace v6::fault {
+
+namespace {
+
+using v6::net::Prefix;
+
+bool parse_double(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  const std::string owned(text);  // strtod needs a terminated buffer
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size() || errno == ERANGE ||
+      !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_int(std::string_view text, int* out) {
+  if (text.empty()) return false;
+  const std::string owned(text);
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(owned.c_str(), &end, 10);
+  if (end != owned.c_str() + owned.size() || errno == ERANGE || v < -1 ||
+      v > 128) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+/// Shortest decimal form that parses back to exactly `v` — the property
+/// the parse(to_string()) fixpoint fuzz harness leans on.
+std::string format_double(double v) {
+  for (const int precision : {15, 16, 17}) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    double back = 0.0;
+    if (parse_double(os.str(), &back) && back == v) return os.str();
+  }
+  return "0";  // unreachable for finite v; valid() rejects non-finite
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  while (true) {
+    const std::size_t pos = s.find(sep);
+    if (pos == std::string_view::npos) {
+      out.push_back(s);
+      return out;
+    }
+    out.push_back(s.substr(0, pos));
+    s.remove_prefix(pos + 1);
+  }
+}
+
+/// Splits a "PFX:rest" value. PFX is `any` or CIDR notation; because the
+/// address itself contains colons, the prefix ends at the first ':'
+/// after the mandatory '/'.
+std::optional<std::pair<Prefix, std::string_view>> split_scope(
+    std::string_view value) {
+  if (value.rfind("any:", 0) == 0) {
+    return std::make_pair(Prefix{}, value.substr(4));
+  }
+  const std::size_t slash = value.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const std::size_t colon = value.find(':', slash);
+  if (colon == std::string_view::npos) return std::nullopt;
+  const std::optional<Prefix> scope = Prefix::parse(value.substr(0, colon));
+  if (!scope) return std::nullopt;
+  return std::make_pair(*scope, value.substr(colon + 1));
+}
+
+bool prob_ok(double p) { return std::isfinite(p) && p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+bool FaultPlan::valid() const {
+  if (!prob_ok(base_loss)) return false;
+  if (!std::isfinite(wire_pps) || wire_pps <= 0.0) return false;
+  for (const LossRule& r : loss_rules) {
+    if (!prob_ok(r.drop_prob)) return false;
+  }
+  for (const RateLimitRule& r : rate_limits) {
+    if (!std::isfinite(r.replies_per_second) || r.replies_per_second <= 0.0) {
+      return false;
+    }
+    if (!std::isfinite(r.burst) || r.burst < 1.0) return false;
+    if (r.bucket_prefix_len < -1 || r.bucket_prefix_len > 128) return false;
+  }
+  for (const OutageRule& r : outages) {
+    if (!std::isfinite(r.start_s) || r.start_s < 0.0) return false;
+    if (!std::isfinite(r.duration_s) || r.duration_s < 0.0) return false;
+    if (!std::isfinite(r.period_s) || r.period_s < 0.0) return false;
+  }
+  for (const ErrorRule& r : errors) {
+    if (!prob_ok(r.error_prob)) return false;
+  }
+  return true;
+}
+
+std::string FaultPlan::to_string() const {
+  std::vector<std::string> items;
+  if (base_loss > 0.0) {
+    items.push_back("loss=" + format_double(base_loss));
+  }
+  for (const LossRule& r : loss_rules) {
+    items.push_back("loss=" + r.scope.to_string() + ":" +
+                    format_double(r.drop_prob));
+  }
+  for (const RateLimitRule& r : rate_limits) {
+    std::string item = "rlimit=" + r.scope.to_string() + ":" +
+                       format_double(r.replies_per_second) + ":" +
+                       format_double(r.burst);
+    if (r.bucket_prefix_len >= 0) {
+      item += ":" + std::to_string(r.bucket_prefix_len);
+    }
+    items.push_back(std::move(item));
+  }
+  for (const OutageRule& r : outages) {
+    std::string item = "outage=" + r.scope.to_string() + ":" +
+                       format_double(r.start_s) + ":" +
+                       format_double(r.duration_s);
+    if (r.period_s > 0.0) item += ":" + format_double(r.period_s);
+    items.push_back(std::move(item));
+  }
+  for (const ErrorRule& r : errors) {
+    items.push_back("error=" + r.scope.to_string() + ":" +
+                    format_double(r.error_prob));
+  }
+  if (wire_pps != 10'000.0) {
+    items.push_back("pps=" + format_double(wire_pps));
+  }
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += items[i];
+  }
+  return out;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  for (std::string_view raw : split(spec, ',')) {
+    const std::string_view item = trim(raw);
+    if (item.empty()) continue;  // tolerate stray/trailing commas
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "loss") {
+      double p = 0.0;
+      if (parse_double(value, &p)) {
+        plan.base_loss = p;
+        continue;
+      }
+      const auto scoped = split_scope(value);
+      if (!scoped || !parse_double(scoped->second, &p)) return std::nullopt;
+      plan.loss_rules.push_back({scoped->first, p});
+    } else if (key == "rlimit") {
+      const auto scoped = split_scope(value);
+      if (!scoped) return std::nullopt;
+      const std::vector<std::string_view> fields = split(scoped->second, ':');
+      if (fields.empty() || fields.size() > 3) return std::nullopt;
+      RateLimitRule rule{scoped->first};
+      if (!parse_double(fields[0], &rule.replies_per_second)) {
+        return std::nullopt;
+      }
+      if (fields.size() >= 2 && !parse_double(fields[1], &rule.burst)) {
+        return std::nullopt;
+      }
+      if (fields.size() == 3 && !parse_int(fields[2], &rule.bucket_prefix_len)) {
+        return std::nullopt;
+      }
+      plan.rate_limits.push_back(rule);
+    } else if (key == "outage") {
+      const auto scoped = split_scope(value);
+      if (!scoped) return std::nullopt;
+      const std::vector<std::string_view> fields = split(scoped->second, ':');
+      if (fields.size() < 2 || fields.size() > 3) return std::nullopt;
+      OutageRule rule{scoped->first};
+      if (!parse_double(fields[0], &rule.start_s) ||
+          !parse_double(fields[1], &rule.duration_s)) {
+        return std::nullopt;
+      }
+      if (fields.size() == 3 && !parse_double(fields[2], &rule.period_s)) {
+        return std::nullopt;
+      }
+      plan.outages.push_back(rule);
+    } else if (key == "error") {
+      const auto scoped = split_scope(value);
+      if (!scoped) return std::nullopt;
+      double p = 0.0;
+      if (!parse_double(scoped->second, &p)) return std::nullopt;
+      plan.errors.push_back({scoped->first, p});
+    } else if (key == "pps") {
+      if (!parse_double(value, &plan.wire_pps)) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!plan.valid()) return std::nullopt;
+  return plan;
+}
+
+}  // namespace v6::fault

@@ -58,6 +58,8 @@ class CountingTransport final : public ProbeTransport {
 
   std::uint64_t packets_sent() const override { return inner_->packets_sent(); }
 
+  void advance(double seconds) override { inner_->advance(seconds); }
+
   /// Publishes the accumulated tallies into the registry counters and
   /// zeroes them. Called automatically on destruction.
   void flush() {
@@ -100,6 +102,8 @@ class TracingTransport final : public ProbeTransport {
   }
 
   std::uint64_t packets_sent() const override { return inner_->packets_sent(); }
+
+  void advance(double seconds) override { inner_->advance(seconds); }
 
  private:
   ProbeTransport* inner_;

@@ -16,7 +16,8 @@ Scanner::Scanner(ProbeTransport& transport, const Blocklist* blocklist,
       blocklist_(blocklist),
       options_(options),
       limiter_(options.max_pps),
-      shuffle_rng_(v6::net::make_rng(options.seed, /*tag=*/0x5CA4)) {
+      shuffle_rng_(v6::net::make_rng(options.seed, /*tag=*/0x5CA4)),
+      jitter_rng_(v6::net::make_rng(options.seed, /*tag=*/0xBACC0F)) {
   if (options_.telemetry != nullptr && options_.max_retries > 0) {
     v6::obs::Registry& registry = options_.telemetry->registry();
     retry_counters_.reserve(static_cast<std::size_t>(options_.max_retries));
@@ -27,19 +28,71 @@ Scanner::Scanner(ProbeTransport& transport, const Blocklist* blocklist,
   }
 }
 
-ProbeReply Scanner::probe_with_retries(const Ipv6Addr& addr, ProbeType type) {
+void Scanner::wait(double seconds) {
+  // Waiting is always virtual: the limiter's clock and the transport
+  // chain's fault clock move forward, wall time does not (tools/lint
+  // forbids real sleeps in retry paths).
+  limiter_.advance(seconds);
+  transport_->advance(seconds);
+}
+
+ProbeReply Scanner::probe_with_retries(const Ipv6Addr& addr, ProbeType type,
+                                       ScanStats* stats) {
   ProbeReply reply = ProbeReply::kTimeout;
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
-    // The histogram add sits on the retry path only, which is already the
-    // slow (timed-out) case — the common first-attempt send pays nothing.
-    if (attempt > 0 && !retry_counters_.empty()) {
-      retry_counters_[static_cast<std::size_t>(attempt - 1)]->inc();
+    // Everything below the first send sits on the retry path only, which
+    // is already the slow (timed-out) case — the common first-attempt
+    // send pays nothing.
+    if (attempt > 0) {
+      if (!retry_counters_.empty()) {
+        retry_counters_[static_cast<std::size_t>(attempt - 1)]->inc();
+      }
+      if (stats != nullptr) ++stats->retransmissions;
+      if (options_.retry_backoff_s > 0.0) {
+        // Exponential backoff: 1x, 2x, 4x, ... the base (exponent capped
+        // so absurd retry counts cannot overflow the shift), optionally
+        // jittered by a deterministic seeded draw.
+        const int exponent = attempt - 1 < 62 ? attempt - 1 : 62;
+        double backoff =
+            options_.retry_backoff_s * static_cast<double>(1ULL << exponent);
+        if (options_.retry_jitter > 0.0) {
+          backoff *= 1.0 + options_.retry_jitter *
+                               (2.0 * v6::net::uniform01(jitter_rng_) - 1.0);
+        }
+        wait(backoff);
+        if (stats != nullptr) {
+          ++stats->backoffs;
+          stats->backoff_seconds += backoff;
+        }
+      }
     }
     limiter_.acquire();
     reply = transport_->send(addr, type);
     if (reply != ProbeReply::kTimeout) break;
+    // Charge the time spent waiting for the reply that never came.
+    if (options_.probe_timeout_s > 0.0) wait(options_.probe_timeout_s);
   }
   return reply;
+}
+
+void Scanner::note_reply(const Ipv6Addr& addr, ProbeReply reply,
+                         ScanStats* stats) {
+  if (options_.adaptive_threshold <= 0) return;
+  int& streak = timeout_streaks_[addr.masked(options_.adaptive_prefix_len)];
+  if (reply != ProbeReply::kTimeout) {
+    streak = 0;
+    return;
+  }
+  if (++streak >= options_.adaptive_threshold) {
+    // The prefix looks rate-limited (a run of silent probes): cool down
+    // so its token bucket refills before we spend more packets there.
+    wait(options_.adaptive_backoff_s);
+    if (stats != nullptr) {
+      ++stats->backoffs;
+      stats->backoff_seconds += options_.adaptive_backoff_s;
+    }
+    streak = 0;
+  }
 }
 
 std::optional<ProbeReply> Scanner::probe_one(const Ipv6Addr& addr,
@@ -47,7 +100,7 @@ std::optional<ProbeReply> Scanner::probe_one(const Ipv6Addr& addr,
   if (blocklist_ != nullptr && blocklist_->blocked(addr)) {
     return std::nullopt;  // blocked, not timed out: no packet was sent
   }
-  return probe_with_retries(addr, type);
+  return probe_with_retries(addr, type, nullptr);
 }
 
 ScanStats Scanner::scan(std::span<const Ipv6Addr> targets, ProbeType type,
@@ -88,7 +141,8 @@ ScanStats Scanner::scan(std::span<const Ipv6Addr> targets, ProbeType type,
       ++stats.blocked;
       continue;
     }
-    const ProbeReply reply = probe_with_retries(addr, type);
+    const ProbeReply reply = probe_with_retries(addr, type, &stats);
+    note_reply(addr, reply, &stats);
     ++stats.probed;
     switch (reply) {
       case ProbeReply::kTimeout:
@@ -122,6 +176,14 @@ ScanStats Scanner::scan(std::span<const Ipv6Addr> targets, ProbeType type,
     registry.counter("scanner.packets").add(stats.packets);
     registry.counter("scanner.hits").add(stats.hits);
     registry.counter("scanner.timeouts").add(stats.timeouts);
+    // Robust-path counters appear only when the path actually fired, so
+    // legacy (no-fault) reports keep their exact counter set.
+    if (stats.retransmissions != 0) {
+      registry.counter("scanner.retransmissions").add(stats.retransmissions);
+    }
+    if (stats.backoffs != 0) {
+      registry.counter("scanner.backoffs").add(stats.backoffs);
+    }
   }
   return stats;
 }

@@ -10,6 +10,7 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -45,11 +46,50 @@ struct ScanOptions {
   /// (`scanner.retry.<k>`). Never alters scan results.
   v6::obs::Telemetry* telemetry = nullptr;
 
+  // --- Robust-scanner path (docs/ROBUSTNESS.md). All defaults are off,
+  // so a default-constructed ScanOptions behaves exactly as before the
+  // fault plane existed: no extra waits, no extra RNG draws.
+
+  /// Virtual seconds charged per unanswered probe — the wait before the
+  /// scanner declares a timeout. 0 keeps the legacy instant-timeout
+  /// model. Waits advance the rate limiter's clock AND the transport
+  /// chain (ProbeTransport::advance), so fault-plane token buckets
+  /// refill while the scanner waits.
+  double probe_timeout_s = 0.0;
+  /// Base wait before the k-th retransmission: 2^(k-1) * retry_backoff_s
+  /// (exponential backoff). 0 retransmits immediately.
+  double retry_backoff_s = 0.0;
+  /// Fractional jitter on each backoff wait, drawn from a dedicated
+  /// seeded RNG (net/rng.h): the wait is scaled by a uniform factor in
+  /// [1-jitter, 1+jitter]. Deterministic per seed; 0 draws nothing.
+  double retry_jitter = 0.0;
+  /// Consecutive final timeouts inside one /adaptive_prefix_len bucket
+  /// that trip an adaptive cool-down (rate-limit back-pressure signal).
+  /// 0 disables adaptive backoff.
+  int adaptive_threshold = 0;
+  /// Cool-down wait in virtual seconds when the threshold trips.
+  double adaptive_backoff_s = 0.0;
+  /// Prefix length grouping targets for the adaptive timeout streak.
+  int adaptive_prefix_len = 48;
+
   ScanOptions& with_retries(int v) { max_retries = v; return *this; }
   ScanOptions& with_randomize_order(bool v) { randomize_order = v; return *this; }
   ScanOptions& with_max_pps(double v) { max_pps = v; return *this; }
   ScanOptions& with_seed(std::uint64_t v) { seed = v; return *this; }
   ScanOptions& with_telemetry(v6::obs::Telemetry* t) { telemetry = t; return *this; }
+  ScanOptions& with_probe_timeout(double seconds) { probe_timeout_s = seconds; return *this; }
+  ScanOptions& with_retry_backoff(double base_s, double jitter = 0.0) {
+    retry_backoff_s = base_s;
+    retry_jitter = jitter;
+    return *this;
+  }
+  ScanOptions& with_adaptive_backoff(int threshold, double wait_s,
+                                     int prefix_len = 48) {
+    adaptive_threshold = threshold;
+    adaptive_backoff_s = wait_s;
+    adaptive_prefix_len = prefix_len;
+    return *this;
+  }
 };
 
 struct ScanStats {
@@ -62,7 +102,11 @@ struct ScanStats {
   std::uint64_t rsts = 0;          // TCP RSTs (not hits)
   std::uint64_t unreachables = 0;  // ICMP errors (not hits)
   std::uint64_t timeouts = 0;
-  double virtual_seconds = 0.0;    // wire time at max_pps
+  double virtual_seconds = 0.0;    // wire time at max_pps (incl. waits)
+  // Robust-scanner path accounting (all zero when the path is off):
+  std::uint64_t retransmissions = 0;  // retry packets actually sent
+  std::uint64_t backoffs = 0;         // backoff waits taken (retry + adaptive)
+  double backoff_seconds = 0.0;       // virtual time spent in those waits
 };
 
 /// What a hit-collecting scan returns: the positive responders plus the
@@ -113,15 +157,35 @@ class Scanner {
 
  private:
   /// The shared send loop: rate-limited transmissions until a non-timeout
-  /// reply or retries are exhausted. Does NOT consult the blocklist.
+  /// reply or retries are exhausted, with optional timeout waits and
+  /// exponential backoff between attempts. Does NOT consult the
+  /// blocklist. `stats` may be null (probe_one path).
   v6::net::ProbeReply probe_with_retries(const v6::net::Ipv6Addr& addr,
-                                         v6::net::ProbeType type);
+                                         v6::net::ProbeType type,
+                                         ScanStats* stats);
+
+  /// Lets `seconds` of virtual time pass: advances the pacing limiter
+  /// and the transport chain (fault-plane buckets refill). Never sleeps.
+  void wait(double seconds);
+
+  /// Feeds the adaptive-backoff streak tracker with `addr`'s final
+  /// classified reply; may take a cool-down wait.
+  void note_reply(const v6::net::Ipv6Addr& addr, v6::net::ProbeReply reply,
+                  ScanStats* stats);
 
   ProbeTransport* transport_;
   const Blocklist* blocklist_;
   ScanOptions options_;
   RateLimiter limiter_;
   v6::net::Rng shuffle_rng_;
+  /// Backoff jitter stream, independent of the shuffle stream; only ever
+  /// drawn when retry_jitter > 0, so the default path consumes nothing.
+  v6::net::Rng jitter_rng_;
+  /// Consecutive-timeout streak per /adaptive_prefix_len bucket. Kept
+  /// across scan() calls (the back-pressure signal outlives a batch);
+  /// only populated when adaptive_threshold > 0.
+  std::unordered_map<v6::net::Ipv6Addr, int, v6::net::Ipv6AddrHash>
+      timeout_streaks_;
   /// Retry histogram counters (`scanner.retry.<k>`), resolved once when
   /// telemetry is attached; empty otherwise. retry_counters_[k-1] counts
   /// addresses that needed a k-th retransmission.

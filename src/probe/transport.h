@@ -27,6 +27,13 @@ class ProbeTransport {
 
   /// Total packets emitted through this transport.
   virtual std::uint64_t packets_sent() const = 0;
+
+  /// Informs the transport that `seconds` of virtual wire time passed
+  /// without traffic (scanner timeout/backoff waits). Time-aware layers
+  /// — the fault plane's token buckets and outage windows — move their
+  /// clocks forward; the default is a no-op, and decorators forward it
+  /// down the chain.
+  virtual void advance(double seconds) { (void)seconds; }
 };
 
 /// Transport that probes a simulated Universe. Loss randomness (rate

@@ -40,6 +40,9 @@ struct HostRecord {
   HostKind kind = HostKind::kEndhost;
   /// Appears on domain toplists (popular web property).
   bool popular = false;
+  /// Sits behind an ICMP rate limiter: answers each probe only with
+  /// UniverseConfig::host_rate_limited_response_prob.
+  bool rate_limited = false;
   /// No longer responds on any port/protocol.
   bool churned() const { return services == 0 && historic_services != 0; }
 };

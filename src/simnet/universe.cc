@@ -51,9 +51,20 @@ ProbeReply Universe::probe(const Ipv6Addr& addr, ProbeType type,
     return ProbeReply::kTimeout;
   }
 
-  // 3. Regular hosts.
+  // 3. Regular hosts. Host-level faults (rate-limited hosts, reply
+  // loss) draw from the transport RNG only when the universe actually
+  // enables them, so default (lossless) configs keep the exact RNG
+  // stream — and so the exact replies — of pre-fault builds.
   if (const HostRecord* h = host(addr); h != nullptr) {
     if (v6::net::has_service(h->services, type)) {
+      if (h->rate_limited &&
+          v6::net::uniform01(rng) >= config_.host_rate_limited_response_prob) {
+        return ProbeReply::kTimeout;  // reply suppressed by the limiter
+      }
+      if (config_.host_loss_prob > 0.0 &&
+          v6::net::uniform01(rng) < config_.host_loss_prob) {
+        return ProbeReply::kTimeout;  // reply lost in the network
+      }
       return v6::net::positive_reply(type);
     }
     // Host up but port closed: TCP stacks typically send RST; a UDP probe

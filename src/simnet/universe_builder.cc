@@ -306,6 +306,11 @@ Universe UniverseBuilder::build(const UniverseConfig& config) {
           rec.services = v6::net::chance(host_rng, config.churn_fraction)
                              ? v6::net::ServiceMask{0}
                              : rec.historic_services;
+          // Short-circuit keeps the draw (and so the whole host RNG
+          // stream) out of default builds, where the fraction is 0.
+          rec.rate_limited =
+              config.host_rate_limited_fraction > 0.0 &&
+              v6::net::chance(host_rng, config.host_rate_limited_fraction);
           if (u.host_index_.insert(
                   rec.addr, static_cast<std::uint32_t>(u.hosts_.size()))) {
             u.hosts_.push_back(rec);
@@ -372,6 +377,9 @@ Universe UniverseBuilder::build(const UniverseConfig& config) {
             }
             rec.popular = kind == HostKind::kWebServer &&
                           v6::net::chance(host_rng, popular_base);
+            rec.rate_limited =
+                config.host_rate_limited_fraction > 0.0 &&
+                v6::net::chance(host_rng, config.host_rate_limited_fraction);
             if (u.host_index_.insert(
                     rec.addr, static_cast<std::uint32_t>(u.hosts_.size()))) {
               u.hosts_.push_back(rec);

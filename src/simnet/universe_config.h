@@ -54,6 +54,19 @@ struct UniverseConfig {
   /// Background probability that a probe to a routed but unused address
   /// draws an ICMP Destination Unreachable from an on-path router.
   double background_unreachable_prob = 0.02;
+
+  /// Per-probe chance that a live host's reply is lost in the network
+  /// (host-level analogue of the fault plane's wire loss; 0 keeps the
+  /// idealized lossless universe, and the default RNG stream untouched).
+  double host_loss_prob = 0.0;
+
+  /// Fraction of regular hosts sitting behind an ICMP rate limiter.
+  /// 0 draws nothing during building, keeping default universes
+  /// bit-identical to pre-fault builds.
+  double host_rate_limited_fraction = 0.0;
+
+  /// Per-probe response probability for a rate-limited host.
+  double host_rate_limited_response_prob = 0.5;
 };
 
 }  // namespace v6::simnet

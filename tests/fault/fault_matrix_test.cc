@@ -1,0 +1,216 @@
+// The fault-matrix suite: every fault kind x retry policy, asserting
+// (a) same seed + same jobs => bit-identical ScanOutcomes,
+// (b) retries monotonically recover hits as loss drops,
+// (c) a disabled FaultPlan{} is byte-identical to a no-decorator run,
+// plus jobs-invariance under faults and fault telemetry counters.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "experiment/pipeline.h"
+#include "experiment/runner.h"
+#include "experiment/workbench.h"
+#include "fault/fault_plan.h"
+#include "metrics/scan_outcome.h"
+#include "net/prefix.h"
+#include "obs/telemetry.h"
+#include "tga/registry.h"
+
+namespace v6::experiment {
+namespace {
+
+using v6::fault::FaultPlan;
+using v6::metrics::ScanOutcome;
+using v6::net::Prefix;
+
+/// Small workbench shared by this file (built once).
+Workbench& small_bench() {
+  static Workbench* bench = [] {
+    WorkbenchConfig config;
+    config.seed = 91;
+    config.universe.seed = 91;
+    config.universe.num_ases = 200;
+    config.universe.host_scale = 0.15;
+    config.universe.dense_region_prefix_len = 52;
+    return new Workbench(config);
+  }();
+  return *bench;
+}
+
+PipelineConfig small_config() {
+  return PipelineConfig{}.with_budget(10'000).with_batch_size(5'000);
+}
+
+std::vector<TgaRun> sweep(const PipelineConfig& config, unsigned jobs,
+                          v6::obs::Telemetry* telemetry = nullptr) {
+  return run_sweep(SweepSpec{}
+                       .with_universe(small_bench().universe())
+                       .with_kinds(std::vector<v6::tga::TgaKind>{
+                           v6::tga::TgaKind::kDet, v6::tga::TgaKind::kSixTree})
+                       .with_seeds(small_bench().all_active())
+                       .with_alias_list(small_bench().alias_list())
+                       .with_config(config)
+                       .with_jobs(jobs)
+                       .with_telemetry(telemetry));
+}
+
+/// Field-by-field ScanOutcome equality, hit/AS sets included — the
+/// "bit-identical" assertion the acceptance criteria call for.
+void expect_outcomes_identical(const std::vector<TgaRun>& a,
+                               const std::vector<TgaRun>& b,
+                               const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const ScanOutcome& x = a[i].outcome;
+    const ScanOutcome& y = b[i].outcome;
+    EXPECT_EQ(a[i].kind, b[i].kind) << context;
+    EXPECT_EQ(x.generated, y.generated) << context;
+    EXPECT_EQ(x.unique_generated, y.unique_generated) << context;
+    EXPECT_EQ(x.responsive, y.responsive) << context;
+    EXPECT_EQ(x.aliases, y.aliases) << context;
+    EXPECT_EQ(x.dense_filtered, y.dense_filtered) << context;
+    EXPECT_EQ(x.packets, y.packets) << context;
+    EXPECT_EQ(x.virtual_seconds, y.virtual_seconds) << context;
+    EXPECT_EQ(x.hit_set, y.hit_set) << context;
+    EXPECT_EQ(x.as_set, y.as_set) << context;
+  }
+}
+
+/// One representative plan per fault kind, plus their combination.
+std::vector<std::pair<std::string, FaultPlan>> fault_kinds() {
+  const Prefix any;
+  return {
+      {"loss", FaultPlan{}.with_base_loss(0.3)},
+      {"rlimit", FaultPlan{}.with_rate_limit(any, /*rate=*/20.0,
+                                             /*burst=*/10.0,
+                                             /*bucket_prefix_len=*/32)},
+      {"outage", FaultPlan{}.with_outage(any, /*start_s=*/0.2,
+                                         /*duration_s=*/0.1,
+                                         /*period_s=*/1.0)},
+      {"error", FaultPlan{}.with_error(any, 0.1)},
+      {"combined", FaultPlan{}
+                       .with_base_loss(0.15)
+                       .with_rate_limit(any, 20.0, 10.0, 32)
+                       .with_outage(any, 0.2, 0.1, 1.0)
+                       .with_error(any, 0.05)},
+  };
+}
+
+/// The two retry policies of the matrix: a retry-free scan and the
+/// robust path (retries + timeout charging + backoff + adaptive).
+std::vector<std::pair<std::string, PipelineConfig>> retry_policies() {
+  return {
+      {"retry-free", small_config().with_scan_retries(0)},
+      {"robust", small_config()
+                     .with_scan_retries(3)
+                     .with_probe_timeout(0.01)
+                     .with_retry_backoff(0.02, /*jitter=*/0.25)
+                     .with_adaptive_backoff(/*threshold=*/8, /*wait_s=*/0.5)},
+  };
+}
+
+TEST(FaultMatrix, SameSeedSameJobsIsBitIdentical) {
+  for (const auto& [kind, plan] : fault_kinds()) {
+    for (const auto& [policy, base_config] : retry_policies()) {
+      PipelineConfig config = base_config;
+      config.faults = &plan;
+      const auto first = sweep(config, /*jobs=*/1);
+      const auto second = sweep(config, /*jobs=*/1);
+      expect_outcomes_identical(first, second, kind + "/" + policy);
+    }
+  }
+}
+
+TEST(FaultMatrix, OutcomesAreJobsInvariantUnderFaults) {
+  for (const auto& [kind, plan] : fault_kinds()) {
+    PipelineConfig config = retry_policies()[1].second;  // robust path
+    config.faults = &plan;
+    const auto sequential = sweep(config, /*jobs=*/1);
+    const auto parallel = sweep(config, /*jobs=*/2);
+    expect_outcomes_identical(sequential, parallel, kind + "/jobs");
+  }
+}
+
+TEST(FaultMatrix, DisabledPlanMatchesNoDecoratorRun) {
+  // Satellite (c) at the pipeline level: faults = &FaultPlan{} keeps the
+  // FaultyTransport in the chain but must reproduce faults = nullptr
+  // byte-for-byte.
+  const FaultPlan disabled;
+  ASSERT_FALSE(disabled.enabled());
+  for (const auto& [policy, base_config] : retry_policies()) {
+    PipelineConfig with_decorator = base_config;
+    with_decorator.faults = &disabled;
+    PipelineConfig without = base_config;
+    without.faults = nullptr;
+    expect_outcomes_identical(sweep(with_decorator, 1), sweep(without, 1),
+                              policy + "/disabled-plan");
+  }
+}
+
+TEST(FaultMatrix, RetriesMonotonicallyRecoverHitsAsLossDrops) {
+  // Satellite (b) at the sweep level, for each retry policy: total hits
+  // must not decrease as loss drops, and the robust policy dominates the
+  // retry-free one at every nonzero loss point.
+  const std::vector<double> losses = {0.5, 0.25, 0.0};
+  std::uint64_t prev_free = 0, prev_robust = 0;
+  for (auto it = losses.begin(); it != losses.end(); ++it) {
+    FaultPlan plan;
+    if (*it > 0.0) plan.with_base_loss(*it);
+    std::uint64_t total_free = 0, total_robust = 0;
+    {
+      PipelineConfig config = retry_policies()[0].second;
+      config.faults = &plan;
+      for (const TgaRun& run : sweep(config, 1)) {
+        total_free += run.outcome.hits();
+      }
+    }
+    {
+      PipelineConfig config = retry_policies()[1].second;
+      config.faults = &plan;
+      for (const TgaRun& run : sweep(config, 1)) {
+        total_robust += run.outcome.hits();
+      }
+    }
+    EXPECT_GE(total_free, prev_free) << "loss=" << *it;
+    EXPECT_GE(total_robust, prev_robust) << "loss=" << *it;
+    if (*it > 0.0) {
+      EXPECT_GT(total_robust, total_free) << "loss=" << *it;
+    }
+    prev_free = total_free;
+    prev_robust = total_robust;
+  }
+}
+
+TEST(FaultMatrix, FaultCountersSurfaceInTelemetry) {
+  v6::obs::Telemetry telemetry;
+  FaultPlan plan = FaultPlan{}.with_base_loss(0.3);
+  PipelineConfig config = small_config();
+  config.faults = &plan;
+  sweep(config, /*jobs=*/1, &telemetry);
+  const v6::obs::Report report = telemetry.registry().snapshot();
+  std::uint64_t loss_drops = 0;
+  bool saw_loss_counter = false;
+  for (const auto& [name, value] : report.counters) {
+    if (name == "fault.drop.loss") {
+      saw_loss_counter = true;
+      loss_drops = value;
+    }
+  }
+  EXPECT_TRUE(saw_loss_counter);
+  EXPECT_GT(loss_drops, 0u);
+}
+
+TEST(FaultMatrix, FaultFreeRunsKeepTheirCounterSet) {
+  v6::obs::Telemetry telemetry;
+  sweep(small_config(), /*jobs=*/1, &telemetry);
+  const v6::obs::Report report = telemetry.registry().snapshot();
+  for (const auto& [name, value] : report.counters) {
+    EXPECT_EQ(name.rfind("fault.", 0), std::string::npos)
+        << "unexpected fault counter in fault-free run: " << name;
+  }
+}
+
+}  // namespace
+}  // namespace v6::experiment

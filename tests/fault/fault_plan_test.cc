@@ -1,0 +1,162 @@
+// FaultPlan spec parsing, validation, and canonical round-trips.
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "net/prefix.h"
+#include "net/rng.h"
+#include "testutil/generators.h"
+
+namespace v6::fault {
+namespace {
+
+using v6::net::Prefix;
+
+TEST(FaultPlan, DefaultIsDisabledAndValid) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_TRUE(plan.valid());
+  EXPECT_EQ(plan.to_string(), "");
+}
+
+TEST(FaultPlan, EmptySpecParsesToDisabledPlan) {
+  const auto plan = FaultPlan::parse("");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_FALSE(plan->enabled());
+  EXPECT_EQ(*plan, FaultPlan{});
+}
+
+TEST(FaultPlan, ParsesBaseLoss) {
+  const auto plan = FaultPlan::parse("loss=0.25");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_DOUBLE_EQ(plan->base_loss, 0.25);
+  EXPECT_TRUE(plan->enabled());
+  EXPECT_TRUE(plan->loss_rules.empty());
+}
+
+TEST(FaultPlan, ParsesScopedLoss) {
+  const auto plan = FaultPlan::parse("loss=2001:db8::/32:0.5");
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->loss_rules.size(), 1u);
+  EXPECT_EQ(plan->loss_rules[0].scope, Prefix::must_parse("2001:db8::/32"));
+  EXPECT_DOUBLE_EQ(plan->loss_rules[0].drop_prob, 0.5);
+  EXPECT_DOUBLE_EQ(plan->base_loss, 0.0);
+}
+
+TEST(FaultPlan, AnyScopeIsTheZeroPrefix) {
+  const auto plan = FaultPlan::parse("error=any:0.1");
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->errors.size(), 1u);
+  EXPECT_EQ(plan->errors[0].scope, Prefix{});
+  EXPECT_DOUBLE_EQ(plan->errors[0].error_prob, 0.1);
+}
+
+TEST(FaultPlan, ParsesRateLimitWithDefaults) {
+  const auto plan = FaultPlan::parse("rlimit=2001:db8::/32:10");
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->rate_limits.size(), 1u);
+  const RateLimitRule& rule = plan->rate_limits[0];
+  EXPECT_DOUBLE_EQ(rule.replies_per_second, 10.0);
+  EXPECT_DOUBLE_EQ(rule.burst, 1.0);
+  EXPECT_EQ(rule.bucket_prefix_len, -1);
+}
+
+TEST(FaultPlan, ParsesRateLimitFullForm) {
+  const auto plan = FaultPlan::parse("rlimit=any:5:50:32");
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->rate_limits.size(), 1u);
+  const RateLimitRule& rule = plan->rate_limits[0];
+  EXPECT_DOUBLE_EQ(rule.replies_per_second, 5.0);
+  EXPECT_DOUBLE_EQ(rule.burst, 50.0);
+  EXPECT_EQ(rule.bucket_prefix_len, 32);
+}
+
+TEST(FaultPlan, ParsesOutageAndPeriod) {
+  const auto plan =
+      FaultPlan::parse("outage=2001:db8::/48:2:0.5,outage=any:0:1:10");
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->outages.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan->outages[0].start_s, 2.0);
+  EXPECT_DOUBLE_EQ(plan->outages[0].duration_s, 0.5);
+  EXPECT_DOUBLE_EQ(plan->outages[0].period_s, 0.0);
+  EXPECT_DOUBLE_EQ(plan->outages[1].period_s, 10.0);
+}
+
+TEST(FaultPlan, ParsesCombinedSpec) {
+  const auto plan = FaultPlan::parse(
+      "loss=0.1,loss=2001:db8::/32:0.3,rlimit=any:5:10:32,"
+      "outage=2001:db8:1::/48:1:2:8,error=any:0.05,pps=5000");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->enabled());
+  EXPECT_EQ(plan->loss_rules.size(), 1u);
+  EXPECT_EQ(plan->rate_limits.size(), 1u);
+  EXPECT_EQ(plan->outages.size(), 1u);
+  EXPECT_EQ(plan->errors.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->wire_pps, 5000.0);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_FALSE(FaultPlan::parse("bogus=1").has_value());
+  EXPECT_FALSE(FaultPlan::parse("loss").has_value());
+  EXPECT_FALSE(FaultPlan::parse("loss=notanumber").has_value());
+  EXPECT_FALSE(FaultPlan::parse("loss=1.5").has_value());       // prob > 1
+  EXPECT_FALSE(FaultPlan::parse("loss=-0.1").has_value());      // prob < 0
+  EXPECT_FALSE(FaultPlan::parse("rlimit=any:0").has_value());   // rate 0
+  EXPECT_FALSE(FaultPlan::parse("rlimit=any:5:0.5").has_value());  // burst < 1
+  EXPECT_FALSE(FaultPlan::parse("rlimit=any:5:10:200").has_value());
+  EXPECT_FALSE(FaultPlan::parse("outage=any:1").has_value());   // missing dur
+  EXPECT_FALSE(FaultPlan::parse("outage=any:-1:2").has_value());
+  EXPECT_FALSE(FaultPlan::parse("error=0.1").has_value());      // no scope
+  EXPECT_FALSE(FaultPlan::parse("pps=0").has_value());
+  EXPECT_FALSE(FaultPlan::parse("loss=nosuchprefix/99:0.1").has_value());
+}
+
+TEST(FaultPlan, ValidRejectsOutOfRangeFields) {
+  FaultPlan plan;
+  plan.base_loss = 1.1;
+  EXPECT_FALSE(plan.valid());
+  plan = FaultPlan{}.with_rate_limit(Prefix{}, -5.0, 10.0);
+  EXPECT_FALSE(plan.valid());
+  plan = FaultPlan{}.with_outage(Prefix{}, 0.0, -1.0);
+  EXPECT_FALSE(plan.valid());
+  plan = FaultPlan{}.with_wire_pps(0.0);
+  EXPECT_FALSE(plan.valid());
+}
+
+TEST(FaultPlan, CanonicalRoundTrip) {
+  const auto plan = FaultPlan::parse(
+      "loss=0.1,loss=2001:db8::/32:0.3,rlimit=any:5:10:32,"
+      "outage=2001:db8:1::/48:1:2:8,error=any:0.05,pps=5000");
+  ASSERT_TRUE(plan.has_value());
+  const auto reparsed = FaultPlan::parse(plan->to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(*reparsed, *plan);
+  // And the textual form is a fixpoint.
+  EXPECT_EQ(reparsed->to_string(), plan->to_string());
+}
+
+TEST(FaultPlan, GeneratedPlansRoundTripExactly) {
+  // Seeded property test over the testutil generator: every
+  // random-but-valid plan must survive to_string -> parse unchanged.
+  v6::net::Rng rng = v6::net::make_rng(20240807, /*tag=*/0xFA);
+  for (int i = 0; i < 200; ++i) {
+    const FaultPlan plan = v6::testutil::random_fault_plan(rng);
+    ASSERT_TRUE(plan.valid());
+    const auto reparsed = FaultPlan::parse(plan.to_string());
+    ASSERT_TRUE(reparsed.has_value()) << "spec: " << plan.to_string();
+    EXPECT_EQ(*reparsed, plan) << "spec: " << plan.to_string();
+  }
+}
+
+TEST(FaultPlan, GeneratedPrefixesAreNormalized) {
+  v6::net::Rng rng = v6::net::make_rng(7, /*tag=*/0xF0F1);
+  for (int i = 0; i < 100; ++i) {
+    const Prefix p = v6::testutil::random_prefix(rng);
+    EXPECT_EQ(p.addr().masked(p.length()), p.addr());
+    EXPECT_GE(p.length(), 16);
+    EXPECT_LE(p.length(), 64);
+  }
+}
+
+}  // namespace
+}  // namespace v6::fault

@@ -1,0 +1,44 @@
+// Fuzz harness for the fault-spec parser (`sos --faults <spec>`), the
+// untrusted-input surface of the fault-injection layer.
+//
+// Invariants checked on every input that parses:
+//   - the parsed plan passes valid() (parse() must never hand back a
+//     plan the pipeline would reject)
+//   - to_string() re-parses to an equal plan (round-trip)
+//   - to_string() is a fixpoint: serializing the re-parsed plan yields
+//     the same canonical text
+//   - enabled() agrees with the plan having any effect configured
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fault/fault_plan.h"
+#include "fuzz_check.h"
+
+using v6::fault::FaultPlan;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  const auto plan = FaultPlan::parse(text);
+  if (!plan.has_value()) return 0;
+
+  FUZZ_CHECK(plan->valid(), "parse() must only return valid plans");
+
+  const std::string canonical = plan->to_string();
+  const auto again = FaultPlan::parse(canonical);
+  FUZZ_CHECK(again.has_value(), "canonical form must re-parse");
+  FUZZ_CHECK(*again == *plan, "canonical round-trip changed the plan");
+  FUZZ_CHECK(again->to_string() == canonical,
+             "to_string() must be a fixpoint on its own output");
+
+  const bool has_effect = plan->base_loss > 0.0 || !plan->loss_rules.empty() ||
+                          !plan->rate_limits.empty() ||
+                          !plan->outages.empty() || !plan->errors.empty();
+  FUZZ_CHECK(plan->enabled() == has_effect,
+             "enabled() must reflect configured fault rules");
+
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Golden regression test: pins the full ScanOutcomes of a small
+// fault-free reference sweep to a checked-in text file, so transport or
+// pipeline refactors cannot silently shift results.
+//
+// Update procedure (only when an intentional behavior change lands):
+//
+//   V6_UPDATE_GOLDEN=1 ./build/tests/golden_sweep_test
+//
+// rewrites tests/golden/golden_sweep.txt in the source tree; review the
+// diff like any other code change and say WHY the outcomes moved in the
+// commit message. The serialization is deliberately plain line-oriented
+// text (sorted hit/AS sets, %.17g doubles) so the diff itself shows
+// which addresses appeared or vanished.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiment/runner.h"
+#include "experiment/workbench.h"
+#include "metrics/scan_outcome.h"
+#include "net/ipv6.h"
+#include "tga/registry.h"
+
+#ifndef V6_GOLDEN_DIR
+#error "V6_GOLDEN_DIR must point at the checked-in golden directory"
+#endif
+
+namespace v6::experiment {
+namespace {
+
+constexpr const char* kGoldenPath = V6_GOLDEN_DIR "/golden_sweep.txt";
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// The reference sweep: three cheap TGAs, fault-free, jobs=1, over a
+/// small dedicated workbench. Every knob is pinned here — changing any
+/// of them is a golden update by definition.
+std::string serialize_reference_sweep() {
+  WorkbenchConfig wb;
+  wb.seed = 404;
+  wb.universe.seed = 404;
+  wb.universe.num_ases = 150;
+  wb.universe.host_scale = 0.12;
+  wb.universe.dense_region_prefix_len = 52;
+  Workbench bench(wb);
+
+  const auto runs = run_sweep(
+      SweepSpec{}
+          .with_universe(bench.universe())
+          .with_kinds(std::vector<v6::tga::TgaKind>{
+              v6::tga::TgaKind::kDet, v6::tga::TgaKind::kSixTree,
+              v6::tga::TgaKind::kSixScan})
+          .with_seeds(bench.all_active())
+          .with_alias_list(bench.alias_list())
+          .with_config(PipelineConfig{}.with_budget(15'000).with_batch_size(
+              5'000))
+          .with_jobs(1));
+
+  std::ostringstream out;
+  out << "# golden reference sweep v1 (see test header for the update "
+         "procedure)\n";
+  for (const TgaRun& run : runs) {
+    const v6::metrics::ScanOutcome& o = run.outcome;
+    out << "tga: " << v6::tga::to_string(run.kind) << "\n";
+    out << "generated: " << o.generated << "\n";
+    out << "unique_generated: " << o.unique_generated << "\n";
+    out << "responsive: " << o.responsive << "\n";
+    out << "aliases: " << o.aliases << "\n";
+    out << "dense_filtered: " << o.dense_filtered << "\n";
+    out << "packets: " << o.packets << "\n";
+    out << "virtual_seconds: " << fmt_double(o.virtual_seconds) << "\n";
+    out << "hits: " << o.hits() << "\n";
+    out << "ases: " << o.ases() << "\n";
+
+    std::vector<v6::net::Ipv6Addr> hits(o.hit_set.begin(), o.hit_set.end());
+    std::sort(hits.begin(), hits.end());
+    for (const v6::net::Ipv6Addr& addr : hits) {
+      out << "hit: " << addr.to_string() << "\n";
+    }
+    std::vector<std::uint32_t> ases(o.as_set.begin(), o.as_set.end());
+    std::sort(ases.begin(), ases.end());
+    out << "as_set:";
+    for (const std::uint32_t asn : ases) out << " " << asn;
+    out << "\n";
+  }
+  return out.str();
+}
+
+TEST(GoldenSweep, OutcomesMatchCheckedInGolden) {
+  const std::string actual = serialize_reference_sweep();
+
+  if (std::getenv("V6_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << kGoldenPath;
+    out << actual;
+    GTEST_SKIP() << "golden updated: " << kGoldenPath
+                 << " — review and commit the diff";
+  }
+
+  std::ifstream in(kGoldenPath, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << kGoldenPath
+                  << "; run with V6_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+
+  // One big comparison would drown the log; compare line by line and
+  // report the first divergence with context.
+  if (actual == expected.str()) return;
+  std::istringstream actual_lines(actual), expected_lines(expected.str());
+  std::string a, e;
+  std::size_t line = 0;
+  while (true) {
+    ++line;
+    const bool more_a = static_cast<bool>(std::getline(actual_lines, a));
+    const bool more_e = static_cast<bool>(std::getline(expected_lines, e));
+    if (!more_a && !more_e) break;
+    ASSERT_EQ(more_a, more_e) << "golden and actual diverge in length at line "
+                              << line;
+    ASSERT_EQ(a, e) << "first golden mismatch at line " << line
+                    << " (update procedure: see test header)";
+  }
+  FAIL() << "golden mismatch";  // unreachable: the loop pinpoints it
+}
+
+}  // namespace
+}  // namespace v6::experiment

@@ -1,0 +1,86 @@
+// Seeded property-test generators: random-but-valid fault plans,
+// prefixes, and probe schedules.
+//
+// Everything draws from an explicit net/rng.h engine the caller seeds,
+// so a failing property test reproduces from its seed alone. Used by the
+// fault-matrix suite (tests/fault/) and for growing the fuzz harnesses'
+// corpora (tests/fuzz/fuzz_fault_spec.cc round-trips what these emit).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "net/ipv6.h"
+#include "net/prefix.h"
+#include "net/rng.h"
+
+namespace v6::testutil {
+
+/// A uniformly random prefix with length in [min_len, max_len]. The
+/// Prefix constructor normalizes (clears host bits), so the result is
+/// always a valid CIDR value.
+inline v6::net::Prefix random_prefix(v6::net::Rng& rng, int min_len = 16,
+                                     int max_len = 64) {
+  const int len = v6::net::uniform_int(rng, min_len, max_len);
+  return v6::net::Prefix(v6::net::Ipv6Addr(rng(), rng()), len);
+}
+
+/// A random fault plan that always satisfies FaultPlan::valid():
+/// probabilities land in [0,1], rates and bursts are positive, outage
+/// times non-negative. Roughly half the draws enable each fault family,
+/// so disabled and single-family plans appear regularly.
+inline v6::fault::FaultPlan random_fault_plan(v6::net::Rng& rng) {
+  v6::fault::FaultPlan plan;
+  if (v6::net::chance(rng, 0.5)) {
+    plan.base_loss = v6::net::uniform01(rng) * 0.9;
+  }
+  const int n_loss = v6::net::uniform_int(rng, 0, 3);
+  for (int i = 0; i < n_loss; ++i) {
+    plan.with_loss(random_prefix(rng), v6::net::uniform01(rng));
+  }
+  const int n_rlimit = v6::net::uniform_int(rng, 0, 2);
+  for (int i = 0; i < n_rlimit; ++i) {
+    const double rate = 0.5 + v6::net::uniform01(rng) * 100.0;
+    const double burst = 1.0 + v6::net::uniform01(rng) * 49.0;
+    const int bucket_len =
+        v6::net::chance(rng, 0.5) ? -1 : v6::net::uniform_int(rng, 0, 128);
+    plan.with_rate_limit(random_prefix(rng), rate, burst, bucket_len);
+  }
+  const int n_outage = v6::net::uniform_int(rng, 0, 2);
+  for (int i = 0; i < n_outage; ++i) {
+    const double start = v6::net::uniform01(rng) * 10.0;
+    const double duration = v6::net::uniform01(rng) * 5.0;
+    const double period =
+        v6::net::chance(rng, 0.5) ? 0.0 : duration + v6::net::uniform01(rng) * 20.0;
+    plan.with_outage(random_prefix(rng), start, duration, period);
+  }
+  const int n_error = v6::net::uniform_int(rng, 0, 2);
+  for (int i = 0; i < n_error; ++i) {
+    plan.with_error(random_prefix(rng), v6::net::uniform01(rng));
+  }
+  if (v6::net::chance(rng, 0.3)) {
+    plan.wire_pps = 100.0 + v6::net::uniform01(rng) * 99'900.0;
+  }
+  return plan;
+}
+
+/// A probe schedule of `count` targets inside `scope`, with ~20%
+/// deliberate repeats so dedup paths get exercised.
+inline std::vector<v6::net::Ipv6Addr> random_probe_schedule(
+    v6::net::Rng& rng, const v6::net::Prefix& scope, std::size_t count) {
+  std::vector<v6::net::Ipv6Addr> schedule;
+  schedule.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!schedule.empty() && v6::net::chance(rng, 0.2)) {
+      const std::size_t j =
+          v6::net::uniform_int<std::size_t>(rng, 0, schedule.size() - 1);
+      schedule.push_back(schedule[j]);
+    } else {
+      schedule.push_back(v6::net::random_in_prefix(rng, scope));
+    }
+  }
+  return schedule;
+}
+
+}  // namespace v6::testutil

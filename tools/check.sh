@@ -12,6 +12,10 @@
 # includes v6lint and the header self-containedness target) and the
 # fuzz smoke runs (`ctest -L fuzz`).
 #
+# Faults mode (`tools/check.sh --faults`) runs only the fault-injection
+# suite (`ctest -L fault`) under every preset — the focused loop when
+# iterating on src/fault or the robust-scanner path.
+#
 # Extra flags:
 #   --jobs N    parallel build/test jobs (default: nproc)
 #   --tidy      add -DV6_CLANG_TIDY=ON to every configure (warns and
@@ -24,16 +28,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
+faults=0
 tidy_flag=()
 jobs="$(nproc 2>/dev/null || echo 2)"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick=1 ;;
+    --faults) faults=1 ;;
     --tidy) tidy_flag=(-DV6_CLANG_TIDY=ON) ;;
     --jobs) jobs="$2"; shift ;;
     --jobs=*) jobs="${1#--jobs=}" ;;
     -h|--help)
-      sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,25p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *) echo "error: unknown flag '$1' (try --help)" >&2; exit 2 ;;
@@ -57,6 +63,17 @@ if [[ $quick -eq 1 ]]; then
   run ctest --test-dir build -L lint --output-on-failure -j "$jobs"
   run ctest --test-dir build -L fuzz --output-on-failure -j "$jobs"
   echo "check.sh --quick: OK (Release build + lint + fuzz smoke)"
+  exit 0
+fi
+
+if [[ $faults -eq 1 ]]; then
+  configure_and_build default build
+  run ctest --test-dir build -L fault --output-on-failure -j "$jobs"
+  configure_and_build asan-ubsan build-asan
+  run ctest --test-dir build-asan -L fault --output-on-failure -j "$jobs"
+  configure_and_build tsan build-tsan
+  run ctest --test-dir build-tsan -L fault --output-on-failure -j "$jobs"
+  echo "check.sh --faults: fault suite OK under default, asan-ubsan, tsan"
   exit 0
 fi
 

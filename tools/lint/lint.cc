@@ -22,6 +22,11 @@
 //                        few lines of a null check; `telemetry_->`
 //                        (trailing underscore: a member established
 //                        non-null at construction) is exempt.
+//   no-sleep             no wall-clock waits in src/: sleep_for/
+//                        sleep_until/usleep/nanosleep/sleep(). Retry and
+//                        backoff paths must charge a *virtual* clock
+//                        (RateLimiter::advance / ProbeTransport::advance)
+//                        so scans stay fast and deterministic.
 //
 // Usage:
 //   v6lint <dir>...            scan trees; exit 1 if any rule fires
@@ -271,8 +276,29 @@ void check_telemetry_guard(const std::string& file, const fs::path& path,
   }
 }
 
+/// no-sleep: the scanner's retry/backoff machinery accounts waits on a
+/// virtual clock; a real sleep in src/ would couple scan outcomes (and
+/// test wall time) to the host scheduler. Blocking waits belong only in
+/// tools/ and tests/, never in the library.
+void check_no_sleep(const std::string& file, const fs::path& path,
+                    const std::vector<std::string>& stripped,
+                    std::vector<Violation>& out) {
+  if (!in_src(path)) return;
+  static const std::regex kBanned(
+      R"(\b(sleep_for|sleep_until|usleep|nanosleep|sleep)\s*\()");
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    if (std::regex_search(stripped[i], kBanned)) {
+      out.push_back({file, i + 1, "no-sleep",
+                     "wall-clock wait in the library; charge virtual time "
+                     "(RateLimiter::advance / ProbeTransport::advance) "
+                     "instead"});
+    }
+  }
+}
+
 const char* const kAllRules[] = {"deprecated-api", "nondeterminism",
-                                 "pragma-once", "telemetry-null-guard"};
+                                 "pragma-once", "telemetry-null-guard",
+                                 "no-sleep"};
 
 bool lintable(const fs::path& path) {
   const auto ext = path.extension();
@@ -301,6 +327,7 @@ void lint_file(const fs::path& path, std::vector<Violation>& out) {
   check_nondeterminism(file, path, stripped, out);
   check_pragma_once(file, path, raw, out);
   check_telemetry_guard(file, path, stripped, out);
+  check_no_sleep(file, path, stripped, out);
 }
 
 }  // namespace

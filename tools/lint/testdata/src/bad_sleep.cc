@@ -1,0 +1,29 @@
+// Lint fixture: seeded violations for the `no-sleep` rule. Never
+// compiled — scanned by the lint_selftest / lint_fixture_fails ctests.
+#include <chrono>
+#include <thread>
+#include <unistd.h>
+
+namespace v6::fixture {
+
+bool probe_once();
+
+// The classic mistake this rule exists for: a retry loop that blocks
+// the host thread instead of charging the scan's virtual clock.
+bool probe_with_naive_backoff(int retries) {
+  for (int attempt = 0; attempt <= retries; ++attempt) {
+    if (probe_once()) return true;
+    std::this_thread::sleep_for(                       // violation
+        std::chrono::milliseconds(100 << attempt));
+  }
+  return false;
+}
+
+void other_wait_flavors() {
+  std::this_thread::sleep_until(                       // violation
+      std::chrono::steady_clock::now() + std::chrono::seconds(1));
+  usleep(1000);                                        // violation
+  sleep(1);                                            // violation
+}
+
+}  // namespace v6::fixture

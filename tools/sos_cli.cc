@@ -18,6 +18,18 @@
 //     --trace FILE   write a JSON-lines event trace (spans, per-probe
 //                    events, final metric totals) to FILE
 //     --stats        print the counter/phase-timing tables on exit
+//   and the fault/robustness knobs (docs/ROBUSTNESS.md):
+//     --faults SPEC  inject network faults; SPEC is comma-separated
+//                    loss=P | loss=PFX:P | rlimit=PFX:RATE[:BURST[:LEN]]
+//                    | outage=PFX:START:DUR[:PERIOD] | error=PFX:P
+//                    | pps=RATE, with PFX a CIDR prefix or `any`
+//     --retries N    scanner retransmissions after a timeout
+//     --timeout S    virtual seconds to wait per unanswered probe
+//     --backoff S    base retry backoff (doubles per retry)
+//     --jitter F     fractional jitter on backoff waits
+//     --adaptive N   consecutive-timeout threshold for per-prefix
+//                    cool-downs (use with --cooldown S)
+//     --cooldown S   adaptive cool-down wait in virtual seconds
 //   sos trace ADDR [--seed N]
 //       Simulated traceroute toward ADDR.
 //   sos collect --source NAME [--out FILE] [--seed N]
@@ -34,6 +46,7 @@
 
 #include "experiment/combined.h"
 #include "experiment/pipeline.h"
+#include "fault/fault_plan.h"
 #include "experiment/runner.h"
 #include "io/address_file.h"
 #include "io/csv.h"
@@ -170,6 +183,39 @@ class ObsSession {
   v6::obs::Telemetry telemetry_;
 };
 
+/// Applies the fault/robustness flags to a pipeline config. The parsed
+/// plan lives in `plan_storage` (must outlive the run). Returns false on
+/// a malformed --faults spec.
+bool apply_fault_options(const Args& args,
+                         v6::experiment::PipelineConfig& config,
+                         std::optional<v6::fault::FaultPlan>& plan_storage) {
+  if (args.options.contains("faults")) {
+    plan_storage = v6::fault::FaultPlan::parse(args.get("faults", ""));
+    if (!plan_storage) {
+      std::cerr << "error: malformed --faults spec '" << args.get("faults", "")
+                << "'\n"
+                   "  items: loss=P | loss=PFX:P | "
+                   "rlimit=PFX:RATE[:BURST[:LEN]] |\n"
+                   "         outage=PFX:START:DUR[:PERIOD] | error=PFX:P | "
+                   "pps=RATE\n"
+                   "  PFX is CIDR notation or `any`; probabilities in "
+                   "[0,1]\n";
+      return false;
+    }
+    config.faults = &*plan_storage;
+  }
+  config.scan_retries = static_cast<int>(
+      args.get_u64("retries", static_cast<std::uint64_t>(config.scan_retries)));
+  config.probe_timeout_s = args.get_double("timeout", config.probe_timeout_s);
+  config.retry_backoff_s = args.get_double("backoff", config.retry_backoff_s);
+  config.retry_jitter = args.get_double("jitter", config.retry_jitter);
+  config.adaptive_threshold = static_cast<int>(args.get_u64(
+      "adaptive", static_cast<std::uint64_t>(config.adaptive_threshold)));
+  config.adaptive_backoff_s =
+      args.get_double("cooldown", config.adaptive_backoff_s);
+  return true;
+}
+
 const std::vector<v6::net::Ipv6Addr>& pick_dataset(
     v6::experiment::Workbench& bench, const std::string& name,
     v6::net::ProbeType port) {
@@ -238,13 +284,15 @@ int cmd_run(const Args& args) {
   }
   ObsSession obs(args);
   v6::experiment::Workbench bench(bench_config(args, obs.telemetry()));
-  const auto config =
+  std::optional<v6::fault::FaultPlan> plan;
+  auto config =
       v6::experiment::PipelineConfig{}
           .with_type(parse_port(args.get("port", "ICMP")))
           .with_budget(args.get_u64("budget", 400'000))
           .with_seed(args.get_u64("seed", 42))
           .with_telemetry(obs.telemetry())
           .with_trace_probes(obs.tracing());
+  if (!apply_fault_options(args, config, plan)) return 2;
   const auto& seeds =
       pick_dataset(bench, args.get("dataset", "active"), config.type);
 
@@ -303,16 +351,19 @@ int cmd_survey(const Args& args) {
     return 0;
   }
 
+  std::optional<v6::fault::FaultPlan> plan;
+  auto config = v6::experiment::PipelineConfig{}
+                    .with_type(port)
+                    .with_budget(budget)
+                    .with_seed(seed)
+                    .with_trace_probes(obs.tracing());
+  if (!apply_fault_options(args, config, plan)) return 2;
   const auto runs = v6::experiment::run_sweep(
       v6::experiment::SweepSpec{}
           .with_universe(bench.universe())
           .with_seeds(seeds)
           .with_alias_list(bench.alias_list())
-          .with_config(v6::experiment::PipelineConfig{}
-                           .with_type(port)
-                           .with_budget(budget)
-                           .with_seed(seed)
-                           .with_trace_probes(obs.tracing()))
+          .with_config(config)
           .with_jobs(static_cast<unsigned>(args.get_u64("jobs", 1)))
           .with_telemetry(obs.telemetry()));
   for (const auto& run : runs) {
