@@ -21,6 +21,7 @@
 #include "experiment/workbench.h"
 #include "metrics/reporter.h"
 #include "metrics/scan_outcome.h"
+#include "obs/quantiles.h"
 #include "runtime/thread_pool.h"
 #include "tga/registry.h"
 
@@ -132,7 +133,12 @@ inline std::uint64_t budget_from_argv(int argc, char** argv,
 ///                 // per-phase breakdown from the run's obs report
 ///                 // (pipeline.* span totals, "pipeline." stripped):
 ///                 "phases": { "run": float, "generate": float,
-///                             "scan": float, "dealias": float, ... } } ] }
+///                             "scan": float, "dealias": float, ... },
+///                 // distribution summaries of every histogram the run
+///                 // recorded (obs/quantiles.h schema):
+///                 "quantiles": { "<metric>": { "count": int,
+///                     "mean": float, "p50": float, "p90": float,
+///                     "p99": float, "max": float }, ... } } ] }
 class BenchTimer {
   using Clock = std::chrono::steady_clock;
 
@@ -170,6 +176,9 @@ class BenchTimer {
           e.phases.emplace_back(name.substr(kPrefix.size()),
                                 total.seconds());
         }
+      }
+      if (!run.report.histograms.empty()) {
+        e.quantiles = v6::obs::quantiles_json(run.report.histograms);
       }
       entries_.push_back(std::move(e));
     }
@@ -245,6 +254,9 @@ class BenchTimer {
         }
         out << "}";
       }
+      if (!e.quantiles.empty()) {
+        out << ", \"quantiles\": " << e.quantiles;  // pre-rendered JSON
+      }
       out << "}";
     }
     out << "\n  ]\n}\n";
@@ -263,6 +275,9 @@ class BenchTimer {
     double virtual_seconds = 0.0;
     /// (phase name, seconds), already sorted: report timers are a map.
     std::vector<std::pair<std::string, double>> phases;
+    /// Pre-rendered quantiles JSON object (empty when the run recorded
+    /// no histograms).
+    std::string quantiles;
   };
 
   static double seconds_since(Clock::time_point start) {

@@ -98,7 +98,8 @@ v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
         std::min(config.batch_size, config.budget - outcome.generated);
     std::vector<Ipv6Addr> batch;
     {
-      v6::obs::Span span(telemetry, "pipeline.generate");
+      v6::obs::Span span(telemetry, "pipeline.generate",
+                         v6::obs::Span::WithHistogram{});
       batch = generator.next_batch(static_cast<std::size_t>(want));
     }
     if (batch.empty()) break;  // generator model exhausted
@@ -107,7 +108,8 @@ v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
 
     actives.clear();
     {
-      v6::obs::Span span(telemetry, "pipeline.scan");
+      v6::obs::Span span(telemetry, "pipeline.scan",
+                         v6::obs::Span::WithHistogram{});
       scanner.scan(batch, config.type,
                    [&](const Ipv6Addr& addr, ProbeReply reply) {
                      const bool active = v6::net::is_hit(config.type, reply);
@@ -119,21 +121,45 @@ v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
 
     // Output dealiasing (paper §4.2: applied to all active addresses)
     // and AS12322 filtering (ICMP only, §4.1).
-    v6::obs::Span span(telemetry, "pipeline.dealias");
-    for (const Ipv6Addr& addr : actives) {
-      if (dealiaser.is_aliased(addr, config.type)) {
-        ++outcome.aliases;
-        continue;
+    {
+      v6::obs::Span span(telemetry, "pipeline.dealias",
+                         v6::obs::Span::WithHistogram{});
+      for (const Ipv6Addr& addr : actives) {
+        if (dealiaser.is_aliased(addr, config.type)) {
+          ++outcome.aliases;
+          continue;
+        }
+        if (config.filter_dense && config.type == ProbeType::kIcmp &&
+            universe.in_dense_region(addr)) {
+          ++outcome.dense_filtered;
+          continue;
+        }
+        outcome.hit_set.insert(addr);
+        if (const auto asn = universe.asn_of(addr)) {
+          outcome.as_set.insert(*asn);
+        }
       }
-      if (config.filter_dense && config.type == ProbeType::kIcmp &&
-          universe.in_dense_region(addr)) {
-        ++outcome.dense_filtered;
-        continue;
-      }
-      outcome.hit_set.insert(addr);
-      if (const auto asn = universe.asn_of(addr)) {
-        outcome.as_set.insert(*asn);
-      }
+    }
+
+    // Deterministic time-series sampler: one point per batch boundary on
+    // the virtual-time axis (ev:"sample"). Cumulative values and the
+    // virtual timestamp are all derived from deterministic state, so the
+    // sample stream is jobs-invariant; gated on tracing() because samples
+    // only exist as trace events.
+    if (telemetry != nullptr && telemetry->tracing()) {
+      const double virtual_now = scanner.virtual_seconds();
+      auto sample = [&](const char* name, std::uint64_t value) {
+        v6::obs::Event event;
+        event.kind = v6::obs::Event::Kind::kSample;
+        event.path = name;
+        event.at = virtual_now;
+        event.value = value;
+        telemetry->emit(event);
+      };
+      sample("sample.generated", outcome.generated);
+      sample("sample.responsive", outcome.responsive);
+      sample("sample.hits", outcome.hit_set.size());
+      sample("sample.packets", transport->packets_sent());
     }
   }
 

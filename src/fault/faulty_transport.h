@@ -47,7 +47,13 @@ class FaultyTransport final : public v6::probe::ProbeTransport {
                            v6::net::ProbeType type) override {
     ++packets_;
     now_ += 1.0 / plan_->wire_pps;
-    if (!plan_->enabled()) return inner_->send(addr, type);
+    // Until a probe reaches the inner transport, the last reply (if any)
+    // was synthesized here and carries no modeled wire time.
+    last_local_ = true;
+    if (!plan_->enabled()) {
+      last_local_ = false;
+      return inner_->send(addr, type);
+    }
 
     // Outage windows: purely clock-driven, no randomness.
     for (const OutageRule& rule : plan_->outages) {
@@ -105,7 +111,15 @@ class FaultyTransport final : public v6::probe::ProbeTransport {
       return v6::net::ProbeReply::kTimeout;
     }
 
+    last_local_ = false;
     return inner_->send(addr, type);
+  }
+
+  /// Swallowed probes and injected errors consumed no modeled wire time
+  /// (drops time out — the scanner charges its timeout via advance());
+  /// forwarded probes report the inner transport's RTT.
+  std::uint64_t last_wire_nanos() const override {
+    return last_local_ ? 0 : inner_->last_wire_nanos();
   }
 
   /// Sender-side packet count: includes probes the faults swallowed (the
@@ -133,6 +147,7 @@ class FaultyTransport final : public v6::probe::ProbeTransport {
   const FaultPlan* plan_;
   v6::net::Rng rng_;
   double now_ = 0.0;
+  bool last_local_ = false;
   std::uint64_t packets_ = 0;
   std::uint64_t dropped_loss_ = 0;
   std::uint64_t dropped_outage_ = 0;

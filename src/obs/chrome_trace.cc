@@ -1,0 +1,170 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string_view>
+#include <utility>
+
+#include "obs/sinks.h"
+
+namespace v6::obs {
+
+namespace {
+
+constexpr int kScanPid = 1;
+constexpr int kCountersPid = 2;
+
+// Microsecond timestamps with sub-microsecond precision preserved.
+void append_micros(std::string& out, double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  out += buf;
+}
+
+std::string_view top_segment(std::string_view path) {
+  const std::size_t slash = path.find('/');
+  return slash == std::string_view::npos ? path : path.substr(0, slash);
+}
+
+std::string_view last_segment(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  append_json_escaped(out, s);
+  out += '"';
+}
+
+}  // namespace
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& out) : out_(&out) {}
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path)
+    : owned_(path), out_(&owned_) {}
+
+ChromeTraceSink::~ChromeTraceSink() { close(); }
+
+bool ChromeTraceSink::ok() const {
+  return out_ != &owned_ || static_cast<bool>(owned_);
+}
+
+void ChromeTraceSink::emit(const Event& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  switch (event.kind) {
+    case Event::Kind::kSpan:
+    case Event::Kind::kProbe:
+    case Event::Kind::kMessage:
+    case Event::Kind::kSample:
+      events_.push_back(event);
+      break;
+    default:
+      break;  // registry totals stay in the JSONL trace
+  }
+}
+
+void ChromeTraceSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_->flush();
+}
+
+std::string ChromeTraceSink::render_locked() const {
+  // Row (tid) per top-level span path segment, in first-appearance
+  // order; probes and messages get fixed shared rows.
+  std::map<std::string, int, std::less<>> tids;
+  std::vector<std::string> row_names;
+  auto tid_for = [&](std::string_view row) {
+    const auto it = tids.find(row);
+    if (it != tids.end()) return it->second;
+    const int tid = static_cast<int>(tids.size()) + 1;
+    tids.emplace(std::string(row), tid);
+    row_names.emplace_back(row);
+    return tid;
+  };
+
+  std::string body;
+  bool first = true;
+  auto begin_event = [&](const char* ph, int pid, int tid, double at) {
+    if (!first) body += ",\n";
+    first = false;
+    body += "{\"ph\":\"";
+    body += ph;
+    body += "\",\"pid\":" + std::to_string(pid);
+    body += ",\"tid\":" + std::to_string(tid);
+    body += ",\"ts\":";
+    append_micros(body, at);
+  };
+
+  for (const Event& event : events_) {
+    switch (event.kind) {
+      case Event::Kind::kSpan: {
+        const int tid = tid_for(top_segment(event.path));
+        begin_event("X", kScanPid, tid, event.at);
+        body += ",\"dur\":";
+        append_micros(body, event.seconds);
+        body += ",\"name\":";
+        append_quoted(body, last_segment(event.path));
+        body += ",\"args\":{\"path\":";
+        append_quoted(body, event.path);
+        body += "}}";
+        break;
+      }
+      case Event::Kind::kProbe: {
+        begin_event("i", kScanPid, tid_for("probes"), event.at);
+        body += ",\"s\":\"t\",\"name\":";
+        append_quoted(body, event.path);
+        body += ",\"args\":{\"outcome\":";
+        append_quoted(body, event.detail);
+        body += ",\"attempt\":" + std::to_string(event.value);
+        body += "}}";
+        break;
+      }
+      case Event::Kind::kMessage: {
+        begin_event("i", kScanPid, tid_for("messages"), event.at);
+        body += ",\"s\":\"t\",\"name\":";
+        append_quoted(body, event.detail.empty() ? event.path : event.detail);
+        body += "}";
+        break;
+      }
+      case Event::Kind::kSample: {
+        // Counter tracks live on their own pid so the virtual-time axis
+        // does not interleave with wall-clock span rows.
+        begin_event("C", kCountersPid, 0, event.at);
+        body += ",\"name\":";
+        append_quoted(body, event.path);
+        body += ",\"args\":{\"value\":" + std::to_string(event.value);
+        body += "}}";
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Name the rows so chrome://tracing shows "tga:6Tree" instead of a
+  // bare tid number.
+  for (const std::string& row : row_names) {
+    if (!first) body += ",\n";
+    first = false;
+    body += "{\"ph\":\"M\",\"pid\":" + std::to_string(kScanPid);
+    body += ",\"tid\":" + std::to_string(tids.find(row)->second);
+    body += ",\"ts\":0,\"name\":\"thread_name\",\"args\":{\"name\":";
+    append_quoted(body, row);
+    body += "}}";
+  }
+
+  return "{\"traceEvents\":[\n" + body + "\n]}\n";
+}
+
+void ChromeTraceSink::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  closed_ = true;
+  *out_ << render_locked();
+  out_->flush();
+}
+
+}  // namespace v6::obs

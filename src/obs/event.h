@@ -18,6 +18,9 @@ struct Event {
     kGauge,    // gauge snapshot: path + signed value (in `value`)
     kProbe,    // one probe packet: path = target address, detail = outcome
     kMessage,  // free-form annotation
+    kSample,   // time-series point: path + virtual time (`at`) + value
+    kHist,     // histogram snapshot: path + encoded totals in `detail`
+    kTimer,    // timer snapshot: path + count (`value`) + total seconds
   };
 
   Kind kind = Kind::kMessage;

@@ -1,0 +1,86 @@
+#include "obs/histogram.h"
+
+#include <charconv>
+#include <string_view>
+
+namespace v6::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+// Parses an unsigned integer prefixed by `key` ("c=", "b=", ...) at the
+// cursor, advancing past it. Strict: missing key or digits fails.
+bool take_u64(std::string_view& s, std::string_view key, std::uint64_t* out) {
+  if (s.substr(0, key.size()) != key) return false;
+  s.remove_prefix(key.size());
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), *out);
+  if (res.ec != std::errc{} || res.ptr == s.data()) return false;
+  s.remove_prefix(static_cast<std::size_t>(res.ptr - s.data()));
+  return true;
+}
+
+bool take_sep(std::string_view& s, char sep) {
+  if (s.empty() || s.front() != sep) return false;
+  s.remove_prefix(1);
+  return true;
+}
+
+}  // namespace
+
+std::string encode_histogram(const HistogramTotal& total) {
+  std::string out;
+  out.reserve(48 + 12 * total.buckets.size());
+  out += "c=";
+  append_u64(out, total.count);
+  out += ";z=";
+  append_u64(out, total.zeros);
+  out += ";s=";
+  append_u64(out, total.sum_units);
+  out += ";lo=";
+  append_u64(out, total.min_units);
+  out += ";hi=";
+  append_u64(out, total.max_units);
+  out += ";b=";
+  bool first = true;
+  for (const auto& [index, tally] : total.buckets) {
+    if (!first) out += ',';
+    first = false;
+    append_u64(out, static_cast<std::uint64_t>(index));
+    out += ':';
+    append_u64(out, tally);
+  }
+  return out;
+}
+
+bool parse_histogram(std::string_view detail, HistogramTotal* out) {
+  HistogramTotal t;
+  t.min_units = 0;  // parsed explicitly below
+  std::string_view s = detail;
+  if (!take_u64(s, "c=", &t.count)) return false;
+  if (!take_sep(s, ';') || !take_u64(s, "z=", &t.zeros)) return false;
+  if (!take_sep(s, ';') || !take_u64(s, "s=", &t.sum_units)) return false;
+  if (!take_sep(s, ';') || !take_u64(s, "lo=", &t.min_units)) return false;
+  if (!take_sep(s, ';') || !take_u64(s, "hi=", &t.max_units)) return false;
+  if (!take_sep(s, ';') || s.substr(0, 2) != "b=") return false;
+  s.remove_prefix(2);
+  while (!s.empty()) {
+    std::uint64_t index = 0;
+    std::uint64_t tally = 0;
+    if (!take_u64(s, "", &index)) return false;
+    if (!take_sep(s, ':') || !take_u64(s, "", &tally)) return false;
+    if (index >= static_cast<std::uint64_t>(Histogram::kNumBuckets)) {
+      return false;
+    }
+    t.buckets[static_cast<int>(index)] += tally;
+    if (!s.empty() && !take_sep(s, ',')) return false;
+  }
+  *out = t;
+  return true;
+}
+
+}  // namespace v6::obs

@@ -1,0 +1,233 @@
+// Histogram: a lock-free log-bucketed distribution metric.
+//
+// Values land in log-linear buckets (HdrHistogram-style): each power-of-
+// two octave is split into kSubBuckets linear sub-buckets, so the
+// relative bucket width — and therefore the worst-case quantile
+// estimation error — is bounded by 1/kSubBuckets (12.5%) across the
+// whole range. record() is a handful of relaxed atomic adds (plus two
+// CAS loops for min/max), so instrumented hot paths pay nanoseconds and
+// nothing allocates.
+//
+// Determinism contract (docs/OBSERVABILITY.md): histograms fed from the
+// simulated wire clock (virtual-time RTTs, batch target counts) hold
+// integer tallies and fixed-point 1e-9-unit sums, so their snapshots are
+// bit-identical across jobs counts and repeated runs. Histograms fed
+// from steady_clock carry the `.wall` name suffix and are exempt.
+//
+// Instances live inside an obs::Registry (stable addresses); snapshots
+// travel as the plain-data HistogramTotal inside a Report.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace v6::obs {
+
+class Histogram;
+
+/// Plain-data snapshot of one Histogram inside a Report. All fields are
+/// integers (durations in 1e-9 "units"), so equality is bit-exact and
+/// merging is pure addition — the properties the jobs-invariance
+/// contract needs.
+struct HistogramTotal {
+  std::uint64_t count = 0;       // total recorded values
+  std::uint64_t zeros = 0;       // values <= 0 (kept out of the log buckets)
+  std::uint64_t sum_units = 0;   // sum of values, in 1e-9 units
+  std::uint64_t min_units = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_units = 0;
+  /// Sparse bucket index -> tally. std::map keeps iteration (and
+  /// serialization) order deterministic.
+  std::map<int, std::uint64_t> buckets;
+
+  bool operator==(const HistogramTotal&) const = default;
+
+  double sum() const { return static_cast<double>(sum_units) * 1e-9; }
+  double min() const { return count == 0 ? 0.0 : static_cast<double>(min_units) * 1e-9; }
+  double max() const { return static_cast<double>(max_units) * 1e-9; }
+  double mean() const {
+    return count == 0 ? 0.0 : sum() / static_cast<double>(count);
+  }
+
+  void merge_from(const HistogramTotal& other) {
+    count += other.count;
+    zeros += other.zeros;
+    sum_units += other.sum_units;
+    if (other.min_units < min_units) min_units = other.min_units;
+    if (other.max_units > max_units) max_units = other.max_units;
+    for (const auto& [index, tally] : other.buckets) buckets[index] += tally;
+  }
+
+  /// Quantile estimate: the upper bound of the bucket holding the value
+  /// of rank ceil(q * count), clamped to the exact tracked max (so
+  /// quantile(1.0) is exact). Error is bounded by the bucket's relative
+  /// width. Returns 0 for an empty histogram.
+  double quantile(double q) const;
+};
+
+/// Lock-free distribution metric. See file comment for the bucketing
+/// scheme; see TimerStat for the add_raw-style merge model it follows.
+class Histogram {
+ public:
+  /// Sub-buckets per power-of-two octave; bounds quantile error at
+  /// 1/kSubBuckets relative.
+  static constexpr int kSubBuckets = 8;
+  /// Smallest/largest representable octave: 2^-31 (~4.7e-10) up to 2^33
+  /// (~8.6e9). Out-of-range values clamp into the edge octaves — wide
+  /// enough for nanosecond RTTs through multi-billion target counts.
+  static constexpr int kMinExponent = -30;
+  static constexpr int kMaxExponent = 33;
+  static constexpr int kNumBuckets =
+      (kMaxExponent - kMinExponent + 1) * kSubBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Bucket index for a value > 0 (clamped into range). This is frexp
+  /// done with IEEE-754 bit extraction — the exponent field is the
+  /// octave, the top log2(kSubBuckets) mantissa bits are the linear
+  /// sub-bucket (frexp gives v = m * 2^e with m in [0.5, 1), and
+  /// (2m - 1) * kSubBuckets is exactly those mantissa bits). Bit-for-bit
+  /// the same index as the frexp form for every positive double:
+  /// denormals have a zero exponent field and clamp to bucket 0, inf
+  /// clamps to the last bucket. One per-packet call on the instrumented
+  /// scan hot path, so no libm call allowed here.
+  static int bucket_index(double v) {
+    static_assert(kSubBuckets == 8, "sub-bucket mask below assumes 8");
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    const int exp = static_cast<int>(bits >> 52) - 1022;
+    if (exp < kMinExponent) return 0;
+    if (exp > kMaxExponent) return kNumBuckets - 1;
+    const int sub = static_cast<int>((bits >> 49) & (kSubBuckets - 1));
+    return (exp - kMinExponent) * kSubBuckets + sub;
+  }
+
+  /// Inclusive lower / exclusive upper value bound of bucket `index`.
+  static double bucket_lower(int index) {
+    const int exp = index / kSubBuckets + kMinExponent;
+    const int sub = index % kSubBuckets;
+    return std::ldexp(0.5 * (1.0 + static_cast<double>(sub) / kSubBuckets),
+                      exp);
+  }
+  static double bucket_upper(int index) {
+    const int exp = index / kSubBuckets + kMinExponent;
+    const int sub = index % kSubBuckets;
+    return std::ldexp(
+        0.5 * (1.0 + static_cast<double>(sub + 1) / kSubBuckets), exp);
+  }
+
+  /// Fixed-point conversion used for sum/min/max: 1e-9 units, clamped to
+  /// [0, uint64 max]. Values <= 0 map to 0.
+  static std::uint64_t to_units(double v) {
+    if (!(v > 0)) return 0;
+    const double scaled = v * 1e9;
+    if (scaled >= 1.8e19) return std::numeric_limits<std::uint64_t>::max();
+    return static_cast<std::uint64_t>(std::llround(scaled));
+  }
+
+  void record(double v) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t units = to_units(v);
+    sum_units_.fetch_add(units, std::memory_order_relaxed);
+    fetch_min(min_units_, units);
+    fetch_max(max_units_, units);
+    if (v > 0) {
+      buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    } else {
+      zeros_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Merge helper: folds a snapshot's raw totals into this histogram
+  /// (the Registry::merge_from path, mirroring TimerStat::add_raw).
+  void add_raw(const HistogramTotal& total) {
+    if (total.count == 0) return;
+    count_.fetch_add(total.count, std::memory_order_relaxed);
+    zeros_.fetch_add(total.zeros, std::memory_order_relaxed);
+    sum_units_.fetch_add(total.sum_units, std::memory_order_relaxed);
+    fetch_min(min_units_, total.min_units);
+    fetch_max(max_units_, total.max_units);
+    for (const auto& [index, tally] : total.buckets) {
+      if (index >= 0 && index < kNumBuckets) {
+        buckets_[index].fetch_add(tally, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  HistogramTotal total() const {
+    HistogramTotal t;
+    t.count = count_.load(std::memory_order_relaxed);
+    t.zeros = zeros_.load(std::memory_order_relaxed);
+    t.sum_units = sum_units_.load(std::memory_order_relaxed);
+    t.min_units = min_units_.load(std::memory_order_relaxed);
+    t.max_units = max_units_.load(std::memory_order_relaxed);
+    for (int i = 0; i < kNumBuckets; ++i) {
+      const std::uint64_t tally = buckets_[i].load(std::memory_order_relaxed);
+      if (tally != 0) t.buckets.emplace(i, tally);
+    }
+    return t;
+  }
+
+ private:
+  static void fetch_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void fetch_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> zeros_{0};
+  std::atomic<std::uint64_t> sum_units_{0};
+  std::atomic<std::uint64_t> min_units_{
+      std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max_units_{0};
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+};
+
+inline double HistogramTotal::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q >= 1.0) return max();
+  if (q < 0.0) q = 0.0;
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  std::uint64_t cumulative = zeros;
+  if (rank <= cumulative) return 0.0;
+  for (const auto& [index, tally] : buckets) {
+    cumulative += tally;
+    if (rank <= cumulative) {
+      const double upper = Histogram::bucket_upper(index);
+      const double exact_max = max();
+      return upper < exact_max ? upper : exact_max;
+    }
+  }
+  return max();
+}
+
+/// Compact integer serialization of a HistogramTotal, carried in the
+/// `detail` field of `ev:"hist"` trace events:
+///   c=<count>;z=<zeros>;s=<sum_units>;lo=<min_units>;hi=<max_units>;
+///   b=<index>:<tally>,<index>:<tally>,...
+/// Every field is an integer, so the encoding round-trips bit-exactly
+/// (encode_histogram / parse_histogram are inverses — fuzz-checked).
+std::string encode_histogram(const HistogramTotal& total);
+bool parse_histogram(std::string_view detail, HistogramTotal* out);
+
+}  // namespace v6::obs

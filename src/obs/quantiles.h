@@ -1,0 +1,81 @@
+// Quantile summaries of HistogramTotals, plus the stable JSON rendering
+// shared by `sos report --json`, `sos --stats`, and the bench harness
+// (bench_common.h embeds a "quantiles" block per run in BENCH_*.json).
+//
+// Schema (stable; consumers parse it):
+//   {"<metric>":{"count":N,"mean":M,"p50":A,"p90":B,"p99":C,"max":D},...}
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "obs/histogram.h"
+#include "obs/sinks.h"
+
+namespace v6::obs {
+
+struct QuantileSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+inline QuantileSummary summarize(const HistogramTotal& total) {
+  QuantileSummary s;
+  s.count = total.count;
+  s.mean = total.mean();
+  s.p50 = total.quantile(0.50);
+  s.p90 = total.quantile(0.90);
+  s.p99 = total.quantile(0.99);
+  s.max = total.max();
+  return s;
+}
+
+/// %.6g keeps the rendering compact and platform-stable for the value
+/// ranges we emit (seconds, counts).
+inline void append_json_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+inline void append_quantile_summary_json(std::string& out,
+                                         const QuantileSummary& s) {
+  out += "{\"count\":" + std::to_string(s.count);
+  out += ",\"mean\":";
+  append_json_double(out, s.mean);
+  out += ",\"p50\":";
+  append_json_double(out, s.p50);
+  out += ",\"p90\":";
+  append_json_double(out, s.p90);
+  out += ",\"p99\":";
+  append_json_double(out, s.p99);
+  out += ",\"max\":";
+  append_json_double(out, s.max);
+  out += "}";
+}
+
+/// Renders every histogram in `histograms` as one JSON object (sorted
+/// map order — deterministic).
+inline std::string quantiles_json(
+    const std::map<std::string, HistogramTotal>& histograms) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, total] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    append_json_escaped(out, name);
+    out += "\":";
+    append_quantile_summary_json(out, summarize(total));
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace v6::obs

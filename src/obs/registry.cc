@@ -12,6 +12,9 @@ void Report::merge_from(const Report& other) {
     mine.count += total.count;
     mine.nanos += total.nanos;
   }
+  for (const auto& [name, total] : other.histograms) {
+    histograms[name].merge_from(total);
+  }
 }
 
 double Report::timer_seconds(std::string_view name) const {
@@ -44,6 +47,10 @@ TimerStat& Registry::timer(std::string_view name) {
   return lookup(timers_, name);
 }
 
+Histogram& Registry::histogram(std::string_view name) {
+  return lookup(histograms_, name);
+}
+
 Report Registry::snapshot() const {
   Report report;
   std::lock_guard<std::mutex> lock(mutex_);
@@ -55,6 +62,9 @@ Report Registry::snapshot() const {
   }
   for (const auto& [name, timer] : timers_) {
     report.timers.emplace(name, TimerTotal{timer->count(), timer->nanos()});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    report.histograms.emplace(name, histogram->total());
   }
   return report;
 }
@@ -68,6 +78,9 @@ void Registry::merge_from(const Registry& other) {
   for (const auto& [name, value] : report.gauges) gauge(name).set(value);
   for (const auto& [name, total] : report.timers) {
     if (total.count != 0) timer(name).add_raw(total.count, total.nanos);
+  }
+  for (const auto& [name, total] : report.histograms) {
+    if (total.count != 0) histogram(name).add_raw(total);
   }
 }
 

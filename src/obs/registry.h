@@ -17,6 +17,7 @@
 #include <string_view>
 
 #include "obs/counters.h"
+#include "obs/histogram.h"
 
 namespace v6::obs {
 
@@ -34,9 +35,10 @@ struct Report {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, std::int64_t> gauges;
   std::map<std::string, TimerTotal> timers;
+  std::map<std::string, HistogramTotal> histograms;
 
-  /// Additive fold: counters and timers sum; gauges take `other`'s value
-  /// (a gauge is a level, not an accumulation).
+  /// Additive fold: counters, timers, and histograms sum; gauges take
+  /// `other`'s value (a gauge is a level, not an accumulation).
   void merge_from(const Report& other);
 
   /// Convenience for consumers embedding phase breakdowns: the total
@@ -58,6 +60,7 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   TimerStat& timer(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   /// Deterministic snapshot of every registered metric.
   Report snapshot() const;
@@ -78,6 +81,7 @@ class Registry {
   Table<Counter> counters_;
   Table<Gauge> gauges_;
   Table<TimerStat> timers_;
+  Table<Histogram> histograms_;
 };
 
 }  // namespace v6::obs

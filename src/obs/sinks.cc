@@ -1,7 +1,7 @@
 #include "obs/sinks.h"
 
+#include <charconv>
 #include <ostream>
-#include <sstream>
 
 #include "obs/obs_assert.h"
 
@@ -34,25 +34,38 @@ void MemorySink::replay_to(EventSink& sink) const {
   for (const Event& event : events()) sink.emit(event);
 }
 
-namespace {
-
-void append_escaped(std::string& out, const std::string& s) {
+void append_json_escaped(std::string& out, std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
   for (const char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
       default:
-        if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+        if (static_cast<unsigned char>(c) >= 0x20) {
+          // Includes non-ASCII bytes: UTF-8 passes through untouched.
+          out.push_back(c);
+        } else {
+          // Remaining control characters must be \u-escaped to stay
+          // valid JSON (RFC 8259 §7).
+          out += "\\u00";
+          out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+          out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+        }
     }
   }
 }
 
+namespace {
+
 void append_number(std::string& out, double v) {
-  std::ostringstream ss;
-  ss << v;
-  out += ss.str();
+  // Shortest form that parses back to the same double: timestamps and
+  // durations survive a write -> `sos report` -> re-emit cycle bit-exact.
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, result.ptr);
 }
 
 }  // namespace
@@ -65,16 +78,19 @@ std::string JsonLinesSink::to_json(const Event& event) {
     case Event::Kind::kGauge: line += "gauge"; break;
     case Event::Kind::kProbe: line += "probe"; break;
     case Event::Kind::kMessage: line += "message"; break;
+    case Event::Kind::kSample: line += "sample"; break;
+    case Event::Kind::kHist: line += "hist"; break;
+    case Event::Kind::kTimer: line += "timer"; break;
   }
   line += "\"";
   if (!event.path.empty()) {
     line += ",\"path\":\"";
-    append_escaped(line, event.path);
+    append_json_escaped(line, event.path);
     line += "\"";
   }
   if (!event.detail.empty()) {
     line += ",\"detail\":\"";
-    append_escaped(line, event.detail);
+    append_json_escaped(line, event.detail);
     line += "\"";
   }
   switch (event.kind) {
@@ -96,6 +112,18 @@ std::string JsonLinesSink::to_json(const Event& event) {
       append_number(line, event.at);
       break;
     case Event::Kind::kMessage:
+      break;
+    case Event::Kind::kSample:
+      line += ",\"t0\":";
+      append_number(line, event.at);
+      line += ",\"value\":" + std::to_string(event.value);
+      break;
+    case Event::Kind::kHist:
+      break;
+    case Event::Kind::kTimer:
+      line += ",\"count\":" + std::to_string(event.value);
+      line += ",\"dur\":";
+      append_number(line, event.seconds);
       break;
   }
   line += "}";

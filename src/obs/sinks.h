@@ -8,19 +8,29 @@
 //   JsonLinesSink — one JSON object per line, either to a borrowed
 //                   ostream or to a file it owns. The format is described
 //                   in docs/OBSERVABILITY.md.
+//   TeeSink       — fans one event stream out to several sinks (e.g.
+//                   --trace and --trace-chrome on the same run).
 //
-// Both sinks serialize internally; emit() is thread-safe.
+// The Chrome-trace exporter lives in obs/chrome_trace.h. All sinks
+// serialize internally; emit() is thread-safe.
 #pragma once
 
 #include <fstream>
 #include <iosfwd>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/event.h"
 
 namespace v6::obs {
+
+/// Appends `s` to `out` with JSON string escaping (RFC 8259): quotes and
+/// backslashes escaped, \n/\t/\r shorthand, remaining control characters
+/// as \u00XX, and everything >= 0x20 (including UTF-8 bytes) verbatim.
+/// Shared by JsonLinesSink, ChromeTraceSink, and the bench JSON writers.
+void append_json_escaped(std::string& out, std::string_view s);
 
 class MemorySink final : public EventSink {
  public:
@@ -58,6 +68,26 @@ class JsonLinesSink final : public EventSink {
   std::ofstream owned_;
   std::ostream* out_;
   std::mutex mutex_;
+};
+
+/// Forwards every event to each registered sink, in registration order.
+/// Sinks are borrowed (caller keeps them alive); each one serializes
+/// internally, so TeeSink itself needs no lock.
+class TeeSink final : public EventSink {
+ public:
+  void add(EventSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+
+  void emit(const Event& event) override {
+    for (EventSink* sink : sinks_) sink->emit(event);
+  }
+  void flush() override {
+    for (EventSink* sink : sinks_) sink->flush();
+  }
+
+ private:
+  std::vector<EventSink*> sinks_;
 };
 
 }  // namespace v6::obs

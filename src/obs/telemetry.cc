@@ -39,16 +39,33 @@ Span::Span(Telemetry* telemetry, std::string_view name)
     entry = &t_span_tops.back();
   }
   parent_ = entry->top;
-  if (parent_ != nullptr) {
-    path_.reserve(parent_->path_.size() + 1 + name_.size());
-    path_ = parent_->path_;
-    path_ += '/';
-    path_ += name_;
-  } else {
-    path_ = name_;
-  }
   entry->top = this;
   start_ = std::chrono::steady_clock::now();
+}
+
+Span::Span(Telemetry* telemetry, std::string_view name, WithHistogram)
+    : Span(telemetry, name) {
+  wall_histogram_ = true;
+}
+
+std::string Span::path() const {
+  std::string out;
+  if (telemetry_ == nullptr) return out;
+  std::size_t len = name_.size();
+  for (const Span* span = parent_; span != nullptr; span = span->parent_) {
+    len += span->name_.size() + 1;
+  }
+  out.reserve(len);
+  append_path(out);
+  return out;
+}
+
+void Span::append_path(std::string& out) const {
+  if (parent_ != nullptr) {
+    parent_->append_path(out);
+    out += '/';
+  }
+  out += name_;
 }
 
 Span::~Span() {
@@ -67,10 +84,15 @@ Span::~Span() {
     }
   }
   telemetry_->registry().timer(name_).record_seconds(seconds);
+  if (wall_histogram_) {
+    telemetry_->registry().histogram(name_ + ".wall").record(seconds);
+  }
   if (telemetry_->tracing()) {
+    // Path construction is gated here: without a sink, a span never
+    // materializes its '/'-joined path.
     Event event;
     event.kind = Event::Kind::kSpan;
-    event.path = path_;
+    event.path = path();
     event.seconds = seconds;
     event.at = telemetry_->since_epoch() - seconds;
     telemetry_->emit(event);
@@ -95,6 +117,16 @@ void Telemetry::emit_metrics(std::string_view prefix) {
   }
   for (const auto& [name, value] : report.gauges) {
     emit(make(Event::Kind::kGauge, name, static_cast<std::uint64_t>(value)));
+  }
+  for (const auto& [name, total] : report.timers) {
+    Event event = make(Event::Kind::kTimer, name, total.count);
+    event.seconds = total.seconds();
+    emit(event);
+  }
+  for (const auto& [name, total] : report.histograms) {
+    Event event = make(Event::Kind::kHist, name, total.count);
+    event.detail = encode_histogram(total);
+    emit(event);
   }
 }
 

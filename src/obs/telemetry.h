@@ -38,18 +38,28 @@ class Span {
   Span(Telemetry* telemetry, std::string_view name);
   ~Span();
 
+  /// A span may additionally feed a wall-clock duration histogram named
+  /// `<name>.wall` (the suffix marks it exempt from the virtual-time
+  /// determinism contract; see docs/OBSERVABILITY.md).
+  struct WithHistogram {};
+  Span(Telemetry* telemetry, std::string_view name, WithHistogram);
+
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
   /// Full '/'-joined path including enclosing spans of the same
-  /// Telemetry on this thread. Empty for inert spans.
-  const std::string& path() const { return path_; }
+  /// Telemetry on this thread, built on demand by walking the parent
+  /// chain — the hot path never materializes it (sinkless spans cost two
+  /// clock reads plus one atomic accumulate). Empty for inert spans.
+  std::string path() const;
 
  private:
+  void append_path(std::string& out) const;
+
   Telemetry* telemetry_;
   Span* parent_ = nullptr;
+  bool wall_histogram_ = false;
   std::string name_;
-  std::string path_;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -86,9 +96,9 @@ class Telemetry {
         .count();
   }
 
-  /// Emits one kCounter/kGauge event per registry metric (sorted order),
-  /// names prefixed with `prefix`. Typically called once at shutdown so
-  /// a trace file ends with the final totals.
+  /// Emits one kCounter/kGauge/kTimer/kHist event per registry metric
+  /// (sorted within each kind), names prefixed with `prefix`. Typically
+  /// called once at shutdown so a trace file ends with the final totals.
   void emit_metrics(std::string_view prefix = {});
 
  private:

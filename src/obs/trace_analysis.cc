@@ -1,0 +1,205 @@
+#include "obs/trace_analysis.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "obs/quantiles.h"
+#include "obs/sinks.h"
+
+namespace v6::obs {
+
+namespace {
+
+// Splits "tga:6Tree/pipeline.scan" into {"6Tree", "pipeline.scan"};
+// spans outside a tga:* root go to {"", "<leaf>"}.
+void split_tga_phase(std::string_view path, std::string_view* tga,
+                     std::string_view* phase) {
+  *tga = {};
+  *phase = path;
+  if (path.substr(0, 4) != "tga:") return;
+  const std::size_t slash = path.find('/');
+  if (slash == std::string_view::npos) {
+    *tga = path.substr(4);
+    *phase = "(run)";
+    return;
+  }
+  *tga = path.substr(4, slash - 4);
+  const std::size_t last = path.rfind('/');
+  *phase = path.substr(last + 1);
+}
+
+constexpr std::string_view kTransportPrefix = "transport.";
+
+// Decomposes "transport.<TYPE>.<metric>" -> {TYPE, metric}.
+bool split_transport(std::string_view name, std::string_view* type,
+                     std::string_view* metric) {
+  if (name.substr(0, kTransportPrefix.size()) != kTransportPrefix) {
+    return false;
+  }
+  name.remove_prefix(kTransportPrefix.size());
+  const std::size_t dot = name.rfind('.');
+  if (dot == std::string_view::npos || dot == 0) return false;
+  *type = name.substr(0, dot);
+  *metric = name.substr(dot + 1);
+  return true;
+}
+
+}  // namespace
+
+TraceSummary analyze_trace(const std::vector<Event>& events,
+                           std::size_t top_n) {
+  TraceSummary summary;
+  summary.events = events.size();
+  for (const Event& event : events) {
+    switch (event.kind) {
+      case Event::Kind::kSpan: {
+        std::string_view tga;
+        std::string_view phase;
+        split_tga_phase(event.path, &tga, &phase);
+        TimerTotal& total =
+            summary.tga_phases[std::string(tga)][std::string(phase)];
+        total.count += 1;
+        total.nanos += Histogram::to_units(event.seconds);
+        summary.slowest.push_back({event.path, event.at, event.seconds});
+        break;
+      }
+      case Event::Kind::kCounter:
+        summary.counters[event.path] = event.value;
+        break;
+      case Event::Kind::kGauge:
+        summary.gauges[event.path] =
+            static_cast<std::int64_t>(event.value);
+        break;
+      case Event::Kind::kTimer: {
+        TimerTotal total;
+        total.count = event.value;
+        total.nanos = Histogram::to_units(event.seconds);
+        summary.timers[event.path] = total;
+        break;
+      }
+      case Event::Kind::kHist: {
+        HistogramTotal total;
+        if (parse_histogram(event.detail, &total)) {
+          summary.histograms[event.path] = total;
+        }
+        break;
+      }
+      case Event::Kind::kProbe:
+        ++summary.probes;
+        break;
+      case Event::Kind::kSample:
+        ++summary.samples;
+        if (event.at > summary.virtual_end) summary.virtual_end = event.at;
+        break;
+      case Event::Kind::kMessage:
+        break;
+    }
+  }
+
+  std::sort(summary.slowest.begin(), summary.slowest.end(),
+            [](const TraceSummary::SlowSpan& a,
+               const TraceSummary::SlowSpan& b) {
+              if (a.seconds != b.seconds) return a.seconds > b.seconds;
+              if (a.at != b.at) return a.at < b.at;
+              return a.path < b.path;
+            });
+  if (summary.slowest.size() > top_n) summary.slowest.resize(top_n);
+
+  // Wire accounting rows, one per probe type seen in transport metrics.
+  std::map<std::string, TraceSummary::WireRow> rows;
+  auto row = [&rows](std::string_view type) -> TraceSummary::WireRow& {
+    TraceSummary::WireRow& r = rows[std::string(type)];
+    if (r.type.empty()) r.type = std::string(type);
+    return r;
+  };
+  for (const auto& [name, value] : summary.counters) {
+    std::string_view type;
+    std::string_view metric;
+    if (!split_transport(name, &type, &metric)) continue;
+    if (metric == "packets") row(type).packets = value;
+    if (metric == "replies") row(type).replies = value;
+    if (metric == "timeouts") row(type).timeouts = value;
+  }
+  for (const auto& [name, total] : summary.timers) {
+    std::string_view type;
+    std::string_view metric;
+    if (!split_transport(name, &type, &metric)) continue;
+    if (metric == "wire_seconds") {
+      TraceSummary::WireRow& r = row(type);
+      r.charged = total.count;
+      r.wire_seconds = total.seconds();
+    }
+  }
+  summary.wire.reserve(rows.size());
+  for (auto& [type, r] : rows) summary.wire.push_back(std::move(r));
+  return summary;
+}
+
+std::string report_json(const TraceSummary& summary) {
+  std::string out = "{";
+  out += "\"events\":" + std::to_string(summary.events);
+  out += ",\"probes\":" + std::to_string(summary.probes);
+  out += ",\"samples\":" + std::to_string(summary.samples);
+  out += ",\"virtual_end\":";
+  append_json_double(out, summary.virtual_end);
+
+  out += ",\"tgas\":{";
+  bool first_tga = true;
+  for (const auto& [tga, phases] : summary.tga_phases) {
+    if (!first_tga) out += ",";
+    first_tga = false;
+    out += "\"";
+    append_json_escaped(out, tga);
+    out += "\":{";
+    bool first_phase = true;
+    for (const auto& [phase, total] : phases) {
+      if (!first_phase) out += ",";
+      first_phase = false;
+      out += "\"";
+      append_json_escaped(out, phase);
+      out += "\":{\"count\":" + std::to_string(total.count);
+      out += ",\"seconds\":";
+      append_json_double(out, total.seconds());
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "}";
+
+  out += ",\"wire\":[";
+  bool first_wire = true;
+  for (const TraceSummary::WireRow& r : summary.wire) {
+    if (!first_wire) out += ",";
+    first_wire = false;
+    out += "{\"type\":\"";
+    append_json_escaped(out, r.type);
+    out += "\",\"packets\":" + std::to_string(r.packets);
+    out += ",\"replies\":" + std::to_string(r.replies);
+    out += ",\"timeouts\":" + std::to_string(r.timeouts);
+    out += ",\"charged\":" + std::to_string(r.charged);
+    out += ",\"wire_seconds\":";
+    append_json_double(out, r.wire_seconds);
+    out += "}";
+  }
+  out += "]";
+
+  out += ",\"quantiles\":" + quantiles_json(summary.histograms);
+
+  out += ",\"slowest\":[";
+  bool first_slow = true;
+  for (const TraceSummary::SlowSpan& s : summary.slowest) {
+    if (!first_slow) out += ",";
+    first_slow = false;
+    out += "{\"path\":\"";
+    append_json_escaped(out, s.path);
+    out += "\",\"t0\":";
+    append_json_double(out, s.at);
+    out += ",\"dur\":";
+    append_json_double(out, s.seconds);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace v6::obs

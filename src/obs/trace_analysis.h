@@ -1,0 +1,75 @@
+// Offline trace analysis: turns a decoded event stream (trace_reader.h)
+// into the aggregates behind `sos report` — per-TGA phase tables, wire
+// accounting, histogram quantiles, top-N slowest spans, and sampler
+// coverage. Pure data in/out; table rendering lives in the CLI and the
+// JSON rendering (`report_json`) here, so bench and test consumers share
+// one schema.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/histogram.h"
+#include "obs/registry.h"
+
+namespace v6::obs {
+
+struct TraceSummary {
+  std::size_t events = 0;
+  std::size_t probes = 0;
+  std::size_t samples = 0;
+
+  /// Per-TGA phase totals, keyed "<tga-name>" -> "<leaf span name>";
+  /// aggregated from span events whose path starts "tga:<name>/". Spans
+  /// outside any tga:* root land under "".
+  std::map<std::string, std::map<std::string, TimerTotal>> tga_phases;
+
+  /// Final registry totals (last counter/gauge/timer/hist event wins —
+  /// emit_metrics runs at shutdown, after any merged per-run snapshots).
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, TimerTotal> timers;
+  std::map<std::string, HistogramTotal> histograms;
+
+  struct SlowSpan {
+    std::string path;
+    double at = 0.0;
+    double seconds = 0.0;
+  };
+  /// Longest spans, descending by duration (ties: earlier start first).
+  std::vector<SlowSpan> slowest;
+
+  /// Largest sampler timestamp — the virtual-time extent of the run.
+  double virtual_end = 0.0;
+
+  /// Wire accounting: `transport.<TYPE>.wire_seconds` timers keyed by
+  /// probe type, alongside the matching packet counters.
+  struct WireRow {
+    std::string type;
+    std::uint64_t packets = 0;
+    std::uint64_t replies = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t charged = 0;     // wire_seconds count
+    double wire_seconds = 0.0;
+  };
+  std::vector<WireRow> wire;
+};
+
+/// Aggregates `events`, keeping the `top_n` slowest spans.
+TraceSummary analyze_trace(const std::vector<Event>& events,
+                           std::size_t top_n = 10);
+
+/// Stable machine-readable form (consumed by the report smoke test and
+/// external tooling):
+///   {"events":N,"probes":N,"samples":N,"virtual_end":T,
+///    "tgas":{"<tga>":{"<phase>":{"count":N,"seconds":S},...},...},
+///    "wire":[{"type":"ICMP","packets":N,...},...],
+///    "quantiles":{...},            // quantiles.h schema
+///    "slowest":[{"path":P,"t0":T,"dur":D},...]}
+std::string report_json(const TraceSummary& summary);
+
+}  // namespace v6::obs

@@ -1,0 +1,347 @@
+#include "obs/trace_reader.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+
+namespace v6::obs {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parse_document(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  bool consume(char expected) {
+    if (eof() || text_[pos_] != expected) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth || eof()) return false;
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return parse_string(&out->string);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return consume_literal("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return consume_literal("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return consume_literal("null");
+      default:
+        out->type = JsonValue::Type::kNumber;
+        return parse_number(&out->number);
+    }
+  }
+
+  bool parse_object(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kObject;
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (eof() || peek() != '"' || !parse_string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value, depth + 1)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_array(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kArray;
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value, depth + 1)) return false;
+      out->array.push_back(std::move(value));
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  static void append_utf8(std::string* out, unsigned int cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_hex4(unsigned int* out) {
+    if (pos_ + 4 > text_.size()) return false;
+    unsigned int v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned int>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned int>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned int>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (true) {
+      if (eof()) return false;
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (eof()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned int cp = 0;
+          if (!parse_hex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the low half.
+            unsigned int low = 0;
+            if (!consume('\\') || !consume('u') || !parse_hex4(&low) ||
+                low < 0xDC00 || low > 0xDFFF) {
+              return false;
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return false;  // lone low surrogate
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+  }
+
+  bool parse_number(double* out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    // Integer part: 0, or a nonzero digit followed by digits.
+    if (eof()) return false;
+    if (peek() == '0') {
+      ++pos_;
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    } else {
+      return false;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') return false;
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') return false;
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    *out = std::strtod(token.c_str(), nullptr);
+    // Syntactically valid exponents can still overflow ("1e999"); a
+    // non-finite value has no JSON spelling, so reject it here rather
+    // than let it poison downstream arithmetic and re-serialization.
+    return std::isfinite(*out);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue* find_typed(const JsonValue& obj, std::string_view key,
+                            JsonValue::Type type) {
+  const JsonValue* v = obj.find(key);
+  return (v != nullptr && v->type == type) ? v : nullptr;
+}
+
+// Known fields must have the right type when present; `required` makes
+// absence an error too.
+bool read_string(const JsonValue& obj, std::string_view key, bool required,
+                 std::string* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return !required;
+  if (v->type != JsonValue::Type::kString) return false;
+  *out = v->string;
+  return true;
+}
+
+bool read_number(const JsonValue& obj, std::string_view key, bool required,
+                 double* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return !required;
+  if (v->type != JsonValue::Type::kNumber) return false;
+  *out = v->number;
+  return true;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool json_parse(std::string_view text, JsonValue* out) {
+  return Parser(text).parse_document(out);
+}
+
+std::optional<Event> parse_trace_line(std::string_view line) {
+  JsonValue doc;
+  if (!json_parse(line, &doc) || doc.type != JsonValue::Type::kObject) {
+    return std::nullopt;
+  }
+  const JsonValue* ev = find_typed(doc, "ev", JsonValue::Type::kString);
+  if (ev == nullptr) return std::nullopt;
+
+  Event event;
+  double number = 0.0;
+  if (ev->string == "span") {
+    event.kind = Event::Kind::kSpan;
+    if (!read_string(doc, "path", /*required=*/true, &event.path)) {
+      return std::nullopt;
+    }
+    if (!read_number(doc, "t0", false, &event.at)) return std::nullopt;
+    if (!read_number(doc, "dur", false, &event.seconds)) return std::nullopt;
+  } else if (ev->string == "counter" || ev->string == "gauge") {
+    event.kind = ev->string == "counter" ? Event::Kind::kCounter
+                                         : Event::Kind::kGauge;
+    if (!read_string(doc, "path", true, &event.path)) return std::nullopt;
+    if (!read_number(doc, "value", true, &number)) return std::nullopt;
+    event.value = event.kind == Event::Kind::kGauge
+                      ? static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(number))
+                      : static_cast<std::uint64_t>(number);
+  } else if (ev->string == "probe") {
+    event.kind = Event::Kind::kProbe;
+    if (!read_string(doc, "path", true, &event.path)) return std::nullopt;
+    if (!read_string(doc, "detail", false, &event.detail)) {
+      return std::nullopt;
+    }
+    if (!read_number(doc, "t0", false, &event.at)) return std::nullopt;
+  } else if (ev->string == "message") {
+    event.kind = Event::Kind::kMessage;
+    if (!read_string(doc, "path", false, &event.path)) return std::nullopt;
+    if (!read_string(doc, "detail", false, &event.detail)) {
+      return std::nullopt;
+    }
+  } else if (ev->string == "sample") {
+    event.kind = Event::Kind::kSample;
+    if (!read_string(doc, "path", true, &event.path)) return std::nullopt;
+    if (!read_number(doc, "t0", true, &event.at)) return std::nullopt;
+    if (!read_number(doc, "value", true, &number)) return std::nullopt;
+    event.value = static_cast<std::uint64_t>(number);
+  } else if (ev->string == "hist") {
+    event.kind = Event::Kind::kHist;
+    if (!read_string(doc, "path", true, &event.path)) return std::nullopt;
+    if (!read_string(doc, "detail", true, &event.detail)) {
+      return std::nullopt;
+    }
+  } else if (ev->string == "timer") {
+    event.kind = Event::Kind::kTimer;
+    if (!read_string(doc, "path", true, &event.path)) return std::nullopt;
+    if (!read_number(doc, "count", true, &number)) return std::nullopt;
+    event.value = static_cast<std::uint64_t>(number);
+    if (!read_number(doc, "dur", false, &event.seconds)) return std::nullopt;
+  } else {
+    return std::nullopt;
+  }
+  return event;
+}
+
+TraceLoadStats load_trace(std::istream& in, std::vector<Event>* out) {
+  TraceLoadStats stats;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++stats.lines;
+    if (auto event = parse_trace_line(line)) {
+      out->push_back(std::move(*event));
+    } else {
+      ++stats.bad_lines;
+    }
+  }
+  return stats;
+}
+
+}  // namespace v6::obs

@@ -1,0 +1,66 @@
+// Strict JSON reading for trace files — the consumer half of
+// JsonLinesSink / ChromeTraceSink.
+//
+// json_parse is a small recursive-descent RFC 8259 parser (objects,
+// arrays, strings with \u escapes, strict number grammar, bounded
+// nesting). It is deliberately independent of the writers so tests can
+// use it to validate their output (the same pattern as the in-harness
+// RFC 4180 reader in tests/fuzz/fuzz_csv.cc), and it doubles as the
+// `sos report` front end and a fuzz target.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace v6::obs {
+
+/// A parsed JSON document node. Object member order is preserved.
+struct JsonValue {
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member named `key` of an object, or nullptr.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses `text` as one complete JSON document (leading/trailing
+/// whitespace allowed, nothing else). Returns false on any syntax
+/// error; `out` is unspecified on failure.
+bool json_parse(std::string_view text, JsonValue* out);
+
+/// Decodes one JSONL trace line back into an Event. Returns nullopt for
+/// malformed JSON, an unknown "ev" kind, or wrongly-typed known fields.
+/// (A probe event's attempt ordinal is not serialized, so it reads back
+/// as 0.)
+std::optional<Event> parse_trace_line(std::string_view line);
+
+struct TraceLoadStats {
+  std::size_t lines = 0;      // non-empty lines seen
+  std::size_t bad_lines = 0;  // lines that failed to decode
+};
+
+/// Reads a JSONL trace stream, appending decoded events to `out`.
+/// Malformed lines are counted, not fatal.
+TraceLoadStats load_trace(std::istream& in, std::vector<Event>* out);
+
+}  // namespace v6::obs

@@ -2,12 +2,20 @@
 // transport layer instrumentation).
 //
 //   CountingTransport — per-probe-type packet / reply / timeout counters
-//     into an obs::Registry. Tallies are plain integers flushed into the
-//     registry's atomic counters when the transport is destroyed (or on
-//     flush()): a transport lives inside one run on one thread, so each
-//     probe pays one extra virtual call and two plain increments —
-//     cheap enough to leave on for every instrumented run. Registry
-//     values are therefore visible only after the transport is done.
+//     into an obs::Registry, plus virtual wire-time accounting: each
+//     reply's modeled RTT (ProbeTransport::last_wire_nanos) feeds a
+//     `transport.<TYPE>.rtt` histogram and a `transport.<TYPE>.
+//     wire_seconds` timer, and scanner waits threaded down via advance()
+//     (timeouts, retry backoff, adaptive cool-downs) are charged to the
+//     wire_seconds timer of the last-probed type. All of it is driven by
+//     the simulated wire clock, so the totals are bit-identical across
+//     jobs counts (docs/OBSERVABILITY.md, determinism contract).
+//     Scalar tallies are plain integers flushed into the registry's
+//     atomic counters when the transport is destroyed (or on flush()):
+//     a transport lives inside one run on one thread, so each probe pays
+//     one extra virtual call and a few plain increments — cheap enough
+//     to leave on for every instrumented run. Registry values are
+//     therefore visible only after the transport is done.
 //   TracingTransport  — one Kind::kProbe event per packet to the
 //     telemetry sink. Expensive (string serialization per probe); meant
 //     for `sos --trace` on small universes, never for benches.
@@ -38,6 +46,8 @@ class CountingTransport final : public ProbeTransport {
       packets_[i] = &registry.counter(base + ".packets");
       replies_[i] = &registry.counter(base + ".replies");
       timeouts_[i] = &registry.counter(base + ".timeouts");
+      wire_[i] = &registry.timer(base + ".wire_seconds");
+      rtt_[i] = &registry.histogram(base + ".rtt");
     }
   }
 
@@ -47,18 +57,41 @@ class CountingTransport final : public ProbeTransport {
                            v6::net::ProbeType type) override {
     const v6::net::ProbeReply reply = inner_->send(addr, type);
     const auto i = static_cast<std::size_t>(type);
+    last_type_ = i;
     ++packet_tally_[i];
     if (reply == v6::net::ProbeReply::kTimeout) {
+      // Timeouts consumed no wire time (the ProbeTransport contract), so
+      // skip the last_wire_nanos() query on the most common path.
       ++timeout_tally_[i];
     } else {
       ++reply_tally_[i];
+      const std::uint64_t wire = inner_->last_wire_nanos();
+      if (wire != 0) {
+        wire_nanos_tally_[i] += wire;
+        ++wire_count_tally_[i];
+        rtt_tally_[i].record_nanos(wire);
+      }
     }
     return reply;
   }
 
   std::uint64_t packets_sent() const override { return inner_->packets_sent(); }
 
-  void advance(double seconds) override { inner_->advance(seconds); }
+  std::uint64_t last_wire_nanos() const override {
+    return inner_->last_wire_nanos();
+  }
+
+  void advance(double seconds) override {
+    inner_->advance(seconds);
+    // A scanner wait (timeout, retry backoff, adaptive cool-down) is
+    // wire time spent on — and attributed to — the last-probed type.
+    // The double->integer rounding matches TimerStat::record_seconds,
+    // and `seconds` comes off the virtual clock, so the charge is
+    // deterministic.
+    wire_nanos_tally_[last_type_] +=
+        static_cast<std::uint64_t>(seconds * 1e9);
+    ++wire_count_tally_[last_type_];
+  }
 
   /// Publishes the accumulated tallies into the registry counters and
   /// zeroes them. Called automatically on destruction.
@@ -67,18 +100,64 @@ class CountingTransport final : public ProbeTransport {
       packets_[i]->add(packet_tally_[i]);
       replies_[i]->add(reply_tally_[i]);
       timeouts_[i]->add(timeout_tally_[i]);
+      wire_[i]->add_raw(wire_count_tally_[i], wire_nanos_tally_[i]);
+      rtt_[i]->add_raw(rtt_tally_[i].take());
       packet_tally_[i] = reply_tally_[i] = timeout_tally_[i] = 0;
+      wire_count_tally_[i] = wire_nanos_tally_[i] = 0;
     }
   }
 
  private:
+  /// Plain (single-threaded) histogram accumulator: the per-packet
+  /// record is five plain integer ops instead of the shared Histogram's
+  /// five atomic RMWs; totals publish via add_raw at flush(). Unit math
+  /// matches Histogram::record exactly — nanoseconds ARE the 1e-9
+  /// fixed-point units — so the merged totals are bit-identical.
+  struct LocalHistogram {
+    std::uint64_t count = 0;
+    std::uint64_t sum_nanos = 0;
+    std::uint64_t min_nanos = ~std::uint64_t{0};
+    std::uint64_t max_nanos = 0;
+    std::array<std::uint64_t, v6::obs::Histogram::kNumBuckets> buckets{};
+
+    void record_nanos(std::uint64_t nanos) {
+      ++count;
+      sum_nanos += nanos;
+      if (nanos < min_nanos) min_nanos = nanos;
+      if (nanos > max_nanos) max_nanos = nanos;
+      ++buckets[static_cast<std::size_t>(v6::obs::Histogram::bucket_index(
+          static_cast<double>(nanos) * 1e-9))];
+    }
+
+    v6::obs::HistogramTotal take() {
+      v6::obs::HistogramTotal total;
+      total.count = count;
+      total.sum_units = sum_nanos;
+      total.min_units = min_nanos;
+      total.max_units = max_nanos;
+      for (int b = 0; b < v6::obs::Histogram::kNumBuckets; ++b) {
+        if (buckets[static_cast<std::size_t>(b)] != 0) {
+          total.buckets.emplace(b, buckets[static_cast<std::size_t>(b)]);
+        }
+      }
+      *this = LocalHistogram{};
+      return total;
+    }
+  };
+
   ProbeTransport* inner_;
   std::array<v6::obs::Counter*, v6::net::kNumProbeTypes> packets_{};
   std::array<v6::obs::Counter*, v6::net::kNumProbeTypes> replies_{};
   std::array<v6::obs::Counter*, v6::net::kNumProbeTypes> timeouts_{};
+  std::array<v6::obs::TimerStat*, v6::net::kNumProbeTypes> wire_{};
+  std::array<v6::obs::Histogram*, v6::net::kNumProbeTypes> rtt_{};
   std::array<std::uint64_t, v6::net::kNumProbeTypes> packet_tally_{};
   std::array<std::uint64_t, v6::net::kNumProbeTypes> reply_tally_{};
   std::array<std::uint64_t, v6::net::kNumProbeTypes> timeout_tally_{};
+  std::array<std::uint64_t, v6::net::kNumProbeTypes> wire_count_tally_{};
+  std::array<std::uint64_t, v6::net::kNumProbeTypes> wire_nanos_tally_{};
+  std::array<LocalHistogram, v6::net::kNumProbeTypes> rtt_tally_{};
+  std::size_t last_type_ = 0;
 };
 
 class TracingTransport final : public ProbeTransport {
@@ -102,6 +181,10 @@ class TracingTransport final : public ProbeTransport {
   }
 
   std::uint64_t packets_sent() const override { return inner_->packets_sent(); }
+
+  std::uint64_t last_wire_nanos() const override {
+    return inner_->last_wire_nanos();
+  }
 
   void advance(double seconds) override { inner_->advance(seconds); }
 

@@ -184,6 +184,12 @@ ScanStats Scanner::scan(std::span<const Ipv6Addr> targets, ProbeType type,
     if (stats.backoffs != 0) {
       registry.counter("scanner.backoffs").add(stats.backoffs);
     }
+    // Per-batch distributions, both on the virtual clock (deterministic
+    // across jobs counts — see docs/OBSERVABILITY.md).
+    registry.histogram("scanner.batch.targets")
+        .record(static_cast<double>(stats.targets));
+    registry.histogram("scanner.batch.virtual_seconds")
+        .record(stats.virtual_seconds);
   }
   return stats;
 }

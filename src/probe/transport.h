@@ -34,6 +34,15 @@ class ProbeTransport {
   /// clocks forward; the default is a no-op, and decorators forward it
   /// down the chain.
   virtual void advance(double seconds) { (void)seconds; }
+
+  /// Virtual wire nanoseconds consumed by the most recent send(): the
+  /// modeled round-trip time of its reply. A timed-out probe consumed no
+  /// wire time — implementations MUST return 0 after a timeout (the
+  /// scanner's wait is charged separately via advance()), and callers on
+  /// hot paths rely on that to skip the query entirely. Deterministic —
+  /// derived from the simulated wire clock, never a real one. Default 0
+  /// for transports without a latency model.
+  virtual std::uint64_t last_wire_nanos() const { return 0; }
 };
 
 /// Transport that probes a simulated Universe. Loss randomness (rate
@@ -47,15 +56,26 @@ class SimTransport final : public ProbeTransport {
   v6::net::ProbeReply send(const v6::net::Ipv6Addr& addr,
                            v6::net::ProbeType type) override {
     ++packets_;
-    return universe_->probe(addr, type, rng_);
+    const v6::net::ProbeReply reply = universe_->probe(addr, type, rng_);
+    last_addr_ = addr;
+    last_replied_ = reply != v6::net::ProbeReply::kTimeout;
+    return reply;
   }
 
   std::uint64_t packets_sent() const override { return packets_; }
+
+  /// Lazily evaluated (a pure hash of the address, no RNG draw), so the
+  /// uninstrumented path pays only two stores per probe.
+  std::uint64_t last_wire_nanos() const override {
+    return last_replied_ ? v6::simnet::Universe::rtt_nanos(last_addr_) : 0;
+  }
 
  private:
   const v6::simnet::Universe* universe_;
   v6::net::Rng rng_;
   std::uint64_t packets_ = 0;
+  v6::net::Ipv6Addr last_addr_;
+  bool last_replied_ = false;
 };
 
 }  // namespace v6::probe

@@ -14,6 +14,36 @@ bool Universe::addr_coin(const Ipv6Addr& addr, std::uint64_t salt, double p) {
   return u < p;
 }
 
+namespace {
+
+/// High 64 bits of a 64x64 multiply: maps a full-range hash into [0, n)
+/// as hash * n / 2^64 (Lemire's multiply-shift). One mul instead of the
+/// ~30-cycle 64-bit division a `% n` costs — this runs once per reply on
+/// the instrumented-scan hot path. Bias vs a true modulo is < 2^-37 for
+/// the ranges used here, invisible in a latency model.
+inline std::uint64_t map_to_range(std::uint64_t hash, std::uint64_t n) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(hash) * n) >> 64);
+}
+
+}  // namespace
+
+std::uint64_t Universe::rtt_nanos(const Ipv6Addr& addr) {
+  // Per-/48 base latency: everything in one site shares a path to us.
+  // The site is the top 48 bits of hi() — masked inline, no Ipv6Addr.
+  const std::uint64_t site_hi = addr.hi() & ~std::uint64_t{0xFFFF};
+  const std::uint64_t base_hash = v6::net::splitmix64(site_hi ^ 0x177C);
+  const std::uint64_t base =
+      5'000'000 + map_to_range(base_hash, 180'000'000);  // 5–185 ms
+  // Per-address jitter on top (last-hop / host scheduling). One odd-
+  // constant multiply is enough mixing here: map_to_range keeps only the
+  // high bits, which a multiply spreads well, and jitter only has to
+  // decorrelate neighbours — the heavy lifting is in base_hash.
+  const std::uint64_t jitter_hash =
+      (addr.lo() ^ base_hash) * 0x9E3779B97F4A7C15ULL;
+  return base + map_to_range(jitter_hash, 20'000'000);  // + 0–20 ms
+}
+
 const HostRecord* Universe::host(const Ipv6Addr& addr) const {
   const std::uint32_t* idx = host_index_.find(addr);
   return idx == nullptr ? nullptr : &hosts_[*idx];

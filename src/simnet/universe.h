@@ -102,6 +102,14 @@ class Universe {
   /// Hosts currently responsive on any probe type.
   std::size_t active_host_count_any() const;
 
+  /// Deterministic modeled round-trip time for a reply from `addr`, in
+  /// integer nanoseconds: a per-/48-site base (5–185 ms, continental
+  /// spread) plus per-address jitter (0–20 ms). A pure splitmix64 hash —
+  /// no RNG stream is consumed, so calling (or not calling) this can
+  /// never perturb scan outcomes, and repeated probes of one address
+  /// agree. Feeds the virtual-time `transport.<TYPE>.rtt` histograms.
+  static std::uint64_t rtt_nanos(const v6::net::Ipv6Addr& addr);
+
  private:
   friend class UniverseBuilder;
 

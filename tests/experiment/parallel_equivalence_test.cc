@@ -6,6 +6,7 @@
 
 #include <array>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "experiment/runner.h"
@@ -139,25 +140,55 @@ TEST(ParallelEquivalence, MergedTelemetryIsDeterministic) {
                       .with_telemetry(&telemetry)
                       .with_jobs(jobs));
     // Event paths in emission order; timestamps/durations are wall
-    // clock and excluded on purpose.
+    // clock and excluded on purpose — except sampler points, whose
+    // `at` is virtual time and deterministic along with the value.
     std::vector<std::string> paths;
-    for (const auto& ev : sink.events()) paths.push_back(ev.path);
+    std::vector<std::tuple<std::string, double, std::uint64_t>> samples;
+    for (const auto& ev : sink.events()) {
+      paths.push_back(ev.path);
+      if (ev.kind == v6::obs::Event::Kind::kSample) {
+        samples.emplace_back(ev.path, ev.at, ev.value);
+      }
+    }
     return std::tuple(telemetry.registry().snapshot(), std::move(paths),
-                      runs);
+                      std::move(samples), runs);
   };
 
-  const auto [report_seq, paths_seq, runs_seq] = run(1);
-  const auto [report_par, paths_par, runs_par] = run(3);
+  const auto [report_seq, paths_seq, samples_seq, runs_seq] = run(1);
+  const auto [report_par, paths_par, samples_par, runs_par] = run(3);
+
+  EXPECT_FALSE(samples_seq.empty());
+  EXPECT_EQ(samples_seq, samples_par);
 
   EXPECT_EQ(report_seq.counters, report_par.counters);
   EXPECT_EQ(report_seq.gauges, report_par.gauges);
-  // Timer *counts* are deterministic; elapsed seconds are not.
+  // Timer *counts* are deterministic; elapsed seconds are not — except
+  // the virtual-clock wire timers, which must be bit-identical.
   ASSERT_EQ(report_seq.timers.size(), report_par.timers.size());
   for (const auto& [name, total] : report_seq.timers) {
     const auto it = report_par.timers.find(name);
     ASSERT_NE(it, report_par.timers.end()) << name;
     EXPECT_EQ(total.count, it->second.count) << name;
+    if (name.find(".wire_seconds") != std::string::npos) {
+      EXPECT_EQ(total.nanos, it->second.nanos) << name;
+    }
   }
+  // Histograms fed from the virtual clock (RTTs, batch stats) are
+  // bit-identical across jobs counts; only the `.wall` family measures
+  // host time and is exempt from the determinism contract.
+  ASSERT_EQ(report_seq.histograms.size(), report_par.histograms.size());
+  bool saw_virtual_histogram = false;
+  for (const auto& [name, total] : report_seq.histograms) {
+    const auto it = report_par.histograms.find(name);
+    ASSERT_NE(it, report_par.histograms.end()) << name;
+    if (name.size() >= 5 && name.compare(name.size() - 5, 5, ".wall") == 0) {
+      EXPECT_EQ(total.count, it->second.count) << name;
+      continue;
+    }
+    saw_virtual_histogram = true;
+    EXPECT_EQ(total, it->second) << name;
+  }
+  EXPECT_TRUE(saw_virtual_histogram);
   EXPECT_EQ(paths_seq, paths_par);
 
   // Per-run reports carry per-TGA attribution that survives the pool.

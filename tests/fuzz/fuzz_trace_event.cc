@@ -1,0 +1,68 @@
+// Fuzz harness for the trace-event surface: the strict JSON parser
+// (obs/trace_reader.h), the JSON-lines event codec, and the histogram
+// detail encoding. These parse `sos report` input — a file the user
+// hands us, i.e. untrusted.
+//
+// Invariants checked:
+//   - json_parse never crashes and never half-fills the output value
+//   - a line that decodes to an Event re-serializes (to_json) and
+//     re-parses to the identical event (codec round-trip / fixpoint)
+//   - a parseable hist detail re-encodes bit-identically
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fuzz_check.h"
+#include "obs/histogram.h"
+#include "obs/sinks.h"
+#include "obs/trace_reader.h"
+
+namespace obs = v6::obs;
+
+namespace {
+
+bool events_equal(const obs::Event& a, const obs::Event& b) {
+  return a.kind == b.kind && a.path == b.path && a.detail == b.detail &&
+         a.at == b.at && a.seconds == b.seconds && a.value == b.value;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  // The general parser must be total: accept or reject, never crash.
+  obs::JsonValue value;
+  (void)obs::json_parse(text, &value);
+
+  const auto event = obs::parse_trace_line(text);
+  if (event.has_value()) {
+    const std::string canonical = obs::JsonLinesSink::to_json(*event);
+    const auto again = obs::parse_trace_line(canonical);
+    FUZZ_CHECK(again.has_value(), "canonical event line must re-parse");
+    FUZZ_CHECK(events_equal(*event, *again),
+               "event codec round-trip changed the event");
+    FUZZ_CHECK(obs::JsonLinesSink::to_json(*again) == canonical,
+               "to_json must be a fixpoint on its own output");
+
+    if (event->kind == obs::Event::Kind::kHist) {
+      obs::HistogramTotal total;
+      if (obs::parse_histogram(event->detail, &total)) {
+        obs::HistogramTotal reparsed;
+        FUZZ_CHECK(
+            obs::parse_histogram(obs::encode_histogram(total), &reparsed),
+            "canonical hist detail must re-parse");
+        FUZZ_CHECK(reparsed == total,
+                   "hist detail round-trip changed the totals");
+      }
+    }
+  }
+
+  // The histogram detail parser is also reachable with raw input.
+  obs::HistogramTotal total;
+  (void)obs::parse_histogram(text, &total);
+
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Golden regression test for the deterministic metrics layer: pins the
+// virtual-clock histogram totals (bucket-exact) and wire timers of a
+// small reference run to a checked-in text file. Catches silent shifts
+// in the RTT model, the wire-charging rules, and the histogram bucket
+// math — none of which the outcome golden (golden_sweep_test.cc) sees.
+//
+// Update procedure (only when an intentional behavior change lands):
+//
+//   V6_UPDATE_GOLDEN=1 ./build/tests/golden_quantiles_test
+//
+// rewrites tests/golden/golden_quantiles.txt in the source tree; review
+// the diff and say WHY the distributions moved in the commit message.
+// Totals are serialized as integer fixed-point units and quantiles as
+// %.17g doubles, so the comparison is bit-exact.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiment/runner.h"
+#include "experiment/workbench.h"
+#include "obs/histogram.h"
+#include "obs/registry.h"
+#include "obs/telemetry.h"
+#include "tga/registry.h"
+
+#ifndef V6_GOLDEN_DIR
+#error "V6_GOLDEN_DIR must point at the checked-in golden directory"
+#endif
+
+namespace v6::experiment {
+namespace {
+
+constexpr const char* kGoldenPath = V6_GOLDEN_DIR "/golden_quantiles.txt";
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool is_wall(const std::string& name) {
+  return name.size() >= 5 && name.compare(name.size() - 5, 5, ".wall") == 0;
+}
+
+/// The reference run: two TGAs, fault-free, jobs=1, over the same small
+/// dedicated workbench the outcome golden uses. Every knob is pinned.
+std::string serialize_reference_quantiles() {
+  WorkbenchConfig wb;
+  wb.seed = 404;
+  wb.universe.seed = 404;
+  wb.universe.num_ases = 150;
+  wb.universe.host_scale = 0.12;
+  wb.universe.dense_region_prefix_len = 52;
+  v6::obs::Telemetry telemetry;
+  Workbench bench(wb);
+
+  run_sweep(SweepSpec{}
+                .with_universe(bench.universe())
+                .with_kinds(std::vector<v6::tga::TgaKind>{
+                    v6::tga::TgaKind::kDet, v6::tga::TgaKind::kSixTree})
+                .with_seeds(bench.all_active())
+                .with_alias_list(bench.alias_list())
+                .with_config(
+                    PipelineConfig{}.with_budget(15'000).with_batch_size(
+                        5'000))
+                .with_telemetry(&telemetry)
+                .with_jobs(1));
+
+  const v6::obs::Report report = telemetry.registry().snapshot();
+  std::ostringstream out;
+  out << "# golden quantiles v1 (see test header for the update "
+         "procedure)\n";
+  for (const auto& [name, t] : report.histograms) {
+    if (is_wall(name)) continue;  // host time: not deterministic
+    out << "histogram: " << name << "\n";
+    out << "count: " << t.count << "\n";
+    out << "zeros: " << t.zeros << "\n";
+    out << "sum_units: " << t.sum_units << "\n";
+    out << "min_units: " << t.min_units << "\n";
+    out << "max_units: " << t.max_units << "\n";
+    out << "buckets:";
+    for (const auto& [index, n] : t.buckets) out << " " << index << ":" << n;
+    out << "\n";
+    out << "p50: " << fmt_double(t.quantile(0.50)) << "\n";
+    out << "p90: " << fmt_double(t.quantile(0.90)) << "\n";
+    out << "p99: " << fmt_double(t.quantile(0.99)) << "\n";
+  }
+  for (const auto& [name, t] : report.timers) {
+    if (name.find(".wire_seconds") == std::string::npos) continue;
+    out << "timer: " << name << "\n";
+    out << "count: " << t.count << "\n";
+    out << "nanos: " << t.nanos << "\n";
+  }
+  return out.str();
+}
+
+TEST(GoldenQuantiles, DistributionsMatchCheckedInGolden) {
+  const std::string actual = serialize_reference_quantiles();
+
+  if (std::getenv("V6_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << kGoldenPath;
+    out << actual;
+    GTEST_SKIP() << "golden updated: " << kGoldenPath
+                 << " — review and commit the diff";
+  }
+
+  std::ifstream in(kGoldenPath, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << kGoldenPath
+                  << "; run with V6_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+
+  if (actual == expected.str()) return;
+  std::istringstream actual_lines(actual), expected_lines(expected.str());
+  std::string a, e;
+  std::size_t line = 0;
+  while (true) {
+    ++line;
+    const bool more_a = static_cast<bool>(std::getline(actual_lines, a));
+    const bool more_e = static_cast<bool>(std::getline(expected_lines, e));
+    if (!more_a && !more_e) break;
+    ASSERT_EQ(more_a, more_e) << "golden and actual diverge in length at line "
+                              << line;
+    ASSERT_EQ(a, e) << "first golden mismatch at line " << line
+                    << " (update procedure: see test header)";
+  }
+  FAIL() << "golden mismatch";  // unreachable: the loop pinpoints it
+}
+
+}  // namespace
+}  // namespace v6::experiment

@@ -1,0 +1,170 @@
+// Unit coverage for the Histogram metric (src/obs/histogram.h): bucket
+// math, fixed-point units, quantile estimation bounds, merge semantics,
+// registry/report integration, and the trace-detail encoding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/registry.h"
+
+namespace v6::obs {
+namespace {
+
+TEST(HistogramBuckets, ValuesLandInsideTheirBucketBounds) {
+  const double values[] = {1e-9, 3.2e-7, 0.004, 0.05, 0.9999, 1.0,
+                           1.5,  7.0,    1234.5, 8.5e9};
+  for (const double v : values) {
+    const int index = Histogram::bucket_index(v);
+    ASSERT_GE(index, 0) << v;
+    ASSERT_LT(index, Histogram::kNumBuckets) << v;
+    EXPECT_GE(v, Histogram::bucket_lower(index)) << v;
+    EXPECT_LT(v, Histogram::bucket_upper(index)) << v;
+  }
+}
+
+TEST(HistogramBuckets, BucketsTileTheRangeContiguously) {
+  for (int i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(Histogram::bucket_upper(i), Histogram::bucket_lower(i + 1))
+        << i;
+  }
+}
+
+TEST(HistogramBuckets, RelativeWidthIsBounded) {
+  // Log-linear bucketing bounds the worst-case quantile error at
+  // 1/kSubBuckets relative.
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    const double lower = Histogram::bucket_lower(i);
+    const double upper = Histogram::bucket_upper(i);
+    EXPECT_LE((upper - lower) / lower, 1.0 / Histogram::kSubBuckets + 1e-12)
+        << i;
+  }
+}
+
+TEST(HistogramBuckets, OutOfRangeValuesClampToEdgeBuckets) {
+  EXPECT_EQ(Histogram::bucket_index(1e-30), 0);
+  EXPECT_EQ(Histogram::bucket_index(1e30), Histogram::kNumBuckets - 1);
+}
+
+TEST(Histogram, RecordTracksCountSumMinMax) {
+  Histogram h;
+  h.record(0.010);
+  h.record(0.020);
+  h.record(0.300);
+  const HistogramTotal t = h.total();
+  EXPECT_EQ(t.count, 3u);
+  EXPECT_EQ(t.zeros, 0u);
+  EXPECT_EQ(t.sum_units, 330'000'000u);
+  EXPECT_EQ(t.min_units, 10'000'000u);
+  EXPECT_EQ(t.max_units, 300'000'000u);
+  EXPECT_NEAR(t.mean(), 0.110, 1e-12);
+}
+
+TEST(Histogram, NonPositiveValuesCountAsZeros) {
+  Histogram h;
+  h.record(0.0);
+  h.record(-1.0);
+  h.record(0.5);
+  const HistogramTotal t = h.total();
+  EXPECT_EQ(t.count, 3u);
+  EXPECT_EQ(t.zeros, 2u);
+  EXPECT_EQ(t.min_units, 0u);
+  EXPECT_EQ(t.quantile(0.5), 0.0);  // rank 2 of 3 is a zero
+}
+
+TEST(Histogram, QuantileEstimateIsWithinBucketError) {
+  Histogram h;
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) {
+    const double v = 0.001 * i;  // 1ms .. 1s uniform
+    values.push_back(v);
+    h.record(v);
+  }
+  const HistogramTotal t = h.total();
+  for (const double q : {0.50, 0.90, 0.99}) {
+    const double exact =
+        values[static_cast<std::size_t>(q * 1000.0) - 1];
+    const double estimate = t.quantile(q);
+    EXPECT_GE(estimate, exact * (1.0 - 1e-9)) << q;
+    EXPECT_LE(estimate, exact * (1.0 + 1.0 / Histogram::kSubBuckets) + 1e-9)
+        << q;
+  }
+  // quantile(1.0) is exact: the tracked max, not a bucket bound.
+  EXPECT_DOUBLE_EQ(t.quantile(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.max(), 1.0);
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsZero) {
+  const HistogramTotal t = Histogram().total();
+  EXPECT_EQ(t.count, 0u);
+  EXPECT_EQ(t.quantile(0.5), 0.0);
+  EXPECT_EQ(t.mean(), 0.0);
+  EXPECT_EQ(t.min(), 0.0);
+}
+
+TEST(Histogram, AddRawMergeEqualsCombinedRecording) {
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  for (int i = 1; i <= 100; ++i) {
+    const double v = 0.003 * i;
+    (i % 2 == 0 ? a : b).record(v);
+    combined.record(v);
+  }
+  Histogram merged;
+  merged.add_raw(a.total());
+  merged.add_raw(b.total());
+  EXPECT_EQ(merged.total(), combined.total());
+}
+
+TEST(Histogram, RegistrySnapshotAndMergeCarryHistograms) {
+  Registry reg;
+  reg.histogram("x.rtt").record(0.05);
+  reg.histogram("x.rtt").record(0.07);
+  const Report report = reg.snapshot();
+  ASSERT_EQ(report.histograms.count("x.rtt"), 1u);
+  EXPECT_EQ(report.histograms.at("x.rtt").count, 2u);
+
+  Registry other;
+  other.histogram("x.rtt").record(0.09);
+  other.merge_from(reg);
+  EXPECT_EQ(other.snapshot().histograms.at("x.rtt").count, 3u);
+
+  Report folded;
+  folded.merge_from(report);
+  folded.merge_from(other.snapshot());
+  EXPECT_EQ(folded.histograms.at("x.rtt").count, 5u);
+}
+
+TEST(Histogram, DetailEncodingRoundTripsBitExactly) {
+  Histogram h;
+  h.record(0.001);
+  h.record(0.25);
+  h.record(123.0);
+  h.record(0.0);
+  const HistogramTotal t = h.total();
+  const std::string encoded = encode_histogram(t);
+  HistogramTotal parsed;
+  ASSERT_TRUE(parse_histogram(encoded, &parsed)) << encoded;
+  EXPECT_EQ(parsed, t);
+
+  // Empty histograms round-trip too (min_units is the sentinel max).
+  const HistogramTotal empty = Histogram().total();
+  HistogramTotal parsed_empty;
+  ASSERT_TRUE(parse_histogram(encode_histogram(empty), &parsed_empty));
+  EXPECT_EQ(parsed_empty, empty);
+}
+
+TEST(Histogram, DetailParserRejectsGarbage) {
+  HistogramTotal t;
+  EXPECT_FALSE(parse_histogram("", &t));
+  EXPECT_FALSE(parse_histogram("c=1", &t));
+  EXPECT_FALSE(parse_histogram("c=1;z=0;s=5;lo=1;hi=5;b=9999999:1", &t));
+  EXPECT_FALSE(parse_histogram("c=x;z=0;s=0;lo=0;hi=0;b=", &t));
+  EXPECT_FALSE(parse_histogram("c=1;z=0;s=0;lo=0;hi=0;b=1:", &t));
+}
+
+}  // namespace
+}  // namespace v6::obs

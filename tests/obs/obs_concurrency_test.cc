@@ -98,6 +98,33 @@ TEST(ObsConcurrency, SpansOnSeparateThreadsShareOneSink) {
   }
 }
 
+TEST(ObsConcurrency, HistogramTotalsAreExact) {
+  // The lock-free histogram's relaxed adds and min/max CAS loops must
+  // lose nothing under contention: count/sum/min/max and the bucket
+  // tallies all come out exact.
+  Registry reg;
+  Histogram& hist = reg.histogram("shared.rtt");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        // Two distinct octaves per thread, plus thread-varied values so
+        // min/max are contested.
+        hist.record(t % 2 == 0 ? 0.001 * (t + 1) : 1.0 * (t + 1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const HistogramTotal total = hist.total();
+  EXPECT_EQ(total.count,
+            static_cast<std::uint64_t>(kThreads) * kItersPerThread);
+  EXPECT_EQ(total.min_units, Histogram::to_units(0.001));
+  EXPECT_EQ(total.max_units, Histogram::to_units(8.0));
+  std::uint64_t bucketed = total.zeros;
+  for (const auto& [index, tally] : total.buckets) bucketed += tally;
+  EXPECT_EQ(bucketed, total.count);
+}
+
 TEST(ObsConcurrency, RegistryMergeRacesWithWriters) {
   // merge_from snapshots the source while writers are still adding;
   // the merged total must land between 0 and the final count, and the

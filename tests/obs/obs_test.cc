@@ -11,6 +11,7 @@
 #include "obs/registry.h"
 #include "obs/sinks.h"
 #include "obs/telemetry.h"
+#include "obs/trace_reader.h"
 
 namespace v6::obs {
 namespace {
@@ -268,9 +269,36 @@ TEST(Sinks, JsonLinesGoldenProbeAndMessage) {
 TEST(Sinks, JsonLinesEscapesControlAndQuoteCharacters) {
   Event event;
   event.kind = Event::Kind::kMessage;
-  event.detail = "a\"b\\c\nd\te\x01" "f";
+  event.detail = "a\"b\\c\nd\te\x01" "f\rg";
   EXPECT_EQ(JsonLinesSink::to_json(event),
-            "{\"ev\":\"message\",\"detail\":\"a\\\"b\\\\c\\nd\\tef\"}");
+            "{\"ev\":\"message\",\"detail\":"
+            "\"a\\\"b\\\\c\\nd\\te\\u0001f\\rg\"}");
+}
+
+TEST(Sinks, JsonLinesEscapedOutputIsValidJsonAndRoundTrips) {
+  // Quotes, backslashes, every control character, and non-ASCII UTF-8
+  // must all serialize to strict-parseable JSON that decodes back to the
+  // original bytes.
+  std::string nasty;
+  for (int c = 1; c < 0x20; ++c) nasty.push_back(static_cast<char>(c));
+  nasty += "\"\\/ plain ";
+  nasty += "\xC3\xA9\xE6\xBC\xA2";  // é + 漢 (UTF-8)
+  Event event;
+  event.kind = Event::Kind::kMessage;
+  event.path = nasty;
+  event.detail = nasty;
+  const std::string line = JsonLinesSink::to_json(event);
+
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(line, &doc)) << line;
+  ASSERT_EQ(doc.type, JsonValue::Type::kObject);
+  const JsonValue* path = doc.find("path");
+  ASSERT_NE(path, nullptr);
+  EXPECT_EQ(path->string, nasty);
+  const auto parsed = parse_trace_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->path, nasty);
+  EXPECT_EQ(parsed->detail, nasty);
 }
 
 TEST(Sinks, JsonLinesSinkWritesOneLinePerEvent) {

@@ -1,0 +1,411 @@
+// Coverage for the trace-consumer half of src/obs: the strict JSON
+// reader (trace_reader.h), the offline analyzer behind `sos report`
+// (trace_analysis.h), the quantile JSON schema (quantiles.h), and the
+// Chrome-trace exporter — whose output is validated with the in-repo
+// strict parser, the same pattern fuzz_csv uses for CSV.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.h"
+#include "obs/histogram.h"
+#include "obs/quantiles.h"
+#include "obs/sinks.h"
+#include "obs/telemetry.h"
+#include "obs/trace_analysis.h"
+#include "obs/trace_reader.h"
+
+namespace v6::obs {
+namespace {
+
+// ---- Strict JSON parser --------------------------------------------------
+
+TEST(JsonParse, AcceptsDocumentsOfEveryType) {
+  JsonValue v;
+  EXPECT_TRUE(json_parse("null", &v));
+  EXPECT_EQ(v.type, JsonValue::Type::kNull);
+  EXPECT_TRUE(json_parse("true", &v));
+  EXPECT_TRUE(v.boolean);
+  EXPECT_TRUE(json_parse("-12.5e2", &v));
+  EXPECT_DOUBLE_EQ(v.number, -1250.0);
+  EXPECT_TRUE(json_parse("\"a\\u0041\\n\"", &v));
+  EXPECT_EQ(v.string, "aA\n");
+  EXPECT_TRUE(json_parse("[1,[2,3],{}]", &v));
+  ASSERT_EQ(v.array.size(), 3u);
+  EXPECT_TRUE(json_parse(" {\"a\": [true], \"b\": \"x\"} ", &v));
+  ASSERT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("c"), nullptr);
+}
+
+TEST(JsonParse, DecodesSurrogatePairsToUtf8) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse("\"\\uD83D\\uDE00\"", &v));  // U+1F600
+  EXPECT_EQ(v.string, "\xF0\x9F\x98\x80");
+  EXPECT_FALSE(json_parse("\"\\uD83D\"", &v));   // lone high surrogate
+  EXPECT_FALSE(json_parse("\"\\uDE00\"", &v));   // lone low surrogate
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  JsonValue v;
+  const char* bad[] = {
+      "",          "{",          "}",           "{\"a\":}",   "{\"a\" 1}",
+      "[1,]",      "{,}",        "01",          "1.",         ".5",
+      "+1",        "1e",         "nul",         "truex",      "\"unterminated",
+      "\"bad\\q\"", "\"ctrl\n\"", "{\"a\":1} x", "[1] [2]",   "'single'",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(json_parse(text, &v)) << text;
+  }
+}
+
+TEST(JsonParse, BoundsNestingDepth) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  JsonValue v;
+  EXPECT_FALSE(json_parse(deep, &v));
+  std::string shallow(10, '[');
+  shallow += "1";
+  shallow += std::string(10, ']');
+  EXPECT_TRUE(json_parse(shallow, &v));
+}
+
+// ---- Trace line round-trips ----------------------------------------------
+
+TEST(TraceReader, EveryEventKindRoundTripsThroughToJson) {
+  std::vector<Event> events;
+  {
+    Event e;
+    e.kind = Event::Kind::kSpan;
+    e.path = "tga:6Tree/pipeline.scan";
+    e.at = 1.5;
+    e.seconds = 0.25;
+    events.push_back(e);
+  }
+  {
+    Event e;
+    e.kind = Event::Kind::kCounter;
+    e.path = "scanner.hits";
+    e.value = 42;
+    events.push_back(e);
+  }
+  {
+    Event e;
+    e.kind = Event::Kind::kGauge;
+    e.path = "pipeline.budget";
+    e.value = static_cast<std::uint64_t>(std::int64_t{-5});
+    events.push_back(e);
+  }
+  {
+    Event e;
+    e.kind = Event::Kind::kMessage;
+    e.detail = "hello";
+    events.push_back(e);
+  }
+  {
+    Event e;
+    e.kind = Event::Kind::kSample;
+    e.path = "sample.hits";
+    e.at = 12.5;
+    e.value = 99;
+    events.push_back(e);
+  }
+  {
+    Histogram h;
+    h.record(0.05);
+    Event e;
+    e.kind = Event::Kind::kHist;
+    e.path = "transport.ICMP.rtt";
+    e.detail = encode_histogram(h.total());
+    events.push_back(e);
+  }
+  {
+    Event e;
+    e.kind = Event::Kind::kTimer;
+    e.path = "pipeline.scan";
+    e.value = 7;
+    e.seconds = 3.5;
+    events.push_back(e);
+  }
+  for (const Event& original : events) {
+    const std::string line = JsonLinesSink::to_json(original);
+    const auto parsed = parse_trace_line(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_EQ(parsed->kind, original.kind) << line;
+    EXPECT_EQ(parsed->path, original.path) << line;
+    EXPECT_EQ(parsed->detail, original.detail) << line;
+    EXPECT_DOUBLE_EQ(parsed->at, original.at) << line;
+    EXPECT_DOUBLE_EQ(parsed->seconds, original.seconds) << line;
+    if (original.kind != Event::Kind::kHist) {
+      EXPECT_EQ(parsed->value, original.value) << line;
+    }
+  }
+}
+
+TEST(TraceReader, RejectsUnknownOrWronglyTypedLines) {
+  EXPECT_FALSE(parse_trace_line("{}").has_value());
+  EXPECT_FALSE(parse_trace_line("{\"ev\":\"nope\"}").has_value());
+  EXPECT_FALSE(parse_trace_line("{\"ev\":\"span\"}").has_value());  // no path
+  EXPECT_FALSE(
+      parse_trace_line("{\"ev\":\"counter\",\"path\":\"x\",\"value\":\"s\"}")
+          .has_value());
+  EXPECT_FALSE(parse_trace_line("not json").has_value());
+}
+
+TEST(TraceReader, LoadTraceCountsBadLines) {
+  std::istringstream in(
+      "{\"ev\":\"counter\",\"path\":\"a\",\"value\":1}\n"
+      "\n"
+      "garbage\n"
+      "{\"ev\":\"message\",\"detail\":\"m\"}\n");
+  std::vector<Event> events;
+  const TraceLoadStats stats = load_trace(in, &events);
+  EXPECT_EQ(stats.lines, 3u);
+  EXPECT_EQ(stats.bad_lines, 1u);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, Event::Kind::kCounter);
+}
+
+// ---- Analyzer ------------------------------------------------------------
+
+std::vector<Event> synthetic_trace() {
+  std::vector<Event> events;
+  auto span = [&](const char* path, double at, double dur) {
+    Event e;
+    e.kind = Event::Kind::kSpan;
+    e.path = path;
+    e.at = at;
+    e.seconds = dur;
+    events.push_back(e);
+  };
+  span("tga:6Tree/pipeline.run/pipeline.scan", 0.1, 2.0);
+  span("tga:6Tree/pipeline.run/pipeline.scan", 2.2, 1.0);
+  span("tga:6Tree/pipeline.run/pipeline.generate", 0.0, 0.1);
+  span("tga:DET/pipeline.run/pipeline.scan", 0.1, 4.0);
+  span("standalone", 0.0, 0.5);
+
+  Event counter;
+  counter.kind = Event::Kind::kCounter;
+  counter.path = "transport.ICMP.packets";
+  counter.value = 1000;
+  events.push_back(counter);
+  counter.path = "transport.ICMP.replies";
+  counter.value = 400;
+  events.push_back(counter);
+
+  Event timer;
+  timer.kind = Event::Kind::kTimer;
+  timer.path = "transport.ICMP.wire_seconds";
+  timer.value = 450;
+  timer.seconds = 12.5;
+  events.push_back(timer);
+
+  Histogram h;
+  h.record(0.050);
+  h.record(0.060);
+  Event hist;
+  hist.kind = Event::Kind::kHist;
+  hist.path = "transport.ICMP.rtt";
+  hist.detail = encode_histogram(h.total());
+  events.push_back(hist);
+
+  Event sample;
+  sample.kind = Event::Kind::kSample;
+  sample.path = "sample.hits";
+  sample.at = 33.5;
+  sample.value = 12;
+  events.push_back(sample);
+  return events;
+}
+
+TEST(TraceAnalysis, AggregatesPhasesWireAndQuantiles) {
+  const TraceSummary summary = analyze_trace(synthetic_trace(), /*top_n=*/3);
+  EXPECT_EQ(summary.events, 10u);
+  EXPECT_EQ(summary.samples, 1u);
+  EXPECT_DOUBLE_EQ(summary.virtual_end, 33.5);
+
+  ASSERT_EQ(summary.tga_phases.count("6Tree"), 1u);
+  const auto& phases = summary.tga_phases.at("6Tree");
+  ASSERT_EQ(phases.count("pipeline.scan"), 1u);
+  EXPECT_EQ(phases.at("pipeline.scan").count, 2u);
+  EXPECT_NEAR(phases.at("pipeline.scan").seconds(), 3.0, 1e-9);
+  EXPECT_EQ(summary.tga_phases.at("DET").at("pipeline.scan").count, 1u);
+  // Spans outside any tga:* root land under "".
+  EXPECT_EQ(summary.tga_phases.at("").at("standalone").count, 1u);
+
+  ASSERT_EQ(summary.wire.size(), 1u);
+  EXPECT_EQ(summary.wire[0].type, "ICMP");
+  EXPECT_EQ(summary.wire[0].packets, 1000u);
+  EXPECT_EQ(summary.wire[0].replies, 400u);
+  EXPECT_EQ(summary.wire[0].charged, 450u);
+  EXPECT_NEAR(summary.wire[0].wire_seconds, 12.5, 1e-9);
+
+  ASSERT_EQ(summary.histograms.count("transport.ICMP.rtt"), 1u);
+  EXPECT_EQ(summary.histograms.at("transport.ICMP.rtt").count, 2u);
+
+  // Slowest spans, descending, truncated to top_n.
+  ASSERT_EQ(summary.slowest.size(), 3u);
+  EXPECT_EQ(summary.slowest[0].path, "tga:DET/pipeline.run/pipeline.scan");
+  EXPECT_DOUBLE_EQ(summary.slowest[0].seconds, 4.0);
+  EXPECT_DOUBLE_EQ(summary.slowest[1].seconds, 2.0);
+}
+
+TEST(TraceAnalysis, ReportJsonIsValidAndSchemaStable) {
+  const TraceSummary summary = analyze_trace(synthetic_trace());
+  const std::string json = report_json(summary);
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(json, &doc)) << json;
+  ASSERT_EQ(doc.type, JsonValue::Type::kObject);
+  for (const char* key :
+       {"events", "probes", "samples", "virtual_end", "tgas", "wire",
+        "quantiles", "slowest"}) {
+    EXPECT_NE(doc.find(key), nullptr) << key;
+  }
+  const JsonValue* tgas = doc.find("tgas");
+  ASSERT_EQ(tgas->type, JsonValue::Type::kObject);
+  const JsonValue* six_tree = tgas->find("6Tree");
+  ASSERT_NE(six_tree, nullptr);
+  const JsonValue* scan = six_tree->find("pipeline.scan");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_DOUBLE_EQ(scan->find("count")->number, 2.0);
+  const JsonValue* quantiles = doc.find("quantiles");
+  const JsonValue* rtt = quantiles->find("transport.ICMP.rtt");
+  ASSERT_NE(rtt, nullptr);
+  for (const char* key : {"count", "mean", "p50", "p90", "p99", "max"}) {
+    EXPECT_NE(rtt->find(key), nullptr) << key;
+  }
+}
+
+TEST(Quantiles, SummaryMatchesHistogram) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(0.001 * i);
+  const QuantileSummary s = summarize(h.total());
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mean, 0.0505, 1e-9);
+  EXPECT_DOUBLE_EQ(s.max, 0.1);
+  EXPECT_GE(s.p50, 0.050);
+  EXPECT_LE(s.p99, 0.1);
+}
+
+// ---- Exporters -----------------------------------------------------------
+
+TEST(ChromeTrace, ProducesValidJsonWithRowsAndCounters) {
+  std::ostringstream out;
+  {
+    ChromeTraceSink sink(out);
+    Event span;
+    span.kind = Event::Kind::kSpan;
+    span.path = "tga:6Tree/pipeline.scan";
+    span.at = 0.5;
+    span.seconds = 0.25;
+    sink.emit(span);
+    span.path = "tga:DET/pipeline.scan";
+    sink.emit(span);
+    Event sample;
+    sample.kind = Event::Kind::kSample;
+    sample.path = "sample.hits";
+    sample.at = 10.0;
+    sample.value = 3;
+    sink.emit(sample);
+    Event counter;  // registry totals are not exported
+    counter.kind = Event::Kind::kCounter;
+    counter.path = "scanner.hits";
+    counter.value = 3;
+    sink.emit(counter);
+    sink.close();
+  }
+  const std::string text = out.str();
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(text, &doc)) << text;
+  const JsonValue* trace_events = doc.find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_EQ(trace_events->type, JsonValue::Type::kArray);
+  // 2 spans + 1 sample + 2 thread_name metadata rows.
+  ASSERT_EQ(trace_events->array.size(), 5u);
+
+  int complete = 0;
+  int counters = 0;
+  int metadata = 0;
+  std::vector<std::string> row_names;
+  for (const JsonValue& event : trace_events->array) {
+    const JsonValue* ph = event.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "X") {
+      ++complete;
+      EXPECT_DOUBLE_EQ(event.find("ts")->number, 0.5e6);
+      EXPECT_DOUBLE_EQ(event.find("dur")->number, 0.25e6);
+      EXPECT_EQ(event.find("name")->string, "pipeline.scan");
+    } else if (ph->string == "C") {
+      ++counters;
+      EXPECT_EQ(event.find("name")->string, "sample.hits");
+    } else if (ph->string == "M") {
+      ++metadata;
+      row_names.push_back(event.find("args")->find("name")->string);
+    }
+  }
+  EXPECT_EQ(complete, 2);
+  EXPECT_EQ(counters, 1);
+  EXPECT_EQ(metadata, 2);
+  // Rows in first-appearance order get distinct tids.
+  ASSERT_EQ(row_names.size(), 2u);
+  EXPECT_EQ(row_names[0], "tga:6Tree");
+  EXPECT_EQ(row_names[1], "tga:DET");
+}
+
+TEST(ChromeTrace, CloseIsIdempotentAndImpliedByDestruction) {
+  std::ostringstream out;
+  {
+    ChromeTraceSink sink(out);
+    Event span;
+    span.kind = Event::Kind::kSpan;
+    span.path = "a";
+    sink.emit(span);
+  }  // destructor closes
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(out.str(), &doc));
+  EXPECT_EQ(doc.find("traceEvents")->array.size(), 2u);  // span + row name
+}
+
+TEST(TeeSink, FansOutToEverySinkInOrder) {
+  MemorySink a;
+  MemorySink b;
+  TeeSink tee;
+  tee.add(&a);
+  tee.add(&b);
+  Event event;
+  event.kind = Event::Kind::kMessage;
+  event.detail = "x";
+  tee.emit(event);
+  tee.flush();
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(a.events()[0].detail, "x");
+}
+
+// ---- End-to-end: emit_metrics -> JSONL -> reader -> analyzer -------------
+
+TEST(TraceRoundTrip, EmitMetricsFlowsThroughReaderAndAnalyzer) {
+  std::ostringstream out;
+  JsonLinesSink sink(out);
+  Telemetry telemetry;
+  telemetry.attach_sink(&sink);
+  telemetry.registry().counter("transport.ICMP.packets").add(10);
+  telemetry.registry().timer("transport.ICMP.wire_seconds").add_raw(4, 2e9);
+  telemetry.registry().histogram("transport.ICMP.rtt").record(0.05);
+  telemetry.emit_metrics();
+
+  std::istringstream in(out.str());
+  std::vector<Event> events;
+  const TraceLoadStats stats = load_trace(in, &events);
+  EXPECT_EQ(stats.bad_lines, 0u);
+  const TraceSummary summary = analyze_trace(events);
+  ASSERT_EQ(summary.wire.size(), 1u);
+  EXPECT_EQ(summary.wire[0].packets, 10u);
+  EXPECT_EQ(summary.wire[0].charged, 4u);
+  EXPECT_NEAR(summary.wire[0].wire_seconds, 2.0, 1e-9);
+  EXPECT_EQ(summary.histograms.at("transport.ICMP.rtt").count, 1u);
+}
+
+}  // namespace
+}  // namespace v6::obs

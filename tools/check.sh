@@ -9,8 +9,10 @@
 #
 # Quick mode (`tools/check.sh --quick`) is the inner-loop subset: the
 # Release build plus the cheap static gates (`ctest -L lint`, which
-# includes v6lint and the header self-containedness target) and the
-# fuzz smoke runs (`ctest -L fuzz`).
+# includes v6lint and the header self-containedness target), the fuzz
+# smoke runs (`ctest -L fuzz`), and the trace/report round-trip
+# (`ctest -L report`: the reader/analyzer unit suite plus a tiny traced
+# sweep piped through `sos report --json`).
 #
 # Faults mode (`tools/check.sh --faults`) runs only the fault-injection
 # suite (`ctest -L fault`) under every preset — the focused loop when
@@ -62,7 +64,8 @@ if [[ $quick -eq 1 ]]; then
   configure_and_build default build
   run ctest --test-dir build -L lint --output-on-failure -j "$jobs"
   run ctest --test-dir build -L fuzz --output-on-failure -j "$jobs"
-  echo "check.sh --quick: OK (Release build + lint + fuzz smoke)"
+  run ctest --test-dir build -L report --output-on-failure -j "$jobs"
+  echo "check.sh --quick: OK (Release build + lint + fuzz + report smoke)"
   exit 0
 fi
 

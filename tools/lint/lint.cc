@@ -27,6 +27,12 @@
 //                        backoff paths must charge a *virtual* clock
 //                        (RateLimiter::advance / ProbeTransport::advance)
 //                        so scans stay fast and deterministic.
+//   metric-name          metric/span name literals registered in src/
+//                        (counter/gauge/timer/histogram calls, Span
+//                        constructors) must stay in the project charset
+//                        [a-z0-9_.<>:] so trace paths, the report
+//                        analyzer's "tga:"/"/" splitting, and JSON keys
+//                        stay parseable and grep-stable.
 //
 // Usage:
 //   v6lint <dir>...            scan trees; exit 1 if any rule fires
@@ -36,7 +42,8 @@
 //
 // Matching runs on comment- and string-stripped text (so prose
 // mentioning run_all_tgas does not trip the linter) except pragma-once,
-// which inspects the raw header.
+// which inspects the raw header, and metric-name, which needs the string
+// literals themselves and runs on comment-stripped-only text.
 
 #include <algorithm>
 #include <cstdio>
@@ -102,6 +109,64 @@ std::string strip_comments_and_strings(const std::string& text) {
       case State::kChar:
         if (c == '\\') ++i;
         else if (c == '\'') state = State::kCode;
+        break;
+      case State::kLineComment:
+        break;
+    }
+  }
+  return out;
+}
+
+/// Like strip_comments_and_strings, but keeps string and char literals
+/// intact — the metric-name rule inspects the literals themselves.
+std::string strip_comments_only(const std::string& text) {
+  std::string out(text.size(), ' ');
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      out[i] = '\n';
+      if (state == State::kLineComment) state = State::kCode;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else {
+          if (c == '"') state = State::kString;
+          else if (c == '\'') state = State::kChar;
+          out[i] = c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        out[i] = c;
+        if (c == '\\' && i + 1 < text.size()) {
+          out[i + 1] = next;
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        out[i] = c;
+        if (c == '\\' && i + 1 < text.size()) {
+          out[i + 1] = next;
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
         break;
       case State::kLineComment:
         break;
@@ -296,9 +361,45 @@ void check_no_sleep(const std::string& file, const fs::path& path,
   }
 }
 
+/// metric-name: every name the observability layer registers becomes a
+/// trace path segment, a JSON object key, and a grep target; spaces,
+/// uppercase, or punctuation outside [a-z0-9_.<>:] would break the
+/// report analyzer's "tga:NAME/phase" splitting and make dashboards
+/// unstable. Checks the *literal* first argument of registration calls
+/// and Span constructors in src/ (runtime-composed names inherit the
+/// charset from their literal parts).
+void check_metric_name(const std::string& file, const fs::path& path,
+                       const std::vector<std::string>& with_strings,
+                       std::vector<Violation>& out) {
+  if (!in_src(path)) return;
+  static const std::regex kRegistration(
+      R"rx(\b(?:counter|gauge|timer|histogram)\s*\(\s*"([^"]*)")rx"
+      R"rx(|\bSpan\s+\w+\s*\([^()"]*"([^"]*)")rx");
+  const auto valid = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+           c == '.' || c == '<' || c == '>' || c == ':';
+  };
+  for (std::size_t i = 0; i < with_strings.size(); ++i) {
+    const std::string& line = with_strings[i];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                        kRegistration);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name =
+          (*it)[1].matched ? (*it)[1].str() : (*it)[2].str();
+      if (!std::all_of(name.begin(), name.end(), valid)) {
+        out.push_back({file, i + 1, "metric-name",
+                       "metric/span name '" + name +
+                           "' leaves the [a-z0-9_.<>:] charset; names "
+                           "become trace paths and JSON keys "
+                           "(docs/OBSERVABILITY.md)"});
+      }
+    }
+  }
+}
+
 const char* const kAllRules[] = {"deprecated-api", "nondeterminism",
                                  "pragma-once", "telemetry-null-guard",
-                                 "no-sleep"};
+                                 "no-sleep", "metric-name"};
 
 bool lintable(const fs::path& path) {
   const auto ext = path.extension();
@@ -321,6 +422,8 @@ void lint_file(const fs::path& path, std::vector<Violation>& out) {
   const std::string raw = std::move(buffer).str();
   const std::vector<std::string> stripped =
       split_lines(strip_comments_and_strings(raw));
+  const std::vector<std::string> with_strings =
+      split_lines(strip_comments_only(raw));
   const std::string file = path.string();
 
   check_deprecated_api(file, path, stripped, out);
@@ -328,6 +431,7 @@ void lint_file(const fs::path& path, std::vector<Violation>& out) {
   check_pragma_once(file, path, raw, out);
   check_telemetry_guard(file, path, stripped, out);
   check_no_sleep(file, path, stripped, out);
+  check_metric_name(file, path, with_strings, out);
 }
 
 }  // namespace

@@ -1,0 +1,27 @@
+// Lint fixture: metric/span name literals outside the [a-z0-9_.<>:]
+// charset (the `metric-name` rule). Never compiled.
+namespace v6::fixture {
+
+struct Counter {
+  void add(unsigned long long n);
+};
+struct Registry {
+  Counter& counter(const char* name);
+  Counter& histogram(const char* name);
+};
+struct Telemetry;
+struct Span {
+  Span(Telemetry* telemetry, const char* name);
+};
+
+void record_batch(Registry& registry, Telemetry* telemetry) {
+  // Uppercase and spaces: violation.
+  registry.counter("Scanner Packets").add(1);
+  // Hyphens are not in the charset either: violation.
+  registry.histogram("scanner/batch-size").add(1);
+  // A well-formed name next to a bad span literal: only the span fires.
+  registry.counter("scanner.packets").add(1);
+  Span span(telemetry, "Pipeline Run!");
+}
+
+}  // namespace v6::fixture

@@ -1,0 +1,68 @@
+# End-to-end smoke for the trace/report pipeline (the `report_roundtrip`
+# ctest, label `report`; also run by tools/check.sh --quick):
+#
+#   1. run a tiny 3-TGA sweep with --trace (and --trace-chrome),
+#   2. feed the trace to `sos report --json`,
+#   3. assert the summary parses superficially and carries non-empty
+#      per-TGA phases, wire rows, and quantiles.
+#
+# The deep validation (strict JSON parsing, schema fields, Chrome trace
+# structure) lives in report_test; this script proves the *shipped
+# binary* wires the same pieces together.
+#
+# Usage: cmake -DSOS_BIN=<path> -DWORK_DIR=<dir> -P report_smoke.cmake
+if(NOT DEFINED SOS_BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+          "usage: cmake -DSOS_BIN=<path> -DWORK_DIR=<dir> "
+          "-P report_smoke.cmake")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(trace ${WORK_DIR}/report_smoke.jsonl)
+set(chrome ${WORK_DIR}/report_smoke_chrome.json)
+
+execute_process(
+  COMMAND ${SOS_BIN} survey --tgas 6Tree,DET,6Scan --budget 6000
+          --ases 150 --trace ${trace} --trace-chrome ${chrome}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sos survey exited with '${rc}'\n"
+                      "stdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT EXISTS ${trace})
+  message(FATAL_ERROR "sos survey did not write ${trace}")
+endif()
+if(NOT EXISTS ${chrome})
+  message(FATAL_ERROR "sos survey did not write ${chrome}")
+endif()
+
+execute_process(
+  COMMAND ${SOS_BIN} report ${trace} --json
+  OUTPUT_VARIABLE json ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sos report exited with '${rc}'\nstderr:\n${err}")
+endif()
+
+# Superficial JSON checks: one object, the schema's top-level keys, and
+# per-TGA phase content for every TGA the sweep ran.
+if(NOT json MATCHES "^\\{\"events\":[1-9]")
+  message(FATAL_ERROR "report JSON missing a nonzero event count:\n${json}")
+endif()
+foreach(key tgas wire quantiles slowest virtual_end)
+  if(NOT json MATCHES "\"${key}\":")
+    message(FATAL_ERROR "report JSON missing key '${key}':\n${json}")
+  endif()
+endforeach()
+foreach(tga 6Tree DET 6Scan)
+  if(NOT json MATCHES "\"${tga}\":\\{\"")
+    message(FATAL_ERROR "report JSON has no phases for TGA '${tga}':\n${json}")
+  endif()
+endforeach()
+if(json MATCHES "\"tgas\":\\{\\}")
+  message(FATAL_ERROR "report JSON phases are empty:\n${json}")
+endif()
+if(NOT json MATCHES "\"wire\":\\[\\{\"type\"")
+  message(FATAL_ERROR "report JSON wire accounting is empty:\n${json}")
+endif()
+
+message(STATUS "report round-trip ok (${trace})")

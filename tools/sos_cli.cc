@@ -9,15 +9,22 @@
 //       datasets: full, offline, online, joint, active (default),
 //                 port (the port-specific dataset of --port)
 //   sos survey [--port P] [--budget N] [--seed N] [--jobs N]
-//              [--combined any]
-//       Run all eight TGAs and print the comparison table. With
-//       --combined, generate from all TGAs and scan the union once
-//       (the paper's probing methodology, minimizing per-address scans).
+//              [--combined any] [--tgas A,B,...]
+//       Run all eight TGAs (or the --tgas subset) and print the
+//       comparison table. With --combined, generate from all TGAs and
+//       scan the union once (the paper's probing methodology, minimizing
+//       per-address scans).
+//   sos report FILE [--json] [--top N]
+//       Analyze a --trace JSONL file offline: per-TGA phase tables, wire
+//       accounting, histogram quantiles, top-N slowest spans. --json
+//       prints the machine-readable summary instead.
 //
 //   run and survey additionally accept (docs/OBSERVABILITY.md):
 //     --trace FILE   write a JSON-lines event trace (spans, per-probe
 //                    events, final metric totals) to FILE
-//     --stats        print the counter/phase-timing tables on exit
+//     --trace-chrome FILE
+//                    write a chrome://tracing / Perfetto JSON trace
+//     --stats        print the counter/phase/distribution tables on exit
 //   and the fault/robustness knobs (docs/ROBUSTNESS.md):
 //     --faults SPEC  inject network faults; SPEC is comma-separated
 //                    loss=P | loss=PFX:P | rlimit=PFX:RATE[:BURST[:LEN]]
@@ -38,6 +45,7 @@
 //       Materialize a preprocessed seed dataset and write it to FILE.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -52,8 +60,12 @@
 #include "io/csv.h"
 #include "experiment/workbench.h"
 #include "metrics/reporter.h"
+#include "obs/chrome_trace.h"
+#include "obs/quantiles.h"
 #include "obs/sinks.h"
 #include "obs/telemetry.h"
+#include "obs/trace_analysis.h"
+#include "obs/trace_reader.h"
 #include "tga/registry.h"
 #include "topo/traceroute.h"
 
@@ -86,10 +98,10 @@ Args parse_args(int argc, char** argv) {
   if (argc > 1) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--stats") {
-      // Boolean flag: the generic branch below would swallow the next
+    if (arg == "--stats" || arg == "--json") {
+      // Boolean flags: the generic branch below would swallow the next
       // argument as its value.
-      args.options["stats"] = "1";
+      args.options[std::string(arg.substr(2))] = "1";
     } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
       args.options[std::string(arg.substr(2))] = argv[++i];
     } else if (args.positional.empty()) {
@@ -118,38 +130,71 @@ v6::experiment::WorkbenchConfig bench_config(
   return config.with_telemetry(telemetry);
 }
 
-// Wires `--trace FILE` / `--stats` into one Telemetry that the command
-// threads through its workbench/pipeline configs. finish() emits the
-// final metric totals into the trace and prints the --stats tables.
+std::string fmt_seconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  return buf;
+}
+
+std::string fmt_compact(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", value);
+  return buf;
+}
+
+// Wires `--trace FILE` / `--trace-chrome FILE` / `--stats` into one
+// Telemetry that the command threads through its workbench/pipeline
+// configs. finish() emits the final metric totals into the trace,
+// finalizes the Chrome trace document, and prints the --stats tables.
 class ObsSession {
  public:
   explicit ObsSession(const Args& args)
       : stats_(args.options.contains("stats")),
-        trace_path_(args.get("trace", "")) {
+        trace_path_(args.get("trace", "")),
+        chrome_path_(args.get("trace-chrome", "")) {
     if (!trace_path_.empty()) {
       sink_.emplace(trace_path_);
-      if (sink_->ok()) {
-        telemetry_.attach_sink(&*sink_);
-      } else {
+      if (!sink_->ok()) {
         std::cerr << "warning: cannot open trace file '" << trace_path_
                   << "'; tracing disabled\n";
         sink_.reset();
       }
     }
+    if (!chrome_path_.empty()) {
+      chrome_.emplace(chrome_path_);
+      if (!chrome_->ok()) {
+        std::cerr << "warning: cannot open chrome trace file '"
+                  << chrome_path_ << "'; tracing disabled\n";
+        chrome_.reset();
+      }
+    }
+    if (sink_ && chrome_) {
+      tee_.add(&*sink_);
+      tee_.add(&*chrome_);
+      telemetry_.attach_sink(&tee_);
+    } else if (sink_) {
+      telemetry_.attach_sink(&*sink_);
+    } else if (chrome_) {
+      telemetry_.attach_sink(&*chrome_);
+    }
   }
 
-  /// nullptr when neither flag was given: instrumented code paths stay
-  /// on their zero-cost branch.
+  /// nullptr when no observability flag was given: instrumented code
+  /// paths stay on their zero-cost branch.
   v6::obs::Telemetry* telemetry() {
-    return (stats_ || sink_) ? &telemetry_ : nullptr;
+    return (stats_ || sink_ || chrome_) ? &telemetry_ : nullptr;
   }
-  bool tracing() const { return sink_.has_value(); }
+  bool tracing() const { return sink_.has_value() || chrome_.has_value(); }
 
   void finish() {
+    if (tracing()) telemetry_.emit_metrics();
     if (sink_) {
-      telemetry_.emit_metrics();
       sink_->flush();
       std::cerr << "wrote trace " << trace_path_ << "\n";
+    }
+    if (chrome_) {
+      chrome_->close();
+      std::cerr << "wrote chrome trace " << chrome_path_ << "\n";
     }
     if (!stats_) return;
     const v6::obs::Report report = telemetry_.registry().snapshot();
@@ -165,13 +210,26 @@ class ObsSession {
       table.print(std::cout);
     }
     if (!report.timers.empty()) {
-      v6::metrics::TextTable table({"Phase", "Count", "Seconds"});
+      v6::metrics::TextTable table({"Phase", "Count", "Seconds", "Mean"});
       for (const auto& [name, total] : report.timers) {
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.3f", total.seconds());
-        table.add_row({name, fmt_count(total.count), buf});
+        const double mean =
+            total.count == 0 ? 0.0 : total.seconds() / double(total.count);
+        table.add_row({name, fmt_count(total.count),
+                       fmt_seconds(total.seconds()), fmt_compact(mean)});
       }
       std::cout << "\n-- phases --\n";
+      table.print(std::cout);
+    }
+    if (!report.histograms.empty()) {
+      v6::metrics::TextTable table(
+          {"Metric", "Count", "Mean", "P50", "P90", "P99", "Max"});
+      for (const auto& [name, total] : report.histograms) {
+        const auto s = v6::obs::summarize(total);
+        table.add_row({name, fmt_count(s.count), fmt_compact(s.mean),
+                       fmt_compact(s.p50), fmt_compact(s.p90),
+                       fmt_compact(s.p99), fmt_compact(s.max)});
+      }
+      std::cout << "\n-- distributions --\n";
       table.print(std::cout);
     }
   }
@@ -179,7 +237,10 @@ class ObsSession {
  private:
   bool stats_;
   std::string trace_path_;
+  std::string chrome_path_;
   std::optional<v6::obs::JsonLinesSink> sink_;
+  std::optional<v6::obs::ChromeTraceSink> chrome_;
+  v6::obs::TeeSink tee_;
   v6::obs::Telemetry telemetry_;
 };
 
@@ -311,6 +372,42 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
+/// Parses a comma-separated `--tgas` list against the TGA registry.
+/// Returns false (after printing the known names) on an unknown entry.
+bool parse_tga_list(const std::string& text,
+                    std::vector<v6::tga::TgaKind>* out) {
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string name = text.substr(pos, comma - pos);
+    if (!name.empty()) {
+      bool found = false;
+      for (const v6::tga::TgaKind kind : v6::tga::kAllTgas) {
+        if (v6::tga::to_string(kind) == name) {
+          out->push_back(kind);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::cerr << "unknown TGA '" << name << "' in --tgas; known:";
+        for (const v6::tga::TgaKind kind : v6::tga::kAllTgas) {
+          std::cerr << " " << v6::tga::to_string(kind);
+        }
+        std::cerr << "\n";
+        return false;
+      }
+    }
+    pos = comma + 1;
+  }
+  if (out->empty()) {
+    std::cerr << "--tgas needs at least one TGA name\n";
+    return false;
+  }
+  return true;
+}
+
 int cmd_survey(const Args& args) {
   ObsSession obs(args);
   v6::experiment::Workbench bench(bench_config(args, obs.telemetry()));
@@ -351,6 +448,11 @@ int cmd_survey(const Args& args) {
     return 0;
   }
 
+  std::vector<v6::tga::TgaKind> kinds;  // empty = all eight
+  if (args.options.contains("tgas") &&
+      !parse_tga_list(args.get("tgas", ""), &kinds)) {
+    return 2;
+  }
   std::optional<v6::fault::FaultPlan> plan;
   auto config = v6::experiment::PipelineConfig{}
                     .with_type(port)
@@ -364,6 +466,7 @@ int cmd_survey(const Args& args) {
           .with_seeds(seeds)
           .with_alias_list(bench.alias_list())
           .with_config(config)
+          .with_kinds(kinds)
           .with_jobs(static_cast<unsigned>(args.get_u64("jobs", 1)))
           .with_telemetry(obs.telemetry()));
   for (const auto& run : runs) {
@@ -421,6 +524,75 @@ int cmd_export(const Args& args) {
   return 0;
 }
 
+int cmd_report(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: sos report <trace.jsonl> [--json] [--top N]\n";
+    return 1;
+  }
+  std::ifstream in(args.positional);
+  if (!in) {
+    std::cerr << "cannot open trace file '" << args.positional << "'\n";
+    return 1;
+  }
+  std::vector<v6::obs::Event> events;
+  const auto load = v6::obs::load_trace(in, &events);
+  const auto summary = v6::obs::analyze_trace(
+      events, static_cast<std::size_t>(args.get_u64("top", 10)));
+  if (args.options.contains("json")) {
+    std::cout << v6::obs::report_json(summary) << "\n";
+    return 0;
+  }
+  std::cout << args.positional << ": " << fmt_count(summary.events)
+            << " events (" << fmt_count(load.bad_lines) << " malformed lines), "
+            << fmt_count(summary.probes) << " probes, "
+            << fmt_count(summary.samples) << " samples, virtual end "
+            << fmt_seconds(summary.virtual_end) << " s\n";
+  if (!summary.tga_phases.empty()) {
+    v6::metrics::TextTable table({"TGA", "Phase", "Count", "Seconds"});
+    for (const auto& [tga, phases] : summary.tga_phases) {
+      for (const auto& [phase, total] : phases) {
+        table.add_row({tga.empty() ? "-" : tga, phase, fmt_count(total.count),
+                       fmt_seconds(total.seconds())});
+      }
+    }
+    std::cout << "\n-- phases --\n";
+    table.print(std::cout);
+  }
+  if (!summary.wire.empty()) {
+    v6::metrics::TextTable table(
+        {"Type", "Packets", "Replies", "Timeouts", "Charged", "WireSeconds"});
+    for (const auto& row : summary.wire) {
+      table.add_row({row.type, fmt_count(row.packets), fmt_count(row.replies),
+                     fmt_count(row.timeouts), fmt_count(row.charged),
+                     fmt_seconds(row.wire_seconds)});
+    }
+    std::cout << "\n-- wire --\n";
+    table.print(std::cout);
+  }
+  if (!summary.histograms.empty()) {
+    v6::metrics::TextTable table(
+        {"Metric", "Count", "Mean", "P50", "P90", "P99", "Max"});
+    for (const auto& [name, total] : summary.histograms) {
+      const auto s = v6::obs::summarize(total);
+      table.add_row({name, fmt_count(s.count), fmt_compact(s.mean),
+                     fmt_compact(s.p50), fmt_compact(s.p90),
+                     fmt_compact(s.p99), fmt_compact(s.max)});
+    }
+    std::cout << "\n-- distributions --\n";
+    table.print(std::cout);
+  }
+  if (!summary.slowest.empty()) {
+    v6::metrics::TextTable table({"Span", "Start", "Duration"});
+    for (const auto& span : summary.slowest) {
+      table.add_row({span.path, fmt_seconds(span.at),
+                     fmt_seconds(span.seconds)});
+    }
+    std::cout << "\n-- slowest spans --\n";
+    table.print(std::cout);
+  }
+  return 0;
+}
+
 int cmd_trace(const Args& args) {
   const auto target = v6::net::Ipv6Addr::parse(args.positional);
   if (!target) {
@@ -455,10 +627,13 @@ int main(int argc, char** argv) {
   if (args.command == "sources") return cmd_sources(args);
   if (args.command == "run") return cmd_run(args);
   if (args.command == "survey") return cmd_survey(args);
+  if (args.command == "report") return cmd_report(args);
   if (args.command == "trace") return cmd_trace(args);
   if (args.command == "collect") return cmd_collect(args);
   if (args.command == "export") return cmd_export(args);
-  std::cerr << "usage: sos <universe|sources|run|survey|trace|collect|export> [options]\n"
+  std::cerr << "usage: sos "
+               "<universe|sources|run|survey|report|trace|collect|export> "
+               "[options]\n"
                "  sos run --tga DET --port TCP80 --dataset port --budget "
                "200000\n";
   return args.command.empty() ? 1 : 2;
