@@ -5,6 +5,7 @@
 // machine-readable across revisions.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <chrono>
@@ -48,14 +49,26 @@ struct BenchArgs {
   /// Concurrent TGA runs / variant computations (--jobs N, default
   /// V6_JOBS env or hardware_concurrency).
   unsigned jobs = 1;
+  /// Measurement repeats per timed configuration (--repeat N). Benches
+  /// that honor it run each timed section N times and report the min and
+  /// median wall time (record_samples), which tames scheduler noise.
+  unsigned repeat = 1;
+  /// CI smoke mode (--smoke): benches shrink their workloads and skip
+  /// host-sensitive perf assertions, keeping only correctness checks.
+  bool smoke = false;
 };
 
 [[noreturn]] inline void usage(const char* argv0, const std::string& error) {
   std::cerr << "error: " << error << "\n"
-            << "usage: " << argv0 << " [budget-per-run] [--jobs N]\n"
+            << "usage: " << argv0
+            << " [budget-per-run] [--jobs N] [--repeat N] [--smoke]\n"
             << "  budget-per-run  positive integer (default varies by bench)\n"
             << "  --jobs N        concurrent runs (default: V6_JOBS or "
-               "hardware threads)\n";
+               "hardware threads)\n"
+            << "  --repeat N      timed repeats per configuration "
+               "(default 1; min/median reported)\n"
+            << "  --smoke         tiny-workload CI mode; perf assertions "
+               "are skipped\n";
   std::exit(2);
 }
 
@@ -96,6 +109,19 @@ inline BenchArgs parse_args(int argc, char** argv,
         usage(argv[0], "--jobs needs a positive integer");
       }
       args.jobs = static_cast<unsigned>(v);
+    } else if (arg == "--repeat") {
+      if (i + 1 >= argc || !parse_u64(argv[i + 1], &v) || v > 1000) {
+        usage(argv[0], "--repeat needs a positive integer");
+      }
+      args.repeat = static_cast<unsigned>(v);
+      ++i;
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      if (!parse_u64(arg.substr(9), &v) || v > 1000) {
+        usage(argv[0], "--repeat needs a positive integer");
+      }
+      args.repeat = static_cast<unsigned>(v);
+    } else if (arg == "--smoke") {
+      args.smoke = true;
     } else if (!have_budget && arg.rfind("-", 0) != 0) {
       if (!parse_u64(arg, &v)) {
         usage(argv[0], "budget must be a positive integer, got '" +
@@ -125,6 +151,10 @@ inline std::uint64_t budget_from_argv(int argc, char** argv,
 ///   { "bench": str, "budget": int, "jobs": int,
 ///     "total_wall_seconds": float,
 ///     "runs": [ { "label": str, "wall_seconds": float,
+///                 // record_samples entries (repeated timings) add:
+///                 // "wall_seconds_median": float, "repeats": int, and
+///                 // bench-specific numeric fields (probes_per_second),
+///                 // with wall_seconds then being the min over repeats.
 ///                 // TGA runs additionally carry:
 ///                 "tga": str, "generated": int, "responsive": int,
 ///                 "hits": int, "ases": int, "aliases": int,
@@ -192,6 +222,24 @@ class BenchTimer {
     entries_.push_back(std::move(e));
   }
 
+  /// Records a repeated timed configuration (--repeat N): `samples` are
+  /// the per-repeat wall times. The entry's wall_seconds is the MINIMUM
+  /// (the standard low-noise estimator for repeated benchmarks), with
+  /// "wall_seconds_median" and "repeats" alongside; `extras` are emitted
+  /// as additional top-level numeric fields (e.g. probes_per_second).
+  void record_samples(const std::string& label, std::vector<double> samples,
+                      std::vector<std::pair<std::string, double>> extras = {}) {
+    if (samples.empty()) return;
+    std::sort(samples.begin(), samples.end());
+    Entry e;
+    e.label = label;
+    e.wall_seconds = samples.front();
+    e.wall_seconds_median = samples[samples.size() / 2];
+    e.repeats = samples.size();
+    e.extras = std::move(extras);
+    entries_.push_back(std::move(e));
+  }
+
   /// RAII phase timer: records on destruction.
   class Section {
    public:
@@ -236,6 +284,13 @@ class BenchTimer {
       out << (i == 0 ? "\n" : ",\n");
       out << "    {\"label\": \"" << escape(e.label) << "\", "
           << "\"wall_seconds\": " << e.wall_seconds;
+      if (e.repeats > 0) {
+        out << ", \"wall_seconds_median\": " << e.wall_seconds_median
+            << ", \"repeats\": " << e.repeats;
+      }
+      for (const auto& [key, value] : e.extras) {
+        out << ", \"" << escape(key) << "\": " << value;
+      }
       if (e.has_outcome) {
         out << ", \"tga\": \"" << escape(e.tga) << "\""
             << ", \"generated\": " << e.generated
@@ -269,6 +324,10 @@ class BenchTimer {
     std::string label;
     std::string tga;
     double wall_seconds = 0.0;
+    /// record_samples extensions (repeats == 0 on single-shot entries).
+    double wall_seconds_median = 0.0;
+    std::size_t repeats = 0;
+    std::vector<std::pair<std::string, double>> extras;
     bool has_outcome = false;
     std::uint64_t generated = 0, responsive = 0, hits = 0, ases = 0,
                   aliases = 0, dense_filtered = 0, packets = 0;

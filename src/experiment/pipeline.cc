@@ -6,8 +6,10 @@
 #include "check/contracts.h"
 #include "dealias/online_dealiaser.h"
 #include "fault/faulty_transport.h"
+#include "net/rng.h"
 #include "probe/instrumented_transport.h"
 #include "probe/scanner.h"
+#include "probe/stream_scanner.h"
 #include "probe/transport.h"
 
 namespace v6::experiment {
@@ -29,6 +31,8 @@ v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
   V6_REQUIRE(config.retry_jitter >= 0.0 && config.retry_jitter <= 1.0);
   V6_REQUIRE(config.adaptive_threshold >= 0);
   V6_REQUIRE(config.adaptive_backoff_s >= 0.0);
+  V6_REQUIRE_MSG(config.shards >= 0,
+                 "shards: 0 selects the batch engine, >= 1 the streaming one");
   V6_REQUIRE_MSG(config.faults == nullptr || config.faults->valid(),
                  "fault plan failed validation");
   v6::metrics::ScanOutcome outcome;
@@ -66,17 +70,52 @@ v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
         static_cast<std::int64_t>(config.batch_size));
   }
 
-  v6::probe::Scanner scanner(*transport, config.blocklist,
-                             {.max_retries = config.scan_retries,
-                              .randomize_order = true,
-                              .max_pps = config.max_pps,
-                              .seed = config.seed,
-                              .telemetry = telemetry,
-                              .probe_timeout_s = config.probe_timeout_s,
-                              .retry_backoff_s = config.retry_backoff_s,
-                              .retry_jitter = config.retry_jitter,
-                              .adaptive_threshold = config.adaptive_threshold,
-                              .adaptive_backoff_s = config.adaptive_backoff_s});
+  const v6::probe::ScanOptions scan_options{
+      .max_retries = config.scan_retries,
+      .randomize_order = true,
+      .max_pps = config.max_pps,
+      .seed = config.seed,
+      .telemetry = telemetry,
+      .probe_timeout_s = config.probe_timeout_s,
+      .retry_backoff_s = config.retry_backoff_s,
+      .retry_jitter = config.retry_jitter,
+      .adaptive_threshold = config.adaptive_threshold,
+      .adaptive_backoff_s = config.adaptive_backoff_s};
+  // Engine selection. Batch (shards == 0): the Scanner probes through
+  // the shared sequential chain above. Streaming (shards >= 1): the
+  // StreamScanner owns one stateless chain per shard; the sequential
+  // chain stays up for the online dealiaser's probes. The fault plan,
+  // when present, wraps both — per-shard lanes get independently seeded
+  // injectors via the decorator hook (src/probe cannot depend on
+  // src/fault, so the pipeline supplies the wrapping).
+  std::optional<v6::probe::Scanner> scanner;
+  std::optional<v6::probe::StreamScanner> stream;
+  std::vector<v6::fault::FaultyTransport*> lane_faults;
+  if (config.shards == 0) {
+    scanner.emplace(*transport, config.blocklist, scan_options);
+  } else {
+    v6::probe::StreamScanOptions stream_options;
+    stream_options.shards = static_cast<unsigned>(config.shards);
+    stream_options.scan = scan_options;
+    if (config.faults != nullptr) {
+      // Invoked only inside the StreamScanner constructor below, so the
+      // by-reference captures cannot dangle.
+      stream_options.decorate =
+          [&config, &lane_faults](v6::probe::ProbeTransport& inner,
+                                  unsigned shard)
+          -> std::unique_ptr<v6::probe::ProbeTransport> {
+        auto injector = std::make_unique<v6::fault::FaultyTransport>(
+            inner, *config.faults,
+            v6::net::derive_seed(config.seed, /*tag=*/0x5A00 + shard));
+        lane_faults.push_back(injector.get());
+        return injector;
+      };
+    }
+    stream.emplace(universe, config.blocklist, std::move(stream_options));
+    if (telemetry != nullptr) {
+      telemetry->registry().gauge("pipeline.shards").set(config.shards);
+    }
+  }
   v6::dealias::OnlineDealiaser online(*transport, config.seed);
   v6::dealias::Dealiaser dealiaser(config.output_dealias, &offline_aliases,
                                    &online);
@@ -110,12 +149,20 @@ v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
     {
       v6::obs::Span span(telemetry, "pipeline.scan",
                          v6::obs::Span::WithHistogram{});
-      scanner.scan(batch, config.type,
-                   [&](const Ipv6Addr& addr, ProbeReply reply) {
-                     const bool active = v6::net::is_hit(config.type, reply);
-                     generator.observe(addr, active);
-                     if (active) actives.push_back(addr);
-                   });
+      const auto on_reply = [&](const Ipv6Addr& addr, ProbeReply reply) {
+        const bool active = v6::net::is_hit(config.type, reply);
+        generator.observe(addr, active);
+        if (active) actives.push_back(addr);
+      };
+      // Either engine delivers final classified replies in a
+      // deterministic order (the streaming one replays them in canonical
+      // cycle-position order on this thread after the shards join), so
+      // generator feedback stays reproducible.
+      if (scanner.has_value()) {
+        scanner->scan(batch, config.type, on_reply);
+      } else {
+        stream->scan(batch, config.type, on_reply);
+      }
     }
     outcome.responsive += actives.size();
 
@@ -147,7 +194,9 @@ v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
     // sample stream is jobs-invariant; gated on tracing() because samples
     // only exist as trace events.
     if (telemetry != nullptr && telemetry->tracing()) {
-      const double virtual_now = scanner.virtual_seconds();
+      const double virtual_now = scanner.has_value()
+                                     ? scanner->virtual_seconds()
+                                     : stream->virtual_seconds();
       auto sample = [&](const char* name, std::uint64_t value) {
         v6::obs::Event event;
         event.kind = v6::obs::Event::Kind::kSample;
@@ -159,20 +208,44 @@ v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
       sample("sample.generated", outcome.generated);
       sample("sample.responsive", outcome.responsive);
       sample("sample.hits", outcome.hit_set.size());
-      sample("sample.packets", transport->packets_sent());
+      // Streaming scan packets flow through per-shard lanes, not the
+      // sequential chain, so count both.
+      sample("sample.packets",
+             transport->packets_sent() +
+                 (stream.has_value() ? stream->packets_sent() : 0));
     }
   }
 
-  outcome.packets = transport->packets_sent();
-  outcome.virtual_seconds = scanner.virtual_seconds();
-  // Fault-plane drop/injection tallies, published once per run. Only
-  // present when a plan is attached, so fault-free reports are unchanged.
-  if (telemetry != nullptr && faulty.has_value()) {
+  outcome.packets = transport->packets_sent() +
+                    (stream.has_value() ? stream->packets_sent() : 0);
+  outcome.virtual_seconds = scanner.has_value() ? scanner->virtual_seconds()
+                                                : stream->virtual_seconds();
+  // Fault-plane drop/injection tallies, published once per run (summed
+  // across the sequential chain's injector and the per-shard lane
+  // injectors, in shard order). Only present when a plan is attached, so
+  // fault-free reports are unchanged.
+  if (telemetry != nullptr && config.faults != nullptr) {
     v6::obs::Registry& registry = telemetry->registry();
-    registry.counter("fault.drop.loss").add(faulty->dropped_loss());
-    registry.counter("fault.drop.outage").add(faulty->dropped_outage());
-    registry.counter("fault.drop.rate_limit").add(faulty->dropped_rate_limit());
-    registry.counter("fault.injected.errors").add(faulty->injected_errors());
+    std::uint64_t drop_loss = 0;
+    std::uint64_t drop_outage = 0;
+    std::uint64_t drop_rate_limit = 0;
+    std::uint64_t injected = 0;
+    if (faulty.has_value()) {
+      drop_loss += faulty->dropped_loss();
+      drop_outage += faulty->dropped_outage();
+      drop_rate_limit += faulty->dropped_rate_limit();
+      injected += faulty->injected_errors();
+    }
+    for (const v6::fault::FaultyTransport* lane : lane_faults) {
+      drop_loss += lane->dropped_loss();
+      drop_outage += lane->dropped_outage();
+      drop_rate_limit += lane->dropped_rate_limit();
+      injected += lane->injected_errors();
+    }
+    registry.counter("fault.drop.loss").add(drop_loss);
+    registry.counter("fault.drop.outage").add(drop_outage);
+    registry.counter("fault.drop.rate_limit").add(drop_rate_limit);
+    registry.counter("fault.injected.errors").add(injected);
   }
   V6_ENSURE(outcome.generated <= config.budget);
   V6_ENSURE(outcome.responsive <= outcome.generated);

@@ -48,6 +48,15 @@ struct PipelineConfig {
   /// Scanner retransmissions after timeout.
   int scan_retries = 1;
   double max_pps = 10'000.0;
+  /// Scan-engine selector. 0 (default) keeps the batch Scanner — the
+  /// golden-locked legacy path. >= 1 routes scans through the streaming
+  /// StreamScanner (probe/stream_scanner.h) with that many shard
+  /// workers: sharded cyclic iteration, stateless per-probe replies, and
+  /// a bounded producer→prober→receiver pipeline. Streaming outcomes
+  /// are shard-count-invariant but differ from the batch engine's for
+  /// targets whose replies are stochastic (different RNG model; see
+  /// docs/SCANNER.md).
+  int shards = 0;
   /// Optional do-not-scan list honored by the scanner (the paper had to
   /// retrofit blocklisting into 6Scan's scanner; here it is first-class).
   const v6::probe::Blocklist* blocklist = nullptr;
@@ -84,6 +93,7 @@ struct PipelineConfig {
   PipelineConfig& with_seed(std::uint64_t v) { seed = v; return *this; }
   PipelineConfig& with_scan_retries(int v) { scan_retries = v; return *this; }
   PipelineConfig& with_max_pps(double v) { max_pps = v; return *this; }
+  PipelineConfig& with_shards(int v) { shards = v; return *this; }
   PipelineConfig& with_blocklist(const v6::probe::Blocklist* v) { blocklist = v; return *this; }
   PipelineConfig& with_telemetry(v6::obs::Telemetry* v) { telemetry = v; return *this; }
   PipelineConfig& with_trace_probes(bool v) { trace_probes = v; return *this; }

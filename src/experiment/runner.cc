@@ -72,37 +72,4 @@ std::vector<TgaRun> run_sweep(const SweepSpec& spec) {
   return runs;
 }
 
-// The deprecated positional APIs forward here; suppressing the
-// self-referential warnings these definitions would otherwise emit.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-std::vector<TgaRun> run_tgas(const v6::simnet::Universe& universe,
-                             std::span<const v6::tga::TgaKind> kinds,
-                             std::span<const v6::net::Ipv6Addr> seeds,
-                             const v6::dealias::AliasList& alias_list,
-                             const PipelineConfig& config, unsigned jobs) {
-  return run_sweep(SweepSpec{}
-                       .with_universe(universe)
-                       .with_kinds(kinds)
-                       .with_seeds(seeds)
-                       .with_alias_list(alias_list)
-                       .with_config(config)
-                       .with_jobs(jobs));
-}
-
-std::vector<TgaRun> run_all_tgas(const v6::simnet::Universe& universe,
-                                 std::span<const v6::net::Ipv6Addr> seeds,
-                                 const v6::dealias::AliasList& alias_list,
-                                 const PipelineConfig& config, unsigned jobs) {
-  return run_sweep(SweepSpec{}
-                       .with_universe(universe)
-                       .with_seeds(seeds)
-                       .with_alias_list(alias_list)
-                       .with_config(config)
-                       .with_jobs(jobs));
-}
-
-#pragma GCC diagnostic pop
-
 }  // namespace v6::experiment

@@ -42,8 +42,8 @@ struct TgaRun {
   v6::obs::Report report;
 };
 
-/// Everything a TGA sweep needs, replacing the six-positional-argument
-/// run_all_tgas/run_tgas duo. `universe` and `alias_list` are borrowed
+/// Everything a TGA sweep needs (the old six-positional-argument entry
+/// points are gone). `universe` and `alias_list` are borrowed
 /// and required; `kinds` empty means all eight TGAs; `jobs == 0` means
 /// runtime::default_jobs(), `jobs == 1` runs sequentially inline.
 /// Output order (and every ScanOutcome field) is identical for every
@@ -77,20 +77,5 @@ struct SweepSpec {
 
 /// Runs the sweep described by `spec`, `spec.jobs` runs at a time.
 std::vector<TgaRun> run_sweep(const SweepSpec& spec);
-
-/// Deprecated positional spellings; both forward to run_sweep.
-[[deprecated("use run_sweep(SweepSpec{}.with_universe(...)...)")]]
-std::vector<TgaRun> run_all_tgas(
-    const v6::simnet::Universe& universe,
-    std::span<const v6::net::Ipv6Addr> seeds,
-    const v6::dealias::AliasList& alias_list, const PipelineConfig& config,
-    unsigned jobs = 1);
-
-[[deprecated("use run_sweep(SweepSpec{}.with_kinds(...)...)")]]
-std::vector<TgaRun> run_tgas(const v6::simnet::Universe& universe,
-                             std::span<const v6::tga::TgaKind> kinds,
-                             std::span<const v6::net::Ipv6Addr> seeds,
-                             const v6::dealias::AliasList& alias_list,
-                             const PipelineConfig& config, unsigned jobs = 1);
 
 }  // namespace v6::experiment

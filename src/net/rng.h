@@ -36,14 +36,39 @@ inline Rng make_rng(std::uint64_t master, std::uint64_t tag = 0) {
   return Rng(derive_seed(master, tag));
 }
 
+/// A counter-based SplitMix64 URBG: draw k is splitmix64(seed + k).
+/// Construction is two stores (no 624-word mt19937 table), which is what
+/// the streaming scanner's stateless transport needs — it builds a fresh
+/// engine per probe from a (seed, addr, attempt) hash so every reply is
+/// a pure function of the probe, independent of ordering and sharding.
+/// Statistically much weaker than mt19937_64 over long streams; only use
+/// it where a handful of draws per seed is the pattern.
+class SplitMixRng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMixRng(std::uint64_t seed) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  constexpr result_type operator()() { return splitmix64(state_++); }
+
+ private:
+  std::uint64_t state_;
+};
+
 /// Uniform integer in [lo, hi] inclusive.
 template <typename Int>
 Int uniform_int(Rng& rng, Int lo, Int hi) {
   return std::uniform_int_distribution<Int>(lo, hi)(rng);
 }
 
-/// Uniform double in [0, 1).
-inline double uniform01(Rng& rng) {
+/// Uniform double in [0, 1). Generic over the engine so the simulator's
+/// reply model works identically from the sequential Rng stream and the
+/// per-probe SplitMixRng engines.
+template <typename Urbg>
+double uniform01(Urbg& rng) {
   return std::uniform_real_distribution<double>(0.0, 1.0)(rng);
 }
 

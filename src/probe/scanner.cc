@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <string>
-#include <unordered_set>
 
 namespace v6::probe {
 
@@ -118,11 +117,11 @@ ScanStats Scanner::scan(std::span<const Ipv6Addr> targets, ProbeType type,
   unique.clear();
   unique.reserve(targets.size());
   {
-    std::unordered_set<Ipv6Addr>& seen = seen_scratch_;
+    v6::net::AddrIndexMap& seen = seen_scratch_;
     seen.clear();
     seen.reserve(targets.size());
     for (const Ipv6Addr& a : targets) {
-      if (seen.insert(a).second) {
+      if (seen.insert(a, 0)) {
         unique.push_back(a);
       } else {
         ++stats.deduped;
@@ -202,14 +201,6 @@ ScanResult Scanner::scan_hits(std::span<const Ipv6Addr> targets,
         if (v6::net::is_hit(type, reply)) result.hits.push_back(addr);
       });
   return result;
-}
-
-std::vector<Ipv6Addr> Scanner::scan_hits(std::span<const Ipv6Addr> targets,
-                                         ProbeType type,
-                                         ScanStats* stats_out) {
-  ScanResult result = scan_hits(targets, type);
-  if (stats_out != nullptr) *stats_out = result.stats;
-  return std::move(result.hits);
 }
 
 }  // namespace v6::probe

@@ -11,9 +11,9 @@
 #include <optional>
 #include <span>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "net/addr_index.h"
 #include "net/ipv6.h"
 #include "net/rng.h"
 #include "net/service.h"
@@ -139,13 +139,6 @@ class Scanner {
   ScanResult scan_hits(std::span<const v6::net::Ipv6Addr> targets,
                        v6::net::ProbeType type);
 
-  /// Deprecated out-param spelling of scan_hits; use the two-argument
-  /// overload returning ScanResult.
-  [[deprecated("use scan_hits(targets, type) returning ScanResult")]]
-  std::vector<v6::net::Ipv6Addr> scan_hits(
-      std::span<const v6::net::Ipv6Addr> targets, v6::net::ProbeType type,
-      ScanStats* stats_out);
-
   /// Probes a single address with retries. Returns std::nullopt when the
   /// address is blocklisted (no packet sent) — distinct from a timeout,
   /// which means the address was probed and never answered.
@@ -191,10 +184,12 @@ class Scanner {
   /// addresses that needed a k-th retransmission.
   std::vector<v6::obs::Counter*> retry_counters_;
   /// Per-scan dedup scratch, reused across batches so the hot loop does
-  /// not reallocate hash buckets every call. Scanner is therefore not
-  /// reentrant from its own ReplyCallback (it never was: the transport
-  /// and rate limiter are shared state too).
-  std::unordered_set<v6::net::Ipv6Addr> seen_scratch_;
+  /// not reallocate hash buckets every call. The flat open-addressing
+  /// table (net/addr_index.h) replaces the old std::unordered_set: no
+  /// per-node allocation, one cache line per lookup. Scanner is
+  /// therefore not reentrant from its own ReplyCallback (it never was:
+  /// the transport and rate limiter are shared state too).
+  v6::net::AddrIndexMap seen_scratch_;
   std::vector<v6::net::Ipv6Addr> unique_scratch_;
 };
 

@@ -1,0 +1,568 @@
+#include "probe/stream_scanner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "check/contracts.h"
+#include "net/rng.h"
+#include "probe/instrumented_transport.h"
+#include "probe/probe_auth.h"
+#include "probe/rate_limiter.h"
+#include "probe/shard_walk.h"
+#include "probe/stateless_transport.h"
+#include "runtime/bounded_queue.h"
+#include "runtime/worker_group.h"
+
+namespace v6::probe {
+
+using v6::net::Ipv6Addr;
+using v6::net::ProbeReply;
+using v6::net::ProbeType;
+
+namespace {
+
+/// All streaming wait accounting is integer nanoseconds: uint64 sums are
+/// order-free, so folding per-shard tallies gives the same totals for
+/// every shard count (double sums would not).
+std::uint64_t to_nanos(double seconds) {
+  return static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+/// Per-(addr, attempt) key for the stateless jitter engine.
+std::uint64_t probe_key(std::uint64_t base, const Ipv6Addr& addr,
+                        std::uint64_t attempt) {
+  return v6::net::splitmix64(v6::net::splitmix64(base ^ addr.hi()) ^
+                             addr.lo()) ^
+         attempt;
+}
+
+}  // namespace
+
+/// One shard's private world: transport chain, rate budget slice, retry
+/// and adaptive state, and plain-integer tallies. A Lane is touched by
+/// exactly one prober thread during a scan and by the caller thread
+/// outside it; nothing here is shared.
+struct StreamScanner::Lane {
+  Lane(const v6::simnet::Universe& universe, const Blocklist* /*blocklist*/,
+       const StreamScanOptions& options, unsigned shard, double lane_pps)
+      : wire(universe, options.scan.seed), limiter(lane_pps) {
+    ProbeTransport* top = &wire;
+    if (options.decorate) {
+      decorated = options.decorate(wire, shard);
+      if (decorated != nullptr) top = decorated.get();
+    }
+    v6::obs::Telemetry* const telemetry = options.scan.telemetry;
+    if (telemetry != nullptr) {
+      counting.emplace(*top, telemetry->registry());
+      top = &*counting;
+    }
+    transport = top;
+    if (options.scan.max_retries > 0) {
+      retry_tallies.assign(static_cast<std::size_t>(options.scan.max_retries),
+                           0);
+    }
+  }
+
+  StatelessSimTransport wire;
+  std::unique_ptr<ProbeTransport> decorated;
+  std::optional<CountingTransport> counting;
+  ProbeTransport* transport = nullptr;
+  RateLimiter limiter;
+  /// `scanner.retry.<k>` tallies; summed across lanes in shard order at
+  /// flush_telemetry (atomics would serialize the probers for nothing).
+  std::vector<std::uint64_t> retry_tallies;
+  /// Adaptive-backoff streaks, per lane: the back-pressure control loop
+  /// reacts to the shard's own probe sequence (docs/SCANNER.md caveat).
+  std::unordered_map<Ipv6Addr, int, v6::net::Ipv6AddrHash> timeout_streaks;
+
+  // Per-scan tallies, reset by scan() before the workers start.
+  std::uint64_t blocked = 0;
+  std::uint64_t probed = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t backoffs = 0;
+  std::uint64_t backoff_nanos = 0;
+  std::uint64_t wait_nanos = 0;
+  std::uint64_t packets_before = 0;
+};
+
+namespace {
+
+/// A probe target in flight: the index into the caller's span plus its
+/// global cycle position (the canonical merge key).
+using TargetBatch = std::vector<ShardItem>;
+
+/// A classified wire event headed for the receiver. The token is the
+/// stateless MAC the receiver validates before classifying.
+struct ReplyRecord {
+  Ipv6Addr addr;
+  std::uint64_t pos = 0;
+  std::uint64_t token = 0;
+  ProbeReply reply = ProbeReply::kTimeout;
+};
+
+using ReplyBatch = std::vector<ReplyRecord>;
+
+/// Producer-side iterator: the seeded permutation walk, or a plain
+/// strided index walk when randomize_order is off (pos == index keeps
+/// the merge key meaningful either way).
+struct WalkAdapter {
+  std::optional<ShardWalk> perm;
+  std::uint64_t x = 0;
+  std::uint64_t n = 0;
+  std::uint64_t stride = 1;
+
+  bool next(ShardItem* out) {
+    if (perm.has_value()) return perm->next(out);
+    if (x >= n) return false;
+    out->index = x;
+    out->pos = x;
+    x += stride;
+    return true;
+  }
+};
+
+}  // namespace
+
+StreamScanner::StreamScanner(const v6::simnet::Universe& universe,
+                             const Blocklist* blocklist,
+                             StreamScanOptions options)
+    : universe_(&universe),
+      blocklist_(blocklist),
+      options_(std::move(options)) {
+  V6_REQUIRE_MSG(options_.shards > 0, "need at least one shard");
+  if (options_.batch == 0) options_.batch = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  jitter_base_ = v6::net::derive_seed(options_.scan.seed, /*tag=*/0xBACC0F);
+  // Each lane gets an equal slice of the packet budget (the limiter
+  // clamps degenerate pps itself).
+  const double lane_pps =
+      options_.scan.max_pps / static_cast<double>(options_.shards);
+  lanes_.reserve(options_.shards);
+  for (unsigned s = 0; s < options_.shards; ++s) {
+    lanes_.push_back(
+        std::make_unique<Lane>(*universe_, blocklist_, options_, s, lane_pps));
+  }
+  v6::obs::Telemetry* const telemetry = options_.scan.telemetry;
+  if (telemetry != nullptr && options_.scan.max_retries > 0) {
+    v6::obs::Registry& registry = telemetry->registry();
+    retry_counters_.reserve(
+        static_cast<std::size_t>(options_.scan.max_retries));
+    for (int k = 1; k <= options_.scan.max_retries; ++k) {
+      retry_counters_.push_back(
+          &registry.counter("scanner.retry." + std::to_string(k)));
+    }
+  }
+}
+
+StreamScanner::~StreamScanner() { flush_telemetry(); }
+
+void StreamScanner::flush_telemetry() {
+  v6::obs::Telemetry* const telemetry = options_.scan.telemetry;
+  if (telemetry == nullptr) return;
+  // Shard order, so repeated runs publish identically; the per-lane
+  // tallies are zeroed by the flush, which makes this idempotent.
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    if (lane->counting.has_value()) lane->counting->flush();
+  }
+  for (std::size_t k = 0; k < retry_counters_.size(); ++k) {
+    std::uint64_t total = 0;
+    for (const std::unique_ptr<Lane>& lane : lanes_) {
+      total += lane->retry_tallies[k];
+      lane->retry_tallies[k] = 0;
+    }
+    if (total != 0) retry_counters_[k]->add(total);
+  }
+}
+
+std::uint64_t StreamScanner::packets_sent() const {
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    total += lane->transport->packets_sent();
+  }
+  return total;
+}
+
+void StreamScanner::lane_wait(Lane& lane, double seconds) {
+  // Virtual, never wall time: the lane's pacing clock and transport
+  // chain (fault buckets) move forward together, as in Scanner::wait.
+  lane.limiter.advance(seconds);
+  lane.transport->advance(seconds);
+}
+
+ProbeReply StreamScanner::lane_probe(Lane& lane, const Ipv6Addr& addr,
+                                     ProbeType type) const {
+  ProbeReply reply = ProbeReply::kTimeout;
+  for (int attempt = 0; attempt <= options_.scan.max_retries; ++attempt) {
+    if (attempt > 0) {
+      if (!lane.retry_tallies.empty()) {
+        ++lane.retry_tallies[static_cast<std::size_t>(attempt - 1)];
+      }
+      ++lane.retransmissions;
+      if (options_.scan.retry_backoff_s > 0.0) {
+        const int exponent = attempt - 1 < 62 ? attempt - 1 : 62;
+        double backoff = options_.scan.retry_backoff_s *
+                         static_cast<double>(1ULL << exponent);
+        if (options_.scan.retry_jitter > 0.0) {
+          // Stateless jitter: a fresh engine per (addr, attempt), so the
+          // draw is identical no matter which shard retries the address.
+          v6::net::SplitMixRng jitter_rng(
+              probe_key(jitter_base_, addr,
+                        static_cast<std::uint64_t>(attempt)));
+          backoff *= 1.0 + options_.scan.retry_jitter *
+                               (2.0 * v6::net::uniform01(jitter_rng) - 1.0);
+        }
+        lane_wait(lane, backoff);
+        ++lane.backoffs;
+        const std::uint64_t nanos = to_nanos(backoff);
+        lane.backoff_nanos += nanos;
+        lane.wait_nanos += nanos;
+      }
+    }
+    lane.limiter.acquire();
+    reply = lane.transport->send(addr, type);
+    if (reply != ProbeReply::kTimeout) break;
+    if (options_.scan.probe_timeout_s > 0.0) {
+      lane_wait(lane, options_.scan.probe_timeout_s);
+      lane.wait_nanos += to_nanos(options_.scan.probe_timeout_s);
+    }
+  }
+  return reply;
+}
+
+void StreamScanner::note_reply(Lane& lane, const Ipv6Addr& addr,
+                               ProbeReply reply) const {
+  if (options_.scan.adaptive_threshold <= 0) return;
+  int& streak =
+      lane.timeout_streaks[addr.masked(options_.scan.adaptive_prefix_len)];
+  if (reply != ProbeReply::kTimeout) {
+    streak = 0;
+    return;
+  }
+  if (++streak >= options_.scan.adaptive_threshold) {
+    lane_wait(lane, options_.scan.adaptive_backoff_s);
+    ++lane.backoffs;
+    const std::uint64_t nanos = to_nanos(options_.scan.adaptive_backoff_s);
+    lane.backoff_nanos += nanos;
+    lane.wait_nanos += nanos;
+    streak = 0;
+  }
+}
+
+ScanStats StreamScanner::scan(std::span<const Ipv6Addr> targets,
+                              ProbeType type, const ReplyCallback& on_reply) {
+  v6::obs::Span span(options_.scan.telemetry, "scanner.scan");
+  ScanStats stats;
+  stats.targets = targets.size();
+
+  // Dedup on the caller thread: one flat-table pass marks the first
+  // occurrence of each address. The producer then streams indices with
+  // keep_[i] set — no uniquified copy of the target list is built.
+  dedup_.clear();
+  dedup_.reserve(targets.size());
+  keep_.assign(targets.size(), 0);
+  std::uint64_t unique_count = 0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (dedup_.insert(targets[i], 0)) {
+      keep_[i] = 1;
+      ++unique_count;
+    } else {
+      ++stats.deduped;
+    }
+  }
+
+  const unsigned num_shards = shards();
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    lane->wire.reset();
+    lane->blocked = 0;
+    lane->probed = 0;
+    lane->retransmissions = 0;
+    lane->backoffs = 0;
+    lane->backoff_nanos = 0;
+    lane->wait_nanos = 0;
+    lane->packets_before = lane->transport->packets_sent();
+  }
+
+  // The permutation plan is a pure function of (n, seed), shared by all
+  // walks; built once on the caller thread.
+  std::optional<ShardPlan> plan;
+  if (options_.scan.randomize_order) {
+    plan.emplace(targets.size(), options_.scan.seed);
+  }
+  auto make_walk = [&](unsigned shard) {
+    WalkAdapter walk;
+    if (plan.has_value()) {
+      walk.perm.emplace(*plan, shard, num_shards);
+    } else {
+      walk.x = shard;
+      walk.n = targets.size();
+      walk.stride = num_shards;
+    }
+    return walk;
+  };
+
+  // Classification fold: the only stage that touches ScanStats and the
+  // caller's callback. Runs on the caller thread in canonical
+  // (cycle-position) order in both execution modes.
+  auto classify = [&](const Ipv6Addr& addr, ProbeReply reply) {
+    switch (reply) {
+      case ProbeReply::kTimeout:
+        ++stats.timeouts;
+        break;
+      case ProbeReply::kRst:
+        ++stats.rsts;
+        break;
+      case ProbeReply::kDestUnreachable:
+        ++stats.unreachables;
+        break;
+      default:
+        if (v6::net::is_hit(type, reply)) ++stats.hits;
+        break;
+    }
+    if (on_reply) on_reply(addr, reply);
+  };
+
+  if (num_shards == 1) {
+    // Degenerate pipeline: with one shard nothing can overlap, so the
+    // stages fuse into a single loop on the caller thread. The walk
+    // already emits in canonical pos order and no record ever crosses a
+    // thread boundary, so there is nothing to queue, tokenize, or merge
+    // — the queues, reply records, and stateless MACs below are the
+    // machinery of the multi-shard hand-off, not of the scan itself.
+    // bench_throughput's single-core gate holds this loop to the batch
+    // engine's per-probe cost, and the threaded merge must stay
+    // bit-identical to it (stream_scanner_test compares the two).
+    Lane& lane = *lanes_[0];
+    WalkAdapter walk = make_walk(0);
+    ShardItem item;
+    while (walk.next(&item)) {
+      if (keep_[item.index] == 0) continue;
+      const Ipv6Addr& addr = targets[item.index];
+      if (blocklist_ != nullptr && blocklist_->blocked(addr)) {
+        ++lane.blocked;
+        continue;
+      }
+      const ProbeReply reply = lane_probe(lane, addr, type);
+      note_reply(lane, addr, reply);
+      ++lane.probed;
+      classify(addr, reply);
+    }
+  } else {
+    const std::uint64_t auth_key = probe_auth_key(options_.scan.seed);
+
+    // Prober stage: probes one target batch on `lane`, appending one
+    // authenticated ReplyRecord per probed address. Touches only the
+    // lane's own state — safe on any thread that owns the lane.
+    auto probe_batch = [&](Lane& lane, const TargetBatch& batch,
+                           ReplyBatch* out) {
+      for (const ShardItem& item : batch) {
+        const Ipv6Addr& addr = targets[item.index];
+        if (blocklist_ != nullptr && blocklist_->blocked(addr)) {
+          ++lane.blocked;
+          continue;
+        }
+        const ProbeReply reply = lane_probe(lane, addr, type);
+        note_reply(lane, addr, reply);
+        ++lane.probed;
+        out->push_back(ReplyRecord{addr, item.pos,
+                                   probe_token_keyed(addr, auth_key), reply});
+      }
+    };
+
+    struct ReplayRecord {
+      Ipv6Addr addr;
+      std::uint64_t pos = 0;
+      ProbeReply reply = ProbeReply::kTimeout;
+    };
+    std::vector<ReplayRecord> replay;
+    replay.reserve(unique_count);
+
+    // Receiver stage: validates tokens and folds a reply batch into the
+    // replay buffer. Runs on the caller thread.
+    auto absorb = [&](const ReplyBatch& batch) {
+      for (const ReplyRecord& record : batch) {
+        if (!validate_probe_keyed(record.addr, auth_key, record.token)) {
+          ++invalid_replies_;
+          continue;
+        }
+        replay.push_back(ReplayRecord{record.addr, record.pos, record.reply});
+      }
+    };
+
+    // Queues before workers: locals die in reverse order, so the worker
+    // group (which joins its threads) always outlives the queues.
+    std::vector<std::unique_ptr<v6::runtime::BoundedQueue<TargetBatch>>>
+        target_queues;
+    target_queues.reserve(num_shards);
+    for (unsigned s = 0; s < num_shards; ++s) {
+      target_queues.push_back(
+          std::make_unique<v6::runtime::BoundedQueue<TargetBatch>>(
+              options_.queue_capacity));
+    }
+    v6::runtime::BoundedQueue<ReplyBatch> reply_queue(options_.queue_capacity *
+                                                      num_shards);
+    std::atomic<unsigned> live_probers{num_shards};
+    v6::runtime::WorkerGroup workers;
+
+    // --- Producer: walks the permutation, decimated across shards. ----
+    workers.spawn([this, num_shards, &target_queues, &make_walk]() {
+      struct CloseAll {
+        std::vector<std::unique_ptr<v6::runtime::BoundedQueue<TargetBatch>>>*
+            queues;
+        ~CloseAll() {
+          for (auto& queue : *queues) queue->close();
+        }
+      } close_all{&target_queues};
+
+      std::vector<WalkAdapter> walks;
+      walks.reserve(num_shards);
+      for (unsigned s = 0; s < num_shards; ++s) walks.push_back(make_walk(s));
+      std::vector<bool> done(num_shards, false);
+      unsigned live = num_shards;
+      // Round-robin one batch per live shard per cycle: no queue starves.
+      while (live > 0) {
+        for (unsigned s = 0; s < num_shards; ++s) {
+          if (done[s]) continue;
+          TargetBatch batch;
+          batch.reserve(options_.batch);
+          ShardItem item;
+          bool more = true;
+          while (batch.size() < options_.batch) {
+            if (!walks[s].next(&item)) {
+              more = false;
+              break;
+            }
+            if (keep_[item.index] != 0) batch.push_back(item);
+          }
+          if (!batch.empty() && !target_queues[s]->push(std::move(batch))) {
+            return;  // consumer aborted; close_all shuts the rest down
+          }
+          if (!more) {
+            target_queues[s]->close();
+            done[s] = true;
+            --live;
+          }
+        }
+      }
+    });
+
+    // --- Probers: one worker per shard. -------------------------------
+    for (unsigned s = 0; s < num_shards; ++s) {
+      workers.spawn([this, s, &target_queues, &reply_queue, &live_probers,
+                     &probe_batch]() {
+        Lane& lane = *lanes_[s];
+        struct ProberGuard {
+          v6::runtime::BoundedQueue<TargetBatch>* own;
+          v6::runtime::BoundedQueue<ReplyBatch>* replies;
+          std::atomic<unsigned>* live;
+          ~ProberGuard() {
+            // Unblock the producer, and let the last prober out close
+            // the reply stream — on every exit path, including throws.
+            own->close();
+            if (live->fetch_sub(1) == 1) replies->close();
+          }
+        } exit_guard{target_queues[s].get(), &reply_queue, &live_probers};
+
+        TargetBatch batch;
+        while (target_queues[s]->pop(&batch)) {
+          ReplyBatch out;
+          out.reserve(batch.size());
+          probe_batch(lane, batch, &out);
+          if (!out.empty() && !reply_queue.push(std::move(out))) {
+            return;  // receiver gone
+          }
+        }
+      });
+    }
+
+    // --- Receiver: this thread. ---------------------------------------
+    try {
+      ReplyBatch batch;
+      while (reply_queue.pop(&batch)) absorb(batch);
+      workers.join();  // rethrows the first producer/prober failure
+    } catch (...) {
+      for (auto& queue : target_queues) queue->close();
+      reply_queue.close();
+      try {
+        workers.join();
+      } catch (...) {  // the original exception wins
+      }
+      throw;
+    }
+
+    // Canonical order: merge the shard streams by ascending cycle
+    // position — exactly the order the fused single-shard loop probes
+    // in — then fold them through the same classifier.
+    std::sort(replay.begin(), replay.end(),
+              [](const ReplayRecord& a, const ReplayRecord& b) {
+                return a.pos < b.pos;
+              });
+    for (const ReplayRecord& record : replay) {
+      classify(record.addr, record.reply);
+    }
+  }
+
+  // Fold lane tallies in shard order (integer sums, order-free anyway).
+  std::uint64_t wait_nanos = 0;
+  std::uint64_t backoff_nanos = 0;
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    stats.blocked += lane->blocked;
+    stats.probed += lane->probed;
+    stats.retransmissions += lane->retransmissions;
+    stats.backoffs += lane->backoffs;
+    stats.packets += lane->transport->packets_sent() - lane->packets_before;
+    wait_nanos += lane->wait_nanos;
+    backoff_nanos += lane->backoff_nanos;
+  }
+  stats.backoff_seconds = static_cast<double>(backoff_nanos) * 1e-9;
+  // Analytic wire-time model: emission time at the aggregate rate plus
+  // the explicit waits (docs/SCANNER.md explains how this differs from
+  // the batch engine's token-bucket clock).
+  const double pps = options_.scan.max_pps > 0 ? options_.scan.max_pps : 1.0;
+  stats.virtual_seconds = static_cast<double>(stats.packets) / pps +
+                          static_cast<double>(wait_nanos) * 1e-9;
+  total_virtual_seconds_ += stats.virtual_seconds;
+
+  V6_ENSURE_MSG(stats.probed + stats.blocked == unique_count,
+                "every unique target must be probed or blocked");
+  V6_ENSURE_MSG(stats.deduped + unique_count == stats.targets,
+                "dedup accounting must cover the target list");
+
+  v6::obs::Telemetry* const telemetry = options_.scan.telemetry;
+  if (telemetry != nullptr) {
+    v6::obs::Registry& registry = telemetry->registry();
+    registry.counter("scanner.targets").add(stats.targets);
+    registry.counter("scanner.deduped").add(stats.deduped);
+    registry.counter("scanner.blocked").add(stats.blocked);
+    registry.counter("scanner.probed").add(stats.probed);
+    registry.counter("scanner.packets").add(stats.packets);
+    registry.counter("scanner.hits").add(stats.hits);
+    registry.counter("scanner.timeouts").add(stats.timeouts);
+    if (stats.retransmissions != 0) {
+      registry.counter("scanner.retransmissions").add(stats.retransmissions);
+    }
+    if (stats.backoffs != 0) {
+      registry.counter("scanner.backoffs").add(stats.backoffs);
+    }
+    registry.histogram("scanner.batch.targets")
+        .record(static_cast<double>(stats.targets));
+    registry.histogram("scanner.batch.virtual_seconds")
+        .record(stats.virtual_seconds);
+  }
+  return stats;
+}
+
+ScanResult StreamScanner::scan_hits(std::span<const Ipv6Addr> targets,
+                                    ProbeType type) {
+  ScanResult result;
+  result.stats =
+      scan(targets, type, [&](const Ipv6Addr& addr, ProbeReply reply) {
+        if (v6::net::is_hit(type, reply)) result.hits.push_back(addr);
+      });
+  return result;
+}
+
+}  // namespace v6::probe

@@ -1,0 +1,170 @@
+// The streaming stateless scan engine (docs/SCANNER.md).
+//
+// Scanner (scanner.h) materializes, dedups, and shuffles the whole
+// target list, then probes it sequentially. StreamScanner decouples the
+// scan into a bounded producer→prober→receiver pipeline:
+//
+//   producer  — walks a seeded full-cycle permutation of the target
+//               index space (shard_walk.h), decimated across shards; no
+//               shuffle buffer is ever materialized.
+//   probers   — one worker per shard, each with its own transport chain,
+//               rate-limiter slice, and retry/backoff state; probes are
+//               validated statelessly (probe_auth.h) so no pending-map
+//               is shared.
+//   receiver  — the calling thread: validates tokens, classifies
+//               replies, and folds per-shard tallies in shard order.
+//
+// Stages are connected by fixed-capacity BoundedQueues
+// (runtime/bounded_queue.h), so memory stays bounded no matter how far
+// the producer runs ahead.
+//
+// With shards == 1 the pipeline degenerates: the stages fuse into one
+// loop on the calling thread — no worker threads, no queues, no reply
+// records (those are the machinery of the multi-shard hand-off, not of
+// the scan itself) — which keeps the streaming engine at per-probe
+// parity with the batch Scanner. bench/bench_throughput.cpp gates that
+// parity on single-core hosts, and the threaded merge is required to
+// stay bit-identical to the fused loop.
+//
+// Determinism contract (tested in tests/probe/stream_scanner_test.cc):
+// with faults and adaptive backoff off, hits, classifications, packets,
+// and every ScanStats counter are bit-identical across shard counts —
+// replies are pure functions of (addr, attempt, seed), the walk's cycle
+// positions are shard-count-independent, and all wait accounting is
+// summed in integer nanoseconds. Reply callbacks fire after the scan in
+// canonical cycle-position order (== the 1-shard probe order).
+//
+// Caveats, documented in docs/SCANNER.md: virtual_seconds uses the
+// analytic model packets/max_pps + waits (not the batch engine's token
+// bucket), adaptive backoff's *wait accounting* is a per-shard control
+// loop (classifications stay shard-invariant), and fault decorators are
+// per-shard-deterministic but not shard-invariant.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/addr_index.h"
+#include "net/ipv6.h"
+#include "net/service.h"
+#include "probe/blocklist.h"
+#include "probe/scanner.h"
+#include "simnet/universe.h"
+
+namespace v6::probe {
+
+/// Streaming-engine configuration wrapping the shared ScanOptions knobs.
+struct StreamScanOptions {
+  /// Decorates a shard's wire transport (e.g. wraps it in a fault
+  /// injector). Called once per shard at construction; the returned
+  /// transport owns nothing but may borrow `inner`. Lets callers layer
+  /// src/fault into the chain without this library depending on it.
+  using Decorator = std::function<std::unique_ptr<ProbeTransport>(
+      ProbeTransport& inner, unsigned shard)>;
+
+  /// Shard (= prober worker) count. Each shard covers a disjoint slice
+  /// of the permutation cycle and gets max_pps/shards of the rate budget.
+  unsigned shards = 1;
+  /// Targets per queue message — amortizes queue locking.
+  std::size_t batch = 256;
+  /// Messages per queue: the backpressure bound between stages.
+  std::size_t queue_capacity = 8;
+  /// The shared scan knobs (retries, pacing, seed, telemetry, robust
+  /// path). `randomize_order` selects the permuted walk (default) or a
+  /// strided in-order walk; `seed` drives the permutation, the stateless
+  /// reply engines, probe validation, and backoff jitter.
+  ScanOptions scan;
+  Decorator decorate;
+
+  StreamScanOptions& with_shards(unsigned v) { shards = v; return *this; }
+  StreamScanOptions& with_batch(std::size_t v) { batch = v; return *this; }
+  StreamScanOptions& with_queue_capacity(std::size_t v) {
+    queue_capacity = v;
+    return *this;
+  }
+  StreamScanOptions& with_scan(ScanOptions v) { scan = v; return *this; }
+  StreamScanOptions& with_decorator(Decorator v) {
+    decorate = std::move(v);
+    return *this;
+  }
+};
+
+/// Sharded streaming counterpart of Scanner. Owns its transport chain
+/// (one per shard, built over `universe`) because stateless per-probe
+/// replies are what make sharding sound — a caller-supplied sequential
+/// transport could not be split. The same scan()/scan_hits() surface and
+/// ScanStats/ScanResult types as Scanner, so results are comparable
+/// field by field.
+class StreamScanner {
+ public:
+  /// `blocklist` may be null. `universe` and `options.scan.telemetry`
+  /// are borrowed and must outlive the scanner.
+  StreamScanner(const v6::simnet::Universe& universe,
+                const Blocklist* blocklist, StreamScanOptions options);
+  ~StreamScanner();
+
+  StreamScanner(const StreamScanner&) = delete;
+  StreamScanner& operator=(const StreamScanner&) = delete;
+
+  using ReplyCallback = Scanner::ReplyCallback;
+
+  /// Scans `targets` on `type` through the pipeline. `on_reply` fires
+  /// once per probed address with its final classified reply, in
+  /// canonical cycle-position order, after all probers have joined.
+  ScanStats scan(std::span<const v6::net::Ipv6Addr> targets,
+                 v6::net::ProbeType type, const ReplyCallback& on_reply);
+
+  /// Collects positive responders plus the pass's statistics.
+  ScanResult scan_hits(std::span<const v6::net::Ipv6Addr> targets,
+                       v6::net::ProbeType type);
+
+  /// Cumulative analytic virtual wire time across all scans.
+  double virtual_seconds() const { return total_virtual_seconds_; }
+
+  /// Cumulative packets emitted across all shards.
+  std::uint64_t packets_sent() const;
+
+  /// Replies whose stateless validation token failed (always 0 against
+  /// the simulated universe; the counter exists because the receiver
+  /// refuses to classify unauthenticated replies by construction).
+  std::uint64_t invalid_replies() const { return invalid_replies_; }
+
+  unsigned shards() const { return static_cast<unsigned>(lanes_.size()); }
+
+  /// Folds per-shard telemetry (transport.* registries, scanner.retry.*
+  /// tallies) into the attached Telemetry in shard order. Idempotent per
+  /// accumulation; called automatically on destruction.
+  void flush_telemetry();
+
+ private:
+  struct Lane;
+
+  /// Prober-thread helpers (each touches only its own lane's state).
+  static void lane_wait(Lane& lane, double seconds);
+  v6::net::ProbeReply lane_probe(Lane& lane, const v6::net::Ipv6Addr& addr,
+                                 v6::net::ProbeType type) const;
+  void note_reply(Lane& lane, const v6::net::Ipv6Addr& addr,
+                  v6::net::ProbeReply reply) const;
+
+  const v6::simnet::Universe* universe_;
+  const Blocklist* blocklist_;
+  StreamScanOptions options_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  /// Dedup scratch reused across scans (flat table, satellite of the
+  /// same change that moved Scanner off unordered_set).
+  v6::net::AddrIndexMap dedup_;
+  std::vector<std::uint8_t> keep_;
+  /// Stateless backoff-jitter key (same stream tag as Scanner's
+  /// jitter_rng_, but mixed per (addr, attempt) so shards agree).
+  std::uint64_t jitter_base_ = 0;
+  /// `scanner.retry.<k>` counters, resolved eagerly like Scanner's so
+  /// instrumented reports carry the same counter set.
+  std::vector<v6::obs::Counter*> retry_counters_;
+  double total_virtual_seconds_ = 0.0;
+  std::uint64_t invalid_replies_ = 0;
+};
+
+}  // namespace v6::probe

@@ -1,0 +1,106 @@
+// BoundedQueue: a fixed-capacity multi-producer/multi-consumer queue
+// with blocking push/pop and close semantics — the coupling between the
+// streaming scan engine's pipeline stages (docs/SCANNER.md).
+//
+// The capacity bound is the backpressure mechanism: a producer that gets
+// ahead of its consumers blocks in push() instead of materializing an
+// unbounded buffer, so the target stream never has more than
+// capacity × element-size items in flight per stage.
+//
+// Close semantics: close() wakes every blocked caller. A push() after
+// close returns false and drops the element; pop() keeps draining
+// whatever was enqueued before the close and returns false only once the
+// queue is both closed and empty. That makes shutdown a one-liner on
+// each side: producers `if (!q.push(...)) return;`, consumers
+// `while (q.pop(&v)) { ... }`.
+//
+// Blocking uses condition variables on the caller's thread only — no
+// wall-clock reads, no timed waits — so the v6lint no-sleep /
+// nondeterminism rules hold: scheduling can change *when* an element
+// moves, never *what* the pipeline computes (determinism lives above
+// the queue, in the shard walk's canonical positions).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace v6::runtime {
+
+/// Fixed-capacity blocking MPMC ring. `T` must be default-constructible
+/// and move-assignable (the ring is a pre-sized vector of slots).
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A zero capacity is clamped to one: a queue that can never accept an
+  /// element would deadlock the first push.
+  explicit BoundedQueue(std::size_t capacity)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false — dropping `value` —
+  /// if the queue was closed (before or during the wait).
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return size_ < ring_.size() || closed_; });
+    if (closed_) return false;
+    ring_[(head_ + size_) % ring_.size()] = std::move(value);
+    ++size_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty. Returns false only when the queue
+  /// is closed AND drained; elements enqueued before close() are always
+  /// delivered.
+  bool pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return false;  // closed and drained
+    *out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Idempotent. Wakes every blocked producer and consumer.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Instantaneous count; only a snapshot under concurrency.
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace v6::runtime

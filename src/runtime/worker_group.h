@@ -1,0 +1,71 @@
+// WorkerGroup: an RAII batch of worker threads with exception capture.
+//
+// The streaming scanner spawns its producer and prober stages through
+// this instead of raw std::jthread so that (a) a thrown stage never
+// terminates the process — the first exception, in spawn order, is
+// rethrown on the joining thread — and (b) thread creation stays inside
+// src/runtime/, where the v6lint raw-thread rule confines it
+// (docs/STATIC_ANALYSIS.md). Everything above this layer reasons about
+// stages and queues, never about threads.
+#pragma once
+
+#include <deque>
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace v6::runtime {
+
+class WorkerGroup {
+ public:
+  WorkerGroup() = default;
+  WorkerGroup(const WorkerGroup&) = delete;
+  WorkerGroup& operator=(const WorkerGroup&) = delete;
+
+  /// Joins without rethrowing (std::jthread joins on destruction);
+  /// callers that care about worker exceptions must call join().
+  ~WorkerGroup() = default;
+
+  /// Starts `fn` on a new thread. Any exception it throws is captured
+  /// and rethrown by join(). The error slots live in a deque so their
+  /// addresses survive later spawns.
+  template <typename Fn>
+  void spawn(Fn&& fn) {
+    errors_.emplace_back(nullptr);
+    std::exception_ptr* slot = &errors_.back();
+    threads_.emplace_back([slot, f = std::forward<Fn>(fn)]() mutable {
+      try {
+        f();
+      } catch (...) {
+        *slot = std::current_exception();
+      }
+    });
+  }
+
+  std::size_t size() const { return threads_.size(); }
+
+  /// Joins every worker, then rethrows the first captured exception in
+  /// spawn order (deterministic: independent of which worker failed
+  /// first on the wall clock). The group is reusable afterwards.
+  void join() {
+    for (std::jthread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+    for (std::exception_ptr& error : errors_) {
+      if (error) {
+        const std::exception_ptr first = error;
+        errors_.clear();
+        std::rethrow_exception(first);
+      }
+    }
+    errors_.clear();
+  }
+
+ private:
+  std::vector<std::jthread> threads_;
+  std::deque<std::exception_ptr> errors_;
+};
+
+}  // namespace v6::runtime

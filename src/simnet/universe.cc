@@ -54,72 +54,6 @@ bool Universe::host_active(const Ipv6Addr& addr, ProbeType type) const {
   return h != nullptr && v6::net::has_service(h->services, type);
 }
 
-ProbeReply Universe::probe(const Ipv6Addr& addr, ProbeType type,
-                           v6::net::Rng& rng) const {
-  // 1. Aliased regions answer for every address inside them.
-  if (const AliasRegion* region = alias_region_of(addr); region != nullptr) {
-    if (v6::net::has_service(region->services, type)) {
-      if (!region->rate_limited ||
-          v6::net::uniform01(rng) < region->response_prob) {
-        return v6::net::positive_reply(type);
-      }
-      return ProbeReply::kTimeout;  // probe dropped by the rate limiter
-    }
-    // Service closed on the aliased device: TCP gets a RST.
-    if (type == ProbeType::kTcp80 || type == ProbeType::kTcp443) {
-      return ProbeReply::kRst;
-    }
-    return ProbeReply::kTimeout;
-  }
-
-  // 2. The dense AS12322-analogue pattern: low64 == ::1, ~35% ICMP-active.
-  if (dense_region_ && dense_region_->prefix.contains(addr)) {
-    if (type == ProbeType::kIcmp && addr.lo() == 1 &&
-        addr_coin(addr, /*salt=*/0xDE45E, dense_region_->active_prob)) {
-      return ProbeReply::kEchoReply;
-    }
-    return ProbeReply::kTimeout;
-  }
-
-  // 3. Regular hosts. Host-level faults (rate-limited hosts, reply
-  // loss) draw from the transport RNG only when the universe actually
-  // enables them, so default (lossless) configs keep the exact RNG
-  // stream — and so the exact replies — of pre-fault builds.
-  if (const HostRecord* h = host(addr); h != nullptr) {
-    if (v6::net::has_service(h->services, type)) {
-      if (h->rate_limited &&
-          v6::net::uniform01(rng) >= config_.host_rate_limited_response_prob) {
-        return ProbeReply::kTimeout;  // reply suppressed by the limiter
-      }
-      if (config_.host_loss_prob > 0.0 &&
-          v6::net::uniform01(rng) < config_.host_loss_prob) {
-        return ProbeReply::kTimeout;  // reply lost in the network
-      }
-      return v6::net::positive_reply(type);
-    }
-    // Host up but port closed: TCP stacks typically send RST; a UDP probe
-    // may draw an ICMP Port Unreachable (classified as DestUnreachable).
-    if (h->services != 0) {
-      if (type == ProbeType::kTcp80 || type == ProbeType::kTcp443) {
-        return ProbeReply::kRst;
-      }
-      if (type == ProbeType::kUdp53 &&
-          addr_coin(addr, /*salt=*/0x0D53, 0.5)) {
-        return ProbeReply::kDestUnreachable;
-      }
-    }
-    return ProbeReply::kTimeout;
-  }
-
-  // 4. Background: routed-but-unused space occasionally draws an ICMP
-  // Destination Unreachable from an on-path router.
-  if (routes_.asn_of(addr).has_value() &&
-      addr_coin(addr, /*salt=*/0xBAC6, config_.background_unreachable_prob)) {
-    return ProbeReply::kDestUnreachable;
-  }
-  return ProbeReply::kTimeout;
-}
-
 std::size_t Universe::active_host_count(ProbeType type) const {
   std::size_t n = 0;
   for (const HostRecord& h : hosts_) {

@@ -1,0 +1,160 @@
+// BoundedQueue (runtime/bounded_queue.h): FIFO delivery, backpressure,
+// close semantics, and MPMC exactly-once delivery under the tsan preset
+// (labels queue + concurrency). WorkerGroup's exception plumbing is
+// covered here too — the streaming scanner leans on both.
+#include "runtime/bounded_queue.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/worker_group.h"
+
+namespace {
+
+using v6::runtime::BoundedQueue;
+using v6::runtime::WorkerGroup;
+
+TEST(BoundedQueueTest, FifoSingleThread) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 4u);
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.push(7));
+  int v = 0;
+  EXPECT_TRUE(q.pop(&v));
+  EXPECT_EQ(v, 7);
+}
+
+TEST(BoundedQueueTest, WrapAroundKeepsOrder) {
+  BoundedQueue<int> q(3);
+  int v = -1;
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(q.push(2 * round));
+    ASSERT_TRUE(q.push(2 * round + 1));
+    ASSERT_TRUE(q.pop(&v));
+    EXPECT_EQ(v, 2 * round);
+    ASSERT_TRUE(q.pop(&v));
+    EXPECT_EQ(v, 2 * round + 1);
+  }
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenStops) {
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));  // dropped
+  int v = 0;
+  EXPECT_TRUE(q.pop(&v));  // pre-close elements still delivered
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.pop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.pop(&v));  // closed and drained
+  q.close();                // idempotent
+  EXPECT_FALSE(q.pop(&v));
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(2);
+  WorkerGroup workers;
+  std::atomic<int> drained{0};
+  workers.spawn([&] {
+    int v = 0;
+    while (q.pop(&v)) drained.fetch_add(1);
+  });
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();  // consumer must drain both, then exit its loop
+  workers.join();
+  EXPECT_EQ(drained.load(), 2);
+}
+
+TEST(BoundedQueueTest, BackpressureBlocksProducerUntilPop) {
+  BoundedQueue<std::uint64_t> q(2);
+  constexpr std::uint64_t kCount = 2000;
+  WorkerGroup workers;
+  workers.spawn([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      ASSERT_TRUE(q.push(i));  // blocks whenever the ring is full
+    }
+    q.close();
+  });
+  std::uint64_t v = 0;
+  std::uint64_t expected = 0;
+  while (q.pop(&v)) {
+    EXPECT_EQ(v, expected++);  // single producer → order preserved
+    EXPECT_LE(q.size(), q.capacity());
+  }
+  workers.join();
+  EXPECT_EQ(expected, kCount);
+}
+
+TEST(BoundedQueueTest, MpmcDeliversEveryElementExactlyOnce) {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr std::uint64_t kPerProducer = 1000;
+  BoundedQueue<std::uint64_t> q(4);
+  std::atomic<int> live_producers{kProducers};
+  std::vector<std::vector<std::uint64_t>> received(kConsumers);
+  WorkerGroup workers;
+  for (int p = 0; p < kProducers; ++p) {
+    workers.spawn([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(static_cast<std::uint64_t>(p) * kPerProducer + i));
+      }
+      if (live_producers.fetch_sub(1) == 1) q.close();
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    workers.spawn([&, c] {
+      std::uint64_t v = 0;
+      while (q.pop(&v)) received[c].push_back(v);
+    });
+  }
+  workers.join();
+  std::vector<std::uint64_t> all;
+  for (const auto& chunk : received) {
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  std::sort(all.begin(), all.end());
+  std::vector<std::uint64_t> expected(kProducers * kPerProducer);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(all, expected);
+}
+
+TEST(WorkerGroupTest, JoinRethrowsFirstExceptionInSpawnOrder) {
+  WorkerGroup workers;
+  workers.spawn([] { throw std::runtime_error("first"); });
+  workers.spawn([] { throw std::logic_error("second"); });
+  try {
+    workers.join();
+    FAIL() << "join() should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  // The group is reusable after a throwing join.
+  std::atomic<bool> ran{false};
+  workers.spawn([&] { ran = true; });
+  workers.join();
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace

@@ -7,9 +7,10 @@
 // encodes one such repo invariant; docs/STATIC_ANALYSIS.md carries the
 // full rationale per rule.
 //
-//   deprecated-api       no calls to the [[deprecated]] spellings
+//   deprecated-api       no calls to the removed PR 2 spellings
 //                        (run_all_tgas / run_tgas / 3-argument scan_hits)
-//                        outside their declaration and definition sites.
+//                        anywhere — the wrappers are deleted, so any
+//                        match is dead code that will not compile.
 //   nondeterminism       no wall-clock or ambient-randomness sources in
 //                        src/ outside src/net/rng.h: rand/srand/
 //                        random_device/time()/system_clock and friends.
@@ -33,6 +34,12 @@
 //                        [a-z0-9_.<>:] so trace paths, the report
 //                        analyzer's "tga:"/"/" splitting, and JSON keys
 //                        stay parseable and grep-stable.
+//   raw-thread           no std::thread/std::jthread/pthread_create in
+//                        src/ outside src/runtime/: every thread must go
+//                        through runtime::WorkerGroup or the ThreadPool,
+//                        which own join-on-scope-exit and exception
+//                        capture. A raw thread elsewhere can outlive the
+//                        state it borrows or swallow failures.
 //
 // Usage:
 //   v6lint <dir>...            scan trees; exit 1 if any rule fires
@@ -209,20 +216,13 @@ bool in_src(const fs::path& path) { return has_component(path, "src"); }
 
 // ---------------------------------------------------------------- rules
 
-/// deprecated-api: the PR 2 wrappers keep old call sites compiling, but
-/// new code must use run_sweep / the ScanResult-returning scan_hits.
-/// Declaration + definition + forwarding sites are exempt.
+/// deprecated-api: the PR 2 compatibility wrappers are deleted; the only
+/// spellings are run_sweep and the ScanResult-returning scan_hits. With
+/// no declaration sites left, nothing is exempt.
 void check_deprecated_api(const std::string& file, const fs::path& path,
                           const std::vector<std::string>& stripped,
                           std::vector<Violation>& out) {
-  static const std::set<std::string, std::less<>> kExemptSuffixes = {
-      "src/experiment/runner.h", "src/experiment/runner.cc",
-      "src/probe/scanner.h", "src/probe/scanner.cc"};
-  const std::string generic = generic_path(path);
-  for (const auto& suffix : kExemptSuffixes) {
-    if (has_suffix(generic, suffix)) return;
-  }
-
+  (void)path;
   static const std::regex kPositional(R"(\b(run_all_tgas|run_tgas)\b)");
   for (std::size_t i = 0; i < stripped.size(); ++i) {
     if (std::regex_search(stripped[i], kPositional)) {
@@ -397,9 +397,29 @@ void check_metric_name(const std::string& file, const fs::path& path,
   }
 }
 
+/// raw-thread: thread lifetime and failure propagation are runtime/'s
+/// job (WorkerGroup joins on scope exit and rethrows captured
+/// exceptions; ThreadPool owns its workers). A bare std::thread anywhere
+/// else in the library re-solves both problems badly, so the spawn
+/// primitives are confined to src/runtime/.
+void check_raw_thread(const std::string& file, const fs::path& path,
+                      const std::vector<std::string>& stripped,
+                      std::vector<Violation>& out) {
+  if (!in_src(path) || has_component(path, "runtime")) return;
+  static const std::regex kBanned(
+      R"(\bstd\s*::\s*j?thread\b|\bpthread_create\b)");
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    if (std::regex_search(stripped[i], kBanned)) {
+      out.push_back({file, i + 1, "raw-thread",
+                     "raw thread spawn outside src/runtime/; use "
+                     "runtime::WorkerGroup or the ThreadPool"});
+    }
+  }
+}
+
 const char* const kAllRules[] = {"deprecated-api", "nondeterminism",
                                  "pragma-once", "telemetry-null-guard",
-                                 "no-sleep", "metric-name"};
+                                 "no-sleep", "metric-name", "raw-thread"};
 
 bool lintable(const fs::path& path) {
   const auto ext = path.extension();
@@ -432,6 +452,7 @@ void lint_file(const fs::path& path, std::vector<Violation>& out) {
   check_telemetry_guard(file, path, stripped, out);
   check_no_sleep(file, path, stripped, out);
   check_metric_name(file, path, with_strings, out);
+  check_raw_thread(file, path, stripped, out);
 }
 
 }  // namespace

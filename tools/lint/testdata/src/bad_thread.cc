@@ -1,0 +1,9 @@
+// Seeded violation fixture for the raw-thread rule: a bare std::thread
+// in library code outside src/runtime/. The selftest requires v6lint to
+// flag this file; tree scans skip testdata/.
+#include <thread>
+
+void bad_thread_spawn() {
+  std::thread worker([] {});
+  worker.join();
+}

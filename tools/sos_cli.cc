@@ -37,6 +37,10 @@
 //     --adaptive N   consecutive-timeout threshold for per-prefix
 //                    cool-downs (use with --cooldown S)
 //     --cooldown S   adaptive cool-down wait in virtual seconds
+//   and the scan-engine selector (docs/SCANNER.md):
+//     --shards N     route scans through the streaming stateless engine
+//                    with N shard workers (0, the default, keeps the
+//                    batch engine)
 //   sos trace ADDR [--seed N]
 //       Simulated traceroute toward ADDR.
 //   sos collect --source NAME [--out FILE] [--seed N]
@@ -351,6 +355,7 @@ int cmd_run(const Args& args) {
           .with_type(parse_port(args.get("port", "ICMP")))
           .with_budget(args.get_u64("budget", 400'000))
           .with_seed(args.get_u64("seed", 42))
+          .with_shards(static_cast<int>(args.get_u64("shards", 0)))
           .with_telemetry(obs.telemetry())
           .with_trace_probes(obs.tracing());
   if (!apply_fault_options(args, config, plan)) return 2;
@@ -458,6 +463,7 @@ int cmd_survey(const Args& args) {
                     .with_type(port)
                     .with_budget(budget)
                     .with_seed(seed)
+                    .with_shards(static_cast<int>(args.get_u64("shards", 0)))
                     .with_trace_probes(obs.tracing());
   if (!apply_fault_options(args, config, plan)) return 2;
   const auto runs = v6::experiment::run_sweep(
