@@ -26,14 +26,13 @@ int main(int argc, char** argv) {
   sweep.reserve(budgets.size());
   for (const std::uint64_t budget : budgets) {
     std::cerr << "running " << tgas.size() << " TGAs @ " << budget << "\n";
-    sweep.push_back(v6::bench::run_sweep(
-        v6::bench::SweepSpec{}
-            .with_universe(bench.universe())
+    sweep.push_back(
+        v6::bench::ScanSession(bench.universe(), bench.alias_list())
             .with_kinds(tgas)
             .with_seeds(seeds)
-            .with_alias_list(bench.alias_list())
             .with_config(v6::experiment::PipelineConfig{}.with_budget(budget))
-            .with_jobs(args.jobs)));
+            .with_jobs(args.jobs)
+            .sweep());
     timer.record("budget_" + std::to_string(budget), sweep.back());
   }
 

@@ -1,8 +1,8 @@
 // Shared helpers for the bench harnesses that regenerate the paper's
 // tables and figures: argument parsing (budget + --jobs), the parallel
-// TGA sweep (see src/experiment/runner.h), and a timing harness that
-// writes BENCH_<name>.json so the perf trajectory of every bench is
-// machine-readable across revisions.
+// TGA sweep (the ScanSession builder, src/experiment/session.h), and a
+// timing harness that writes BENCH_<name>.json so the perf trajectory
+// of every bench is machine-readable across revisions.
 #pragma once
 
 #include <algorithm>
@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "experiment/pipeline.h"
-#include "experiment/runner.h"
+#include "experiment/session.h"
 #include "experiment/workbench.h"
 #include "metrics/reporter.h"
 #include "metrics/scan_outcome.h"
@@ -38,9 +38,8 @@ inline constexpr const char* kBuildTag = V6_BUILD_TAG;
 inline constexpr const char* kBuildTag = "release";
 #endif
 
-using v6::experiment::SweepSpec;
+using v6::experiment::ScanSession;
 using v6::experiment::TgaRun;
-using v6::experiment::run_sweep;
 
 struct BenchArgs {
   /// Generation budget per run. Default 400K — the scaled analogue of
@@ -368,12 +367,11 @@ inline TgaRun run_one_tga(const v6::simnet::Universe& universe,
                           std::span<const v6::net::Ipv6Addr> seeds,
                           const v6::dealias::AliasList& alias_list,
                           const v6::experiment::PipelineConfig& config) {
-  return run_sweep(SweepSpec{}
-                       .with_universe(universe)
-                       .with_kind(kind)
-                       .with_seeds(seeds)
-                       .with_alias_list(alias_list)
-                       .with_config(config))
+  return ScanSession(universe, alias_list)
+      .with_kind(kind)
+      .with_seeds(seeds)
+      .with_config(config)
+      .sweep()
       .front();
 }
 

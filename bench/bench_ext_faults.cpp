@@ -112,14 +112,12 @@ int main(int argc, char** argv) {
         }
         const std::string label =
             cell_label(losses[li], rate_limits[ri], policies[pi]);
-        const auto runs = v6::bench::run_sweep(
-            v6::bench::SweepSpec{}
-                .with_universe(bench.universe())
-                .with_kinds(v6::tga::kAllTgas)
-                .with_seeds(seeds)
-                .with_alias_list(bench.alias_list())
-                .with_config(config)
-                .with_jobs(args.jobs));
+        const auto runs = v6::bench::ScanSession(bench.universe(), bench.alias_list())
+                              .with_kinds(v6::tga::kAllTgas)
+                              .with_seeds(seeds)
+                              .with_config(config)
+                              .with_jobs(args.jobs)
+                              .sweep();
         timer.record(label, runs);
         for (const auto& run : runs) {
           totals[li][ri][pi] += run.outcome.hits();

@@ -30,13 +30,12 @@ int main(int argc, char** argv) {
     const auto run_config = v6::experiment::PipelineConfig(config).with_type(port);
     std::cerr << "running " << contenders.size() << " contenders on "
               << v6::net::to_string(port) << "\n";
-    const auto runs = v6::bench::run_sweep(v6::bench::SweepSpec{}
-                                               .with_universe(bench.universe())
-                                               .with_kinds(contenders)
-                                               .with_seeds(seeds)
-                                               .with_alias_list(bench.alias_list())
-                                               .with_config(run_config)
-                                               .with_jobs(args.jobs));
+    const auto runs = v6::bench::ScanSession(bench.universe(), bench.alias_list())
+                          .with_kinds(contenders)
+                          .with_seeds(seeds)
+                          .with_config(run_config)
+                          .with_jobs(args.jobs)
+                          .sweep();
     timer.record(std::string(v6::net::to_string(port)), runs);
     for (const auto& run : runs) {
       table.add_row({std::string(v6::tga::to_string(run.kind)),

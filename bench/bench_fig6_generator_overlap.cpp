@@ -26,12 +26,11 @@ int main(int argc, char** argv) {
   for (const v6::net::ProbeType port : v6::net::kAllProbeTypes) {
     const auto config = v6::experiment::PipelineConfig(base_config).with_type(port);
     std::cerr << "running " << v6::net::to_string(port) << "\n";
-    const auto runs = v6::bench::run_sweep(v6::bench::SweepSpec{}
-                                               .with_universe(bench.universe())
-                                               .with_seeds(seeds)
-                                               .with_alias_list(bench.alias_list())
-                                               .with_config(config)
-                                               .with_jobs(args.jobs));
+    const auto runs = v6::bench::ScanSession(bench.universe(), bench.alias_list())
+                          .with_seeds(seeds)
+                          .with_config(config)
+                          .with_jobs(args.jobs)
+                          .sweep();
     timer.record(std::string(v6::net::to_string(port)), runs);
 
     std::vector<std::pair<std::string,

@@ -45,12 +45,11 @@ int main(int argc, char** argv) {
           v6::experiment::PipelineConfig(base_config).with_type(scan_port);
       std::cerr << "running " << v6::net::to_string(scan_port) << " from "
                 << input.name << " (" << input.seeds->size() << " seeds)\n";
-      const auto runs = v6::bench::run_sweep(v6::bench::SweepSpec{}
-                                                 .with_universe(bench.universe())
-                                                 .with_seeds(*input.seeds)
-                                                 .with_alias_list(bench.alias_list())
-                                                 .with_config(config)
-                                                 .with_jobs(args.jobs));
+      const auto runs = v6::bench::ScanSession(bench.universe(), bench.alias_list())
+                            .with_seeds(*input.seeds)
+                            .with_config(config)
+                            .with_jobs(args.jobs)
+                            .sweep();
       timer.record(std::string(v6::net::to_string(scan_port)) + "/" +
                        input.name,
                    runs);

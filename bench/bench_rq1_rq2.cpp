@@ -76,13 +76,11 @@ int main(int argc, char** argv) {
                 << " seeds)\n";
       auto& slot = all[static_cast<std::size_t>(static_cast<int>(port))]
                       [static_cast<std::size_t>(row)];
-      slot = v6::bench::run_sweep(
-          v6::bench::SweepSpec{}
-              .with_universe(bench.universe())
-              .with_seeds(*datasets[static_cast<std::size_t>(row)])
-              .with_alias_list(bench.alias_list())
-              .with_config(config)
-              .with_jobs(args.jobs));
+      slot = v6::bench::ScanSession(bench.universe(), bench.alias_list())
+                 .with_seeds(*datasets[static_cast<std::size_t>(row)])
+                 .with_config(config)
+                 .with_jobs(args.jobs)
+                 .sweep();
       timer.record(std::string(v6::net::to_string(port)) + "/" +
                        kRowNames[static_cast<std::size_t>(row)],
                    slot);

@@ -52,12 +52,11 @@ int main(int argc, char** argv) {
       std::cerr << "running " << v6::net::to_string(port) << " / "
                 << v6::seeds::to_string(source) << " (" << seeds.size()
                 << " seeds)\n";
-      const auto runs = v6::bench::run_sweep(v6::bench::SweepSpec{}
-                                                 .with_universe(universe)
-                                                 .with_seeds(seeds)
-                                                 .with_alias_list(bench.alias_list())
-                                                 .with_config(config)
-                                                 .with_jobs(args.jobs));
+      const auto runs = v6::bench::ScanSession(universe, bench.alias_list())
+                            .with_seeds(seeds)
+                            .with_config(config)
+                            .with_jobs(args.jobs)
+                            .sweep();
       timer.record(std::string(v6::net::to_string(port)) + "/" +
                        std::string(v6::seeds::to_string(source)),
                    runs);
@@ -98,12 +97,11 @@ int main(int argc, char** argv) {
                             .with_type(ProbeType::kIcmp)
                             .with_budget(base_config.budget * 12);
     std::cerr << "running big-budget sweep over all TGAs\n";
-    const auto big_runs = v6::bench::run_sweep(v6::bench::SweepSpec{}
-                                                   .with_universe(universe)
-                                                   .with_seeds(bench.all_active())
-                                                   .with_alias_list(bench.alias_list())
-                                                   .with_config(config)
-                                                   .with_jobs(args.jobs));
+    const auto big_runs = v6::bench::ScanSession(universe, bench.alias_list())
+                              .with_seeds(bench.all_active())
+                              .with_config(config)
+                              .with_jobs(args.jobs)
+                              .sweep();
     timer.record("big_budget/ICMP", big_runs);
     for (std::size_t t = 0; t < v6::tga::kNumTgas; ++t) {
       const auto& big = big_runs[t].outcome;

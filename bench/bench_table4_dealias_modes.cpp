@@ -35,12 +35,11 @@ int main(int argc, char** argv) {
     const auto& seeds = bench.dealiased(modes[m].second);
     std::cerr << "seed mode " << modes[m].first << ": " << seeds.size()
               << " seeds\n";
-    const auto runs = v6::bench::run_sweep(v6::bench::SweepSpec{}
-                                               .with_universe(bench.universe())
-                                               .with_seeds(seeds)
-                                               .with_alias_list(bench.alias_list())
-                                               .with_config(config)
-                                               .with_jobs(args.jobs));
+    const auto runs = v6::bench::ScanSession(bench.universe(), bench.alias_list())
+                          .with_seeds(seeds)
+                          .with_config(config)
+                          .with_jobs(args.jobs)
+                          .sweep();
     timer.record(modes[m].first, runs);
     for (std::size_t t = 0; t < runs.size(); ++t) {
       aliases[t][m] = runs[t].outcome.aliases;

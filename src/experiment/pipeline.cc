@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "check/contracts.h"
+#include "check/validate.h"
 #include "dealias/online_dealiaser.h"
 #include "fault/faulty_transport.h"
 #include "net/rng.h"
@@ -18,23 +19,28 @@ using v6::net::Ipv6Addr;
 using v6::net::ProbeReply;
 using v6::net::ProbeType;
 
+void PipelineConfig::validate() const {
+  const v6::check::Validator v("PipelineConfig");
+  v.positive(budget, "budget");
+  v.positive(batch_size, "batch_size");
+  v.non_negative(scan_retries, "scan_retries");
+  v.positive(max_pps, "max_pps");
+  v.non_negative(probe_timeout_s, "probe_timeout_s");
+  v.non_negative(retry_backoff_s, "retry_backoff_s");
+  v.unit_interval(retry_jitter, "retry_jitter");
+  v.non_negative(adaptive_threshold, "adaptive_threshold");
+  v.non_negative(adaptive_backoff_s, "adaptive_backoff_s");
+  v.non_negative(shards, "shards");
+  v.require(faults == nullptr || faults->valid(), "faults",
+            "fault plan failed validation");
+}
+
 v6::metrics::ScanOutcome run_tga(const v6::simnet::Universe& universe,
                                  v6::tga::TargetGenerator& generator,
                                  std::span<const Ipv6Addr> seeds,
                                  const v6::dealias::AliasList& offline_aliases,
                                  const PipelineConfig& config) {
-  V6_REQUIRE_MSG(config.batch_size > 0, "batch_size 0 would generate nothing");
-  V6_REQUIRE(config.scan_retries >= 0);
-  V6_REQUIRE_MSG(config.max_pps > 0.0, "rate limit must be positive");
-  V6_REQUIRE(config.probe_timeout_s >= 0.0);
-  V6_REQUIRE(config.retry_backoff_s >= 0.0);
-  V6_REQUIRE(config.retry_jitter >= 0.0 && config.retry_jitter <= 1.0);
-  V6_REQUIRE(config.adaptive_threshold >= 0);
-  V6_REQUIRE(config.adaptive_backoff_s >= 0.0);
-  V6_REQUIRE_MSG(config.shards >= 0,
-                 "shards: 0 selects the batch engine, >= 1 the streaming one");
-  V6_REQUIRE_MSG(config.faults == nullptr || config.faults->valid(),
-                 "fault plan failed validation");
+  config.validate();
   v6::metrics::ScanOutcome outcome;
   v6::obs::Telemetry* const telemetry = config.telemetry;
   v6::obs::Span run_span(telemetry, "pipeline.run");

@@ -109,6 +109,13 @@ struct PipelineConfig {
     adaptive_backoff_s = wait_s;
     return *this;
   }
+
+  /// Bounds-checks every field through the shared check/validate.h
+  /// path; throws check::ConfigError with a uniform
+  /// "PipelineConfig.<field>: <constraint>" message. Called by run_tga,
+  /// ScanSession::sweep, and the service loop, so an invalid config
+  /// fails identically whichever entry point sees it first.
+  void validate() const;
 };
 
 /// Runs one generator against one seed dataset on one probe type.

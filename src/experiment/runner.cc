@@ -1,75 +1,30 @@
 #include "experiment/runner.h"
 
-#include <chrono>
-#include <stdexcept>
-#include <string>
-
-#include "check/contracts.h"
-#include "obs/sinks.h"
-#include "runtime/thread_pool.h"
+#include "check/validate.h"
 
 namespace v6::experiment {
 
-std::vector<TgaRun> run_sweep(const SweepSpec& spec) {
-  if (spec.universe == nullptr) {
-    throw std::invalid_argument("run_sweep: SweepSpec.universe is required");
-  }
-  if (spec.alias_list == nullptr) {
-    throw std::invalid_argument("run_sweep: SweepSpec.alias_list is required");
-  }
-  const std::span<const v6::tga::TgaKind> kinds =
-      spec.kinds.empty() ? std::span<const v6::tga::TgaKind>(v6::tga::kAllTgas)
-                         : std::span<const v6::tga::TgaKind>(spec.kinds);
-
-  std::vector<TgaRun> runs(kinds.size());
-  // Per-run instrumentation, slot-owned: each run gets a private
-  // Telemetry (and, when the parent traces, a private event buffer), so
-  // worker scheduling can neither interleave two runs' spans nor reorder
-  // the merged output below.
-  const bool forward_events =
-      spec.telemetry != nullptr && spec.telemetry->tracing();
-  std::vector<v6::obs::Telemetry> locals(kinds.size());
-  std::vector<v6::obs::MemorySink> buffers(forward_events ? kinds.size() : 0);
-
-  v6::obs::Span sweep_span(spec.telemetry, "sweep");
-  v6::runtime::parallel_for(spec.jobs, kinds.size(), [&](std::size_t i) {
-    // Everything mutable is created inside the task: the generator, the
-    // run's telemetry, and (inside run_tga) the transport, scanner, and
-    // dealiasers. Only the const Universe and the seed span are shared.
-    v6::obs::Telemetry& local = locals[i];
-    if (forward_events) local.attach_sink(&buffers[i]);
-    PipelineConfig config = spec.config;
-    config.telemetry = &local;
-    const auto start = std::chrono::steady_clock::now();
-    auto generator = v6::tga::make_generator(kinds[i]);
-    runs[i].kind = kinds[i];
-    {
-      v6::obs::Span tga_span(
-          &local,
-          "tga:" + std::string(v6::tga::to_string(kinds[i])));
-      runs[i].outcome = run_tga(*spec.universe, *generator, spec.seeds,
-                                *spec.alias_list, config);
-    }
-    runs[i].wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    runs[i].report = local.registry().snapshot();
-    V6_INVARIANT_MSG(runs[i].kind == kinds[i],
-                     "run slot filled for a different TGA than assigned");
-  });
-
-  // Deterministic merge: slot order, regardless of completion order.
-  if (spec.telemetry != nullptr) {
-    for (std::size_t i = 0; i < kinds.size(); ++i) {
-      spec.telemetry->registry().merge_from(locals[i].registry());
-    }
-    if (forward_events) {
-      for (const v6::obs::MemorySink& buffer : buffers) {
-        buffer.replay_to(*spec.telemetry->sink());
-      }
-    }
-  }
-  return runs;
+void SweepSpec::validate() const {
+  const v6::check::Validator v("SweepSpec");
+  v.not_null(universe, "universe");
+  v.not_null(alias_list, "alias_list");
+  config.validate();
 }
+
+// The definition must not itself warn for touching the deprecated
+// declaration it implements.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+std::vector<TgaRun> run_sweep(const SweepSpec& spec) {
+  spec.validate();
+  return ScanSession(*spec.universe, *spec.alias_list)
+      .with_kinds(spec.kinds)
+      .with_seeds(spec.seeds)
+      .with_config(spec.config)
+      .with_jobs(spec.jobs)
+      .with_telemetry(spec.telemetry)
+      .sweep();
+}
+#pragma GCC diagnostic pop
 
 }  // namespace v6::experiment

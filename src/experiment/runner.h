@@ -1,53 +1,28 @@
-// The parallel experiment runner: fans independent TGA runs across a
-// thread pool with results bit-identical to a sequential sweep.
+// Legacy sweep entry point, kept as a deprecated forwarder.
 //
-// Why this is safe (docs/ALGORITHMS.md, "Parallel experiment
-// execution"): a run_tga call is a pure function of a `const Universe&`
-// plus its own freshly-seeded transport/scanner/dealiaser RNG state, so
-// runs share nothing mutable and every output slot is pre-assigned —
-// scheduling order cannot leak into results.
+// The experiment API's object model now lives in experiment/session.h:
+// ScanSession binds universe/alias list by reference at construction and
+// sweep() runs the fan-out. SweepSpec survives only so out-of-tree
+// callers keep compiling through one release; it is the old raw-pointer
+// wiring (`spec.universe = &u`) that ScanSession was designed to retire.
 //
-// Observability (docs/OBSERVABILITY.md): every run owns a private
-// obs::Telemetry, so per-TGA attribution survives the thread pool.
-// After the sweep, per-run registries are folded into the spec's
-// telemetry — and per-run event buffers replayed into its sink — in
-// slot order, making merged traces deterministic for any jobs count.
+// In-tree the old spelling has zero callers, and the v6lint
+// `deprecated-api` rule keeps it that way (docs/STATIC_ANALYSIS.md):
+// any new `run_sweep(` call outside this header/its .cc fails `ctest -L
+// lint`.
 #pragma once
 
 #include <span>
 #include <vector>
 
-#include "dealias/alias_list.h"
-#include "experiment/pipeline.h"
-#include "metrics/scan_outcome.h"
-#include "net/ipv6.h"
-#include "obs/registry.h"
-#include "obs/telemetry.h"
-#include "simnet/universe.h"
-#include "tga/registry.h"
+#include "experiment/session.h"
 
 namespace v6::experiment {
 
-/// One TGA's result within a sweep.
-struct TgaRun {
-  v6::tga::TgaKind kind;
-  v6::metrics::ScanOutcome outcome;
-  /// Host wall-clock spent inside this run (not virtual wire time).
-  double wall_seconds = 0.0;
-  /// Snapshot of this run's private metric registry: transport packet /
-  /// reply counters, scanner counters, and `pipeline.*` phase timers
-  /// (the per-phase breakdown bench_common embeds in BENCH_*.json).
-  /// Counters and timer counts are deterministic; timer seconds are
-  /// wall-clock measurements.
-  v6::obs::Report report;
-};
-
-/// Everything a TGA sweep needs (the old six-positional-argument entry
-/// points are gone). `universe` and `alias_list` are borrowed
-/// and required; `kinds` empty means all eight TGAs; `jobs == 0` means
+/// Everything a TGA sweep needs, pointer-wired (deprecated shape; see
+/// ScanSession). `universe` and `alias_list` are borrowed and required;
+/// `kinds` empty means all eight TGAs; `jobs == 0` means
 /// runtime::default_jobs(), `jobs == 1` runs sequentially inline.
-/// Output order (and every ScanOutcome field) is identical for every
-/// jobs value, with or without telemetry.
 struct SweepSpec {
   const v6::simnet::Universe* universe = nullptr;
   std::vector<v6::tga::TgaKind> kinds;
@@ -55,9 +30,6 @@ struct SweepSpec {
   const v6::dealias::AliasList* alias_list = nullptr;
   PipelineConfig config;
   unsigned jobs = 1;
-  /// Optional parent instrumentation context: receives every run's
-  /// merged counters/timers, and (when it has a sink) the runs' trace
-  /// events in slot order.
   v6::obs::Telemetry* telemetry = nullptr;
 
   SweepSpec& with_universe(const v6::simnet::Universe& u) { universe = &u; return *this; }
@@ -66,16 +38,20 @@ struct SweepSpec {
   SweepSpec& with_seeds(std::span<const v6::net::Ipv6Addr> s) { seeds = s; return *this; }
   SweepSpec& with_alias_list(const v6::dealias::AliasList& a) { alias_list = &a; return *this; }
   SweepSpec& with_config(const PipelineConfig& c) { config = c; return *this; }
-  /// Convenience: attaches a fault plan to the sweep's pipeline config.
-  /// Same sharing rule as run_tga — the plan is borrowed, and because
-  /// every run applies it through its own privately-seeded
-  /// FaultyTransport, outcomes stay jobs-invariant.
   SweepSpec& with_faults(const v6::fault::FaultPlan* f) { config.faults = f; return *this; }
   SweepSpec& with_jobs(unsigned j) { jobs = j; return *this; }
   SweepSpec& with_telemetry(v6::obs::Telemetry* t) { telemetry = t; return *this; }
+
+  /// Shared check/validate.h path: the null-pointer wiring checks that
+  /// ScanSession makes structurally impossible, plus config.validate().
+  void validate() const;
 };
 
-/// Runs the sweep described by `spec`, `spec.jobs` runs at a time.
+/// Runs the sweep described by `spec` — a thin wrapper over
+/// ScanSession::sweep().
+[[deprecated(
+    "use ScanSession(universe, alias_list).with_*(...).sweep() "
+    "(experiment/session.h)")]]
 std::vector<TgaRun> run_sweep(const SweepSpec& spec);
 
 }  // namespace v6::experiment

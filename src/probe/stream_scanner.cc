@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "check/contracts.h"
+#include "check/validate.h"
 #include "net/rng.h"
 #include "probe/instrumented_transport.h"
 #include "probe/probe_auth.h"
@@ -127,15 +128,29 @@ struct WalkAdapter {
 
 }  // namespace
 
+void StreamScanOptions::validate() const {
+  const v6::check::Validator v("StreamScanOptions");
+  v.positive(shards, "shards");
+  v.positive(batch, "batch");
+  v.positive(queue_capacity, "queue_capacity");
+  v.non_negative(scan.max_retries, "scan.max_retries");
+  v.positive(scan.max_pps, "scan.max_pps");
+  v.non_negative(scan.probe_timeout_s, "scan.probe_timeout_s");
+  v.non_negative(scan.retry_backoff_s, "scan.retry_backoff_s");
+  v.unit_interval(scan.retry_jitter, "scan.retry_jitter");
+  v.non_negative(scan.adaptive_threshold, "scan.adaptive_threshold");
+  v.non_negative(scan.adaptive_backoff_s, "scan.adaptive_backoff_s");
+  v.require(scan.adaptive_prefix_len > 0 && scan.adaptive_prefix_len <= 128,
+            "scan.adaptive_prefix_len", "must be in [1, 128]");
+}
+
 StreamScanner::StreamScanner(const v6::simnet::Universe& universe,
                              const Blocklist* blocklist,
                              StreamScanOptions options)
     : universe_(&universe),
       blocklist_(blocklist),
       options_(std::move(options)) {
-  V6_REQUIRE_MSG(options_.shards > 0, "need at least one shard");
-  if (options_.batch == 0) options_.batch = 1;
-  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  options_.validate();
   jitter_base_ = v6::net::derive_seed(options_.scan.seed, /*tag=*/0xBACC0F);
   // Each lane gets an equal slice of the packet budget (the limiter
   // clamps degenerate pps itself).
@@ -406,6 +421,28 @@ ScanStats StreamScanner::scan(std::span<const Ipv6Addr> targets,
                                                       num_shards);
     std::atomic<unsigned> live_probers{num_shards};
     v6::runtime::WorkerGroup workers;
+    // join() can only rethrow one exception; route the rest through the
+    // telemetry sink (scanner.suppressed_errors counter + one kMessage
+    // each) instead of losing them silently.
+    if (v6::obs::Telemetry* const telemetry = options_.scan.telemetry;
+        telemetry != nullptr) {
+      workers.on_suppressed(
+          [telemetry](std::size_t worker, const std::exception_ptr& error) {
+            telemetry->registry().counter("scanner.suppressed_errors").inc();
+            v6::obs::Event event;
+            event.kind = v6::obs::Event::Kind::kMessage;
+            event.path = "scanner.suppressed_error";
+            event.value = worker;
+            try {
+              std::rethrow_exception(error);
+            } catch (const std::exception& e) {
+              event.detail = e.what();
+            } catch (...) {
+              event.detail = "non-std exception";
+            }
+            telemetry->emit(event);
+          });
+    }
 
     // --- Producer: walks the permutation, decimated across shards. ----
     workers.spawn([this, num_shards, &target_queues, &make_walk]() {

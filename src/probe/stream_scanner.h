@@ -90,6 +90,14 @@ struct StreamScanOptions {
     decorate = std::move(v);
     return *this;
   }
+
+  /// Bounds-checks the streaming knobs and the wrapped ScanOptions
+  /// through the shared check/validate.h path; throws check::ConfigError
+  /// with a uniform "StreamScanOptions.<field>: <constraint>" message.
+  /// The StreamScanner constructor calls this, so a bad config fails the
+  /// same way whether it reaches the engine directly or via
+  /// PipelineConfig.
+  void validate() const;
 };
 
 /// Sharded streaming counterpart of Scanner. Owns its transport chain

@@ -9,8 +9,10 @@
 // stages and queues, never about threads.
 #pragma once
 
+#include <cstddef>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -19,6 +21,14 @@ namespace v6::runtime {
 
 class WorkerGroup {
  public:
+  /// Observer for exceptions join() cannot rethrow (every captured
+  /// exception after the first, in spawn order). Arguments: the spawn
+  /// index of the failed worker and its captured exception. Runtime
+  /// stays observability-free, so callers that want these surfaced
+  /// (e.g. through a telemetry sink) install the hook themselves.
+  using SuppressedHandler =
+      std::function<void(std::size_t worker, const std::exception_ptr&)>;
+
   WorkerGroup() = default;
   WorkerGroup(const WorkerGroup&) = delete;
   WorkerGroup& operator=(const WorkerGroup&) = delete;
@@ -45,27 +55,41 @@ class WorkerGroup {
 
   std::size_t size() const { return threads_.size(); }
 
+  /// Installs the observer for suppressed exceptions (replacing any
+  /// previous one). Runs on the joining thread, after every worker has
+  /// joined, once per exception join() discards.
+  void on_suppressed(SuppressedHandler handler) {
+    on_suppressed_ = std::move(handler);
+  }
+
   /// Joins every worker, then rethrows the first captured exception in
   /// spawn order (deterministic: independent of which worker failed
-  /// first on the wall clock). The group is reusable afterwards.
+  /// first on the wall clock). Exceptions after the first cannot
+  /// propagate — only one can be in flight — so they are reported to
+  /// the on_suppressed() hook (if any) before being discarded, never
+  /// silently lost. The group is reusable afterwards.
   void join() {
     for (std::jthread& t : threads_) {
       if (t.joinable()) t.join();
     }
     threads_.clear();
-    for (std::exception_ptr& error : errors_) {
-      if (error) {
-        const std::exception_ptr first = error;
-        errors_.clear();
-        std::rethrow_exception(first);
+    std::exception_ptr first;
+    for (std::size_t i = 0; i < errors_.size(); ++i) {
+      if (!errors_[i]) continue;
+      if (!first) {
+        first = errors_[i];
+      } else if (on_suppressed_) {
+        on_suppressed_(i, errors_[i]);
       }
     }
     errors_.clear();
+    if (first) std::rethrow_exception(first);
   }
 
  private:
   std::vector<std::jthread> threads_;
   std::deque<std::exception_ptr> errors_;
+  SuppressedHandler on_suppressed_;
 };
 
 }  // namespace v6::runtime

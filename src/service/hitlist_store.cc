@@ -1,0 +1,54 @@
+#include "service/hitlist_store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace v6::service {
+
+using v6::net::Ipv6Addr;
+
+bool HitlistEpoch::contains(const Ipv6Addr& addr) const {
+  return std::binary_search(addrs.begin(), addrs.end(), addr);
+}
+
+std::uint64_t epoch_fingerprint(std::uint64_t version,
+                                std::span<const Ipv6Addr> addrs) {
+  std::uint64_t chain = v6::net::splitmix64(version ^ 0xE90C4A11);
+  for (const Ipv6Addr& addr : addrs) {
+    chain = v6::net::splitmix64(chain ^ addr.hi());
+    chain = v6::net::splitmix64(chain ^ addr.lo());
+  }
+  return chain;
+}
+
+HitlistStore::HitlistStore() {
+  auto root = std::make_unique<HitlistEpoch>();
+  root->fingerprint = epoch_fingerprint(0, root->addrs);
+  head_.store(root.get(), std::memory_order_release);
+  epochs_.push_back(std::move(root));
+}
+
+std::size_t HitlistStore::epoch_count() const {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  return epochs_.size();
+}
+
+const HitlistEpoch& HitlistStore::publish_epoch(EpochBuilder&& builder) {
+  auto next = std::make_unique<HitlistEpoch>();
+  next->addrs = std::move(builder.addrs_);
+  std::sort(next->addrs.begin(), next->addrs.end());
+  next->addrs.erase(std::unique(next->addrs.begin(), next->addrs.end()),
+                    next->addrs.end());
+
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  next->version = epochs_.back()->version + 1;
+  next->fingerprint = epoch_fingerprint(next->version, next->addrs);
+  const HitlistEpoch* published = next.get();
+  epochs_.push_back(std::move(next));
+  // The single point of publication: everything written above
+  // happens-before any reader's acquire load of the new head.
+  head_.store(published, std::memory_order_release);
+  return *published;
+}
+
+}  // namespace v6::service

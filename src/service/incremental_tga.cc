@@ -1,0 +1,84 @@
+#include "service/incremental_tga.h"
+
+#include <algorithm>
+
+namespace v6::service {
+
+using v6::net::Ipv6Addr;
+
+IncrementalTargetGenerator::IncrementalTargetGenerator(v6::tga::TgaKind kind,
+                                                       std::uint64_t rng_seed)
+    : kind_(kind),
+      rng_seed_(rng_seed),
+      generator_(v6::tga::make_generator(kind)) {}
+
+void IncrementalTargetGenerator::prepare(std::span<const Ipv6Addr> seeds) {
+  seeds_.clear();
+  seed_set_.clear();
+  for (const Ipv6Addr& addr : seeds) {
+    if (seed_set_.insert(addr).second) seeds_.push_back(addr);
+  }
+  incremental_updates_ = 0;
+  full_rebuilds_ = 0;
+  generator_->prepare(seeds_, rng_seed_);
+}
+
+void IncrementalTargetGenerator::rebuild() {
+  ++full_rebuilds_;
+  generator_->prepare(seeds_, rng_seed_);
+}
+
+void IncrementalTargetGenerator::ingest(const SeedDelta& delta) {
+  // Removals first: they force the rebuild anyway, so fresh additions
+  // in the same delta ride along in the retrain.
+  bool removed_any = false;
+  if (!delta.removed.empty()) {
+    for (const Ipv6Addr& addr : delta.removed) {
+      if (seed_set_.erase(addr) > 0) removed_any = true;
+    }
+    if (removed_any) {
+      std::erase_if(seeds_, [this](const Ipv6Addr& addr) {
+        return !seed_set_.contains(addr);
+      });
+    }
+  }
+
+  std::vector<Ipv6Addr> fresh;
+  fresh.reserve(delta.added.size());
+  for (const Ipv6Addr& addr : delta.added) {
+    if (seed_set_.contains(addr)) continue;
+    fresh.push_back(addr);
+  }
+
+  if (removed_any) {
+    // Models cannot unlearn; merge the additions into the list and
+    // retrain once from the filtered result.
+    for (const Ipv6Addr& addr : fresh) {
+      seed_set_.insert(addr);
+      seeds_.push_back(addr);
+    }
+    rebuild();
+    return;
+  }
+  if (fresh.empty()) return;  // delta was a no-op
+
+  // Addition-only delta: let the model fold it in place if it can.
+  // absorb_seeds registers the addresses in the generator's own seed
+  // bookkeeping; ours is updated either way.
+  const bool absorbed = generator_->absorb_seeds(fresh);
+  if (!absorbed) {
+    for (const Ipv6Addr& addr : fresh) {
+      seed_set_.insert(addr);
+      seeds_.push_back(addr);
+    }
+    rebuild();
+    return;
+  }
+  for (const Ipv6Addr& addr : fresh) {
+    seed_set_.insert(addr);
+    seeds_.push_back(addr);
+  }
+  ++incremental_updates_;
+}
+
+}  // namespace v6::service

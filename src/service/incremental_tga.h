@@ -1,0 +1,83 @@
+// Incremental adapter over the eight TargetGenerators (docs/SERVICE.md).
+//
+// The batch pipeline retrains a generator from scratch for every run:
+// prepare(seeds) wipes the model, the emitted set, and the RNG. A
+// continuous service cannot afford that — seed updates arrive as small
+// deltas between refresh cycles, and a full retrain both wastes work
+// and forgets which candidates were already emitted (so the service
+// would re-probe them).
+//
+// IncrementalTargetGenerator keeps the authoritative merged seed list
+// and routes each delta to the cheapest path the model supports:
+//
+//   - additions    → TargetGenerator::absorb_seeds() when the model can
+//                    fold a delta in place (6Hit's tree recreation);
+//                    otherwise a full prepare() with the merged list.
+//   - removals     → always a full rebuild: no model here can unlearn
+//                    an address, so the merged list is filtered and the
+//                    generator retrained from it.
+//
+// The ingest statistics (incremental vs full) are what the service
+// reports, so the cost of a churn stream is observable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "tga/registry.h"
+#include "tga/target_generator.h"
+
+namespace v6::service {
+
+/// A seed-update delta between refresh cycles.
+struct SeedDelta {
+  std::vector<v6::net::Ipv6Addr> added;
+  std::vector<v6::net::Ipv6Addr> removed;
+
+  bool empty() const { return added.empty() && removed.empty(); }
+};
+
+class IncrementalTargetGenerator {
+ public:
+  /// Owns a fresh generator of `kind`. `rng_seed` is the deterministic
+  /// seed forwarded to every prepare() call.
+  IncrementalTargetGenerator(v6::tga::TgaKind kind, std::uint64_t rng_seed);
+
+  /// Full (re)train from `seeds`, replacing the merged list. Resets the
+  /// ingest statistics; counts as neither an incremental update nor a
+  /// fallback rebuild.
+  void prepare(std::span<const v6::net::Ipv6Addr> seeds);
+
+  /// Applies one delta. Duplicate additions and unknown removals are
+  /// ignored; an effectively-empty delta touches nothing.
+  void ingest(const SeedDelta& delta);
+
+  v6::tga::TgaKind kind() const { return kind_; }
+  v6::tga::TargetGenerator& generator() { return *generator_; }
+  std::span<const v6::net::Ipv6Addr> seeds() const { return seeds_; }
+
+  /// Deltas the model folded in place via absorb_seeds().
+  std::uint64_t incremental_updates() const { return incremental_updates_; }
+  /// Deltas that forced a full retrain (removals, or models without
+  /// incremental support).
+  std::uint64_t full_rebuilds() const { return full_rebuilds_; }
+
+ private:
+  void rebuild();
+
+  v6::tga::TgaKind kind_;
+  std::uint64_t rng_seed_;
+  std::unique_ptr<v6::tga::TargetGenerator> generator_;
+  /// Authoritative merged seed list, insertion-ordered so rebuilds are
+  /// reproducible; `seed_set_` guards against duplicates.
+  std::vector<v6::net::Ipv6Addr> seeds_;
+  std::unordered_set<v6::net::Ipv6Addr, v6::net::Ipv6AddrHash> seed_set_;
+  std::uint64_t incremental_updates_ = 0;
+  std::uint64_t full_rebuilds_ = 0;
+};
+
+}  // namespace v6::service

@@ -1,0 +1,119 @@
+// Churn-aware rescan scheduling and probe-budget allocation for the
+// continuous service (docs/SERVICE.md).
+//
+// RescanScheduler keeps a per-address responsiveness history — last
+// probed cycle, last responsive cycle, consecutive-miss streak — and
+// decides, each refresh cycle, which known addresses are due a rescan
+// and which have churned out (miss streak past the eviction threshold).
+// The history lives in a std::map keyed by address, so every iteration
+// order is the sorted address order and the schedule is a pure function
+// of (history, policy, cycle): bit-identical across runs, jobs counts,
+// and shard counts.
+//
+// BanditAllocator reapportions the discovery budget across the TGAs by
+// measured hit ratio — a deterministic explore-floor bandit. Every arm
+// keeps a smoothed hit ratio (hits+1)/(probes+2) (Laplace, so unprobed
+// arms start at 0.5 rather than 0); each cycle every arm is guaranteed
+// `explore_floor` of the budget and the remainder is split
+// proportionally to the smoothed ratios with largest-remainder
+// rounding. Ties break by arm index and the one seeded RNG draw per
+// allocation only rotates which tied arm gets the last leftover probe —
+// the allocation sequence is reproducible from the seed alone.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "net/rng.h"
+
+namespace v6::service {
+
+/// Rescan/eviction policy knobs.
+struct RescanPolicy {
+  /// Cycles between rescans of a responsive address (1 = every cycle).
+  std::uint64_t rescan_interval = 1;
+  /// Consecutive missed rescans after which an address is evicted from
+  /// the tracked set (hitlist-decay: stop paying for dead hosts).
+  int max_miss_streak = 3;
+};
+
+class RescanScheduler {
+ public:
+  explicit RescanScheduler(const RescanPolicy& policy) : policy_(policy) {}
+
+  /// Registers `addr` with unknown responsiveness; it becomes due on
+  /// the next cycle. Idempotent for already-tracked addresses.
+  void track(const v6::net::Ipv6Addr& addr);
+
+  /// Records one probe result for a tracked address at `cycle`.
+  /// Untracked addresses are added first (discovery path).
+  void note_result(const v6::net::Ipv6Addr& addr, bool responsive,
+                   std::uint64_t cycle);
+
+  /// Addresses whose rescan is due at `cycle`, in sorted address order.
+  std::vector<v6::net::Ipv6Addr> due(std::uint64_t cycle) const;
+
+  /// Currently-responsive addresses in sorted order — the contents of
+  /// the next hitlist epoch.
+  std::vector<v6::net::Ipv6Addr> responsive() const;
+
+  /// Drops every address whose miss streak reached the policy's
+  /// threshold; returns how many were evicted.
+  std::size_t evict_churned();
+
+  std::size_t tracked() const { return history_.size(); }
+
+  /// Whether `addr` already has a history entry.
+  bool contains(const v6::net::Ipv6Addr& addr) const {
+    return history_.contains(addr);
+  }
+
+ private:
+  struct History {
+    std::uint64_t last_probed = 0;
+    std::uint64_t last_responsive = 0;
+    int miss_streak = 0;
+    bool responsive = false;
+    bool probed_once = false;
+  };
+
+  RescanPolicy policy_;
+  /// Ordered map: every traversal yields sorted addresses, which is
+  /// what keeps due()/responsive() deterministic.
+  std::map<v6::net::Ipv6Addr, History> history_;
+};
+
+class BanditAllocator {
+ public:
+  /// `arms` TGAs; `seed` drives the (single) tie-break draw per
+  /// allocation; `explore_floor` is each arm's guaranteed budget share
+  /// in [0, 1/arms].
+  BanditAllocator(std::size_t arms, std::uint64_t seed, double explore_floor);
+
+  /// Splits `budget` probes across the arms: floor shares first, the
+  /// remainder proportional to smoothed hit ratios, largest-remainder
+  /// rounding. The returned shares always sum to exactly `budget`.
+  std::vector<std::uint64_t> allocate(std::uint64_t budget);
+
+  /// Feeds one cycle's outcome for `arm` back into its ratio.
+  void reward(std::size_t arm, std::uint64_t probes, std::uint64_t hits);
+
+  /// The smoothed hit ratio (hits+1)/(probes+2) steering `arm`.
+  double score(std::size_t arm) const;
+
+  std::size_t arms() const { return stats_.size(); }
+
+ private:
+  struct ArmStats {
+    std::uint64_t probes = 0;
+    std::uint64_t hits = 0;
+  };
+
+  std::vector<ArmStats> stats_;
+  double explore_floor_;
+  v6::net::Rng rng_;
+};
+
+}  // namespace v6::service

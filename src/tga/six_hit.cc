@@ -34,6 +34,20 @@ void SixHit::reset_model() {
   build_tree(seeds_);
 }
 
+bool SixHit::absorb_seeds(std::span<const Ipv6Addr> added) {
+  if (register_seeds(added) == 0) return true;  // nothing new to learn
+  // Same fold as the hit-threshold recreation in next_batch: rebuild
+  // the partition from the merged seeds plus everything discovered so
+  // far. emitted_ and the RNG stream are untouched, so the generator
+  // neither re-emits old candidates nor replays old draws.
+  std::vector<Ipv6Addr> combined = seeds_;
+  combined.insert(combined.end(), discovered_.begin(), discovered_.end());
+  pending_.clear();
+  build_tree(combined);
+  hits_since_rebuild_ = 0;
+  return true;
+}
+
 std::vector<Ipv6Addr> SixHit::next_batch(std::size_t n) {
   std::vector<Ipv6Addr> out;
   out.reserve(n);

@@ -33,6 +33,12 @@ class SixHit final : public TargetGeneratorBase {
   bool is_online() const override { return true; }
   std::vector<v6::net::Ipv6Addr> next_batch(std::size_t n) override;
   void observe(const v6::net::Ipv6Addr& addr, bool active) override;
+  /// 6Hit's periodic tree recreation already folds discovered actives
+  /// into the partition, so a seed delta rides the same machinery: the
+  /// tree is rebuilt from seeds + discoveries while the emitted set,
+  /// discovery list, and RNG stream survive — unlike prepare(), which
+  /// wipes all learned state.
+  bool absorb_seeds(std::span<const v6::net::Ipv6Addr> added) override;
 
  protected:
   void reset_model() override;

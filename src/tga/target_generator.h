@@ -48,6 +48,17 @@ class TargetGenerator {
     (void)active;
   }
 
+  /// Folds newly learned seeds into an already-prepared model without a
+  /// full retrain, keeping accumulated state (emitted set, scan
+  /// feedback) intact. Returns false when the model cannot ingest a
+  /// delta — the default for generators whose structures are derived
+  /// once from the complete seed set — in which case the caller must
+  /// fall back to prepare() with the merged seed list.
+  virtual bool absorb_seeds(std::span<const v6::net::Ipv6Addr> added) {
+    (void)added;
+    return false;
+  }
+
   /// Generators with integrated online dealiasing (6Sense) borrow the
   /// pipeline's dealiaser to steer away from aliased regions while
   /// generating. Default: ignored.
@@ -77,6 +88,21 @@ class TargetGeneratorBase : public TargetGenerator {
  protected:
   /// Build the generator-specific model from seeds_ (already populated).
   virtual void reset_model() = 0;
+
+  /// Merges `added` into seeds_/seed_set_, skipping duplicates. Returns
+  /// how many were genuinely new. Building block for absorb_seeds
+  /// overrides; never touches emitted_ or the RNG, so accumulated
+  /// generator state survives the delta.
+  std::size_t register_seeds(std::span<const v6::net::Ipv6Addr> added) {
+    std::size_t fresh = 0;
+    for (const v6::net::Ipv6Addr& addr : added) {
+      if (seed_set_.insert(addr).second) {
+        seeds_.push_back(addr);
+        ++fresh;
+      }
+    }
+    return fresh;
+  }
 
   /// Appends `addr` to `out` if it is neither a seed nor already emitted.
   /// Returns true if appended.

@@ -9,7 +9,7 @@
 #include <tuple>
 #include <vector>
 
-#include "experiment/runner.h"
+#include "experiment/session.h"
 #include "experiment/workbench.h"
 #include "obs/sinks.h"
 #include "obs/telemetry.h"
@@ -50,13 +50,11 @@ TEST(ParallelEquivalence, RunAllTgasMatchesSequential) {
   config.budget = 20'000;
   config.batch_size = 4'000;
 
-  const SweepSpec base = SweepSpec{}
-                             .with_universe(universe)
-                             .with_seeds(seeds)
-                             .with_alias_list(alias_list)
-                             .with_config(config);
-  const auto sequential = run_sweep(SweepSpec(base).with_jobs(1));
-  const auto parallel = run_sweep(SweepSpec(base).with_jobs(4));
+  const ScanSession base = ScanSession(universe, alias_list)
+                               .with_seeds(seeds)
+                               .with_config(config);
+  const auto sequential = ScanSession(base).with_jobs(1).sweep();
+  const auto parallel = ScanSession(base).with_jobs(4).sweep();
 
   ASSERT_EQ(sequential.size(), parallel.size());
   ASSERT_EQ(sequential.size(), static_cast<std::size_t>(v6::tga::kNumTgas));
@@ -82,23 +80,22 @@ TEST(ParallelEquivalence, TelemetryDoesNotPerturbOutcomes) {
   PipelineConfig config;
   config.budget = 10'000;
 
-  const SweepSpec base = SweepSpec{}
-                             .with_universe(universe)
-                             .with_kind(v6::tga::TgaKind::kSixTree)
-                             .with_seeds(seeds)
-                             .with_alias_list(alias_list)
-                             .with_config(config);
+  const ScanSession base = ScanSession(universe, alias_list)
+                               .with_kind(v6::tga::TgaKind::kSixTree)
+                               .with_seeds(seeds)
+                               .with_config(config);
 
-  const auto bare = run_sweep(SweepSpec(base).with_jobs(1));
+  const auto bare = ScanSession(base).with_jobs(1).sweep();
 
   v6::obs::Telemetry telemetry;
   v6::obs::MemorySink sink;
   telemetry.attach_sink(&sink);
-  const auto traced = run_sweep(
-      SweepSpec(base)
+  const auto traced =
+      ScanSession(base)
           .with_config(PipelineConfig(config).with_trace_probes(true))
           .with_telemetry(&telemetry)
-          .with_jobs(2));
+          .with_jobs(2)
+          .sweep();
 
   ASSERT_EQ(bare.size(), traced.size());
   expect_identical(bare.front(), traced.front());
@@ -130,15 +127,13 @@ TEST(ParallelEquivalence, MergedTelemetryIsDeterministic) {
     v6::obs::Telemetry telemetry;
     v6::obs::MemorySink sink;
     telemetry.attach_sink(&sink);
-    const auto runs =
-        run_sweep(SweepSpec{}
-                      .with_universe(universe)
-                      .with_kinds(kinds)
-                      .with_seeds(seeds)
-                      .with_alias_list(alias_list)
-                      .with_config(config)
-                      .with_telemetry(&telemetry)
-                      .with_jobs(jobs));
+    const auto runs = ScanSession(universe, alias_list)
+                          .with_kinds(kinds)
+                          .with_seeds(seeds)
+                          .with_config(config)
+                          .with_telemetry(&telemetry)
+                          .with_jobs(jobs)
+                          .sweep();
     // Event paths in emission order; timestamps/durations are wall
     // clock and excluded on purpose — except sampler points, whose
     // `at` is virtual time and deterministic along with the value.
@@ -214,15 +209,13 @@ TEST(ParallelEquivalence, RepeatedParallelRunsAreStable) {
   const std::array<v6::tga::TgaKind, 3> kinds = {
       v6::tga::TgaKind::kSixTree, v6::tga::TgaKind::kDet,
       v6::tga::TgaKind::kSixGen};
-  const SweepSpec spec = SweepSpec{}
-                             .with_universe(universe)
-                             .with_kinds(kinds)
-                             .with_seeds(seeds)
-                             .with_alias_list(alias_list)
-                             .with_config(config)
-                             .with_jobs(3);
-  const auto first = run_sweep(spec);
-  const auto second = run_sweep(spec);
+  const ScanSession session = ScanSession(universe, alias_list)
+                                  .with_kinds(kinds)
+                                  .with_seeds(seeds)
+                                  .with_config(config)
+                                  .with_jobs(3);
+  const auto first = session.sweep();
+  const auto second = session.sweep();
   ASSERT_EQ(first.size(), second.size());
   for (std::size_t i = 0; i < first.size(); ++i) {
     SCOPED_TRACE(i);

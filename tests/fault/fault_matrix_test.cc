@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "experiment/pipeline.h"
-#include "experiment/runner.h"
+#include "experiment/session.h"
 #include "experiment/workbench.h"
 #include "fault/fault_plan.h"
 #include "metrics/scan_outcome.h"
@@ -45,15 +45,14 @@ PipelineConfig small_config() {
 
 std::vector<TgaRun> sweep(const PipelineConfig& config, unsigned jobs,
                           v6::obs::Telemetry* telemetry = nullptr) {
-  return run_sweep(SweepSpec{}
-                       .with_universe(small_bench().universe())
-                       .with_kinds(std::vector<v6::tga::TgaKind>{
-                           v6::tga::TgaKind::kDet, v6::tga::TgaKind::kSixTree})
-                       .with_seeds(small_bench().all_active())
-                       .with_alias_list(small_bench().alias_list())
-                       .with_config(config)
-                       .with_jobs(jobs)
-                       .with_telemetry(telemetry));
+  return ScanSession(small_bench().universe(), small_bench().alias_list())
+      .with_kinds(std::vector<v6::tga::TgaKind>{v6::tga::TgaKind::kDet,
+                                                v6::tga::TgaKind::kSixTree})
+      .with_seeds(small_bench().all_active())
+      .with_config(config)
+      .with_jobs(jobs)
+      .with_telemetry(telemetry)
+      .sweep();
 }
 
 /// Field-by-field ScanOutcome equality, hit/AS sets included — the

@@ -21,7 +21,7 @@
 #include <string>
 #include <vector>
 
-#include "experiment/runner.h"
+#include "experiment/session.h"
 #include "experiment/workbench.h"
 #include "obs/histogram.h"
 #include "obs/registry.h"
@@ -59,17 +59,14 @@ std::string serialize_reference_quantiles() {
   v6::obs::Telemetry telemetry;
   Workbench bench(wb);
 
-  run_sweep(SweepSpec{}
-                .with_universe(bench.universe())
-                .with_kinds(std::vector<v6::tga::TgaKind>{
-                    v6::tga::TgaKind::kDet, v6::tga::TgaKind::kSixTree})
-                .with_seeds(bench.all_active())
-                .with_alias_list(bench.alias_list())
-                .with_config(
-                    PipelineConfig{}.with_budget(15'000).with_batch_size(
-                        5'000))
-                .with_telemetry(&telemetry)
-                .with_jobs(1));
+  ScanSession(bench.universe(), bench.alias_list())
+      .with_kinds(std::vector<v6::tga::TgaKind>{v6::tga::TgaKind::kDet,
+                                                v6::tga::TgaKind::kSixTree})
+      .with_seeds(bench.all_active())
+      .with_config(PipelineConfig{}.with_budget(15'000).with_batch_size(5'000))
+      .with_telemetry(&telemetry)
+      .with_jobs(1)
+      .sweep();
 
   const v6::obs::Report report = telemetry.registry().snapshot();
   std::ostringstream out;

@@ -21,7 +21,7 @@
 #include <string>
 #include <vector>
 
-#include "experiment/runner.h"
+#include "experiment/session.h"
 #include "experiment/workbench.h"
 #include "metrics/scan_outcome.h"
 #include "net/ipv6.h"
@@ -54,17 +54,16 @@ std::string serialize_reference_sweep() {
   wb.universe.dense_region_prefix_len = 52;
   Workbench bench(wb);
 
-  const auto runs = run_sweep(
-      SweepSpec{}
-          .with_universe(bench.universe())
+  const auto runs =
+      ScanSession(bench.universe(), bench.alias_list())
           .with_kinds(std::vector<v6::tga::TgaKind>{
               v6::tga::TgaKind::kDet, v6::tga::TgaKind::kSixTree,
               v6::tga::TgaKind::kSixScan})
           .with_seeds(bench.all_active())
-          .with_alias_list(bench.alias_list())
           .with_config(PipelineConfig{}.with_budget(15'000).with_batch_size(
               5'000))
-          .with_jobs(1));
+          .with_jobs(1)
+          .sweep();
 
   std::ostringstream out;
   out << "# golden reference sweep v1 (see test header for the update "

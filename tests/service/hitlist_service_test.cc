@@ -1,0 +1,194 @@
+// End-to-end tests for the continuous hitlist service
+// (src/service/hitlist_service.h): the epoch sequence is bit-identical
+// across streaming-engine shard counts (the service-level restatement
+// of the scan engine's shard-invariance contract), versions increment
+// once per refresh, the query facade agrees with the snapshot, and
+// seed deltas flow through to every roster generator.
+#include "service/hitlist_service.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "service/hitlist_store.h"
+#include "service/incremental_tga.h"
+#include "simnet/universe.h"
+#include "simnet/universe_builder.h"
+#include "simnet/universe_config.h"
+#include "tga/registry.h"
+
+namespace {
+
+using v6::net::Ipv6Addr;
+using v6::service::HitlistEpoch;
+using v6::service::HitlistService;
+using v6::service::SeedDelta;
+using v6::service::ServiceConfig;
+using v6::service::ServiceStats;
+
+/// Each service instance ages its own universe, so every test builds a
+/// fresh one from the same config — identical worlds, independent
+/// mutation.
+v6::simnet::Universe fresh_universe() {
+  v6::simnet::UniverseConfig config;
+  config.seed = 1234;
+  config.num_ases = 150;
+  config.host_scale = 0.12;
+  return v6::simnet::UniverseBuilder::build(config);
+}
+
+std::vector<Ipv6Addr> sample_seeds(const v6::simnet::Universe& universe) {
+  std::vector<Ipv6Addr> seeds;
+  const auto& hosts = universe.hosts();
+  for (std::size_t i = 0; i < hosts.size(); i += 4) {
+    seeds.push_back(hosts[i].addr);
+  }
+  return seeds;
+}
+
+ServiceConfig small_config() {
+  ServiceConfig config;
+  config.budget_per_cycle = 4'000;
+  config.age_universe = true;  // default churn model
+  return config;
+}
+
+TEST(HitlistService, VersionsIncrementOncePerRefresh) {
+  v6::simnet::Universe universe = fresh_universe();
+  HitlistService service(universe, sample_seeds(universe), small_config());
+  EXPECT_EQ(service.snapshot().version, 0u);
+
+  for (std::uint64_t cycle = 1; cycle <= 3; ++cycle) {
+    const HitlistEpoch& epoch = service.refresh_once();
+    EXPECT_EQ(epoch.version, cycle);
+    EXPECT_EQ(service.snapshot().version, cycle);
+    EXPECT_EQ(service.stats().cycles, cycle);
+  }
+  EXPECT_EQ(service.store().epoch_count(), 4u);
+}
+
+TEST(HitlistService, LookupAgreesWithSnapshotContains) {
+  v6::simnet::Universe universe = fresh_universe();
+  const std::vector<Ipv6Addr> seeds = sample_seeds(universe);
+  HitlistService service(universe, seeds, small_config());
+  service.refresh_once();
+
+  const HitlistEpoch& snap = service.snapshot();
+  ASSERT_GT(snap.size(), 0u);
+  for (const Ipv6Addr& addr : seeds) {
+    EXPECT_EQ(service.lookup(addr), snap.contains(addr));
+  }
+  // A definitely-absent address.
+  const Ipv6Addr absent(0xFFFF'FFFF'FFFF'FFFFull, 0x1ull);
+  EXPECT_FALSE(service.lookup(absent));
+  EXPECT_EQ(snap.fingerprint,
+            v6::service::epoch_fingerprint(snap.version, snap.addrs));
+}
+
+TEST(HitlistService, DiscoveryBudgetIsFullyAllocatedAcrossTheRoster) {
+  v6::simnet::Universe universe = fresh_universe();
+  HitlistService service(universe, sample_seeds(universe), small_config());
+  EXPECT_TRUE(service.last_allocation().empty());  // before any refresh
+
+  service.refresh_once();
+  const auto allocation = service.last_allocation();
+  ASSERT_EQ(allocation.size(), service.roster().size());
+  ASSERT_EQ(allocation.size(), v6::tga::kAllTgas.size());  // empty = all
+  EXPECT_EQ(std::accumulate(allocation.begin(), allocation.end(), 0ull),
+            small_config().budget_per_cycle);
+}
+
+TEST(HitlistService, SeedDeltasReachEveryRosterGenerator) {
+  v6::simnet::Universe universe = fresh_universe();
+  const std::vector<Ipv6Addr> seeds = sample_seeds(universe);
+  HitlistService service(universe, seeds, small_config());
+
+  SeedDelta delta;
+  const auto& hosts = universe.hosts();
+  for (std::size_t i = 1; i < hosts.size() && delta.added.size() < 30;
+       i += 4) {
+    delta.added.push_back(hosts[i].addr);
+  }
+  service.ingest_seeds(delta);
+
+  // 6Hit absorbs in place; the other seven retrain.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.incremental_updates, 1u);
+  EXPECT_EQ(stats.full_rebuilds, 7u);
+
+  service.ingest_seeds(SeedDelta{});  // empty delta: untouched
+  EXPECT_EQ(service.stats().full_rebuilds, 7u);
+}
+
+TEST(HitlistService, StatsAccumulateAcrossCycles) {
+  v6::simnet::Universe universe = fresh_universe();
+  HitlistService service(universe, sample_seeds(universe), small_config());
+  service.refresh_once();
+  service.refresh_once();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cycles, 2u);
+  EXPECT_GT(stats.probes, 0u);
+  EXPECT_GT(stats.rescans, 0u);
+  EXPECT_GT(stats.discovered, 0u);
+  EXPECT_GT(stats.virtual_seconds, 0.0);
+}
+
+// The service-level determinism contract: an aging universe, rescans,
+// bandit allocation, and discovery scans — all of it must produce the
+// byte-identical epoch sequence whether the streaming engine runs 1
+// shard or 3. (Labels: service + shard, like the engine's own suite.)
+TEST(HitlistService, EpochSequenceIsBitIdenticalAcrossShardCounts) {
+  v6::simnet::Universe universe1 = fresh_universe();
+  v6::simnet::Universe universe3 = fresh_universe();
+  const std::vector<Ipv6Addr> seeds = sample_seeds(universe1);
+
+  ServiceConfig config1 = small_config();
+  config1.shards = 1;
+  ServiceConfig config3 = small_config();
+  config3.shards = 3;
+
+  HitlistService service1(universe1, seeds, config1);
+  HitlistService service3(universe3, seeds, config3);
+
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    const HitlistEpoch& e1 = service1.refresh_once();
+    const HitlistEpoch& e3 = service3.refresh_once();
+    ASSERT_EQ(e1.version, e3.version);
+    ASSERT_EQ(e1.fingerprint, e3.fingerprint)
+        << "epoch " << e1.version << " diverged between shard counts";
+    ASSERT_EQ(e1.addrs, e3.addrs);
+    ASSERT_EQ(std::vector<std::uint64_t>(service1.last_allocation().begin(),
+                                         service1.last_allocation().end()),
+              std::vector<std::uint64_t>(service3.last_allocation().begin(),
+                                         service3.last_allocation().end()));
+  }
+
+  const ServiceStats s1 = service1.stats();
+  const ServiceStats s3 = service3.stats();
+  EXPECT_EQ(s1.probes, s3.probes);
+  EXPECT_EQ(s1.discovered, s3.discovered);
+  EXPECT_EQ(s1.rescans, s3.rescans);
+  EXPECT_EQ(s1.evicted, s3.evicted);
+  EXPECT_EQ(s1.virtual_seconds, s3.virtual_seconds);
+}
+
+// Same seed, same config, fresh service: the whole run replays.
+TEST(HitlistService, RunsAreReproducibleFromTheSeed) {
+  std::vector<std::uint64_t> fingerprints;
+  for (int run = 0; run < 2; ++run) {
+    v6::simnet::Universe universe = fresh_universe();
+    HitlistService service(universe, sample_seeds(universe), small_config());
+    std::uint64_t chain = 0;
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      chain ^= service.refresh_once().fingerprint;
+    }
+    fingerprints.push_back(chain);
+  }
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Tests for the churn-aware scheduling layer
+// (src/service/rescan_scheduler.h): rescan due-ness and eviction
+// semantics of RescanScheduler, and the determinism contract of
+// BanditAllocator — the allocation sequence is a pure function of
+// (seed, reward history), shares always sum to the budget, and the
+// explore floor is honored for every arm.
+#include "service/rescan_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "net/ipv6.h"
+
+namespace {
+
+using v6::net::Ipv6Addr;
+using v6::service::BanditAllocator;
+using v6::service::RescanPolicy;
+using v6::service::RescanScheduler;
+
+Ipv6Addr addr(std::uint64_t lo) { return Ipv6Addr(0x2001'0db8ULL << 32, lo); }
+
+TEST(RescanScheduler, TrackedAddressesAreDueImmediately) {
+  RescanScheduler scheduler(RescanPolicy{});
+  scheduler.track(addr(2));
+  scheduler.track(addr(1));
+  scheduler.track(addr(2));  // idempotent
+  EXPECT_EQ(scheduler.tracked(), 2u);
+
+  const std::vector<Ipv6Addr> due = scheduler.due(/*cycle=*/1);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0], addr(1));  // sorted address order
+  EXPECT_EQ(due[1], addr(2));
+}
+
+TEST(RescanScheduler, RescanIntervalGatesDueness) {
+  RescanPolicy policy;
+  policy.rescan_interval = 3;
+  RescanScheduler scheduler(policy);
+  scheduler.track(addr(1));
+
+  scheduler.note_result(addr(1), /*responsive=*/true, /*cycle=*/1);
+  EXPECT_TRUE(scheduler.due(2).empty());
+  EXPECT_TRUE(scheduler.due(3).empty());
+  EXPECT_EQ(scheduler.due(4).size(), 1u);  // 1 + interval
+}
+
+TEST(RescanScheduler, ResponsiveSetTracksLatestResults) {
+  RescanScheduler scheduler(RescanPolicy{});
+  scheduler.note_result(addr(5), true, 1);  // discovery path auto-tracks
+  scheduler.note_result(addr(6), true, 1);
+  ASSERT_EQ(scheduler.responsive().size(), 2u);
+
+  scheduler.note_result(addr(5), false, 2);
+  const std::vector<Ipv6Addr> responsive = scheduler.responsive();
+  ASSERT_EQ(responsive.size(), 1u);
+  EXPECT_EQ(responsive[0], addr(6));
+}
+
+TEST(RescanScheduler, EvictsAfterMaxMissStreak) {
+  RescanPolicy policy;
+  policy.max_miss_streak = 2;
+  RescanScheduler scheduler(policy);
+  scheduler.track(addr(1));   // never probed: must NOT be evicted
+  scheduler.note_result(addr(2), true, 1);
+
+  scheduler.note_result(addr(2), false, 2);
+  EXPECT_EQ(scheduler.evict_churned(), 0u);  // streak 1 < 2
+
+  scheduler.note_result(addr(2), false, 3);
+  EXPECT_EQ(scheduler.evict_churned(), 1u);
+  EXPECT_FALSE(scheduler.contains(addr(2)));
+  EXPECT_TRUE(scheduler.contains(addr(1)));
+
+  // A hit resets the streak: no eviction after recovering.
+  scheduler.note_result(addr(3), false, 4);
+  scheduler.note_result(addr(3), true, 5);
+  scheduler.note_result(addr(3), false, 6);
+  EXPECT_EQ(scheduler.evict_churned(), 0u);
+}
+
+TEST(BanditAllocator, SharesAlwaysSumToTheBudget) {
+  BanditAllocator bandit(/*arms=*/8, /*seed=*/42, /*explore_floor=*/0.1);
+  for (const std::uint64_t budget : {1ull, 7ull, 100ull, 40'000ull}) {
+    const std::vector<std::uint64_t> shares = bandit.allocate(budget);
+    ASSERT_EQ(shares.size(), 8u);
+    EXPECT_EQ(std::accumulate(shares.begin(), shares.end(), 0ull), budget);
+  }
+}
+
+TEST(BanditAllocator, ExploreFloorGuaranteesEveryArmItsShare) {
+  BanditAllocator bandit(/*arms=*/4, /*seed=*/42, /*explore_floor=*/0.2);
+  // Make arm 0 look hopeless; the floor must still feed it.
+  bandit.reward(0, /*probes=*/10'000, /*hits=*/0);
+  bandit.reward(1, /*probes=*/10'000, /*hits=*/9'000);
+  const std::vector<std::uint64_t> shares = bandit.allocate(1'000);
+  for (const std::uint64_t share : shares) EXPECT_GE(share, 200u);
+}
+
+TEST(BanditAllocator, RewardsSteerTheRemainderTowardBetterArms) {
+  BanditAllocator bandit(/*arms=*/2, /*seed=*/42, /*explore_floor=*/0.1);
+  bandit.reward(0, 1'000, 900);
+  bandit.reward(1, 1'000, 10);
+  EXPECT_GT(bandit.score(0), bandit.score(1));
+  const std::vector<std::uint64_t> shares = bandit.allocate(10'000);
+  EXPECT_GT(shares[0], shares[1]);
+}
+
+// The determinism contract the service's bit-identity rests on: two
+// allocators with the same seed, fed the same reward history, emit the
+// same budget sequence — allocation after allocation.
+TEST(BanditAllocator, BudgetSequenceIsDeterministicPerSeed) {
+  BanditAllocator a(/*arms=*/8, /*seed=*/42, /*explore_floor=*/0.05);
+  BanditAllocator b(/*arms=*/8, /*seed=*/42, /*explore_floor=*/0.05);
+
+  std::uint64_t reward_state = 1;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    const std::vector<std::uint64_t> sa = a.allocate(40'000);
+    const std::vector<std::uint64_t> sb = b.allocate(40'000);
+    ASSERT_EQ(sa, sb) << "allocation diverged at cycle " << cycle;
+    for (std::size_t arm = 0; arm < sa.size(); ++arm) {
+      // A deterministic, arm-dependent pseudo-history.
+      reward_state = reward_state * 6364136223846793005ull + 1442695040888963407ull;
+      const std::uint64_t hits = reward_state % (sa[arm] + 1);
+      a.reward(arm, sa[arm], hits);
+      b.reward(arm, sb[arm], hits);
+    }
+  }
+}
+
+}  // namespace

@@ -12,9 +12,13 @@
 # includes v6lint and the header self-containedness target), the fuzz
 # smoke runs (`ctest -L fuzz`), and the trace/report round-trip
 # (`ctest -L report`: the reader/analyzer unit suite plus a tiny traced
-# sweep piped through `sos report --json`), and the scan-engine bench
-# smoke (`ctest -L bench`: bench_throughput's cross-shard bit-identity
-# and batch/stream agreement contracts on a tiny target list).
+# sweep piped through `sos report --json`), the scan-engine bench smoke
+# (`ctest -L bench`: bench_throughput's cross-shard bit-identity and
+# batch/stream agreement contracts on a tiny target list, plus
+# bench_serve's snapshot-consistency checks under concurrent refresh),
+# and the continuous-service suite (`ctest -L service`: the hitlist
+# store, incremental TGA, scheduler/bandit, and epoch bit-identity
+# tests from docs/SERVICE.md).
 #
 # Faults mode (`tools/check.sh --faults`) runs only the fault-injection
 # suite (`ctest -L fault`) under every preset — the focused loop when
@@ -43,7 +47,7 @@ while [[ $# -gt 0 ]]; do
     --jobs) jobs="$2"; shift ;;
     --jobs=*) jobs="${1#--jobs=}" ;;
     -h|--help)
-      sed -n '2,27p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,31p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *) echo "error: unknown flag '$1' (try --help)" >&2; exit 2 ;;
@@ -68,7 +72,8 @@ if [[ $quick -eq 1 ]]; then
   run ctest --test-dir build -L fuzz --output-on-failure -j "$jobs"
   run ctest --test-dir build -L report --output-on-failure -j "$jobs"
   run ctest --test-dir build -L bench --output-on-failure -j "$jobs"
-  echo "check.sh --quick: OK (Release build + lint + fuzz + report + bench smoke)"
+  run ctest --test-dir build -L service --output-on-failure -j "$jobs"
+  echo "check.sh --quick: OK (Release build + lint + fuzz + report + bench + service smoke)"
   exit 0
 fi
 

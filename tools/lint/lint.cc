@@ -216,19 +216,34 @@ bool in_src(const fs::path& path) { return has_component(path, "src"); }
 
 // ---------------------------------------------------------------- rules
 
-/// deprecated-api: the PR 2 compatibility wrappers are deleted; the only
-/// spellings are run_sweep and the ScanResult-returning scan_hits. With
-/// no declaration sites left, nothing is exempt.
+/// deprecated-api: three generations of retired sweep spellings. The
+/// PR 2 positional wrappers are deleted outright; run_sweep(SweepSpec)
+/// is a [[deprecated]] forwarder whose only permitted spellings are its
+/// own declaration and definition in src/experiment/runner.{h,cc} —
+/// every caller belongs on the ScanSession builder.
 void check_deprecated_api(const std::string& file, const fs::path& path,
                           const std::vector<std::string>& stripped,
                           std::vector<Violation>& out) {
-  (void)path;
   static const std::regex kPositional(R"(\b(run_all_tgas|run_tgas)\b)");
   for (std::size_t i = 0; i < stripped.size(); ++i) {
     if (std::regex_search(stripped[i], kPositional)) {
       out.push_back({file, i + 1, "deprecated-api",
                      "call to deprecated positional sweep API; use "
-                     "run_sweep(SweepSpec{}...)"});
+                     "ScanSession(universe, alias_list).with_*(...).sweep()"});
+    }
+  }
+
+  const std::string generic = generic_path(path);
+  if (!has_suffix(generic, "src/experiment/runner.h") &&
+      !has_suffix(generic, "src/experiment/runner.cc")) {
+    static const std::regex kRunSweep(R"(\brun_sweep\s*\()");
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+      if (std::regex_search(stripped[i], kRunSweep)) {
+        out.push_back(
+            {file, i + 1, "deprecated-api",
+             "run_sweep(SweepSpec) is a deprecated forwarder; use "
+             "ScanSession(universe, alias_list).with_*(...).sweep()"});
+      }
     }
   }
 
@@ -417,9 +432,31 @@ void check_raw_thread(const std::string& file, const fs::path& path,
   }
 }
 
+/// hitlist-mutation: HitlistStore epochs are immutable and publication
+/// is the service's job (src/service/hitlist_store.h). The only code
+/// allowed to spell the mutation pair begin_epoch()/publish_epoch() is
+/// src/service/ itself; library code elsewhere reads snapshots. Tests
+/// and benches exercise the writer path deliberately, so the rule is
+/// confined to src/.
+void check_hitlist_mutation(const std::string& file, const fs::path& path,
+                            const std::vector<std::string>& stripped,
+                            std::vector<Violation>& out) {
+  if (!in_src(path) || has_component(path, "service")) return;
+  static const std::regex kMutation(R"(\b(begin_epoch|publish_epoch)\s*\()");
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    if (std::regex_search(stripped[i], kMutation)) {
+      out.push_back({file, i + 1, "hitlist-mutation",
+                     "HitlistStore epoch mutation outside src/service/; "
+                     "publication belongs to the service refresh loop — "
+                     "read snapshots instead"});
+    }
+  }
+}
+
 const char* const kAllRules[] = {"deprecated-api", "nondeterminism",
                                  "pragma-once", "telemetry-null-guard",
-                                 "no-sleep", "metric-name", "raw-thread"};
+                                 "no-sleep", "metric-name", "raw-thread",
+                                 "hitlist-mutation"};
 
 bool lintable(const fs::path& path) {
   const auto ext = path.extension();
@@ -453,6 +490,7 @@ void lint_file(const fs::path& path, std::vector<Violation>& out) {
   check_no_sleep(file, path, stripped, out);
   check_metric_name(file, path, with_strings, out);
   check_raw_thread(file, path, stripped, out);
+  check_hitlist_mutation(file, path, stripped, out);
 }
 
 }  // namespace

@@ -1,0 +1,12 @@
+// Lint fixture: HitlistStore epoch mutation outside src/service/ (the
+// `hitlist-mutation` rule). Library code reads snapshots; only the
+// service refresh loop publishes. Never compiled.
+namespace v6::fixture {
+
+void grow_the_hitlist_from_outside(HitlistStore& store) {
+  auto builder = store.begin_epoch();  // violation
+  builder.add(addr);
+  store.publish_epoch(std::move(builder));  // violation
+}
+
+}  // namespace v6::fixture

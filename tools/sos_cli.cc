@@ -41,6 +41,15 @@
 //     --shards N     route scans through the streaming stateless engine
 //                    with N shard workers (0, the default, keeps the
 //                    batch engine)
+//   sos serve [--cycles N] [--budget N] [--shards N] [--port P]
+//             [--tgas A,B,...] [--interval N] [--streak N] [--floor F]
+//             [--age 0|1] [--feed N] [--seed N]
+//       Run the continuous hitlist service (docs/SERVICE.md): refresh
+//       cycles against an aging universe, with per-cycle rescans,
+//       bandit-allocated discovery budget, and one immutable hitlist
+//       epoch published per cycle. --age 0 freezes the universe;
+//       --feed N ingests fresh discoveries back into the generators as
+//       seed deltas every N cycles (0 disables, default 1).
 //   sos trace ADDR [--seed N]
 //       Simulated traceroute toward ADDR.
 //   sos collect --source NAME [--out FILE] [--seed N]
@@ -55,11 +64,13 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 
+#include "check/validate.h"
 #include "experiment/combined.h"
 #include "experiment/pipeline.h"
 #include "fault/fault_plan.h"
-#include "experiment/runner.h"
+#include "experiment/session.h"
 #include "io/address_file.h"
 #include "io/csv.h"
 #include "experiment/workbench.h"
@@ -70,6 +81,8 @@
 #include "obs/telemetry.h"
 #include "obs/trace_analysis.h"
 #include "obs/trace_reader.h"
+#include "service/hitlist_service.h"
+#include "simnet/universe_builder.h"
 #include "tga/registry.h"
 #include "topo/traceroute.h"
 
@@ -466,15 +479,14 @@ int cmd_survey(const Args& args) {
                     .with_shards(static_cast<int>(args.get_u64("shards", 0)))
                     .with_trace_probes(obs.tracing());
   if (!apply_fault_options(args, config, plan)) return 2;
-  const auto runs = v6::experiment::run_sweep(
-      v6::experiment::SweepSpec{}
-          .with_universe(bench.universe())
+  const auto runs =
+      v6::experiment::ScanSession(bench.universe(), bench.alias_list())
           .with_seeds(seeds)
-          .with_alias_list(bench.alias_list())
           .with_config(config)
           .with_kinds(kinds)
           .with_jobs(static_cast<unsigned>(args.get_u64("jobs", 1)))
-          .with_telemetry(obs.telemetry()));
+          .with_telemetry(obs.telemetry())
+          .sweep();
   for (const auto& run : runs) {
     table.add_row({std::string(v6::tga::to_string(run.kind)),
                    fmt_count(run.outcome.hits()),
@@ -482,6 +494,86 @@ int cmd_survey(const Args& args) {
                    fmt_count(run.outcome.aliases)});
   }
   table.print(std::cout);
+  obs.finish();
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  ObsSession obs(args);
+  const v6::experiment::WorkbenchConfig wb = bench_config(args);
+  v6::experiment::Workbench bench(wb);
+  const v6::net::ProbeType port = parse_port(args.get("port", "ICMP"));
+  std::vector<v6::tga::TgaKind> kinds;  // empty = full roster
+  if (args.options.contains("tgas") &&
+      !parse_tga_list(args.get("tgas", ""), &kinds)) {
+    return 2;
+  }
+
+  // The service owns a universe it can age between cycles, built from
+  // the same config as the workbench's, so the seed datasets line up
+  // with cycle 1's world.
+  v6::simnet::Universe universe =
+      v6::simnet::UniverseBuilder::build(wb.universe);
+
+  v6::service::ServiceConfig config;
+  config.seed = args.get_u64("seed", 42);
+  config.budget_per_cycle = args.get_u64("budget", 40'000);
+  config.kinds = kinds;
+  config.type = port;
+  config.shards = static_cast<int>(args.get_u64("shards", 1));
+  config.explore_floor = args.get_double("floor", 0.10);
+  config.rescan.rescan_interval = args.get_u64("interval", 1);
+  config.rescan.max_miss_streak =
+      static_cast<int>(args.get_u64("streak", 3));
+  config.telemetry = obs.telemetry();
+  if (args.get_u64("age", 1) != 0) {
+    config.age_universe = true;  // default churn model; --age 0 freezes
+  }
+
+  try {
+    const std::vector<v6::net::Ipv6Addr> seeds = bench.all_active();
+    v6::service::HitlistService service(universe, seeds, config);
+    const std::uint64_t cycles = args.get_u64("cycles", 5);
+    const std::uint64_t feed = args.get_u64("feed", 1);
+    v6::metrics::TextTable table({"Cycle", "Version", "Hitlist", "+Disc",
+                                  "Rescans", "Evicted", "Probes", "Wire s"});
+    v6::service::ServiceStats previous;
+    // Discoveries already handed back to the generators as seeds; starts
+    // as the initial seed set so only genuinely new addresses feed back.
+    std::unordered_set<v6::net::Ipv6Addr, v6::net::Ipv6AddrHash> fed(
+        seeds.begin(), seeds.end());
+    for (std::uint64_t c = 0; c < cycles; ++c) {
+      const v6::service::HitlistEpoch& epoch = service.refresh_once();
+      if (feed != 0 && (c + 1) % feed == 0) {
+        v6::service::SeedDelta delta;
+        for (const v6::net::Ipv6Addr& addr : epoch.addrs) {
+          if (fed.insert(addr).second) delta.added.push_back(addr);
+        }
+        service.ingest_seeds(delta);
+      }
+      const v6::service::ServiceStats now = service.stats();
+      table.add_row({fmt_count(now.cycles), fmt_count(epoch.version),
+                     fmt_count(epoch.size()),
+                     fmt_count(now.discovered - previous.discovered),
+                     fmt_count(now.rescans - previous.rescans),
+                     fmt_count(now.evicted - previous.evicted),
+                     fmt_count(now.probes - previous.probes),
+                     fmt_seconds(now.virtual_seconds -
+                                 previous.virtual_seconds)});
+      previous = now;
+    }
+    table.print(std::cout);
+    const v6::service::ServiceStats total = service.stats();
+    std::cout << "published " << fmt_count(service.store().epoch_count() - 1)
+              << " epochs; " << fmt_count(total.probes) << " probes, "
+              << fmt_count(total.discovered) << " discovered, "
+              << fmt_count(total.evicted) << " evicted; seed deltas: "
+              << fmt_count(total.incremental_updates) << " incremental, "
+              << fmt_count(total.full_rebuilds) << " full rebuilds\n";
+  } catch (const v6::check::ConfigError& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
   obs.finish();
   return 0;
 }
@@ -633,14 +725,16 @@ int main(int argc, char** argv) {
   if (args.command == "sources") return cmd_sources(args);
   if (args.command == "run") return cmd_run(args);
   if (args.command == "survey") return cmd_survey(args);
+  if (args.command == "serve") return cmd_serve(args);
   if (args.command == "report") return cmd_report(args);
   if (args.command == "trace") return cmd_trace(args);
   if (args.command == "collect") return cmd_collect(args);
   if (args.command == "export") return cmd_export(args);
   std::cerr << "usage: sos "
-               "<universe|sources|run|survey|report|trace|collect|export> "
-               "[options]\n"
+               "<universe|sources|run|survey|serve|report|trace|collect|"
+               "export> [options]\n"
                "  sos run --tga DET --port TCP80 --dataset port --budget "
-               "200000\n";
+               "200000\n"
+               "  sos serve --cycles 5 --budget 40000 --shards 2\n";
   return args.command.empty() ? 1 : 2;
 }
