@@ -59,7 +59,12 @@ CombinedResult run_combined(
     progress = false;
 
     // 1. Gather this round's proposals with per-generator attribution.
+    // round_order keeps proposers' keys in first-proposal order so step
+    // 3 never walks the map itself: hash order would feed the online
+    // dealiaser (whose RNG stream is shared across verdicts) and the
+    // generators' observe() in a toolchain-dependent sequence.
     std::unordered_map<Ipv6Addr, std::uint32_t> proposers;  // addr -> mask
+    std::vector<Ipv6Addr> round_order;
     std::vector<Ipv6Addr> round_targets;
     for (std::size_t g = 0; g < generators.size(); ++g) {
       if (generated[g] >= config.budget_per_generator) continue;
@@ -76,8 +81,9 @@ CombinedResult run_combined(
       for (const Ipv6Addr& addr : batch) {
         const auto [it, inserted] = proposers.emplace(addr, 0u);
         it->second |= 1u << g;
-        if (inserted && !scanned.contains(addr)) {
-          round_targets.push_back(addr);
+        if (inserted) {
+          round_order.push_back(addr);
+          if (!scanned.contains(addr)) round_targets.push_back(addr);
         }
       }
     }
@@ -95,7 +101,8 @@ CombinedResult run_combined(
     }
 
     // 3. Attribute results back to every proposing generator.
-    for (const auto& [addr, mask] : proposers) {
+    for (const Ipv6Addr& addr : round_order) {
+      const std::uint32_t mask = proposers.find(addr)->second;
       const auto it = scanned.find(addr);
       const bool active = it != scanned.end() && it->second;
       bool is_alias = false;

@@ -12,6 +12,8 @@ AsCharacterization characterize(
     const v6::asdb::AsDatabase& asdb, std::size_t k) {
   std::unordered_map<std::uint32_t, std::uint64_t> per_as;
   std::uint64_t resolved = 0;
+  // Commutative accumulation: only per-AS sums survive this loop.
+  // v6lint: allow(unordered-iteration)
   for (const v6::net::Ipv6Addr& addr : hits) {
     const auto asn = asn_of(addr);
     if (!asn) continue;
@@ -23,6 +25,8 @@ AsCharacterization characterize(
   out.total_ases = per_as.size();
   out.total_hits = resolved;
 
+  // Materialize-and-sort with a total order (count desc, ASN asc).
+  // v6lint: allow(unordered-iteration)
   std::vector<std::pair<std::uint32_t, std::uint64_t>> sorted(per_as.begin(),
                                                               per_as.end());
   std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {

@@ -67,8 +67,10 @@ void EntropyIp::reset_model() {
       continue;
     }
     seg.values.reserve(counts.size());
+    // Materialize-and-sort; pair ordering is total, so hash order dies
+    // here.
     std::vector<std::pair<std::uint64_t, std::uint32_t>> sorted(
-        counts.begin(), counts.end());
+        counts.begin(), counts.end());  // v6lint: allow(unordered-iteration)
     std::sort(sorted.begin(), sorted.end());
     std::uint32_t running = 0;
     for (const auto& [value, count] : sorted) {

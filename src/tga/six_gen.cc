@@ -28,6 +28,9 @@ void SixGen::reset_model() {
   std::vector<Scored> scored;
   scored.reserve(groups.size());
 
+  // Every group lands in `scored`, later sorted by (density, base) — a
+  // total order since bases are distinct per group.
+  // v6lint: allow(unordered-iteration)
   for (const auto& [hi, members] : groups) {
     // Observed value sets for the 16 low-64 nybbles.
     std::array<std::vector<std::uint8_t>, 16> seen{};

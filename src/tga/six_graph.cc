@@ -111,6 +111,9 @@ void SixGraph::reset_model() {
   };
   std::vector<Scored> scored;
   scored.reserve(components.size());
+  // Every component lands in `scored`, later sorted by (density, base)
+  // — a total order since bases are distinct per component.
+  // v6lint: allow(unordered-iteration)
   for (const auto& [root, members] : components) {
     // Union of free positions; observed values at differing positions.
     std::uint64_t free_mask = 0;

@@ -36,6 +36,8 @@ void SixSense::reset_model() {
     std::unordered_map<std::uint64_t, std::uint32_t> counts;
     for (const Ipv6Addr& s : seeds_) ++counts[s.lo()];
     std::vector<std::pair<std::uint64_t, std::uint32_t>> common;
+    // `common` is re-sorted below by (count, value) — a total order.
+    // v6lint: allow(unordered-iteration)
     for (const auto& [value, count] : counts) {
       if (count >= 2) common.emplace_back(value, count);
     }
@@ -54,6 +56,8 @@ void SixSense::reset_model() {
   }
 
   sections_.reserve(by_section.size());
+  // sections_ is re-sorted by prefix_hi (unique per section) below.
+  // v6lint: allow(unordered-iteration)
   for (auto& [hi, members] : by_section) {
     Section section;
     section.prefix_hi = hi;

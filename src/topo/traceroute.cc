@@ -32,12 +32,16 @@ TracerouteEngine::TracerouteEngine(const v6::simnet::Universe& universe,
       routers_[hosts[i].asn].push_back(i);
     }
   }
-  // Transit pool: ASes with several routers act as providers.
+  // Transit pool: ASes with several routers act as providers.  Both
+  // loops feed transit_pool_, which is sorted (ASNs are unique keys)
+  // before anyone reads it, so hash order cannot escape.
+  // v6lint: allow(unordered-iteration)
   for (const auto& [asn, indices] : routers_) {
     if (indices.size() >= 3) transit_pool_.push_back(asn);
   }
   std::sort(transit_pool_.begin(), transit_pool_.end());
   if (transit_pool_.empty()) {
+    // v6lint: allow(unordered-iteration)
     for (const auto& [asn, indices] : routers_) transit_pool_.push_back(asn);
     std::sort(transit_pool_.begin(), transit_pool_.end());
   }

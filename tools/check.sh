@@ -9,7 +9,9 @@
 #
 # Quick mode (`tools/check.sh --quick`) is the inner-loop subset: the
 # Release build plus the cheap static gates (`ctest -L lint`, which
-# includes v6lint and the header self-containedness target), the fuzz
+# includes v6lint and the header self-containedness target — quick mode
+# also re-runs v6lint with --format=json to leave a machine-readable
+# build/LINT_REPORT.json behind, gated at 2s of wall time), the fuzz
 # smoke runs (`ctest -L fuzz`), and the trace/report round-trip
 # (`ctest -L report`: the reader/analyzer unit suite plus a tiny traced
 # sweep piped through `sos report --json`), the scan-engine bench smoke
@@ -24,6 +26,15 @@
 # suite (`ctest -L fault`) under every preset — the focused loop when
 # iterating on src/fault or the robust-scanner path.
 #
+# Analyzer mode (`tools/check.sh --analyzer`) builds the library
+# targets under the `gcc-analyzer` preset: GCC -fanalyzer with its
+# path-sensitive memory checks (double-free, use-after-free,
+# malloc-leak, free-of-non-heap) promoted to errors. It gets its own
+# build tree (build-analyzer) and mode because the analyzer costs
+# seconds per TU; the sweep covers src/ only (target v6_libs). The
+# preset degrades to a plain build with a CMake warning when the
+# compiler is not GCC or lacks -fanalyzer.
+#
 # Extra flags:
 #   --jobs N    parallel build/test jobs (default: nproc)
 #   --tidy      add -DV6_CLANG_TIDY=ON to every configure (warns and
@@ -37,17 +48,19 @@ cd "$(dirname "$0")/.."
 
 quick=0
 faults=0
+analyzer=0
 tidy_flag=()
 jobs="$(nproc 2>/dev/null || echo 2)"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick=1 ;;
     --faults) faults=1 ;;
+    --analyzer) analyzer=1 ;;
     --tidy) tidy_flag=(-DV6_CLANG_TIDY=ON) ;;
     --jobs) jobs="$2"; shift ;;
     --jobs=*) jobs="${1#--jobs=}" ;;
     -h|--help)
-      sed -n '2,31p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,43p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *) echo "error: unknown flag '$1' (try --help)" >&2; exit 2 ;;
@@ -66,14 +79,28 @@ configure_and_build() {
   run cmake --build "$bindir" -j "$jobs"
 }
 
+if [[ $analyzer -eq 1 ]]; then
+  run cmake --preset gcc-analyzer "${tidy_flag[@]}"
+  run cmake --build build-analyzer -j "$jobs" --target v6_libs
+  echo "check.sh --analyzer: library targets OK under gcc-analyzer"
+  exit 0
+fi
+
 if [[ $quick -eq 1 ]]; then
   configure_and_build default build
   run ctest --test-dir build -L lint --output-on-failure -j "$jobs"
+  # Machine-readable lint artifact + the wall-time gate: the whole
+  # multi-pass sweep of the tree must stay under ~2s in a Release build
+  # so it remains an every-commit habit rather than a CI-only one.
+  run ./build/tools/lint/v6lint --format=json --stats --jobs "$jobs" \
+    --max-wall-ms 2000 src bench examples tests tools \
+    > build/LINT_REPORT.json
+  echo "wrote build/LINT_REPORT.json" >&2
   run ctest --test-dir build -L fuzz --output-on-failure -j "$jobs"
   run ctest --test-dir build -L report --output-on-failure -j "$jobs"
   run ctest --test-dir build -L bench --output-on-failure -j "$jobs"
   run ctest --test-dir build -L service --output-on-failure -j "$jobs"
-  echo "check.sh --quick: OK (Release build + lint + fuzz + report + bench + service smoke)"
+  echo "check.sh --quick: OK (Release build + lint + LINT_REPORT.json + fuzz + report + bench + service smoke)"
   exit 0
 fi
 

@@ -1,0 +1,15 @@
+// v6lint fixture for the *positive* suppression path: this directory
+// is deliberately scanned by lint_tree (it does not match the
+// testdata* skip), and stays clean only because the inline allow below
+// suppresses the seeded deprecated-api hit. The lint_suppression_ok
+// ctest scans it alone and expects exit 0 — proving suppressions
+// actually suppress, and (with lint_tree) that a used allow is not
+// flagged as stale. Never compiled.
+
+namespace v6::fixture {
+
+void legacy_caller_kept_for_this_test() {
+  run_all_tgas(universe, seeds);  // v6lint: allow(deprecated-api)
+}
+
+}  // namespace v6::fixture

@@ -1,0 +1,188 @@
+#include "include_graph.h"
+
+#include <sstream>
+
+namespace v6lint {
+
+std::optional<LayerSpec> LayerSpec::parse(const std::string& text,
+                                          std::string& error) {
+  LayerSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) {
+      error = "layers.txt:" + std::to_string(lineno) +
+              ": expected 'module: dep dep ...'";
+      return std::nullopt;
+    }
+    std::string module = line.substr(first, colon - first);
+    const auto mod_end = module.find_last_not_of(" \t");
+    module.resize(mod_end == std::string::npos ? 0 : mod_end + 1);
+    if (module.empty() || module.find(' ') != std::string::npos) {
+      error = "layers.txt:" + std::to_string(lineno) + ": bad module name";
+      return std::nullopt;
+    }
+    if (spec.allowed.count(module)) {
+      error = "layers.txt:" + std::to_string(lineno) + ": module '" + module +
+              "' declared twice";
+      return std::nullopt;
+    }
+    auto& deps = spec.allowed[module];
+    std::istringstream ds(line.substr(colon + 1));
+    std::string dep;
+    while (ds >> dep) deps.insert(dep);
+  }
+
+  for (const auto& [module, deps] : spec.allowed) {
+    for (const std::string& dep : deps) {
+      if (dep == module) {
+        error = "layers.txt: module '" + module + "' depends on itself";
+        return std::nullopt;
+      }
+      if (!spec.allowed.count(dep)) {
+        error = "layers.txt: module '" + module + "' depends on '" + dep +
+                "', which is not declared";
+        return std::nullopt;
+      }
+    }
+  }
+
+  ModuleGraph declared;
+  for (const auto& [module, deps] : spec.allowed) {
+    declared.edges[module];  // ensure isolated modules participate
+    for (const std::string& dep : deps) declared.add_edge(module, dep);
+  }
+  const std::vector<std::string> cycle = declared.find_cycle();
+  if (!cycle.empty()) {
+    error = "layers.txt: declared layering has a cycle:";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      error += (i ? " -> " : " ") + cycle[i];
+    }
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::vector<std::string> ModuleGraph::find_cycle() const {
+  // Iterative three-color DFS; on hitting a gray node, unwind the
+  // explicit stack into the cycle path.
+  enum Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  for (const auto& [node, deps] : edges) {
+    color[node] = kWhite;
+    for (const std::string& d : deps) color.emplace(d, kWhite);
+  }
+
+  for (const auto& [start, start_deps] : edges) {
+    if (color[start] != kWhite) continue;
+    struct Frame {
+      std::string node;
+      std::vector<std::string> deps;
+      std::size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    const auto push = [&](const std::string& node) {
+      Frame f;
+      f.node = node;
+      const auto it = edges.find(node);
+      if (it != edges.end()) {
+        f.deps.assign(it->second.begin(), it->second.end());
+      }
+      color[node] = kGray;
+      stack.push_back(std::move(f));
+    };
+    push(start);
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.next >= top.deps.size()) {
+        color[top.node] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const std::string dep = top.deps[top.next++];
+      if (color[dep] == kGray) {
+        std::vector<std::string> cycle{dep};
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+          cycle.push_back(it->node);
+          if (it->node == dep) break;
+        }
+        // Unwound back-to-front: flip so the path reads along edges.
+        std::vector<std::string> path(cycle.rbegin(), cycle.rend());
+        return path;
+      }
+      if (color[dep] == kWhite) push(dep);
+    }
+  }
+  return {};
+}
+
+std::set<std::string> ModuleGraph::transitive_deps(
+    const std::string& from) const {
+  std::set<std::string> seen;
+  std::vector<std::string> work;
+  const auto expand = [&](const std::string& node) {
+    const auto it = edges.find(node);
+    if (it == edges.end()) return;
+    for (const std::string& dep : it->second) {
+      if (dep != from && seen.insert(dep).second) work.push_back(dep);
+    }
+  };
+  expand(from);
+  while (!work.empty()) {
+    const std::string node = std::move(work.back());
+    work.pop_back();
+    expand(node);
+  }
+  return seen;
+}
+
+std::string module_of_path(const std::string& generic_path) {
+  // Component after the *last* "src" component, so fixture trees like
+  // tools/lint/testdata/src/probe/... project onto modules the same
+  // way the real tree does.
+  std::size_t module_begin = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < generic_path.size()) {
+    std::size_t end = generic_path.find('/', pos);
+    if (end == std::string::npos) end = generic_path.size();
+    if (generic_path.compare(pos, end - pos, "src") == 0 &&
+        end < generic_path.size()) {
+      module_begin = end + 1;
+    }
+    pos = end + 1;
+  }
+  if (module_begin == std::string::npos) return "";
+  const std::size_t slash = generic_path.find('/', module_begin);
+  if (slash == std::string::npos) return "";  // file directly under src/
+  return generic_path.substr(module_begin, slash - module_begin);
+}
+
+std::string src_relative_of_path(const std::string& generic_path) {
+  std::size_t rel_begin = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < generic_path.size()) {
+    std::size_t end = generic_path.find('/', pos);
+    if (end == std::string::npos) end = generic_path.size();
+    if (generic_path.compare(pos, end - pos, "src") == 0 &&
+        end < generic_path.size()) {
+      rel_begin = end + 1;
+    }
+    pos = end + 1;
+  }
+  return rel_begin == std::string::npos ? "" : generic_path.substr(rel_begin);
+}
+
+std::string module_of_include(const std::string& target) {
+  const std::size_t slash = target.find('/');
+  if (slash == std::string::npos || slash == 0) return "";
+  return target.substr(0, slash);
+}
+
+}  // namespace v6lint

@@ -1,0 +1,71 @@
+#pragma once
+// v6lint include-graph pass: extracts the project-internal `#include`
+// DAG from the lexed files, projects it onto src/ modules, and checks
+// it against the declared layering in tools/lint/layers.txt.
+//
+// A "module" is the first path component after the last `src/`
+// component of a file's path (src/probe/scanner.cc -> "probe"); the
+// same projection applies to include targets written repo-style
+// ("fault/fault_plan.h" -> "fault"), which is how every internal
+// include in this tree is spelled.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace v6lint {
+
+/// Declared module layering: for each module, the set of modules it may
+/// directly include. Parsed from layers.txt (`module: dep dep ...`,
+/// `#` comments). Every dep must itself be declared, and the declared
+/// graph must be acyclic — both are validated at load time.
+struct LayerSpec {
+  std::map<std::string, std::set<std::string>> allowed;
+
+  bool declared(const std::string& module) const {
+    return allowed.count(module) != 0;
+  }
+  bool edge_allowed(const std::string& from, const std::string& to) const {
+    const auto it = allowed.find(from);
+    return it != allowed.end() && it->second.count(to) != 0;
+  }
+
+  /// Parses the spec text. Returns nullopt and fills `error` on
+  /// malformed lines, undeclared deps, or a cycle in the declared DAG.
+  static std::optional<LayerSpec> parse(const std::string& text,
+                                        std::string& error);
+};
+
+/// Module-level dependency graph (observed or declared).
+struct ModuleGraph {
+  std::map<std::string, std::set<std::string>> edges;
+
+  void add_edge(const std::string& from, const std::string& to) {
+    if (from != to) edges[from].insert(to);
+  }
+
+  /// Returns a cycle as a module path (front() == back()) if the graph
+  /// has one, else an empty vector.
+  std::vector<std::string> find_cycle() const;
+
+  /// Every module reachable from `from` along dependency edges,
+  /// excluding `from` itself — the transitive dependency set.
+  std::set<std::string> transitive_deps(const std::string& from) const;
+};
+
+/// Module of a repo path ("" when the file is not under a src/ module).
+std::string module_of_path(const std::string& generic_path);
+
+/// Path relative to the last `src/` component ("src/probe/scanner.h"
+/// -> "probe/scanner.h"; "" when the path has no src/ component) — the
+/// spelling include directives use, keying ProjectIndex lookups.
+std::string src_relative_of_path(const std::string& generic_path);
+
+/// Module of an include target as written ("fault/fault_plan.h" ->
+/// "fault"; "vector" or "foo.h" -> "").
+std::string module_of_include(const std::string& target);
+
+}  // namespace v6lint

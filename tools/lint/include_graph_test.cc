@@ -1,0 +1,120 @@
+// Unit tests for the v6lint include-graph pass: layer-spec parsing and
+// validation, cycle detection, transitive-dependency reporting, and the
+// path -> module projection the layering rule relies on.
+#include "include_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace v6lint {
+namespace {
+
+TEST(LayerSpec, ParsesModulesAndDeps) {
+  std::string err;
+  const auto spec = LayerSpec::parse(
+      "# comment\n"
+      "base:\n"
+      "mid: base\n"
+      "top: mid base  # trailing comment\n",
+      err);
+  ASSERT_TRUE(spec.has_value()) << err;
+  EXPECT_TRUE(spec->declared("base"));
+  EXPECT_TRUE(spec->edge_allowed("top", "mid"));
+  EXPECT_TRUE(spec->edge_allowed("top", "base"));
+  EXPECT_FALSE(spec->edge_allowed("base", "top"));
+  EXPECT_FALSE(spec->edge_allowed("mid", "top"));
+  EXPECT_FALSE(spec->declared("absent"));
+}
+
+TEST(LayerSpec, RejectsUndeclaredDep) {
+  std::string err;
+  EXPECT_FALSE(LayerSpec::parse("a: ghost\n", err).has_value());
+  EXPECT_NE(err.find("ghost"), std::string::npos);
+}
+
+TEST(LayerSpec, RejectsSelfDep) {
+  std::string err;
+  EXPECT_FALSE(LayerSpec::parse("a: a\n", err).has_value());
+}
+
+TEST(LayerSpec, RejectsDuplicateModule) {
+  std::string err;
+  EXPECT_FALSE(LayerSpec::parse("a:\na:\n", err).has_value());
+}
+
+TEST(LayerSpec, RejectsDeclaredCycle) {
+  std::string err;
+  EXPECT_FALSE(LayerSpec::parse("a: b\nb: c\nc: a\n", err).has_value());
+  EXPECT_NE(err.find("cycle"), std::string::npos);
+}
+
+TEST(ModuleGraph, AcyclicGraphHasNoCycle) {
+  ModuleGraph g;
+  g.add_edge("top", "mid");
+  g.add_edge("top", "base");
+  g.add_edge("mid", "base");
+  EXPECT_TRUE(g.find_cycle().empty());
+}
+
+TEST(ModuleGraph, FindsCyclePath) {
+  ModuleGraph g;
+  g.add_edge("a", "b");
+  g.add_edge("b", "c");
+  g.add_edge("c", "a");
+  g.add_edge("c", "d");  // branch off the cycle
+  const std::vector<std::string> cycle = g.find_cycle();
+  ASSERT_GE(cycle.size(), 4u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+  // Every consecutive pair must be a real edge.
+  for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+    const auto it = g.edges.find(cycle[i]);
+    ASSERT_NE(it, g.edges.end());
+    EXPECT_TRUE(it->second.count(cycle[i + 1]))
+        << cycle[i] << " -> " << cycle[i + 1];
+  }
+}
+
+TEST(ModuleGraph, SelfEdgeIsIgnored) {
+  ModuleGraph g;
+  g.add_edge("a", "a");
+  EXPECT_TRUE(g.find_cycle().empty());
+}
+
+TEST(ModuleGraph, TransitiveDeps) {
+  ModuleGraph g;
+  g.add_edge("top", "mid");
+  g.add_edge("mid", "base");
+  g.add_edge("base", "core");
+  g.add_edge("side", "core");
+  const std::set<std::string> deps = g.transitive_deps("top");
+  EXPECT_EQ(deps, (std::set<std::string>{"mid", "base", "core"}));
+  EXPECT_TRUE(g.transitive_deps("core").empty());
+  EXPECT_EQ(g.transitive_deps("side"),
+            (std::set<std::string>{"core"}));
+}
+
+TEST(Projection, ModuleOfPath) {
+  EXPECT_EQ(module_of_path("src/probe/scanner.cc"), "probe");
+  EXPECT_EQ(module_of_path("/root/repo/src/tga/six_hit.h"), "tga");
+  // Fixture trees project through their own src/ component.
+  EXPECT_EQ(module_of_path("tools/lint/testdata/src/probe/bad.cc"), "probe");
+  // Directly under src/: no module.
+  EXPECT_EQ(module_of_path("tools/lint/testdata/src/bad_lock.cc"), "");
+  EXPECT_EQ(module_of_path("tools/lint/lint.cc"), "");
+  // "src" must be a whole component, not a prefix.
+  EXPECT_EQ(module_of_path("srcfoo/probe/x.cc"), "");
+}
+
+TEST(Projection, SrcRelativeOfPath) {
+  EXPECT_EQ(src_relative_of_path("src/probe/scanner.h"), "probe/scanner.h");
+  EXPECT_EQ(src_relative_of_path("/a/b/src/net/ipv6.h"), "net/ipv6.h");
+  EXPECT_EQ(src_relative_of_path("tools/lint/lint.cc"), "");
+}
+
+TEST(Projection, ModuleOfInclude) {
+  EXPECT_EQ(module_of_include("fault/fault_plan.h"), "fault");
+  EXPECT_EQ(module_of_include("vector"), "");
+  EXPECT_EQ(module_of_include("lexer.h"), "");
+}
+
+}  // namespace
+}  // namespace v6lint

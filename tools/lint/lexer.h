@@ -1,0 +1,45 @@
+#pragma once
+// v6lint lexer pass: one state-machine walk over a translation unit's
+// raw bytes produces every view the rules consume, so comment/string
+// stripping happens exactly once and is correct for the constructs the
+// per-rule ad-hoc strippers used to mishandle:
+//
+//   - raw string literals `R"delim(...)delim"` (with encoding prefixes
+//     u8R/uR/UR/LR), whose bodies may contain quotes and comment
+//     markers that must not leak into rule matching;
+//   - line-spliced `//` comments (a backslash-newline continues the
+//     comment onto the next line);
+//   - digit separators (`1'000'000`), which are not char literals;
+//   - adjacent string literals (`"a" "b"`).
+//
+// Newlines are preserved in every view so line numbers survive, and
+// suppression comments (`// v6lint: allow(rule[, rule...])`) are
+// parsed here — the only pass that still sees comment text.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace v6lint {
+
+struct Suppression {
+  std::size_t line = 0;  // 1-based line the comment sits on
+  std::string rule;      // one suppression entry per allowed rule
+};
+
+struct LexedFile {
+  /// Comments, string literals, and char literals blanked to spaces.
+  std::string code;
+  /// Comments blanked, string/char literals kept (metric-name needs
+  /// the literals themselves).
+  std::string with_strings;
+  std::vector<std::string> code_lines;
+  std::vector<std::string> string_lines;
+  std::vector<Suppression> suppressions;
+};
+
+LexedFile lex(const std::string& raw);
+
+std::vector<std::string> split_lines(const std::string& text);
+
+}  // namespace v6lint

@@ -1,0 +1,126 @@
+// Regression tests for the v6lint lexer pass — the constructs the old
+// per-rule strippers mishandled (raw strings whose bodies contain
+// quotes and comment markers, line-spliced comments, digit separators)
+// plus the suppression-marker parsing that rides on the same walk.
+#include "lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace v6lint {
+namespace {
+
+TEST(Lexer, BlanksOrdinaryStringsAndComments) {
+  const LexedFile lx = lex("int a; // rand()\nfoo(\"srand\"); /* time( */\n");
+  EXPECT_EQ(lx.code_lines[0], "int a;          ");
+  EXPECT_EQ(lx.code_lines[1], "foo(       );            ");
+  // with_strings keeps literals but not comments.
+  EXPECT_EQ(lx.string_lines[1].substr(0, 13), "foo(\"srand\");");
+}
+
+TEST(Lexer, RawStringBodyDoesNotLeakIntoCode) {
+  // The body contains a quote, a comment opener, and a banned
+  // identifier — none may reach the code view; the whole literal must
+  // reach the with-strings view.
+  const std::string src =
+      "auto re = R\"(\\b\"srand\" /* rand( */)\";\nint after = 1;\n";
+  const LexedFile lx = lex(src);
+  EXPECT_EQ(lx.code_lines[0].find("srand"), std::string::npos);
+  EXPECT_EQ(lx.code_lines[0].find("rand"), std::string::npos);
+  // The literal closed on line 0: line 1 is ordinary code again.
+  EXPECT_EQ(lx.code_lines[1], "int after = 1;");
+  EXPECT_NE(lx.string_lines[0].find("srand"), std::string::npos);
+}
+
+TEST(Lexer, RawStringCustomDelimiter) {
+  // `)"` inside the body must not close a delimited raw string.
+  const std::string src = "auto re = R\"rx(a )\" b)rx\"; int tail;\n";
+  const LexedFile lx = lex(src);
+  EXPECT_EQ(lx.code_lines[0].find("a )"), std::string::npos);
+  EXPECT_NE(lx.code_lines[0].find("int tail;"), std::string::npos);
+}
+
+TEST(Lexer, RawStringEncodingPrefixes) {
+  const LexedFile lx = lex("auto a = u8R\"(srand)\"; auto b = LR\"(time()\";\n");
+  EXPECT_EQ(lx.code_lines[0].find("srand"), std::string::npos);
+  EXPECT_EQ(lx.code_lines[0].find("time"), std::string::npos);
+}
+
+TEST(Lexer, IdentifierEndingInRIsNotARawString) {
+  // `FOOBAR"..."` is an identifier then a plain string, not a raw
+  // string named by delimiter `...`.
+  const std::string src = "int x = FOOBAR\"text\" + 1; int y;\n";
+  const LexedFile lx = lex(src);
+  EXPECT_NE(lx.code_lines[0].find("FOOBAR"), std::string::npos);
+  EXPECT_EQ(lx.code_lines[0].find("text"), std::string::npos);
+  EXPECT_NE(lx.code_lines[0].find("int y;"), std::string::npos);
+}
+
+TEST(Lexer, LineSplicedCommentContinues) {
+  // A backslash-newline splices the // comment onto the next physical
+  // line; the old stripper would have surfaced `rand(` as code.
+  const std::string src = "int a; // spliced \\\nrand();\nint b;\n";
+  const LexedFile lx = lex(src);
+  EXPECT_EQ(lx.code_lines[1].find("rand"), std::string::npos);
+  EXPECT_EQ(lx.code_lines[2], "int b;");
+}
+
+TEST(Lexer, DigitSeparatorsAreNotCharLiterals) {
+  // The old stripper opened a char literal at 1'000 and swallowed the
+  // code between the separators.
+  const std::string src = "int n = 1'000'000 + f(x); char c = 'x';\n";
+  const LexedFile lx = lex(src);
+  EXPECT_NE(lx.code_lines[0].find("1'000'000"), std::string::npos);
+  EXPECT_NE(lx.code_lines[0].find("f(x)"), std::string::npos);
+  EXPECT_EQ(lx.code_lines[0].find("'x'"), std::string::npos);
+}
+
+TEST(Lexer, AdjacentStringLiterals) {
+  const std::string src = "call(\"one\" \"two\", 'a', \"three\");\n";
+  const LexedFile lx = lex(src);
+  EXPECT_EQ(lx.code_lines[0].find("one"), std::string::npos);
+  EXPECT_EQ(lx.code_lines[0].find("two"), std::string::npos);
+  EXPECT_EQ(lx.code_lines[0].find("three"), std::string::npos);
+  EXPECT_NE(lx.string_lines[0].find("\"one\" \"two\""), std::string::npos);
+}
+
+TEST(Lexer, EscapedQuoteStaysInString) {
+  const std::string src = "s = \"a\\\"b\"; srand(1);\n";
+  const LexedFile lx = lex(src);
+  // The escaped quote must not close the literal early...
+  EXPECT_EQ(lx.code_lines[0].find('b'), std::string::npos);
+  // ...and real code after the literal is still visible.
+  EXPECT_NE(lx.code_lines[0].find("srand(1);"), std::string::npos);
+}
+
+TEST(Lexer, NewlinesPreservedEverywhere) {
+  const std::string src =
+      "/* multi\nline\ncomment */ int a;\nR\"(raw\nbody)\" int b;\n";
+  const LexedFile lx = lex(src);
+  ASSERT_EQ(lx.code_lines.size(), 5u);
+  ASSERT_EQ(lx.string_lines.size(), 5u);
+  EXPECT_NE(lx.code_lines[2].find("int a;"), std::string::npos);
+  EXPECT_NE(lx.code_lines[4].find("int b;"), std::string::npos);
+}
+
+TEST(Lexer, ParsesSuppressions) {
+  const std::string src =
+      "int a;\n"
+      "bad(); // v6lint: allow(no-sleep, raw-thread)\n"
+      "/* v6lint: allow(layering) */ other();\n";
+  const LexedFile lx = lex(src);
+  ASSERT_EQ(lx.suppressions.size(), 3u);
+  EXPECT_EQ(lx.suppressions[0].line, 2u);
+  EXPECT_EQ(lx.suppressions[0].rule, "no-sleep");
+  EXPECT_EQ(lx.suppressions[1].line, 2u);
+  EXPECT_EQ(lx.suppressions[1].rule, "raw-thread");
+  EXPECT_EQ(lx.suppressions[2].line, 3u);
+  EXPECT_EQ(lx.suppressions[2].rule, "layering");
+}
+
+TEST(Lexer, SuppressionSpellingInStringIsIgnored) {
+  const LexedFile lx = lex("log(\"v6lint: allow(no-sleep)\");\n");
+  EXPECT_TRUE(lx.suppressions.empty());
+}
+
+}  // namespace
+}  // namespace v6lint

@@ -1,462 +1,81 @@
-// v6lint — project-specific invariants no generic linter knows.
+// v6lint v2 — project-specific invariants no generic linter knows,
+// reorganized as a small multi-pass analysis framework:
 //
-// Generic linters (clang-tidy, compiler warnings) know the C++ language;
-// they cannot know that this repo reserves randomness for src/net/rng.h,
-// that `Telemetry*` is nullable by API contract, or that the PR 2
-// compatibility wrappers must never grow new callers. Each rule below
-// encodes one such repo invariant; docs/STATIC_ANALYSIS.md carries the
-// full rationale per rule.
+//   pass 1  lexer (lexer.cc): one state-machine walk per file yields
+//           the code view (comments/strings blanked, raw-string
+//           correct), the with-strings view, and the suppression
+//           markers. Rules never re-strip text.
+//   pass 2  indexing (rules.cc:index_file): quoted #include directives
+//           with line numbers, and identifiers declared with
+//           std::unordered_{map,set} types.
+//   pass 3  include graph (include_graph.cc): the project-internal
+//           include DAG projected onto src/ modules, checked against
+//           the declared layering in tools/lint/layers.txt and
+//           asserted cycle-free.
+//   pass 4  rules (rules.cc): eleven rule families over the shared
+//           index; docs/STATIC_ANALYSIS.md carries the rationale per
+//           rule. A twelfth, unused-suppression, runs here in the
+//           driver after suppressions are applied.
 //
-//   deprecated-api       no calls to the removed PR 2 spellings
-//                        (run_all_tgas / run_tgas / 3-argument scan_hits)
-//                        anywhere — the wrappers are deleted, so any
-//                        match is dead code that will not compile.
-//   nondeterminism       no wall-clock or ambient-randomness sources in
-//                        src/ outside src/net/rng.h: rand/srand/
-//                        random_device/time()/system_clock and friends.
-//                        Results must be a pure function of the master
-//                        seed (steady_clock is allowed: it feeds timing
-//                        metrics, never outcomes).
-//   pragma-once          every header under src/ starts with
-//                        `#pragma once` (first non-comment line).
-//   telemetry-null-guard a `telemetry->` dereference must sit within a
-//                        few lines of a null check; `telemetry_->`
-//                        (trailing underscore: a member established
-//                        non-null at construction) is exempt.
-//   no-sleep             no wall-clock waits in src/: sleep_for/
-//                        sleep_until/usleep/nanosleep/sleep(). Retry and
-//                        backoff paths must charge a *virtual* clock
-//                        (RateLimiter::advance / ProbeTransport::advance)
-//                        so scans stay fast and deterministic.
-//   metric-name          metric/span name literals registered in src/
-//                        (counter/gauge/timer/histogram calls, Span
-//                        constructors) must stay in the project charset
-//                        [a-z0-9_.<>:] so trace paths, the report
-//                        analyzer's "tga:"/"/" splitting, and JSON keys
-//                        stay parseable and grep-stable.
-//   raw-thread           no std::thread/std::jthread/pthread_create in
-//                        src/ outside src/runtime/: every thread must go
-//                        through runtime::WorkerGroup or the ThreadPool,
-//                        which own join-on-scope-exit and exception
-//                        capture. A raw thread elsewhere can outlive the
-//                        state it borrows or swallow failures.
+// Inline suppressions: `// v6lint: allow(rule[, rule...])` suppresses
+// matching violations on its own line and the line directly below (for
+// the comment-on-its-own-line style). A suppression that suppresses
+// nothing is itself a violation, so stale allows fail lint_tree.
 //
 // Usage:
-//   v6lint <dir>...            scan trees; exit 1 if any rule fires
-//   v6lint --selftest <dir>    expect EVERY rule to fire at least once
-//                              in <dir> (the seeded-violation fixture);
-//                              exit 1 if any rule stays silent
-//
-// Matching runs on comment- and string-stripped text (so prose
-// mentioning run_all_tgas does not trip the linter) except pragma-once,
-// which inspects the raw header, and metric-name, which needs the string
-// literals themselves and runs on comment-stripped-only text.
+//   v6lint [flags] <dir|file>...
+//     --selftest        expect EVERY rule to fire at least once (the
+//                       seeded-violation fixture); exit 1 otherwise
+//     --format=json     machine-readable report on stdout (violations,
+//                       per-rule timing, wall time) for CI artifacts
+//     --stats           print the per-pass/per-rule timing table
+//     --jobs N          worker threads for the lex and rule passes
+//     --max-wall-ms N   exit 1 if the whole run exceeds N ms (the
+//                       check.sh --quick latency gate)
+//     --layers PATH     override the layering spec (default:
+//                       tools/lint/layers.txt, baked in at build time)
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <regex>
+#include <functional>
 #include <set>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
+
+#include "include_graph.h"
+#include "lexer.h"
+#include "rules.h"
 
 namespace {
 
 namespace fs = std::filesystem;
+using v6lint::FileIndex;
+using v6lint::LayerSpec;
+using v6lint::ModuleGraph;
+using v6lint::Suppression;
+using v6lint::Violation;
 
-struct Violation {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
+#ifndef V6LINT_LAYERS
+#define V6LINT_LAYERS "tools/lint/layers.txt"
+#endif
+
+struct Options {
+  bool selftest = false;
+  bool json = false;
+  bool stats = false;
+  unsigned jobs = 0;  // 0: pick from hardware_concurrency
+  long max_wall_ms = -1;
+  std::string layers_path = V6LINT_LAYERS;
+  std::vector<fs::path> roots;
 };
-
-/// Replaces comments, string literals, and char literals with spaces,
-/// preserving newlines so line numbers survive.
-std::string strip_comments_and_strings(const std::string& text) {
-  std::string out(text.size(), ' ');
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    if (c == '\n') {
-      out[i] = '\n';
-      if (state == State::kLineComment) state = State::kCode;
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          ++i;
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        } else {
-          out[i] = c;
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          ++i;
-        }
-        break;
-      case State::kString:
-        if (c == '\\') ++i;
-        else if (c == '"') state = State::kCode;
-        break;
-      case State::kChar:
-        if (c == '\\') ++i;
-        else if (c == '\'') state = State::kCode;
-        break;
-      case State::kLineComment:
-        break;
-    }
-  }
-  return out;
-}
-
-/// Like strip_comments_and_strings, but keeps string and char literals
-/// intact — the metric-name rule inspects the literals themselves.
-std::string strip_comments_only(const std::string& text) {
-  std::string out(text.size(), ' ');
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    if (c == '\n') {
-      out[i] = '\n';
-      if (state == State::kLineComment) state = State::kCode;
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          ++i;
-        } else {
-          if (c == '"') state = State::kString;
-          else if (c == '\'') state = State::kChar;
-          out[i] = c;
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          ++i;
-        }
-        break;
-      case State::kString:
-        out[i] = c;
-        if (c == '\\' && i + 1 < text.size()) {
-          out[i + 1] = next;
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        out[i] = c;
-        if (c == '\\' && i + 1 < text.size()) {
-          out[i + 1] = next;
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        }
-        break;
-      case State::kLineComment:
-        break;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string line;
-  std::istringstream in(text);
-  while (std::getline(in, line)) lines.push_back(line);
-  return lines;
-}
-
-/// Generic path (forward slashes) for suffix matching against repo-
-/// relative spellings like "src/net/rng.h".
-std::string generic_path(const fs::path& path) {
-  return path.generic_string();
-}
-
-bool has_suffix(const std::string& path, std::string_view suffix) {
-  if (path.size() < suffix.size()) return false;
-  if (path.size() == suffix.size()) return path == suffix;
-  return path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
-             0 &&
-         path[path.size() - suffix.size() - 1] == '/';
-}
-
-/// True when `path` has a directory component exactly equal to `name`.
-bool has_component(const fs::path& path, std::string_view name) {
-  for (const fs::path& part : path) {
-    if (part.string() == name) return true;
-  }
-  return false;
-}
-
-bool in_src(const fs::path& path) { return has_component(path, "src"); }
-
-// ---------------------------------------------------------------- rules
-
-/// deprecated-api: three generations of retired sweep spellings. The
-/// PR 2 positional wrappers are deleted outright; run_sweep(SweepSpec)
-/// is a [[deprecated]] forwarder whose only permitted spellings are its
-/// own declaration and definition in src/experiment/runner.{h,cc} —
-/// every caller belongs on the ScanSession builder.
-void check_deprecated_api(const std::string& file, const fs::path& path,
-                          const std::vector<std::string>& stripped,
-                          std::vector<Violation>& out) {
-  static const std::regex kPositional(R"(\b(run_all_tgas|run_tgas)\b)");
-  for (std::size_t i = 0; i < stripped.size(); ++i) {
-    if (std::regex_search(stripped[i], kPositional)) {
-      out.push_back({file, i + 1, "deprecated-api",
-                     "call to deprecated positional sweep API; use "
-                     "ScanSession(universe, alias_list).with_*(...).sweep()"});
-    }
-  }
-
-  const std::string generic = generic_path(path);
-  if (!has_suffix(generic, "src/experiment/runner.h") &&
-      !has_suffix(generic, "src/experiment/runner.cc")) {
-    static const std::regex kRunSweep(R"(\brun_sweep\s*\()");
-    for (std::size_t i = 0; i < stripped.size(); ++i) {
-      if (std::regex_search(stripped[i], kRunSweep)) {
-        out.push_back(
-            {file, i + 1, "deprecated-api",
-             "run_sweep(SweepSpec) is a deprecated forwarder; use "
-             "ScanSession(universe, alias_list).with_*(...).sweep()"});
-      }
-    }
-  }
-
-  // The deprecated scan_hits spelling is the 3-argument out-param
-  // overload; count top-level commas inside the call parentheses.
-  const std::string joined = [&] {
-    std::string s;
-    for (const auto& line : stripped) {
-      s += line;
-      s += '\n';
-    }
-    return s;
-  }();
-  static const std::regex kScanHits(R"(\bscan_hits\s*\()");
-  for (auto it = std::sregex_iterator(joined.begin(), joined.end(), kScanHits);
-       it != std::sregex_iterator(); ++it) {
-    std::size_t pos = static_cast<std::size_t>(it->position()) + it->length();
-    int depth = 1;
-    int commas = 0;
-    while (pos < joined.size() && depth > 0) {
-      const char c = joined[pos];
-      if (c == '(' || c == '[' || c == '{') ++depth;
-      else if (c == ')' || c == ']' || c == '}') --depth;
-      else if (c == ',' && depth == 1) ++commas;
-      ++pos;
-    }
-    if (commas >= 2) {
-      const std::size_t line =
-          1 + static_cast<std::size_t>(
-                  std::count(joined.begin(),
-                             joined.begin() + it->position(), '\n'));
-      out.push_back({file, line, "deprecated-api",
-                     "3-argument scan_hits is the deprecated ScanStats* "
-                     "out-param overload; use scan_hits(targets, type)"});
-    }
-  }
-}
-
-/// nondeterminism: everything downstream of a seed must be reproducible;
-/// ambient entropy or wall-clock reads in src/ (outside the one blessed
-/// RNG header) silently break the parallel==sequential equivalence the
-/// runner promises.
-void check_nondeterminism(const std::string& file, const fs::path& path,
-                          const std::vector<std::string>& stripped,
-                          std::vector<Violation>& out) {
-  if (!in_src(path)) return;
-  if (has_suffix(generic_path(path), "src/net/rng.h")) return;
-
-  static const std::regex kBanned(
-      R"(\b(srand|random_device|drand48|lrand48|mrand48|rand_r|getpid)\b)"
-      R"(|\b(rand|time|clock)\s*\()"
-      R"(|\b(system_clock|high_resolution_clock)\b)");
-  for (std::size_t i = 0; i < stripped.size(); ++i) {
-    if (std::regex_search(stripped[i], kBanned)) {
-      out.push_back({file, i + 1, "nondeterminism",
-                     "ambient randomness / wall-clock source; derive it "
-                     "from the master seed via net/rng.h instead"});
-    }
-  }
-}
-
-/// pragma-once: headers must open with `#pragma once` (after comments),
-/// the include-guard style the whole tree uses.
-void check_pragma_once(const std::string& file, const fs::path& path,
-                       const std::string& raw, std::vector<Violation>& out) {
-  if (!in_src(path) || path.extension() != ".h") return;
-  const std::string stripped = strip_comments_and_strings(raw);
-  std::istringstream in(stripped);
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    const auto first = line.find_first_not_of(" \t");
-    if (first == std::string::npos) continue;
-    if (line.compare(first, 12, "#pragma once") == 0) return;
-    out.push_back({file, lineno, "pragma-once",
-                   "header's first non-comment line must be #pragma once"});
-    return;
-  }
-  out.push_back(
-      {file, 1, "pragma-once", "header is missing #pragma once"});
-}
-
-/// telemetry-null-guard: a `Telemetry*` is nullable by API contract
-/// everywhere (docs/OBSERVABILITY.md); dereferences must sit near an
-/// explicit null check. Members spelled `telemetry_` are established
-/// non-null at construction and exempt. The window is a heuristic wide
-/// enough for the guarded-block idiom the tree uses.
-void check_telemetry_guard(const std::string& file, const fs::path& path,
-                           const std::vector<std::string>& stripped,
-                           std::vector<Violation>& out) {
-  if (!in_src(path)) return;
-  constexpr std::size_t kWindow = 15;
-  static const std::regex kDeref(R"((^|[^_\w])telemetry->)");
-  static const std::regex kGuard(
-      R"(telemetry\s*(!=|==)\s*nullptr|if\s*\(\s*telemetry\s*\)|telemetry\s*\?)");
-  for (std::size_t i = 0; i < stripped.size(); ++i) {
-    if (!std::regex_search(stripped[i], kDeref)) continue;
-    bool guarded = false;
-    const std::size_t start = i >= kWindow ? i - kWindow : 0;
-    for (std::size_t j = start; j <= i && !guarded; ++j) {
-      guarded = std::regex_search(stripped[j], kGuard);
-    }
-    if (!guarded) {
-      out.push_back({file, i + 1, "telemetry-null-guard",
-                     "Telemetry* is nullable by contract; null-check it "
-                     "before dereferencing (or hold a telemetry_ member "
-                     "established non-null at construction)"});
-    }
-  }
-}
-
-/// no-sleep: the scanner's retry/backoff machinery accounts waits on a
-/// virtual clock; a real sleep in src/ would couple scan outcomes (and
-/// test wall time) to the host scheduler. Blocking waits belong only in
-/// tools/ and tests/, never in the library.
-void check_no_sleep(const std::string& file, const fs::path& path,
-                    const std::vector<std::string>& stripped,
-                    std::vector<Violation>& out) {
-  if (!in_src(path)) return;
-  static const std::regex kBanned(
-      R"(\b(sleep_for|sleep_until|usleep|nanosleep|sleep)\s*\()");
-  for (std::size_t i = 0; i < stripped.size(); ++i) {
-    if (std::regex_search(stripped[i], kBanned)) {
-      out.push_back({file, i + 1, "no-sleep",
-                     "wall-clock wait in the library; charge virtual time "
-                     "(RateLimiter::advance / ProbeTransport::advance) "
-                     "instead"});
-    }
-  }
-}
-
-/// metric-name: every name the observability layer registers becomes a
-/// trace path segment, a JSON object key, and a grep target; spaces,
-/// uppercase, or punctuation outside [a-z0-9_.<>:] would break the
-/// report analyzer's "tga:NAME/phase" splitting and make dashboards
-/// unstable. Checks the *literal* first argument of registration calls
-/// and Span constructors in src/ (runtime-composed names inherit the
-/// charset from their literal parts).
-void check_metric_name(const std::string& file, const fs::path& path,
-                       const std::vector<std::string>& with_strings,
-                       std::vector<Violation>& out) {
-  if (!in_src(path)) return;
-  static const std::regex kRegistration(
-      R"rx(\b(?:counter|gauge|timer|histogram)\s*\(\s*"([^"]*)")rx"
-      R"rx(|\bSpan\s+\w+\s*\([^()"]*"([^"]*)")rx");
-  const auto valid = [](char c) {
-    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
-           c == '.' || c == '<' || c == '>' || c == ':';
-  };
-  for (std::size_t i = 0; i < with_strings.size(); ++i) {
-    const std::string& line = with_strings[i];
-    for (auto it = std::sregex_iterator(line.begin(), line.end(),
-                                        kRegistration);
-         it != std::sregex_iterator(); ++it) {
-      const std::string name =
-          (*it)[1].matched ? (*it)[1].str() : (*it)[2].str();
-      if (!std::all_of(name.begin(), name.end(), valid)) {
-        out.push_back({file, i + 1, "metric-name",
-                       "metric/span name '" + name +
-                           "' leaves the [a-z0-9_.<>:] charset; names "
-                           "become trace paths and JSON keys "
-                           "(docs/OBSERVABILITY.md)"});
-      }
-    }
-  }
-}
-
-/// raw-thread: thread lifetime and failure propagation are runtime/'s
-/// job (WorkerGroup joins on scope exit and rethrows captured
-/// exceptions; ThreadPool owns its workers). A bare std::thread anywhere
-/// else in the library re-solves both problems badly, so the spawn
-/// primitives are confined to src/runtime/.
-void check_raw_thread(const std::string& file, const fs::path& path,
-                      const std::vector<std::string>& stripped,
-                      std::vector<Violation>& out) {
-  if (!in_src(path) || has_component(path, "runtime")) return;
-  static const std::regex kBanned(
-      R"(\bstd\s*::\s*j?thread\b|\bpthread_create\b)");
-  for (std::size_t i = 0; i < stripped.size(); ++i) {
-    if (std::regex_search(stripped[i], kBanned)) {
-      out.push_back({file, i + 1, "raw-thread",
-                     "raw thread spawn outside src/runtime/; use "
-                     "runtime::WorkerGroup or the ThreadPool"});
-    }
-  }
-}
-
-/// hitlist-mutation: HitlistStore epochs are immutable and publication
-/// is the service's job (src/service/hitlist_store.h). The only code
-/// allowed to spell the mutation pair begin_epoch()/publish_epoch() is
-/// src/service/ itself; library code elsewhere reads snapshots. Tests
-/// and benches exercise the writer path deliberately, so the rule is
-/// confined to src/.
-void check_hitlist_mutation(const std::string& file, const fs::path& path,
-                            const std::vector<std::string>& stripped,
-                            std::vector<Violation>& out) {
-  if (!in_src(path) || has_component(path, "service")) return;
-  static const std::regex kMutation(R"(\b(begin_epoch|publish_epoch)\s*\()");
-  for (std::size_t i = 0; i < stripped.size(); ++i) {
-    if (std::regex_search(stripped[i], kMutation)) {
-      out.push_back({file, i + 1, "hitlist-mutation",
-                     "HitlistStore epoch mutation outside src/service/; "
-                     "publication belongs to the service refresh loop — "
-                     "read snapshots instead"});
-    }
-  }
-}
-
-const char* const kAllRules[] = {"deprecated-api", "nondeterminism",
-                                 "pragma-once", "telemetry-null-guard",
-                                 "no-sleep", "metric-name", "raw-thread",
-                                 "hitlist-mutation"};
 
 bool lintable(const fs::path& path) {
   const auto ext = path.extension();
@@ -465,62 +84,124 @@ bool lintable(const fs::path& path) {
 
 bool skip_dir(const fs::path& path) {
   const std::string name = path.filename().string();
-  return name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.');
+  return name.rfind("build", 0) == 0 || name.rfind("testdata", 0) == 0 ||
+         (!name.empty() && name[0] == '.');
 }
 
-void lint_file(const fs::path& path, std::vector<Violation>& out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    out.push_back({path.string(), 0, "io", "cannot open file"});
+/// True when `path` has a directory component starting with `prefix`.
+bool has_component_prefix(const fs::path& path, std::string_view prefix) {
+  for (const fs::path& part : path) {
+    if (part.string().rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Runs `fn(i)` for i in [0, n) across `jobs` threads. Deterministic
+/// output is the caller's job (each i owns its own result slot).
+void parallel_for(std::size_t n, unsigned jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string raw = std::move(buffer).str();
-  const std::vector<std::string> stripped =
-      split_lines(strip_comments_and_strings(raw));
-  const std::vector<std::string> with_strings =
-      split_lines(strip_comments_only(raw));
-  const std::string file = path.string();
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  const unsigned count = std::min<std::size_t>(jobs, n);
+  workers.reserve(count);
+  for (unsigned w = 0; w < count; ++w) {
+    workers.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+}
 
-  check_deprecated_api(file, path, stripped, out);
-  check_nondeterminism(file, path, stripped, out);
-  check_pragma_once(file, path, raw, out);
-  check_telemetry_guard(file, path, stripped, out);
-  check_no_sleep(file, path, stripped, out);
-  check_metric_name(file, path, with_strings, out);
-  check_raw_thread(file, path, stripped, out);
-  check_hitlist_mutation(file, path, stripped, out);
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool selftest = false;
-  std::vector<fs::path> roots;
+  const auto t0 = std::chrono::steady_clock::now();
+  Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--selftest") {
-      selftest = true;
+      opt.selftest = true;
+    } else if (arg == "--stats") {
+      opt.stats = true;
+    } else if (arg == "--format=json") {
+      opt.json = true;
+    } else if (arg == "--format=text") {
+      opt.json = false;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      opt.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      opt.jobs = static_cast<unsigned>(std::atoi(arg.data() + 7));
+    } else if (arg == "--max-wall-ms" && i + 1 < argc) {
+      opt.max_wall_ms = std::atol(argv[++i]);
+    } else if (arg.rfind("--max-wall-ms=", 0) == 0) {
+      opt.max_wall_ms = std::atol(arg.data() + 14);
+    } else if (arg == "--layers" && i + 1 < argc) {
+      opt.layers_path = argv[++i];
+    } else if (arg.rfind("--layers=", 0) == 0) {
+      opt.layers_path = std::string(arg.substr(9));
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: v6lint [--selftest] <dir|file>...\n");
+      std::printf(
+          "usage: v6lint [--selftest] [--format=json] [--stats] [--jobs N]\n"
+          "              [--max-wall-ms N] [--layers PATH] <dir|file>...\n");
       return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "v6lint: unknown flag '%s' (try --help)\n",
+                   argv[i]);
+      return 2;
     } else {
-      roots.emplace_back(arg);
+      opt.roots.emplace_back(arg);
     }
   }
-  if (roots.empty()) {
+  if (opt.roots.empty()) {
     std::fprintf(stderr, "v6lint: no paths given (try --help)\n");
     return 2;
   }
+  if (opt.jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    opt.jobs = hw == 0 ? 1 : std::min(hw, 8u);
+  }
 
-  std::vector<Violation> violations;
-  std::size_t files = 0;
-  for (const fs::path& root : roots) {
+  // ---- collect files -----------------------------------------------------
+  std::vector<fs::path> paths;
+  for (const fs::path& root : opt.roots) {
     std::error_code ec;
     if (fs::is_regular_file(root, ec)) {
-      ++files;
-      lint_file(root, violations);
+      paths.push_back(root);
       continue;
     }
     if (!fs::is_directory(root, ec)) {
@@ -528,47 +209,260 @@ int main(int argc, char** argv) {
                    root.string().c_str());
       return 2;
     }
-    // The seeded-violation fixture is skipped on tree scans but linted
-    // when named as a root (the selftest and WILL_FAIL ctests).
-    const bool root_is_fixture = has_component(root, "testdata");
+    // The seeded-violation fixtures are skipped on tree scans but
+    // linted when named as a root (the selftest and WILL_FAIL ctests).
+    const bool root_is_fixture = has_component_prefix(root, "testdata");
     for (auto it = fs::recursive_directory_iterator(root, ec);
          it != fs::recursive_directory_iterator(); ++it) {
-      if (it->is_directory() && skip_dir(it->path())) {
-        it.disable_recursion_pending();
-        continue;
+      if (it->is_directory()) {
+        const std::string name = it->path().filename().string();
+        const bool is_fixture_dir = name.rfind("testdata", 0) == 0;
+        if (skip_dir(it->path()) && !(root_is_fixture && is_fixture_dir)) {
+          it.disable_recursion_pending();
+          continue;
+        }
       }
-      if (!root_is_fixture && has_component(it->path(), "testdata")) continue;
       if (it->is_regular_file() && lintable(it->path())) {
-        ++files;
-        lint_file(it->path(), violations);
+        paths.push_back(it->path());
       }
     }
   }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
+  // ---- pass 1+2: lex and index (parallel) --------------------------------
+  const auto t_lex = std::chrono::steady_clock::now();
+  std::vector<FileIndex> files(paths.size());
+  std::atomic<bool> io_error{false};
+  parallel_for(paths.size(), opt.jobs, [&](std::size_t i) {
+    FileIndex& fi = files[i];
+    fi.path = paths[i];
+    fi.file = paths[i].string();
+    fi.generic = paths[i].generic_string();
+    fi.module = v6lint::module_of_path(fi.generic);
+    fi.in_src = v6lint::src_relative_of_path(fi.generic) != "";
+    std::ifstream in(paths[i], std::ios::binary);
+    if (!in) {
+      io_error.store(true);
+      return;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    fi.lx = v6lint::lex(std::move(buffer).str());
+    v6lint::index_file(fi);
+  });
+  if (io_error.load()) {
+    std::fprintf(stderr, "v6lint: cannot open an input file\n");
+    return 2;
+  }
+  const double lex_ms = ms_since(t_lex);
+
+  // ---- pass 3: project index + layering spec -----------------------------
+  v6lint::ProjectIndex project;
+  project.files = &files;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::string rel = v6lint::src_relative_of_path(files[i].generic);
+    if (!rel.empty()) project.by_src_relative.emplace(rel, i);
+  }
+
+  LayerSpec layers;
+  {
+    std::ifstream in(opt.layers_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "v6lint: cannot open layering spec: %s\n",
+                   opt.layers_path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    const auto parsed = LayerSpec::parse(std::move(buffer).str(), error);
+    if (!parsed) {
+      std::fprintf(stderr, "v6lint: %s\n", error.c_str());
+      return 2;
+    }
+    layers = *parsed;
+  }
+  project.layers = &layers;
+
+  // ---- pass 4: rules (parallel, per-rule timing) -------------------------
+  const std::vector<v6lint::Rule>& rules = v6lint::all_rules();
+  std::vector<std::atomic<long long>> rule_ns(rules.size());
+  for (auto& ns : rule_ns) ns.store(0);
+  std::vector<std::vector<Violation>> per_file(files.size());
+  parallel_for(files.size(), opt.jobs, [&](std::size_t i) {
+    const v6lint::RuleContext ctx{files[i], project};
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      const auto rt0 = std::chrono::steady_clock::now();
+      rules[r].fn(ctx, per_file[i]);
+      rule_ns[r].fetch_add(std::chrono::nanoseconds(
+                               std::chrono::steady_clock::now() - rt0)
+                               .count(),
+                           std::memory_order_relaxed);
+    }
+  });
+
+  // The observed module-level include graph must stay cycle-free even
+  // where every individual edge is declared (layers.txt itself is
+  // validated as a DAG at load; this asserts the *tree* as scanned).
+  std::vector<Violation> project_violations;
+  {
+    ModuleGraph observed;
+    for (const FileIndex& fi : files) {
+      if (!fi.in_src || fi.module.empty()) continue;
+      for (const v6lint::IncludeRef& inc : fi.includes) {
+        const std::string to = v6lint::module_of_include(inc.target);
+        if (!to.empty() &&
+            (layers.declared(to) ||
+             project.by_src_relative.count(inc.target) != 0)) {
+          observed.add_edge(fi.module, to);
+        }
+      }
+    }
+    const std::vector<std::string> cycle = observed.find_cycle();
+    if (!cycle.empty()) {
+      std::string path;
+      for (std::size_t i = 0; i < cycle.size(); ++i) {
+        path += (i ? " -> " : "") + cycle[i];
+      }
+      project_violations.push_back(
+          {opt.layers_path, 0, "layering",
+           "observed include graph has a module cycle: " + path});
+    }
+  }
+
+  // ---- suppressions ------------------------------------------------------
+  std::vector<Violation> violations;
+  std::size_t suppressed = 0;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::vector<Suppression>& sup = files[i].lx.suppressions;
+    std::vector<bool> used(sup.size(), false);
+    for (Violation& v : per_file[i]) {
+      bool drop = false;
+      for (std::size_t s = 0; s < sup.size(); ++s) {
+        if (sup[s].rule == v.rule &&
+            (sup[s].line == v.line || sup[s].line + 1 == v.line)) {
+          used[s] = true;
+          drop = true;
+        }
+      }
+      if (drop) ++suppressed;
+      else violations.push_back(std::move(v));
+    }
+    for (std::size_t s = 0; s < sup.size(); ++s) {
+      if (!used[s]) {
+        violations.push_back(
+            {files[i].file, sup[s].line, v6lint::kUnusedSuppressionRule,
+             "suppression 'v6lint: allow(" + sup[s].rule +
+                 ")' matches no violation; delete the stale allow"});
+      }
+    }
+  }
+  violations.insert(violations.end(), project_violations.begin(),
+                    project_violations.end());
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+
+  const double wall_ms = ms_since(t0);
+  const bool over_budget = opt.max_wall_ms >= 0 &&
+                           wall_ms > static_cast<double>(opt.max_wall_ms);
+
+  // ---- output ------------------------------------------------------------
+  std::vector<std::size_t> rule_hits(rules.size(), 0);
   for (const Violation& v : violations) {
-    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      if (v.rule == rules[r].name) ++rule_hits[r];
+    }
+  }
+
+  if (opt.json) {
+    std::string out = "{\n";
+    out += "  \"files\": " + std::to_string(files.size()) + ",\n";
+    out += "  \"suppressed\": " + std::to_string(suppressed) + ",\n";
+    out += "  \"violations\": [\n";
+    for (std::size_t i = 0; i < violations.size(); ++i) {
+      const Violation& v = violations[i];
+      out += "    {\"file\": \"" + json_escape(v.file) + "\", \"line\": " +
+             std::to_string(v.line) + ", \"rule\": \"" + json_escape(v.rule) +
+             "\", \"message\": \"" + json_escape(v.message) + "\"}";
+      out += i + 1 < violations.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+    out += "  \"stats\": {\n";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.1f", wall_ms);
+    out += "    \"wall_ms\": " + std::string(buf) + ",\n";
+    std::snprintf(buf, sizeof buf, "%.1f", lex_ms);
+    out += "    \"lex_ms\": " + std::string(buf) + ",\n";
+    out += "    \"jobs\": " + std::to_string(opt.jobs) + ",\n";
+    if (opt.max_wall_ms >= 0) {
+      out += "    \"max_wall_ms\": " + std::to_string(opt.max_wall_ms) + ",\n";
+    }
+    out += "    \"rules\": [\n";
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      std::snprintf(buf, sizeof buf, "%.2f",
+                    static_cast<double>(rule_ns[r].load()) / 1e6);
+      out += "      {\"rule\": \"" + std::string(rules[r].name) +
+             "\", \"ms\": " + buf +
+             ", \"violations\": " + std::to_string(rule_hits[r]) + "}";
+      out += r + 1 < rules.size() ? ",\n" : "\n";
+    }
+    out += "    ]\n  },\n";
+    out += std::string("  \"clean\": ") +
+           (violations.empty() && !over_budget ? "true" : "false") + "\n}\n";
+    std::fputs(out.c_str(), stdout);
+  }
+
+  // GCC diagnostic format (file:line: rule: message) so editors and CI
+  // log scrapers link straight to the offending line.
+  for (const Violation& v : violations) {
+    std::fprintf(stderr, "%s:%zu: %s: %s\n", v.file.c_str(), v.line,
                  v.rule.c_str(), v.message.c_str());
   }
 
-  if (selftest) {
+  if (opt.stats && !opt.json) {
+    std::fprintf(stderr,
+                 "v6lint: stats: wall %.1f ms, lex %.1f ms, %u jobs\n",
+                 wall_ms, lex_ms, opt.jobs);
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      std::fprintf(stderr, "v6lint: stats:   %-22s %8.2f ms %6zu violations\n",
+                   rules[r].name,
+                   static_cast<double>(rule_ns[r].load()) / 1e6,
+                   rule_hits[r]);
+    }
+  }
+
+  if (over_budget) {
+    std::fprintf(stderr,
+                 "v6lint: wall time %.1f ms exceeds --max-wall-ms %ld\n",
+                 wall_ms, opt.max_wall_ms);
+  }
+
+  if (opt.selftest) {
     // The fixture must make every rule fire: a rule that cannot detect
     // its own seeded violation is dead code, not a guarantee.
     std::set<std::string> fired;
     for (const Violation& v : violations) fired.insert(v.rule);
     bool ok = true;
-    for (const char* rule : kAllRules) {
+    for (const std::string& rule : v6lint::all_rule_names()) {
       if (fired.count(rule) == 0) {
         std::fprintf(stderr, "v6lint: selftest: rule '%s' never fired\n",
-                     rule);
+                     rule.c_str());
         ok = false;
       }
     }
     std::fprintf(stderr, "v6lint: selftest %s (%zu files, %zu violations)\n",
-                 ok ? "ok" : "FAILED", files, violations.size());
+                 ok ? "ok" : "FAILED", files.size(), violations.size());
     return ok ? 0 : 1;
   }
 
-  std::fprintf(stderr, "v6lint: %zu files, %zu violations\n", files,
-               violations.size());
-  return violations.empty() ? 0 : 1;
+  std::fprintf(stderr,
+               "v6lint: %zu files, %zu violations, %zu suppressed\n",
+               files.size(), violations.size(), suppressed);
+  return violations.empty() && !over_budget ? 0 : 1;
 }

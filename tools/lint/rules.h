@@ -1,0 +1,79 @@
+#pragma once
+// v6lint rule framework. Every rule consumes the shared per-file index
+// built by the lexer pass (lexer.h) and, for the project-scoped rules
+// (layering, unordered-iteration), the cross-file ProjectIndex built
+// from the include-graph pass (include_graph.h). Rules never re-strip
+// text or re-read files.
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "include_graph.h"
+#include "lexer.h"
+
+namespace v6lint {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct IncludeRef {
+  std::size_t line = 0;  // 1-based
+  std::string target;    // as written: "fault/fault_plan.h"
+};
+
+/// Everything the rule passes know about one file, computed once.
+struct FileIndex {
+  std::filesystem::path path;
+  std::string file;     // printable path (as given on the command line)
+  std::string generic;  // forward-slash path for suffix matching
+  std::string module;   // src/ module ("" outside src/<module>/)
+  bool in_src = false;
+  bool is_header = false;
+  LexedFile lx;
+  std::vector<IncludeRef> includes;  // quoted includes only
+  /// Identifiers declared in this file with std::unordered_{map,set}
+  /// type (locals, members, parameters) — hash-ordered containers whose
+  /// iteration order is not a function of the master seed.
+  std::vector<std::string> unordered_names;
+};
+
+/// Cross-file state shared by the project-scoped rules.
+struct ProjectIndex {
+  /// src-relative path ("probe/scanner.h") -> index into `files`.
+  std::map<std::string, std::size_t> by_src_relative;
+  std::vector<FileIndex>* files = nullptr;
+  const LayerSpec* layers = nullptr;
+};
+
+/// Populates FileIndex::includes and FileIndex::unordered_names from
+/// the lexed views (the non-lexer half of the indexing pass).
+void index_file(FileIndex& fi);
+
+struct RuleContext {
+  const FileIndex& file;
+  const ProjectIndex& project;
+};
+
+using RuleFn = void (*)(const RuleContext&, std::vector<Violation>&);
+
+struct Rule {
+  const char* name;
+  RuleFn fn;
+};
+
+/// All registered rules, in reporting order. `unused-suppression` is
+/// driver-side (it needs the post-suppression violation set) and is not
+/// in this table; kAllRuleNames includes it.
+const std::vector<Rule>& all_rules();
+const std::vector<std::string>& all_rule_names();
+
+inline const char* kUnusedSuppressionRule = "unused-suppression";
+
+}  // namespace v6lint

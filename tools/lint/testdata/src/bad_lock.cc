@@ -1,0 +1,21 @@
+// Lint fixture: seeded `lock-discipline` violations — bare
+// .lock()/.unlock() on a mutex outside src/runtime/. An early return
+// or exception between the pair leaks a held lock; library code holds
+// mutexes through RAII guards only. Never compiled — scanned by
+// lint_selftest / lint_fixture_fails.
+#include <mutex>
+
+namespace v6::fixture {
+
+std::mutex mu;
+int counter = 0;
+
+int manual_lock_pair(bool fail_early) {
+  mu.lock();  // violation: bare lock outside src/runtime/
+  if (fail_early) return -1;  // ... and this path leaks the mutex
+  const int v = ++counter;
+  mu.unlock();  // violation: bare unlock outside src/runtime/
+  return v;
+}
+
+}  // namespace v6::fixture

@@ -1,0 +1,12 @@
+// Lint fixture: seeded `unused-suppression` violation — an inline
+// allow that suppresses nothing. Stale allows rot into silent holes in
+// the rule set, so v6lint makes them failures in their own right.
+// Never compiled — scanned by lint_selftest / lint_fixture_fails.
+
+namespace v6::fixture {
+
+// v6lint: allow(no-sleep)  <- violation: nothing on this line or the
+// next triggers no-sleep, so the suppression is stale.
+int perfectly_sleepless() { return 42; }
+
+}  // namespace v6::fixture

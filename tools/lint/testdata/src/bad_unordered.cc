@@ -1,0 +1,30 @@
+// Lint fixture: seeded `unordered-iteration` violations — loops whose
+// visit order is libstdc++ hash order, not a function of the master
+// seed. Exactly the shape that silently breaks bit-identical scan
+// output. Never compiled — scanned by lint_selftest /
+// lint_fixture_fails.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace v6::fixture {
+
+std::uint64_t emit(std::uint64_t addr);
+
+void emit_in_hash_order(const std::vector<std::uint64_t>& seeds) {
+  std::unordered_map<std::uint64_t, std::uint32_t> hits;
+  for (const std::uint64_t s : seeds) ++hits[s];  // fine: vector order
+
+  for (const auto& [addr, count] : hits) {  // violation: hash order
+    emit(addr);
+  }
+}
+
+void iterator_loop_in_hash_order(const std::unordered_set<std::uint64_t>& s) {
+  for (auto it = s.begin(); it != s.end(); ++it) {  // violation: hash order
+    emit(*it);
+  }
+}
+
+}  // namespace v6::fixture

@@ -1,0 +1,13 @@
+// Lint fixture: the other half of the seeded layering pair — a
+// back-edge from a foundation module (net) into the service layer at
+// the top of the DAG. Any such edge would make the architecture
+// cyclic; the layering pass must reject it.
+// Never compiled — scanned by lint_selftest / lint_fixture_fails.
+#include "service/hitlist_store.h"  // violation: edge net -> service
+#include "check/contracts.h"        // fine: net -> check is declared
+
+namespace v6::fixture {
+
+int foundation_calling_upward() { return 0; }
+
+}  // namespace v6::fixture

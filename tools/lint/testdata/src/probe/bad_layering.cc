@@ -1,0 +1,14 @@
+// Lint fixture: seeded `layering` violation — a src/probe file reaching
+// into src/fault. The declared DAG in tools/lint/layers.txt has no
+// probe -> fault edge (the fault plane wraps probe's transport from
+// above; the scanner must never know which faults are injected), so
+// this include must fail lint_tree with a report naming the edge.
+// Never compiled — scanned by lint_selftest / lint_fixture_fails.
+#include "fault/fault_plan.h"  // violation: edge probe -> fault
+#include "net/ipv6.h"          // fine: probe -> net is declared
+
+namespace v6::fixture {
+
+int probe_peeking_at_faults() { return 0; }
+
+}  // namespace v6::fixture
