@@ -1,0 +1,253 @@
+// Memory/throughput scaling curve of the procedural universe
+// (docs/SCALE.md): builds the default 2,500-AS universe at host_scale
+// 1 / 12 / 140 (~1M / ~12M / ~140M hosts), measures build wall time,
+// full-enumeration wall time, probe throughput, and resident set size
+// at each point, and writes the curve to BENCH_scale.json.
+//
+// The bench is exit-code-gated on the paper-level claim: the top scale
+// must hold at least 100M hosts, at least 100x the base population,
+// inside roughly flat memory (RSS within 2x of the base build — the
+// footprint is the routing table, not the hosts). A materialized
+// universe at the top scale would need tens of GB; the procedural one
+// stays in the tens of MB.
+//
+// Modes:
+//   bench_scale                  full curve, 100M+ gate (committed run)
+//   bench_scale --smoke          1M vs 12M, RSS + equivalence gates only
+//                                (the `bench_scale_smoke` ctest)
+// The optional budget argument sets the probe-workload size per scale.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/rng.h"
+#include "simnet/universe.h"
+#include "simnet/universe_builder.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using v6::net::Ipv6Addr;
+using v6::net::ProbeType;
+using v6::simnet::Universe;
+using v6::simnet::UniverseBuilder;
+using v6::simnet::UniverseConfig;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Current resident set in MiB from /proc/self/status (VmRSS). Returns
+/// 0 when the file is unavailable (non-Linux), which disables the
+/// memory gates rather than failing them.
+double rss_mib() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      double kb = 0.0;
+      fields >> kb;
+      return kb / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+struct ScalePoint {
+  double host_scale = 1.0;
+  double build_seconds = 0.0;
+  double enumerate_seconds = 0.0;
+  double probe_seconds = 0.0;
+  std::uint64_t hosts = 0;
+  std::uint64_t active_any = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t positive = 0;
+  double rss_after_mib = 0.0;
+};
+
+UniverseConfig config_at(double host_scale) {
+  UniverseConfig config;  // default: 2,500 ASes, the paper-scale analogue
+  config.seed = 42;
+  config.host_scale = host_scale;
+  config.procedural = true;
+  return config;
+}
+
+/// Builds one scale point, runs the counting enumeration and a random
+/// probe workload, and releases the universe before returning so each
+/// point's RSS reading reflects steady state, not accumulation.
+ScalePoint measure(double host_scale, std::uint64_t probe_budget) {
+  ScalePoint point;
+  point.host_scale = host_scale;
+
+  const Clock::time_point build_start = Clock::now();
+  const Universe universe = UniverseBuilder::build(config_at(host_scale));
+  point.build_seconds = seconds_since(build_start);
+
+  // Two full enumerations, each O(hosts) time in O(1) memory — the
+  // passes that would OOM a materialized build at the top scale: the
+  // counting pass (host_count/active caches), then a sampling pass that
+  // keeps every k-th host address so the probe workload below can mix
+  // real hits with misses.
+  const Clock::time_point enum_start = Clock::now();
+  point.hosts = universe.host_count();
+  point.active_any = universe.active_host_count_any();
+  std::vector<Ipv6Addr> pool;
+  const std::uint64_t stride = point.hosts / 32'768 + 1;
+  std::uint64_t ordinal = 0;
+  universe.for_each_host([&](const v6::simnet::HostRecord& host) {
+    if (ordinal++ % stride == 0) pool.push_back(host.addr);
+  });
+  point.enumerate_seconds = seconds_since(enum_start);
+
+  // Probe workload: the O(1) lookup hot path, with per-probe stateless
+  // engines exactly as the streaming scanner keys them. Even probes are
+  // scanner-realistic misses (random addresses in announced space); odd
+  // probes replay sampled real hosts so the full site derivation and
+  // reply model run too.
+  const auto& announcements = universe.routes().announcements();
+  v6::net::Rng rng = v6::net::make_rng(42, /*tag=*/0x5CA1E);
+  const Clock::time_point probe_start = Clock::now();
+  for (std::uint64_t i = 0; i < probe_budget; ++i) {
+    Ipv6Addr addr;
+    if (i % 2 == 0 || pool.empty()) {
+      const auto& [prefix, asn] = announcements[v6::net::uniform_int<
+          std::size_t>(rng, 0, announcements.size() - 1)];
+      (void)asn;
+      addr = v6::net::random_in_prefix(rng, prefix);
+    } else {
+      addr = pool[v6::net::uniform_int<std::size_t>(rng, 0,
+                                                    pool.size() - 1)];
+    }
+    v6::net::SplitMixRng probe_rng(
+        v6::net::splitmix64(addr.hi() ^ addr.lo() ^ 42));
+    const ProbeType type =
+        v6::net::kAllProbeTypes[i % v6::net::kAllProbeTypes.size()];
+    const v6::net::ProbeReply reply = universe.probe(addr, type, probe_rng);
+    ++point.probes;
+    if (v6::net::is_hit(type, reply)) ++point.positive;
+  }
+  point.probe_seconds = seconds_since(probe_start);
+  point.rss_after_mib = rss_mib();
+  return point;
+}
+
+/// Smoke-mode correctness anchor: the procedural build and its
+/// materialized twin agree on population and spot lookups (the full
+/// battery lives in tests/simnet/procedural_equivalence_test.cc).
+bool equivalence_spot_check() {
+  UniverseConfig config = config_at(0.05);
+  config.num_ases = 150;
+  const Universe proc = UniverseBuilder::build(config);
+  const Universe mat = UniverseBuilder::materialize(config);
+  if (proc.host_count() != mat.host_count() ||
+      proc.active_host_count_any() != mat.active_host_count_any()) {
+    std::cerr << "FAIL: procedural/materialized population mismatch\n";
+    return false;
+  }
+  std::size_t mismatches = 0;
+  mat.for_each_host([&](const v6::simnet::HostRecord& expected) {
+    v6::simnet::HostRecord got;
+    if (!proc.lookup_host(expected.addr, got) ||
+        got.services != expected.services || got.kind != expected.kind) {
+      ++mismatches;
+    }
+  });
+  if (mismatches != 0) {
+    std::cerr << "FAIL: " << mismatches << " lookup mismatches\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const v6::bench::BenchArgs args =
+      v6::bench::parse_args(argc, argv, /*fallback_budget=*/2'000'000);
+  const std::uint64_t probe_budget = args.smoke ? 100'000 : args.budget;
+
+  // host_scale 1 ~= the legacy 1M-host default; 12 ~= 12M; 140 clears
+  // 100M responsive-slot hosts with the default 2,500-AS topology.
+  std::vector<double> scales = {1.0, 12.0};
+  if (!args.smoke) scales.push_back(140.0);
+
+  v6::bench::BenchTimer timer("scale", args);
+  std::vector<ScalePoint> points;
+  for (const double scale : scales) {
+    ScalePoint point = measure(scale, probe_budget);
+    points.push_back(point);
+    const double pps =
+        point.probe_seconds > 0
+            ? static_cast<double>(point.probes) / point.probe_seconds
+            : 0.0;
+    timer.record_samples(
+        "scale_" + std::to_string(static_cast<int>(scale)),
+        {point.build_seconds},
+        {{"host_scale", scale},
+         {"hosts", static_cast<double>(point.hosts)},
+         {"active_any", static_cast<double>(point.active_any)},
+         {"enumerate_seconds", point.enumerate_seconds},
+         {"probes_per_second", pps},
+         {"positive_replies", static_cast<double>(point.positive)},
+         {"rss_mib", point.rss_after_mib}});
+    std::cerr << "scale " << scale << ": " << point.hosts << " hosts, build "
+              << point.build_seconds << "s, enumerate "
+              << point.enumerate_seconds << "s, " << pps
+              << " probes/s, rss " << point.rss_after_mib << " MiB\n";
+  }
+  timer.write();
+
+  // ---- Gates -----------------------------------------------------------
+  bool ok = true;
+  const ScalePoint& base = points.front();
+  const ScalePoint& top = points.back();
+
+  if (args.smoke && !equivalence_spot_check()) ok = false;
+
+  const double growth =
+      static_cast<double>(top.hosts) / static_cast<double>(base.hosts);
+  if (args.smoke) {
+    if (growth < 5.0) {
+      std::cerr << "FAIL: 12x scale grew hosts only " << growth << "x\n";
+      ok = false;
+    }
+  } else {
+    if (top.hosts < 100'000'000) {
+      std::cerr << "FAIL: top scale holds " << top.hosts
+                << " hosts, need >= 100M\n";
+      ok = false;
+    }
+    if (growth < 100.0) {
+      std::cerr << "FAIL: top/base host ratio " << growth
+                << ", need >= 100x\n";
+      ok = false;
+    }
+  }
+
+  // Flat-memory gate: RSS at the top scale within 2x of the base scale
+  // (with a small floor so allocator noise on tiny baselines cannot
+  // flake the ratio). Skipped when /proc is unavailable.
+  if (base.rss_after_mib > 0.0 && top.rss_after_mib > 0.0) {
+    const double rss_floor =
+        base.rss_after_mib < 64.0 ? 64.0 : base.rss_after_mib;
+    if (top.rss_after_mib > 2.0 * rss_floor) {
+      std::cerr << "FAIL: rss grew from " << base.rss_after_mib << " to "
+                << top.rss_after_mib << " MiB (limit "
+                << 2.0 * rss_floor << ")\n";
+      ok = false;
+    }
+  }
+
+  if (!ok) return 1;
+  std::cerr << "bench_scale: " << (args.smoke ? "smoke " : "") << "gates ok ("
+            << top.hosts << " hosts at top scale, " << growth
+            << "x base, rss " << top.rss_after_mib << " MiB)\n";
+  return 0;
+}

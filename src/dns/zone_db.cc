@@ -48,20 +48,23 @@ ZoneDb ZoneDb::build(const v6::simnet::Universe& universe,
     return id;
   };
 
-  const auto hosts = universe.hosts();
-  for (std::uint64_t i = 0; i < hosts.size(); ++i) {
-    const HostRecord& host = hosts[i];
+  // Processes one host with one-host lookahead (`next` is null for the
+  // last). The lookahead exists only for the multi-record draw below;
+  // everything else — including every RNG draw and its order — matches
+  // the historical indexed loop bit for bit.
+  auto process = [&](const HostRecord& host, std::uint64_t i,
+                     const HostRecord* next) {
     const bool nameable = host.kind == HostKind::kWebServer ||
                           host.kind == HostKind::kDnsServer;
-    if (!nameable) continue;
+    if (!nameable) return;
     const double p = host.kind == HostKind::kWebServer
                          ? config.web_named_prob
                          : config.dns_named_prob;
-    if (!v6::net::chance(rng, p)) continue;
+    if (!v6::net::chance(rng, p)) return;
 
     DomainRecord record;
     record.name = make_name(rng, i);
-    if (zone.index_.contains(record.name)) continue;  // rare collision
+    if (zone.index_.contains(record.name)) return;  // rare collision
     record.asn = host.asn;
     record.dns_host = host.kind == HostKind::kDnsServer;
 
@@ -93,9 +96,9 @@ ZoneDb ZoneDb::build(const v6::simnet::Universe& universe,
     // network (only for origin-served names; a CDN-fronted record's
     // addresses all live in the CDN's space).
     if (record.aaaa.front() == host.addr &&
-        v6::net::chance(rng, 0.12) && i + 1 < hosts.size() &&
-        hosts[i + 1].asn == host.asn) {
-      record.aaaa.push_back(hosts[i + 1].addr);
+        v6::net::chance(rng, 0.12) && next != nullptr &&
+        next->asn == host.asn) {
+      record.aaaa.push_back(next->addr);
     }
 
     const bool rankable = host.popular;
@@ -115,7 +118,20 @@ ZoneDb ZoneDb::build(const v6::simnet::Universe& universe,
         if (rankable && v6::net::chance(rng, 0.3)) popular.push_back(vid);
       }
     }
-  }
+  };
+
+  // Stream the population with a one-host pending buffer: works on
+  // procedural universes (no materialized span) in O(1) memory.
+  bool have_pending = false;
+  HostRecord pending_host;
+  std::uint64_t next_index = 0;
+  universe.for_each_host([&](const HostRecord& host) {
+    if (have_pending) process(pending_host, next_index - 1, &host);
+    pending_host = host;
+    ++next_index;
+    have_pending = true;
+  });
+  if (have_pending) process(pending_host, next_index - 1, nullptr);
 
   // Assign toplist ranks to popular names in a deterministic shuffle.
   std::shuffle(popular.begin(), popular.end(), rng);

@@ -28,6 +28,48 @@ constexpr std::uint64_t derive_seed(std::uint64_t master, std::uint64_t tag) {
   return splitmix64(master ^ splitmix64(tag));
 }
 
+namespace detail {
+
+/// Inverts y = x ^ (x >> k). Each iteration recovers k more high bits;
+/// ceil(64 / k) + 1 rounds reach the fixpoint for any k >= 1.
+constexpr std::uint64_t unxorshift(std::uint64_t y, int k) {
+  std::uint64_t x = y;
+  for (int recovered = k; recovered < 64; recovered += k) x = y ^ (x >> k);
+  return x;
+}
+
+/// Multiplicative inverse of an odd 64-bit constant mod 2^64 via Newton
+/// iteration (x *= 2 - a*x doubles the number of correct low bits; a is
+/// its own inverse mod 2^3, so five rounds exceed 64 bits).
+constexpr std::uint64_t mul_inverse(std::uint64_t a) {
+  std::uint64_t x = a;
+  for (int i = 0; i < 5; ++i) x *= 2 - a * x;
+  return x;
+}
+
+}  // namespace detail
+
+/// Exact inverse of splitmix64 — every step of the finalizer (additive
+/// constant, xorshift, odd multiply) is a bijection on 64 bits. The
+/// procedural universe leans on this: host addresses are *derived* from
+/// dense per-subnet indices, and the probe path recovers the index from
+/// an arbitrary address in O(1) instead of consulting a stored table.
+constexpr std::uint64_t splitmix64_inv(std::uint64_t z) {
+  z = detail::unxorshift(z, 31);
+  z *= detail::mul_inverse(0x94D049BB133111EBULL);
+  z = detail::unxorshift(z, 27);
+  z *= detail::mul_inverse(0xBF58476D1CE4E5B9ULL);
+  z = detail::unxorshift(z, 30);
+  return z - 0x9E3779B97F4A7C15ULL;
+}
+
+static_assert(splitmix64_inv(splitmix64(0)) == 0);
+static_assert(splitmix64_inv(splitmix64(42)) == 42);
+static_assert(splitmix64_inv(splitmix64(0xFFFFFFFFFFFFFFFFULL)) ==
+              0xFFFFFFFFFFFFFFFFULL);
+static_assert(splitmix64(splitmix64_inv(0xDEADBEEFCAFEF00DULL)) ==
+              0xDEADBEEFCAFEF00DULL);
+
 /// The RNG engine used across the library.
 using Rng = std::mt19937_64;
 
@@ -58,9 +100,13 @@ class SplitMixRng {
   std::uint64_t state_;
 };
 
-/// Uniform integer in [lo, hi] inclusive.
-template <typename Int>
-Int uniform_int(Rng& rng, Int lo, Int hi) {
+/// Uniform integer in [lo, hi] inclusive. Generic over the engine (same
+/// contract as uniform01): instantiated with Rng it is byte-identical to
+/// the historical Rng-only overload, so every legacy stream — and every
+/// golden pinned to one — is untouched; instantiated with SplitMixRng it
+/// powers the procedural universe's counter-keyed derivation streams.
+template <typename Int, typename Urbg>
+Int uniform_int(Urbg& rng, Int lo, Int hi) {
   return std::uniform_int_distribution<Int>(lo, hi)(rng);
 }
 
@@ -72,11 +118,15 @@ double uniform01(Urbg& rng) {
   return std::uniform_real_distribution<double>(0.0, 1.0)(rng);
 }
 
-/// Bernoulli draw.
-inline bool chance(Rng& rng, double p) { return uniform01(rng) < p; }
+/// Bernoulli draw (generic over the engine, like uniform01).
+template <typename Urbg>
+bool chance(Urbg& rng, double p) {
+  return uniform01(rng) < p;
+}
 
 /// A uniformly random address inside `prefix` (host bits randomized).
-inline Ipv6Addr random_in_prefix(Rng& rng, const Prefix& prefix) {
+template <typename Urbg>
+Ipv6Addr random_in_prefix(Urbg& rng, const Prefix& prefix) {
   const std::uint64_t r_hi = rng();
   const std::uint64_t r_lo = rng();
   const int len = prefix.length();

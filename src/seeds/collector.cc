@@ -139,8 +139,10 @@ void SeedCollector::sample_hosts(SeedSource source,
     return v;
   };
 
-  for (const HostRecord& host : universe_->hosts()) {
-    if (!is_visible(host.asn)) continue;
+  // Streaming enumeration: identical host order (and so identical RNG
+  // draw order) on materialized and procedural universes.
+  universe_->for_each_host([&](const HostRecord& host) {
+    if (!is_visible(host.asn)) return;
     double p = 0.0;
     switch (host.kind) {
       case HostKind::kRouter: p = profile.router_p; break;
@@ -154,7 +156,7 @@ void SeedCollector::sample_hosts(SeedSource source,
           v6::net::splitmix64(host.addr.hi() ^ host.addr.lo() ^ 0xBAD6E);
       const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
       if (u < profile.router_band_lo || u >= profile.router_band_hi) {
-        continue;
+        return;
       }
     }
     if (profile.popular_only) {
@@ -166,7 +168,7 @@ void SeedCollector::sample_hosts(SeedSource source,
     if (p > 0 && v6::net::chance(rng, p > 1.0 ? 1.0 : p)) {
       out.push_back(host.addr);
     }
-  }
+  });
 }
 
 void SeedCollector::sample_extras(SeedSource source,

@@ -1,0 +1,57 @@
+#include "simnet/site_model.h"
+
+namespace v6::simnet {
+
+using v6::net::Ipv6Addr;
+
+// The probe hot path of a procedural universe: one 32-bit trie walk to
+// the owning plan, then pure arithmetic + a handful of splitmix64 calls.
+// Every rejection mirrors a slot the enumeration would never emit, so
+// lookup() and for_each_host() can never disagree about membership.
+bool ProceduralModel::lookup(const UniverseConfig& config,
+                             const Ipv6Addr& addr, HostRecord& out) const {
+  const std::uint32_t* plan_index = plan_trie.longest_match(addr);
+  if (plan_index == nullptr) return false;
+  const PrefixPlan& plan = plans[*plan_index];
+
+  const std::uint64_t hi = addr.hi();
+  const std::uint64_t site = (hi >> 16) & 0xFFFF;
+  const std::uint64_t sn = hi & 0xFFFF;
+
+  // Infrastructure routers live at <prefix>:ffff:0::1..infra_routers.
+  if (site == 0xFFFF) {
+    if (sn != 0) return false;
+    const std::uint64_t lo = addr.lo();
+    if (lo == 0 || lo > plan.infra_routers) return false;
+    out = derive_infra_host(config, plan, lo);
+    return true;
+  }
+
+  if (plan.site_count == 0) return false;
+  if (site % plan.site_stride != 0) return false;
+  const std::uint64_t ordinal = site / plan.site_stride;
+  if (ordinal >= plan.site_count) return false;
+  const bool last_site = ordinal + 1 == plan.site_count;
+
+  const int subnets =
+      last_site ? plan.last_site_subnets : site_subnets(plan, site);
+  if (sn >= static_cast<std::uint64_t>(subnets)) return false;
+
+  const SubnetPlan sub = subnet_plan(plan, site, sn);
+  std::uint64_t count = sub.count;
+  if (last_site && sn + 1 == static_cast<std::uint64_t>(subnets)) {
+    count = plan.last_subnet_count;
+  }
+
+  const std::optional<std::uint64_t> index =
+      index_for_low64(sub.pattern, sub.key, addr.lo());
+  if (!index || *index >= count) return false;
+  // Forward-verify: kEui64's hash-picked OUI and kWords' continuation
+  // run make the inverse a candidate, not a proof.
+  if (low64_for_index(sub.pattern, sub.key, *index) != addr.lo()) {
+    return false;
+  }
+  return derive_subnet_host(config, plan, sub, site, sn, *index, out);
+}
+
+}  // namespace v6::simnet

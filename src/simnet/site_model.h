@@ -1,0 +1,564 @@
+// Procedural site model: the entire host population of a universe as a
+// pure function of (seed, address).
+//
+// The legacy builder materializes every HostRecord, which caps a
+// universe at roughly what fits in memory (~1M hosts). This model keeps
+// only one small PrefixPlan per announced /32 — everything below it
+// (which /48 sites exist, how many /64 subnets each holds, each
+// subnet's host kind / IID pattern / host count, and every per-host
+// service/churn/rate-limit draw) is rederived on demand from splitmix64
+// chains keyed on the plan. Memory is therefore proportional to the
+// routing table, not the host population, which is what lets a
+// 100M–1B-host universe fit in the footprint of a 1M-host one
+// (docs/SCALE.md).
+//
+// Two operations, both driven by the same derivation chain so they can
+// never disagree:
+//   for_each_host(cfg, fn)  enumerate every existing host in canonical
+//                           order (the order the materialized twin
+//                           inserts them in)
+//   lookup(cfg, addr, out)  O(1) membership + record derivation for an
+//                           arbitrary address (the probe hot path)
+//
+// The inverse direction works because every IID pattern here is a
+// bijection from the per-subnet host index (see low64_for_index):
+// kPrivacy, for instance, is splitmix64 of the index, inverted with
+// net::splitmix64_inv. The sampling distributions are shared with the
+// legacy builder (templated over the URBG), so the mt19937 path keeps
+// its exact historical streams — and its goldens — bit for bit.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asdb/as_database.h"
+#include "net/ipv6.h"
+#include "net/prefix.h"
+#include "net/prefix_trie.h"
+#include "net/rng.h"
+#include "net/service.h"
+#include "simnet/host.h"
+#include "simnet/universe_config.h"
+
+namespace v6::simnet {
+
+// ---- Sampling distributions (shared with the legacy builder) ---------
+// Generic over the URBG: the legacy builder instantiates them with
+// net::Rng (mt19937_64), preserving its historical streams exactly; the
+// procedural model instantiates them with net::SplitMixRng over
+// derivation-keyed counters.
+
+template <typename Urbg>
+v6::asdb::OrgType sample_org_type(Urbg& rng) {
+  // Weights loosely follow PeeringDB-style composition: ISPs dominate,
+  // with substantial enterprise and hosting populations.
+  const double u = v6::net::uniform01(rng);
+  using v6::asdb::OrgType;
+  if (u < 0.44) return OrgType::kIsp;
+  if (u < 0.50) return OrgType::kMobile;
+  if (u < 0.51) return OrgType::kSatellite;
+  if (u < 0.56) return OrgType::kCloud;
+  if (u < 0.62) return OrgType::kHosting;
+  if (u < 0.635) return OrgType::kCdn;
+  if (u < 0.72) return OrgType::kEducation;
+  if (u < 0.94) return OrgType::kEnterprise;
+  if (u < 0.96) return OrgType::kGovernment;
+  if (u < 0.97) return OrgType::kSecurity;
+  return OrgType::kOther;
+}
+
+template <typename Urbg>
+v6::asdb::Region sample_region(Urbg& rng) {
+  const double u = v6::net::uniform01(rng);
+  using v6::asdb::Region;
+  if (u < 0.25) return Region::kNorthAmerica;
+  if (u < 0.50) return Region::kEurope;
+  if (u < 0.65) return Region::kAsia;
+  if (u < 0.77) return Region::kChina;
+  if (u < 0.87) return Region::kSouthAmerica;
+  if (u < 0.92) return Region::kAfrica;
+  return Region::kOceania;
+}
+
+enum class SizeClass { kSmall, kMedium, kLarge };
+
+template <typename Urbg>
+SizeClass sample_size_class(Urbg& rng, v6::asdb::OrgType org) {
+  using v6::asdb::OrgType;
+  double large_p = 0.02;
+  double medium_p = 0.13;
+  // Clouds, CDNs, and hosters skew large (where the paper's hit mass is);
+  // big eyeball ISPs/mobile carriers are also large, keeping the global
+  // composition endhost- and ICMP-heavy as on the real IPv6 Internet.
+  if (org == OrgType::kCloud || org == OrgType::kCdn ||
+      org == OrgType::kHosting) {
+    large_p = 0.10;
+    medium_p = 0.30;
+  } else if (org == OrgType::kIsp || org == OrgType::kMobile) {
+    large_p = 0.08;
+    medium_p = 0.25;
+  }
+  const double u = v6::net::uniform01(rng);
+  if (u < large_p) return SizeClass::kLarge;
+  if (u < large_p + medium_p) return SizeClass::kMedium;
+  return SizeClass::kSmall;
+}
+
+template <typename Urbg>
+std::size_t sample_host_count(Urbg& rng, SizeClass size, double scale) {
+  std::size_t n = 0;
+  switch (size) {
+    case SizeClass::kSmall:
+      n = v6::net::uniform_int<std::size_t>(rng, 5, 80);
+      break;
+    case SizeClass::kMedium:
+      n = v6::net::uniform_int<std::size_t>(rng, 300, 3000);
+      break;
+    case SizeClass::kLarge:
+      n = v6::net::uniform_int<std::size_t>(rng, 6000, 30000);
+      break;
+  }
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(n) * scale));
+}
+
+template <typename Urbg>
+HostKind sample_host_kind(Urbg& rng, v6::asdb::OrgType org) {
+  using v6::asdb::OrgType;
+  const double u = v6::net::uniform01(rng);
+  switch (org) {
+    case OrgType::kIsp:
+    case OrgType::kMobile:
+    case OrgType::kSatellite:
+      if (u < 0.08) return HostKind::kRouter;
+      if (u < 0.16) return HostKind::kWebServer;
+      if (u < 0.20) return HostKind::kDnsServer;
+      return HostKind::kEndhost;
+    case OrgType::kCloud:
+    case OrgType::kHosting:
+      if (u < 0.05) return HostKind::kRouter;
+      if (u < 0.75) return HostKind::kWebServer;
+      if (u < 0.85) return HostKind::kDnsServer;
+      return HostKind::kEndhost;
+    case OrgType::kCdn:
+    case OrgType::kSecurity:
+      if (u < 0.05) return HostKind::kRouter;
+      if (u < 0.90) return HostKind::kWebServer;
+      return HostKind::kDnsServer;
+    default:  // education, enterprise, government, other
+      if (u < 0.10) return HostKind::kRouter;
+      if (u < 0.40) return HostKind::kWebServer;
+      if (u < 0.50) return HostKind::kDnsServer;
+      return HostKind::kEndhost;
+  }
+}
+
+template <typename Urbg>
+v6::net::ServiceMask sample_services(Urbg& rng, HostKind kind) {
+  using v6::net::ProbeType;
+  v6::net::ServiceMask m = 0;
+  auto add = [&](ProbeType t, double p) {
+    if (v6::net::chance(rng, p)) m |= v6::net::service_bit(t);
+  };
+  switch (kind) {
+    case HostKind::kRouter:
+      add(ProbeType::kIcmp, 0.95);
+      add(ProbeType::kTcp80, 0.03);
+      add(ProbeType::kTcp443, 0.02);
+      add(ProbeType::kUdp53, 0.02);
+      break;
+    case HostKind::kWebServer:
+      // Far more web hosts answer ping than expose 80/443 publicly
+      // (CDN fronting, firewalls); the paper's Censys actives are only
+      // ~22% TCP80-responsive.
+      add(ProbeType::kIcmp, 0.92);
+      add(ProbeType::kTcp80, 0.30);
+      add(ProbeType::kTcp443, 0.36);
+      add(ProbeType::kUdp53, 0.02);
+      break;
+    case HostKind::kDnsServer:
+      add(ProbeType::kIcmp, 0.92);
+      add(ProbeType::kTcp80, 0.08);
+      add(ProbeType::kTcp443, 0.08);
+      add(ProbeType::kUdp53, 0.85);
+      break;
+    case HostKind::kEndhost:
+      add(ProbeType::kIcmp, 0.70);
+      break;
+  }
+  return m;
+}
+
+// ---- Low-64 addressing patterns --------------------------------------
+
+/// How the hosts of one /64 subnet number their interface identifiers.
+/// TGAs succeed exactly when these patterns are learnable; endhost
+/// subnets deliberately use unguessable identifiers.
+enum class Low64Pattern {
+  kCounter,     // ::1, ::2, ::3, ... (routers, many servers)
+  kWords,       // service-flavored constants: ::80, ::443, ::53, 0xdead...
+  kStructured,  // slot << 32 | small counter (orchestrated hosting)
+  kEui64,       // ff:fe-embedded MAC-derived identifiers
+  kPrivacy,     // fully random identifiers (RFC 4941)
+};
+
+template <typename Urbg>
+Low64Pattern sample_pattern(Urbg& rng, HostKind kind) {
+  const double u = v6::net::uniform01(rng);
+  switch (kind) {
+    case HostKind::kRouter:
+      return u < 0.8 ? Low64Pattern::kCounter : Low64Pattern::kEui64;
+    case HostKind::kWebServer:
+    case HostKind::kDnsServer:
+      if (u < 0.55) return Low64Pattern::kCounter;
+      if (u < 0.70) return Low64Pattern::kWords;
+      if (u < 0.90) return Low64Pattern::kStructured;
+      return Low64Pattern::kEui64;
+    case HostKind::kEndhost:
+      if (u < 0.25) return Low64Pattern::kCounter;
+      if (u < 0.65) return Low64Pattern::kEui64;
+      return Low64Pattern::kPrivacy;
+  }
+  return Low64Pattern::kCounter;
+}
+
+inline constexpr std::array<std::uint64_t, 12> kServiceWords = {
+    0x1,    0x2,     0x53,          0x80,
+    0x443,  0x8080,  0xdead'beef,   0xcafe,
+    0xface, 0xb00c,  0x1111'1111,   0x1337,
+};
+
+/// EUI-64 OUI pool (small vendor set, as on real LANs).
+inline constexpr std::array<std::uint64_t, 6> kOuis = {
+    0x00005E, 0x000C29, 0x001B21, 0x3C22FB, 0xD85ED3, 0xF4CE46};
+
+/// Legacy (RNG-tailed) IID synthesis, used only by the materializing
+/// v1 builder: kEui64/kPrivacy draw their tails from the shared host
+/// stream, so the mapping index -> IID is not invertible. Kept verbatim
+/// to preserve the legacy goldens.
+template <typename Urbg>
+std::uint64_t make_low64(Urbg& rng, Low64Pattern pattern, std::size_t index) {
+  switch (pattern) {
+    case Low64Pattern::kCounter:
+      return static_cast<std::uint64_t>(index) + 1;
+    case Low64Pattern::kWords:
+      if (index < kServiceWords.size()) return kServiceWords[index];
+      // Overflow past the word list continues counting from the last word.
+      return kServiceWords.back() + (index - kServiceWords.size()) + 1;
+    case Low64Pattern::kStructured: {
+      // A rack/slot identifier in the upper half, small counter below.
+      const std::uint64_t slot = (index / 16) + 1;
+      const std::uint64_t unit = (index % 16) + 1;
+      return (slot << 32) | unit;
+    }
+    case Low64Pattern::kEui64: {
+      // OUI from a small vendor pool, ff:fe in the middle, random tail.
+      const std::uint64_t oui = kOuis[rng() % kOuis.size()];
+      const std::uint64_t tail = rng() & 0xFFFFFF;
+      return ((oui ^ 0x020000) << 40) | (0xFFFEULL << 24) | tail;
+    }
+    case Low64Pattern::kPrivacy:
+      return rng();
+  }
+  return 1;
+}
+
+namespace site_detail {
+
+inline constexpr std::uint64_t kPhi = 0x9E3779B97F4A7C15ULL;
+
+/// 4-round Feistel permutation on 24 bits (12-bit halves), keyed on the
+/// subnet derivation key: a bijection index <-> EUI-64 tail that looks
+/// random per subnet yet inverts exactly.
+inline std::uint32_t feistel24(std::uint32_t value, std::uint64_t key) {
+  std::uint32_t left = (value >> 12) & 0xFFF;
+  std::uint32_t right = value & 0xFFF;
+  for (int round = 0; round < 4; ++round) {
+    const std::uint32_t f = static_cast<std::uint32_t>(
+        v6::net::splitmix64(key ^ (static_cast<std::uint64_t>(round) << 12) ^
+                            right) &
+        0xFFF);
+    const std::uint32_t next = left ^ f;
+    left = right;
+    right = next;
+  }
+  return (left << 12) | right;
+}
+
+inline std::uint32_t feistel24_inv(std::uint32_t value, std::uint64_t key) {
+  std::uint32_t left = (value >> 12) & 0xFFF;
+  std::uint32_t right = value & 0xFFF;
+  for (int round = 3; round >= 0; --round) {
+    const std::uint32_t f = static_cast<std::uint32_t>(
+        v6::net::splitmix64(key ^ (static_cast<std::uint64_t>(round) << 12) ^
+                            left) &
+        0xFFF);
+    const std::uint32_t prev = right ^ f;
+    right = left;
+    left = prev;
+  }
+  return (left << 12) | right;
+}
+
+}  // namespace site_detail
+
+/// Invertible (index -> IID) for the procedural model. Same address
+/// *shapes* as the legacy make_low64, but every pattern is a bijection
+/// keyed on the subnet so lookup() can recover the index from an
+/// arbitrary probed address:
+///   kCounter/kWords/kStructured  already invertible, shared shape
+///   kEui64    OUI picked by hash, tail = Feistel-permuted index
+///   kPrivacy  splitmix64(key ^ (index+1)), inverted via splitmix64_inv
+inline std::uint64_t low64_for_index(Low64Pattern pattern,
+                                     std::uint64_t subnet_key,
+                                     std::uint64_t index) {
+  switch (pattern) {
+    case Low64Pattern::kCounter:
+      return index + 1;
+    case Low64Pattern::kWords:
+      if (index < kServiceWords.size()) return kServiceWords[index];
+      return kServiceWords.back() + (index - kServiceWords.size()) + 1;
+    case Low64Pattern::kStructured:
+      return (((index / 16) + 1) << 32) | ((index % 16) + 1);
+    case Low64Pattern::kEui64: {
+      const std::uint64_t oui =
+          kOuis[v6::net::splitmix64(subnet_key ^ index ^ 0x0F1) %
+                kOuis.size()];
+      const std::uint64_t tail = site_detail::feistel24(
+          static_cast<std::uint32_t>(index & 0xFFFFFF), subnet_key);
+      return ((oui ^ 0x020000) << 40) | (0xFFFEULL << 24) | tail;
+    }
+    case Low64Pattern::kPrivacy:
+      return v6::net::splitmix64(subnet_key ^ (index + 1));
+  }
+  return 1;
+}
+
+/// Inverse of low64_for_index: the candidate index an IID decodes to.
+/// Callers must still range-check against the subnet's host count and
+/// forward-verify (kEui64's OUI and kWords' continuation run are not
+/// self-checking).
+inline std::optional<std::uint64_t> index_for_low64(Low64Pattern pattern,
+                                                    std::uint64_t subnet_key,
+                                                    std::uint64_t lo) {
+  switch (pattern) {
+    case Low64Pattern::kCounter:
+      if (lo == 0) return std::nullopt;
+      return lo - 1;
+    case Low64Pattern::kWords: {
+      for (std::size_t w = 0; w < kServiceWords.size(); ++w) {
+        if (kServiceWords[w] == lo) return w;
+      }
+      if (lo <= kServiceWords.back()) return std::nullopt;
+      return lo - kServiceWords.back() + kServiceWords.size() - 1;
+    }
+    case Low64Pattern::kStructured: {
+      const std::uint64_t slot = lo >> 32;
+      const std::uint64_t unit = lo & 0xFFFFFFFF;
+      if (slot == 0 || unit == 0 || unit > 16) return std::nullopt;
+      return (slot - 1) * 16 + (unit - 1);
+    }
+    case Low64Pattern::kEui64: {
+      if (((lo >> 24) & 0xFFFF) != 0xFFFE) return std::nullopt;
+      return site_detail::feistel24_inv(
+          static_cast<std::uint32_t>(lo & 0xFFFFFF), subnet_key);
+    }
+    case Low64Pattern::kPrivacy: {
+      const std::uint64_t seed = v6::net::splitmix64_inv(lo) ^ subnet_key;
+      if (seed == 0) return std::nullopt;
+      return seed - 1;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- Per-prefix plan --------------------------------------------------
+
+/// Everything stored per announced /32 — 64 bytes, the only per-prefix
+/// state of a procedural universe. The site/subnet/host structure below
+/// it is rederived from `key` on demand. `site_count`/`last_*` pin the
+/// per-AS host-budget truncation: the plan walk at build time finds
+/// where the budget runs out (O(#subnets), no per-host work) and the
+/// membership check replays that boundary in O(1).
+struct PrefixPlan {
+  std::uint64_t key = 0;      // per-prefix derivation key
+  std::uint64_t base_hi = 0;  // high 64 bits of the /32 base address
+  std::uint32_t asn = 0;
+  v6::asdb::OrgType org = v6::asdb::OrgType::kOther;
+  std::uint16_t infra_routers = 1;   // 1..3, at <prefix>:ffff:0::1..
+  std::uint16_t site_stride = 1;     // /48 allocation stride (1 or 0x10)
+  std::uint32_t site_count = 0;      // occupied site ordinals (0 = none)
+  std::uint16_t last_site_subnets = 0;  // subnets in the last site
+  std::uint64_t last_subnet_count = 0;  // host slots in the last subnet
+};
+
+/// Derived (never stored) structure of one /64 subnet.
+struct SubnetPlan {
+  HostKind kind = HostKind::kEndhost;
+  Low64Pattern pattern = Low64Pattern::kCounter;
+  std::uint64_t count = 0;  // host slots (dark slots included)
+  std::uint64_t key = 0;    // per-subnet derivation key
+};
+
+/// Derivation key of site ordinal-with-stride `site` (the /48 value).
+inline std::uint64_t site_key(const PrefixPlan& plan, std::uint64_t site) {
+  return v6::net::splitmix64(plan.key ^ (site * site_detail::kPhi) ^ 0x517E);
+}
+
+/// How many /64 subnets the site holds (1..12, as in the legacy builder).
+inline int site_subnets(const PrefixPlan& plan, std::uint64_t site) {
+  v6::net::SplitMixRng rng(site_key(plan, site));
+  return v6::net::uniform_int(rng, 1, 12);
+}
+
+/// Kind / IID pattern / slot count of subnet `sn` of `site`. The count
+/// here is the *untruncated* draw; the caller caps the final subnet of
+/// the final site with PrefixPlan::last_subnet_count.
+inline SubnetPlan subnet_plan(const PrefixPlan& plan, std::uint64_t site,
+                              std::uint64_t sn) {
+  SubnetPlan sub;
+  sub.key = v6::net::splitmix64(site_key(plan, site) ^
+                                ((sn + 1) * site_detail::kPhi));
+  v6::net::SplitMixRng rng(sub.key);
+  sub.kind = sample_host_kind(rng, plan.org);
+  sub.pattern = sample_pattern(rng, sub.kind);
+  switch (sub.kind) {
+    case HostKind::kRouter:
+      sub.count = v6::net::uniform_int<std::uint64_t>(rng, 1, 6);
+      break;
+    case HostKind::kWebServer:
+    case HostKind::kDnsServer:
+      sub.count = v6::net::uniform_int<std::uint64_t>(rng, 4, 200);
+      break;
+    case HostKind::kEndhost:
+      sub.count = v6::net::uniform_int<std::uint64_t>(rng, 4, 48);
+      break;
+  }
+  return sub;
+}
+
+/// Derives the host record at slot `index` of a subnet. Returns false
+/// for a dark slot (no historic services): the address simply does not
+/// host anything, in either representation. RNG draws mirror the legacy
+/// per-host sequence (services, churn, popularity, rate limiting), but
+/// from a per-slot SplitMix stream instead of the shared builder stream.
+inline bool derive_subnet_host(const UniverseConfig& config,
+                               const PrefixPlan& plan, const SubnetPlan& sub,
+                               std::uint64_t site, std::uint64_t sn,
+                               std::uint64_t index, HostRecord& out) {
+  using v6::net::ProbeType;
+  using v6::net::ServiceMask;
+  v6::net::SplitMixRng rng(
+      v6::net::splitmix64(sub.key ^ ((index + 1) * site_detail::kPhi)));
+  const ServiceMask historic = sample_services(rng, sub.kind);
+  if (historic == 0) return false;  // dark slot
+  out.addr = v6::net::Ipv6Addr(plan.base_hi | (site << 16) | sn,
+                               low64_for_index(sub.pattern, sub.key, index));
+  out.asn = plan.asn;
+  out.kind = sub.kind;
+  out.historic_services = historic;
+  if (v6::net::chance(rng, config.churn_fraction)) {
+    out.services = 0;  // fully churned: in feeds, answers nothing
+  } else if (v6::net::chance(rng, 0.05)) {
+    // Partial churn: lost one service since observation.
+    ServiceMask m = historic;
+    for (const ProbeType t : v6::net::kAllProbeTypes) {
+      if (v6::net::has_service(m, t)) {
+        m &= static_cast<ServiceMask>(~v6::net::service_bit(t));
+        break;
+      }
+    }
+    out.services = m;
+  } else {
+    out.services = historic;
+  }
+  const double popular_base = (plan.org == v6::asdb::OrgType::kCdn ||
+                               plan.org == v6::asdb::OrgType::kCloud)
+                                  ? 0.05
+                                  : 0.02;
+  out.popular = sub.kind == HostKind::kWebServer &&
+                v6::net::chance(rng, popular_base);
+  out.rate_limited =
+      config.host_rate_limited_fraction > 0.0 &&
+      v6::net::chance(rng, config.host_rate_limited_fraction);
+  return true;
+}
+
+/// Derives one of the prefix's guaranteed infrastructure routers
+/// (lo in [1, plan.infra_routers] at site 0xFFFF). Always exists.
+inline HostRecord derive_infra_host(const UniverseConfig& config,
+                                    const PrefixPlan& plan, std::uint64_t lo) {
+  HostRecord rec;
+  v6::net::SplitMixRng rng(
+      v6::net::splitmix64(plan.key ^ (lo * site_detail::kPhi) ^ 0x1F4A));
+  rec.addr = v6::net::Ipv6Addr(plan.base_hi | (0xFFFFULL << 16), lo);
+  rec.asn = plan.asn;
+  rec.kind = HostKind::kRouter;
+  rec.historic_services = sample_services(rng, HostKind::kRouter);
+  if (rec.historic_services == 0) {
+    rec.historic_services = v6::net::service_bit(v6::net::ProbeType::kIcmp);
+  }
+  rec.services = v6::net::chance(rng, config.churn_fraction)
+                     ? v6::net::ServiceMask{0}
+                     : rec.historic_services;
+  rec.rate_limited =
+      config.host_rate_limited_fraction > 0.0 &&
+      v6::net::chance(rng, config.host_rate_limited_fraction);
+  return rec;
+}
+
+// ---- The model --------------------------------------------------------
+
+/// All procedural state of a universe: one PrefixPlan per announced /32
+/// plus a longest-prefix-match trie over their bases. Construction is
+/// UniverseBuilder's job (it walks the AS-level derivation); this struct
+/// only evaluates.
+struct ProceduralModel {
+  std::vector<PrefixPlan> plans;
+  v6::net::PrefixTrie<std::uint32_t> plan_trie;
+  /// Total regular host slots across all plans (dark slots included) —
+  /// the budget actually placed, cheap to report without enumeration.
+  std::uint64_t total_slots = 0;
+
+  /// O(1) membership + derivation for an arbitrary address. Returns
+  /// false when no host exists at `addr`.
+  bool lookup(const UniverseConfig& config, const v6::net::Ipv6Addr& addr,
+              HostRecord& out) const;
+
+  /// Enumerates every existing host in canonical order: per prefix, the
+  /// infrastructure routers first, then sites ascending, subnets
+  /// ascending, slot indices ascending, skipping dark slots — exactly
+  /// the order the materialized twin inserts records in.
+  template <typename Fn>
+  void for_each_host(const UniverseConfig& config, Fn&& fn) const {
+    HostRecord rec;
+    for (const PrefixPlan& plan : plans) {
+      for (std::uint64_t lo = 1; lo <= plan.infra_routers; ++lo) {
+        fn(derive_infra_host(config, plan, lo));
+      }
+      for (std::uint32_t ordinal = 0; ordinal < plan.site_count; ++ordinal) {
+        const std::uint64_t site =
+            static_cast<std::uint64_t>(ordinal) * plan.site_stride;
+        const bool last_site = ordinal + 1 == plan.site_count;
+        const int subnets =
+            last_site ? plan.last_site_subnets : site_subnets(plan, site);
+        for (int sn = 0; sn < subnets; ++sn) {
+          const SubnetPlan sub = subnet_plan(plan, site, sn);
+          std::uint64_t count = sub.count;
+          if (last_site && sn + 1 == subnets) count = plan.last_subnet_count;
+          for (std::uint64_t h = 0; h < count; ++h) {
+            if (derive_subnet_host(config, plan, sub, site, sn, h, rec)) {
+              fn(rec);
+            }
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace v6::simnet

@@ -45,16 +45,43 @@ std::uint64_t Universe::rtt_nanos(const Ipv6Addr& addr) {
 }
 
 const HostRecord* Universe::host(const Ipv6Addr& addr) const {
+  V6_REQUIRE(!procedural_);
   const std::uint32_t* idx = host_index_.find(addr);
   return idx == nullptr ? nullptr : &hosts_[*idx];
 }
 
+bool Universe::lookup_host(const Ipv6Addr& addr, HostRecord& out) const {
+  if (procedural_) return model_.lookup(config_, addr, out);
+  const std::uint32_t* idx = host_index_.find(addr);
+  if (idx == nullptr) return false;
+  out = hosts_[*idx];
+  return true;
+}
+
 bool Universe::host_active(const Ipv6Addr& addr, ProbeType type) const {
-  const HostRecord* h = host(addr);
-  return h != nullptr && v6::net::has_service(h->services, type);
+  HostRecord h;
+  return lookup_host(addr, h) && v6::net::has_service(h.services, type);
+}
+
+const Universe::CountCache& Universe::counts() const {
+  // counts_ itself is allocated eagerly by the builder for procedural
+  // universes, so only the fill needs synchronizing.
+  std::call_once(counts_->once, [this] {
+    for_each_host([this](const HostRecord& h) {
+      ++counts_->total;
+      if (h.services != 0) ++counts_->any;
+      for (ProbeType type : v6::net::kAllProbeTypes) {
+        if (v6::net::has_service(h.services, type)) {
+          ++counts_->by_type[static_cast<int>(type)];
+        }
+      }
+    });
+  });
+  return *counts_;
 }
 
 std::size_t Universe::active_host_count(ProbeType type) const {
+  if (procedural_) return counts().by_type[static_cast<int>(type)];
   std::size_t n = 0;
   for (const HostRecord& h : hosts_) {
     if (v6::net::has_service(h.services, type)) ++n;
@@ -63,11 +90,17 @@ std::size_t Universe::active_host_count(ProbeType type) const {
 }
 
 std::size_t Universe::active_host_count_any() const {
+  if (procedural_) return counts().any;
   std::size_t n = 0;
   for (const HostRecord& h : hosts_) {
     if (h.services != 0) ++n;
   }
   return n;
+}
+
+std::size_t Universe::host_count() const {
+  if (procedural_) return counts().total;
+  return hosts_.size();
 }
 
 }  // namespace v6::simnet

@@ -1,19 +1,35 @@
 // The simulated IPv6 Internet: ground truth the scanner probes against.
 //
-// A Universe holds every synthesized host, every aliased region, the dense
-// AS12322-analogue region, the AS database and routing table. It answers
-// probes with wire-level replies (including rate-limiting and background
-// ICMP errors) and exposes ground-truth queries used only by evaluation
-// code (never by TGAs or the scanner themselves).
+// A Universe holds every aliased region, the dense AS12322-analogue
+// region, the AS database and routing table — and its host population in
+// one of two representations. A *materialized* universe (the legacy
+// default) stores every synthesized HostRecord behind a flat AddrIndexMap;
+// a *procedural* universe (UniverseConfig::procedural) stores only one
+// PrefixPlan per announced /32 and rederives any host on demand from
+// (seed, address) via src/simnet/site_model.h, so memory scales with the
+// routing table instead of the host count (docs/SCALE.md). Either way it
+// answers probes with wire-level replies (including rate-limiting and
+// background ICMP errors) and exposes ground-truth queries used only by
+// evaluation code (never by TGAs or the scanner themselves).
+//
+// Host-population access goes through lookup_host() (one address) and
+// for_each_host() (ordered streaming enumeration); the materialized
+// hosts() span exists for evaluation code and tests on legacy builds
+// only, and the v6lint `materialized-span` rule bars library code
+// outside simnet from reaching for it.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "asdb/as_database.h"
 #include "asdb/routing_table.h"
+#include "check/contracts.h"
 #include "net/addr_index.h"
 #include "net/ipv6.h"
 #include "net/prefix_trie.h"
@@ -21,6 +37,7 @@
 #include "net/service.h"
 #include "simnet/alias_region.h"
 #include "simnet/host.h"
+#include "simnet/site_model.h"
 #include "simnet/universe_config.h"
 
 namespace v6::simnet {
@@ -77,8 +94,32 @@ class Universe {
   bool host_active(const v6::net::Ipv6Addr& addr,
                    v6::net::ProbeType type) const;
 
-  /// Host record at `addr`, if one exists.
+  /// Resolves the host at `addr` into `out`. Works in both
+  /// representations (index lookup when materialized, O(1) site-model
+  /// derivation when procedural); returns false if no host exists there.
+  /// This is the host-population query library code should use.
+  bool lookup_host(const v6::net::Ipv6Addr& addr, HostRecord& out) const;
+
+  /// Host record at `addr`, if one exists. Materialized universes only
+  /// (a procedural universe has no stored record to point into) — use
+  /// lookup_host() for representation-independent access.
   const HostRecord* host(const v6::net::Ipv6Addr& addr) const;
+
+  /// Streams every host to `fn(const HostRecord&)` in canonical builder
+  /// order — identical between a procedural universe and its
+  /// materialized twin, so seed synthesis and evaluation passes are
+  /// representation-independent. O(hosts) time, O(1) memory.
+  template <typename Fn>
+  void for_each_host(Fn&& fn) const {
+    if (procedural_) {
+      model_.for_each_host(config_, std::forward<Fn>(fn));
+      return;
+    }
+    for (const HostRecord& h : hosts_) fn(h);
+  }
+
+  /// True when this universe derives hosts procedurally.
+  bool procedural() const { return procedural_; }
 
   // ---- Topology & metadata --------------------------------------------
 
@@ -90,7 +131,13 @@ class Universe {
     return routes_.asn_of(addr);
   }
 
-  std::span<const HostRecord> hosts() const { return hosts_; }
+  /// The materialized host table. Legacy/evaluation access only: empty
+  /// on a procedural universe (contract-checked in sanitizer builds) —
+  /// stream with for_each_host() instead.
+  std::span<const HostRecord> hosts() const {
+    V6_REQUIRE(!procedural_);
+    return hosts_;
+  }
   std::span<const AliasRegion> alias_regions() const { return alias_regions_; }
   const std::optional<DenseRegion>& dense_region() const {
     return dense_region_;
@@ -100,11 +147,16 @@ class Universe {
   // ---- Summary statistics ----------------------------------------------
 
   /// Hosts currently responsive on `type` (excluding aliases and the dense
-  /// region).
+  /// region). On a procedural universe the counts are derived by one full
+  /// enumeration, computed lazily on first call and cached (thread-safe).
   std::size_t active_host_count(v6::net::ProbeType type) const;
 
   /// Hosts currently responsive on any probe type.
   std::size_t active_host_count_any() const;
+
+  /// Total hosts in existence (responsive or churned). Cheap on both
+  /// representations once the count cache is warm.
+  std::size_t host_count() const;
 
   /// Deterministic modeled round-trip time for a reply from `addr`, in
   /// integer nanoseconds: a per-/48-site base (5–185 ms, continental
@@ -122,20 +174,36 @@ class Universe {
   static bool addr_coin(const v6::net::Ipv6Addr& addr, std::uint64_t salt,
                         double p);
 
+  /// Lazily-computed population counts of a procedural universe. Lives
+  /// behind a unique_ptr because std::once_flag is immovable and
+  /// Universe is move-only.
+  struct CountCache {
+    std::once_flag once;
+    std::array<std::size_t, v6::net::kNumProbeTypes> by_type{};
+    std::size_t any = 0;
+    std::size_t total = 0;
+  };
+  const CountCache& counts() const;
+
   UniverseConfig config_;
   v6::asdb::AsDatabase asdb_;
   v6::asdb::RoutingTable routes_;
   std::vector<HostRecord> hosts_;
   /// Flat open-addressing table: one find() per probe packet makes this
-  /// the hottest lookup in the simulator.
+  /// the hottest lookup in the materialized simulator.
   v6::net::AddrIndexMap host_index_;
+  /// Procedural twin of (hosts_, host_index_): per-/32 plans + LPM trie.
+  bool procedural_ = false;
+  ProceduralModel model_;
+  mutable std::unique_ptr<CountCache> counts_;
   std::vector<AliasRegion> alias_regions_;
   v6::net::PrefixTrie<std::uint32_t> alias_trie_;
   std::optional<DenseRegion> dense_region_;
 };
 
 // Defined in the header because it is a template (see the declaration);
-// the non-template helpers it calls (host, addr_coin) stay in the .cc.
+// the non-template helpers it calls (lookup_host, addr_coin) stay in
+// the .cc.
 template <typename Urbg>
 v6::net::ProbeReply Universe::probe(const v6::net::Ipv6Addr& addr,
                                     v6::net::ProbeType type, Urbg& rng) const {
@@ -171,9 +239,9 @@ v6::net::ProbeReply Universe::probe(const v6::net::Ipv6Addr& addr,
   // loss) draw from the transport RNG only when the universe actually
   // enables them, so default (lossless) configs keep the exact RNG
   // stream — and so the exact replies — of pre-fault builds.
-  if (const HostRecord* h = host(addr); h != nullptr) {
-    if (v6::net::has_service(h->services, type)) {
-      if (h->rate_limited &&
+  if (HostRecord h; lookup_host(addr, h)) {
+    if (v6::net::has_service(h.services, type)) {
+      if (h.rate_limited &&
           v6::net::uniform01(rng) >= config_.host_rate_limited_response_prob) {
         return ProbeReply::kTimeout;  // reply suppressed by the limiter
       }
@@ -185,7 +253,7 @@ v6::net::ProbeReply Universe::probe(const v6::net::Ipv6Addr& addr,
     }
     // Host up but port closed: TCP stacks typically send RST; a UDP probe
     // may draw an ICMP Port Unreachable (classified as DestUnreachable).
-    if (h->services != 0) {
+    if (h.services != 0) {
       if (type == ProbeType::kTcp80 || type == ProbeType::kTcp443) {
         return ProbeReply::kRst;
       }

@@ -1,10 +1,10 @@
 #include "simnet/universe_builder.h"
 
 #include <algorithm>
-#include <array>
 #include <string>
 
 #include "net/rng.h"
+#include "simnet/site_model.h"
 
 namespace v6::simnet {
 namespace {
@@ -17,203 +17,14 @@ using v6::net::Prefix;
 using v6::net::ProbeType;
 using v6::net::Rng;
 using v6::net::ServiceMask;
+using v6::net::SplitMixRng;
 
-// ---- Distributions ---------------------------------------------------
-
-OrgType sample_org_type(Rng& rng) {
-  // Weights loosely follow PeeringDB-style composition: ISPs dominate,
-  // with substantial enterprise and hosting populations.
-  const double u = v6::net::uniform01(rng);
-  if (u < 0.44) return OrgType::kIsp;
-  if (u < 0.50) return OrgType::kMobile;
-  if (u < 0.51) return OrgType::kSatellite;
-  if (u < 0.56) return OrgType::kCloud;
-  if (u < 0.62) return OrgType::kHosting;
-  if (u < 0.635) return OrgType::kCdn;
-  if (u < 0.72) return OrgType::kEducation;
-  if (u < 0.94) return OrgType::kEnterprise;
-  if (u < 0.96) return OrgType::kGovernment;
-  if (u < 0.97) return OrgType::kSecurity;
-  return OrgType::kOther;
-}
-
-Region sample_region(Rng& rng) {
-  const double u = v6::net::uniform01(rng);
-  if (u < 0.25) return Region::kNorthAmerica;
-  if (u < 0.50) return Region::kEurope;
-  if (u < 0.65) return Region::kAsia;
-  if (u < 0.77) return Region::kChina;
-  if (u < 0.87) return Region::kSouthAmerica;
-  if (u < 0.92) return Region::kAfrica;
-  return Region::kOceania;
-}
-
-enum class SizeClass { kSmall, kMedium, kLarge };
-
-SizeClass sample_size_class(Rng& rng, OrgType org) {
-  double large_p = 0.02;
-  double medium_p = 0.13;
-  // Clouds, CDNs, and hosters skew large (where the paper's hit mass is);
-  // big eyeball ISPs/mobile carriers are also large, keeping the global
-  // composition endhost- and ICMP-heavy as on the real IPv6 Internet.
-  if (org == OrgType::kCloud || org == OrgType::kCdn ||
-      org == OrgType::kHosting) {
-    large_p = 0.10;
-    medium_p = 0.30;
-  } else if (org == OrgType::kIsp || org == OrgType::kMobile) {
-    large_p = 0.08;
-    medium_p = 0.25;
-  }
-  const double u = v6::net::uniform01(rng);
-  if (u < large_p) return SizeClass::kLarge;
-  if (u < large_p + medium_p) return SizeClass::kMedium;
-  return SizeClass::kSmall;
-}
-
-std::size_t sample_host_count(Rng& rng, SizeClass size, double scale) {
-  std::size_t n = 0;
-  switch (size) {
-    case SizeClass::kSmall:
-      n = v6::net::uniform_int<std::size_t>(rng, 5, 80);
-      break;
-    case SizeClass::kMedium:
-      n = v6::net::uniform_int<std::size_t>(rng, 300, 3000);
-      break;
-    case SizeClass::kLarge:
-      n = v6::net::uniform_int<std::size_t>(rng, 6000, 30000);
-      break;
-  }
-  return std::max<std::size_t>(1, static_cast<std::size_t>(n * scale));
-}
-
-HostKind sample_host_kind(Rng& rng, OrgType org) {
-  const double u = v6::net::uniform01(rng);
-  switch (org) {
-    case OrgType::kIsp:
-    case OrgType::kMobile:
-    case OrgType::kSatellite:
-      if (u < 0.08) return HostKind::kRouter;
-      if (u < 0.16) return HostKind::kWebServer;
-      if (u < 0.20) return HostKind::kDnsServer;
-      return HostKind::kEndhost;
-    case OrgType::kCloud:
-    case OrgType::kHosting:
-      if (u < 0.05) return HostKind::kRouter;
-      if (u < 0.75) return HostKind::kWebServer;
-      if (u < 0.85) return HostKind::kDnsServer;
-      return HostKind::kEndhost;
-    case OrgType::kCdn:
-    case OrgType::kSecurity:
-      if (u < 0.05) return HostKind::kRouter;
-      if (u < 0.90) return HostKind::kWebServer;
-      return HostKind::kDnsServer;
-    default:  // education, enterprise, government, other
-      if (u < 0.10) return HostKind::kRouter;
-      if (u < 0.40) return HostKind::kWebServer;
-      if (u < 0.50) return HostKind::kDnsServer;
-      return HostKind::kEndhost;
-  }
-}
-
-ServiceMask sample_services(Rng& rng, HostKind kind) {
-  ServiceMask m = 0;
-  auto add = [&](ProbeType t, double p) {
-    if (v6::net::chance(rng, p)) m |= v6::net::service_bit(t);
-  };
-  switch (kind) {
-    case HostKind::kRouter:
-      add(ProbeType::kIcmp, 0.95);
-      add(ProbeType::kTcp80, 0.03);
-      add(ProbeType::kTcp443, 0.02);
-      add(ProbeType::kUdp53, 0.02);
-      break;
-    case HostKind::kWebServer:
-      // Far more web hosts answer ping than expose 80/443 publicly
-      // (CDN fronting, firewalls); the paper's Censys actives are only
-      // ~22% TCP80-responsive.
-      add(ProbeType::kIcmp, 0.92);
-      add(ProbeType::kTcp80, 0.30);
-      add(ProbeType::kTcp443, 0.36);
-      add(ProbeType::kUdp53, 0.02);
-      break;
-    case HostKind::kDnsServer:
-      add(ProbeType::kIcmp, 0.92);
-      add(ProbeType::kTcp80, 0.08);
-      add(ProbeType::kTcp443, 0.08);
-      add(ProbeType::kUdp53, 0.85);
-      break;
-    case HostKind::kEndhost:
-      add(ProbeType::kIcmp, 0.70);
-      break;
-  }
-  return m;
-}
-
-// ---- Low-64 addressing patterns --------------------------------------
-
-/// How the hosts of one /64 subnet number their interface identifiers.
-/// TGAs succeed exactly when these patterns are learnable; endhost
-/// subnets deliberately use unguessable identifiers.
-enum class Low64Pattern {
-  kCounter,     // ::1, ::2, ::3, ... (routers, many servers)
-  kWords,       // service-flavored constants: ::80, ::443, ::53, 0xdead...
-  kStructured,  // slot << 32 | small counter (orchestrated hosting)
-  kEui64,       // ff:fe-embedded MAC-derived identifiers
-  kPrivacy,     // fully random identifiers (RFC 4941)
-};
-
-Low64Pattern sample_pattern(Rng& rng, HostKind kind) {
-  const double u = v6::net::uniform01(rng);
-  switch (kind) {
-    case HostKind::kRouter:
-      return u < 0.8 ? Low64Pattern::kCounter : Low64Pattern::kEui64;
-    case HostKind::kWebServer:
-    case HostKind::kDnsServer:
-      if (u < 0.55) return Low64Pattern::kCounter;
-      if (u < 0.70) return Low64Pattern::kWords;
-      if (u < 0.90) return Low64Pattern::kStructured;
-      return Low64Pattern::kEui64;
-    case HostKind::kEndhost:
-      if (u < 0.25) return Low64Pattern::kCounter;
-      if (u < 0.65) return Low64Pattern::kEui64;
-      return Low64Pattern::kPrivacy;
-  }
-  return Low64Pattern::kCounter;
-}
-
-constexpr std::array<std::uint64_t, 12> kServiceWords = {
-    0x1,    0x2,     0x53,          0x80,
-    0x443,  0x8080,  0xdead'beef,   0xcafe,
-    0xface, 0xb00c,  0x1111'1111,   0x1337,
-};
-
-std::uint64_t make_low64(Rng& rng, Low64Pattern pattern, std::size_t index) {
-  switch (pattern) {
-    case Low64Pattern::kCounter:
-      return static_cast<std::uint64_t>(index) + 1;
-    case Low64Pattern::kWords:
-      if (index < kServiceWords.size()) return kServiceWords[index];
-      // Overflow past the word list continues counting from the last word.
-      return kServiceWords.back() + (index - kServiceWords.size()) + 1;
-    case Low64Pattern::kStructured: {
-      // A rack/slot identifier in the upper half, small counter below.
-      const std::uint64_t slot = (index / 16) + 1;
-      const std::uint64_t unit = (index % 16) + 1;
-      return (slot << 32) | unit;
-    }
-    case Low64Pattern::kEui64: {
-      // OUI from a small vendor pool, ff:fe in the middle, random tail.
-      static constexpr std::array<std::uint64_t, 6> kOuis = {
-          0x00005E, 0x000C29, 0x001B21, 0x3C22FB, 0xD85ED3, 0xF4CE46};
-      const std::uint64_t oui = kOuis[rng() % kOuis.size()];
-      const std::uint64_t tail = rng() & 0xFFFFFF;
-      return ((oui ^ 0x020000) << 40) | (0xFFFEULL << 24) | tail;
-    }
-    case Low64Pattern::kPrivacy:
-      return rng();
-  }
-  return 1;
-}
+// The sampling distributions, IID patterns, and kServiceWords/kOuis
+// tables historically defined here now live in simnet/site_model.h,
+// shared (as URBG templates) between this builder and the procedural
+// model. Instantiated with net::Rng they are byte-identical to the old
+// local copies, so every legacy stream — and every golden pinned to
+// one — is untouched.
 
 std::string make_as_name(OrgType org, Region region, std::uint32_t asn) {
   std::string name{v6::asdb::to_string(org)};
@@ -230,9 +41,84 @@ Ipv6Addr slot_base(std::uint32_t s) {
   return Ipv6Addr((0x2ULL << 60) | (static_cast<std::uint64_t>(s) << 32), 0);
 }
 
+/// The dense AS12322-analogue region occupies slot 0 in every build mode.
+/// Takes the universe members directly: these helpers live outside
+/// UniverseBuilder and so outside Universe's friendship.
+void add_dense_region(const UniverseConfig& config, v6::asdb::AsDatabase& asdb,
+                      v6::asdb::RoutingTable& routes,
+                      std::optional<DenseRegion>& dense) {
+  if (!config.include_dense_region) return;
+  constexpr std::uint32_t kDenseAsn = 12322;
+  AsInfo info;
+  info.asn = kDenseAsn;
+  info.org_type = OrgType::kIsp;
+  info.region = Region::kEurope;
+  info.name = "ISP-EU-12322-densenet";
+  asdb.add(info);
+  // With low64 == ::1 the pattern space is 2^(64 - len) addresses,
+  // ~35% of them ICMP-active — the scaled analogue of the paper's
+  // 16.7M-address, 35%-active AS12322 pattern.
+  const Prefix prefix(slot_base(0), config.dense_region_prefix_len);
+  routes.announce(prefix, kDenseAsn);
+  dense = DenseRegion{prefix, kDenseAsn, config.dense_region_active_prob};
+}
+
+/// Aliased regions of one /32, drawn from `rng` (clouds/hosters/CDNs
+/// only). Shared verbatim between the legacy path (which passes the
+/// global alias mt19937 stream) and the v2 path (a per-prefix SplitMix
+/// stream) — the draw sequence is identical, only the engine differs.
+template <typename Urbg>
+void add_alias_regions(const UniverseConfig& config, Urbg& rng,
+                       const Prefix& as_prefix, const AsInfo& info,
+                       v6::net::PrefixTrie<std::uint32_t>& alias_trie,
+                       std::vector<AliasRegion>& alias_regions) {
+  const bool alias_candidate = info.org_type == OrgType::kCloud ||
+                               info.org_type == OrgType::kHosting ||
+                               info.org_type == OrgType::kCdn ||
+                               info.org_type == OrgType::kSecurity;
+  if (!alias_candidate || !v6::net::chance(rng, config.alias_as_fraction)) {
+    return;
+  }
+  const int regions = v6::net::uniform_int(rng, 1, 4);
+  for (int r = 0; r < regions; ++r) {
+    AliasRegion region;
+    // Place the alias inside the same dense site space the AS's
+    // real hosts occupy: aliases correlate with the patterns TGAs
+    // exploit (paper §6.1).
+    const std::uint64_t a_site = v6::net::uniform_int<std::uint64_t>(rng, 0, 24);
+    const std::uint64_t a_sn = v6::net::uniform_int<std::uint64_t>(rng, 0, 12);
+    const Ipv6Addr base(as_prefix.addr().hi() | (a_site << 16) | a_sn, 0);
+    const int len = v6::net::chance(rng, 0.5)
+                        ? 64
+                        : (v6::net::chance(rng, 0.5) ? 80 : 96);
+    region.prefix = Prefix(base, len);
+    region.asn = info.asn;
+    region.services =
+        v6::net::chance(rng, 0.6)
+            ? v6::net::kAllServices
+            : static_cast<ServiceMask>(
+                  v6::net::service_bit(ProbeType::kIcmp) |
+                  v6::net::service_bit(ProbeType::kTcp80) |
+                  v6::net::service_bit(ProbeType::kTcp443));
+    region.published =
+        v6::net::chance(rng, config.alias_published_fraction);
+    region.rate_limited =
+        v6::net::chance(rng, config.alias_rate_limited_fraction);
+    region.response_prob =
+        region.rate_limited ? config.rate_limited_response_prob : 1.0;
+    alias_trie.insert(region.prefix,
+                      static_cast<std::uint32_t>(alias_regions.size()));
+    alias_regions.push_back(region);
+  }
+}
+
 }  // namespace
 
-Universe UniverseBuilder::build(const UniverseConfig& config) {
+/// Legacy materializing build: three shared mt19937 streams, hosts
+/// synthesized inline. Byte-for-byte the historical algorithm — the
+/// pinned goldens (golden_sweep, golden_quantiles, BENCH_rq1_rq2)
+/// depend on this exact draw order.
+Universe UniverseBuilder::build_legacy(const UniverseConfig& config) {
   Universe u;
   u.config_ = config;
 
@@ -241,26 +127,8 @@ Universe UniverseBuilder::build(const UniverseConfig& config) {
   Rng alias_rng = v6::net::make_rng(config.seed, /*tag=*/3);
 
   std::uint32_t next_slot = 1;  // slot 0 reserved for the dense region
+  add_dense_region(config, u.asdb_, u.routes_, u.dense_region_);
 
-  // ---- Dense AS12322-analogue region ----------------------------------
-  if (config.include_dense_region) {
-    constexpr std::uint32_t kDenseAsn = 12322;
-    AsInfo info;
-    info.asn = kDenseAsn;
-    info.org_type = OrgType::kIsp;
-    info.region = Region::kEurope;
-    info.name = "ISP-EU-12322-densenet";
-    u.asdb_.add(info);
-    // With low64 == ::1 the pattern space is 2^(64 - len) addresses,
-    // ~35% of them ICMP-active — the scaled analogue of the paper's
-    // 16.7M-address, 35%-active AS12322 pattern.
-    const Prefix dense(slot_base(0), config.dense_region_prefix_len);
-    u.routes_.announce(dense, kDenseAsn);
-    u.dense_region_ = DenseRegion{dense, kDenseAsn,
-                                  config.dense_region_active_prob};
-  }
-
-  // ---- Regular ASes ----------------------------------------------------
   for (int i = 0; i < config.num_ases; ++i) {
     AsInfo info;
     info.asn = 1000 + static_cast<std::uint32_t>(i) * 13 +
@@ -282,7 +150,8 @@ Universe UniverseBuilder::build(const UniverseConfig& config) {
     for (int p = 0; p < num_prefixes; ++p) {
       const Prefix as_prefix(slot_base(next_slot++), 32);
       u.routes_.announce(as_prefix, info.asn);
-      const std::size_t share = remaining / static_cast<std::size_t>(num_prefixes - p);
+      const std::size_t share =
+          remaining / static_cast<std::size_t>(num_prefixes - p);
       remaining -= share;
 
       // Guaranteed infrastructure subnet: every routed prefix exposes a
@@ -390,54 +259,136 @@ Universe UniverseBuilder::build(const UniverseConfig& config) {
         site += site_stride;
       }
 
-      // ---- Aliased regions (clouds/hosters/CDNs only) -----------------
-      const bool alias_candidate = info.org_type == OrgType::kCloud ||
-                                   info.org_type == OrgType::kHosting ||
-                                   info.org_type == OrgType::kCdn ||
-                                   info.org_type == OrgType::kSecurity;
-      if (alias_candidate &&
-          v6::net::chance(alias_rng, config.alias_as_fraction)) {
-        const int regions = v6::net::uniform_int(alias_rng, 1, 4);
-        for (int r = 0; r < regions; ++r) {
-          AliasRegion region;
-          // Place the alias inside the same dense site space the AS's
-          // real hosts occupy: aliases correlate with the patterns TGAs
-          // exploit (paper §6.1).
-          const std::uint64_t a_site =
-              v6::net::uniform_int<std::uint64_t>(alias_rng, 0, 24);
-          const std::uint64_t a_sn =
-              v6::net::uniform_int<std::uint64_t>(alias_rng, 0, 12);
-          const Ipv6Addr base(
-              as_prefix.addr().hi() | (a_site << 16) | a_sn, 0);
-          const int len = v6::net::chance(alias_rng, 0.5)
-                              ? 64
-                              : (v6::net::chance(alias_rng, 0.5) ? 80 : 96);
-          region.prefix = Prefix(base, len);
-          region.asn = info.asn;
-          region.services = v6::net::chance(alias_rng, 0.6)
-                                ? v6::net::kAllServices
-                                : static_cast<ServiceMask>(
-                                      v6::net::service_bit(ProbeType::kIcmp) |
-                                      v6::net::service_bit(ProbeType::kTcp80) |
-                                      v6::net::service_bit(ProbeType::kTcp443));
-          region.published =
-              v6::net::chance(alias_rng, config.alias_published_fraction);
-          region.rate_limited =
-              v6::net::chance(alias_rng, config.alias_rate_limited_fraction);
-          region.response_prob =
-              region.rate_limited ? config.rate_limited_response_prob : 1.0;
-          u.alias_trie_.insert(region.prefix,
-                               static_cast<std::uint32_t>(u.alias_regions_.size()));
-          u.alias_regions_.push_back(region);
-        }
-      }
+      add_alias_regions(config, alias_rng, as_prefix, info, u.alias_trie_,
+                        u.alias_regions_);
     }
   }
 
   return u;
 }
 
+// v2 build: the shared mt19937 streams are replaced by hierarchical
+// SplitMix keys (seed -> AS -> prefix -> site -> subnet -> slot), so any
+// level of the structure can be rederived without replaying the levels
+// before it. That is what makes the procedural representation possible;
+// the materialized twin walks the identical derivation and only differs
+// in storing the results.
+Universe UniverseBuilder::build_v2(const UniverseConfig& config,
+                                  bool materialize_hosts) {
+  using site_detail::kPhi;
+
+  Universe u;
+  u.config_ = config;
+  u.procedural_ = !materialize_hosts;
+
+  std::uint32_t next_slot = 1;  // slot 0 reserved for the dense region
+  add_dense_region(config, u.asdb_, u.routes_, u.dense_region_);
+
+  const std::uint64_t asn_salt = v6::net::derive_seed(config.seed, 0xA5A);
+
+  for (int i = 0; i < config.num_ases; ++i) {
+    AsInfo info;
+    info.asn = 1000 + static_cast<std::uint32_t>(i) * 13 +
+               static_cast<std::uint32_t>(
+                   v6::net::splitmix64(asn_salt ^
+                                       static_cast<std::uint64_t>(i)) %
+                   13);
+    // Per-AS sub-stream: every AS-level draw comes from a key derived
+    // from (seed, asn), so AS j's structure is independent of how much
+    // randomness AS j-1 consumed.
+    const std::uint64_t as_key = v6::net::splitmix64(config.seed + info.asn);
+    SplitMixRng as_rng(as_key);
+    info.org_type = sample_org_type(as_rng);
+    info.region = sample_region(as_rng);
+    info.name = make_as_name(info.org_type, info.region, info.asn);
+    u.asdb_.add(info);
+
+    const SizeClass size = sample_size_class(as_rng, info.org_type);
+    std::size_t remaining =
+        sample_host_count(as_rng, size, config.host_scale);
+
+    const int num_prefixes =
+        size == SizeClass::kLarge
+            ? v6::net::uniform_int(as_rng, 1, 3)
+            : (size == SizeClass::kMedium ? v6::net::uniform_int(as_rng, 1, 2)
+                                          : 1);
+    for (int p = 0; p < num_prefixes; ++p) {
+      const Prefix as_prefix(slot_base(next_slot++), 32);
+      u.routes_.announce(as_prefix, info.asn);
+      const std::size_t share =
+          remaining / static_cast<std::size_t>(num_prefixes - p);
+      remaining -= share;
+
+      PrefixPlan plan;
+      plan.key = v6::net::splitmix64(
+          as_key ^ ((static_cast<std::uint64_t>(p) + 1) * kPhi));
+      plan.base_hi = as_prefix.addr().hi();
+      plan.asn = info.asn;
+      plan.org = info.org_type;
+      SplitMixRng p_rng(plan.key);
+      plan.infra_routers = v6::net::uniform_int<std::uint16_t>(p_rng, 1, 3);
+      plan.site_stride = v6::net::chance(p_rng, 0.25) ? 0x10 : 1;
+
+      // Walk the derived site/subnet structure until the prefix's host
+      // budget runs out, recording the truncation boundary. O(#subnets):
+      // no per-host derivation happens here, because a slot's existence
+      // (unlike its darkness) is decided at the subnet level.
+      std::uint64_t placed = 0;
+      for (std::uint64_t k = 0;
+           k * plan.site_stride < 0xFFFF && placed < share; ++k) {
+        const std::uint64_t site = k * plan.site_stride;
+        const int subnets = site_subnets(plan, site);
+        for (int sn = 0; sn < subnets && placed < share; ++sn) {
+          const SubnetPlan sub = subnet_plan(plan, site, sn);
+          const std::uint64_t take = std::min<std::uint64_t>(
+              sub.count, static_cast<std::uint64_t>(share) - placed);
+          placed += take;
+          plan.site_count = static_cast<std::uint32_t>(k + 1);
+          plan.last_site_subnets = static_cast<std::uint16_t>(sn + 1);
+          plan.last_subnet_count = take;
+        }
+      }
+      u.model_.total_slots += placed + plan.infra_routers;
+
+      u.model_.plan_trie.insert(
+          as_prefix, static_cast<std::uint32_t>(u.model_.plans.size()));
+      u.model_.plans.push_back(plan);
+
+      // Aliases are always materialized (a few thousand regions at
+      // most); a per-prefix stream keeps them order-independent too.
+      SplitMixRng a_rng(v6::net::splitmix64(plan.key ^ 0xA11A5));
+      add_alias_regions(config, a_rng, as_prefix, info, u.alias_trie_,
+                        u.alias_regions_);
+    }
+  }
+
+  if (materialize_hosts) {
+    u.model_.for_each_host(config, [&u](const HostRecord& rec) {
+      if (u.host_index_.insert(rec.addr,
+                               static_cast<std::uint32_t>(u.hosts_.size()))) {
+        u.hosts_.push_back(rec);
+      }
+    });
+  } else {
+    u.counts_ = std::make_unique<Universe::CountCache>();
+  }
+
+  return u;
+}
+
+Universe UniverseBuilder::build(const UniverseConfig& config) {
+  config.validate();
+  if (config.procedural) return build_v2(config, /*materialize_hosts=*/false);
+  return build_legacy(config);
+}
+
+Universe UniverseBuilder::materialize(const UniverseConfig& config) {
+  config.validate();
+  return build_v2(config, /*materialize_hosts=*/true);
+}
+
 void UniverseBuilder::age(Universe& u, const AgingConfig& config) {
+  V6_REQUIRE(!u.procedural_);
   Rng rng = v6::net::make_rng(config.seed, /*tag=*/0xA6E);
 
   // Deterministic per-(epoch, /64) coin for clustered subnet death.

@@ -29,13 +29,31 @@ struct AgingConfig {
 
 class UniverseBuilder {
  public:
-  /// Builds the full universe described by `config`.
+  /// Builds the full universe described by `config` (validates it
+  /// first). config.procedural selects the representation: the legacy
+  /// materializing path (default, byte-identical to historical builds)
+  /// or the procedural site model (docs/SCALE.md).
   static Universe build(const UniverseConfig& config);
+
+  /// Materialized twin of a procedural build: walks the exact same
+  /// site-model derivation as `build` with config.procedural set, but
+  /// stores every HostRecord in the flat table. Exists so the
+  /// differential battery (tests/simnet/procedural_equivalence_test.cc)
+  /// can compare the two representations host by host and probe by
+  /// probe; config.procedural itself is ignored.
+  static Universe materialize(const UniverseConfig& config);
 
   /// Advances the universe by one epoch: hosts die, lose services,
   /// revive, and new hosts appear next to existing counter runs.
-  /// Deterministic in (universe state, config.seed).
+  /// Deterministic in (universe state, config.seed). Materialized
+  /// universes only — a procedural population is immutable by
+  /// construction (model churn via UniverseConfig::churn_fraction).
   static void age(Universe& universe, const AgingConfig& config);
+
+ private:
+  static Universe build_legacy(const UniverseConfig& config);
+  static Universe build_v2(const UniverseConfig& config,
+                           bool materialize_hosts);
 };
 
 }  // namespace v6::simnet

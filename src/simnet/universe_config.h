@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "check/validate.h"
+
 namespace v6::simnet {
 
 /// Knobs for UniverseBuilder. Defaults produce a universe of roughly one
@@ -67,6 +69,40 @@ struct UniverseConfig {
 
   /// Per-probe response probability for a rate-limited host.
   double host_rate_limited_response_prob = 0.5;
+
+  /// Procedural mode: derive every host on demand from (seed, address)
+  /// via the per-/48 site model (src/simnet/site_model.h) instead of
+  /// materializing a HostRecord table. Memory becomes proportional to
+  /// the routing table, so host_scale can grow the universe by 2-3
+  /// orders of magnitude (docs/SCALE.md). Procedural and materialized
+  /// v2 builds of the same config are bit-identical in behaviour
+  /// (tests/simnet/procedural_equivalence_test.cc); the default false
+  /// keeps the legacy builder path and its pinned goldens untouched.
+  bool procedural = false;
+
+  /// Uniform boundary validation (check/validate.h); throws ConfigError
+  /// as "UniverseConfig.<field>: <constraint>". UniverseBuilder::build
+  /// calls this on entry.
+  void validate() const {
+    const v6::check::Validator v("UniverseConfig");
+    v.non_negative(num_ases, "num_ases");
+    v.require(host_scale > 0.0, "host_scale", "must be > 0");
+    v.unit_interval(churn_fraction, "churn_fraction");
+    v.unit_interval(alias_as_fraction, "alias_as_fraction");
+    v.unit_interval(alias_published_fraction, "alias_published_fraction");
+    v.unit_interval(alias_rate_limited_fraction,
+                    "alias_rate_limited_fraction");
+    v.unit_interval(rate_limited_response_prob, "rate_limited_response_prob");
+    v.require(dense_region_prefix_len >= 16 && dense_region_prefix_len <= 64,
+              "dense_region_prefix_len", "must be in [16, 64]");
+    v.unit_interval(dense_region_active_prob, "dense_region_active_prob");
+    v.unit_interval(background_unreachable_prob,
+                    "background_unreachable_prob");
+    v.unit_interval(host_loss_prob, "host_loss_prob");
+    v.unit_interval(host_rate_limited_fraction, "host_rate_limited_fraction");
+    v.unit_interval(host_rate_limited_response_prob,
+                    "host_rate_limited_response_prob");
+  }
 };
 
 }  // namespace v6::simnet

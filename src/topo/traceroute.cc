@@ -23,26 +23,24 @@ double addr_unit(const Ipv6Addr& addr) {
 TracerouteEngine::TracerouteEngine(const v6::simnet::Universe& universe,
                                    std::uint64_t seed)
     : universe_(&universe), seed_(seed) {
-  // Index routers per AS.
-  const auto hosts = universe.hosts();
-  std::unordered_map<std::uint32_t, std::size_t> as_router_count;
-  for (std::uint32_t i = 0; i < hosts.size(); ++i) {
-    if (hosts[i].kind == HostKind::kRouter &&
-        hosts[i].historic_services != 0) {
-      routers_[hosts[i].asn].push_back(i);
+  // Index router interfaces per AS (streaming: same order and content
+  // on materialized and procedural universes).
+  universe.for_each_host([this](const v6::simnet::HostRecord& host) {
+    if (host.kind == HostKind::kRouter && host.historic_services != 0) {
+      routers_[host.asn].push_back(host.addr);
     }
-  }
+  });
   // Transit pool: ASes with several routers act as providers.  Both
   // loops feed transit_pool_, which is sorted (ASNs are unique keys)
   // before anyone reads it, so hash order cannot escape.
   // v6lint: allow(unordered-iteration)
-  for (const auto& [asn, indices] : routers_) {
-    if (indices.size() >= 3) transit_pool_.push_back(asn);
+  for (const auto& [asn, addrs] : routers_) {
+    if (addrs.size() >= 3) transit_pool_.push_back(asn);
   }
   std::sort(transit_pool_.begin(), transit_pool_.end());
   if (transit_pool_.empty()) {
     // v6lint: allow(unordered-iteration)
-    for (const auto& [asn, indices] : routers_) transit_pool_.push_back(asn);
+    for (const auto& [asn, addrs] : routers_) transit_pool_.push_back(asn);
     std::sort(transit_pool_.begin(), transit_pool_.end());
   }
 
@@ -71,15 +69,14 @@ const std::vector<std::uint32_t>& TracerouteEngine::upstreams(
   return it == upstreams_.end() ? kEmpty : it->second;
 }
 
-std::vector<std::uint32_t> TracerouteEngine::visible_routers(
+std::vector<Ipv6Addr> TracerouteEngine::visible_routers(
     std::uint32_t asn, const VantageProfile& vantage) const {
-  std::vector<std::uint32_t> out;
+  std::vector<Ipv6Addr> out;
   const auto it = routers_.find(asn);
   if (it == routers_.end()) return out;
-  const auto hosts = universe_->hosts();
-  for (const std::uint32_t idx : it->second) {
-    const double u = addr_unit(hosts[idx].addr);
-    if (u >= vantage.band_lo && u < vantage.band_hi) out.push_back(idx);
+  for (const Ipv6Addr& addr : it->second) {
+    const double u = addr_unit(addr);
+    if (u >= vantage.band_lo && u < vantage.band_hi) out.push_back(addr);
   }
   return out;
 }
@@ -92,7 +89,6 @@ std::vector<TraceHop> TracerouteEngine::trace(const Ipv6Addr& target,
 
   Rng rng = v6::net::make_rng(
       seed_, v6::net::splitmix64(target.hi() ^ target.lo()) ^ 0x7124CE);
-  const auto hosts = universe_->hosts();
   int ttl = 1;
 
   auto push_from_as = [&](std::uint32_t asn, int max_hops) {
@@ -102,10 +98,9 @@ std::vector<TraceHop> TracerouteEngine::trace(const Ipv6Addr& target,
         std::min<int>(max_hops, v6::net::uniform_int(rng, 1, 2));
     for (int h = 0; h < hops; ++h) {
       ++probes_;
-      const std::uint32_t idx = visible[v6::net::uniform_int<std::size_t>(
-          rng, 0, visible.size() - 1)];
       TraceHop hop;
-      hop.addr = hosts[idx].addr;
+      hop.addr = visible[v6::net::uniform_int<std::size_t>(
+          rng, 0, visible.size() - 1)];
       hop.asn = asn;
       hop.ttl = ttl++;
       hop.responded = v6::net::chance(rng, vantage.hop_response_prob);

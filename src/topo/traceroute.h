@@ -62,15 +62,17 @@ class TracerouteEngine {
 
  private:
   /// Routers of one AS whose interface hash lies inside the vantage band.
-  std::vector<std::uint32_t> visible_routers(std::uint32_t asn,
-                                             const VantageProfile& vantage)
+  std::vector<v6::net::Ipv6Addr> visible_routers(std::uint32_t asn,
+                                                 const VantageProfile& vantage)
       const;
 
   const v6::simnet::Universe* universe_;
   std::uint64_t seed_;
   std::uint64_t probes_ = 0;
-  /// asn -> indices of its router hosts in universe.hosts().
-  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> routers_;
+  /// asn -> interface addresses of its (historically active) routers.
+  /// Addresses, not indices: there is no materialized host table to
+  /// index into on a procedural universe.
+  std::unordered_map<std::uint32_t, std::vector<v6::net::Ipv6Addr>> routers_;
   /// asn -> upstream provider ASNs.
   std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> upstreams_;
   /// Transit-capable ASNs (provider pool).

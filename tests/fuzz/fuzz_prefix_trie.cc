@@ -1,0 +1,111 @@
+// Fuzz harness for net::PrefixTrie, differential against a brute-force
+// linear oracle. The trie carries the routing table, the alias regions,
+// and (procedural universes) the per-/32 plan index — one longest-match
+// walk per simulated packet — so a structural bug would silently
+// corrupt scan ground truth.
+//
+// Input is a little program of fixed 18-byte records:
+//   byte 0        opcode (even = insert, odd = query)
+//   bytes 1..16   an IPv6 address, big-endian
+//   byte 17       prefix length (mod 129; query records ignore it)
+// Insert adds (Prefix(addr, len), value) to both structures; query
+// checks longest_match agreement (presence, value, matched length) on
+// the raw address. A final pass checks size and re-queries every
+// inserted base address.
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "fuzz_check.h"
+#include "net/ipv6.h"
+#include "net/prefix.h"
+#include "net/prefix_trie.h"
+
+using v6::net::Ipv6Addr;
+using v6::net::Prefix;
+using v6::net::PrefixTrie;
+
+namespace {
+
+constexpr std::size_t kRecord = 18;
+constexpr std::size_t kMaxInserts = 512;  // bound oracle quadratic cost
+
+Ipv6Addr read_addr(const std::uint8_t* p) {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 8; ++i) hi = (hi << 8) | p[i];
+  for (int i = 8; i < 16; ++i) lo = (lo << 8) | p[i];
+  return Ipv6Addr(hi, lo);
+}
+
+std::optional<std::pair<int, int>> oracle_match(
+    const std::vector<std::pair<Prefix, int>>& entries,
+    const Ipv6Addr& addr) {
+  std::optional<std::pair<int, int>> best;  // (value, length)
+  for (const auto& [p, v] : entries) {
+    if (p.contains(addr) && (!best || p.length() > best->second)) {
+      best = {v, p.length()};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  PrefixTrie<int> trie;
+  std::vector<std::pair<Prefix, int>> oracle;
+  int next_value = 0;
+
+  for (std::size_t off = 0; off + kRecord <= size; off += kRecord) {
+    const std::uint8_t op = data[off];
+    const Ipv6Addr addr = read_addr(data + off + 1);
+    if (op % 2 == 0 && oracle.size() < kMaxInserts) {
+      const int len = data[off + 17] % 129;
+      const Prefix prefix(addr, len);  // constructor masks host bits
+      const int value = next_value++;
+      trie.insert(prefix, value);
+      bool replaced = false;
+      for (auto& [p, v] : oracle) {
+        if (p == prefix) {
+          v = value;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) oracle.emplace_back(prefix, value);
+    } else {
+      int trie_len = -1;
+      const int* got = trie.longest_match(addr, trie_len);
+      const auto want = oracle_match(oracle, addr);
+      FUZZ_CHECK((got != nullptr) == want.has_value(),
+                 "trie and oracle disagree on coverage");
+      if (got != nullptr) {
+        FUZZ_CHECK(*got == want->first,
+                   "trie returned a non-most-specific value");
+        FUZZ_CHECK(trie_len == want->second,
+                   "trie reported the wrong matched length");
+      }
+      FUZZ_CHECK(trie.covers(addr) == want.has_value(),
+                 "covers() disagrees with longest_match()");
+    }
+  }
+
+  FUZZ_CHECK(trie.size() == oracle.size(),
+             "size() must count distinct prefixes");
+  for (const auto& [p, v] : oracle) {
+    const int* found = trie.find(p);
+    FUZZ_CHECK(found != nullptr && *found == v,
+               "exact find() lost an inserted prefix");
+    const auto want = oracle_match(oracle, p.addr());
+    int trie_len = -1;
+    const int* got = trie.longest_match(p.addr(), trie_len);
+    FUZZ_CHECK(got != nullptr && *got == want->first &&
+                   trie_len == want->second,
+               "base-address longest_match diverged from oracle");
+  }
+  return 0;
+}

@@ -16,8 +16,10 @@
 # (`ctest -L report`: the reader/analyzer unit suite plus a tiny traced
 # sweep piped through `sos report --json`), the scan-engine bench smoke
 # (`ctest -L bench`: bench_throughput's cross-shard bit-identity and
-# batch/stream agreement contracts on a tiny target list, plus
-# bench_serve's snapshot-consistency checks under concurrent refresh),
+# batch/stream agreement contracts on a tiny target list,
+# bench_serve's snapshot-consistency checks under concurrent refresh,
+# plus bench_scale's flat-RSS and procedural/materialized equivalence
+# gates at 1M-vs-12M hosts — docs/SCALE.md),
 # and the continuous-service suite (`ctest -L service`: the hitlist
 # store, incremental TGA, scheduler/bandit, and epoch bit-identity
 # tests from docs/SERVICE.md).

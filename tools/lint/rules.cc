@@ -251,6 +251,30 @@ void check_hitlist_mutation(const RuleContext& ctx,
   }
 }
 
+/// materialized-span: Universe::hosts_ / hosts() is the materialized
+/// host table — it exists only for differential tests against the
+/// procedural model and V6_REQUIREs a materialized build. Library code
+/// that touches it silently reintroduces the O(hosts) memory the
+/// procedural universe removed (docs/SCALE.md) and crashes on the
+/// 100M+-host configurations. Outside src/simnet/, host state is
+/// reached through lookup_host(), for_each_host(), or probe().
+void check_materialized_span(const RuleContext& ctx,
+                             std::vector<Violation>& out) {
+  const FileIndex& fi = ctx.file;
+  if (!fi.in_src || fi.module == "simnet") return;
+  static const std::regex kSpan(R"(\bhosts_\b|\bhosts\s*\(\s*\))");
+  const std::vector<std::string>& stripped = fi.lx.code_lines;
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    if (std::regex_search(stripped[i], kSpan)) {
+      out.push_back({fi.file, i + 1, "materialized-span",
+                     "materialized host-table access outside src/simnet/; "
+                     "hosts() requires a materialized build and scales "
+                     "O(hosts) — use lookup_host(), for_each_host(), or "
+                     "probe() instead"});
+    }
+  }
+}
+
 // ------------------------------------------------------- new rule families
 
 /// layering: the declared module DAG in tools/lint/layers.txt is the
@@ -465,6 +489,7 @@ const std::vector<Rule>& all_rules() {
       {"metric-name", check_metric_name},
       {"raw-thread", check_raw_thread},
       {"hitlist-mutation", check_hitlist_mutation},
+      {"materialized-span", check_materialized_span},
       {"layering", check_layering},
       {"unordered-iteration", check_unordered_iteration},
       {"lock-discipline", check_lock_discipline},

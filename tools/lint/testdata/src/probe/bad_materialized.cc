@@ -1,0 +1,16 @@
+// Lint fixture: materialized host-table access outside src/simnet/ (the
+// `materialized-span` rule). The hosts() span exists only for the
+// procedural-vs-materialized differential tests; library code walking
+// it reintroduces O(hosts) memory and aborts on procedural builds.
+// Never compiled.
+namespace v6::fixture {
+
+std::size_t count_by_scanning_the_table(const Universe& universe) {
+  std::size_t n = 0;
+  for (const auto& host : universe.hosts()) {  // violation
+    if (host.services != 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace v6::fixture
