@@ -18,6 +18,12 @@
 // hosts skip that assertion (the bench then measures scaling, where
 // wall time depends on the scheduler).
 //
+// The run also measures the live introspection plane's cost: a 1-shard
+// stream pass with telemetry + flight recorder + armed watchdog attached
+// is interleaved against a plain pass and must stay bit-identical; the
+// overhead ratio lands in the JSON (entry `stream_instrumented`, design
+// bar <2%, gated at the same 1.05 noise floor on single-core hosts).
+//
 // Usage: bench_throughput [targets] [--jobs N] [--repeat N] [--smoke]
 // The positional budget is reinterpreted as the target-list length.
 // Writes BENCH_throughput.json (see bench_common.h for the schema);
@@ -32,6 +38,9 @@
 
 #include "bench_common.h"
 #include "net/ipv6.h"
+#include "obs/flight_recorder.h"
+#include "obs/telemetry.h"
+#include "obs/watchdog.h"
 #include "probe/scanner.h"
 #include "probe/stream_scanner.h"
 #include "probe/transport.h"
@@ -211,6 +220,79 @@ int main(int argc, char** argv) {
          {"shards", static_cast<double>(shards)},
          {"probed", static_cast<double>(result.stats.probed)},
          {"hits", static_cast<double>(result.stats.hits)}});
+  }
+
+  // --- Introspection-plane overhead ---------------------------------------
+  // The live plane (telemetry registry + flight-recorder sink + an armed
+  // stall watchdog with its monitor thread) rides along a 1-shard stream
+  // pass. Design bar: under 2% per-probe overhead (docs/OBSERVABILITY.md
+  // "Live introspection"); the enforced gate reuses the engine gate's
+  // 1.05 noise floor because shared-host wall noise dwarfs 2%. Pairs are
+  // interleaved again so clock drift hits both sides equally.
+  std::vector<double> plain_samples;
+  std::vector<double> plane_samples;
+  v6::probe::ScanResult plane_result;
+  const auto run_plane_pairs = [&](unsigned pairs) {
+    for (unsigned r = 0; r < pairs; ++r) {
+      double sample = 0.0;
+      v6::probe::ScanResult plain_result;
+      run_stream(1, &plain_result, &sample);
+      plain_samples.push_back(sample);
+
+      v6::obs::Telemetry telemetry;
+      v6::obs::FlightRecorder recorder;
+      telemetry.attach_sink(&recorder);
+      v6::obs::StallWatchdog::Options wd;
+      wd.deadline_seconds = 30.0;
+      wd.registry = &telemetry.registry();
+      v6::obs::StallWatchdog watchdog(wd);
+      watchdog.start();
+      v6::probe::StreamScanner scanner(
+          universe, nullptr,
+          v6::probe::StreamScanOptions{}
+              .with_shards(1)
+              .with_batch(1024)
+              .with_scan(v6::probe::ScanOptions(scan_options)
+                             .with_telemetry(&telemetry))
+              .with_watchdog(&watchdog));
+      const auto start = Clock::now();
+      plane_result = scanner.scan_hits(targets, v6::net::ProbeType::kIcmp);
+      plane_samples.push_back(seconds_since(start));
+      watchdog.stop();
+      if (watchdog.tripped()) {
+        fail("watchdog tripped during a healthy bench pass");
+      }
+    }
+  };
+  run_plane_pairs(args.repeat);
+  if (!args.smoke && single_core) {
+    for (int block = 1;
+         block < 3 &&
+         min_of(plane_samples) > kGateRatio * min_of(plain_samples);
+         ++block) {
+      run_plane_pairs(args.repeat);
+    }
+  }
+  // Observation must never steer the scan: the instrumented pass is
+  // bit-identical to the plain streaming baseline.
+  if (plane_result.hits != stream_baseline.hits ||
+      !stats_equal(plane_result.stats, stream_baseline.stats)) {
+    fail("instrumented stream pass diverged from the plain pass");
+  }
+  const double plane_ratio = min_of(plane_samples) / min_of(plain_samples);
+  timer.record_samples(
+      "stream_instrumented", plane_samples,
+      {{"probes_per_second",
+        static_cast<double>(plane_result.stats.probed) /
+            min_of(plane_samples)},
+       {"shards", 1.0},
+       {"overhead_ratio", plane_ratio}});
+  std::cerr << "introspection plane overhead ratio " << plane_ratio
+            << " (design bar 1.02, gate 1.05)\n";
+  if (!args.smoke && single_core && plane_ratio > kGateRatio) {
+    timer.write();  // keep the failing run's trajectory on disk
+    fail("introspection plane overhead exceeds the 1.05 gate (ratio " +
+         std::to_string(plane_ratio) + "; design bar is 1.02)");
   }
 
   // Engines share the deterministic pre-wire path: the same dedup,

@@ -1,0 +1,155 @@
+#include "obs/admin/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace v6::obs::admin {
+namespace {
+
+/// Accept-loop poll period: bounds how long stop() waits for the loop
+/// to notice the stop flag. Wall-side only.
+constexpr int kPollMillis = 100;
+
+bool set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+  return false;
+}
+
+/// Writes all of `body`, tolerating short writes. Best-effort: the
+/// admin plane never fails the host process over a dropped scrape.
+void write_all(int fd, const std::string& body) {
+  std::size_t off = 0;
+  while (off < body.size()) {
+    const ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+AdminServer::AdminServer(Options options) : options_(std::move(options)) {}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::handle(std::string path, Handler handler) {
+  handlers_.emplace_back(std::move(path), std::move(handler));
+}
+
+bool AdminServer::start(std::string* error) {
+  if (listen_fd_ >= 0) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return set_error(error, "socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    if (error != nullptr) {
+      *error = "bad bind address '" + options_.bind_address + "'";
+    }
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    set_error(error, "bind");
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 8) != 0) {
+    set_error(error, "listen");
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+  listen_fd_ = fd;
+  stop_requested_.store(false, std::memory_order_release);
+  accept_thread_.spawn([this] { serve_loop(); });
+  return true;
+}
+
+void AdminServer::stop() {
+  if (listen_fd_ < 0) return;
+  stop_requested_.store(true, std::memory_order_release);
+  accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void AdminServer::serve_loop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stop flag
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    char buf[2048];
+    const ssize_t n = ::read(conn, buf, sizeof(buf) - 1);
+    if (n > 0) {
+      buf[n] = '\0';
+      write_all(conn, respond(std::string(buf)));
+    }
+    ::close(conn);
+  }
+}
+
+std::string AdminServer::respond(const std::string& request) const {
+  // Request line: METHOD SP path[?query] SP version. Anything that is
+  // not a well-formed GET gets a terse 400/404/405 — this endpoint
+  // serves scrapers and runbooks, not browsers.
+  const std::size_t eol = request.find("\r\n");
+  const std::string line =
+      eol == std::string::npos ? request : request.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  std::string status = "400 Bad Request";
+  std::string body = "bad request\n";
+  if (sp1 != std::string::npos && sp2 != std::string::npos) {
+    const std::string method = line.substr(0, sp1);
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    if (method != "GET") {
+      status = "405 Method Not Allowed";
+      body = "GET only\n";
+    } else {
+      status = "404 Not Found";
+      body = "unknown path; try";
+      for (const auto& [known, handler] : handlers_) {
+        body += " " + known;
+      }
+      body += "\n";
+      for (const auto& [known, handler] : handlers_) {
+        if (known == path) {
+          status = "200 OK";
+          body = handler();
+          break;
+        }
+      }
+    }
+  }
+  std::string out = "HTTP/1.0 " + status + "\r\n";
+  out += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace v6::obs::admin

@@ -1,0 +1,82 @@
+// AdminServer: a minimal self-contained HTTP/1.0 endpoint for live
+// introspection scrapes (`sos serve --admin-port`).
+//
+// Scope is deliberately tiny: loopback-only by default, GET-only,
+// Connection: close, one short-lived connection handled at a time on
+// one accept thread (spawned through runtime::WorkerGroup). Handlers
+// are `path -> body` closures registered before start(); the server
+// snapshots whatever they render (typically obs::render_exposition over
+// a Registry snapshot, or a FlightRecorder dump) at request time. That
+// is all a Prometheus scraper or a `curl` in a runbook needs, and it
+// keeps the dependency surface at POSIX sockets only.
+//
+// This directory is the one place in src/ allowed to touch raw sockets
+// (v6lint `raw-socket` rule, docs/STATIC_ANALYSIS.md): every socket
+// call lives in admin_server.cc, and this header is socket-free. The
+// server never reads scan state directly — handlers observe snapshots —
+// so the virtual-time determinism contract is untouched.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/worker_group.h"
+
+namespace v6::obs::admin {
+
+class AdminServer {
+ public:
+  struct Options {
+    /// TCP port to bind; 0 asks the kernel for an ephemeral port (read
+    /// it back from port() after start()).
+    int port = 0;
+    /// Bind address. Loopback by default: the admin plane is an
+    /// operator tool, not a public API.
+    std::string bind_address = "127.0.0.1";
+  };
+
+  /// Renders the response body for one GET. Must be safe to call from
+  /// the accept thread while the instrumented process runs.
+  using Handler = std::function<std::string()>;
+
+  AdminServer() : AdminServer(Options{}) {}
+  explicit AdminServer(Options options);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers the handler for an exact path (e.g. "/metrics"). Call
+  /// before start(); later registrations are not synchronized.
+  void handle(std::string path, Handler handler);
+
+  /// Binds, listens, and spawns the accept loop. Returns false with a
+  /// description in `error` (optional) when the socket setup fails —
+  /// e.g. the port is taken — in which case the server is inert and
+  /// stop() is a no-op.
+  bool start(std::string* error = nullptr);
+
+  /// Stops the accept loop and closes the listening socket. Idempotent;
+  /// the destructor calls it.
+  void stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  /// The actually-bound port (resolves port 0), or -1 before start().
+  int port() const { return port_; }
+
+ private:
+  void serve_loop();
+  std::string respond(const std::string& request) const;
+
+  Options options_;
+  std::vector<std::pair<std::string, Handler>> handlers_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> stop_requested_{false};
+  runtime::WorkerGroup accept_thread_;
+};
+
+}  // namespace v6::obs::admin

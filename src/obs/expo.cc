@@ -1,0 +1,234 @@
+#include "obs/expo.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/quantiles.h"
+
+namespace v6::obs {
+namespace {
+
+/// Exposition metric-name grammar is [a-zA-Z_:][a-zA-Z0-9_:]*; the
+/// registry's dotted lower-case names map in by replacing everything
+/// else (dots, '<', '>') with '_'. The "sos_" prefix namespaces the
+/// whole process and guarantees a legal leading character.
+std::string sanitize(std::string_view dotted) {
+  std::string out = "sos_";
+  for (char c : dotted) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// HELP text carries the dotted registry name; the only characters the
+/// format escapes in HELP are backslash and newline, and registry names
+/// never contain either (metric-name lint rule), so this is verbatim.
+void family_header(std::string& out, const std::string& name,
+                   std::string_view dotted, std::string_view type) {
+  out += "# HELP " + name + " sos metric ";
+  out += dotted;
+  out += "\n# TYPE " + name + " ";
+  out += type;
+  out += "\n";
+}
+
+void append_uint(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+/// One fixed double format for every non-integer sample. %.9g keeps
+/// nanosecond resolution for seconds-scale values and renders
+/// identically across platforms for the ranges we emit.
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string render_exposition(const Report& report) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [dotted, value] : report.counters) {
+    const std::string name = sanitize(dotted);
+    family_header(out, name, dotted, "counter");
+    out += name + " ";
+    append_uint(out, value);
+    out += "\n";
+  }
+  for (const auto& [dotted, value] : report.gauges) {
+    const std::string name = sanitize(dotted);
+    family_header(out, name, dotted, "gauge");
+    out += name + " ";
+    append_int(out, value);
+    out += "\n";
+  }
+  for (const auto& [dotted, total] : report.timers) {
+    const std::string name = sanitize(dotted);
+    family_header(out, name, dotted, "summary");
+    out += name + "_count ";
+    append_uint(out, total.count);
+    out += "\n" + name + "_sum ";
+    append_double(out, total.seconds());
+    out += "\n";
+  }
+  for (const auto& [dotted, total] : report.histograms) {
+    const std::string name = sanitize(dotted);
+    family_header(out, name, dotted, "summary");
+    const QuantileSummary s = summarize(total);
+    const struct {
+      const char* q;
+      double v;
+    } rows[] = {{"0.5", s.p50}, {"0.9", s.p90}, {"0.99", s.p99}, {"1", s.max}};
+    for (const auto& row : rows) {
+      out += name + "{quantile=\"";
+      out += row.q;
+      out += "\"} ";
+      append_double(out, row.v);
+      out += "\n";
+    }
+    out += name + "_count ";
+    append_uint(out, s.count);
+    out += "\n" + name + "_sum ";
+    append_double(out, total.sum());
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+bool name_char(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+  if (first) return alpha || c == '_' || c == ':';
+  return alpha || (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+bool fail(std::string* error, std::size_t line_no, std::string_view what) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + std::string(what);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool parse_exposition(std::string_view text, ExpoDoc* out,
+                      std::string* error) {
+  out->families.clear();
+  out->samples.clear();
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  std::string pending_help_name;
+  std::string pending_help_text;
+  while (pos < text.size()) {
+    ++line_no;
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# HELP name text" / "# TYPE name type"; other comments skipped.
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+        const bool is_help = line[2] == 'H';
+        std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos || sp == 0) {
+          return fail(error, line_no, "malformed comment line");
+        }
+        std::string_view name = rest.substr(0, sp);
+        std::string_view tail = rest.substr(sp + 1);
+        for (std::size_t i = 0; i < name.size(); ++i) {
+          if (!name_char(name[i], i == 0)) {
+            return fail(error, line_no, "bad metric name in comment");
+          }
+        }
+        if (is_help) {
+          // Our renderer writes "sos metric <dotted>"; keep only the
+          // dotted original when that prefix is present.
+          pending_help_name = std::string(name);
+          constexpr std::string_view kPrefix = "sos metric ";
+          pending_help_text = std::string(
+              tail.rfind(kPrefix, 0) == 0 ? tail.substr(kPrefix.size())
+                                          : tail);
+        } else {
+          if (tail != "counter" && tail != "gauge" && tail != "summary" &&
+              tail != "histogram" && tail != "untyped") {
+            return fail(error, line_no, "unknown family type");
+          }
+          ExpoFamily family;
+          family.name = std::string(name);
+          family.type = std::string(tail);
+          if (pending_help_name == family.name) {
+            family.help = pending_help_text;
+          }
+          out->families.push_back(std::move(family));
+        }
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    std::size_t i = 0;
+    while (i < line.size() && name_char(line[i], i == 0)) ++i;
+    if (i == 0) return fail(error, line_no, "sample does not start with a name");
+    ExpoSample sample;
+    sample.name = std::string(line.substr(0, i));
+    if (i < line.size() && line[i] == '{') {
+      const std::size_t close = line.find('}', i);
+      if (close == std::string_view::npos) {
+        return fail(error, line_no, "unterminated label set");
+      }
+      sample.labels = std::string(line.substr(i + 1, close - i - 1));
+      i = close + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return fail(error, line_no, "expected space before sample value");
+    }
+    ++i;
+    const std::string value_text(line.substr(i));
+    char* end = nullptr;
+    sample.value = std::strtod(value_text.c_str(), &end);
+    if (value_text.empty() || end == nullptr || *end != '\0') {
+      return fail(error, line_no, "unparseable sample value");
+    }
+    out->samples.push_back(std::move(sample));
+  }
+  return true;
+}
+
+bool write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return false;
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace v6::obs

@@ -1,0 +1,78 @@
+// Prometheus-style text exposition of a Registry snapshot, plus the
+// atomic status-file writer behind `sos serve --status-file` — the
+// socketless half of the live introspection plane (docs/OBSERVABILITY.md
+// "Live introspection"). The socket half lives in obs/admin/.
+//
+// render_exposition() maps a point-in-time obs::Report onto the
+// Prometheus text format, version 0.0.4:
+//
+//   counters  -> `# TYPE sos_<name> counter` + one sample
+//   gauges    -> `# TYPE sos_<name> gauge` + one sample
+//   timers    -> `# TYPE sos_<name> summary` + `_count` / `_sum` samples
+//   histograms-> `# TYPE sos_<name> summary` + {quantile="0.5|0.9|0.99|1"}
+//                samples (from obs::summarize) + `_count` / `_sum`
+//
+// Metric names keep the registry's dotted spelling in a `# HELP` line
+// and are sanitized for the exposition name grammar by mapping every
+// character outside [A-Za-z0-9_:] to '_' (distinct dotted names can in
+// principle collide after sanitization; the dotted original in HELP
+// disambiguates). Families render in Report iteration order — std::map,
+// so sorted by name within each kind — and every number is printed
+// through one fixed format, which makes the whole document byte-stable
+// for a given Report (pinned by tests/golden/golden_expo.txt).
+//
+// parse_exposition() is the deliberately independent consumer half
+// (same pattern as obs/trace_reader.h): it validates the line grammar
+// and returns the samples, so tests and `sos expo-check` can round-trip
+// a scrape without a Prometheus server in the loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace v6::obs {
+
+/// Renders `report` as one complete exposition document (text format
+/// 0.0.4, trailing newline included). Byte-stable: equal Reports render
+/// to equal bytes.
+std::string render_exposition(const Report& report);
+
+/// One `name{labels} value` sample line, decoded.
+struct ExpoSample {
+  std::string name;    // sanitized family name, e.g. "sos_scanner_probed"
+  std::string labels;  // raw text between braces, "" when absent
+  double value = 0.0;
+};
+
+/// One metric family: the `# TYPE` declaration plus its samples.
+struct ExpoFamily {
+  std::string name;
+  std::string type;  // "counter" | "gauge" | "summary" | "untyped"
+  std::string help;  // dotted registry name from the HELP line
+};
+
+/// A parsed exposition document.
+struct ExpoDoc {
+  std::vector<ExpoFamily> families;
+  std::vector<ExpoSample> samples;
+};
+
+/// Parses an exposition document produced by render_exposition (or any
+/// conforming text-format document). Returns false on the first
+/// malformed line; `error` (optional) then describes it with a 1-based
+/// line number. On success `out` holds every family and sample in
+/// document order.
+bool parse_exposition(std::string_view text, ExpoDoc* out,
+                      std::string* error = nullptr);
+
+/// Writes `content` to `path` atomically: the bytes land in
+/// `<path>.tmp` first and are renamed into place, so a concurrent
+/// reader sees either the old document or the new one, never a torn
+/// write. Returns false (and removes the temp file) on any I/O error.
+bool write_file_atomic(const std::string& path, std::string_view content);
+
+}  // namespace v6::obs

@@ -1,0 +1,97 @@
+#include "obs/flight_recorder.h"
+
+#include <ostream>
+#include <thread>
+
+#include "obs/sinks.h"
+
+namespace v6::obs {
+namespace {
+
+/// Process-wide thread ordinal: each thread gets a stable small integer
+/// on first use, striping threads across lanes without any per-recorder
+/// registration step. Which lane a thread lands on is wall-side state
+/// and never observable in deterministic output.
+std::size_t this_thread_ordinal() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(Options options)
+    : lane_capacity_(options.lane_capacity == 0 ? 1 : options.lane_capacity) {
+  const std::size_t lanes = options.lanes == 0 ? 1 : options.lanes;
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    auto lane = std::make_unique<Lane>();
+    lane->ring.resize(lane_capacity_);
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+FlightRecorder::Lane& FlightRecorder::lane_for_this_thread() {
+  return *lanes_[this_thread_ordinal() % lanes_.size()];
+}
+
+void FlightRecorder::emit(const Event& event) {
+  if (frozen_.load(std::memory_order_seq_cst)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Lane& lane = lane_for_this_thread();
+  if (lane.in_write.exchange(true, std::memory_order_seq_cst)) {
+    // Another thread striped onto this lane is mid-write; dropping is
+    // the wait-free choice.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Re-check after publishing in_write: freeze() either sees our flag
+  // and waits for us, or we see its frozen store and back out.
+  if (frozen_.load(std::memory_order_seq_cst)) {
+    lane.in_write.store(false, std::memory_order_seq_cst);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t seq = lane.seq.load(std::memory_order_relaxed);
+  lane.ring[seq % lane_capacity_] = event;
+  lane.seq.store(seq + 1, std::memory_order_relaxed);
+  lane.in_write.store(false, std::memory_order_seq_cst);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FlightRecorder::freeze() {
+  frozen_.store(true, std::memory_order_seq_cst);
+  for (const auto& lane : lanes_) {
+    while (lane->in_write.load(std::memory_order_seq_cst)) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void FlightRecorder::thaw() { frozen_.store(false, std::memory_order_seq_cst); }
+
+std::vector<Event> FlightRecorder::snapshot() {
+  freeze();
+  std::vector<Event> out;
+  for (const auto& lane : lanes_) {
+    const std::uint64_t seq = lane->seq.load(std::memory_order_relaxed);
+    const std::uint64_t kept =
+        seq < lane_capacity_ ? seq : static_cast<std::uint64_t>(lane_capacity_);
+    for (std::uint64_t i = 0; i < kept; ++i) {
+      out.push_back(lane->ring[(seq - kept + i) % lane_capacity_]);
+    }
+  }
+  return out;
+}
+
+void FlightRecorder::dump_jsonl(std::ostream& out) {
+  for (const Event& event : snapshot()) {
+    out << JsonLinesSink::to_json(event) << '\n';
+  }
+  out.flush();
+}
+
+}  // namespace v6::obs

@@ -1,0 +1,97 @@
+// FlightRecorder: a fixed-size ring of the most recent obs events, kept
+// per worker lane so a long-running scan can be post-mortemed without
+// ever paying for a full trace file.
+//
+// The recorder is an EventSink, so it tees behind the normal sinks
+// (obs/sinks.h) and sees exactly the events a JSONL trace would. Each
+// recording thread maps onto one of a fixed set of lanes (a process-wide
+// thread ordinal modulo the lane count); each lane is a single-writer
+// ring of Events guarded by one atomic flag. record() is wait-free: a
+// writer that finds its lane busy (two threads hashed onto it
+// simultaneously) or the recorder frozen drops the event and bumps a
+// drop counter instead of blocking — the recorder must never add a
+// blocking edge to the pipeline it observes.
+//
+// dump() freezes the recorder (new events are dropped from then on),
+// waits for in-flight writers to drain, and walks the lanes oldest→
+// newest. The dump is JSONL in JsonLinesSink::to_json's exact encoding,
+// so `sos report` and obs::load_trace parse a crash dump like any trace
+// file (docs/OBSERVABILITY.md "Live introspection"). Dumps fire on
+// watchdog trip, SIGTERM, or an explicit /flight scrape.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace v6::obs {
+
+class FlightRecorder final : public EventSink {
+ public:
+  struct Options {
+    /// Independent single-writer rings; threads are striped across them.
+    /// More lanes = less cross-thread drop contention, more memory.
+    std::size_t lanes = 4;
+    /// Events retained per lane (oldest overwritten first).
+    std::size_t lane_capacity = 256;
+  };
+
+  FlightRecorder() : FlightRecorder(Options{}) {}
+  explicit FlightRecorder(Options options);
+
+  /// Wait-free. Copies `event` into the calling thread's lane, or drops
+  /// it (counted) when the lane is busy or the recorder is frozen.
+  void emit(const Event& event) override;
+
+  /// Stops recording: every subsequent emit() drops. Returns once no
+  /// writer is mid-slot, so the rings are safe to read. Idempotent.
+  void freeze();
+  /// Re-opens a frozen recorder (rings keep their contents).
+  void thaw();
+  bool frozen() const { return frozen_.load(std::memory_order_seq_cst); }
+
+  /// Freezes, then returns the retained events: lanes in index order,
+  /// each lane oldest→newest. The recorder stays frozen; call thaw() to
+  /// resume recording.
+  std::vector<Event> snapshot();
+
+  /// snapshot() rendered as JSONL (JsonLinesSink::to_json per event,
+  /// one per line) — the format obs::load_trace and `sos report`
+  /// consume. Leaves the recorder frozen, like snapshot().
+  void dump_jsonl(std::ostream& out);
+
+  std::uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t lanes() const { return lanes_.size(); }
+  std::size_t lane_capacity() const { return lane_capacity_; }
+
+ private:
+  struct Lane {
+    /// Single-writer flag: seq_cst exchange is the try-acquire, paired
+    /// with freeze()'s seq_cst store/load handshake (Dekker pattern:
+    /// writer publishes in_write then re-checks frozen; freeze publishes
+    /// frozen then waits on in_write).
+    std::atomic<bool> in_write{false};
+    /// Total events ever written to this lane; slot = seq % capacity.
+    std::atomic<std::uint64_t> seq{0};
+    std::vector<Event> ring;
+  };
+
+  Lane& lane_for_this_thread();
+
+  std::size_t lane_capacity_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<bool> frozen_{false};
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace v6::obs

@@ -333,10 +333,17 @@ TraceLoadStats load_trace(std::istream& in, std::vector<Event>* out) {
   TraceLoadStats stats;
   std::string line;
   while (std::getline(in, line)) {
+    // getline sets eofbit (without failbit) when the final line ends at
+    // EOF with no '\n' — exactly the shape of a write cut short by a
+    // crash. A line like that which also fails to decode is counted as
+    // truncation, not corruption.
+    const bool cut_at_eof = in.eof();
     if (line.empty()) continue;
     ++stats.lines;
     if (auto event = parse_trace_line(line)) {
       out->push_back(std::move(*event));
+    } else if (cut_at_eof) {
+      ++stats.truncated;
     } else {
       ++stats.bad_lines;
     }

@@ -56,11 +56,18 @@ std::optional<Event> parse_trace_line(std::string_view line);
 
 struct TraceLoadStats {
   std::size_t lines = 0;      // non-empty lines seen
-  std::size_t bad_lines = 0;  // lines that failed to decode
+  std::size_t bad_lines = 0;  // interior lines that failed to decode
+  /// 1 when the final line had no trailing newline and failed to
+  /// decode — the signature of a dump cut mid-write (a crashed process,
+  /// a flight-recorder dump truncated by the filesystem). Counted
+  /// separately from bad_lines so a crash dump with a torn tail still
+  /// reads as "clean trace, torn tail" rather than "corrupt trace".
+  std::size_t truncated = 0;
 };
 
 /// Reads a JSONL trace stream, appending decoded events to `out`.
-/// Malformed lines are counted, not fatal.
+/// Malformed lines are counted, not fatal; a partial final line (no
+/// trailing newline) counts as truncated, not bad.
 TraceLoadStats load_trace(std::istream& in, std::vector<Event>* out);
 
 }  // namespace v6::obs

@@ -1,0 +1,194 @@
+#include "obs/watchdog.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace v6::obs {
+namespace {
+
+void append_seconds(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string StallWatchdog::StallReport::to_text() const {
+  std::string out = "watchdog: stage '" + stage + "' stalled for ";
+  append_seconds(out, idle_seconds);
+  out += "s (deadline ";
+  append_seconds(out, deadline_seconds);
+  out += "s)\n";
+  for (const StageStatus& s : stages) {
+    out += "  stage " + s.name + ": beats=" + std::to_string(s.beats);
+    out += s.armed ? " armed" : " disarmed";
+    if (s.armed) {
+      out += " idle=";
+      append_seconds(out, s.idle_seconds);
+      out += "s";
+    }
+    if (s.stalled) out += " STALLED";
+    out += "\n";
+  }
+  return out;
+}
+
+StallWatchdog::StallWatchdog(Options options) : options_(std::move(options)) {
+  if (options_.deadline_seconds <= 0.0) options_.deadline_seconds = 30.0;
+  if (options_.poll_seconds <= 0.0) options_.poll_seconds = 0.25;
+}
+
+StallWatchdog::~StallWatchdog() { stop(); }
+
+Heartbeat& StallWatchdog::stage(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Stage& s : stages_) {
+    if (s.name == name) return s.heartbeat;
+  }
+  Stage& s = stages_.emplace_back();
+  s.name = std::string(name);
+  s.last_progress = Clock::now();
+  return s.heartbeat;
+}
+
+void StallWatchdog::on_stall(StallHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handler_ = std::move(handler);
+}
+
+void StallWatchdog::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  monitor_.spawn([this] {
+    const auto poll = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(options_.poll_seconds));
+    while (true) {
+      {
+        // Timed wait, not a sleep: stop() interrupts it immediately,
+        // and the poll cadence is wall-side only (never observable in
+        // deterministic output).
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (wake_.wait_for(lock, poll, [&] { return stop_requested_; })) {
+          break;
+        }
+      }
+      check_at(Clock::now());
+    }
+  });
+}
+
+void StallWatchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  monitor_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+bool StallWatchdog::check_now() { return check_at(Clock::now()); }
+
+bool StallWatchdog::check_at(Clock::time_point now) {
+  std::vector<StallReport> fired;
+  StallHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handler = handler_;
+    std::vector<StageStatus> statuses;
+    statuses.reserve(stages_.size());
+    std::vector<std::size_t> new_trips;
+    std::int64_t stalled_now = 0;
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      Stage& s = stages_[i];
+      StageStatus status;
+      status.name = s.name;
+      status.armed = s.heartbeat.armed();
+      status.beats = s.heartbeat.count();
+      if (!status.armed) {
+        s.was_armed = false;
+        s.reported = false;
+        statuses.push_back(std::move(status));
+        continue;
+      }
+      if (!s.was_armed) {
+        // Disarmed -> armed: the idle clock starts at the arm() instant
+        // (the heartbeat timestamps it), so time spent between cycles is
+        // never counted but a stage wedged since arming still trips on
+        // the very first poll past the deadline.
+        s.was_armed = true;
+        s.last_count = status.beats;
+        const Clock::time_point armed_at{
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::nanoseconds(s.heartbeat.armed_at_nanos()))};
+        s.last_progress = armed_at > now ? now : armed_at;
+        s.reported = false;
+      } else if (status.beats != s.last_count) {
+        s.last_count = status.beats;
+        s.last_progress = now;
+        s.reported = false;
+      }
+      status.idle_seconds =
+          std::chrono::duration<double>(now - s.last_progress).count();
+      const bool expired = status.idle_seconds > options_.deadline_seconds;
+      status.stalled = expired;
+      if (expired) {
+        ++stalled_now;
+        if (!s.reported) {
+          s.reported = true;
+          new_trips.push_back(i);
+        }
+      }
+      statuses.push_back(std::move(status));
+    }
+    if (options_.registry != nullptr) {
+      options_.registry->gauge("watchdog.stalled.wall").set(stalled_now);
+      if (!new_trips.empty()) {
+        options_.registry->counter("watchdog.trips.wall")
+            .add(new_trips.size());
+      }
+    }
+    for (std::size_t index : new_trips) {
+      trips_.fetch_add(1, std::memory_order_relaxed);
+      StallReport report;
+      report.stage = statuses[index].name;
+      report.idle_seconds = statuses[index].idle_seconds;
+      report.deadline_seconds = options_.deadline_seconds;
+      report.stages = statuses;
+      fired.push_back(std::move(report));
+    }
+  }
+  // Handlers run outside the lock: they may legitimately call status(),
+  // stage(), or registry methods while dumping diagnostics.
+  if (handler) {
+    for (const StallReport& report : fired) handler(report);
+  }
+  return !fired.empty();
+}
+
+std::vector<StallWatchdog::StageStatus> StallWatchdog::status() const {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<StageStatus> out;
+  out.reserve(stages_.size());
+  for (const Stage& s : stages_) {
+    StageStatus status;
+    status.name = s.name;
+    status.armed = s.heartbeat.armed();
+    status.beats = s.heartbeat.count();
+    if (status.armed && s.was_armed) {
+      status.idle_seconds =
+          std::chrono::duration<double>(now - s.last_progress).count();
+      status.stalled = s.reported;
+    }
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+}  // namespace v6::obs

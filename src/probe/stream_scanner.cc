@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -10,6 +11,7 @@
 #include "check/contracts.h"
 #include "check/validate.h"
 #include "net/rng.h"
+#include "obs/watchdog.h"
 #include "probe/instrumented_transport.h"
 #include "probe/probe_auth.h"
 #include "probe/rate_limiter.h"
@@ -40,6 +42,21 @@ std::uint64_t probe_key(std::uint64_t base, const Ipv6Addr& addr,
                              addr.lo()) ^
          attempt;
 }
+
+/// Arms a stage heartbeat for a scan and disarms it on every exit path
+/// (a disarmed stage is never considered stalled between scans).
+struct ArmedStage {
+  v6::obs::Heartbeat* heartbeat;
+  explicit ArmedStage(v6::obs::Heartbeat* hb) : heartbeat(hb) {
+    if (heartbeat != nullptr) heartbeat->arm();
+  }
+  ~ArmedStage() {
+    if (heartbeat != nullptr) heartbeat->disarm();
+  }
+  void beat() {
+    if (heartbeat != nullptr) heartbeat->beat();
+  }
+};
 
 }  // namespace
 
@@ -272,6 +289,15 @@ ScanStats StreamScanner::scan(std::span<const Ipv6Addr> targets,
   v6::obs::Span span(options_.scan.telemetry, "scanner.scan");
   ScanStats stats;
   stats.targets = targets.size();
+  // Wall-side observability state: stage heartbeats for the watchdog
+  // and queue totals captured before the stage queues die. All of it
+  // feeds `.wall`-suffixed metrics, exempt from the shard/jobs
+  // determinism contract (docs/OBSERVABILITY.md).
+  v6::obs::StallWatchdog* const watchdog = options_.watchdog;
+  std::vector<v6::runtime::QueueTotals> target_totals;
+  v6::runtime::QueueTotals reply_totals;
+  bool have_queue_totals = false;
+  const auto wall_start = std::chrono::steady_clock::now();
 
   // Dedup on the caller thread: one flat-table pass marks the first
   // occurrence of each address. The producer then streams indices with
@@ -351,6 +377,8 @@ ScanStats StreamScanner::scan(std::span<const Ipv6Addr> targets,
     // engine's per-probe cost, and the threaded merge must stay
     // bit-identical to it (stream_scanner_test compares the two).
     Lane& lane = *lanes_[0];
+    ArmedStage stage(watchdog != nullptr ? &watchdog->stage("stream.scan")
+                                         : nullptr);
     WalkAdapter walk = make_walk(0);
     ShardItem item;
     while (walk.next(&item)) {
@@ -364,6 +392,7 @@ ScanStats StreamScanner::scan(std::span<const Ipv6Addr> targets,
       note_reply(lane, addr, reply);
       ++lane.probed;
       classify(addr, reply);
+      stage.beat();
     }
   } else {
     const std::uint64_t auth_key = probe_auth_key(options_.scan.seed);
@@ -420,6 +449,25 @@ ScanStats StreamScanner::scan(std::span<const Ipv6Addr> targets,
     v6::runtime::BoundedQueue<ReplyBatch> reply_queue(options_.queue_capacity *
                                                       num_shards);
     std::atomic<unsigned> live_probers{num_shards};
+    // Stage heartbeats (armed inside each worker, disarmed on every exit
+    // path) and a live reply-queue depth gauge the receiver refreshes
+    // per batch, so an admin scrape mid-scan sees current backpressure.
+    v6::obs::Heartbeat* const producer_hb =
+        watchdog != nullptr ? &watchdog->stage("stream.producer") : nullptr;
+    v6::obs::Heartbeat* const receiver_hb =
+        watchdog != nullptr ? &watchdog->stage("stream.receiver") : nullptr;
+    std::vector<v6::obs::Heartbeat*> prober_hbs(num_shards, nullptr);
+    if (watchdog != nullptr) {
+      for (unsigned s = 0; s < num_shards; ++s) {
+        prober_hbs[s] = &watchdog->stage("stream.prober." + std::to_string(s));
+      }
+    }
+    v6::obs::Gauge* reply_depth_gauge = nullptr;
+    if (v6::obs::Telemetry* const telemetry = options_.scan.telemetry;
+        telemetry != nullptr) {
+      reply_depth_gauge =
+          &telemetry->registry().gauge("stream.queue.reply.depth.wall");
+    }
     v6::runtime::WorkerGroup workers;
     // join() can only rethrow one exception; route the rest through the
     // telemetry sink (scanner.suppressed_errors counter + one kMessage
@@ -445,7 +493,9 @@ ScanStats StreamScanner::scan(std::span<const Ipv6Addr> targets,
     }
 
     // --- Producer: walks the permutation, decimated across shards. ----
-    workers.spawn([this, num_shards, &target_queues, &make_walk]() {
+    workers.spawn([this, num_shards, &target_queues, &make_walk,
+                   producer_hb]() {
+      ArmedStage stage(producer_hb);
       struct CloseAll {
         std::vector<std::unique_ptr<v6::runtime::BoundedQueue<TargetBatch>>>*
             queues;
@@ -477,6 +527,7 @@ ScanStats StreamScanner::scan(std::span<const Ipv6Addr> targets,
           if (!batch.empty() && !target_queues[s]->push(std::move(batch))) {
             return;  // consumer aborted; close_all shuts the rest down
           }
+          stage.beat();
           if (!more) {
             target_queues[s]->close();
             done[s] = true;
@@ -489,8 +540,9 @@ ScanStats StreamScanner::scan(std::span<const Ipv6Addr> targets,
     // --- Probers: one worker per shard. -------------------------------
     for (unsigned s = 0; s < num_shards; ++s) {
       workers.spawn([this, s, &target_queues, &reply_queue, &live_probers,
-                     &probe_batch]() {
+                     &probe_batch, &prober_hbs]() {
         Lane& lane = *lanes_[s];
+        ArmedStage stage(prober_hbs[s]);
         struct ProberGuard {
           v6::runtime::BoundedQueue<TargetBatch>* own;
           v6::runtime::BoundedQueue<ReplyBatch>* replies;
@@ -511,14 +563,25 @@ ScanStats StreamScanner::scan(std::span<const Ipv6Addr> targets,
           if (!out.empty() && !reply_queue.push(std::move(out))) {
             return;  // receiver gone
           }
+          stage.beat();
         }
       });
     }
 
     // --- Receiver: this thread. ---------------------------------------
     try {
-      ReplyBatch batch;
-      while (reply_queue.pop(&batch)) absorb(batch);
+      {
+        ArmedStage stage(receiver_hb);
+        ReplyBatch batch;
+        while (reply_queue.pop(&batch)) {
+          absorb(batch);
+          stage.beat();
+          if (reply_depth_gauge != nullptr) {
+            reply_depth_gauge->set(
+                static_cast<std::int64_t>(reply_queue.size()));
+          }
+        }
+      }
       workers.join();  // rethrows the first producer/prober failure
     } catch (...) {
       for (auto& queue : target_queues) queue->close();
@@ -529,6 +592,15 @@ ScanStats StreamScanner::scan(std::span<const Ipv6Addr> targets,
       }
       throw;
     }
+
+    // Queue totals survive the queues (locals of this branch) so the
+    // telemetry block below can publish them.
+    target_totals.reserve(num_shards);
+    for (const auto& queue : target_queues) {
+      target_totals.push_back(queue->totals());
+    }
+    reply_totals = reply_queue.totals();
+    have_queue_totals = true;
 
     // Canonical order: merge the shard streams by ascending cycle
     // position — exactly the order the fused single-shard loop probes
@@ -588,6 +660,33 @@ ScanStats StreamScanner::scan(std::span<const Ipv6Addr> targets,
         .record(static_cast<double>(stats.targets));
     registry.histogram("scanner.batch.virtual_seconds")
         .record(stats.virtual_seconds);
+    // Backpressure plane (docs/OBSERVABILITY.md "Live introspection"):
+    // per-queue totals and the scan's wall duration. Everything here is
+    // scheduling-dependent, hence the `.wall` suffix — the equivalence
+    // suites exempt these names from the shard/jobs bit-identity checks.
+    registry.gauge("stream.scan.wall_nanos.wall")
+        .set(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - wall_start)
+                 .count());
+    if (have_queue_totals) {
+      const auto publish = [&registry](const std::string& prefix,
+                                       const v6::runtime::QueueTotals&
+                                           totals) {
+        registry.gauge(prefix + ".pushed.wall")
+            .set(static_cast<std::int64_t>(totals.pushed));
+        registry.gauge(prefix + ".hwm.wall")
+            .set(static_cast<std::int64_t>(totals.high_watermark));
+        registry.gauge(prefix + ".blocked_push_nanos.wall")
+            .set(static_cast<std::int64_t>(totals.blocked_push_nanos));
+        registry.gauge(prefix + ".blocked_pop_nanos.wall")
+            .set(static_cast<std::int64_t>(totals.blocked_pop_nanos));
+      };
+      for (std::size_t s = 0; s < target_totals.size(); ++s) {
+        publish("stream.queue.target." + std::to_string(s),
+                target_totals[s]);
+      }
+      publish("stream.queue.reply", reply_totals);
+    }
   }
   return stats;
 }

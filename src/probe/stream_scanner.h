@@ -54,6 +54,10 @@
 #include "probe/scanner.h"
 #include "simnet/universe.h"
 
+namespace v6::obs {
+class StallWatchdog;
+}  // namespace v6::obs
+
 namespace v6::probe {
 
 /// Streaming-engine configuration wrapping the shared ScanOptions knobs.
@@ -78,6 +82,13 @@ struct StreamScanOptions {
   /// reply engines, probe validation, and backoff jitter.
   ScanOptions scan;
   Decorator decorate;
+  /// Optional liveness plane (borrowed; may be null): each pipeline
+  /// stage registers a heartbeat (`stream.producer`, `stream.prober.<s>`,
+  /// `stream.receiver`; `stream.scan` for the fused single-shard loop),
+  /// armed for the duration of a scan and beaten once per batch. Purely
+  /// wall-side observation — a watchdog never changes what the scan
+  /// computes (docs/OBSERVABILITY.md "Live introspection").
+  v6::obs::StallWatchdog* watchdog = nullptr;
 
   StreamScanOptions& with_shards(unsigned v) { shards = v; return *this; }
   StreamScanOptions& with_batch(std::size_t v) { batch = v; return *this; }
@@ -88,6 +99,10 @@ struct StreamScanOptions {
   StreamScanOptions& with_scan(ScanOptions v) { scan = v; return *this; }
   StreamScanOptions& with_decorator(Decorator v) {
     decorate = std::move(v);
+    return *this;
+  }
+  StreamScanOptions& with_watchdog(v6::obs::StallWatchdog* v) {
+    watchdog = v;
     return *this;
   }
 

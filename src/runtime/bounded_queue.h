@@ -15,25 +15,57 @@
 // `while (q.pop(&v)) { ... }`.
 //
 // Blocking uses condition variables on the caller's thread only — no
-// wall-clock reads, no timed waits — so the v6lint no-sleep /
-// nondeterminism rules hold: scheduling can change *when* an element
-// moves, never *what* the pipeline computes (determinism lives above
-// the queue, in the shard walk's canonical positions).
+// timed waits — so the v6lint no-sleep rule holds: scheduling can
+// change *when* an element moves, never *what* the pipeline computes
+// (determinism lives above the queue, in the shard walk's canonical
+// positions).
+//
+// Backpressure observability (docs/OBSERVABILITY.md "Live
+// introspection"): the queue keeps relaxed-atomic totals — elements
+// pushed/popped/dropped, the depth high watermark, and time spent
+// blocked on either side. The uncontended hot path pays only relaxed
+// increments (no extra locks: the queue mutex is already held); the
+// steady_clock reads happen only on the contended path, when the caller
+// is about to block anyway. totals() reads them without taking the
+// queue lock. All of this is wall-side state: it feeds `.wall`-suffixed
+// metrics exempt from the virtual-time determinism contract, while push
+// and pop still move exactly the same elements.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <utility>
 #include <vector>
 
 namespace v6::runtime {
 
+/// Point-in-time copy of one queue's lifetime totals (element-type
+/// independent, so mixed pipelines can fold totals from differently-
+/// typed queues). `pushed` counts elements accepted, `dropped` elements
+/// refused by a closed queue; after a drain (closed and empty),
+/// pushed == popped.
+struct QueueTotals {
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t push_waits = 0;  // pushes that blocked on a full queue
+  std::uint64_t pop_waits = 0;   // pops that blocked on an empty queue
+  std::uint64_t blocked_push_nanos = 0;
+  std::uint64_t blocked_pop_nanos = 0;
+  std::size_t high_watermark = 0;  // max depth ever observed
+};
+
 /// Fixed-capacity blocking MPMC ring. `T` must be default-constructible
 /// and move-assignable (the ring is a pre-sized vector of slots).
 template <typename T>
 class BoundedQueue {
  public:
+  using Totals = QueueTotals;
+
   /// A zero capacity is clamped to one: a queue that can never accept an
   /// element would deadlock the first push.
   explicit BoundedQueue(std::size_t capacity)
@@ -46,10 +78,26 @@ class BoundedQueue {
   /// if the queue was closed (before or during the wait).
   bool push(T value) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return size_ < ring_.size() || closed_; });
-    if (closed_) return false;
+    if (size_ >= ring_.size() && !closed_) {
+      push_waits_.fetch_add(1, std::memory_order_relaxed);
+      const auto start = std::chrono::steady_clock::now();
+      not_full_.wait(lock, [&] { return size_ < ring_.size() || closed_; });
+      blocked_push_nanos_.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count(),
+          std::memory_order_relaxed);
+    }
+    if (closed_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     ring_[(head_ + size_) % ring_.size()] = std::move(value);
     ++size_;
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+    if (size_ > high_watermark_.load(std::memory_order_relaxed)) {
+      high_watermark_.store(size_, std::memory_order_relaxed);
+    }
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -60,11 +108,21 @@ class BoundedQueue {
   /// delivered.
   bool pop(T* out) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0 && !closed_) {
+      pop_waits_.fetch_add(1, std::memory_order_relaxed);
+      const auto start = std::chrono::steady_clock::now();
+      not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+      blocked_pop_nanos_.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count(),
+          std::memory_order_relaxed);
+    }
     if (size_ == 0) return false;  // closed and drained
     *out = std::move(ring_[head_]);
     head_ = (head_ + 1) % ring_.size();
     --size_;
+    popped_.fetch_add(1, std::memory_order_relaxed);
     lock.unlock();
     not_full_.notify_one();
     return true;
@@ -93,6 +151,22 @@ class BoundedQueue {
 
   std::size_t capacity() const { return ring_.size(); }
 
+  /// Lock-free snapshot of the lifetime totals (relaxed loads — each
+  /// field is individually exact, the set is only consistent once the
+  /// queue is quiescent).
+  Totals totals() const {
+    Totals t;
+    t.pushed = pushed_.load(std::memory_order_relaxed);
+    t.popped = popped_.load(std::memory_order_relaxed);
+    t.dropped = dropped_.load(std::memory_order_relaxed);
+    t.push_waits = push_waits_.load(std::memory_order_relaxed);
+    t.pop_waits = pop_waits_.load(std::memory_order_relaxed);
+    t.blocked_push_nanos = blocked_push_nanos_.load(std::memory_order_relaxed);
+    t.blocked_pop_nanos = blocked_pop_nanos_.load(std::memory_order_relaxed);
+    t.high_watermark = high_watermark_.load(std::memory_order_relaxed);
+    return t;
+  }
+
  private:
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
@@ -101,6 +175,17 @@ class BoundedQueue {
   std::size_t head_ = 0;
   std::size_t size_ = 0;
   bool closed_ = false;
+  // Lifetime totals (see Totals). Atomics so totals() needs no lock;
+  // the writers already hold the queue mutex, so relaxed ordering
+  // suffices.
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> popped_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> push_waits_{0};
+  std::atomic<std::uint64_t> pop_waits_{0};
+  std::atomic<std::uint64_t> blocked_push_nanos_{0};
+  std::atomic<std::uint64_t> blocked_pop_nanos_{0};
+  std::atomic<std::size_t> high_watermark_{0};
 };
 
 }  // namespace v6::runtime

@@ -1,10 +1,12 @@
 #include "service/hitlist_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "check/validate.h"
 #include "net/rng.h"
+#include "obs/watchdog.h"
 #include "probe/stream_scanner.h"
 
 namespace v6::service {
@@ -87,6 +89,26 @@ const HitlistEpoch& HitlistService::refresh_once() {
   const std::uint64_t probes_before = stats_.probes;
   v6::obs::Telemetry* const telemetry = config_.telemetry;
 
+  // Liveness: the whole cycle runs under one `service.refresh`
+  // heartbeat, beaten once per phase; the watchdog is also threaded
+  // into the scanner below so its pipeline stages report on their own.
+  v6::obs::Heartbeat* const heartbeat =
+      config_.watchdog != nullptr ? &config_.watchdog->stage("service.refresh")
+                                  : nullptr;
+  struct ArmedRefresh {
+    v6::obs::Heartbeat* heartbeat;
+    explicit ArmedRefresh(v6::obs::Heartbeat* hb) : heartbeat(hb) {
+      if (heartbeat != nullptr) heartbeat->arm();
+    }
+    ~ArmedRefresh() {
+      if (heartbeat != nullptr) heartbeat->disarm();
+    }
+    void beat() {
+      if (heartbeat != nullptr) heartbeat->beat();
+    }
+  } refresh_stage(heartbeat);
+  const auto wall_start = std::chrono::steady_clock::now();
+
   // 1. Churn: the universe moves first, then the service chases it.
   if (config_.age_universe && cycle > 1) {
     v6::simnet::AgingConfig aging = config_.aging;
@@ -103,8 +125,10 @@ const HitlistEpoch& HitlistService::refresh_once() {
   scan_options.scan.max_pps = config_.max_pps;
   scan_options.scan.max_retries = config_.scan_retries;
   scan_options.scan.telemetry = telemetry;
+  scan_options.watchdog = config_.watchdog;
   v6::probe::StreamScanner scanner(*universe_, /*blocklist=*/nullptr,
                                    std::move(scan_options));
+  refresh_stage.beat();
 
   // 2. Rescans: every tracked address whose interval is due, probed in
   // sorted order. Results update the per-address history.
@@ -117,6 +141,7 @@ const HitlistEpoch& HitlistService::refresh_once() {
     stats_.rescans += due.size();
     stats_.probes += due.size();
   }
+  refresh_stage.beat();
 
   // 3. Discovery: bandit shares of the cycle budget, one slice per TGA
   // in roster order; hits feed the generators (online models), the
@@ -141,6 +166,7 @@ const HitlistEpoch& HitlistService::refresh_once() {
                  });
     stats_.probes += targets.size();
     bandit_.reward(arm, targets.size(), hits);
+    refresh_stage.beat();
   }
 
   // 4. Decay: addresses past the miss-streak threshold leave the
@@ -164,6 +190,13 @@ const HitlistEpoch& HitlistService::refresh_once() {
     registry.gauge("service.tracked").set(
         static_cast<std::int64_t>(scheduler_.tracked()));
     registry.counter("service.probes").add(stats_.probes - probes_before);
+    // Wall-side cycle duration: host time, exempt from the determinism
+    // contract (`.wall` suffix, docs/OBSERVABILITY.md).
+    registry.gauge("service.refresh.wall_nanos.wall")
+        .set(static_cast<std::int64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count()));
   }
   return epoch;
 }

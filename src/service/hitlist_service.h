@@ -43,6 +43,10 @@
 #include "simnet/universe_builder.h"
 #include "tga/registry.h"
 
+namespace v6::obs {
+class StallWatchdog;
+}  // namespace v6::obs
+
 namespace v6::service {
 
 struct ServiceConfig {
@@ -70,6 +74,13 @@ struct ServiceConfig {
   /// Optional instrumentation (borrowed; may be null). `service.*`
   /// counters and gauges, never outcome-affecting.
   v6::obs::Telemetry* telemetry = nullptr;
+  /// Optional liveness plane (borrowed; may be null): the refresh loop
+  /// arms a `service.refresh` heartbeat beaten once per phase, and the
+  /// watchdog is threaded into the cycle's streaming scanner so its
+  /// producer/prober/receiver stages report too. Wall-side only — a
+  /// watchdog never changes the epoch sequence
+  /// (docs/OBSERVABILITY.md "Live introspection").
+  v6::obs::StallWatchdog* watchdog = nullptr;
 
   ServiceConfig& with_seed(std::uint64_t v) { seed = v; return *this; }
   ServiceConfig& with_budget(std::uint64_t v) { budget_per_cycle = v; return *this; }
@@ -81,6 +92,7 @@ struct ServiceConfig {
   ServiceConfig& with_rescan(const RescanPolicy& v) { rescan = v; return *this; }
   ServiceConfig& with_aging(const v6::simnet::AgingConfig& v) { age_universe = true; aging = v; return *this; }
   ServiceConfig& with_telemetry(v6::obs::Telemetry* v) { telemetry = v; return *this; }
+  ServiceConfig& with_watchdog(v6::obs::StallWatchdog* v) { watchdog = v; return *this; }
 
   /// Shared check/validate.h path; throws check::ConfigError with a
   /// uniform "ServiceConfig.<field>: <constraint>" message.

@@ -1,0 +1,108 @@
+// Golden regression for the Prometheus text exposition
+// (src/obs/expo.h): pins the exact bytes render_exposition produces for
+// a fixed synthetic Report. The introspection plane's contract is that
+// equal Reports render to equal bytes — scrape diffs and dashboards
+// depend on stable family ordering, name sanitization, and number
+// formatting, none of which the metric-value tests see.
+//
+// Update procedure (only when an intentional format change lands):
+//
+//   V6_UPDATE_GOLDEN=1 ./build/tests/golden_expo_test
+//
+// rewrites tests/golden/golden_expo.txt in the source tree; review the
+// diff and say WHY the format moved in the commit message.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/expo.h"
+#include "obs/registry.h"
+
+#ifndef V6_GOLDEN_DIR
+#error "V6_GOLDEN_DIR must point at the checked-in golden directory"
+#endif
+
+namespace v6::obs {
+namespace {
+
+constexpr const char* kGoldenPath = V6_GOLDEN_DIR "/golden_expo.txt";
+
+/// A fixed synthetic registry covering every metric kind and the
+/// sanitization edge cases: dotted names, the `.wall` family, a
+/// negative gauge, a sub-second timer, and a histogram spanning three
+/// octaves. Everything is pinned — no scan, no clock.
+Report reference_report() {
+  Registry registry;
+  registry.counter("scanner.packets").add(33'924);
+  registry.counter("scanner.hits").add(10'790);
+  registry.counter("watchdog.trips.wall").add(1);
+  registry.gauge("service.epoch_version").set(7);
+  registry.gauge("service.depth.delta").set(-3);
+  registry.gauge("stream.queue.reply.hwm.wall").set(64);
+  registry.timer("pipeline.scan").add_raw(/*count=*/12,
+                                          /*nanos=*/2'500'000'000ULL);
+  registry.timer("transport.ICMP.wire_seconds")
+      .add_raw(/*count=*/3, /*nanos=*/123'456'789ULL);
+  Histogram& rtt = registry.histogram("transport.rtt_seconds");
+  rtt.record(0.001);
+  rtt.record(0.002);
+  rtt.record(0.004);
+  rtt.record(0.004);
+  rtt.record(0.032);
+  return registry.snapshot();
+}
+
+TEST(GoldenExpo, ExpositionMatchesCheckedInGolden) {
+  const std::string actual = render_exposition(reference_report());
+
+  if (std::getenv("V6_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << kGoldenPath;
+    out << actual;
+    GTEST_SKIP() << "golden updated: " << kGoldenPath
+                 << " — review and commit the diff";
+  }
+
+  std::ifstream in(kGoldenPath, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << kGoldenPath
+                  << "; run with V6_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+
+  if (actual == expected.str()) return;
+  std::istringstream actual_lines(actual), expected_lines(expected.str());
+  std::string a, e;
+  std::size_t line = 0;
+  while (true) {
+    ++line;
+    const bool more_a = static_cast<bool>(std::getline(actual_lines, a));
+    const bool more_e = static_cast<bool>(std::getline(expected_lines, e));
+    if (!more_a && !more_e) break;
+    ASSERT_EQ(more_a, more_e)
+        << "golden and actual diverge in length at line " << line;
+    ASSERT_EQ(a, e) << "first golden mismatch at line " << line
+                    << " (update procedure: see test header)";
+  }
+  FAIL() << "golden mismatch";  // unreachable: the loop pinpoints it
+}
+
+// The byte-stability claim itself: rendering the same Report twice (and
+// a re-built equal Report) yields identical bytes, and the document
+// round-trips through the independent parser.
+TEST(GoldenExpo, RenderingIsByteStableAndParses) {
+  const std::string first = render_exposition(reference_report());
+  const std::string second = render_exposition(reference_report());
+  EXPECT_EQ(first, second);
+
+  ExpoDoc doc;
+  std::string error;
+  ASSERT_TRUE(parse_exposition(first, &doc, &error)) << error;
+  EXPECT_FALSE(doc.families.empty());
+  EXPECT_FALSE(doc.samples.empty());
+}
+
+}  // namespace
+}  // namespace v6::obs

@@ -1,0 +1,195 @@
+// Unit tests for the exposition layer (src/obs/expo.h): the render →
+// parse round trip, name sanitization, the strict line grammar of
+// parse_exposition, the atomic status-file writer, and the plane's
+// determinism contract — the non-`.wall` slice of the exposition is
+// byte-identical across jobs counts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiment/session.h"
+#include "obs/expo.h"
+#include "obs/registry.h"
+#include "obs/telemetry.h"
+#include "testutil/fixtures.h"
+
+namespace v6::obs {
+namespace {
+
+TEST(Expo, RoundTripsEveryMetricKind) {
+  Registry registry;
+  registry.counter("scanner.packets").add(42);
+  registry.gauge("service.depth").set(-7);
+  registry.timer("pipeline.scan").add_raw(3, 1'500'000'000ULL);
+  registry.histogram("transport.rtt_seconds").record(0.004);
+  const std::string text = render_exposition(registry.snapshot());
+
+  ExpoDoc doc;
+  std::string error;
+  ASSERT_TRUE(parse_exposition(text, &doc, &error)) << error;
+  ASSERT_EQ(doc.families.size(), 4u);
+
+  // Families arrive kind-grouped (counters, gauges, timers, histograms)
+  // and name-sorted within each kind, with the dotted original in HELP.
+  EXPECT_EQ(doc.families[0].name, "sos_scanner_packets");
+  EXPECT_EQ(doc.families[0].type, "counter");
+  EXPECT_EQ(doc.families[0].help, "scanner.packets");
+  EXPECT_EQ(doc.families[1].name, "sos_service_depth");
+  EXPECT_EQ(doc.families[1].type, "gauge");
+  EXPECT_EQ(doc.families[2].type, "summary");
+  EXPECT_EQ(doc.families[3].type, "summary");
+
+  // Counter and gauge values survive the trip exactly.
+  bool saw_counter = false, saw_gauge = false;
+  for (const ExpoSample& s : doc.samples) {
+    if (s.name == "sos_scanner_packets") {
+      EXPECT_EQ(s.value, 42.0);
+      saw_counter = true;
+    }
+    if (s.name == "sos_service_depth") {
+      EXPECT_EQ(s.value, -7.0);
+      saw_gauge = true;
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+}
+
+TEST(Expo, SummariesCarryQuantilesCountAndSum) {
+  Registry registry;
+  Histogram& h = registry.histogram("transport.rtt_seconds");
+  for (int i = 1; i <= 100; ++i) h.record(0.001 * i);
+  const std::string text = render_exposition(registry.snapshot());
+
+  ExpoDoc doc;
+  ASSERT_TRUE(parse_exposition(text, &doc));
+  std::size_t quantiles = 0;
+  double count = 0.0;
+  for (const ExpoSample& s : doc.samples) {
+    if (s.name == "sos_transport_rtt_seconds" && !s.labels.empty()) {
+      ++quantiles;
+    }
+    if (s.name == "sos_transport_rtt_seconds_count") count = s.value;
+  }
+  EXPECT_EQ(quantiles, 4u);  // p50, p90, p99, max
+  EXPECT_EQ(count, 100.0);
+}
+
+TEST(Expo, SanitizesNamesAndKeepsDottedOriginalInHelp) {
+  Registry registry;
+  registry.counter("transport.TCP80.packets").inc();
+  const std::string text = render_exposition(registry.snapshot());
+  EXPECT_NE(text.find("sos_transport_TCP80_packets 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# HELP sos_transport_TCP80_packets sos metric "
+                      "transport.TCP80.packets\n"),
+            std::string::npos);
+}
+
+TEST(Expo, EmptyReportRendersEmptyDocument) {
+  const std::string text = render_exposition(Report{});
+  ExpoDoc doc;
+  ASSERT_TRUE(parse_exposition(text, &doc));
+  EXPECT_TRUE(doc.families.empty());
+  EXPECT_TRUE(doc.samples.empty());
+}
+
+TEST(Expo, ParseRejectsMalformedLinesWithLineNumbers) {
+  ExpoDoc doc;
+  std::string error;
+
+  EXPECT_FALSE(parse_exposition("metric_without_value\n", &doc, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+
+  EXPECT_FALSE(parse_exposition("ok 1\nname not-a-number\n", &doc, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+
+  EXPECT_FALSE(parse_exposition("# TYPE x bogus\n", &doc, &error));
+  EXPECT_FALSE(parse_exposition("name{unterminated 3\n", &doc, &error));
+  EXPECT_FALSE(parse_exposition("1leading_digit 3\n", &doc, &error));
+}
+
+TEST(Expo, WriteFileAtomicLeavesNoTempAndReplacesContent) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "v6_expo_test_status.prom";
+  const std::string tmp = path.string() + ".tmp";
+  std::remove(path.string().c_str());
+  std::remove(tmp.c_str());
+
+  ASSERT_TRUE(write_file_atomic(path.string(), "first 1\n"));
+  ASSERT_TRUE(write_file_atomic(path.string(), "second 2\n"));
+  std::ifstream in(path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "second 2\n");
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+  std::remove(path.string().c_str());
+
+  EXPECT_FALSE(write_file_atomic("/nonexistent-dir/status.prom", "x 1\n"));
+}
+
+// The plane's determinism contract at the document level: two sweeps
+// differing only in jobs count render byte-identical expositions once
+// the `.wall` family (host time, exempt by name) is dropped
+// (docs/OBSERVABILITY.md "Live introspection").
+TEST(Expo, ExpositionIsJobsInvariantOutsideWallFamily) {
+  const auto& universe = v6::testutil::small_universe();
+  std::vector<v6::net::Ipv6Addr> seeds;
+  const auto hosts = universe.hosts();
+  for (std::size_t i = 0; i < hosts.size(); i += 9) {
+    seeds.push_back(hosts[i].addr);
+  }
+  const auto alias_list = v6::dealias::AliasList::published_from(universe);
+
+  v6::experiment::PipelineConfig config;
+  config.budget = 8'000;
+
+  const auto drop_wall = [](Report report) {
+    const auto erase_wall = [](auto& metrics) {
+      for (auto it = metrics.begin(); it != metrics.end();) {
+        const std::string& name = it->first;
+        const bool wall =
+            name.size() >= 5 && name.compare(name.size() - 5, 5, ".wall") == 0;
+        it = wall ? metrics.erase(it) : std::next(it);
+      }
+    };
+    erase_wall(report.counters);
+    erase_wall(report.gauges);
+    erase_wall(report.timers);
+    erase_wall(report.histograms);
+    return report;
+  };
+
+  const auto scrape = [&](unsigned jobs) {
+    Telemetry telemetry;
+    v6::experiment::ScanSession(universe, alias_list)
+        .with_kind(v6::tga::TgaKind::kSixTree)
+        .with_seeds(seeds)
+        .with_config(config)
+        .with_telemetry(&telemetry)
+        .with_jobs(jobs)
+        .sweep();
+    return drop_wall(telemetry.registry().snapshot());
+  };
+
+  const Report one = scrape(1);
+  const Report three = scrape(3);
+  // Timer nanos are wall-side for non-wire timers; zero them so the
+  // document compares only the deterministic fields (counts, and wire
+  // timers bit-exactly).
+  const auto mask_timers = [](Report report) {
+    for (auto& [name, total] : report.timers) {
+      if (name.find(".wire_seconds") == std::string::npos) total.nanos = 0;
+    }
+    return report;
+  };
+  EXPECT_EQ(render_exposition(mask_timers(one)),
+            render_exposition(mask_timers(three)));
+}
+
+}  // namespace
+}  // namespace v6::obs

@@ -1,0 +1,197 @@
+// FlightRecorder tests (src/obs/flight_recorder.h): ring wrap-around,
+// the freeze/thaw handshake, drop accounting, the JSONL dump's
+// compatibility with obs::load_trace (the `sos report` front end), and
+// concurrent emitters under the wait-free contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace_reader.h"
+
+namespace v6::obs {
+namespace {
+
+Event message(const std::string& text) {
+  Event e;
+  e.kind = Event::Kind::kMessage;
+  e.detail = text;
+  return e;
+}
+
+Event counter(const std::string& path, std::uint64_t value) {
+  Event e;
+  e.kind = Event::Kind::kCounter;
+  e.path = path;
+  e.value = value;
+  return e;
+}
+
+TEST(FlightRecorder, RetainsRecentEventsInOrder) {
+  FlightRecorder::Options opts;
+  opts.lanes = 1;
+  opts.lane_capacity = 8;
+  FlightRecorder recorder(opts);
+  for (int i = 0; i < 5; ++i) {
+    recorder.emit(counter("c", static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(recorder.recorded(), 5u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+
+  const std::vector<Event> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].value, i);
+  }
+}
+
+TEST(FlightRecorder, RingOverwritesOldestFirst) {
+  FlightRecorder::Options opts;
+  opts.lanes = 1;
+  opts.lane_capacity = 4;
+  FlightRecorder recorder(opts);
+  for (int i = 0; i < 10; ++i) {
+    recorder.emit(counter("c", static_cast<std::uint64_t>(i)));
+  }
+  const std::vector<Event> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 4u);  // capacity, not total
+  // The ring keeps the most recent 4, oldest → newest.
+  EXPECT_EQ(events[0].value, 6u);
+  EXPECT_EQ(events[3].value, 9u);
+}
+
+TEST(FlightRecorder, FreezeDropsAndThawResumes) {
+  FlightRecorder::Options opts;
+  opts.lanes = 1;
+  opts.lane_capacity = 8;
+  FlightRecorder recorder(opts);
+  recorder.emit(message("before"));
+  recorder.freeze();
+  EXPECT_TRUE(recorder.frozen());
+  recorder.emit(message("while frozen"));
+  EXPECT_EQ(recorder.dropped(), 1u);
+  EXPECT_EQ(recorder.snapshot().size(), 1u);
+
+  recorder.thaw();
+  EXPECT_FALSE(recorder.frozen());
+  recorder.emit(message("after"));
+  EXPECT_EQ(recorder.snapshot().size(), 2u);
+  recorder.thaw();
+}
+
+TEST(FlightRecorder, SnapshotLeavesRecorderFrozen) {
+  FlightRecorder recorder;
+  recorder.emit(message("x"));
+  recorder.snapshot();
+  EXPECT_TRUE(recorder.frozen());
+}
+
+// The dump must be a valid trace file: every line decodes through the
+// independent reader, with no malformed or truncated lines — so a
+// watchdog dump is `sos report`-able like any --trace output.
+TEST(FlightRecorder, DumpIsLoadableTraceJsonl) {
+  FlightRecorder::Options opts;
+  opts.lanes = 2;
+  opts.lane_capacity = 16;
+  FlightRecorder recorder(opts);
+  recorder.emit(counter("scanner.packets", 7));
+  recorder.emit(message("hello \"quoted\" text\nwith newline"));
+  Event probe;
+  probe.kind = Event::Kind::kProbe;
+  probe.path = "2001:db8::1";
+  probe.detail = "ICMP->echo-reply";
+  probe.at = 1.25;
+  recorder.emit(probe);
+
+  std::ostringstream dump;
+  recorder.dump_jsonl(dump);
+
+  std::istringstream in(dump.str());
+  std::vector<Event> events;
+  const TraceLoadStats stats = load_trace(in, &events);
+  EXPECT_EQ(stats.bad_lines, 0u);
+  EXPECT_EQ(stats.truncated, 0u);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, Event::Kind::kCounter);
+  EXPECT_EQ(events[0].path, "scanner.packets");
+  EXPECT_EQ(events[1].detail, "hello \"quoted\" text\nwith newline");
+  EXPECT_EQ(events[2].kind, Event::Kind::kProbe);
+}
+
+// Wait-free contract under contention: every emit either lands in a
+// ring or is counted as dropped — nothing blocks, nothing is lost
+// silently, and the post-race snapshot still dumps as valid JSONL.
+TEST(FlightRecorder, ConcurrentEmittersBalanceRecordedPlusDropped) {
+  FlightRecorder::Options opts;
+  opts.lanes = 4;
+  opts.lane_capacity = 64;
+  FlightRecorder recorder(opts);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.emit(counter("thread." + std::to_string(t),
+                              static_cast<std::uint64_t>(i)));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(recorder.recorded() + recorder.dropped(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_GT(recorder.recorded(), 0u);
+
+  std::ostringstream dump;
+  recorder.dump_jsonl(dump);
+  std::istringstream in(dump.str());
+  std::vector<Event> events;
+  const TraceLoadStats stats = load_trace(in, &events);
+  EXPECT_EQ(stats.bad_lines, 0u);
+  EXPECT_LE(events.size(), opts.lanes * opts.lane_capacity);
+  EXPECT_GT(events.size(), 0u);
+}
+
+// Emitters racing an asynchronous freeze: the handshake guarantees the
+// dump reads quiescent rings (no torn events) while emit stays
+// wait-free on the loser side.
+TEST(FlightRecorder, FreezeRacingEmittersYieldsParseableDump) {
+  FlightRecorder::Options opts;
+  opts.lanes = 2;
+  opts.lane_capacity = 32;
+  FlightRecorder recorder(opts);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> emitters;
+  for (int t = 0; t < 4; ++t) {
+    emitters.emplace_back([&recorder, &stop] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        recorder.emit(counter("racer", i++));
+      }
+    });
+  }
+  // Freeze mid-stream, dump, thaw; repeat to shake out handshake bugs.
+  for (int round = 0; round < 20; ++round) {
+    std::ostringstream dump;
+    recorder.dump_jsonl(dump);
+    std::istringstream in(dump.str());
+    std::vector<Event> events;
+    const TraceLoadStats stats = load_trace(in, &events);
+    EXPECT_EQ(stats.bad_lines, 0u);
+    recorder.thaw();
+  }
+  stop.store(true);
+  for (std::thread& t : emitters) t.join();
+}
+
+}  // namespace
+}  // namespace v6::obs

@@ -167,6 +167,50 @@ TEST(TraceReader, LoadTraceCountsBadLines) {
   EXPECT_EQ(events[0].kind, Event::Kind::kCounter);
 }
 
+// A writer killed mid-line (crash, SIGKILL, full disk) leaves a final
+// line with no trailing newline that fails to parse. That is expected
+// wreckage, not corruption: it is skipped and counted as `truncated`,
+// separate from interior `bad_lines`.
+TEST(TraceReader, TruncatedFinalLineIsCountedNotMalformed) {
+  std::istringstream in(
+      "{\"ev\":\"counter\",\"path\":\"a\",\"value\":1}\n"
+      "{\"ev\":\"message\",\"detail\":\"cut off he");  // no trailing \n
+  std::vector<Event> events;
+  const TraceLoadStats stats = load_trace(in, &events);
+  EXPECT_EQ(stats.lines, 2u);
+  EXPECT_EQ(stats.bad_lines, 0u);
+  EXPECT_EQ(stats.truncated, 1u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, Event::Kind::kCounter);
+}
+
+// A final line that parses is a normal event even without its newline —
+// truncation is only claimed when the cut actually broke the JSON.
+TEST(TraceReader, CompleteFinalLineWithoutNewlineStillParses) {
+  std::istringstream in(
+      "{\"ev\":\"counter\",\"path\":\"a\",\"value\":1}\n"
+      "{\"ev\":\"message\",\"detail\":\"m\"}");  // no trailing \n
+  std::vector<Event> events;
+  const TraceLoadStats stats = load_trace(in, &events);
+  EXPECT_EQ(stats.bad_lines, 0u);
+  EXPECT_EQ(stats.truncated, 0u);
+  EXPECT_EQ(events.size(), 2u);
+}
+
+// An interior malformed line (newline-terminated) stays a bad_line:
+// only the file's very last unterminated line gets the benefit of the
+// doubt.
+TEST(TraceReader, InteriorMalformedLineIsNotTruncation) {
+  std::istringstream in(
+      "{\"ev\":\"counter\",\"path\":\"a\",\"val\n"
+      "{\"ev\":\"message\",\"detail\":\"m\"}\n");
+  std::vector<Event> events;
+  const TraceLoadStats stats = load_trace(in, &events);
+  EXPECT_EQ(stats.bad_lines, 1u);
+  EXPECT_EQ(stats.truncated, 0u);
+  EXPECT_EQ(events.size(), 1u);
+}
+
 // ---- Analyzer ------------------------------------------------------------
 
 std::vector<Event> synthetic_trace() {

@@ -211,6 +211,28 @@ TEST(StreamScannerTest, TelemetryCountersAreShardInvariant) {
   const v6::obs::Report three = run_with_telemetry(3);
   EXPECT_GT(one.counter_value("scanner.probed"), 0u);
   EXPECT_EQ(one.counters, three.counters);
+  // Gauges carry the backpressure plane, which is wall-side by
+  // definition (queue high watermarks, blocked nanoseconds): those
+  // `.wall` names exist only in the threaded run and are exempt from
+  // shard invariance. Everything else must match.
+  const auto drop_wall = [](const std::map<std::string, std::int64_t>& in) {
+    std::map<std::string, std::int64_t> out;
+    for (const auto& [name, value] : in) {
+      if (name.size() >= 5 &&
+          name.compare(name.size() - 5, 5, ".wall") == 0) {
+        continue;
+      }
+      out.emplace(name, value);
+    }
+    return out;
+  };
+  EXPECT_EQ(drop_wall(one.gauges), drop_wall(three.gauges));
+  // And the threaded run must actually publish the plane: per-shard
+  // target-queue totals plus the shared reply queue.
+  EXPECT_TRUE(three.gauges.count("stream.queue.target.0.pushed.wall"));
+  EXPECT_TRUE(three.gauges.count("stream.queue.target.2.hwm.wall"));
+  EXPECT_TRUE(three.gauges.count("stream.queue.reply.pushed.wall"));
+  EXPECT_GT(three.gauges.at("stream.queue.reply.pushed.wall"), 0);
 }
 
 TEST(StreamScannerTest, FlushTelemetryIsIdempotent) {

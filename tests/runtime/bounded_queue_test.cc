@@ -140,6 +140,94 @@ TEST(BoundedQueueTest, MpmcDeliversEveryElementExactlyOnce) {
   EXPECT_EQ(all, expected);
 }
 
+// ---- Backpressure totals (docs/OBSERVABILITY.md) -------------------------
+
+TEST(BoundedQueueTest, TotalsBalanceSingleThread) {
+  v6::runtime::BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.push(i));
+  int v = 0;
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.pop(&v));
+  q.close();
+  EXPECT_FALSE(q.push(99));  // dropped, not pushed
+
+  const v6::runtime::QueueTotals t = q.totals();
+  EXPECT_EQ(t.pushed, 4u);
+  EXPECT_EQ(t.popped, 4u);
+  EXPECT_EQ(t.dropped, 1u);
+  EXPECT_EQ(t.high_watermark, 4u);
+  // Nothing ever blocked: the contended-path clock must not have run.
+  EXPECT_EQ(t.push_waits, 0u);
+  EXPECT_EQ(t.pop_waits, 0u);
+  EXPECT_EQ(t.blocked_push_nanos, 0u);
+  EXPECT_EQ(t.blocked_pop_nanos, 0u);
+}
+
+TEST(BoundedQueueTest, BlockedTimeIsCountedOnTheContendedPath) {
+  v6::runtime::BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  v6::runtime::WorkerGroup workers;
+  workers.spawn([&] { ASSERT_TRUE(q.push(2)); });  // blocks: queue full
+  int v = 0;
+  // Give the producer a chance to block, then drain.
+  while (q.totals().push_waits == 0) {
+  }
+  ASSERT_TRUE(q.pop(&v));
+  workers.join();
+  ASSERT_TRUE(q.pop(&v));
+
+  const v6::runtime::QueueTotals t = q.totals();
+  EXPECT_EQ(t.pushed, 2u);
+  EXPECT_EQ(t.popped, 2u);
+  EXPECT_EQ(t.push_waits, 1u);
+  EXPECT_EQ(t.high_watermark, 1u);
+}
+
+// The property behind the `.wall` gauges the stream scanner publishes:
+// whatever the producer/consumer interleaving, lifetime totals balance
+// exactly — pushed == popped after a drain, dropped counts every refusal,
+// and the high watermark never exceeds capacity. Totals observe the
+// traffic; they must never change it (MpmcDeliversEveryElementExactlyOnce
+// above pins the element-delivery half).
+TEST(BoundedQueueTest, TotalsBalanceUnderMpmcTraffic) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 3;
+  constexpr std::uint64_t kPerProducer = 5'000;
+  v6::runtime::BoundedQueue<std::uint64_t> q(16);
+
+  std::atomic<std::uint64_t> popped_count{0};
+  v6::runtime::WorkerGroup workers;
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    workers.spawn([&] {
+      std::uint64_t v;
+      while (q.pop(&v)) popped_count.fetch_add(1);
+    });
+  }
+  {
+    v6::runtime::WorkerGroup producers;
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.spawn([&, p] {
+        for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+          ASSERT_TRUE(q.push(p * kPerProducer + i));
+        }
+      });
+    }
+    producers.join();
+  }
+  q.close();
+  workers.join();
+
+  const v6::runtime::QueueTotals t = q.totals();
+  EXPECT_EQ(t.pushed, kProducers * kPerProducer);
+  EXPECT_EQ(t.popped, kProducers * kPerProducer);
+  EXPECT_EQ(t.popped, popped_count.load());
+  EXPECT_EQ(t.dropped, 0u);
+  EXPECT_GE(t.high_watermark, 1u);
+  EXPECT_LE(t.high_watermark, q.capacity());
+  // Blocked-time accounting only ever accompanies a recorded wait.
+  if (t.push_waits == 0) EXPECT_EQ(t.blocked_push_nanos, 0u);
+  if (t.pop_waits == 0) EXPECT_EQ(t.blocked_pop_nanos, 0u);
+}
+
 TEST(WorkerGroupTest, JoinRethrowsFirstExceptionInSpawnOrder) {
   WorkerGroup workers;
   workers.spawn([] { throw std::runtime_error("first"); });

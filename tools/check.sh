@@ -13,8 +13,10 @@
 # also re-runs v6lint with --format=json to leave a machine-readable
 # build/LINT_REPORT.json behind, gated at 2s of wall time), the fuzz
 # smoke runs (`ctest -L fuzz`), and the trace/report round-trip
-# (`ctest -L report`: the reader/analyzer unit suite plus a tiny traced
-# sweep piped through `sos report --json`), the scan-engine bench smoke
+# (`ctest -L report`: the reader/analyzer unit suite, the introspection
+# plane — exposition/flight-recorder/watchdog units plus the expo_smoke
+# serve -> scrape -> expo-check round trip — and a tiny traced sweep
+# piped through `sos report --json`), the scan-engine bench smoke
 # (`ctest -L bench`: bench_throughput's cross-shard bit-identity and
 # batch/stream agreement contracts on a tiny target list,
 # bench_serve's snapshot-consistency checks under concurrent refresh,

@@ -1,0 +1,63 @@
+# End-to-end smoke for the introspection plane (the `expo_smoke` ctest,
+# label `report`; also run by tools/check.sh --quick):
+#
+#   1. run a short `sos serve` with --status-file (the no-socket scrape
+#      path — the same exposition document /metrics serves),
+#   2. assert the document carries the service and backpressure families,
+#   3. feed it back through `sos expo-check` (the strict parser).
+#
+# The deep validation (byte-stable golden, grammar rejections, jobs
+# invariance) lives in expo_test/golden_expo_test; this script proves
+# the *shipped binary* wires serve -> scrape -> parse together.
+#
+# Usage: cmake -DSOS_BIN=<path> -DWORK_DIR=<dir> -P expo_smoke.cmake
+if(NOT DEFINED SOS_BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+          "usage: cmake -DSOS_BIN=<path> -DWORK_DIR=<dir> "
+          "-P expo_smoke.cmake")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(status ${WORK_DIR}/expo_smoke_status.prom)
+file(REMOVE ${status})
+
+execute_process(
+  COMMAND ${SOS_BIN} serve --cycles 2 --budget 4000 --ases 150
+          --status-file ${status}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sos serve exited with '${rc}'\n"
+                      "stdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT EXISTS ${status})
+  message(FATAL_ERROR "sos serve did not write ${status}")
+endif()
+
+# The document must carry the plane's key families: service cycle
+# telemetry, the stream scanner's backpressure gauges (`.wall`,
+# sanitized to _wall), and well-formed HELP/TYPE headers.
+file(READ ${status} doc)
+foreach(needle
+        "# HELP sos_"
+        "# TYPE sos_"
+        "sos_service_"
+        "_wall")
+  string(FIND "${doc}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR
+            "status file is missing '${needle}':\n${doc}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${SOS_BIN} expo-check ${status}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sos expo-check rejected the status file:\n"
+                      "stdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT out MATCHES "families")
+  message(FATAL_ERROR "expo-check output unexpected:\n${out}")
+endif()
+
+message(STATUS "exposition round-trip ok (${status})")

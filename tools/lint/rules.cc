@@ -394,6 +394,33 @@ void check_lock_discipline(const RuleContext& ctx,
   }
 }
 
+/// raw-socket: the library is a simulation — its network is simnet's
+/// procedural model, and nothing in src/ talks to the host network
+/// stack. The one exception is the admin endpoint (src/obs/admin/),
+/// whose loopback HTTP server exists precisely to expose the
+/// introspection plane (docs/OBSERVABILITY.md). Everywhere else in
+/// src/, a socket-API include is a sign that real I/O is leaking into
+/// the deterministic core. Scans the raw line text: angle includes are
+/// blanked from the code view, so this reads string_lines.
+void check_raw_socket(const RuleContext& ctx, std::vector<Violation>& out) {
+  const FileIndex& fi = ctx.file;
+  if (!fi.in_src) return;
+  if (fi.generic.find("src/obs/admin/") != std::string::npos) return;
+  static const std::regex kSocketInclude(
+      R"(^\s*#\s*include\s*<(sys/socket\.h|netinet/[^>]+|arpa/inet\.h)"
+      R"(|sys/un\.h|netdb\.h|poll\.h|sys/poll\.h)>)");
+  const std::vector<std::string>& with_strings = fi.lx.string_lines;
+  for (std::size_t i = 0; i < with_strings.size(); ++i) {
+    if (std::regex_search(with_strings[i], kSocketInclude)) {
+      out.push_back({fi.file, i + 1, "raw-socket",
+                     "socket-API include outside src/obs/admin/; the "
+                     "library's network is the simulation — real sockets "
+                     "are confined to the admin endpoint "
+                     "(docs/STATIC_ANALYSIS.md)"});
+    }
+  }
+}
+
 }  // namespace
 
 void index_file(FileIndex& fi) {
@@ -493,6 +520,7 @@ const std::vector<Rule>& all_rules() {
       {"layering", check_layering},
       {"unordered-iteration", check_unordered_iteration},
       {"lock-discipline", check_lock_discipline},
+      {"raw-socket", check_raw_socket},
   };
   return kRules;
 }

@@ -1,0 +1,19 @@
+// Lint fixture: seeded violations for the `raw-socket` rule. Never
+// compiled — scanned by the lint_selftest / lint_raw_socket_fails
+// ctests. The library's network is the simulation; socket headers are
+// allowed only under src/obs/admin/ (the introspection endpoint).
+#include <arpa/inet.h>   // violation
+#include <netinet/in.h>  // violation
+#include <poll.h>        // violation
+#include <sys/socket.h>  // violation
+
+namespace v6::fixture {
+
+// The mistake this rule exists for: a "quick" real probe path wired
+// into the deterministic core, coupling scan outcomes to the host
+// network stack.
+int open_real_probe_socket() {
+  return socket(AF_INET6, SOCK_DGRAM, 0);
+}
+
+}  // namespace v6::fixture

@@ -50,12 +50,31 @@
 //       epoch published per cycle. --age 0 freezes the universe;
 //       --feed N ingests fresh discoveries back into the generators as
 //       seed deltas every N cycles (0 disables, default 1).
+//   serve additionally speaks the live introspection plane
+//   (docs/OBSERVABILITY.md "Live introspection"); any of these flags
+//   activates telemetry and the in-memory flight recorder:
+//     --admin-port P   loopback HTTP endpoint serving /metrics
+//                      (Prometheus text exposition), /healthz, and
+//                      /flight (recorder dump as trace JSONL); port 0
+//                      picks an ephemeral port, printed on stderr
+//     --status-file F  atomically rewrite F with the exposition document
+//                      after every refresh cycle (scrape via the
+//                      filesystem when no socket is wanted)
+//     --watchdog S     start the stall watchdog with an S-second
+//                      wall-clock deadline; a stalled stage dumps
+//                      diagnostics and the flight recorder
+//     --flight F       where watchdog trips and SIGTERM/SIGINT write the
+//                      flight-recorder JSONL (parseable by `sos report`)
+//   sos expo-check FILE
+//       Validate a Prometheus exposition document (a /metrics scrape or
+//       --status-file snapshot); prints family/sample counts.
 //   sos trace ADDR [--seed N]
 //       Simulated traceroute toward ADDR.
 //   sos collect --source NAME [--out FILE] [--seed N]
 //       Collect one seed feed; write addresses to FILE (or count them).
 //   sos export --dataset D [--out FILE] [--port P] [--seed N]
 //       Materialize a preprocessed seed dataset and write it to FILE.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -63,10 +82,15 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <unordered_set>
 
 #include "check/validate.h"
+#include "obs/admin/admin_server.h"
+#include "obs/expo.h"
+#include "obs/flight_recorder.h"
+#include "obs/watchdog.h"
 #include "experiment/combined.h"
 #include "experiment/pipeline.h"
 #include "fault/fault_plan.h"
@@ -89,6 +113,12 @@
 namespace {
 
 using v6::metrics::fmt_count;
+
+// Signal-to-flag relay for `sos serve`: the refresh loop checks the flag
+// between cycles and exits cleanly (dumping the flight recorder) instead
+// of dying mid-epoch. Installed only when the introspection plane is on.
+volatile std::sig_atomic_t g_signal = 0;
+void note_signal(int sig) { g_signal = sig; }
 
 struct Args {
   std::string command;
@@ -163,10 +193,17 @@ std::string fmt_compact(double value) {
 // Telemetry that the command threads through its workbench/pipeline
 // configs. finish() emits the final metric totals into the trace,
 // finalizes the Chrome trace document, and prints the --stats tables.
+//
+// `extra` tees one more sink behind the file sinks (serve's flight
+// recorder); `force_telemetry` makes telemetry() non-null even with no
+// observability flag, for the introspection plane's /metrics scrapes.
 class ObsSession {
  public:
-  explicit ObsSession(const Args& args)
+  explicit ObsSession(const Args& args, v6::obs::EventSink* extra = nullptr,
+                      bool force_telemetry = false)
       : stats_(args.options.contains("stats")),
+        force_(force_telemetry),
+        extra_(extra),
         trace_path_(args.get("trace", "")),
         chrome_path_(args.get("trace-chrome", "")) {
     if (!trace_path_.empty()) {
@@ -185,23 +222,28 @@ class ObsSession {
         chrome_.reset();
       }
     }
-    if (sink_ && chrome_) {
-      tee_.add(&*sink_);
-      tee_.add(&*chrome_);
+    std::vector<v6::obs::EventSink*> sinks;
+    if (sink_) sinks.push_back(&*sink_);
+    if (chrome_) sinks.push_back(&*chrome_);
+    if (extra_ != nullptr) sinks.push_back(extra_);
+    if (sinks.size() == 1) {
+      telemetry_.attach_sink(sinks.front());
+    } else if (sinks.size() > 1) {
+      for (v6::obs::EventSink* s : sinks) tee_.add(s);
       telemetry_.attach_sink(&tee_);
-    } else if (sink_) {
-      telemetry_.attach_sink(&*sink_);
-    } else if (chrome_) {
-      telemetry_.attach_sink(&*chrome_);
     }
   }
 
   /// nullptr when no observability flag was given: instrumented code
   /// paths stay on their zero-cost branch.
   v6::obs::Telemetry* telemetry() {
-    return (stats_ || sink_ || chrome_) ? &telemetry_ : nullptr;
+    return (force_ || stats_ || sink_ || chrome_ || extra_ != nullptr)
+               ? &telemetry_
+               : nullptr;
   }
-  bool tracing() const { return sink_.has_value() || chrome_.has_value(); }
+  bool tracing() const {
+    return sink_.has_value() || chrome_.has_value() || extra_ != nullptr;
+  }
 
   void finish() {
     if (tracing()) telemetry_.emit_metrics();
@@ -253,6 +295,8 @@ class ObsSession {
 
  private:
   bool stats_;
+  bool force_;
+  v6::obs::EventSink* extra_;
   std::string trace_path_;
   std::string chrome_path_;
   std::optional<v6::obs::JsonLinesSink> sink_;
@@ -499,7 +543,15 @@ int cmd_survey(const Args& args) {
 }
 
 int cmd_serve(const Args& args) {
-  ObsSession obs(args);
+  // Any introspection-plane flag turns on telemetry and the in-memory
+  // flight recorder, whether or not --stats/--trace were given.
+  const bool plane = args.options.contains("admin-port") ||
+                     args.options.contains("status-file") ||
+                     args.options.contains("watchdog") ||
+                     args.options.contains("flight");
+  std::optional<v6::obs::FlightRecorder> recorder;
+  if (plane) recorder.emplace();
+  ObsSession obs(args, recorder ? &*recorder : nullptr, /*force_telemetry=*/plane);
   const v6::experiment::WorkbenchConfig wb = bench_config(args);
   v6::experiment::Workbench bench(wb);
   const v6::net::ProbeType port = parse_port(args.get("port", "ICMP"));
@@ -528,6 +580,72 @@ int cmd_serve(const Args& args) {
   config.telemetry = obs.telemetry();
   if (args.get_u64("age", 1) != 0) {
     config.age_universe = true;  // default churn model; --age 0 freezes
+  }
+
+  const std::string status_path = args.get("status-file", "");
+  const std::string flight_path = args.get("flight", "");
+
+  // Dumps the flight recorder as trace JSONL (the format `sos report`
+  // parses) and resumes recording. Fired by watchdog trips and signals.
+  const auto dump_flight = [&](const char* why) {
+    if (!recorder || flight_path.empty()) return;
+    std::ofstream out(flight_path);
+    if (!out) {
+      std::cerr << "warning: cannot open flight file '" << flight_path
+                << "'\n";
+      return;
+    }
+    recorder->dump_jsonl(out);
+    recorder->thaw();
+    std::cerr << "wrote flight recorder dump " << flight_path << " (" << why
+              << ")\n";
+  };
+
+  std::optional<v6::obs::StallWatchdog> watchdog;
+  if (plane) {
+    v6::obs::StallWatchdog::Options wd;
+    wd.deadline_seconds = args.get_double("watchdog", 30.0);
+    wd.registry = &obs.telemetry()->registry();
+    watchdog.emplace(wd);
+    config.watchdog = &*watchdog;
+    watchdog->on_stall([&](const v6::obs::StallWatchdog::StallReport& report) {
+      std::cerr << report.to_text();
+      dump_flight("watchdog trip");
+    });
+    // Heartbeats are threaded regardless; the monitor thread only runs
+    // when the operator asked for a deadline.
+    if (args.options.contains("watchdog")) watchdog->start();
+    g_signal = 0;
+    std::signal(SIGTERM, note_signal);
+    std::signal(SIGINT, note_signal);
+  }
+
+  std::optional<v6::obs::admin::AdminServer> admin;
+  if (args.options.contains("admin-port")) {
+    v6::obs::admin::AdminServer::Options opts;
+    opts.port = static_cast<int>(args.get_u64("admin-port", 0));
+    admin.emplace(opts);
+    v6::obs::Telemetry* const telemetry = obs.telemetry();
+    admin->handle("/metrics", [telemetry] {
+      return v6::obs::render_exposition(telemetry->registry().snapshot());
+    });
+    admin->handle("/healthz", [&watchdog] {
+      return std::string(watchdog && watchdog->tripped() ? "stalled\n"
+                                                         : "ok\n");
+    });
+    admin->handle("/flight", [&recorder] {
+      std::ostringstream out;
+      recorder->dump_jsonl(out);
+      recorder->thaw();
+      return out.str();
+    });
+    std::string error;
+    if (!admin->start(&error)) {
+      std::cerr << "error: admin endpoint: " << error << "\n";
+      return 2;
+    }
+    std::cerr << "admin endpoint on http://127.0.0.1:" << admin->port()
+              << " (/metrics /healthz /flight)\n";
   }
 
   try {
@@ -561,6 +679,21 @@ int cmd_serve(const Args& args) {
                      fmt_seconds(now.virtual_seconds -
                                  previous.virtual_seconds)});
       previous = now;
+      if (!status_path.empty()) {
+        if (!v6::obs::write_file_atomic(
+                status_path, v6::obs::render_exposition(
+                                 obs.telemetry()->registry().snapshot()))) {
+          std::cerr << "warning: cannot write status file '" << status_path
+                    << "'\n";
+        }
+      }
+      if (g_signal != 0) {
+        std::cerr << "caught signal " << static_cast<int>(g_signal)
+                  << "; stopping after cycle " << fmt_count(now.cycles)
+                  << "\n";
+        dump_flight("signal");
+        break;
+      }
     }
     table.print(std::cout);
     const v6::service::ServiceStats total = service.stats();
@@ -641,7 +774,8 @@ int cmd_report(const Args& args) {
     return 0;
   }
   std::cout << args.positional << ": " << fmt_count(summary.events)
-            << " events (" << fmt_count(load.bad_lines) << " malformed lines), "
+            << " events (" << fmt_count(load.bad_lines) << " malformed, "
+            << fmt_count(load.truncated) << " truncated lines), "
             << fmt_count(summary.probes) << " probes, "
             << fmt_count(summary.samples) << " samples, virtual end "
             << fmt_seconds(summary.virtual_end) << " s\n";
@@ -691,6 +825,30 @@ int cmd_report(const Args& args) {
   return 0;
 }
 
+int cmd_expo_check(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: sos expo-check <metrics.txt>\n";
+    return 1;
+  }
+  std::ifstream in(args.positional);
+  if (!in) {
+    std::cerr << "cannot open exposition file '" << args.positional << "'\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  v6::obs::ExpoDoc doc;
+  std::string error;
+  if (!v6::obs::parse_exposition(buffer.str(), &doc, &error)) {
+    std::cerr << args.positional << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << args.positional << ": " << fmt_count(doc.families.size())
+            << " families, " << fmt_count(doc.samples.size())
+            << " samples\n";
+  return 0;
+}
+
 int cmd_trace(const Args& args) {
   const auto target = v6::net::Ipv6Addr::parse(args.positional);
   if (!target) {
@@ -727,12 +885,13 @@ int main(int argc, char** argv) {
   if (args.command == "survey") return cmd_survey(args);
   if (args.command == "serve") return cmd_serve(args);
   if (args.command == "report") return cmd_report(args);
+  if (args.command == "expo-check") return cmd_expo_check(args);
   if (args.command == "trace") return cmd_trace(args);
   if (args.command == "collect") return cmd_collect(args);
   if (args.command == "export") return cmd_export(args);
   std::cerr << "usage: sos "
-               "<universe|sources|run|survey|serve|report|trace|collect|"
-               "export> [options]\n"
+               "<universe|sources|run|survey|serve|report|expo-check|trace|"
+               "collect|export> [options]\n"
                "  sos run --tga DET --port TCP80 --dataset port --budget "
                "200000\n"
                "  sos serve --cycles 5 --budget 40000 --shards 2\n";
